@@ -1,0 +1,46 @@
+//! The locally-bounded Byzantine adversary of the paper (§1.2): at most
+//! `t` bad nodes in any single neighborhood, each with a message budget
+//! `mf`, able to forge values and to cause collisions that silently
+//! corrupt deliveries at every common neighbor of attacker and sender.
+//!
+//! The crate separates the two choices the adversary makes:
+//!
+//! * **Where to be** — [`placement`]: node-corruption patterns, including
+//!   the stripe construction of Theorem 1 (Figure 1), the
+//!   one-bad-node-per-neighborhood lattice of Figure 2, and random
+//!   placements verified against the local bound;
+//! * **What to do** — [`strategy`]: per-wave attack planning against the
+//!   worst-case counting engine, from doing nothing ([`strategy::Passive`])
+//!   to the frontier-starving greedy that realizes the paper's
+//!   impossibility arguments ([`strategy::GreedyFrontier`]).
+//!
+//! Budget enforcement lives in the engines; strategies *request* spending
+//! and the engine rejects over-budget plans, so a buggy strategy cannot
+//! silently break the model.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_adversary::{LatticePlacement, Placement, respects_local_bound};
+//! use bftbcast_net::Grid;
+//!
+//! // Figure 2's placement: exactly t bad nodes in every neighborhood.
+//! let grid = Grid::new(15, 15, 1).unwrap();
+//! let bad = LatticePlacement::new(1).bad_nodes(&grid);
+//! assert_eq!(bad.len(), 25); // one per 3x3 residue block
+//! assert!(respects_local_bound(&grid, &bad, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod probabilistic;
+pub mod strategy;
+
+pub use probabilistic::BernoulliPlacement;
+pub use placement::{
+    max_bad_per_neighborhood, respects_local_bound, LatticePlacement, Placement, RandomPlacement,
+    StripePlacement,
+};
+pub use strategy::{AttackPlan, Chaos, CorruptionStrategy, GreedyFrontier, Passive, WaveView};

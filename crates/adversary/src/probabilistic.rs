@@ -1,0 +1,313 @@
+//! Probabilistic node corruption — the paper's stated future work.
+//!
+//! The conclusion of the paper suggests "allowing probabilistic
+//! placement of bad nodes in the network as in \[4\]" (Bhandari–Vaidya,
+//! INFOCOM 2007) as a follow-up. This module provides that model: every
+//! node other than the base station is corrupted independently with
+//! probability `p` ([`BernoulliPlacement`]), together with the exact
+//! analysis connecting `p` to the paper's deterministic local bound `t`:
+//!
+//! * the per-neighborhood overload probability
+//!   `P[Bin((2r+1)² − 1, p) > t]` ([`neighborhood_overload_probability`]),
+//! * a union bound over all `n` neighborhoods
+//!   ([`local_bound_holds_probability`]), and
+//! * the largest corruption rate for which the local bound holds with a
+//!   target confidence ([`critical_p`]).
+//!
+//! Because every result in the paper is conditioned on the local bound,
+//! these functions translate its deterministic guarantees into
+//! probabilistic ones: run protocol **B** with budget `2·m0(t)` and the
+//! broadcast is reliable with probability at least
+//! `local_bound_holds_probability(…)` — a guarantee EXP-X6 checks by
+//! Monte-Carlo against both engines.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_adversary::probabilistic::{critical_p, local_bound_holds_probability};
+//!
+//! // r = 2 (24-node neighborhoods), tolerating t = 4, on a 40x40 torus:
+//! // 1% iid corruption keeps every neighborhood within the bound w.h.p.
+//! let p_ok = local_bound_holds_probability(1600, 2, 4, 0.01);
+//! assert!(p_ok > 0.99);
+//!
+//! // The largest rate with 99% confidence is a bit above that:
+//! let p_star = critical_p(1600, 2, 4, 0.99);
+//! assert!(p_star > 0.01 && p_star < 0.05);
+//! ```
+
+use bftbcast_net::{Grid, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::placement::Placement;
+
+/// Corrupts every node except `source` independently with probability
+/// `p`. Deterministic given the seed. The result is **not** filtered
+/// against any local bound — measuring how often the bound survives is
+/// the point (see [`neighborhood_overload_probability`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliPlacement {
+    /// Per-node corruption probability, in `[0, 1]`.
+    pub p: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Node the placement never corrupts (the base station).
+    pub source: NodeId,
+}
+
+impl Placement for BernoulliPlacement {
+    fn bad_nodes(&self, grid: &Grid) -> Vec<NodeId> {
+        assert!(
+            (0.0..=1.0).contains(&self.p),
+            "corruption probability {} outside [0, 1]",
+            self.p
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        grid.nodes()
+            .filter(|&u| u != self.source && rng.random_bool(self.p))
+            .collect()
+    }
+}
+
+/// The probability mass function of `Bin(n, p)` evaluated over
+/// `0..=n`, computed in a numerically stable forward recurrence.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial_pmf(n: u64, p: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let n_us = usize::try_from(n).expect("n fits usize");
+    if p == 0.0 {
+        let mut v = vec![0.0; n_us + 1];
+        v[0] = 1.0;
+        return v;
+    }
+    if p == 1.0 {
+        let mut v = vec![0.0; n_us + 1];
+        v[n_us] = 1.0;
+        return v;
+    }
+    // log-space start at k = 0, then multiply by the ratio
+    // pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p).
+    let mut v = Vec::with_capacity(n_us + 1);
+    let mut cur = f64::exp(n as f64 * f64::ln_1p(-p));
+    let ratio = p / (1.0 - p);
+    for k in 0..=n {
+        v.push(cur);
+        cur *= (n - k) as f64 / (k + 1) as f64 * ratio;
+    }
+    v
+}
+
+/// `P[Bin(n, p) > t]` — the exact upper tail of the binomial.
+pub fn binomial_tail_gt(n: u64, t: u64, p: f64) -> f64 {
+    if t >= n {
+        return 0.0;
+    }
+    let pmf = binomial_pmf(n, p);
+    // Sum the smaller side for accuracy.
+    let head: f64 = pmf.iter().take(usize::try_from(t).unwrap() + 1).sum();
+    let tail: f64 = pmf.iter().skip(usize::try_from(t).unwrap() + 1).sum();
+    if head < tail {
+        (1.0 - head).max(tail.min(1.0)).clamp(0.0, 1.0)
+    } else {
+        tail.clamp(0.0, 1.0)
+    }
+}
+
+/// Probability that one fixed neighborhood (the `(2r+1)² − 1` nodes
+/// within L∞ distance `r` of a node) contains **more than** `t` bad
+/// nodes under iid corruption with rate `p`.
+pub fn neighborhood_overload_probability(r: u32, t: u64, p: f64) -> f64 {
+    let nbhd = (2 * u64::from(r) + 1).pow(2) - 1;
+    binomial_tail_gt(nbhd, t, p)
+}
+
+/// A lower bound (union bound over all `n` neighborhoods) on the
+/// probability that the paper's local bound `t` holds **everywhere** on
+/// an `n`-node torus under iid corruption with rate `p`.
+///
+/// Neighborhood overloads are positively correlated (they share nodes),
+/// so the union bound is conservative; EXP-X6 measures the true
+/// probability by Monte-Carlo and reports the gap.
+pub fn local_bound_holds_probability(n: u64, r: u32, t: u64, p: f64) -> f64 {
+    let per = neighborhood_overload_probability(r, t, p);
+    (1.0 - per * n as f64).max(0.0)
+}
+
+/// The largest corruption rate `p` such that
+/// [`local_bound_holds_probability`] is at least `confidence`, found by
+/// bisection to 1e-9 absolute accuracy.
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `(0, 1)`.
+pub fn critical_p(n: u64, r: u32, t: u64, confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    let ok = |p: f64| local_bound_holds_probability(n, r, t, p) >= confidence;
+    if !ok(0.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while hi - lo > 1e-9 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Empirical local-bound survival rate: the fraction of `samples` seeded
+/// Bernoulli placements on `grid` whose worst neighborhood stays within
+/// `t`. The Monte-Carlo counterpart of
+/// [`local_bound_holds_probability`]; deterministic given `base_seed`.
+pub fn empirical_local_bound_rate(
+    grid: &Grid,
+    source: NodeId,
+    t: usize,
+    p: f64,
+    samples: u64,
+    base_seed: u64,
+) -> f64 {
+    let mut ok = 0u64;
+    for i in 0..samples {
+        let bad = BernoulliPlacement {
+            p,
+            seed: base_seed.wrapping_add(i),
+            source,
+        }
+        .bad_nodes(grid);
+        if crate::placement::respects_local_bound(grid, &bad, t) {
+            ok += 1;
+        }
+    }
+    ok as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_net::Grid;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (24, 0.01), (48, 0.5), (80, 0.9)] {
+            let s: f64 = binomial_pmf(n, p).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "n={n} p={p} sum={s}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_endpoints() {
+        assert_eq!(binomial_pmf(5, 0.0)[0], 1.0);
+        assert_eq!(binomial_pmf(5, 1.0)[5], 1.0);
+        assert_eq!(binomial_tail_gt(5, 2, 0.0), 0.0);
+        assert_eq!(binomial_tail_gt(5, 2, 1.0), 1.0);
+    }
+
+    #[test]
+    fn tail_matches_hand_computation() {
+        // Bin(3, 1/2): P[X > 1] = (3 + 1)/8 = 0.5.
+        assert!((binomial_tail_gt(3, 1, 0.5) - 0.5).abs() < 1e-12);
+        // Bin(2, 0.1): P[X > 0] = 1 - 0.81 = 0.19.
+        assert!((binomial_tail_gt(2, 0, 0.1) - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_monotone_in_p_and_t() {
+        let n = 24;
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let p = i as f64 / 20.0;
+            let cur = binomial_tail_gt(n, 3, p);
+            assert!(cur >= prev - 1e-12, "tail not monotone in p at {p}");
+            prev = cur;
+        }
+        for t in 0..n {
+            assert!(
+                binomial_tail_gt(n, t, 0.2) >= binomial_tail_gt(n, t + 1, 0.2) - 1e-12,
+                "tail not monotone in t at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_p_brackets_the_confidence() {
+        let (n, r, t, conf) = (1600u64, 2u32, 4u64, 0.99f64);
+        let p_star = critical_p(n, r, t, conf);
+        assert!(local_bound_holds_probability(n, r, t, p_star) >= conf);
+        assert!(local_bound_holds_probability(n, r, t, p_star + 1e-6) < conf);
+    }
+
+    #[test]
+    fn critical_p_zero_when_hopeless() {
+        // t = 0 with any nodes at all: even one bad node overloads, and
+        // demanding 99.9999% on a huge torus forces p to ~0.
+        let p = critical_p(1_000_000, 1, 0, 0.999999);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn bernoulli_placement_is_seeded_and_respects_source() {
+        let g = Grid::new(30, 30, 2).unwrap();
+        let place = BernoulliPlacement {
+            p: 0.2,
+            seed: 7,
+            source: 0,
+        };
+        let a = place.bad_nodes(&g);
+        let b = place.bad_nodes(&g);
+        assert_eq!(a, b, "deterministic given seed");
+        assert!(!a.contains(&0), "never corrupts the base station");
+        // With p = 0.2 over 899 candidates, 120..240 bad nodes is a
+        // > 10-sigma window.
+        assert!((120..=240).contains(&a.len()), "got {}", a.len());
+    }
+
+    #[test]
+    fn empirical_rate_tracks_analytic_bound() {
+        // Small grid, p chosen so the analytic union bound predicts
+        // failure often; the empirical rate must be at least the union
+        // bound (it is conservative).
+        let g = Grid::new(20, 20, 1).unwrap();
+        let (t, p) = (2usize, 0.05f64);
+        let analytic = local_bound_holds_probability(400, 1, t as u64, p);
+        let empirical = empirical_local_bound_rate(&g, 0, t, p, 200, 42);
+        assert!(
+            empirical >= analytic - 0.08,
+            "empirical {empirical} far below union bound {analytic}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmf_sums_to_one(n in 1u64..80, p in 0.0f64..=1.0) {
+            let s: f64 = binomial_pmf(n, p).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_tail_in_unit_interval(n in 1u64..60, t in 0u64..60, p in 0.0f64..=1.0) {
+            let v = binomial_tail_gt(n, t, p);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_bernoulli_never_corrupts_source(seed in any::<u64>(), p in 0.0f64..0.5) {
+            let g = Grid::new(12, 12, 1).unwrap();
+            let bad = BernoulliPlacement { p, seed, source: 5 }.bad_nodes(&g);
+            prop_assert!(!bad.contains(&5));
+            // Sorted, no duplicates (grid iteration order).
+            prop_assert!(bad.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

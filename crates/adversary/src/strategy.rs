@@ -1,0 +1,627 @@
+//! Per-wave attack planning against the worst-case counting engine.
+//!
+//! Each wave of the counting engine (see `bftbcast-sim`) presents the
+//! adversary with the wave's transmissions and the global tally state; a
+//! [`CorruptionStrategy`] answers with an [`AttackPlan`] — which bad node
+//! collides with which sender's copies, and who broadcasts forged values.
+//! The engine validates every plan against budgets, radio ranges and copy
+//! counts, so strategies are untrusted.
+//!
+//! Collision semantics (paper §1.2, and the per-receiver accounting used
+//! in the proofs of Theorems 1–2): one budget unit spent by bad node `b`
+//! against one copy transmitted by `s` corrupts that copy's delivery at
+//! **every** node in `N(b) ∩ N(s)`; distinct collisions against the same
+//! sender consume distinct copies.
+
+use bftbcast_net::{Grid, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything the adversary can see when planning a wave (it is
+/// omniscient about protocol state — the worst case).
+#[derive(Debug, Clone, Copy)]
+pub struct WaveView<'a> {
+    /// The torus.
+    pub grid: &'a Grid,
+    /// This wave's transmissions: `(sender, copies)`. Senders are decided
+    /// good nodes relaying `Vtrue` (the base station included).
+    pub transmissions: &'a [(NodeId, u64)],
+    /// Per node: has it accepted `Vtrue` already?
+    pub accepted_true: &'a [bool],
+    /// Per node: correct copies delivered so far.
+    pub tallies_true: &'a [u64],
+    /// Copies of one value a node needs in order to accept it.
+    pub threshold: u64,
+    /// The corrupted nodes.
+    pub bad_nodes: &'a [NodeId],
+    /// Remaining attack budget, indexed by node id (zero for good nodes).
+    pub remaining_budget: &'a [u64],
+    /// Per node: is it honest?
+    pub is_good: &'a [bool],
+    /// Per node: copies it will relay when (if) it accepts.
+    pub relay_quota: &'a [u64],
+}
+
+/// One collision action: `attacker` spends `copies` budget units
+/// colliding with `copies` distinct copies of `sender`'s transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Collision {
+    /// The bad node transmitting simultaneously.
+    pub attacker: NodeId,
+    /// The good transmitter being collided with.
+    pub sender: NodeId,
+    /// Number of copies attacked (each costs one budget unit).
+    pub copies: u64,
+}
+
+/// One forgery action: `attacker` broadcasts `copies` copies of a forged
+/// value to its whole neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Forgery {
+    /// The bad node broadcasting.
+    pub attacker: NodeId,
+    /// Copies broadcast (each costs one budget unit).
+    pub copies: u64,
+}
+
+/// The adversary's answer for one wave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackPlan {
+    /// Collision actions.
+    pub collisions: Vec<Collision>,
+    /// Forgery actions.
+    pub forgeries: Vec<Forgery>,
+}
+
+impl AttackPlan {
+    /// A plan that does nothing.
+    pub fn none() -> Self {
+        AttackPlan::default()
+    }
+
+    /// Total budget units this plan spends, per attacking node.
+    pub fn spend_by_node(&self, node_count: usize) -> Vec<u64> {
+        let mut spend = vec![0u64; node_count];
+        for c in &self.collisions {
+            spend[c.attacker] += c.copies;
+        }
+        for f in &self.forgeries {
+            spend[f.attacker] += f.copies;
+        }
+        spend
+    }
+}
+
+/// A corruption strategy: called once per wave of the counting engine.
+pub trait CorruptionStrategy {
+    /// Plans this wave's attack.
+    fn plan(&mut self, view: &WaveView<'_>) -> AttackPlan;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str {
+        "strategy"
+    }
+}
+
+/// Does nothing; the baseline for completeness tests without attacks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Passive;
+
+impl CorruptionStrategy for Passive {
+    fn plan(&mut self, _view: &WaveView<'_>) -> AttackPlan {
+        AttackPlan::none()
+    }
+
+    fn name(&self) -> &'static str {
+        "passive"
+    }
+}
+
+/// The frontier-starving greedy that realizes the paper's impossibility
+/// constructions: every wave it identifies the undecided nodes about to
+/// cross the acceptance threshold, skips the unwinnable fights, and
+/// spends collision budget from bad nodes inside each target's
+/// neighborhood to keep the target's correct-copy tally at most
+/// `threshold − 1`.
+///
+/// Blocking is *cooperative across targets*: a collision against sender
+/// `s` by attacker `b` corrupts the attacked copies at every common
+/// neighbor, and the greedy accounts for corruption already planned when
+/// sizing the next target's deficit. Attackers and senders closest to
+/// the target are preferred, maximizing overlap between nearby targets —
+/// exactly the "concerted" geometry the stripe and lattice constructions
+/// exploit.
+///
+/// Three target-ordering heuristics are available: the default prefers
+/// attackers/senders *nearest* each target; [`GreedyFrontier::forward`]
+/// processes targets in coordinate order and prefers resources in the
+/// direction of unprocessed targets, so collisions pre-corrupt upcoming
+/// victims — measurably closer to the optimal physical stripe wall
+/// (EXP-T1c); [`GreedyFrontier::corners`] processes the
+/// fewest-supplier targets first — the "corner nodes" the paper
+/// identifies as the weakest under attack (§2) — holding the cheap
+/// victims longest when budget is scarce (EXP-X2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyFrontier {
+    order: TargetOrder,
+}
+
+/// Target-processing order for [`GreedyFrontier`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum TargetOrder {
+    /// Cheapest deficit first.
+    #[default]
+    Nearest,
+    /// Coordinate order with forward resource sharing.
+    Forward,
+    /// Fewest good suppliers first (the paper's corner nodes).
+    Corners,
+}
+
+impl GreedyFrontier {
+    /// The forward-sharing variant (see type docs).
+    pub fn forward() -> Self {
+        GreedyFrontier {
+            order: TargetOrder::Forward,
+        }
+    }
+
+    /// The corner-starving variant (see type docs).
+    pub fn corners() -> Self {
+        GreedyFrontier {
+            order: TargetOrder::Corners,
+        }
+    }
+
+    /// Signed x-displacement from `u` to `v` on the torus, in
+    /// `[-w/2, w/2)`.
+    fn dx(grid: &Grid, u: NodeId, v: NodeId) -> i64 {
+        let w = i64::from(grid.width());
+        let du = i64::from(grid.coord_of(v).x) - i64::from(grid.coord_of(u).x);
+        let m = du.rem_euclid(w);
+        if m >= w / 2 {
+            m - w
+        } else {
+            m
+        }
+    }
+}
+
+impl CorruptionStrategy for GreedyFrontier {
+    fn plan(&mut self, view: &WaveView<'_>) -> AttackPlan {
+        let grid = view.grid;
+        let n = grid.node_count();
+
+        // Incoming correct copies this wave, per undecided good node.
+        let mut incoming = vec![0u64; n];
+        for &(s, copies) in view.transmissions {
+            for u in grid.neighbors(s) {
+                if view.is_good[u] && !view.accepted_true[u] {
+                    incoming[u] += copies;
+                }
+            }
+        }
+
+        // Targets at risk of accepting this wave: cheapest deficit first
+        // (default), or coordinate order (forward variant, so collision
+        // side-effects land on the still-unprocessed targets).
+        let mut targets: Vec<(u64, NodeId)> = (0..n)
+            .filter(|&u| view.is_good[u] && !view.accepted_true[u] && incoming[u] > 0)
+            .filter_map(|u| {
+                let total = view.tallies_true[u] + incoming[u];
+                if total >= view.threshold {
+                    Some((total - (view.threshold - 1), u))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        match self.order {
+            TargetOrder::Forward => targets.sort_unstable_by_key(|&(_, u)| u),
+            TargetOrder::Nearest => targets.sort_unstable(),
+            TargetOrder::Corners => {
+                // Fewest potential good suppliers first: the corner
+                // nodes of the expanding region are the cheapest to
+                // keep starving.
+                targets.sort_unstable_by_key(|&(deficit, u)| {
+                    let suppliers = grid
+                        .neighbors(u)
+                        .filter(|&v| view.is_good[v])
+                        .count();
+                    (suppliers, deficit, u)
+                });
+            }
+        }
+
+        // Doomed-set fixpoint: a target that will cross the threshold
+        // *eventually* even if every remaining budget unit in its window
+        // could be spent against it (per-receiver optimism for the
+        // adversary) is doomed — spending on it is pure waste. Compute
+        // the set of unavoidable acceptors, then only fight for the
+        // rest.
+        let doomed = {
+            let mut capacity = vec![0u64; n];
+            for &b in view.bad_nodes {
+                for u in grid.neighbors(b) {
+                    capacity[u] = capacity[u].saturating_add(view.remaining_budget[b]);
+                }
+            }
+            let mut unavoidable: Vec<bool> = view.accepted_true.to_vec();
+            loop {
+                let mut changed = false;
+                for u in 0..n {
+                    if unavoidable[u] || !view.is_good[u] {
+                        continue;
+                    }
+                    // Future supply: copies already delivered or in
+                    // flight, plus the quotas of unavoidable neighbors
+                    // that have not yet transmitted.
+                    let future: u64 = grid
+                        .neighbors(u)
+                        .filter(|&v| unavoidable[v] && !view.accepted_true[v])
+                        .map(|v| view.relay_quota[v])
+                        .sum();
+                    let supply = view.tallies_true[u] + incoming[u] + future;
+                    if supply.saturating_sub(capacity[u]) >= view.threshold {
+                        unavoidable[u] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            unavoidable
+        };
+        targets.retain(|&(_, u)| !doomed[u]);
+
+        let mut budget = view.remaining_budget.to_vec();
+        // Copies of each sender already collided (copies are consumed
+        // disjointly across attackers).
+        let mut collided: std::collections::HashMap<NodeId, u64> = Default::default();
+        let sent: std::collections::HashMap<NodeId, u64> =
+            view.transmissions.iter().copied().collect();
+        let mut plan: Vec<Collision> = Vec::new();
+
+        for (deficit, u) in targets {
+            // Corruption already landing on u from previously planned
+            // collisions.
+            let planned_at_u: u64 = plan
+                .iter()
+                .filter(|c| grid.are_neighbors(c.attacker, u) && grid.are_neighbors(c.sender, u))
+                .map(|c| c.copies)
+                .sum();
+            let mut need = deficit.saturating_sub(planned_at_u);
+            if need == 0 {
+                continue;
+            }
+
+            // Resources reachable from u: attackers in N(u), senders in
+            // N(u) with uncollided copies.
+            let mut attackers: Vec<NodeId> = grid
+                .neighbors(u)
+                .filter(|&b| !view.is_good[b] && budget[b] > 0)
+                .collect();
+            let mut senders: Vec<(NodeId, u64)> = grid
+                .neighbors(u)
+                .filter_map(|s| {
+                    let total = *sent.get(&s)?;
+                    let free = total - collided.get(&s).copied().unwrap_or(0);
+                    (free > 0).then_some((s, free))
+                })
+                .collect();
+            if self.order == TargetOrder::Forward {
+                // Prefer resources ahead of u (towards unprocessed
+                // targets), so the shared corruption is maximal.
+                attackers.sort_unstable_by_key(|&b| -Self::dx(grid, u, b));
+                senders.sort_unstable_by_key(|&(s, _)| -Self::dx(grid, u, s));
+            } else {
+                attackers.sort_unstable_by_key(|&b| grid.linf_distance(b, u));
+                senders.sort_unstable_by_key(|&(s, _)| grid.linf_distance(s, u));
+            }
+
+            // Unwinnable fights waste budget: skip if the reachable
+            // resources cannot close the deficit.
+            let budget_avail: u64 = attackers.iter().map(|&b| budget[b]).sum();
+            let copies_avail: u64 = senders.iter().map(|&(_, c)| c).sum();
+            if need > budget_avail.min(copies_avail) {
+                continue;
+            }
+
+            'outer: for &b in &attackers {
+                for (s, free) in senders.iter_mut() {
+                    if *free == 0 {
+                        continue;
+                    }
+                    let amount = need.min(budget[b]).min(*free);
+                    if amount == 0 {
+                        continue;
+                    }
+                    plan.push(Collision {
+                        attacker: b,
+                        sender: *s,
+                        copies: amount,
+                    });
+                    budget[b] -= amount;
+                    *free -= amount;
+                    *collided.entry(*s).or_insert(0) += amount;
+                    need -= amount;
+                    if need == 0 {
+                        break 'outer;
+                    }
+                    if budget[b] == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        AttackPlan {
+            collisions: plan,
+            forgeries: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.order {
+            TargetOrder::Forward => "greedy-frontier-forward",
+            TargetOrder::Nearest => "greedy-frontier",
+            TargetOrder::Corners => "greedy-corner-hunter",
+        }
+    }
+}
+
+/// A fuzzing strategy: every wave each bad node spends a random fraction
+/// of its remaining budget on random collisions and forgeries. Used by
+/// property tests to hammer the engine's safety invariants (budget
+/// enforcement, no wrong accepts) rather than to win.
+#[derive(Debug, Clone)]
+pub struct Chaos {
+    rng: StdRng,
+}
+
+impl Chaos {
+    /// A chaos strategy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Chaos {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CorruptionStrategy for Chaos {
+    fn plan(&mut self, view: &WaveView<'_>) -> AttackPlan {
+        let mut plan = AttackPlan::none();
+        if view.transmissions.is_empty() {
+            return plan;
+        }
+        // Copies of each sender already claimed by earlier collisions in
+        // this plan — collisions consume distinct copies, so the plan
+        // must stay within each sender's transmission count.
+        let mut claimed: std::collections::HashMap<NodeId, u64> = Default::default();
+        for &b in view.bad_nodes {
+            let available = view.remaining_budget[b];
+            if available == 0 {
+                continue;
+            }
+            let spend = self.rng.random_range(0..=available.min(16));
+            if spend == 0 {
+                continue;
+            }
+            // Pick a random in-range sender with unclaimed copies, if any.
+            let in_range: Vec<(NodeId, u64)> = view
+                .transmissions
+                .iter()
+                .filter(|&&(s, _)| view.grid.linf_distance(s, b) <= 2 * view.grid.range())
+                .filter_map(|&(s, copies)| {
+                    let free = copies - claimed.get(&s).copied().unwrap_or(0);
+                    (free > 0).then_some((s, free))
+                })
+                .collect();
+            if !in_range.is_empty() && self.rng.random_bool(0.7) {
+                let (s, free) = in_range[self.rng.random_range(0..in_range.len())];
+                let copies = spend.min(free);
+                *claimed.entry(s).or_insert(0) += copies;
+                plan.collisions.push(Collision {
+                    attacker: b,
+                    sender: s,
+                    copies,
+                });
+            } else {
+                plan.forgeries.push(Forgery {
+                    attacker: b,
+                    copies: spend,
+                });
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_net::Grid;
+
+    #[allow(clippy::too_many_arguments)]
+    fn view_fixture<'a>(
+        grid: &'a Grid,
+        transmissions: &'a [(NodeId, u64)],
+        accepted: &'a [bool],
+        tallies: &'a [u64],
+        bad: &'a [NodeId],
+        budget: &'a [u64],
+        good: &'a [bool],
+        threshold: u64,
+        relay_quota: &'a [u64],
+    ) -> WaveView<'a> {
+        WaveView {
+            grid,
+            transmissions,
+            accepted_true: accepted,
+            tallies_true: tallies,
+            threshold,
+            bad_nodes: bad,
+            remaining_budget: budget,
+            is_good: good,
+            relay_quota,
+        }
+    }
+
+    #[test]
+    fn passive_plans_nothing() {
+        let grid = Grid::new(5, 5, 1).unwrap();
+        let n = grid.node_count();
+        let tx = [(grid.id_at(2, 2), 5u64)];
+        let accepted = vec![false; n];
+        let tallies = vec![0u64; n];
+        let good = vec![true; n];
+        let budget = vec![0u64; n];
+        let quota = vec![5u64; n];
+        let v = view_fixture(&grid, &tx, &accepted, &tallies, &[], &budget, &good, 3, &quota);
+        assert_eq!(Passive.plan(&v), AttackPlan::none());
+    }
+
+    #[test]
+    fn greedy_blocks_a_single_threatened_node() {
+        // 7x7, r=1. Sender at (3,3) sends 5 copies; threshold 3. The bad
+        // node at (3,2) (budget 10) must corrupt 3 copies to keep each
+        // common neighbor at 2 < 3.
+        let grid = Grid::new(7, 7, 1).unwrap();
+        let n = grid.node_count();
+        let sender = grid.id_at(3, 3);
+        let bad_node = grid.id_at(3, 2);
+        let tx = [(sender, 5u64)];
+        let accepted = vec![false; n];
+        let tallies = vec![0u64; n];
+        let mut good = vec![true; n];
+        good[bad_node] = false;
+        let mut budget = vec![0u64; n];
+        budget[bad_node] = 10;
+        let bad = [bad_node];
+        // Zero relay quotas: victims get no future supply, so the ones
+        // the bad node covers are genuinely defensible (not doomed).
+        let quota = vec![0u64; n];
+        let v = view_fixture(
+            &grid,
+            &tx,
+            &accepted,
+            &tallies,
+            &bad,
+            &budget,
+            &good,
+            3,
+            &quota,
+        );
+        let plan = GreedyFrontier::default().plan(&v);
+        let total: u64 = plan.collisions.iter().map(|c| c.copies).sum();
+        // Deficit per neighbor of the sender is 5 - (3-1) = 3; the bad
+        // node's collisions cover all common neighbors at once, but
+        // neighbors of the sender that the bad node cannot reach are
+        // unwinnable and skipped. Spending must stay within budget.
+        assert!(total >= 3, "must corrupt at least the deficit");
+        assert!(total <= 10);
+        for c in &plan.collisions {
+            assert_eq!(c.attacker, bad_node);
+            assert_eq!(c.sender, sender);
+        }
+    }
+
+    #[test]
+    fn greedy_skips_unwinnable_fights() {
+        // Bad node has budget 1 but deficit is 3 everywhere: plan nothing.
+        let grid = Grid::new(7, 7, 1).unwrap();
+        let n = grid.node_count();
+        let sender = grid.id_at(3, 3);
+        let bad_node = grid.id_at(3, 2);
+        let tx = [(sender, 5u64)];
+        let accepted = vec![false; n];
+        let tallies = vec![0u64; n];
+        let mut good = vec![true; n];
+        good[bad_node] = false;
+        let mut budget = vec![0u64; n];
+        budget[bad_node] = 1;
+        let bad = [bad_node];
+        let quota = vec![5u64; n];
+        let v = view_fixture(
+            &grid,
+            &tx,
+            &accepted,
+            &tallies,
+            &bad,
+            &budget,
+            &good,
+            3,
+            &quota,
+        );
+        let plan = GreedyFrontier::default().plan(&v);
+        assert!(plan.collisions.is_empty(), "hopeless fights must be skipped");
+    }
+
+    #[test]
+    fn greedy_respects_budget() {
+        let grid = Grid::new(9, 9, 2).unwrap();
+        let n = grid.node_count();
+        let sender = grid.id_at(4, 4);
+        let bad_node = grid.id_at(4, 3);
+        let tx = [(sender, 100u64)];
+        let accepted = vec![false; n];
+        let tallies = vec![0u64; n];
+        let mut good = vec![true; n];
+        good[bad_node] = false;
+        let mut budget = vec![0u64; n];
+        budget[bad_node] = 7;
+        let bad = [bad_node];
+        let quota = vec![100u64; n];
+        let v = view_fixture(
+            &grid,
+            &tx,
+            &accepted,
+            &tallies,
+            &bad,
+            &budget,
+            &good,
+            120,
+            &quota,
+        );
+        let plan = GreedyFrontier::default().plan(&v);
+        let spend = plan.spend_by_node(n);
+        assert!(spend[bad_node] <= 7);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed_and_bounded() {
+        let grid = Grid::new(9, 9, 2).unwrap();
+        let n = grid.node_count();
+        let sender = grid.id_at(4, 4);
+        let bad_node = grid.id_at(0, 0);
+        let tx = [(sender, 10u64)];
+        let accepted = vec![false; n];
+        let tallies = vec![0u64; n];
+        let mut good = vec![true; n];
+        good[bad_node] = false;
+        let mut budget = vec![0u64; n];
+        budget[bad_node] = 5;
+        let bad = [bad_node];
+        let quota = vec![5u64; n];
+        let v = view_fixture(
+            &grid,
+            &tx,
+            &accepted,
+            &tallies,
+            &bad,
+            &budget,
+            &good,
+            3,
+            &quota,
+        );
+        let a = Chaos::new(5).plan(&v);
+        let b = Chaos::new(5).plan(&v);
+        assert_eq!(a, b);
+        assert!(a.spend_by_node(n)[bad_node] <= 5);
+    }
+}

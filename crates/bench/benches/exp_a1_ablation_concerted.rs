@@ -1,0 +1,26 @@
+//! Criterion bench for EXP-A1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("a1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(2, 60)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    c.bench_function("a1/koo_baseline_oracle_20x20", |b| {
+        b.iter(|| std::hint::black_box(s.run_koo_baseline(Adversary::PerReceiverOracle)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

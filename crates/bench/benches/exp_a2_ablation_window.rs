@@ -1,0 +1,31 @@
+//! Criterion bench for EXP-A2: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("a2") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(15, 15, 1)
+        .faults(1, 8)
+        .random_placement(18, 4)
+        .build()
+        .unwrap();
+    let mut g = c.benchmark_group("a2");
+    g.sample_size(20);
+    g.bench_function("breactive_nackforger_15x15", |b| {
+        b.iter(|| {
+            std::hint::black_box(s.run_reactive(16, 1 << 16, ReactiveAdversary::NackForger, 11))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

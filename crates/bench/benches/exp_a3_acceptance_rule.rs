@@ -1,0 +1,33 @@
+//! Criterion bench for EXP-A3: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("a3") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut g = c.benchmark_group("a3");
+    g.sample_size(20);
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(1, 10)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    g.bench_function("majority_oracle_20x20_r2", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), s.params(), 21);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_majority_oracle(s.params().mf, 21))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for EXP-C1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("c1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(5, 40)
+        .stripe_placement(&[(6, 5, true), (15, 5, false)])
+        .build()
+        .unwrap();
+    c.bench_function("c1/threshold_point_oracle", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), s.params(), 40);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_oracle(40))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

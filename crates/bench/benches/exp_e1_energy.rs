@@ -1,0 +1,31 @@
+//! Criterion bench for EXP-E1: prints the regenerated tables once,
+//! then times the experiment's core kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("e1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    use bftbcast::protocols::energy::{lifetime_comparison, EnergyModel};
+    let model = EnergyModel::mica2_default();
+    let mut g = c.benchmark_group("e1");
+    g.sample_size(20);
+    g.bench_function("lifetime_comparison_sweep", |b| {
+        b.iter(|| {
+            for r in 1..=4u32 {
+                let p = Params::new(r, 1, 50);
+                std::hint::black_box(lifetime_comparison(&model, p, 128));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

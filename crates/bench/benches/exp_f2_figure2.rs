@@ -1,0 +1,27 @@
+//! Criterion bench for EXP-F2: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("f2") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = bftbcast_bench::experiments::f2::scenario();
+    let p = s.params();
+    c.bench_function("f2/figure2_oracle_45x45_r4", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), p, p.m0() + 1);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_oracle(p.mf))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for EXP-F9: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("f9") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::coding::frame::Frame;
+    use bftbcast::coding::segment;
+    use bftbcast::coding::subbit::SubbitParams;
+    use rand::{rngs::StdRng, SeedableRng};
+    let msg: Vec<bool> = (0..1024).map(|i| i % 3 == 0).collect();
+    c.bench_function("f9/segment_encode_verify_k1024", |b| {
+        b.iter(|| {
+            let coded = segment::encode(&msg).unwrap();
+            std::hint::black_box(segment::verify(&coded, msg.len()).unwrap())
+        })
+    });
+    let params = SubbitParams::with_length(42);
+    let mut rng = StdRng::seed_from_u64(5);
+    let payload: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
+    c.bench_function("f9/frame_roundtrip_k128_l42", |b| {
+        b.iter(|| {
+            let f = Frame::data(&payload, params, &mut rng);
+            std::hint::black_box(f.decode_and_verify(params).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for EXP-G1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("g1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::geometry::committed::CommittedLine;
+    use bftbcast::geometry::expanding::lemma9_sweep;
+    use bftbcast::geometry::point::Pt;
+    c.bench_function("g1/lemma9_sweep_r8_x16", |b| {
+        b.iter(|| std::hint::black_box(lemma9_sweep(8, 16)))
+    });
+    c.bench_function("g1/frontier_bound_r6_all", |b| {
+        b.iter(|| {
+            let mut ok = true;
+            for rho in -6..=0i128 {
+                for l in 7..40i128 {
+                    let cl = CommittedLine::new(6, rho, Pt::int(0, 0), l);
+                    ok &= cl.frontier_bound_holds(3);
+                }
+            }
+            std::hint::black_box(ok)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for EXP-G2: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("g2") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::geometry::expanding::{lemma10_delta, min_growth_coeff};
+    c.bench_function("g2/circle_growth_quantities", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for r in 1..=64u32 {
+                acc += lemma10_delta(r, 550.0) + min_growth_coeff(r);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

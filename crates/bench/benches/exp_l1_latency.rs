@@ -1,0 +1,33 @@
+//! Criterion bench for EXP-L1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("l1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut g = c.benchmark_group("l1");
+    g.sample_size(20);
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(1, 20)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    g.bench_function("latency_profile_20x20_r2", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::protocol_b(s.grid(), s.params());
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_oracle(s.params().mf).waves)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for EXP-T1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("t1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let side = 20u32;
+    let s = Scenario::builder(side, side, 2)
+        .faults(3, 40)
+        .stripe_placement(&[(6, 3, true), (15, 3, false)])
+        .build()
+        .unwrap();
+    let p = s.params();
+    c.bench_function("t1/double_stripe_oracle_20x20_r2", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), p, p.m0() - 1);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_oracle(p.mf))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for EXP-T2: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("t2") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(4, 30)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    c.bench_function("t2/protocol_b_oracle_20x20_r2_t4", |b| {
+        b.iter(|| std::hint::black_box(s.run_protocol_b(Adversary::PerReceiverOracle)))
+    });
+    c.bench_function("t2/protocol_b_greedy_20x20_r2_t4", |b| {
+        b.iter(|| std::hint::black_box(s.run_protocol_b(Adversary::Greedy)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for EXP-T2B: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("t2b") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    c.bench_function("t2b/bound_arithmetic", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 1..6u32 {
+                for t in 1..(r * (2 * r + 1)) {
+                    let p = Params::new(r, t, 1000);
+                    acc = acc.wrapping_add(p.m0() + p.relay_quota() + p.koo_budget());
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for EXP-T3: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("t3") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::net::Cross;
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(45, 45, 4)
+        .faults(1, 1000)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    let cross = Cross::spanning(s.grid(), 0, 0, 8);
+    let mut g = c.benchmark_group("t3");
+    g.sample_size(20);
+    g.bench_function("bheter_oracle_45x45_r4", |b| {
+        b.iter(|| std::hint::black_box(s.run_heterogeneous(&cross, Adversary::PerReceiverOracle)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

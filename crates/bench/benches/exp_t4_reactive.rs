@@ -1,0 +1,29 @@
+//! Criterion bench for EXP-T4: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("t4") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(15, 15, 1)
+        .faults(1, 6)
+        .random_placement(16, 3)
+        .build()
+        .unwrap();
+    let mut g = c.benchmark_group("t4");
+    g.sample_size(20);
+    g.bench_function("breactive_jammer_15x15", |b| {
+        b.iter(|| std::hint::black_box(s.run_reactive(16, 1 << 16, ReactiveAdversary::Jammer, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for EXP-X1: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("x1") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(27, 27, 4)
+        .faults(1, 1000)
+        .lattice_placement()
+        .build()
+        .unwrap();
+    let p = s.params();
+    let mut g = c.benchmark_group("x1");
+    g.sample_size(30);
+    g.bench_function("open_region_probe_27x27_r4", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), p, p.m0() + 3);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run_oracle(p.mf))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for EXP-X2: prints the regenerated tables once,
+//! then times the experiment's core kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("x2") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    use bftbcast::adversary::GreedyFrontier;
+    use bftbcast::prelude::*;
+    let s = Scenario::builder(20, 20, 2)
+        .faults(1, 50)
+        .stripe_placement(&[(6, 1, true), (15, 1, false)])
+        .build()
+        .unwrap();
+    let mut g = c.benchmark_group("x2");
+    g.sample_size(20);
+    g.bench_function("corner_hunter_20x20_r2", |b| {
+        b.iter(|| {
+            let proto = CountingProtocol::starved(s.grid(), s.params(), s.params().m0() / 2);
+            let mut sim = s.counting_sim(proto);
+            std::hint::black_box(sim.run(&mut GreedyFrontier::corners()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

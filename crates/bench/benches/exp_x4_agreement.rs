@@ -1,0 +1,23 @@
+//! Criterion bench for EXP-X4: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("x4") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut g = c.benchmark_group("x4");
+    g.sample_size(20);
+    g.bench_function("agreement_sweep_r2_t1_mf10", |b| {
+        b.iter(|| std::hint::black_box(bftbcast_bench::experiments::x4::sweep_point(2, 1, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for EXP-X6: prints the regenerated tables once,
+//! then times the experiment's core engine kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for table in bftbcast_bench::run_experiment("x6") {
+        println!("{table}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut g = c.benchmark_group("x6");
+    g.sample_size(20);
+    g.bench_function("bernoulli_reliability_20_seeds", |b| {
+        b.iter(|| {
+            std::hint::black_box(bftbcast_bench::experiments::x6::measured_reliability(
+                2, 4, 2, 10, 0.005, 20, 3,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

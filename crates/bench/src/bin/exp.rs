@@ -1,0 +1,31 @@
+//! Experiment driver: regenerates the paper's figures/theorems as
+//! tables.
+//!
+//! ```text
+//! cargo run --release -p bftbcast-bench --bin exp -- all
+//! cargo run --release -p bftbcast-bench --bin exp -- f2 t4
+//! ```
+
+use bftbcast_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(id) {
+            eprintln!("unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+    for id in ids {
+        let start = std::time::Instant::now();
+        for table in run_experiment(id) {
+            println!("{table}");
+        }
+        println!("[{} finished in {:?}]\n", id, start.elapsed());
+    }
+}

@@ -1,0 +1,88 @@
+//! EXP-A2 — ablation: the reactive quiet window `(2r+1)² − 1`.
+//!
+//! The paper sets the NACK quiet window to one full TDMA schedule cycle
+//! so every neighbor gets a slot to object before the sender stops.
+//! Shrinking it risks senders finishing before a victim's NACK slot
+//! arrives (incompleteness under attack); growing it only adds latency.
+
+use bftbcast::prelude::*;
+use bftbcast::protocols::reactive::ReactiveConfig;
+use bftbcast::sim::slot::{SlotConfig, SlotSim};
+
+use super::torus_side;
+
+fn run_with_window(window: u32, seed: u64) -> ReactiveOutcome {
+    let r = 1u32;
+    let side = torus_side(r, 5);
+    let s = Scenario::builder(side, side, r)
+        .faults(1, 8)
+        .random_placement(18, 4)
+        .build()
+        .expect("valid scenario");
+    let config = SlotConfig {
+        reactive: ReactiveConfig::paper(s.grid().node_count(), r, 1, 1 << 16, 16)
+            .with_quiet_window(window),
+        t: 1,
+        mf: 8,
+        good_budget: None,
+        adversary: ReactiveAdversary::Jammer,
+        max_rounds: 2_000_000,
+        seed,
+    };
+    let mut sim = SlotSim::new(s.grid().clone(), s.source(), s.bad_nodes(), config);
+    sim.run()
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let r = 1u32;
+    let full = (2 * r + 1) * (2 * r + 1) - 1; // the paper's window
+    let mut table = Table::new(
+        "EXP-A2: quiet-window ablation (r=1, jammer, 5 seeds each)",
+        &[
+            "window (rounds)",
+            "vs paper",
+            "reliable runs",
+            "avg rounds",
+            "avg data tx",
+        ],
+    );
+    for (window, label) in [
+        (full / 2, "half"),
+        (full, "paper (2r+1)^2-1"),
+        (2 * full, "double"),
+    ] {
+        let seeds: Vec<u64> = (0..5).collect();
+        let outs = sweep(&seeds, |&s| run_with_window(window, s));
+        let reliable = outs.iter().filter(|o| o.is_reliable()).count();
+        let avg_rounds = outs.iter().map(|o| o.rounds).sum::<u64>() as f64 / outs.len() as f64;
+        let avg_tx =
+            outs.iter().map(|o| o.data_transmissions).sum::<u64>() as f64 / outs.len() as f64;
+        table.row(&[
+            window.to_string(),
+            label.to_string(),
+            format!("{reliable}/5"),
+            format!("{avg_rounds:.0}"),
+            format!("{avg_tx:.0}"),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_is_reliable() {
+        let out = run_with_window(8, 3);
+        assert!(out.is_reliable(), "uncommitted: {:?}", out.uncommitted);
+    }
+
+    #[test]
+    fn double_window_costs_more_rounds() {
+        let a = run_with_window(8, 3);
+        let b = run_with_window(16, 3);
+        assert!(b.rounds >= a.rounds);
+    }
+}

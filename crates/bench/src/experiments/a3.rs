@@ -1,0 +1,112 @@
+//! EXP-A3 — ablation: threshold acceptance vs majority acceptance.
+//!
+//! The paper's protocols accept on `t·mf + 1` copies *of one value*
+//! (threshold rule) and reserve majority voting for the source step,
+//! where the intake is `2·t·mf + 1`. This ablation shows the design is
+//! load-bearing: under the threshold rule forged copies are inert (a
+//! wrong value can never reach the threshold), so the adversary's only
+//! lever is suppression; under a majority rule each corruption both
+//! removes a correct copy and adds a wrong one, so safety requires
+//! twice the intake — and at the threshold rule's intake the majority
+//! rule is actively forgeable.
+
+use bftbcast::prelude::*;
+
+use super::lattice_scenario;
+
+/// One run: protocol with per-node send quota `quota`, majority
+/// acceptance at `quorum`.
+fn majority_run(s: &Scenario, quota: u64, quorum: u64) -> CountingOutcome {
+    let proto = CountingProtocol::starved(s.grid(), s.params(), quota);
+    let mut sim = s.counting_sim(proto);
+    sim.run_majority_oracle(s.params().mf, quorum)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-A3: acceptance-rule ablation (per-receiver oracle, lattice adversary)",
+        &[
+            "r",
+            "t",
+            "mf",
+            "rule",
+            "quorum/threshold",
+            "send quota",
+            "coverage",
+            "wrong accepts",
+        ],
+    );
+    for &(r, mult, t, mf) in &[(1u32, 5u32, 1u32, 4u64), (2, 4, 1, 10), (2, 4, 2, 8)] {
+        let s = lattice_scenario(r, mult, t, mf);
+        let p = s.params();
+        let tmf1 = u64::from(t) * mf + 1;
+        let two = 2 * u64::from(t) * mf + 1;
+
+        // Threshold rule at the paper's budget (protocol B).
+        let out = s.run_protocol_b(Adversary::PerReceiverOracle);
+        table.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            "threshold".into(),
+            tmf1.to_string(),
+            p.sufficient_budget().to_string(),
+            format!("{:.3}", out.coverage()),
+            out.wrong_accepts.to_string(),
+        ]);
+
+        // Majority rule, intake sized like the threshold rule: forgeable.
+        let out = majority_run(&s, tmf1, tmf1);
+        table.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            "majority".into(),
+            tmf1.to_string(),
+            tmf1.to_string(),
+            format!("{:.3}", out.coverage()),
+            out.wrong_accepts.to_string(),
+        ]);
+
+        // Majority rule, doubled quorum: safe again, at twice the intake.
+        let out = majority_run(&s, two, two);
+        table.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            "majority".into(),
+            two.to_string(),
+            two.to_string(),
+            format!("{:.3}", out.coverage()),
+            out.wrong_accepts.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_at_low_quorum_is_forged_threshold_is_not() {
+        let s = lattice_scenario(2, 4, 1, 10);
+        let tmf1 = 11;
+        let low = majority_run(&s, tmf1, tmf1);
+        assert!(low.wrong_accepts > 0, "low-quorum majority must be forged");
+        let out = s.run_protocol_b(Adversary::PerReceiverOracle);
+        assert!(out.is_reliable());
+    }
+
+    #[test]
+    fn doubled_quorum_restores_safety() {
+        for &(r, mult, t, mf) in &[(1u32, 5u32, 1u32, 4u64), (2, 4, 2, 8)] {
+            let s = lattice_scenario(r, mult, t, mf);
+            let two = 2 * u64::from(t) * mf + 1;
+            let out = majority_run(&s, two, two);
+            assert!(out.is_correct(), "r={r}: wrong accepts {}", out.wrong_accepts);
+            assert!(out.is_complete(), "r={r}: coverage {}", out.coverage());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! EXP-E1 — energy and lifetime: what the message bounds buy.
+//!
+//! Converts the paper's message budgets into joules and battery
+//! lifetimes under a first-order Mica2-class radio model, for each of
+//! the three known-`mf` strategies plus Theorem 4's coded regime
+//! (where the unit is `K·L` sub-bit slots per message). The lifetime
+//! ratio B : Koo matches the paper's `½(r(2r+1)−t)` message saving.
+
+use bftbcast::coding::{segment, subbit::SubbitParams};
+use bftbcast::prelude::*;
+use bftbcast::protocols::bounds::theorem4_budget;
+use bftbcast::protocols::energy::{lifetime_comparison, EnergyModel};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let model = EnergyModel::mica2_default();
+    let bits = 128u64;
+
+    let mut life = Table::new(
+        "EXP-E1a: per-node lifetime (broadcast tasks per battery, 128-bit value, Mica2-class radio)",
+        &[
+            "r",
+            "t",
+            "mf",
+            "B quota",
+            "Koo quota",
+            "B lifetime",
+            "heter off-cross",
+            "Koo lifetime",
+            "B:Koo",
+        ],
+    );
+    for &(r, t, mf) in &[(1u32, 1u32, 50u64), (2, 1, 50), (2, 4, 50), (3, 2, 100), (4, 1, 1000)] {
+        let p = Params::new(r, t, mf);
+        let cmp = lifetime_comparison(&model, p, bits);
+        life.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            p.relay_quota().to_string(),
+            p.koo_budget().to_string(),
+            cmp.protocol_b.lifetime_broadcasts.to_string(),
+            cmp.heterogeneous_avg.lifetime_broadcasts.to_string(),
+            cmp.koo_baseline.lifetime_broadcasts.to_string(),
+            format!(
+                "{:.1}x",
+                cmp.protocol_b.lifetime_broadcasts as f64
+                    / cmp.koo_baseline.lifetime_broadcasts.max(1) as f64
+            ),
+        ]);
+    }
+
+    let mut coded = Table::new(
+        "EXP-E1b: Theorem 4's coded regime — energy per broadcast when mf is unknown",
+        &[
+            "k bits",
+            "K*L slots/msg",
+            "Thm4 msgs",
+            "mJ per broadcast",
+            "broadcasts/battery",
+            "within Thm4 budget",
+        ],
+    );
+    let (n, t, mf, mmax) = (10_000u64, 1u64, 50u64, 1u64 << 20);
+    for k in [16usize, 64, 128, 512] {
+        let big_k = segment::coded_len(k).expect("valid k") as u64;
+        let l = SubbitParams::for_network(n as usize, t as usize, mmax).len() as u64;
+        let msgs = 2 * (t * mf + 1);
+        let slots_per_msg = big_k * l;
+        let e = model
+            .with_range(2)
+            .broadcast_energy_j(msgs, slots_per_msg);
+        // The closed-form Theorem 4 budget counts sub-bit
+        // transmissions; for small k the real cascade exceeds the
+        // paper's K <= k + 2 log k + 2 (EXPERIMENTS.md finding 3), so
+        // the comparison is reported rather than asserted.
+        let bound = theorem4_budget(n, k as u64, t, mf, mmax);
+        coded.row(&[
+            k.to_string(),
+            slots_per_msg.to_string(),
+            msgs.to_string(),
+            format!("{:.2}", e * 1e3),
+            model
+                .with_range(2)
+                .broadcasts_per_battery(msgs, slots_per_msg)
+                .to_string(),
+            (msgs * slots_per_msg <= bound).to_string(),
+        ]);
+    }
+
+    vec![life, coded]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_ratio_tracks_the_message_saving() {
+        // The paper's saving is (2tmf+1)/relay_quota; the lifetime ratio
+        // must track it within rounding (rx load dilutes it slightly).
+        let model = EnergyModel::mica2_default();
+        let p = Params::new(3, 2, 100);
+        let cmp = lifetime_comparison(&model, p, 128);
+        let msg_saving = p.koo_budget() as f64 / p.relay_quota() as f64;
+        let life_ratio = cmp.protocol_b.lifetime_broadcasts as f64
+            / cmp.koo_baseline.lifetime_broadcasts.max(1) as f64;
+        assert!(
+            (life_ratio - msg_saving).abs() / msg_saving < 0.25,
+            "lifetime {life_ratio:.2} vs message saving {msg_saving:.2}"
+        );
+    }
+
+    #[test]
+    fn coded_regime_is_orders_of_magnitude_costlier() {
+        // Unknown mf costs ~K*L more bits per message — the quantified
+        // price of dropping the known-budget assumption.
+        let tables = run();
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[1].is_empty());
+    }
+}

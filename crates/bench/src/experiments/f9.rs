@@ -1,0 +1,259 @@
+//! EXP-F9 — Figure 9 / §5 coding scheme: overhead and detection.
+//!
+//! * Code length `K` vs the paper's bound `k + 2·log k + 2` and the
+//!   I-code's `2k` (the paper's comparison in §5): our cascade beats
+//!   I-code for every `k ≥ 16` (at `k = 8` the two-bit tail segments
+//!   still dominate), and the closed-form bound holds for large `k` but
+//!   not small (documented deviations, EXPERIMENTS.md).
+//! * Detection: every unidirectional flip set is caught (exhaustive for
+//!   small `k`); blind cancellation succeeds at the predicted
+//!   `1/(2^L − 1)` rate (Monte Carlo at small `L`).
+
+use bftbcast::coding::frame::{AttackMask, Frame};
+use bftbcast::coding::segment::{coded_len, paper_len_bound};
+use bftbcast::coding::subbit::{SubbitGroup, SubbitParams};
+use bftbcast::prelude::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut overhead = Table::new(
+        "EXP-F9: coded length K vs paper bound k+2logk+2 vs I-code 2k",
+        &["k", "K", "paper bound", "bound holds", "I-code 2k", "K < 2k"],
+    );
+    for k in [8usize, 16, 32, 64, 128, 256, 1024, 4096, 1 << 16] {
+        let kk = coded_len(k).expect("k >= 2");
+        let bound = paper_len_bound(k);
+        overhead.row(&[
+            k.to_string(),
+            kk.to_string(),
+            bound.to_string(),
+            (kk <= bound).to_string(),
+            (2 * k).to_string(),
+            (kk < 2 * k).to_string(),
+        ]);
+    }
+
+    // Detection of unidirectional tampering: exhaustive for k = 6.
+    let mut detect = Table::new(
+        "EXP-F9b: unidirectional flip detection (exhaustive, k = 6, all messages x all flip pairs)",
+        &["flip set size", "cases", "detected"],
+    );
+    for flips in 1..=2usize {
+        let (cases, detected) = exhaustive_detection(6, flips);
+        detect.row(&[
+            flips.to_string(),
+            cases.to_string(),
+            detected.to_string(),
+        ]);
+    }
+
+    // Cancellation probability at small L.
+    let mut cancel = Table::new(
+        "EXP-F9c: blind cancellation success rate vs model 1/(2^L-1) (60k trials each)",
+        &["L", "measured", "model", "paper 2^-L"],
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    for l in [3usize, 5, 8, 12] {
+        let params = SubbitParams::with_length(l);
+        let trials = 60_000u32;
+        let mask = (1u64 << l) - 1;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let g = SubbitGroup::encode_bit(true, params, &mut rng);
+            let guess = loop {
+                let x = rng.random::<u64>() & mask;
+                if x != 0 {
+                    break x;
+                }
+            };
+            if !g.xor_attack(guess).decode_bit() {
+                hits += 1;
+            }
+        }
+        cancel.row(&[
+            l.to_string(),
+            format!("{:.5}", f64::from(hits) / f64::from(trials)),
+            format!("{:.5}", params.p_cancel()),
+            format!("{:.5}", params.paper_p_biterr()),
+        ]);
+    }
+
+    // End-to-end frame integrity under injection. Injecting signal into
+    // a silent (0) group flips the bit and must be detected; injecting
+    // into a busy (1) group toggles one hidden sub-bit and is absorbed
+    // (the group stays non-empty), which is harmless — either way the
+    // payload is never corrupted undetected.
+    let mut frames = Table::new(
+        "EXP-F9d: single-sub-bit injections (k=32, L=24, 2000 frames):          detected when flipping a 0, absorbed when hitting a 1, never corrupting",
+        &["attack", "frames", "detected", "absorbed (no effect)", "undetected corruptions"],
+    );
+    let params = SubbitParams::with_length(24);
+    let payload: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+    let mut detected = 0u32;
+    let mut absorbed = 0u32;
+    let mut corrupted = 0u32;
+    let n_frames = 2000;
+    for _ in 0..n_frames {
+        let f = Frame::data(&payload, params, &mut rng);
+        let bit = rng.random_range(0..f.coded_bits());
+        let masks = AttackMask::new(f.coded_bits()).inject_one(bit).into_masks();
+        match f.attacked(&masks).decode_and_verify(params) {
+            Err(_) => detected += 1,
+            Ok(d) => {
+                if d.payload == payload {
+                    absorbed += 1;
+                } else {
+                    corrupted += 1;
+                }
+            }
+        }
+    }
+    frames.row(&[
+        "inject one sub-bit".into(),
+        n_frames.to_string(),
+        detected.to_string(),
+        absorbed.to_string(),
+        corrupted.to_string(),
+    ]);
+
+    // The refined cost model the paper defers to future work (section 5's
+    // closing paragraph): message length x per-message attack rate.
+    let mut cost = Table::new(
+        "EXP-F9e: refined cost model (paper's future work) — total sub-bit slots, \
+         AUED whole-frame retransmission vs I-code per-bit retransmission (L=8)",
+        &["k (flips/attack)", "attacks", "AUED slots", "I-code slots", "winner", "crossover (attacks)"],
+    );
+    use bftbcast::coding::cost::{aued_total_slots, crossover_attacks, icode_total_slots};
+    for k in [64usize, 256, 1024] {
+        // One physical collision can flip anywhere from a single I-code
+        // pair (cheap probing) to every pair in the frame (saturation);
+        // the winner depends on that, which is the refined model's
+        // actual answer.
+        for flips in [1u64, (k / 4) as u64, k as u64] {
+            let cross = crossover_attacks(k, 8, flips)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "never".into());
+            for attacks in [0u64, 1, 16] {
+                let a = aued_total_slots(k, 8, attacks);
+                let i = icode_total_slots(k, 8, attacks, flips);
+                cost.row(&[
+                    format!("{k} (f={flips})"),
+                    attacks.to_string(),
+                    a.to_string(),
+                    i.to_string(),
+                    if a <= i { "AUED" } else { "I-code" }.to_string(),
+                    cross.clone(),
+                ]);
+            }
+        }
+    }
+
+    // Reproduction finding 5: the all-zero forgery (see EXPERIMENTS.md).
+    let mut forgery = Table::new(
+        "EXP-F9f: the all-zero-message forgery (finding 5) — chain attack vs message content",
+        &["k", "message", "chain flips", "verdict"],
+    );
+    {
+        use bftbcast::coding::segment::{encode, segment_lengths, verify};
+        for k in [8usize, 32, 128] {
+            for (name, msg) in [
+                ("all-zero", vec![false; k]),
+                ("one-hot", {
+                    let mut m = vec![false; k];
+                    m[0] = true;
+                    m
+                }),
+            ] {
+                let coded = encode(&msg).unwrap();
+                let lens = segment_lengths(k).unwrap();
+                let mut tampered = coded.clone();
+                let mut start = 0;
+                let mut flips = 0;
+                for &len in &lens {
+                    if !tampered[start + len - 1] {
+                        tampered[start + len - 1] = true;
+                        flips += 1;
+                    }
+                    start += len;
+                }
+                let verdict = match verify(&tampered, k) {
+                    Ok(_) => "FORGED (accepted)",
+                    Err(_) => "detected",
+                };
+                forgery.row(&[
+                    k.to_string(),
+                    name.to_string(),
+                    flips.to_string(),
+                    verdict.to_string(),
+                ]);
+            }
+        }
+    }
+
+    vec![overhead, detect, cancel, frames, cost, forgery]
+}
+
+/// Exhaustively tampers every `k`-bit message's coded form with every
+/// unidirectional flip set of the given size; returns `(cases,
+/// detected)`.
+fn exhaustive_detection(k: usize, flips: usize) -> (u64, u64) {
+    use bftbcast::coding::segment::{encode, verify};
+    let mut cases = 0u64;
+    let mut detected = 0u64;
+    for m in 0..(1u32 << k) {
+        let msg: Vec<bool> = (0..k).rev().map(|b| (m >> b) & 1 == 1).collect();
+        let coded = encode(&msg).expect("k >= 2");
+        let zeros: Vec<usize> = (0..coded.len()).filter(|&i| !coded[i]).collect();
+        let mut idx = vec![0usize; flips];
+        // Iterate all strictly-increasing index tuples.
+        fn combos(zeros: &[usize], flips: usize, f: &mut impl FnMut(&[usize])) {
+            fn rec(zeros: &[usize], start: usize, cur: &mut Vec<usize>, left: usize, f: &mut impl FnMut(&[usize])) {
+                if left == 0 {
+                    f(cur);
+                    return;
+                }
+                for i in start..zeros.len() {
+                    cur.push(zeros[i]);
+                    rec(zeros, i + 1, cur, left - 1, f);
+                    cur.pop();
+                }
+            }
+            let mut cur = Vec::with_capacity(flips);
+            rec(zeros, 0, &mut cur, flips, f);
+        }
+        combos(&zeros, flips, &mut |set: &[usize]| {
+            let mut tampered = coded.clone();
+            for &i in set {
+                tampered[i] = true;
+            }
+            cases += 1;
+            if verify(&tampered, k).is_err() {
+                detected += 1;
+            }
+        });
+        idx.clear();
+    }
+    (cases, detected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_unidirectional_tampering_detected() {
+        for flips in 1..=2usize {
+            let (cases, detected) = exhaustive_detection(5, flips);
+            assert_eq!(cases, detected, "{flips}-flip sets must all be caught");
+        }
+    }
+
+    #[test]
+    fn code_shorter_than_icode_for_k_at_least_16() {
+        for k in [16usize, 64, 256, 1024] {
+            assert!(coded_len(k).unwrap() < 2 * k, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! EXP-L1 — broadcast latency profiles.
+//!
+//! The paper proves *whether* broadcast completes; a deployment also
+//! cares *when*. On the counting engine one wave is one protocol step
+//! (every newly-accepted node relays once), so waves-to-completion is
+//! the natural latency unit; without an adversary it equals the L∞
+//! eccentricity of the source, and the interesting question is how much
+//! the oracle adversary can stretch it. On the slot engine (Breactive)
+//! the unit is TDMA message rounds, where NACK-driven retransmission
+//! pays real time for reliability.
+
+use bftbcast::prelude::*;
+
+use super::{lattice_scenario, torus_side};
+
+/// Waves to completion for a protocol/adversary pair, or `None` if the
+/// run stalls.
+fn waves(s: &Scenario, proto: CountingProtocol, oracle: bool) -> Option<usize> {
+    let mut sim = s.counting_sim(proto);
+    let out = if oracle {
+        sim.run_oracle(s.params().mf)
+    } else {
+        let mut passive = bftbcast::adversary::Passive;
+        sim.run(&mut passive)
+    };
+    out.is_complete().then_some(out.waves)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-L1: waves to full coverage (counting engine; eccentricity = ideal)",
+        &[
+            "r",
+            "t",
+            "mf",
+            "torus",
+            "eccentricity",
+            "B passive",
+            "B oracle",
+            "Koo oracle",
+            "Bheter oracle",
+        ],
+    );
+    for &(r, mult, t, mf) in &[
+        (1u32, 5u32, 1u32, 4u64),
+        (2, 4, 1, 20),
+        (2, 4, 3, 10),
+        (3, 3, 2, 40),
+        (4, 3, 1, 100),
+    ] {
+        let s = lattice_scenario(r, mult, t, mf);
+        let p = s.params();
+        let side = torus_side(r, mult);
+        // Source at the origin of a torus: farthest node is at L∞
+        // distance side/2, reached in ceil((side/2)/r) hops.
+        let ecc = (side / 2).div_ceil(r);
+        let b = CountingProtocol::protocol_b(s.grid(), p);
+        let koo = CountingProtocol::koo_baseline(s.grid(), p);
+        let cross = Cross::paper_scale(0, 0, r);
+        let heter = CountingProtocol::heterogeneous(s.grid(), p, &cross);
+        let fmt = |w: Option<usize>| w.map_or("stall".into(), |w| w.to_string());
+        table.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            format!("{side}x{side}"),
+            ecc.to_string(),
+            fmt(waves(&s, b.clone(), false)),
+            fmt(waves(&s, b, true)),
+            fmt(waves(&s, koo, true)),
+            fmt(waves(&s, heter, true)),
+        ]);
+    }
+
+    let mut reactive = Table::new(
+        "EXP-L1b: Breactive rounds to completion (slot engine, mixed adversary, 5 seeds)",
+        &["r", "t", "torus", "jamming", "min rounds", "max rounds"],
+    );
+    for &(r, t, jam) in &[(1u32, 1u32, false), (1, 1, true), (2, 2, false), (2, 2, true)] {
+        let side = torus_side(r, 3);
+        let s = Scenario::builder(side, side, r)
+            .faults(t, 3)
+            .random_placement(2 * t as usize, 7)
+            .build()
+            .expect("valid scenario");
+        let adversary = if jam {
+            ReactiveAdversary::Jammer
+        } else {
+            ReactiveAdversary::Passive
+        };
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for seed in 0..5u64 {
+            let out = s.run_reactive(16, 1 << 10, adversary, seed);
+            assert!(out.is_reliable(), "reactive run failed");
+            lo = lo.min(out.rounds);
+            hi = hi.max(out.rounds);
+        }
+        reactive.row(&[
+            r.to_string(),
+            t.to_string(),
+            format!("{side}x{side}"),
+            jam.to_string(),
+            lo.to_string(),
+            hi.to_string(),
+        ]);
+    }
+
+    vec![table, reactive]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_latency_bracketed_by_eccentricity() {
+        // Eccentricity is a hard lower bound; the threshold rule makes
+        // diagonal-corner nodes accumulate tallies over a couple of
+        // waves, so even the passive run exceeds it — by at most 2x.
+        let s = lattice_scenario(2, 4, 1, 20);
+        let p = s.params();
+        let proto = CountingProtocol::protocol_b(s.grid(), p);
+        let side = torus_side(2, 4);
+        let ecc = (side / 2).div_ceil(2) as usize;
+        let w = waves(&s, proto, false).unwrap();
+        assert!(w >= ecc, "{w} < eccentricity {ecc}");
+        assert!(w <= 2 * ecc, "{w} > 2x eccentricity {ecc}");
+    }
+
+    #[test]
+    fn single_relayer_quota_makes_waves_equal_distance() {
+        // At r = 1, t = 1, mf = 4 the relay quota (9) exceeds the
+        // threshold (5), so one relayer suffices and the wave index
+        // equals L-infinity distance exactly.
+        // (Bad nodes never relay, so paths detour around the lattice:
+        // allow one extra wave over the empty-torus eccentricity.)
+        let s = lattice_scenario(1, 5, 1, 4);
+        let p = s.params();
+        let proto = CountingProtocol::protocol_b(s.grid(), p);
+        let side = torus_side(1, 5);
+        let ecc = (side / 2) as usize;
+        let w = waves(&s, proto, false).unwrap();
+        assert!(w == ecc || w == ecc + 1, "{w} vs eccentricity {ecc}");
+    }
+
+    #[test]
+    fn oracle_stretches_latency_but_not_by_much() {
+        // The oracle delays acceptances near the frontier corners, but
+        // protocol B's margins keep the stretch within 2x.
+        let s = lattice_scenario(2, 4, 1, 20);
+        let p = s.params();
+        let proto = CountingProtocol::protocol_b(s.grid(), p);
+        let passive = waves(&s, proto.clone(), false).unwrap();
+        let attacked = waves(&s, proto, true).unwrap();
+        assert!(attacked >= passive);
+        assert!(attacked <= 2 * passive, "{attacked} vs {passive}");
+    }
+}

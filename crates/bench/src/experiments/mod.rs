@@ -1,0 +1,65 @@
+//! One module per experiment (see DESIGN.md §6 for the index).
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod c1;
+pub mod e1;
+pub mod f2;
+pub mod f9;
+pub mod g1;
+pub mod g2;
+pub mod l1;
+pub mod t1;
+pub mod t2;
+pub mod t2b;
+pub mod t3;
+pub mod t4;
+pub mod x1;
+pub mod x2;
+pub mod x4;
+pub mod x5;
+pub mod x6;
+
+use bftbcast::prelude::*;
+
+/// A torus sized for radio range `r`: side `mult·(2r+1)` so both the
+/// spatial-reuse schedule and the lattice placement apply.
+pub(crate) fn torus_side(r: u32, mult: u32) -> u32 {
+    (2 * r + 1) * mult
+}
+
+/// Standard scenario: lattice placement, source at the origin.
+pub(crate) fn lattice_scenario(r: u32, mult: u32, t: u32, mf: u64) -> Scenario {
+    let side = torus_side(r, mult);
+    Scenario::builder(side, side, r)
+        .faults(t, mf)
+        .lattice_placement()
+        .build()
+        .expect("valid scenario")
+}
+
+/// Standard impossibility scenario: two stripes isolating a band of the
+/// torus (a single stripe does not separate a torus — see DESIGN.md).
+pub(crate) fn double_stripe_scenario(r: u32, mult: u32, t: u32, mf: u64) -> Scenario {
+    let side = torus_side(r, mult);
+    // Stripes at 1/3 and 2/3 of the torus height, far from the source.
+    let y_lo = side / 3;
+    let y_hi = 2 * side / 3 + r;
+    Scenario::builder(side, side, r)
+        .faults(t, mf)
+        .stripe_placement(&[(y_lo, t, true), (y_hi, t, false)])
+        .build()
+        .expect("valid scenario")
+}
+
+/// The rows strictly inside the band isolated by
+/// [`double_stripe_scenario`].
+pub(crate) fn band_rows(r: u32, mult: u32) -> std::ops::Range<u32> {
+    let side = torus_side(r, mult);
+    (side / 3 + r)..(2 * side / 3 + r)
+}
+
+pub(crate) fn fmt_f(x: f64) -> String {
+    format!("{x:.3}")
+}

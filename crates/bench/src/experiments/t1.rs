@@ -1,0 +1,137 @@
+//! EXP-T1 — Theorem 1 / Figure 1: the lower bound `m0`.
+//!
+//! A double-stripe adversary isolates a band of the torus. Under the
+//! paper's per-receiver accounting (oracle), every band node is starved
+//! **iff `m < m0`** — the threshold is exact. Under physical global
+//! budgets the greedy adversary is weaker (budget sharing across
+//! victims), which the second table quantifies: the reproduction finding
+//! of EXPERIMENTS.md.
+
+use bftbcast::prelude::*;
+
+use super::{band_rows, double_stripe_scenario, fmt_f};
+
+/// Sweep points: `(r, mult, t, mf)`.
+const POINTS: &[(u32, u32, u32, u64)] = &[
+    (1, 5, 1, 10),
+    (1, 5, 1, 100),
+    (1, 5, 2, 50),
+    (2, 4, 1, 50),
+    (2, 4, 3, 40),
+    (2, 4, 5, 25),
+];
+
+fn band_starved(scenario: &Scenario, r: u32, mult: u32, m: u64, oracle: bool) -> (f64, bool) {
+    let proto = CountingProtocol::starved(scenario.grid(), scenario.params(), m);
+    let mut sim = scenario.counting_sim(proto);
+    let out = if oracle {
+        sim.run_oracle(scenario.params().mf)
+    } else {
+        sim.run(&mut bftbcast::adversary::GreedyFrontier::forward())
+    };
+    let grid = scenario.grid();
+    let mut starved = true;
+    for y in band_rows(r, mult) {
+        for x in 0..grid.width() {
+            let id = grid.id_at(x, y);
+            if sim.is_good(id) && sim.accepted(id).is_some() {
+                starved = false;
+            }
+        }
+    }
+    (out.coverage(), starved)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut exact = Table::new(
+        "EXP-T1: double-stripe starvation vs m (per-receiver oracle) — \
+         paper: starved iff m < m0",
+        &["r", "t", "mf", "m0", "m", "coverage", "band starved", "matches Thm 1"],
+    );
+    let mut physical = Table::new(
+        "EXP-T1b: same sweep, physical global-budget greedy adversary \
+         (reproduction finding: weaker than the proof's accounting)",
+        &["r", "t", "mf", "m0", "m", "coverage", "band starved"],
+    );
+
+    for &(r, mult, t, mf) in POINTS {
+        let scenario = double_stripe_scenario(r, mult, t, mf);
+        let m0 = scenario.params().m0();
+        // Probe below, at, and above the threshold.
+        for m in [m0.saturating_sub(2).max(1), m0 - 1, m0, m0 + 1, 2 * m0] {
+            let (coverage, starved) = band_starved(&scenario, r, mult, m, true);
+            let predicted = m < m0;
+            exact.row(&[
+                r.to_string(),
+                t.to_string(),
+                mf.to_string(),
+                m0.to_string(),
+                m.to_string(),
+                fmt_f(coverage),
+                starved.to_string(),
+                (starved == predicted).to_string(),
+            ]);
+            let (coverage, starved) = band_starved(&scenario, r, mult, m, false);
+            physical.row(&[
+                r.to_string(),
+                t.to_string(),
+                mf.to_string(),
+                m0.to_string(),
+                m.to_string(),
+                fmt_f(coverage),
+                starved.to_string(),
+            ]);
+        }
+    }
+    // Finding 1 quantified: the largest m the *physical* greedy can
+    // still starve, vs the paper's m0 (which assumes per-receiver
+    // capacity). The gap is the budget-sharing loss.
+    // Our greedy is a heuristic, so the measured value is a *lower*
+    // bound on the physical adversary's true threshold; the oracle
+    // result pins the upper bound at m0 - 1. The truth lies between.
+    let mut gap = Table::new(
+        "EXP-T1c: empirical starvation threshold, physical greedy (lower bound) vs paper's m0",
+        &["r", "t", "mf", "m0 (paper)", "greedy starves up to m", "ratio"],
+    );
+    for &(r, mult, t, mf) in POINTS {
+        let scenario = double_stripe_scenario(r, mult, t, mf);
+        let m0 = scenario.params().m0();
+        // Scan downward from m0 - 1 for the physical threshold.
+        let mut phys = 0u64;
+        for m in (1..m0).rev() {
+            let (_, starved) = band_starved(&scenario, r, mult, m, false);
+            if starved {
+                phys = m;
+                break;
+            }
+        }
+        gap.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            m0.to_string(),
+            phys.to_string(),
+            fmt_f(phys as f64 / m0 as f64),
+        ]);
+    }
+    vec![exact, physical, gap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_threshold_is_exactly_m0() {
+        let tables = run();
+        // The first table's last column records agreement with Theorem 1.
+        for row in tables[0].rows() {
+            assert_eq!(
+                row.last().map(String::as_str),
+                Some("true"),
+                "sweep point contradicts Theorem 1 under the oracle: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! EXP-T2b — §1.3/§3 cost claim: protocol B is `½(r(2r+1) − t)` times
+//! cheaper than the Koo et al. (PODC'06) baseline.
+//!
+//! Pure bound arithmetic plus a measured check that both protocols
+//! actually succeed at their stated budgets.
+
+use bftbcast::prelude::*;
+
+use super::{fmt_f, lattice_scenario};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-T2b: per-node budget vs the Koo-PODC'06 baseline (mf = 1000)",
+        &[
+            "r",
+            "t",
+            "baseline m=2tmf+1",
+            "ours m=2m0",
+            "measured ratio",
+            "claimed (r(2r+1)-t)/2",
+        ],
+    );
+    let mf = 1000u64;
+    for (r, t_list) in [(1u32, vec![1u32, 2]), (2, vec![1, 4, 9]), (3, vec![1, 10]), (4, vec![1, 17, 35])] {
+        for t in t_list {
+            let p = Params::new(r, t, mf);
+            table.row(&[
+                r.to_string(),
+                t.to_string(),
+                p.koo_budget().to_string(),
+                p.sufficient_budget().to_string(),
+                fmt_f(p.actual_baseline_ratio()),
+                fmt_f(p.claimed_baseline_ratio()),
+            ]);
+        }
+    }
+
+    // Measured: both succeed; per-node copies actually sent.
+    let mut measured = Table::new(
+        "EXP-T2b (measured): average copies sent per good node to reach full coverage",
+        &["r", "t", "mf", "protocol", "coverage", "avg copies/node"],
+    );
+    for &(r, mult, t, mf) in &[(2u32, 4u32, 1u32, 50u64), (2, 4, 4, 30)] {
+        let s = lattice_scenario(r, mult, t, mf);
+        let b = s.run_protocol_b(Adversary::PerReceiverOracle);
+        let k = s.run_koo_baseline(Adversary::PerReceiverOracle);
+        for (name, out) in [("B (2m0)", &b), ("Koo (2tmf+1)", &k)] {
+            measured.row(&[
+                r.to_string(),
+                t.to_string(),
+                mf.to_string(),
+                name.to_string(),
+                fmt_f(out.coverage()),
+                fmt_f(out.avg_copies_per_good()),
+            ]);
+        }
+    }
+    vec![table, measured]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_within_half_unit_of_claim() {
+        // Ceilings make the measured ratio at most the claim and no less
+        // than half of it.
+        for r in 1..5u32 {
+            for t in [1u32, r * (2 * r + 1) - 1] {
+                let p = Params::new(r, t, 1000);
+                let actual = p.actual_baseline_ratio();
+                let claimed = p.claimed_baseline_ratio();
+                assert!(actual <= claimed + 1e-9, "r={r} t={t}");
+                assert!(actual >= claimed / 2.0 - 1e-9, "r={r} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_and_b_both_reliable() {
+        let s = lattice_scenario(2, 4, 1, 50);
+        assert!(s.run_protocol_b(Adversary::PerReceiverOracle).is_reliable());
+        assert!(s.run_koo_baseline(Adversary::PerReceiverOracle).is_reliable());
+    }
+}

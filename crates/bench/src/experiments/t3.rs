@@ -1,0 +1,117 @@
+//! EXP-T3 — Theorem 3 / Figure 5: heterogeneous budgets.
+//!
+//! With `mf` large (the Figure 2 regime) a homogeneous budget of `m0`
+//! is *not* enough: the nodes just outside the decided square's edges
+//! have too few suppliers (`~r(2r−1)·m0 ≤ 2·t·mf`), and the
+//! per-receiver oracle blocks them — the exact obstacle Figure 2
+//! illustrates. Boosting only
+//! the cross-shaped area to `m' ≈ 2·m0` (protocol Bheter) restores full
+//! coverage while the *average* budget stays near `m0`.
+//!
+//! Scale note (see DESIGN.md §5): the paper's cross spans a `778r²`
+//! square; we run reduced-extent tori where the cross arms span the
+//! torus. The constants of the full-scale induction are verified
+//! exactly in `bftbcast-geometry` (EXP-G1/G2).
+
+use bftbcast::net::Cross;
+use bftbcast::prelude::*;
+
+use super::{fmt_f, lattice_scenario};
+
+/// Sweep points: `(r, mult, t, mf)` where homogeneous `m0` exhibits the
+/// corner problem (needs `mf` large relative to `m0`, like the paper's
+/// Figure 2 setting — at small `r` the frontier intake exceeds `2·t·mf`
+/// and nothing stalls).
+const POINTS: &[(u32, u32, u32, u64)] = &[(3, 7, 1, 500), (4, 5, 1, 1000), (4, 11, 1, 1000)];
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-T3: homogeneous m0 vs Bheter (cross m') vs homogeneous 2m0, per-receiver oracle",
+        &[
+            "r",
+            "torus",
+            "t",
+            "mf",
+            "protocol",
+            "coverage",
+            "avg budget/node",
+            "vs 2m0 savings",
+        ],
+    );
+    for &(r, mult, t, mf) in POINTS {
+        let s = lattice_scenario(r, mult, t, mf);
+        let p = s.params();
+        let grid = s.grid();
+        let cross = Cross::spanning(grid, 0, 0, 2 * r);
+        let m0_avg = p.m0() as f64;
+        let two_m0 = p.sufficient_budget() as f64;
+
+        let homogeneous_m0 = {
+            let proto = CountingProtocol::starved(grid, p, p.m0());
+            let mut sim = s.counting_sim(proto);
+            sim.run_oracle(mf)
+        };
+        let heter = s.run_heterogeneous(&cross, Adversary::PerReceiverOracle);
+        let heter_avg = CountingProtocol::heterogeneous(grid, p, &cross)
+            .average_budget(grid.nodes().filter(|id| !s.bad_nodes().contains(id)));
+        let b = s.run_protocol_b(Adversary::PerReceiverOracle);
+
+        for (name, out, avg) in [
+            ("homogeneous m0", &homogeneous_m0, m0_avg),
+            ("Bheter (cross m')", &heter, heter_avg),
+            ("homogeneous 2m0", &b, two_m0),
+        ] {
+            table.row(&[
+                r.to_string(),
+                format!("{}x{}", grid.width(), grid.height()),
+                t.to_string(),
+                mf.to_string(),
+                name.to_string(),
+                fmt_f(out.coverage()),
+                fmt_f(avg),
+                format!("{:.1}%", 100.0 * (1.0 - avg / two_m0)),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_problem_blocks_homogeneous_m0() {
+        let (r, mult, t, mf) = POINTS[0];
+        let s = lattice_scenario(r, mult, t, mf);
+        let proto = CountingProtocol::starved(s.grid(), s.params(), s.params().m0());
+        let mut sim = s.counting_sim(proto);
+        let out = sim.run_oracle(mf);
+        assert!(
+            !out.is_complete(),
+            "m0 alone should hit the corner problem, coverage {}",
+            out.coverage()
+        );
+    }
+
+    #[test]
+    fn bheter_restores_full_coverage_cheaply() {
+        for &(r, mult, t, mf) in POINTS {
+            let s = lattice_scenario(r, mult, t, mf);
+            let cross = Cross::spanning(s.grid(), 0, 0, 2 * r);
+            let out = s.run_heterogeneous(&cross, Adversary::PerReceiverOracle);
+            assert!(
+                out.is_reliable(),
+                "Bheter failed at r={r} mult={mult}: {}",
+                out.coverage()
+            );
+            let avg = CountingProtocol::heterogeneous(s.grid(), s.params(), &cross)
+                .average_budget(s.grid().nodes());
+            assert!(
+                avg < s.params().sufficient_budget() as f64,
+                "heterogeneous must be cheaper than 2m0 on average"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! EXP-T4 — Theorem 4: protocol Breactive with unknown `mf`.
+//!
+//! Full slot-engine runs: coded frames, NACK-driven retransmission,
+//! certified propagation. Sweeps `t` up to the `½r(2r+1)` threshold and
+//! the adversary arsenal; reports the measured worst per-node cost in
+//! sub-bit slots against Theorem 4's closed-form budget, and the
+//! empirical reliability against the `1 − 1/n` target.
+
+use bftbcast::prelude::*;
+
+use super::{fmt_f, torus_side};
+
+fn reactive_scenario(r: u32, mult: u32, t: u32, mf: u64, seed: u64) -> Scenario {
+    let side = torus_side(r, mult);
+    // Enough bad nodes to exercise t per neighborhood without violating
+    // the bound.
+    let want = (side as usize * side as usize) / 12;
+    Scenario::builder(side, side, r)
+        .faults(t, mf)
+        .random_placement(want, seed)
+        .build()
+        .expect("valid scenario")
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-T4: Breactive (slot engine, k=16, mmax=2^16) — cost vs Theorem 4 budget",
+        &[
+            "r",
+            "t",
+            "mf",
+            "adversary",
+            "reliable",
+            "rounds",
+            "max msgs/node",
+            "max subbits/node",
+            "thm4 budget",
+            "within budget",
+        ],
+    );
+    let mmax = 1u64 << 16;
+    let k = 16u64;
+    let points: &[(u32, u32, u32, u64)] = &[
+        (1, 5, 1, 4),
+        (1, 5, 1, 12),
+        (2, 3, 2, 4),
+        (2, 3, 4, 3),
+    ];
+    for &(r, mult, t, mf) in points {
+        assert!(u64::from(t) <= reactive_max_t(r), "t must stay below r(2r+1)/2");
+        for adversary in [
+            ReactiveAdversary::Passive,
+            ReactiveAdversary::Jammer,
+            ReactiveAdversary::NackForger,
+            ReactiveAdversary::Mixed,
+        ] {
+            let s = reactive_scenario(r, mult, t, mf, 1000 + u64::from(r));
+            let n = s.grid().node_count() as u64;
+            let out = s.run_reactive(k as usize, mmax, adversary, 7);
+            let budget = theorem4_budget(n, k, u64::from(t), mf, mmax);
+            table.row(&[
+                r.to_string(),
+                t.to_string(),
+                mf.to_string(),
+                format!("{adversary:?}"),
+                out.is_reliable().to_string(),
+                out.rounds.to_string(),
+                out.max_node_messages.to_string(),
+                out.max_node_subbit_cost().to_string(),
+                budget.to_string(),
+                (out.max_node_subbit_cost() <= budget).to_string(),
+            ]);
+        }
+    }
+
+    // Reliability across seeds (the 1 - 1/n claim).
+    let mut rel = Table::new(
+        "EXP-T4b: reliability over 20 seeds (r=1, t=1, mf=8, Mixed adversary)",
+        &["seeds", "reliable runs", "undetected corruptions", "target"],
+    );
+    let seeds: Vec<u64> = (0..20).collect();
+    let results = sweep(&seeds, |&seed| {
+        let s = reactive_scenario(1, 5, 1, 8, 77);
+        s.run_reactive(16, mmax, ReactiveAdversary::Mixed, seed)
+    });
+    let reliable = results.iter().filter(|o| o.is_reliable()).count();
+    let undetected: u64 = results.iter().map(|o| o.undetected_corruptions).sum();
+    rel.row(&[
+        seeds.len().to_string(),
+        reliable.to_string(),
+        undetected.to_string(),
+        format!("> {}", fmt_f(1.0 - 1.0 / 225.0)),
+    ]);
+    vec![table, rel]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactive_reliable_and_within_budget() {
+        let s = reactive_scenario(1, 5, 1, 4, 1001);
+        let out = s.run_reactive(16, 1 << 16, ReactiveAdversary::Jammer, 3);
+        assert!(out.is_reliable(), "uncommitted: {:?}", out.uncommitted);
+        let budget = theorem4_budget(225, 16, 1, 4, 1 << 16);
+        assert!(
+            out.max_node_subbit_cost() <= budget,
+            "{} > {budget}",
+            out.max_node_subbit_cost()
+        );
+    }
+
+    #[test]
+    fn reliability_across_seeds() {
+        for seed in 0..5u64 {
+            let s = reactive_scenario(1, 5, 1, 6, 88);
+            let out = s.run_reactive(16, 1 << 16, ReactiveAdversary::Mixed, seed);
+            assert!(out.is_reliable(), "seed {seed}: {:?}", out.uncommitted);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! EXP-X1 — charting the paper's open region `m ∈ (m0, 2m0)`.
+//!
+//! The paper's conclusion: "the presented results leave an uncertain
+//! region of m ∈ (m0, 2m0) for which it is unclear whether the broadcast
+//! task is possible. It is therefore of interest to investigate tighter
+//! bounds for this problem." This experiment investigates empirically,
+//! under the per-receiver oracle (the model of the paper's own proofs):
+//! for each adversary family we find the **largest** `m` it can still
+//! stall, scanning the whole region.
+//!
+//! Result (see EXPERIMENTS.md): the known constructions only block a
+//! thin band above `m0` — the stripe exactly `m0 − 1`, the Figure 2
+//! lattice at most ~12% into the region (64 vs `m0 = 58` at the
+//! Figure 2 parameters, against `2m0 = 116`) and nothing at all for
+//! small `r` — evidence that the true threshold sits near `m0`, not
+//! near `2m0`.
+
+use bftbcast::prelude::*;
+
+use super::{double_stripe_scenario, lattice_scenario};
+
+/// Largest `m` in `[lo, hi]` for which the scenario's oracle run is
+/// incomplete, if any (linear scan from the top — the region is small
+/// and runs are sub-millisecond).
+fn max_stalled_m(s: &Scenario, lo: u64, hi: u64) -> Option<u64> {
+    (lo..=hi).rev().find(|&m| {
+        let proto = CountingProtocol::starved(s.grid(), s.params(), m);
+        let mut sim = s.counting_sim(proto);
+        !sim.run_oracle(s.params().mf).is_complete()
+    })
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "EXP-X1: the open region (m0, 2m0) — largest m each adversary family stalls \
+         (per-receiver oracle)",
+        &[
+            "r",
+            "t",
+            "mf",
+            "m0",
+            "2m0",
+            "stripe stalls up to",
+            "lattice stalls up to",
+            "region blocked",
+        ],
+    );
+    // (r, mult, t, mf) — chosen so both families are applicable.
+    let points: &[(u32, u32, u32, u64)] = &[
+        (2, 4, 1, 50),
+        (2, 4, 3, 40),
+        (3, 3, 1, 500),
+        (4, 3, 1, 1000),
+        (4, 3, 2, 600),
+    ];
+    for &(r, mult, t, mf) in points {
+        let stripe = double_stripe_scenario(r, mult, t, mf);
+        let lattice = lattice_scenario(r, mult, t, mf);
+        let p = stripe.params();
+        let (m0, two_m0) = (p.m0(), p.sufficient_budget());
+        let stripe_max = max_stalled_m(&stripe, 1, two_m0 - 1);
+        let lattice_max = max_stalled_m(&lattice, 1, two_m0 - 1);
+        let best = stripe_max.unwrap_or(0).max(lattice_max.unwrap_or(0));
+        let blocked_fraction = if best >= m0 && two_m0 > m0 {
+            (best - m0 + 1) as f64 / (two_m0 - m0) as f64
+        } else {
+            0.0
+        };
+        table.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            m0.to_string(),
+            two_m0.to_string(),
+            stripe_max.map_or("-".into(), |m| m.to_string()),
+            lattice_max.map_or("-".into(), |m| m.to_string()),
+            format!("{:.1}%", 100.0 * blocked_fraction),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_stalls_exactly_up_to_m0_minus_1() {
+        let s = double_stripe_scenario(2, 4, 1, 50);
+        let p = s.params();
+        assert_eq!(
+            max_stalled_m(&s, 1, p.sufficient_budget()),
+            Some(p.m0() - 1)
+        );
+    }
+
+    #[test]
+    fn lattice_blocks_only_a_thin_band_at_figure2_params() {
+        let s = lattice_scenario(4, 3, 1, 1000);
+        let p = s.params();
+        let max = max_stalled_m(&s, 1, p.sufficient_budget() - 1).expect("stalls near m0");
+        // Figure 2 blocks m = 59; the band ends shortly after.
+        assert!(max >= p.m0(), "must cover at least m0 = {}", p.m0());
+        assert!(
+            max < p.m0() + p.m0() / 4,
+            "the blocked band should be thin: {max} vs m0 {}",
+            p.m0()
+        );
+    }
+
+    #[test]
+    fn nothing_in_the_open_region_is_blocked_at_small_r() {
+        // At r = 2, t = 1 the lattice cannot block anything at or above
+        // m0 (the frontier intake beats 2*t*mf immediately).
+        let s = lattice_scenario(2, 4, 1, 50);
+        let p = s.params();
+        let max = max_stalled_m(&s, p.m0(), p.sufficient_budget() - 1);
+        assert_eq!(max, None);
+    }
+}

@@ -1,0 +1,163 @@
+//! EXP-X4 — source-neighborhood agreement under a faulty base station
+//! (the case the paper defers to \[14\], §1.2).
+//!
+//! Two modes are measured over a grid of colluder capacity schedules
+//! (121 attack points per configuration):
+//!
+//! * the **cheap** three-phase propose/echo/confirm protocol — validity
+//!   always holds; agreement holds on most of the sweep but a window of
+//!   schedules splits the neighborhood by suppressing marginal conflict
+//!   evidence (a finding of this reproduction);
+//! * the **proven** vector mode — agreement is deterministic (margin
+//!   `t + 1` plurality over consistently-delivered proposal vectors) at
+//!   a `Θ((2r+1)²)` message-cost multiplier.
+
+use bftbcast::net::{Grid, NodeId, Value};
+use bftbcast::protocols::agreement::{proven_max_t, proven_member_cost, AgreementConfig};
+use bftbcast::prelude::{Params, Table};
+use bftbcast::sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
+
+/// Builds the standard EXP-X4 instance: centered source, `t` colluders
+/// in a row just above it.
+pub fn instance(r: u32, t: u32, mf: u64) -> AgreementSim {
+    let side = 6 * r + 3;
+    let grid = Grid::new(side, side, r).expect("valid grid");
+    let c = side / 2;
+    let source = grid.id_at(c, c);
+    let bad: Vec<NodeId> = (0..t)
+        .map(|i| {
+            let w = grid.wrap(i64::from(c) + i64::from(i) - 1, i64::from(c) + 1);
+            grid.id_of(w)
+        })
+        .collect();
+    let cfg = AgreementConfig::paper_margins(Params::new(r, t, mf));
+    AgreementSim::new(grid, cfg, source, &bad)
+}
+
+/// The 11×11 grid of capacity schedules used throughout.
+pub fn attack_schedules() -> Vec<SplitAttack> {
+    let mut out = Vec::new();
+    for p1 in 0..=10 {
+        for pe in 0..=10 {
+            out.push(SplitAttack {
+                value_a: Value(2),
+                value_b: Value(3),
+                phase1_fraction: f64::from(p1) / 10.0,
+                echo_fraction: f64::from(pe) / 10.0,
+            });
+        }
+    }
+    out
+}
+
+/// Sweep one configuration; returns (cheap splits, proven splits,
+/// validity failures, total schedules).
+pub fn sweep_point(r: u32, t: u32, mf: u64) -> (usize, usize, usize, usize) {
+    let base = instance(r, t, mf);
+    let cfg = AgreementConfig::paper_margins(Params::new(r, t, mf));
+    let mut cheap_splits = 0;
+    let mut proven_splits = 0;
+    let mut validity_failures = 0;
+    let schedules = attack_schedules();
+    for attack in &schedules {
+        let mut sim = base.clone();
+        let split = SourceBehavior::even_split(&cfg, Value(2), Value(3));
+        if !sim.run(split.clone(), *attack).agreement_holds() {
+            cheap_splits += 1;
+        }
+        let mut sim = base.clone();
+        if !sim.run_proven(split, *attack).agreement_holds() {
+            proven_splits += 1;
+        }
+        let mut sim = base.clone();
+        if !sim.run(SourceBehavior::Correct, *attack).validity_holds() {
+            validity_failures += 1;
+        }
+    }
+    (cheap_splits, proven_splits, validity_failures, schedules.len())
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut costs = Table::new(
+        "EXP-X4a: agreement margins and per-member costs",
+        &[
+            "r",
+            "t",
+            "mf",
+            "source copies",
+            "echo quota",
+            "relay quota (Thm 2)",
+            "cheap cost",
+            "proven cost",
+            "proven t max",
+        ],
+    );
+    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 20), (3, 2, 50), (4, 1, 1000)] {
+        let p = Params::new(r, t, mf);
+        let cfg = AgreementConfig::paper_margins(p);
+        costs.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            cfg.source_copies.to_string(),
+            cfg.echo_quota.to_string(),
+            p.relay_quota().to_string(),
+            cfg.member_cost().to_string(),
+            proven_member_cost(p).to_string(),
+            proven_max_t(r).to_string(),
+        ]);
+    }
+
+    let mut sweep = Table::new(
+        "EXP-X4b: equivocation sweep — 121 colluder schedules per row, even-split source",
+        &[
+            "r",
+            "t",
+            "mf",
+            "cheap splits",
+            "proven splits",
+            "validity failures",
+        ],
+    );
+    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 1, 20), (2, 2, 20), (3, 2, 50)] {
+        let (cheap, proven, validity, total) = sweep_point(r, t, mf);
+        sweep.row(&[
+            r.to_string(),
+            t.to_string(),
+            mf.to_string(),
+            format!("{cheap}/{total}"),
+            format!("{proven}/{total}"),
+            format!("{validity}/{total}"),
+        ]);
+    }
+
+    vec![costs, sweep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proven_mode_never_splits_and_validity_always_holds() {
+        for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 20)] {
+            let (_, proven, validity, _) = sweep_point(r, t, mf);
+            assert_eq!(proven, 0, "r={r} t={t} mf={mf}");
+            assert_eq!(validity, 0, "r={r} t={t} mf={mf}");
+        }
+    }
+
+    #[test]
+    fn cheap_mode_split_window_exists_at_r2() {
+        let (cheap, _, _, total) = sweep_point(2, 1, 10);
+        assert!(cheap > 0, "the split window is a documented finding");
+        assert!(cheap < total / 2, "splits are a minority of schedules");
+    }
+
+    #[test]
+    fn r1_is_unsplittable_even_in_cheap_mode() {
+        let (cheap, _, _, _) = sweep_point(1, 1, 5);
+        assert_eq!(cheap, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The benchmark harness: one experiment per figure/theorem of the
+//! paper, each regenerating the corresponding construction or bound as
+//! a printable table (see `EXPERIMENTS.md` for the index and the
+//! paper-vs-measured record).
+//!
+//! Every experiment is a pure function returning [`Table`]s so it can be
+//! driven both by the `exp` binary (`cargo run -p bftbcast-bench --bin
+//! exp -- all`) and by the criterion benches (`cargo bench`), which
+//! print the tables and then time the underlying engine work.
+
+pub mod experiments;
+
+pub use bftbcast::prelude::Table;
+
+/// All experiment ids, in DESIGN.md order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "t1", "f2", "t2", "t2b", "c1", "t3", "g1", "g2", "f9", "t4", "a1", "a2", "a3", "e1", "l1", "x1", "x2",
+    "x4", "x5", "x6",
+];
+
+/// Runs one experiment by id, returning its report tables.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the `exp` binary validates first).
+pub fn run_experiment(id: &str) -> Vec<Table> {
+    match id {
+        "t1" => experiments::t1::run(),
+        "f2" => experiments::f2::run(),
+        "t2" => experiments::t2::run(),
+        "t2b" => experiments::t2b::run(),
+        "c1" => experiments::c1::run(),
+        "t3" => experiments::t3::run(),
+        "g1" => experiments::g1::run(),
+        "g2" => experiments::g2::run(),
+        "f9" => experiments::f9::run(),
+        "t4" => experiments::t4::run(),
+        "a1" => experiments::a1::run(),
+        "a2" => experiments::a2::run(),
+        "a3" => experiments::a3::run(),
+        "e1" => experiments::e1::run(),
+        "l1" => experiments::l1::run(),
+        "x1" => experiments::x1::run(),
+        "x2" => experiments::x2::run(),
+        "x4" => experiments::x4::run(),
+        "x5" => experiments::x5::run(),
+        "x6" => experiments::x6::run(),
+        other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),
+    }
+}

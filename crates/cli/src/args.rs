@@ -1,0 +1,173 @@
+//! A small flag parser: `--key value` pairs plus positional words, no
+//! external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments: a subcommand, positional words and
+/// `--key value` flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional word, if any (the subcommand).
+    pub command: Option<String>,
+    /// Remaining positional words.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// A parse or lookup error, ready for user display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` appeared with no following value.
+    MissingValue(String),
+    /// A required flag was absent.
+    MissingFlag(String),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// Expected shape, e.g. "an integer".
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgsError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ArgsError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value:?}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::MissingValue`] when a `--flag` is the final token or
+    /// is directly followed by another `--flag`.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => return Err(ArgsError::MissingValue(name.to_string())),
+                };
+                out.flags.insert(name.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The raw value of a flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::MissingFlag`] when absent.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgsError> {
+        self.get(flag)
+            .ok_or_else(|| ArgsError::MissingFlag(flag.to_string()))
+    }
+
+    /// An optional integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Invalid`] when present but unparseable.
+    pub fn int_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::Invalid {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// A required integer flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::MissingFlag`] or [`ArgsError::Invalid`].
+    pub fn int<T: std::str::FromStr>(&self, flag: &str) -> Result<T, ArgsError> {
+        let v = self.require(flag)?;
+        v.parse().map_err(|_| ArgsError::Invalid {
+            flag: flag.to_string(),
+            value: v.to_string(),
+            expected: "a number",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = Args::parse(["run", "--r", "2", "--mf", "10", "extra"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("r"), Some("2"));
+        assert_eq!(a.int::<u64>("mf").unwrap(), 10);
+        assert_eq!(a.positional, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            Args::parse(["run", "--r"]),
+            Err(ArgsError::MissingValue("r".into()))
+        );
+        assert_eq!(
+            Args::parse(["run", "--r", "--t", "1"]),
+            Err(ArgsError::MissingValue("r".into()))
+        );
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = Args::parse(["bounds", "--r", "3"]).unwrap();
+        assert_eq!(a.int_or("t", 1u32).unwrap(), 1);
+        assert_eq!(a.int::<u32>("r").unwrap(), 3);
+        assert!(matches!(a.int::<u32>("mf"), Err(ArgsError::MissingFlag(_))));
+    }
+
+    #[test]
+    fn invalid_numbers_are_reported() {
+        let a = Args::parse(["bounds", "--r", "abc"]).unwrap();
+        let err = a.int::<u32>("r").unwrap_err();
+        assert!(err.to_string().contains("expected a number"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, None);
+    }
+}

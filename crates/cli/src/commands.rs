@@ -1,0 +1,472 @@
+//! The CLI subcommands. Each returns the text to print, so everything
+//! is unit-testable without spawning processes.
+
+use std::fmt::Write as _;
+
+use bftbcast::prelude::*;
+use bftbcast::protocols::agreement::{proven_max_t, proven_member_cost};
+use bftbcast::protocols::bounds;
+use bftbcast::sim::render;
+
+use crate::args::{Args, ArgsError};
+
+/// A user-facing command error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgsError),
+    /// A scenario could not be built.
+    Scenario(ScenarioError),
+    /// Free-form validation error.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Scenario(e) => write!(f, "{e}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+
+impl From<bftbcast::net::NetError> for CliError {
+    fn from(e: bftbcast::net::NetError) -> Self {
+        CliError::Scenario(ScenarioError::Net(e))
+    }
+}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+bftbcast — message-efficient Byzantine fault-tolerant broadcast (ICDCS 2010)
+
+USAGE:
+  bftbcast <command> [--flag value ...]
+
+COMMANDS:
+  bounds     --r R --t T --mf MF [--n N --k K]
+             print every closed-form bound of the paper for one parameter set
+  run        [--side S --r R --t T --mf MF --protocol b|koo|heter|starved
+              --m M --placement lattice|stripes|random|bernoulli|none
+              --p RATE --count N --seed SEED --adversary oracle|greedy|chaos|passive]
+             run one broadcast and report the outcome
+  map        run options plus [--svg FILE]: render the acceptance map
+             (ASCII to stdout, or an SVG heat map to FILE)
+  exp        [ids...]: regenerate paper experiments (default: all);
+             see DESIGN.md section 6 for the index
+  code       --k K [--n N --t T --mmax M]: AUED code lengths and
+             sub-bit parameters for a k-bit message
+  agreement  --r R --t T --mf MF [--mode cheap|proven --source correct|split|silent]
+             run source-neighborhood agreement and report decisions
+
+Every run is deterministic given --seed.";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Any [`CliError`]; the binary prints it and exits non-zero.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_deref() {
+        None | Some("help") => Ok(USAGE.to_string()),
+        Some("bounds") => cmd_bounds(args),
+        Some("run") => cmd_run(args),
+        Some("map") => cmd_map(args),
+        Some("exp") => cmd_exp(args),
+        Some("code") => cmd_code(args),
+        Some("agreement") => cmd_agreement(args),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown command {other:?}; run `bftbcast help`"
+        ))),
+    }
+}
+
+fn cmd_bounds(args: &Args) -> Result<String, CliError> {
+    let r: u32 = args.int("r")?;
+    let t: u32 = args.int("t")?;
+    let mf: u64 = args.int("mf")?;
+    let n: u64 = args.int_or("n", 10_000u64)?;
+    let k: u64 = args.int_or("k", 128u64)?;
+    if r == 0 {
+        return Err(CliError::Other("--r must be positive".into()));
+    }
+    let max_t = bounds::r_2r1(r);
+    if u64::from(t) >= max_t {
+        return Err(CliError::Other(format!(
+            "t = {t} is at or above the model bound r(2r+1) = {max_t}"
+        )));
+    }
+    let p = Params::new(r, t, mf);
+    let mut out = String::new();
+    let _ = writeln!(out, "parameters: r={r} t={t} mf={mf}   (neighborhood r(2r+1) = {max_t} per half)");
+    let _ = writeln!(out, "m0 (Theorem 1 lower bound)      : {}", p.m0());
+    let _ = writeln!(out, "2*m0 (Theorem 2 sufficient)     : {}", p.sufficient_budget());
+    let _ = writeln!(out, "relay quota (protocol B)        : {}", p.relay_quota());
+    let _ = writeln!(out, "source copies 2*t*mf+1          : {}", p.source_quota());
+    let _ = writeln!(out, "accept threshold t*mf+1         : {}", p.accept_threshold());
+    let _ = writeln!(out, "Koo PODC'06 baseline budget     : {}", p.koo_budget());
+    let _ = writeln!(out, "baseline saving (claimed)       : {:.2}x", p.claimed_baseline_ratio());
+    let _ = writeln!(
+        out,
+        "Corollary 1: defeated above t > {}; tolerated at t <= {}",
+        bounds::corollary1_min_defeating_t(r, p.sufficient_budget(), mf),
+        bounds::corollary1_max_tolerable_t(r, p.sufficient_budget(), mf),
+    );
+    let _ = writeln!(out, "reactive max t (Thm 4 regime)   : {}", bounds::reactive_max_t(r));
+    let _ = writeln!(
+        out,
+        "Theorem 4 budget (n={n}, k={k})  : {}",
+        bounds::theorem4_budget(n, k, u64::from(t), mf, mf.max(2)),
+    );
+    let _ = writeln!(out, "crash-stop threshold r(2r+1)    : {}", crash_threshold(r));
+    let cfg = AgreementConfig::paper_margins(p);
+    let _ = writeln!(
+        out,
+        "agreement: echo quota {} / member cost {} (cheap), {} (proven, t<= {})",
+        cfg.echo_quota,
+        cfg.member_cost(),
+        proven_member_cost(p),
+        proven_max_t(r),
+    );
+    Ok(out)
+}
+
+/// Builds a scenario from run/map flags.
+fn scenario_from(args: &Args) -> Result<Scenario, CliError> {
+    let r: u32 = args.int_or("r", 2u32)?;
+    let t: u32 = args.int_or("t", 1u32)?;
+    let mf: u64 = args.int_or("mf", 10u64)?;
+    let side: u32 = args.int_or("side", (2 * r + 1) * 4)?;
+    let seed: u64 = args.int_or("seed", 0u64)?;
+    let mut builder = Scenario::builder(side, side, r).faults(t, mf);
+    match args.get("placement").unwrap_or("lattice") {
+        "lattice" => builder = builder.lattice_placement(),
+        "stripes" => {
+            let y_lo = side / 3;
+            let y_hi = 2 * side / 3 + r;
+            builder = builder.stripe_placement(&[(y_lo, t, true), (y_hi, t, false)]);
+        }
+        "random" => {
+            let count: usize = args.int_or("count", (side as usize * side as usize) / 20)?;
+            builder = builder.random_placement(count, seed);
+        }
+        "bernoulli" => {
+            let rate: f64 = args.int_or("p", 0.01f64)?;
+            builder = builder.bernoulli_placement(rate, seed);
+        }
+        "none" => {}
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown placement {other:?} (lattice|stripes|random|bernoulli|none)"
+            )))
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn adversary_from(args: &Args) -> Result<Adversary, CliError> {
+    let seed: u64 = args.int_or("seed", 0u64)?;
+    match args.get("adversary").unwrap_or("oracle") {
+        "oracle" => Ok(Adversary::PerReceiverOracle),
+        "greedy" => Ok(Adversary::Greedy),
+        "chaos" => Ok(Adversary::Chaos(seed)),
+        "passive" => Ok(Adversary::Passive),
+        other => Err(CliError::Other(format!(
+            "unknown adversary {other:?} (oracle|greedy|chaos|passive)"
+        ))),
+    }
+}
+
+fn protocol_from(args: &Args, s: &Scenario) -> Result<CountingProtocol, CliError> {
+    let p = s.params();
+    match args.get("protocol").unwrap_or("b") {
+        "b" => Ok(CountingProtocol::protocol_b(s.grid(), p)),
+        "koo" => Ok(CountingProtocol::koo_baseline(s.grid(), p)),
+        "heter" => {
+            let cross = Cross::paper_scale(0, 0, p.r);
+            Ok(CountingProtocol::heterogeneous(s.grid(), p, &cross))
+        }
+        "starved" => {
+            let m: u64 = args.int("m")?;
+            Ok(CountingProtocol::starved(s.grid(), p, m))
+        }
+        other => Err(CliError::Other(format!(
+            "unknown protocol {other:?} (b|koo|heter|starved)"
+        ))),
+    }
+}
+
+fn run_outcome(args: &Args) -> Result<(Scenario, bftbcast::sim::CountingSim, CountingOutcome), CliError> {
+    let s = scenario_from(args)?;
+    let proto = protocol_from(args, &s)?;
+    let adversary = adversary_from(args)?;
+    let mut sim = s.counting_sim(proto);
+    let out = match adversary {
+        Adversary::PerReceiverOracle => sim.run_oracle(s.params().mf),
+        Adversary::Greedy => sim.run(&mut bftbcast::adversary::GreedyFrontier::default()),
+        Adversary::Chaos(seed) => sim.run(&mut bftbcast::adversary::Chaos::new(seed)),
+        Adversary::Passive => sim.run(&mut bftbcast::adversary::Passive),
+    };
+    Ok((s, sim, out))
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let (s, _, out) = run_outcome(args)?;
+    let p = s.params();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "torus {}x{} r={} | t={} mf={} | bad nodes: {}",
+        s.grid().width(),
+        s.grid().height(),
+        p.r,
+        p.t,
+        p.mf,
+        s.bad_nodes().len()
+    );
+    let _ = writeln!(text, "coverage        : {:.3}", out.coverage());
+    let _ = writeln!(text, "complete        : {}", out.is_complete());
+    let _ = writeln!(text, "correct         : {}", out.is_correct());
+    let _ = writeln!(text, "waves           : {}", out.waves);
+    let _ = writeln!(text, "good copies sent: {}", out.good_copies_sent);
+    let _ = writeln!(text, "adversary spent : {}", out.adversary_spent);
+    Ok(text)
+}
+
+fn cmd_map(args: &Args) -> Result<String, CliError> {
+    let (s, sim, out) = run_outcome(args)?;
+    if let Some(path) = args.get("svg") {
+        let map = GridMap::from_counting_sim(&sim, s.source(), 12);
+        let title = format!(
+            "r={} t={} mf={} coverage={:.3}",
+            s.params().r,
+            s.params().t,
+            s.params().mf,
+            out.coverage()
+        );
+        std::fs::write(path, map.render(&title))
+            .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
+        Ok(format!("wrote {path} (coverage {:.3})\n", out.coverage()))
+    } else {
+        Ok(render::acceptance_map(&sim, s.source()))
+    }
+}
+
+fn cmd_exp(args: &Args) -> Result<String, CliError> {
+    let ids: Vec<&str> = if args.positional.is_empty() {
+        bftbcast_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.positional.iter().map(String::as_str).collect()
+    };
+    let mut out = String::new();
+    for id in ids {
+        if !bftbcast_bench::ALL_EXPERIMENTS.contains(&id) {
+            return Err(CliError::Other(format!(
+                "unknown experiment {id:?}; known: {:?}",
+                bftbcast_bench::ALL_EXPERIMENTS
+            )));
+        }
+        for table in bftbcast_bench::run_experiment(id) {
+            let _ = writeln!(out, "{table}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_code(args: &Args) -> Result<String, CliError> {
+    use bftbcast::coding::{icode, segment, subbit::SubbitParams};
+    let k: usize = args.int("k")?;
+    let n: usize = args.int_or("n", 10_000usize)?;
+    let t: usize = args.int_or("t", 1usize)?;
+    let mmax: u64 = args.int_or("mmax", 1u64 << 20)?;
+    let coded = segment::coded_len(k).map_err(|e| CliError::Other(e.to_string()))?;
+    let params = SubbitParams::for_network(n, t, mmax);
+    let mut out = String::new();
+    let _ = writeln!(out, "message bits k            : {k}");
+    let _ = writeln!(out, "AUED cascade length K     : {coded}");
+    let _ = writeln!(out, "paper bound k+2logk+2     : {}", segment::paper_len_bound(k));
+    let _ = writeln!(out, "I-code length 2k          : {}", icode::coded_len(k));
+    let _ = writeln!(out, "sub-bits per bit L        : {}", params.len());
+    let _ = writeln!(out, "slots per message K*L     : {}", coded * params.len());
+    let _ = writeln!(out, "cancel success 2^-L       : {:.3e}", params.p_cancel());
+    Ok(out)
+}
+
+fn cmd_agreement(args: &Args) -> Result<String, CliError> {
+    let r: u32 = args.int_or("r", 2u32)?;
+    let t: u32 = args.int_or("t", 1u32)?;
+    let mf: u64 = args.int_or("mf", 10u64)?;
+    let params = Params::new(r, t, mf);
+    let cfg = AgreementConfig::paper_margins(params);
+    let side = 6 * r + 3;
+    let grid = Grid::new(side, side, r)?;
+    let c = side / 2;
+    let source = grid.id_at(c, c);
+    let bad: Vec<NodeId> = (0..t)
+        .map(|i| {
+            let w = grid.wrap(i64::from(c) + i64::from(i) - 1, i64::from(c) + 1);
+            grid.id_of(w)
+        })
+        .collect();
+    let mut sim = AgreementSim::new(grid, cfg, source, &bad);
+    let behavior = match args.get("source").unwrap_or("correct") {
+        "correct" => SourceBehavior::Correct,
+        "split" => SourceBehavior::even_split(&cfg, Value(2), Value(3)),
+        "silent" => SourceBehavior::Silent,
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown source behavior {other:?} (correct|split|silent)"
+            )))
+        }
+    };
+    let attack = SplitAttack::strongest();
+    let outcome = match args.get("mode").unwrap_or("cheap") {
+        "cheap" => sim.run(behavior, attack),
+        "proven" => sim.run_proven(behavior, attack),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown mode {other:?} (cheap|proven)"
+            )))
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "members deciding: {}", outcome.decisions.len());
+    let _ = writeln!(out, "validity        : {}", outcome.validity_holds());
+    let _ = writeln!(out, "agreement       : {}", outcome.agreement_holds());
+    let _ = writeln!(out, "decided values  : {:?}", outcome.decided_values());
+    let _ = writeln!(out, "defaults        : {}", outcome.default_count());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<String, CliError> {
+        dispatch(&Args::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn bounds_prints_the_figure2_numbers() {
+        let out = run(&["bounds", "--r", "4", "--t", "1", "--mf", "1000"]).unwrap();
+        assert!(out.contains(": 58"), "m0 = 58 missing:\n{out}");
+        assert!(out.contains(": 116"), "2m0 = 116 missing:\n{out}");
+        assert!(out.contains(": 2001"), "Koo budget missing:\n{out}");
+    }
+
+    #[test]
+    fn bounds_rejects_model_violations() {
+        assert!(run(&["bounds", "--r", "1", "--t", "3", "--mf", "5"]).is_err());
+        assert!(run(&["bounds", "--r", "0", "--t", "0", "--mf", "5"]).is_err());
+    }
+
+    #[test]
+    fn run_protocol_b_reports_reliable() {
+        let out = run(&["run", "--r", "1", "--t", "1", "--mf", "4", "--side", "15"]).unwrap();
+        assert!(out.contains("complete        : true"), "{out}");
+        assert!(out.contains("correct         : true"), "{out}");
+    }
+
+    #[test]
+    fn run_starved_below_m0_stalls_on_stripes() {
+        let out = run(&[
+            "run", "--r", "1", "--t", "1", "--mf", "4", "--side", "15", "--placement",
+            "stripes", "--protocol", "starved", "--m", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("complete        : false"), "{out}");
+        assert!(out.contains("correct         : true"), "{out}");
+    }
+
+    #[test]
+    fn run_bernoulli_placement_reports_or_rejects() {
+        // A low rate builds and runs; an absurd rate surfaces the
+        // local-bound violation as a user-facing error.
+        let ok = run(&[
+            "run", "--r", "2", "--t", "4", "--mf", "5", "--placement", "bernoulli", "--p",
+            "0.005", "--seed", "7",
+        ]);
+        assert!(ok.is_ok(), "{ok:?}");
+        let err = run(&[
+            "run", "--r", "2", "--t", "1", "--mf", "5", "--placement", "bernoulli", "--p",
+            "0.5", "--seed", "7",
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn map_ascii_has_one_row_per_grid_row() {
+        let out = run(&["map", "--r", "1", "--t", "1", "--mf", "4", "--side", "9"]).unwrap();
+        assert!(out.lines().count() >= 9, "{out}");
+    }
+
+    #[test]
+    fn map_svg_writes_a_file() {
+        let path = std::env::temp_dir().join("bftbcast_cli_test_map.svg");
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "map", "--r", "1", "--t", "1", "--mf", "4", "--side", "9", "--svg", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn code_reports_lengths() {
+        let out = run(&["code", "--k", "128"]).unwrap();
+        assert!(out.contains("I-code length 2k          : 256"), "{out}");
+        assert!(out.contains("AUED cascade length K"));
+    }
+
+    #[test]
+    fn agreement_correct_source_agrees() {
+        for mode in ["cheap", "proven"] {
+            let out = run(&[
+                "agreement", "--r", "1", "--t", "1", "--mf", "5", "--mode", mode,
+            ])
+            .unwrap();
+            assert!(out.contains("validity        : true"), "{mode}: {out}");
+            assert!(out.contains("agreement       : true"), "{mode}: {out}");
+        }
+    }
+
+    #[test]
+    fn exp_rejects_unknown_ids() {
+        assert!(run(&["exp", "nope"]).is_err());
+    }
+
+    #[test]
+    fn exp_runs_a_fast_experiment() {
+        let out = run(&["exp", "t2b"]).unwrap();
+        assert!(out.contains("EXP-T2b"), "{out}");
+    }
+}

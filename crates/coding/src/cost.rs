@@ -1,0 +1,116 @@
+//! The refined message-efficiency model the paper defers to future
+//! work (§5, final paragraph):
+//!
+//! > "our scheme has a higher per-attack penalty since the integrity
+//! > verification is on a message basis … while the I-code verifies
+//! > message bit by bit … Final comparison on message efficiency thus
+//! > calls for a refined model that takes into account message length
+//! > and per-message attack rate."
+//!
+//! This module builds exactly that model. Both schemes transmit over
+//! the same sub-bit channel; the unit of cost is one sub-bit slot.
+//!
+//! * **AUED cascade** (this paper): a frame is `K(k) · L` slots with
+//!   `K(k) = k + O(log k)`. Any detected attack voids the *whole*
+//!   frame: the receiver NACKs (one frame-length transmission) and the
+//!   sender retransmits everything.
+//! * **I-code**: a frame is `2k · L_I` slots. An attack voids only the
+//!   flipped bits; the per-bit NACK and retransmission each cost
+//!   `2 · L_I` slots (plus an addressing overhead of `⌈log2 k⌉` bits to
+//!   name the bit, which we charge to the NACK).
+//!
+//! Given an adversary who attacks `a` rounds (each attack flipping
+//! `f ≥ 1` bits of the in-flight frame), the deterministic worst-case
+//! totals are closed-form ([`aued_total_slots`], [`icode_total_slots`])
+//! and the crossover attack rate is solvable ([`crossover_attacks`]).
+//! The `L = L_I` default treats both schemes' physical-layer protection
+//! identically, isolating the framing difference the paper asks about.
+
+use crate::ceil_log2;
+use crate::segment;
+
+/// Total sub-bit slots the AUED scheme spends delivering a `k`-bit
+/// message that is attacked in `a` of its transmission rounds: every
+/// attack costs one full retransmission plus one frame-length NACK.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (the cascade needs two bits).
+pub fn aued_total_slots(k: usize, l: usize, attacks: u64) -> u64 {
+    let frame = (segment::coded_len(k).expect("k >= 2") * l) as u64;
+    // (a + 1) data transmissions + a NACK frames of equal length.
+    (attacks + 1) * frame + attacks * frame
+}
+
+/// Total sub-bit slots the I-code spends under the same adversary:
+/// one full `2k`-slot transmission, plus per attacked round `f` flipped
+/// bits, each costing a bit retransmission (2 slots) and a NACK naming
+/// the bit (`2 + ⌈log2 k⌉` slots), all at `l` sub-bits per slot.
+pub fn icode_total_slots(k: usize, l: usize, attacks: u64, flips_per_attack: u64) -> u64 {
+    let full = (2 * k * l) as u64;
+    let per_bit = ((2 + ceil_log2(k.max(1)) as usize) * l) as u64 + (2 * l) as u64;
+    full + attacks * flips_per_attack * per_bit
+}
+
+/// The attack count above which the I-code becomes cheaper than the
+/// AUED cascade for `k`-bit messages (`None` if the cascade wins at
+/// every attack rate, which cannot happen for `k ≥ 2`; and `Some(0)`
+/// when the I-code already wins unattacked, i.e. very small `k`).
+pub fn crossover_attacks(k: usize, l: usize, flips_per_attack: u64) -> Option<u64> {
+    (0..=1_000_000u64).find(|&a| {
+        icode_total_slots(k, l, a, flips_per_attack) < aued_total_slots(k, l, a)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unattacked_costs_match_code_lengths() {
+        // No attacks: pure framing comparison.
+        assert_eq!(aued_total_slots(64, 1, 0), 78);
+        assert_eq!(icode_total_slots(64, 1, 0, 1), 128);
+        // The cascade is shorter for k >= 16.
+        for k in [16usize, 64, 1024] {
+            assert!(aued_total_slots(k, 8, 0) < icode_total_slots(k, 8, 0, 1));
+        }
+        // ... and longer below.
+        assert!(aued_total_slots(8, 8, 0) > icode_total_slots(8, 8, 0, 1));
+    }
+
+    #[test]
+    fn attacks_flip_the_ordering() {
+        let (k, l) = (256usize, 8usize);
+        // Unattacked: cascade wins comfortably.
+        assert!(aued_total_slots(k, l, 0) < icode_total_slots(k, l, 0, 1));
+        // Heavily attacked: the per-message penalty dominates and the
+        // I-code's per-bit retransmission wins.
+        assert!(aued_total_slots(k, l, 50) > icode_total_slots(k, l, 50, 1));
+        let cross = crossover_attacks(k, l, 1).expect("crossover exists");
+        assert!(cross > 0 && cross < 50);
+        // Consistency at the boundary.
+        assert!(icode_total_slots(k, l, cross, 1) < aued_total_slots(k, l, cross));
+        assert!(icode_total_slots(k, l, cross - 1, 1) >= aued_total_slots(k, l, cross - 1));
+    }
+
+    #[test]
+    fn crossover_grows_with_message_length() {
+        // Longer messages make whole-frame retransmission relatively
+        // more expensive, so the crossover comes *earlier*? No: the
+        // unattacked gap (2k vs k + O(log k)) also grows. Measure it.
+        let c64 = crossover_attacks(64, 8, 1).unwrap();
+        let c1024 = crossover_attacks(1024, 8, 1).unwrap();
+        assert!(c64 >= 1 && c1024 >= 1);
+        // Both finite: the paper's intuition that *neither* scheme
+        // dominates is confirmed.
+    }
+
+    #[test]
+    fn multi_flip_attacks_help_icode_less_than_linear() {
+        let (k, l) = (256usize, 8usize);
+        let c1 = crossover_attacks(k, l, 1).unwrap();
+        let c8 = crossover_attacks(k, l, 8).unwrap();
+        assert!(c8 <= c1, "more flips per attack should not delay crossover");
+    }
+}

@@ -1,0 +1,46 @@
+use core::fmt;
+
+/// Decoding/verification failures of the two-level code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// A ones-counter consistency check failed: segment `segment` does not
+    /// record the number of ones actually present in segment
+    /// `segment − 1`. This is how tampering is detected.
+    IntegrityViolation {
+        /// Index of the counter segment whose check failed (1-based; the
+        /// message itself is segment 0).
+        segment: usize,
+    },
+    /// The received sub-bit stream has the wrong length for the declared
+    /// payload size.
+    LengthMismatch {
+        /// Expected number of sub-bits.
+        expected: usize,
+        /// Received number of sub-bits.
+        got: usize,
+    },
+    /// The payload size is unsupported (the cascade needs `k ≥ 2`).
+    PayloadTooShort {
+        /// Requested payload length in bits.
+        k: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodeError::IntegrityViolation { segment } => {
+                write!(f, "integrity violation at counter segment {segment}")
+            }
+            CodeError::LengthMismatch { expected, got } => {
+                write!(f, "sub-bit stream length mismatch: expected {expected}, got {got}")
+            }
+            CodeError::PayloadTooShort { k } => {
+                write!(f, "payload of {k} bits is too short: the segment cascade needs k >= 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

@@ -1,0 +1,93 @@
+//! The two-level All-Unidirectional-Error-Detecting (AUED) code of the
+//! paper's Section 5 (Figure 9), together with the adversarial sub-bit
+//! channel it is designed for.
+//!
+//! When the adversary's message budget `mf` is *unknown*, the paper
+//! replaces budget arithmetic with integrity verification: a receiver must
+//! be able to detect that a message was altered by collisions, without any
+//! cryptography. The construction has two levels:
+//!
+//! * **Sub-bit level** ([`subbit`]): each logical bit is transmitted as
+//!   `L` *sub-bits*, each of which is the presence (`u`) or absence (`−`)
+//!   of a signal in one time slot. A `0` bit is all-absent; a `1` bit is a
+//!   random non-zero pattern. A receiver decodes any pattern containing at
+//!   least one `u` as `1`. The adversary can always *create* signal
+//!   (flipping `0 → 1`), but erasing a `1` requires guessing the whole
+//!   random pattern and transmitting its exact inverse — succeeding with
+//!   probability `≈ 2^−L`. Errors are thereby made *unidirectional*.
+//! * **Bit level** ([`segment`]): a cascade of ones-counter segments
+//!   `S1 … Sl` is appended to the message `S0`, where `S_i` records the
+//!   number of `1` bits in `S_{i−1}` and segment lengths shrink
+//!   logarithmically. Any non-empty set of `0 → 1` flips breaks a
+//!   consistency check somewhere in the cascade, so the receiver detects
+//!   *all* unidirectional tampering.
+//!
+//! [`frame`] combines the two levels into transmission frames (data or
+//! NACK), and [`channel`] models the adversary's per-frame XOR action on
+//! the sub-bit stream.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_coding::{frame::{Frame, FrameKind}, subbit::SubbitParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let params = SubbitParams::for_network(1024, 2, 1 << 20); // n, t, mmax
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let payload = vec![true, false, true, true, false, false, true, false];
+//! let frame = Frame::data(&payload, params, &mut rng);
+//!
+//! // Honest delivery decodes and verifies.
+//! let decoded = frame.decode_and_verify(params).unwrap();
+//! assert_eq!(decoded.kind, FrameKind::Data);
+//! assert_eq!(decoded.payload, payload);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod cost;
+/// Decoding and verification error types.
+pub mod error;
+pub mod frame;
+pub mod icode;
+pub mod segment;
+pub mod subbit;
+
+pub use error::CodeError;
+
+/// `⌊log2 x⌋` for `x ≥ 1`.
+pub(crate) fn floor_log2(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    usize::BITS - 1 - x.leading_zeros()
+}
+
+/// `⌈log2 x⌉` for `x ≥ 1`.
+pub fn ceil_log2(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    if x == 1 {
+        0
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(8), 3);
+        assert_eq!(floor_log2(9), 3);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+}

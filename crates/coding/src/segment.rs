@@ -1,0 +1,331 @@
+//! Bit-level cascaded ones-counter code (the upper half of Figure 9).
+//!
+//! A `k`-bit message `S0` is extended with counter segments
+//! `S1, …, Sl`: segment `S_i` is the big-endian binary encoding of the
+//! number of `1` bits in `S_{i−1}`, and has length
+//! `k_i = ⌊log2 k_{i−1}⌋ + 1`. The cascade ends at the first segment of
+//! length 2 whose predecessor also has length 2 (the paper: "the last two
+//! segments S_{l−1} and S_l each has two bits").
+//!
+//! **Detection guarantee — with one exception the paper misses.**
+//! Against a *unidirectional* adversary (who can flip `0 → 1` but not
+//! `1 → 0` — the property the sub-bit layer enforces), any non-empty
+//! flip set on a **non-zero** message is detected: a consistent attack
+//! must increment the recorded count at every level up to `S_l`, and at
+//! the top either a binary carry (`01 → 10`) or an over-capacity count
+//! (`> 2` ones claimed for the 2-bit `S_{l−1}`) is required — both
+//! impossible with `0 → 1` flips alone.
+//!
+//! **The all-zero message, however, is forgeable** (reproduction
+//! finding 5, EXPERIMENTS.md): its cascade is all zeros, so flipping
+//! one low bit in *every* segment (message bit, then each counter's
+//! low bit) increments every count consistently and the final segment
+//! legally reads `00 → 01`. The paper's claim that "the last segment
+//! Sl can only be 01 or 10" holds only when the message has at least
+//! one `1` bit. [`verify`] is faithful to the paper and accepts the
+//! forgery (see `all_zero_message_is_forgeable`); the frame layer
+//! closes the hole with a constant sentinel `1` bit
+//! (`bftbcast-coding::frame`).
+
+use crate::{floor_log2, CodeError};
+
+/// The sequence of segment lengths `k0 = k, k1, …, kl` for a `k`-bit
+/// message (`k ≥ 2`).
+///
+/// # Errors
+///
+/// [`CodeError::PayloadTooShort`] for `k < 2`.
+pub fn segment_lengths(k: usize) -> Result<Vec<usize>, CodeError> {
+    if k < 2 {
+        return Err(CodeError::PayloadTooShort { k });
+    }
+    let mut lens = vec![k];
+    loop {
+        let prev = *lens.last().expect("non-empty");
+        let next = floor_log2(prev) as usize + 1;
+        lens.push(next);
+        if next == 2 && prev == 2 {
+            return Ok(lens);
+        }
+    }
+}
+
+/// Total coded length `K = Σ k_i` for a `k`-bit message.
+pub fn coded_len(k: usize) -> Result<usize, CodeError> {
+    Ok(segment_lengths(k)?.iter().sum())
+}
+
+/// The paper's closed-form bound `K ≤ k + 2·log2 k + 2` (Theorem 4's
+/// proof). **Reproduction note:** with the stated segment recurrence the
+/// bound only holds for large `k` (see `EXPERIMENTS.md`, EXP-F9); we keep
+/// the formula as stated for comparison.
+pub fn paper_len_bound(k: usize) -> usize {
+    k + 2 * (floor_log2(k) as usize) + 2
+}
+
+/// Big-endian binary encoding of `value` in exactly `width` bits.
+fn encode_count(value: usize, width: usize) -> Vec<bool> {
+    debug_assert!(width == usize::BITS as usize || value < (1usize << width));
+    (0..width)
+        .rev()
+        .map(|bit| (value >> bit) & 1 == 1)
+        .collect()
+}
+
+/// Big-endian binary decoding.
+fn decode_count(bits: &[bool]) -> usize {
+    bits.iter().fold(0, |acc, &b| (acc << 1) | usize::from(b))
+}
+
+/// Encodes a `k`-bit message into the full coded bit sequence
+/// `S0 ‖ S1 ‖ … ‖ Sl`.
+///
+/// # Errors
+///
+/// [`CodeError::PayloadTooShort`] for messages shorter than 2 bits.
+pub fn encode(message: &[bool]) -> Result<Vec<bool>, CodeError> {
+    let lens = segment_lengths(message.len())?;
+    let mut out = Vec::with_capacity(lens.iter().sum());
+    out.extend_from_slice(message);
+    let mut prev_start = 0usize;
+    let mut prev_len = message.len();
+    for &len in &lens[1..] {
+        let ones = out[prev_start..prev_start + prev_len]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        prev_start += prev_len;
+        prev_len = len;
+        out.extend(encode_count(ones, len));
+    }
+    Ok(out)
+}
+
+/// Verifies the counter cascade of a coded bit sequence and returns the
+/// original message bits on success.
+///
+/// # Errors
+///
+/// * [`CodeError::LengthMismatch`] if `coded` does not have the exact
+///   coded length for a `k`-bit message;
+/// * [`CodeError::IntegrityViolation`] naming the first failing check.
+pub fn verify(coded: &[bool], k: usize) -> Result<Vec<bool>, CodeError> {
+    let lens = segment_lengths(k)?;
+    let expected: usize = lens.iter().sum();
+    if coded.len() != expected {
+        return Err(CodeError::LengthMismatch {
+            expected,
+            got: coded.len(),
+        });
+    }
+    let mut start = 0usize;
+    let mut prev: Option<&[bool]> = None;
+    for (i, &len) in lens.iter().enumerate() {
+        let seg = &coded[start..start + len];
+        if let Some(prev_seg) = prev {
+            let ones = prev_seg.iter().filter(|&&b| b).count();
+            if decode_count(seg) != ones {
+                return Err(CodeError::IntegrityViolation { segment: i });
+            }
+        }
+        prev = Some(seg);
+        start += len;
+    }
+    Ok(coded[..k].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lengths_match_paper_examples() {
+        // k = 8: 8, 4, 3, 2, 2.
+        assert_eq!(segment_lengths(8).unwrap(), vec![8, 4, 3, 2, 2]);
+        // k = 64: 64, 7, 3, 2, 2.
+        assert_eq!(segment_lengths(64).unwrap(), vec![64, 7, 3, 2, 2]);
+        // Smallest supported message: S0 itself plays the role of S_{l-1}.
+        assert_eq!(segment_lengths(2).unwrap(), vec![2, 2]);
+        assert_eq!(segment_lengths(3).unwrap(), vec![3, 2, 2]);
+        assert!(segment_lengths(1).is_err());
+        assert!(segment_lengths(0).is_err());
+    }
+
+    #[test]
+    fn last_two_segments_have_two_bits() {
+        for k in 2..300 {
+            let lens = segment_lengths(k).unwrap();
+            let l = lens.len();
+            assert_eq!(lens[l - 1], 2, "k={k}");
+            assert_eq!(lens[l - 2], 2, "k={k}");
+        }
+    }
+
+    #[test]
+    fn coded_len_overhead_is_logarithmic() {
+        assert_eq!(coded_len(8).unwrap(), 19);
+        assert_eq!(coded_len(128).unwrap(), 128 + 8 + 4 + 3 + 2 + 2);
+        // The paper's closed form holds for large k...
+        for k in [1024usize, 4096, 1 << 16] {
+            assert!(coded_len(k).unwrap() <= paper_len_bound(k), "k={k}");
+        }
+        // ...but not for small k (documented deviation, EXP-F9).
+        assert!(coded_len(8).unwrap() > paper_len_bound(8));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg: Vec<bool> = (0..37).map(|i| i % 3 == 0).collect();
+        let coded = encode(&msg).unwrap();
+        assert_eq!(coded.len(), coded_len(37).unwrap());
+        assert_eq!(verify(&coded, 37).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_zero_and_all_one_messages() {
+        for k in [2usize, 5, 16] {
+            let zeros = vec![false; k];
+            let ones = vec![true; k];
+            assert_eq!(verify(&encode(&zeros).unwrap(), k).unwrap(), zeros);
+            assert_eq!(verify(&encode(&ones).unwrap(), k).unwrap(), ones);
+        }
+    }
+
+    #[test]
+    fn single_flip_always_detected_exhaustive() {
+        // Every single 0->1 flip on every 6-bit message is detected.
+        for m in 0..64u32 {
+            let msg: Vec<bool> = (0..6).rev().map(|b| (m >> b) & 1 == 1).collect();
+            let coded = encode(&msg).unwrap();
+            for pos in 0..coded.len() {
+                if coded[pos] {
+                    continue; // only unidirectional flips
+                }
+                let mut tampered = coded.clone();
+                tampered[pos] = true;
+                assert!(
+                    matches!(verify(&tampered, 6), Err(CodeError::IntegrityViolation { .. })),
+                    "undetected flip at {pos} of message {m:06b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_flip_detected_exhaustive_small() {
+        // Every pair of 0->1 flips on every 4-bit message is detected:
+        // pairs are the cheapest way to *try* to keep counters consistent.
+        for m in 0..16u32 {
+            let msg: Vec<bool> = (0..4).rev().map(|b| (m >> b) & 1 == 1).collect();
+            let coded = encode(&msg).unwrap();
+            let zero_positions: Vec<usize> =
+                (0..coded.len()).filter(|&i| !coded[i]).collect();
+            for (ai, &a) in zero_positions.iter().enumerate() {
+                for &b in &zero_positions[ai + 1..] {
+                    let mut tampered = coded.clone();
+                    tampered[a] = true;
+                    tampered[b] = true;
+                    assert!(
+                        verify(&tampered, 4).is_err(),
+                        "undetected pair flip ({a},{b}) on {m:04b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reproduction finding 5: the deterministic all-zero forgery the
+    /// paper's argument overlooks. Flipping the low bit of the message
+    /// and of every counter segment increments every count consistently;
+    /// the final segment reads 00 -> 01, which no check rejects.
+    #[test]
+    fn all_zero_message_is_forgeable() {
+        for k in [2usize, 6, 16, 64] {
+            let zeros = vec![false; k];
+            let coded = encode(&zeros).unwrap();
+            let lens = segment_lengths(k).unwrap();
+            let mut tampered = coded.clone();
+            // Flip the low (last) bit of every segment.
+            let mut start = 0;
+            for &len in &lens {
+                tampered[start + len - 1] = true;
+                start += len;
+            }
+            let forged = verify(&tampered, k).expect("the forgery passes verification");
+            // The receiver accepts a one-hot message instead of zeros.
+            assert_ne!(forged, zeros, "k={k}");
+            assert_eq!(forged.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    /// And the attack only works from the all-zero state: starting from
+    /// any message with a 1, the same flip pattern is caught.
+    #[test]
+    fn chain_attack_fails_on_nonzero_messages() {
+        for k in [4usize, 8, 16] {
+            let mut msg = vec![false; k];
+            msg[0] = true;
+            let coded = encode(&msg).unwrap();
+            let lens = segment_lengths(k).unwrap();
+            let mut tampered = coded.clone();
+            let mut start = 0;
+            let mut flipped_any = false;
+            for &len in &lens {
+                // Flip the low bit where it is 0.
+                if !tampered[start + len - 1] {
+                    tampered[start + len - 1] = true;
+                    flipped_any = true;
+                }
+                start += len;
+            }
+            if flipped_any {
+                assert!(verify(&tampered, k).is_err(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let msg = vec![true, false, true];
+        let coded = encode(&msg).unwrap();
+        assert!(matches!(
+            verify(&coded[..coded.len() - 1], 3),
+            Err(CodeError::LengthMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(msg in proptest::collection::vec(any::<bool>(), 2..200)) {
+            let coded = encode(&msg).unwrap();
+            prop_assert_eq!(verify(&coded, msg.len()).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_any_nonempty_unidirectional_flip_set_detected_nonzero(
+            msg in proptest::collection::vec(any::<bool>(), 2..64),
+            flip_seed in proptest::collection::vec(any::<bool>(), 1..512),
+        ) {
+            // The all-zero message is genuinely forgeable (see
+            // all_zero_message_is_forgeable); every other message must
+            // detect every unidirectional flip set.
+            prop_assume!(msg.iter().any(|&b| b));
+            let coded = encode(&msg).unwrap();
+            // Build a flip mask restricted to current zero positions.
+            let mut tampered = coded.clone();
+            let mut flipped_any = false;
+            for (i, slot) in tampered.iter_mut().enumerate() {
+                if !*slot && flip_seed[i % flip_seed.len()] {
+                    *slot = true;
+                    flipped_any = true;
+                }
+            }
+            if flipped_any {
+                prop_assert!(verify(&tampered, msg.len()).is_err());
+            } else {
+                prop_assert!(verify(&tampered, msg.len()).is_ok());
+            }
+        }
+    }
+}

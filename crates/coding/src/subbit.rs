@@ -1,0 +1,195 @@
+//! Sub-bit level signaling (the lower half of Figure 9).
+//!
+//! A sub-bit is one time slot carrying either signal energy (`u`) or
+//! nothing (`−`); we model it as a `bool` (`true` = `u`). Each logical bit
+//! becomes `L` sub-bits:
+//!
+//! * bit `0` → `L` absent slots;
+//! * bit `1` → a uniformly random *non-zero* pattern of `L` slots.
+//!
+//! The receiver decodes a group as `1` iff it contains at least one `u`.
+//! The paper samples `1`-patterns uniformly from all `2^L` patterns, which
+//! leaves a `2^−L` chance that an honest `1` encodes as all-absent and is
+//! misread as `0`; we sample from the `2^L − 1` non-zero patterns instead
+//! (documented substitution — it removes the honest-failure mode and
+//! changes the adversary's cancellation odds from `2^−L` to
+//! `1/(2^L − 1)`, an immaterial difference at the paper's `L`).
+
+use rand::Rng;
+
+use crate::ceil_log2;
+
+/// Parameters of the sub-bit layer: the pattern length `L`.
+///
+/// The paper sets `L = 2·log n + log t + log mmax`, which drives the
+/// per-bit attack success probability down to `1/(n²·t·mmax)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubbitParams {
+    l: usize,
+}
+
+impl SubbitParams {
+    /// Directly sets the pattern length `L ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `l > 63` (patterns are manipulated as `u64`
+    /// masks).
+    pub fn with_length(l: usize) -> Self {
+        assert!((1..=63).contains(&l), "sub-bit pattern length must be in 1..=63");
+        SubbitParams { l }
+    }
+
+    /// The paper's choice `L = 2·⌈log2 n⌉ + ⌈log2 t⌉ + ⌈log2 mmax⌉`
+    /// for a network of `n` nodes, at most `t ≥ 1` bad nodes per
+    /// neighborhood, and a loose adversary-budget bound `mmax`.
+    pub fn for_network(n: usize, t: usize, mmax: u64) -> Self {
+        let n = n.max(2);
+        let t = t.max(1);
+        let mmax = mmax.max(2) as usize;
+        let l = 2 * ceil_log2(n) as usize + ceil_log2(t) as usize + ceil_log2(mmax) as usize;
+        Self::with_length(l.clamp(1, 63))
+    }
+
+    /// The pattern length `L` (always at least 1, hence no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.l
+    }
+
+    /// Probability that a blind cancellation attack on a `1` bit succeeds:
+    /// the adversary must hit the exact pattern among the `2^L − 1`
+    /// non-zero ones.
+    pub fn p_cancel(&self) -> f64 {
+        1.0 / (2f64.powi(self.l as i32) - 1.0)
+    }
+
+    /// The paper's stated per-bit attack probability `2^−L` (kept for
+    /// comparison in EXP-F9).
+    pub fn paper_p_biterr(&self) -> f64 {
+        2f64.powi(-(self.l as i32))
+    }
+}
+
+/// A group of `L` sub-bits, stored as the low `L` bits of a `u64`
+/// (bit `i` = slot `i`; `1` = signal present).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubbitGroup(pub u64);
+
+impl SubbitGroup {
+    /// The all-absent group (encoding of bit `0`).
+    pub const SILENT: SubbitGroup = SubbitGroup(0);
+
+    /// Encodes one logical bit.
+    pub fn encode_bit<R: Rng + ?Sized>(bit: bool, params: SubbitParams, rng: &mut R) -> Self {
+        if !bit {
+            return SubbitGroup::SILENT;
+        }
+        let mask = if params.l == 63 {
+            u64::MAX >> 1
+        } else {
+            (1u64 << params.l) - 1
+        };
+        loop {
+            let pattern = rng.random::<u64>() & mask;
+            if pattern != 0 {
+                return SubbitGroup(pattern);
+            }
+        }
+    }
+
+    /// Decodes the group: any present slot reads as `1`.
+    pub fn decode_bit(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Applies an adversarial action: in every slot where `guess` has a
+    /// `1` the adversary transmits the inverse waveform, which *cancels*
+    /// present signal and *creates* signal where there was none. The
+    /// received group is therefore the XOR of the two (paper §5: "Taking
+    /// one u for − will leave one u intact in the sequence, while taking
+    /// one − for u will lead to a transmission of signal that has nothing
+    /// to cancel out, thereby generating a new u sub-bit").
+    pub fn xor_attack(self, guess: u64) -> Self {
+        SubbitGroup(self.0 ^ guess)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn params_formula() {
+        // n = 1024, t = 4, mmax = 2^20: L = 2*10 + 2 + 20 = 42.
+        let p = SubbitParams::for_network(1024, 4, 1 << 20);
+        assert_eq!(p.len(), 42);
+        // Degenerate inputs are clamped, not rejected.
+        let p = SubbitParams::for_network(0, 0, 0);
+        assert!(p.len() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern length")]
+    fn zero_length_rejected() {
+        let _ = SubbitParams::with_length(0);
+    }
+
+    #[test]
+    fn zero_bit_is_silent_one_bit_is_not() {
+        let params = SubbitParams::with_length(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            SubbitGroup::encode_bit(false, params, &mut rng),
+            SubbitGroup::SILENT
+        );
+        for _ in 0..100 {
+            let g = SubbitGroup::encode_bit(true, params, &mut rng);
+            assert!(g.decode_bit());
+            assert!(g.0 < (1 << 16));
+        }
+        assert!(!SubbitGroup::SILENT.decode_bit());
+    }
+
+    #[test]
+    fn xor_attack_semantics() {
+        // Creating signal on a silent group flips 0 -> 1.
+        let attacked = SubbitGroup::SILENT.xor_attack(0b0100);
+        assert!(attacked.decode_bit());
+        // Exact guess cancels a 1 -> 0.
+        let g = SubbitGroup(0b1010);
+        assert!(!g.xor_attack(0b1010).decode_bit());
+        // A wrong guess leaves (or creates) signal.
+        assert!(g.xor_attack(0b1000).decode_bit());
+        assert!(g.xor_attack(0b0001).decode_bit());
+    }
+
+    #[test]
+    fn cancel_probability_matches_model() {
+        // With L = 4 there are 15 non-zero patterns; a blind adversary
+        // guessing uniformly at random should succeed ~1/15 of the time.
+        let params = SubbitParams::with_length(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 60_000;
+        let mut successes = 0u32;
+        for _ in 0..trials {
+            let g = SubbitGroup::encode_bit(true, params, &mut rng);
+            let guess = loop {
+                let x = rng.random::<u64>() & 0xF;
+                if x != 0 {
+                    break x;
+                }
+            };
+            if !g.xor_attack(guess).decode_bit() {
+                successes += 1;
+            }
+        }
+        let rate = f64::from(successes) / f64::from(trials);
+        let expected = params.p_cancel();
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! **bftbcast** — message-efficient Byzantine fault-tolerant broadcast
+//! for multi-hop wireless sensor networks.
+//!
+//! A from-scratch Rust reproduction of Bertier, Kermarrec and Tan,
+//! *"Message-Efficient Byzantine Fault-Tolerant Broadcast in a Multi-Hop
+//! Wireless Sensor Network"* (ICDCS 2010): the toroidal grid radio
+//! model, the locally-bounded collision-capable adversary, the
+//! message-budget bounds (`m0`, `2·m0`), protocols **B**, **Bheter**
+//! and **Breactive**, the two-level AUED integrity code, and the
+//! worst-case simulation machinery that regenerates every construction
+//! in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bftbcast::prelude::*;
+//!
+//! // A 15x15 torus with radio range 1; up to 1 Byzantine node per
+//! // neighborhood, each with a budget of 50 messages.
+//! let scenario = Scenario::builder(15, 15, 1)
+//!     .faults(1, 50)
+//!     .lattice_placement()
+//!     .build()
+//!     .unwrap();
+//!
+//! // Protocol B with the paper's sufficient budget m = 2*m0 survives
+//! // the strongest (per-receiver oracle) adversary:
+//! let outcome = scenario.run_protocol_b(Adversary::PerReceiverOracle);
+//! assert!(outcome.is_reliable());
+//!
+//! // The same network with budgets below m0 stalls:
+//! let m = scenario.params().m0() - 1;
+//! let starved = scenario.run_starved(m, Adversary::PerReceiverOracle);
+//! assert!(!starved.is_complete());
+//! ```
+//!
+//! # Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`net`] | torus grid, L∞ neighborhoods, regions, TDMA schedules, budgets |
+//! | [`coding`] | two-level AUED code and the sub-bit channel (Fig. 9) |
+//! | [`geometry`] | exact committed-line/frontier verification (Lemmas 5–11) |
+//! | [`adversary`] | bad-node placements and corruption strategies |
+//! | [`protocols`] | bounds (`m0`, Corollary 1, Theorem 4) and protocol specs |
+//! | [`sim`] | counting engine, slot engine, crash/hybrid engine, agreement engine, sweep runner |
+//! | [`viz`] | SVG torus maps and sweep charts |
+//! | [`scenario`] | this crate's high-level builder API |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bftbcast_adversary as adversary;
+pub use bftbcast_coding as coding;
+pub use bftbcast_geometry as geometry;
+pub use bftbcast_net as net;
+pub use bftbcast_protocols as protocols;
+pub use bftbcast_sim as sim;
+pub use bftbcast_viz as viz;
+
+pub mod prelude;
+pub mod scenario;
+
+pub use scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};

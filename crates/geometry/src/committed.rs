@@ -1,0 +1,313 @@
+//! Committed lines and their frontiers (paper §4, Figures 6–7,
+//! Lemmas 5–8).
+//!
+//! A *committed line* `L(ρ, P0, Pl)` is a segment of slope `ρ/r`
+//! (`ρ ∈ Z`, `−r ≤ ρ ≤ 0`) through the marker points
+//! `P_i = P0 + i·(r, ρ)`, whose *back area* (the parallelogram of height
+//! `2r` beneath it) has fully accepted `Vtrue`. The paper generalizes to
+//! *shifted* (non-integer endpoints) and *float* (arbitrary position)
+//! committed lines; in this module the anchor `P0` is an arbitrary
+//! rational point, so one type covers all three variants — a proper
+//! committed line is simply one whose markers are integer.
+//!
+//! The *frontier* construction (Lemmas 6–8): from a start marker `inset`
+//! units after `P0` draw a line of slope `(ρ+1)/r`, from an end marker
+//! `inset` units before `Pl` draw a line of slope `(ρ−1)/r`; their
+//! intersection `v` is the frontier apex, and the triangle
+//! `[start, end, v]` accepts `Vtrue`. The metric guarantee is
+//! `|start→v| ≥ (⌊|L| / (2√2·r)⌋ − inset) · r` (and symmetrically for
+//! `end`), with `inset = 1, 2, 3` for committed / shifted / float lines
+//! respectively. All of this is verified **exactly** here: frontier
+//! apexes are rational points, and the `√2`/length comparisons reduce to
+//! integer square roots.
+
+use crate::isqrt;
+use crate::point::{Line, Pt};
+use crate::rat::Rat;
+
+/// A committed line (committed / shifted / float — see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommittedLine {
+    r: i128,
+    rho: i128,
+    p0: Pt,
+    segments: i128,
+}
+
+/// A frontier triangle produced by [`CommittedLine::frontier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frontier {
+    /// Left base vertex (the start marker the apex line is drawn from).
+    pub start: Pt,
+    /// Right base vertex.
+    pub end: Pt,
+    /// The apex `v`: intersection of the two frontier lines.
+    pub apex: Pt,
+}
+
+impl CommittedLine {
+    /// A committed line with `segments ≥ 1` marker steps of `(r, ρ)` from
+    /// the anchor `p0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r ≥ 1` and `−r ≤ ρ ≤ 0`.
+    pub fn new(r: i128, rho: i128, p0: Pt, segments: i128) -> Self {
+        assert!(r >= 1, "radio range must be positive");
+        assert!((-r..=0).contains(&rho), "slope numerator out of [-r, 0]");
+        assert!(segments >= 1, "need at least one segment");
+        CommittedLine {
+            r,
+            rho,
+            p0,
+            segments,
+        }
+    }
+
+    /// Radio range `r`.
+    pub fn r(&self) -> i128 {
+        self.r
+    }
+
+    /// Slope numerator `ρ` (the slope is `ρ/r`).
+    pub fn rho(&self) -> i128 {
+        self.rho
+    }
+
+    /// Number of marker steps `l`.
+    pub fn segments(&self) -> i128 {
+        self.segments
+    }
+
+    /// Marker point `P_i = P0 + i·(r, ρ)`.
+    pub fn marker(&self, i: i128) -> Pt {
+        self.p0
+            .offset(Rat::int(i * self.r), Rat::int(i * self.rho))
+    }
+
+    /// Right endpoint `Pl`.
+    pub fn endpoint(&self) -> Pt {
+        self.marker(self.segments)
+    }
+
+    /// Whether every marker is an integer node (a *proper* committed
+    /// line, as opposed to shifted/float).
+    pub fn is_proper(&self) -> bool {
+        self.p0.x.is_integer() && self.p0.y.is_integer()
+    }
+
+    /// Squared Euclidean length `l²·(r² + ρ²)` (exact).
+    pub fn length_sq(&self) -> i128 {
+        self.segments * self.segments * (self.r * self.r + self.rho * self.rho)
+    }
+
+    /// The supporting line.
+    pub fn line(&self) -> Line {
+        Line::through_with_slope(self.p0, Rat::new(self.rho, self.r))
+    }
+
+    /// The paper's length unit count `⌊|L| / (2√2·r)⌋`, computed exactly:
+    /// `⌊√(l²(r²+ρ²) / (8r²))⌋` via integer square roots.
+    pub fn sqrt8_units(&self) -> i128 {
+        let p = self.length_sq() as u128; // l²(r²+ρ²)
+        let q = (8 * self.r * self.r) as u128;
+        (isqrt(p * q) / q) as i128
+    }
+
+    /// Lemma 5: a committed line with `l > 3` segments yields, one row
+    /// up, a new committed line over markers `P1 … P_{l−1}`.
+    ///
+    /// Returns `None` when `l ≤ 3`.
+    pub fn advance(&self) -> Option<CommittedLine> {
+        if self.segments <= 3 {
+            return None;
+        }
+        Some(CommittedLine {
+            r: self.r,
+            rho: self.rho,
+            p0: self.marker(1).offset(Rat::ZERO, Rat::ONE),
+            segments: self.segments - 2,
+        })
+    }
+
+    /// The frontier construction with base vertices `inset` marker units
+    /// in from each end (Lemma 6: `inset = 1`; Lemma 7: `inset = 2`;
+    /// Lemma 8: `inset = 3`).
+    ///
+    /// Returns `None` when the line is too short (`l ≤ 2·inset`) or the
+    /// frontier lines are parallel (cannot happen for valid slopes, kept
+    /// for totality).
+    pub fn frontier(&self, inset: i128) -> Option<Frontier> {
+        if self.segments <= 2 * inset {
+            return None;
+        }
+        let start = self.marker(inset);
+        let end = self.marker(self.segments - inset);
+        let l_up = Line::through_with_slope(start, Rat::new(self.rho + 1, self.r));
+        let l_down = Line::through_with_slope(end, Rat::new(self.rho - 1, self.r));
+        let apex = l_up.intersect(l_down)?;
+        Some(Frontier { start, end, apex })
+    }
+
+    /// Exactly checks the metric claim of Lemmas 6–8 for the given
+    /// `inset`: both `|start→apex|` and `|end→apex|` are at least
+    /// `(⌊|L|/(2√2·r)⌋ − inset) · r`.
+    pub fn frontier_bound_holds(&self, inset: i128) -> bool {
+        let Some(f) = self.frontier(inset) else {
+            return false;
+        };
+        let bound = Rat::int(((self.sqrt8_units() - inset).max(0)) * self.r).square();
+        f.start.dist_sq(f.apex) >= bound && f.end.dist_sq(f.apex) >= bound
+    }
+}
+
+impl Frontier {
+    /// Whether the apex lies strictly above the base line through
+    /// `start → end` (the direction `Vtrue` propagates).
+    pub fn apex_above_base(&self) -> bool {
+        let base = Line::through(self.start, self.end);
+        // Orient: positive half-plane is "up" when b < 0 (line stored as
+        // slope*x - y + c = 0 has b = -1).
+        let v = base.eval(self.apex);
+        if base.b < Rat::ZERO {
+            v < Rat::ZERO
+        } else {
+            v > Rat::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn markers_follow_slope() {
+        let cl = CommittedLine::new(4, -2, Pt::int(0, 0), 5);
+        assert_eq!(cl.marker(0), Pt::int(0, 0));
+        assert_eq!(cl.marker(1), Pt::int(4, -2));
+        assert_eq!(cl.endpoint(), Pt::int(20, -10));
+        assert!(cl.is_proper());
+        assert_eq!(cl.length_sq(), 25 * (16 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "slope numerator")]
+    fn rejects_positive_slope() {
+        let _ = CommittedLine::new(4, 1, Pt::int(0, 0), 5);
+    }
+
+    #[test]
+    fn advance_shrinks_and_raises() {
+        let cl = CommittedLine::new(3, -1, Pt::int(0, 0), 6);
+        let next = cl.advance().unwrap();
+        assert_eq!(next.segments(), 4);
+        assert_eq!(next.marker(0), Pt::int(3, 0)); // P1 + (0, 1)
+        // Too short to advance.
+        assert!(CommittedLine::new(3, -1, Pt::int(0, 0), 3)
+            .advance()
+            .is_none());
+    }
+
+    #[test]
+    fn frontier_is_above_and_on_lines() {
+        let cl = CommittedLine::new(4, -1, Pt::int(0, 0), 10);
+        let f = cl.frontier(1).unwrap();
+        assert!(f.apex_above_base());
+        // Apex lies on both construction lines.
+        let l_up = Line::through_with_slope(f.start, Rat::new(0, 4));
+        let l_down = Line::through_with_slope(f.end, Rat::new(-2, 4));
+        assert_eq!(l_up.eval(f.apex), Rat::ZERO);
+        assert_eq!(l_down.eval(f.apex), Rat::ZERO);
+    }
+
+    #[test]
+    fn horizontal_line_frontier_is_isoceles() {
+        // rho = 0: the frontier lines have slopes ±1/r, the apex sits
+        // midway above the base.
+        let cl = CommittedLine::new(2, 0, Pt::int(0, 0), 8);
+        let f = cl.frontier(1).unwrap();
+        assert_eq!(f.start, Pt::int(2, 0));
+        assert_eq!(f.end, Pt::int(14, 0));
+        assert_eq!(f.apex.x, Rat::int(8));
+        assert_eq!(f.apex.y, Rat::int(3)); // (14-2)/2 * (1/2)
+        assert_eq!(f.start.dist_sq(f.apex), f.end.dist_sq(f.apex));
+    }
+
+    #[test]
+    fn lemma6_bound_r4_sweep() {
+        // Lemma 6 for every rho at r = 4 and a range of lengths.
+        for rho in -4..=0i128 {
+            for l in 4..60i128 {
+                let cl = CommittedLine::new(4, rho, Pt::int(3, -7), l);
+                assert!(
+                    cl.frontier_bound_holds(1),
+                    "Lemma 6 bound fails r=4 rho={rho} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt8_units_matches_f64() {
+        for rho in -5..=0i128 {
+            for l in 1..50i128 {
+                let cl = CommittedLine::new(5, rho, Pt::int(0, 0), l);
+                let exact = cl.sqrt8_units();
+                let approx = ((cl.length_sq() as f64).sqrt() / (2.0 * 2f64.sqrt() * 5.0)).floor();
+                assert_eq!(exact as f64, approx, "rho={rho} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_37_unit_float_line() {
+        // Lemma 8 with a 37-unit float line: |w0 v2| >= (floor(37/2sqrt2)-3) r
+        // = 10r, the paper's ">10r" step inside Lemma 9's proof.
+        let r = 6;
+        for rho in -6..=0i128 {
+            let cl = CommittedLine::new(
+                r,
+                rho,
+                Pt::new(Rat::new(1, 3), Rat::new(-2, 7)), // arbitrary float anchor
+                37,
+            );
+            assert!(cl.sqrt8_units() >= 13);
+            assert!(cl.frontier_bound_holds(3), "rho={rho}");
+            let f = cl.frontier(3).unwrap();
+            assert!(f.start.dist_sq(f.apex) >= Rat::int(100 * r * r));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frontier_bounds_hold(
+            r in 1i128..8,
+            rho_ratio in 0.0f64..=1.0,
+            l in 7i128..80,
+            inset in 1i128..4,
+            x in -30i128..30,
+            y in -30i128..30,
+        ) {
+            let rho = -((rho_ratio * r as f64).round() as i128).clamp(0, r);
+            let cl = CommittedLine::new(r, rho, Pt::int(x, y), l);
+            prop_assert!(cl.frontier_bound_holds(inset),
+                "bound fails r={r} rho={rho} l={l} inset={inset}");
+            let f = cl.frontier(inset).unwrap();
+            prop_assert!(f.apex_above_base());
+        }
+
+        #[test]
+        fn prop_advance_preserves_supporting_slope(
+            r in 1i128..8, l in 4i128..40,
+        ) {
+            let cl = CommittedLine::new(r, -1, Pt::int(0, 0), l);
+            if let Some(next) = cl.advance() {
+                prop_assert_eq!(next.segments(), l - 2);
+                // One unit higher than the old P1.
+                prop_assert_eq!(next.marker(0).y, cl.marker(1).y + Rat::ONE);
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Expanding lines and circle growth (paper §4, Figure 8,
+//! Lemmas 9–11).
+//!
+//! An *expanding line* is a chord of the grown `Vtrue` circle whose slope
+//! `h ∈ (−1, 0)` is generally not a committed-line slope `ρ/r`. Lemma 9
+//! sandwiches it between two 37-unit float committed lines — `EE1` of
+//! slope `ρ/r` anchored at its left end and `E'E'1` of slope `(ρ+1)/r`
+//! ending at its right end — and claims at least one of their frontier
+//! apexes clears the expanding line by `d > 1.25`. Lemma 10 turns that
+//! clearance into a ring of width `δ` around a circle of radius
+//! `R = 550r²`, and Lemma 11 bootstraps the circle from the cross-shaped
+//! area.
+//!
+//! Everything in the Lemma 9 check is exact rational arithmetic
+//! ([`lemma9_holds`]); the circle quantities involve one square root and
+//! use `f64` with explicit slack ([`sagitta`], [`lemma10_delta`]).
+//!
+//! # Reproduction notes (verified by this module's tests, see
+//! `EXPERIMENTS.md` EXP-G2)
+//!
+//! * The paper states `|HH1| < 0.72` and `δ > 0.53` at `R = 550r²`. The
+//!   actual sagitta of a `74r` chord at that radius is `≈ 1.2446` (worst
+//!   at `r = 1`), so `δ ≈ 0.0054`: the *conclusion* of Lemma 10 (some
+//!   `δ > 0`) holds — indeed `550r²` is almost exactly the smallest
+//!   radius that works (threshold `≈ 548.2r²` at `r = 1`) — but the
+//!   intermediate constants would require `R ≈ 950r²`.
+//! * Lemma 11 concludes from a covered square of side `778r²` that the
+//!   circle of radius `550r²` is covered; `778/2 = 389 < 550`, so the
+//!   square actually *inscribes* the circle rather than containing it.
+//!   The corrected bootstrap needs a square of side `1100r²` (cross arm
+//!   half-length `550r²`), leaving the Θ(r³) cross-size claim intact.
+
+use crate::committed::CommittedLine;
+use crate::point::{Line, Pt};
+use crate::rat::Rat;
+
+/// Number of marker units in the Lemma 9 committed lines. The paper says
+/// "length 37r"; we use 37 marker units (length `37·√(r²+ρ²) ≥ 37r`),
+/// which can only lengthen the lines and preserves every bound used by
+/// the proof (`⌊37/(2√2)⌋ − 3 = 10`, the ">10r" step).
+pub const LEMMA9_UNITS: i128 = 37;
+
+/// The clearance threshold of Lemma 9.
+pub fn clearance_threshold() -> Rat {
+    Rat::new(5, 4)
+}
+
+/// The two frontier-apex clearances of the Lemma 9 construction for an
+/// expanding line of slope `h` (exact). Returns `(d_low, d_high)` where
+/// `d_low` comes from the slope-`ρ/r` line `EE1` and `d_high` from the
+/// slope-`(ρ+1)/r` line `E'E'1`; a clearance is `None` when that apex is
+/// not strictly above the expanding line.
+///
+/// `h` must satisfy `ρ/r ≤ h < (ρ+1)/r` with `−r ≤ ρ ≤ −1`.
+pub fn lemma9_clearances(r: i128, rho: i128, h: Rat) -> (Option<Rat>, Option<Rat>) {
+    assert!(r >= 1 && (-r..=-1).contains(&rho), "invalid (r, rho)");
+    assert!(
+        Rat::new(rho, r) <= h && h < Rat::new(rho + 1, r),
+        "slope h={h} outside [{rho}/{r}, {}/{r})",
+        rho + 1
+    );
+    let e = Pt::int(0, 0);
+    let chord = Line::through_with_slope(e, h);
+
+    // EE1: slope rho/r, anchored at E, extending right.
+    let low = CommittedLine::new(r, rho, e, LEMMA9_UNITS);
+    // E'E'1: slope (rho+1)/r, *ending* at a point of the chord line.
+    // Distances to the chord line are translation-invariant along the
+    // chord, so we can anchor the right end at E itself.
+    let anchor = e.offset(
+        Rat::int(-LEMMA9_UNITS * r),
+        Rat::int(-LEMMA9_UNITS * (rho + 1)),
+    );
+    let high = CommittedLine::new(r, rho + 1, anchor, LEMMA9_UNITS);
+
+    let clearance = |cl: &CommittedLine| -> Option<Rat> {
+        let f = cl.frontier(3)?;
+        // Above the chord means eval < 0 for a line stored as
+        // h·x − y + c = 0 (b = −1).
+        let v = chord.eval(f.apex);
+        if v >= Rat::ZERO {
+            return None;
+        }
+        Some(chord.dist_sq(f.apex))
+    };
+    (clearance(&low), clearance(&high))
+}
+
+/// Exact check of Lemma 9 for one `(r, ρ, h)`: at least one frontier apex
+/// clears the expanding line by strictly more than `5/4`.
+pub fn lemma9_holds(r: i128, rho: i128, h: Rat) -> bool {
+    let threshold_sq = clearance_threshold().square();
+    let (lo, hi) = lemma9_clearances(r, rho, h);
+    lo.map(|d| d > threshold_sq).unwrap_or(false)
+        || hi.map(|d| d > threshold_sq).unwrap_or(false)
+}
+
+/// Sweeps Lemma 9 over every `ρ ∈ [−r, −1]` and `subdivisions` slope
+/// samples per `[ρ/r, (ρ+1)/r)` interval; returns the minimum clearance
+/// observed (as `f64`, for reporting) and whether the `> 1.25` bound held
+/// everywhere.
+pub fn lemma9_sweep(r: i128, subdivisions: i128) -> (f64, bool) {
+    let mut min_clearance_sq = f64::INFINITY;
+    let mut all_hold = true;
+    for rho in -r..=-1 {
+        for j in 0..subdivisions {
+            let h = Rat::new(rho * subdivisions + j, r * subdivisions);
+            all_hold &= lemma9_holds(r, rho, h);
+            let (lo, hi) = lemma9_clearances(r, rho, h);
+            let best = [lo, hi]
+                .into_iter()
+                .flatten()
+                .map(Rat::to_f64)
+                .fold(f64::NEG_INFINITY, f64::max);
+            min_clearance_sq = min_clearance_sq.min(best);
+        }
+    }
+    (min_clearance_sq.max(0.0).sqrt(), all_hold)
+}
+
+/// Sagitta of a chord of length `chord` in a circle of radius `radius`:
+/// the bulge height `R − √(R² − (chord/2)²)`, i.e. the paper's `|HH1|`.
+pub fn sagitta(radius: f64, chord: f64) -> f64 {
+    assert!(radius > 0.0 && chord >= 0.0 && chord <= 2.0 * radius);
+    radius - (radius * radius - chord * chord / 4.0).sqrt()
+}
+
+/// Lemma 10's ring width `δ = 1.25 − |HH1|` for a circle of radius
+/// `coeff · r²` and the paper's `74r` expanding-line chords. Positive iff
+/// the circle can grow.
+pub fn lemma10_delta(r: u32, coeff: f64) -> f64 {
+    let rf = f64::from(r);
+    1.25 - sagitta(coeff * rf * rf, 74.0 * rf)
+}
+
+/// Smallest radius coefficient `c` (circle radius `c·r²`) for which the
+/// `74r` chord sagitta stays below the `1.25` clearance at this `r` —
+/// i.e. the radius where circle growth becomes self-sustaining.
+pub fn min_growth_coeff(r: u32) -> f64 {
+    // Solve R − √(R² − 1369 r²) = 1.25 for R = c·r²:
+    // R = (1369 r² + 1.25²) / (2 · 1.25).
+    let rf = f64::from(r);
+    (1369.0 * rf * rf + 1.25 * 1.25) / (2.5 * rf * rf)
+}
+
+/// Whether a centered square of side `side_coeff · r²` contains the
+/// centered disc of radius `radius_coeff · r²` (the containment Lemma 11
+/// needs for its bootstrap step).
+pub fn square_contains_disc(side_coeff: f64, radius_coeff: f64) -> bool {
+    side_coeff / 2.0 >= radius_coeff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma9_holds_small_r_exhaustive_slopes() {
+        for r in 2i128..=8 {
+            let (min_d, ok) = lemma9_sweep(r, 16);
+            assert!(ok, "Lemma 9 fails for r={r} (min clearance {min_d})");
+            assert!(min_d > 1.25);
+        }
+    }
+
+    #[test]
+    fn lemma9_boundary_slopes() {
+        // h exactly at rho/r (a committed slope) must also clear.
+        for r in 2i128..=6 {
+            for rho in -r..=-1 {
+                assert!(lemma9_holds(r, rho, Rat::new(rho, r)), "r={r} rho={rho}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn lemma9_rejects_out_of_range_slope() {
+        let _ = lemma9_clearances(4, -2, Rat::new(-1, 8));
+    }
+
+    #[test]
+    fn sagitta_basics() {
+        // Diameter chord: sagitta = radius.
+        assert!((sagitta(10.0, 20.0) - 10.0).abs() < 1e-12);
+        // Zero chord: zero.
+        assert_eq!(sagitta(10.0, 0.0), 0.0);
+        // Monotone in chord length.
+        assert!(sagitta(100.0, 60.0) > sagitta(100.0, 30.0));
+    }
+
+    #[test]
+    fn lemma10_holds_at_550_but_barely() {
+        for r in 1..=64u32 {
+            let delta = lemma10_delta(r, 550.0);
+            assert!(delta > 0.0, "no growth at r={r}");
+        }
+        // Worst case is r = 1: delta ~ 0.0054, far from the paper's 0.53.
+        let worst = lemma10_delta(1, 550.0);
+        assert!(worst < 0.01, "paper's delta > 0.53 would need R ~ 950r^2");
+        // The paper's intermediate numbers match R = 950r^2 instead.
+        let s950 = sagitta(950.0, 74.0);
+        assert!(s950 < 0.725 && s950 > 0.715);
+        assert!(1.25 - s950 > 0.529);
+    }
+
+    #[test]
+    fn growth_threshold_matches_550() {
+        // 550 is just above the self-sustaining threshold at r = 1 ...
+        let c1 = min_growth_coeff(1);
+        assert!(c1 < 550.0 && c1 > 548.0, "threshold {c1}");
+        // ... and the threshold decreases toward 547.6 for larger r.
+        assert!(min_growth_coeff(10) < c1);
+        assert!((min_growth_coeff(100) - 547.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn lemma11_square_constant_is_inverted() {
+        // The paper's 778r^2 square does NOT contain the 550r^2 disc...
+        assert!(!square_contains_disc(778.0, 550.0));
+        // ...it is (essentially) the inscribed square of that disc...
+        assert!((550.0 * 2f64.sqrt() - 777.8).abs() < 0.1);
+        // ...and the corrected bootstrap square has side 1100r^2.
+        assert!(square_contains_disc(1100.0, 550.0));
+    }
+}
+
+/// The inner claim of Lemma 9's proof (Figure 8(b)): the minimum angle
+/// `∠3` between adjacent committed-line directions satisfies
+/// `sin ∠3 ≥ 1/(2r)`, attained between the slopes `−1` and `−(r−1)/r`.
+///
+/// Computed exactly: for directions `u = (r, ρ)` and `v = (r, ρ+1)`,
+/// `sin ∠ = |u × v| / (|u|·|v|) = r / √((r²+ρ²)(r²+(ρ+1)²))`, and
+/// `sin ∠ ≥ 1/(2r) ⟺ 4r⁴ ≥ (r²+ρ²)(r²+(ρ+1)²)`, an integer
+/// comparison.
+pub fn lemma9_sin_angle3_holds(r: i128) -> bool {
+    assert!(r >= 1);
+    (-r..0).all(|rho| {
+        let lhs = 4 * r * r * r * r;
+        let rhs = (r * r + rho * rho) * (r * r + (rho + 1) * (rho + 1));
+        lhs >= rhs
+    })
+}
+
+/// The exact minimum `sin ∠3` over adjacent committed slopes, as the
+/// pair `(r², (r²+ρ²)(r²+(ρ+1)²))` minimizing `r²/√(rhs)` — returned as
+/// `f64` for reporting.
+pub fn lemma9_min_sin_angle3(r: i128) -> f64 {
+    assert!(r >= 1);
+    (-r..0)
+        .map(|rho| {
+            let rhs = ((r * r + rho * rho) * (r * r + (rho + 1) * (rho + 1))) as f64;
+            r as f64 / rhs.sqrt()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod angle_tests {
+    use super::*;
+
+    #[test]
+    fn sin_angle3_bound_exact() {
+        for r in 1..=64i128 {
+            assert!(lemma9_sin_angle3_holds(r), "r={r}");
+            let min_sin = lemma9_min_sin_angle3(r);
+            assert!(
+                min_sin >= 1.0 / (2.0 * r as f64) - 1e-12,
+                "r={r}: {min_sin}"
+            );
+            // And the bound is asymptotically tight (within 2x).
+            assert!(min_sin <= 1.0 / (r as f64), "r={r}: {min_sin}");
+        }
+    }
+
+    #[test]
+    fn minimum_attained_at_steepest_pair() {
+        // The paper: "the minimum ∠3 corresponds to ∠F_r E F_{r−1}",
+        // i.e. slopes −1 and −(r−1)/r.
+        let r = 8i128;
+        let steep = {
+            let rho = -r;
+            let rhs = ((r * r + rho * rho) * (r * r + (rho + 1) * (rho + 1))) as f64;
+            r as f64 / rhs.sqrt()
+        };
+        assert!((lemma9_min_sin_angle3(r) - steep).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,90 @@
+//! Computational verification of the geometric machinery behind
+//! Theorem 3 (heterogeneous budgets) of the paper — Section 4's
+//! committed lines, frontiers, expanding lines and circle growth
+//! (Lemmas 5–11, Figures 6–8).
+//!
+//! The paper's induction replaces the usual square "growing body" of the
+//! `Vtrue`-covered region with a *circle*, eliminating the weak corner
+//! nodes. The price is a set of geometric propagation patterns whose
+//! constants (`37r` committed-line lengths, clearance `d > 1.25`, ring
+//! width `δ > 0.53`, radius `550r²`, square side `778r²`) the paper
+//! asserts with sketched proofs. This crate re-derives all of them:
+//!
+//! * [`rat`] — exact rational arithmetic over `i128` (sufficient for
+//!   every construction in the paper);
+//! * [`point`] — points, lines, intersections and *squared* distances
+//!   over the rationals, so every comparison in the lemmas is exact;
+//! * [`committed`] — committed lines and their frontiers (Lemmas 5–8);
+//! * [`expanding`] — expanding lines, the Lemma 9 clearance bound, and
+//!   the Lemma 10 circle-growth quantities.
+//!
+//! Everything expressible with rational slopes and integer endpoints is
+//! checked **exactly**; the few quantities involving `√2`/arc lengths are
+//! bounded with directed floating-point slack (documented per function).
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_geometry::{CommittedLine, Pt};
+//!
+//! // A committed line of slope -1/4 with 10 marker steps (Figure 6).
+//! let line = CommittedLine::new(4, -1, Pt::int(0, 0), 10);
+//! // Lemma 6's frontier bound |P1 v0| >= (floor(|L|/2sqrt2 r) - 1) r,
+//! // verified with exact rational arithmetic:
+//! assert!(line.frontier_bound_holds(1));
+//! let f = line.frontier(1).unwrap();
+//! assert!(f.apex_above_base());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod committed;
+pub mod expanding;
+pub mod point;
+pub mod rat;
+
+pub use committed::{CommittedLine, Frontier};
+pub use point::{Line, Pt};
+pub use rat::Rat;
+
+/// Integer square root: `⌊√x⌋` for `x ≥ 0`.
+pub fn isqrt(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    let mut guess = 1u128 << ((128 - x.leading_zeros()).div_ceil(2));
+    loop {
+        let next = (guess + x / guess) / 2;
+        if next >= guess {
+            return guess;
+        }
+        guess = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn isqrt_small() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(u128::from(u64::MAX)), (1 << 32) - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn isqrt_is_floor_sqrt(x in 0u128..(1 << 100)) {
+            let s = isqrt(x);
+            prop_assert!(s * s <= x);
+            prop_assert!((s + 1).checked_mul(s + 1).map(|v| v > x).unwrap_or(true));
+        }
+    }
+}

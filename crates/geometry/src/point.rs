@@ -1,0 +1,205 @@
+//! Exact points and lines in the plane.
+
+use crate::rat::Rat;
+
+/// A point with rational coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pt {
+    /// Abscissa.
+    pub x: Rat,
+    /// Ordinate.
+    pub y: Rat,
+}
+
+impl Pt {
+    /// A point from rational coordinates.
+    pub fn new(x: Rat, y: Rat) -> Self {
+        Pt { x, y }
+    }
+
+    /// A point from integer coordinates (grid nodes).
+    pub fn int(x: i128, y: i128) -> Self {
+        Pt {
+            x: Rat::int(x),
+            y: Rat::int(y),
+        }
+    }
+
+    /// Squared Euclidean distance to `other` (exact).
+    pub fn dist_sq(self, other: Pt) -> Rat {
+        (self.x - other.x).square() + (self.y - other.y).square()
+    }
+
+    /// Componentwise translation.
+    pub fn offset(self, dx: Rat, dy: Rat) -> Pt {
+        Pt {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+/// A line `a·x + b·y + c = 0` with rational coefficients, not both of
+/// `a, b` zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Coefficient of `x`.
+    pub a: Rat,
+    /// Coefficient of `y`.
+    pub b: Rat,
+    /// Constant term.
+    pub c: Rat,
+}
+
+impl Line {
+    /// The line through `p` with slope `slope` (as a rational).
+    pub fn through_with_slope(p: Pt, slope: Rat) -> Self {
+        // y - p.y = slope (x - p.x)  =>  slope*x - y + (p.y - slope*p.x) = 0
+        Line {
+            a: slope,
+            b: -Rat::ONE,
+            c: p.y - slope * p.x,
+        }
+    }
+
+    /// The line through two distinct points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points coincide.
+    pub fn through(p: Pt, q: Pt) -> Self {
+        assert!(p != q, "degenerate line through identical points");
+        // (y_q - y_p) x - (x_q - x_p) y + (x_q y_p - x_p y_q) = 0
+        Line {
+            a: q.y - p.y,
+            b: p.x - q.x,
+            c: q.x * p.y - p.x * q.y,
+        }
+    }
+
+    /// Signed evaluation `a·x + b·y + c` at `p` (zero iff `p` is on the
+    /// line).
+    pub fn eval(self, p: Pt) -> Rat {
+        self.a * p.x + self.b * p.y + self.c
+    }
+
+    /// Intersection point of two non-parallel lines.
+    ///
+    /// Returns `None` for parallel (or identical) lines.
+    pub fn intersect(self, other: Line) -> Option<Pt> {
+        let det = self.a * other.b - other.a * self.b;
+        if det == Rat::ZERO {
+            return None;
+        }
+        let x = (self.b * other.c - other.b * self.c) / det;
+        let y = (other.a * self.c - self.a * other.c) / det;
+        Some(Pt { x, y })
+    }
+
+    /// Exact comparison of the point-to-line distance against a rational
+    /// threshold: returns `true` iff `dist(p, line) > threshold`.
+    ///
+    /// Works entirely in rationals by comparing
+    /// `eval(p)² > threshold² · (a² + b²)`.
+    pub fn dist_exceeds(self, p: Pt, threshold: Rat) -> bool {
+        debug_assert!(threshold >= Rat::ZERO);
+        self.eval(p).square() > threshold.square() * (self.a.square() + self.b.square())
+    }
+
+    /// Squared point-to-line distance (exact rational).
+    pub fn dist_sq(self, p: Pt) -> Rat {
+        self.eval(p).square() / (self.a.square() + self.b.square())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_through_points_contains_them() {
+        let p = Pt::int(1, 2);
+        let q = Pt::int(5, -3);
+        let l = Line::through(p, q);
+        assert_eq!(l.eval(p), Rat::ZERO);
+        assert_eq!(l.eval(q), Rat::ZERO);
+    }
+
+    #[test]
+    fn slope_form() {
+        let l = Line::through_with_slope(Pt::int(0, 1), Rat::new(1, 2));
+        assert_eq!(l.eval(Pt::int(2, 2)), Rat::ZERO);
+        assert_eq!(l.eval(Pt::int(4, 3)), Rat::ZERO);
+        assert!(l.eval(Pt::int(0, 0)) != Rat::ZERO);
+    }
+
+    #[test]
+    fn intersection() {
+        let l1 = Line::through(Pt::int(0, 0), Pt::int(4, 4)); // y = x
+        let l2 = Line::through(Pt::int(0, 4), Pt::int(4, 0)); // y = 4 - x
+        let p = l1.intersect(l2).unwrap();
+        assert_eq!(p, Pt::int(2, 2));
+        // Parallel lines do not intersect.
+        let l3 = Line::through(Pt::int(0, 1), Pt::int(4, 5));
+        assert_eq!(l1.intersect(l3), None);
+    }
+
+    #[test]
+    fn distance_comparisons() {
+        let l = Line::through(Pt::int(0, 0), Pt::int(1, 0)); // x-axis
+        let p = Pt::int(3, 2);
+        assert_eq!(l.dist_sq(p), Rat::int(4));
+        assert!(l.dist_exceeds(p, Rat::new(3, 2)));
+        assert!(!l.dist_exceeds(p, Rat::int(2)));
+        assert!(!l.dist_exceeds(p, Rat::int(3)));
+    }
+
+    #[test]
+    fn dist_sq_between_points() {
+        assert_eq!(Pt::int(0, 0).dist_sq(Pt::int(3, 4)), Rat::int(25));
+        assert_eq!(
+            Pt::new(Rat::new(1, 2), Rat::ZERO).dist_sq(Pt::ZERO_INT),
+            Rat::new(1, 4)
+        );
+    }
+
+    impl Pt {
+        const ZERO_INT: Pt = Pt {
+            x: Rat::ZERO,
+            y: Rat::ZERO,
+        };
+    }
+
+    fn small_pt() -> impl Strategy<Value = Pt> {
+        (-50i128..50, -50i128..50).prop_map(|(x, y)| Pt::int(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_lies_on_both(
+            p1 in small_pt(), q1 in small_pt(), p2 in small_pt(), q2 in small_pt()
+        ) {
+            prop_assume!(p1 != q1 && p2 != q2);
+            let l1 = Line::through(p1, q1);
+            let l2 = Line::through(p2, q2);
+            if let Some(x) = l1.intersect(l2) {
+                prop_assert_eq!(l1.eval(x), Rat::ZERO);
+                prop_assert_eq!(l2.eval(x), Rat::ZERO);
+            }
+        }
+
+        #[test]
+        fn prop_dist_exceeds_consistent_with_dist_sq(
+            p in small_pt(), q in small_pt(), x in small_pt(), t in 0i128..20
+        ) {
+            prop_assume!(p != q);
+            let l = Line::through(p, q);
+            let threshold = Rat::new(t, 3);
+            prop_assert_eq!(
+                l.dist_exceeds(x, threshold),
+                l.dist_sq(x) > threshold.square()
+            );
+        }
+    }
+}

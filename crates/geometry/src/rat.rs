@@ -1,0 +1,234 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Every construction in the paper's Section 4 involves lines with
+//! rational slopes `ρ/r` (`|ρ| ≤ r ≤` a few dozen) through points with
+//! small integer coordinates, so `i128` numerators/denominators never
+//! overflow in practice (debug builds check every operation).
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A rational number, always stored in lowest terms with a positive
+/// denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// `num / den`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// An integer as a rational.
+    pub fn int(n: i128) -> Self {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (lowest terms, sign-carrying).
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (lowest terms, always positive).
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `⌊self⌋`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Lossy conversion for reporting.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Square.
+    pub fn square(self) -> Self {
+        self * self
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(rhs.num != 0, "division by zero");
+        Rat::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(i128::from(n))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+        assert_eq!(Rat::new(3, 3), Rat::ONE);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rat::new(1, 2);
+        let third = Rat::new(1, 3);
+        assert_eq!(half + third, Rat::new(5, 6));
+        assert_eq!(half - third, Rat::new(1, 6));
+        assert_eq!(half * third, Rat::new(1, 6));
+        assert_eq!(half / third, Rat::new(3, 2));
+        assert_eq!(-half, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_and_floor() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::int(5).floor(), 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rat::int(-2).to_string(), "-2");
+    }
+
+    fn small_rat() -> impl Strategy<Value = Rat> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rat::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in small_rat(), b in small_rat(), c in small_rat()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Rat::ZERO, a);
+            prop_assert_eq!(a * Rat::ONE, a);
+            prop_assert_eq!(a - a, Rat::ZERO);
+            if b != Rat::ZERO {
+                prop_assert_eq!((a / b) * b, a);
+            }
+        }
+
+        #[test]
+        fn prop_floor_is_floor(a in small_rat()) {
+            let f = a.floor();
+            prop_assert!(Rat::int(f) <= a);
+            prop_assert!(a < Rat::int(f + 1));
+        }
+
+        #[test]
+        fn prop_ordering_total(a in small_rat(), b in small_rat()) {
+            prop_assert_eq!(a < b, b > a);
+            prop_assert_eq!(a == b, (a - b) == Rat::ZERO);
+            prop_assert_eq!(a.cmp(&b), a.to_f64().partial_cmp(&b.to_f64()).unwrap());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+use crate::NetError;
+
+/// A message budget: the central resource of the paper.
+///
+/// Every good node has a budget `m` and every bad node a budget `mf`;
+/// the base station is unbounded (paper §1.2: "We treat the base station
+/// as a special node that is not message-bounded").
+///
+/// The simulation engines *enforce* budgets — a protocol bug that
+/// over-spends surfaces as [`NetError::BudgetExceeded`] instead of silently
+/// producing results the paper's model forbids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    limit: Option<u64>,
+    spent: u64,
+}
+
+impl Budget {
+    /// A budget capped at `limit` message units.
+    pub fn limited(limit: u64) -> Self {
+        Budget {
+            limit: Some(limit),
+            spent: 0,
+        }
+    }
+
+    /// An unbounded budget (the base station).
+    pub fn unbounded() -> Self {
+        Budget {
+            limit: None,
+            spent: 0,
+        }
+    }
+
+    /// The configured cap, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Units spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Units still available (`u64::MAX` for unbounded budgets).
+    pub fn remaining(&self) -> u64 {
+        match self.limit {
+            Some(l) => l - self.spent,
+            None => u64::MAX,
+        }
+    }
+
+    /// Spends `n` units.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BudgetExceeded`] if fewer than `n` units remain; the
+    /// budget is left unchanged in that case.
+    pub fn try_spend(&mut self, n: u64) -> Result<(), NetError> {
+        if let Some(limit) = self.limit {
+            if self.spent + n > limit {
+                return Err(NetError::BudgetExceeded {
+                    limit,
+                    spent: self.spent,
+                    requested: n,
+                });
+            }
+        }
+        self.spent += n;
+        Ok(())
+    }
+
+    /// Spends as many of `n` units as the budget allows, returning how many
+    /// were actually spent. Adversary strategies use this for best-effort
+    /// spending.
+    pub fn spend_up_to(&mut self, n: u64) -> u64 {
+        let granted = n.min(self.remaining());
+        self.spent += granted;
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limited_budget_enforced() {
+        let mut b = Budget::limited(5);
+        assert_eq!(b.remaining(), 5);
+        b.try_spend(3).unwrap();
+        assert_eq!(b.spent(), 3);
+        let err = b.try_spend(3).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::BudgetExceeded {
+                limit: 5,
+                spent: 3,
+                requested: 3
+            }
+        ));
+        // Failed spend does not consume anything.
+        assert_eq!(b.spent(), 3);
+        b.try_spend(2).unwrap();
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn unbounded_budget_never_fails() {
+        let mut b = Budget::unbounded();
+        b.try_spend(u64::MAX / 2).unwrap();
+        b.try_spend(1_000_000).unwrap();
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn spend_up_to_caps() {
+        let mut b = Budget::limited(4);
+        assert_eq!(b.spend_up_to(3), 3);
+        assert_eq!(b.spend_up_to(3), 1);
+        assert_eq!(b.spend_up_to(3), 0);
+        assert_eq!(b.spent(), 4);
+    }
+}

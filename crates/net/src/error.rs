@@ -1,0 +1,64 @@
+use core::fmt;
+
+/// Errors produced by the network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The requested grid dimensions cannot host a torus with the requested
+    /// radio range (each dimension must be at least `2r + 1` so a
+    /// neighborhood never wraps onto itself, and `r ≥ 1`).
+    InvalidGrid {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+        /// Requested radio range.
+        r: u32,
+    },
+    /// A node attempted to transmit beyond its message budget.
+    BudgetExceeded {
+        /// The configured budget limit.
+        limit: u64,
+        /// Units already spent.
+        spent: u64,
+        /// Units the failed call asked for.
+        requested: u64,
+    },
+    /// A spatial-reuse schedule requires both torus dimensions to be
+    /// multiples of `2r + 1`; these dimensions are not.
+    ScheduleUnavailable {
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+        /// Radio range.
+        r: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NetError::InvalidGrid { width, height, r } => write!(
+                f,
+                "invalid grid: {width}x{height} torus cannot host radio range r={r} \
+                 (need r >= 1 and both dimensions >= 2r+1)"
+            ),
+            NetError::BudgetExceeded {
+                limit,
+                spent,
+                requested,
+            } => write!(
+                f,
+                "message budget exceeded: limit {limit}, already spent {spent}, requested {requested}"
+            ),
+            NetError::ScheduleUnavailable { width, height, r } => write!(
+                f,
+                "spatial-reuse schedule needs dimensions divisible by 2r+1={}, got {width}x{height}",
+                2 * r + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

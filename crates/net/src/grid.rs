@@ -1,0 +1,263 @@
+use crate::NetError;
+
+/// Identifier of a node: its row-major index on the grid
+/// (`id = y * width + x`).
+pub type NodeId = usize;
+
+/// A grid coordinate. Coordinates are canonical, i.e. always within
+/// `[0, width) × [0, height)`; arithmetic that can leave the grid goes
+/// through [`Grid::wrap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column, in `[0, width)`.
+    pub x: u32,
+    /// Row, in `[0, height)`.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Convenience constructor.
+    pub const fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+}
+
+/// A toroidal unit grid of sensor nodes with a common integer radio range
+/// `r`, under the **L∞ metric** (the paper's §1.2 model).
+///
+/// Node `(x, y)` hears every node in the `(2r+1) × (2r+1)` square centered
+/// at it (torus-wrapped), excluding itself. The torus assumption mirrors
+/// the paper ("to avoid edge effect we assume that the network is
+/// toroidal").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    width: u32,
+    height: u32,
+    r: u32,
+}
+
+impl Grid {
+    /// Creates a torus of `width × height` nodes with radio range `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidGrid`] unless `r ≥ 1` and both dimensions
+    /// are at least `2r + 1` (so that a neighborhood never wraps onto
+    /// itself and neighbor sets have no duplicates).
+    pub fn new(width: u32, height: u32, r: u32) -> Result<Self, NetError> {
+        let side = 2 * r + 1;
+        if r == 0 || width < side || height < side {
+            return Err(NetError::InvalidGrid { width, height, r });
+        }
+        Ok(Grid { width, height, r })
+    }
+
+    /// Grid width (number of columns).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height (number of rows).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The common radio range `r`.
+    pub fn range(&self) -> u32 {
+        self.r
+    }
+
+    /// Total number of nodes `n = width × height`.
+    pub fn node_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of nodes in any (open) neighborhood:
+    /// `(2r+1)² − 1 = 2·r·(2r+1)`.
+    pub fn neighborhood_size(&self) -> usize {
+        let side = (2 * self.r + 1) as usize;
+        side * side - 1
+    }
+
+    /// The paper's recurring quantity `r(2r + 1)`: the number of nodes in
+    /// an `r × (2r+1)` rectangle (e.g. the intersection of a neighborhood
+    /// with the r-row stripe of Figure 1, or the half-neighborhood sets
+    /// `D = [a−r..a+r, b+1..b+r]` of Lemma 3). The local adversary bound
+    /// is `t < r(2r+1)` in the known-budget model and `t < ½r(2r+1)` in
+    /// the unknown-budget model.
+    pub fn r_2r_plus_1(&self) -> u64 {
+        u64::from(self.r) * u64::from(2 * self.r + 1)
+    }
+
+    /// Maps a coordinate to its [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds (coordinates are expected
+    /// to be canonical; use [`Grid::wrap`] first for raw arithmetic).
+    pub fn id_of(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.width && c.y < self.height, "coord out of bounds");
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Maps raw `(x, y)` (canonical) to its [`NodeId`].
+    pub fn id_at(&self, x: u32, y: u32) -> NodeId {
+        self.id_of(Coord::new(x, y))
+    }
+
+    /// Inverse of [`Grid::id_of`].
+    pub fn coord_of(&self, id: NodeId) -> Coord {
+        debug_assert!(id < self.node_count());
+        Coord {
+            x: (id % self.width as usize) as u32,
+            y: (id / self.width as usize) as u32,
+        }
+    }
+
+    /// Wraps arbitrary integer coordinates onto the torus.
+    pub fn wrap(&self, x: i64, y: i64) -> Coord {
+        Coord {
+            x: x.rem_euclid(i64::from(self.width)) as u32,
+            y: y.rem_euclid(i64::from(self.height)) as u32,
+        }
+    }
+
+    /// Toroidal displacement along one axis: the signed difference of
+    /// minimum absolute value.
+    fn axis_delta(a: u32, b: u32, len: u32) -> u32 {
+        let d = (i64::from(a) - i64::from(b)).rem_euclid(i64::from(len)) as u32;
+        d.min(len - d)
+    }
+
+    /// Toroidal **L∞** distance between two nodes.
+    pub fn linf_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        let dx = Self::axis_delta(ca.x, cb.x, self.width);
+        let dy = Self::axis_delta(ca.y, cb.y, self.height);
+        dx.max(dy)
+    }
+
+    /// Whether `a` and `b` are within radio range of each other
+    /// (`a ≠ b` and `L∞(a, b) ≤ r`).
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.linf_distance(a, b) <= self.r
+    }
+
+    /// Iterates over the (open) neighborhood of `id`: every node within L∞
+    /// distance `r`, excluding `id` itself. Yields exactly
+    /// [`Grid::neighborhood_size`] distinct ids.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let c = self.coord_of(id);
+        let r = i64::from(self.r);
+        (-r..=r).flat_map(move |dy| {
+            (-r..=r).filter_map(move |dx| {
+                if dx == 0 && dy == 0 {
+                    None
+                } else {
+                    Some(self.id_of(self.wrap(i64::from(c.x) + dx, i64::from(c.y) + dy)))
+                }
+            })
+        })
+    }
+
+    /// Iterates over the *closed* neighborhood (`id` included).
+    pub fn closed_neighborhood(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(id).chain(self.neighbors(id))
+    }
+
+    /// Iterates over all node ids in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count()
+    }
+
+    /// Nodes common to the neighborhoods of `a` and `b` — the receivers a
+    /// collision between transmitters `a` and `b` affects.
+    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        self.neighbors(a)
+            .filter(|&u| u != b && self.are_neighbors(b, u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_grids() {
+        assert!(Grid::new(10, 10, 0).is_err());
+        assert!(Grid::new(4, 10, 2).is_err()); // width < 2r+1
+        assert!(Grid::new(10, 4, 2).is_err()); // height < 2r+1
+        assert!(Grid::new(5, 5, 2).is_ok()); // exactly 2r+1 is fine
+    }
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let g = Grid::new(7, 9, 2).unwrap();
+        for id in g.nodes() {
+            assert_eq!(g.id_of(g.coord_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn neighborhood_size_matches_formula() {
+        for r in 1..5u32 {
+            let g = Grid::new(6 * r, 6 * r, r).unwrap();
+            let id = g.id_at(0, 0);
+            let nbrs: Vec<_> = g.neighbors(id).collect();
+            assert_eq!(nbrs.len(), ((2 * r + 1) * (2 * r + 1) - 1) as usize);
+            assert_eq!(nbrs.len(), g.neighborhood_size());
+            // All distinct.
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), nbrs.len());
+            // r(2r+1) counts an r x (2r+1) rectangle.
+            assert_eq!(g.r_2r_plus_1(), u64::from(r) * u64::from(2 * r + 1));
+        }
+    }
+
+    #[test]
+    fn toroidal_distance_wraps() {
+        let g = Grid::new(10, 10, 2).unwrap();
+        let a = g.id_at(0, 0);
+        let b = g.id_at(9, 9);
+        assert_eq!(g.linf_distance(a, b), 1);
+        let c = g.id_at(5, 0);
+        assert_eq!(g.linf_distance(a, c), 5);
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let g = Grid::new(9, 11, 2).unwrap();
+        for a in g.nodes() {
+            for b in g.neighbors(a) {
+                assert!(g.are_neighbors(b, a), "asymmetric neighbor {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn common_neighbors_of_distant_nodes_empty() {
+        let g = Grid::new(20, 20, 2).unwrap();
+        let a = g.id_at(0, 0);
+        let b = g.id_at(10, 10);
+        assert!(g.common_neighbors(a, b).is_empty());
+        // Adjacent transmitters share most of their squares.
+        let c = g.id_at(1, 0);
+        let common = g.common_neighbors(a, c);
+        assert!(!common.is_empty());
+        for u in common {
+            assert!(g.are_neighbors(a, u) && g.are_neighbors(c, u));
+        }
+    }
+
+    #[test]
+    fn wrap_handles_negatives() {
+        let g = Grid::new(10, 10, 2).unwrap();
+        assert_eq!(g.wrap(-1, -1), Coord::new(9, 9));
+        assert_eq!(g.wrap(10, 20), Coord::new(0, 0));
+        assert_eq!(g.wrap(-13, 3), Coord::new(7, 3));
+    }
+}

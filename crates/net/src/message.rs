@@ -1,0 +1,71 @@
+use core::fmt;
+
+/// An opaque broadcast value.
+///
+/// The paper broadcasts a single value `Vtrue`; the adversary tries to trick
+/// good nodes into accepting anything else. We model values as small
+/// integers: [`Value::TRUE`] is the value injected by the base station, and
+/// adversaries forge arbitrary other values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The correct value `Vtrue` originating at the base station.
+    pub const TRUE: Value = Value(1);
+
+    /// A canonical forged value, used by adversary strategies that only
+    /// need one wrong value (delivering a *single* consistent wrong value
+    /// is the adversary's best play against threshold/majority rules).
+    pub const FORGED: Value = Value(0xBAD);
+
+    /// Whether this is the correct broadcast value.
+    pub fn is_true(self) -> bool {
+        self == Value::TRUE
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            write!(f, "Vtrue")
+        } else {
+            write!(f, "V({:#x})", self.0)
+        }
+    }
+}
+
+/// Whether a node is honest or Byzantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An honest node following the protocol, with message budget `m`.
+    Good,
+    /// A Byzantine ("bad") node with attack budget `mf`; it may forge
+    /// values and cause collisions.
+    Bad,
+}
+
+impl NodeKind {
+    /// `true` for [`NodeKind::Good`].
+    pub fn is_good(self) -> bool {
+        matches!(self, NodeKind::Good)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::TRUE.to_string(), "Vtrue");
+        assert_eq!(Value(0x2a).to_string(), "V(0x2a)");
+        assert!(Value::TRUE.is_true());
+        assert!(!Value::FORGED.is_true());
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Good.is_good());
+        assert!(!NodeKind::Bad.is_good());
+    }
+}

@@ -1,0 +1,251 @@
+use crate::{Coord, Grid, NodeId};
+
+/// A set of grid nodes described geometrically.
+///
+/// Regions appear throughout the paper: the stripe of Figure 1 (Theorem 1's
+/// adversary), the rectangles of Lemmas 2–3, the cross-shaped
+/// high-budget area of Figure 5 (Theorem 3), and the growing disc of
+/// Lemmas 10–11.
+pub trait Region {
+    /// Whether the node at `c` belongs to the region (on the given torus).
+    fn contains(&self, grid: &Grid, c: Coord) -> bool;
+
+    /// Materializes the region as a list of node ids (row-major order).
+    fn nodes(&self, grid: &Grid) -> Vec<NodeId> {
+        grid.nodes()
+            .filter(|&id| self.contains(grid, grid.coord_of(id)))
+            .collect()
+    }
+
+    /// Number of nodes in the region.
+    fn len(&self, grid: &Grid) -> usize {
+        grid.nodes()
+            .filter(|&id| self.contains(grid, grid.coord_of(id)))
+            .count()
+    }
+
+    /// Whether the region contains no node of the grid.
+    fn is_empty(&self, grid: &Grid) -> bool {
+        self.len(grid) == 0
+    }
+}
+
+/// Toroidal signed-minimal axis displacement from `from` to `to`
+/// (absolute value).
+fn axis_dist(from: u32, to: u32, len: u32) -> u32 {
+    let d = (i64::from(to) - i64::from(from)).rem_euclid(i64::from(len)) as u32;
+    d.min(len - d)
+}
+
+/// An axis-aligned rectangle `[x0 .. x0+w) × [y0 .. y0+h)` on the torus
+/// (the paper's `[x1..x2, y1..y2]` node sets, half-open here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left column (canonical).
+    pub x0: u32,
+    /// Top row (canonical).
+    pub y0: u32,
+    /// Width in columns (`≤ grid.width()`).
+    pub w: u32,
+    /// Height in rows (`≤ grid.height()`).
+    pub h: u32,
+}
+
+impl Rect {
+    /// Rectangle from inclusive corner coordinates
+    /// `[x1 ..= x2, y1 ..= y2]`, matching the paper's notation. The corners
+    /// may be given in raw (unwrapped) form.
+    pub fn inclusive(grid: &Grid, x1: i64, x2: i64, y1: i64, y2: i64) -> Self {
+        debug_assert!(x2 >= x1 && y2 >= y1);
+        let c = grid.wrap(x1, y1);
+        Rect {
+            x0: c.x,
+            y0: c.y,
+            w: u32::try_from(x2 - x1 + 1).expect("rect width overflow"),
+            h: u32::try_from(y2 - y1 + 1).expect("rect height overflow"),
+        }
+    }
+}
+
+impl Region for Rect {
+    fn contains(&self, grid: &Grid, c: Coord) -> bool {
+        let dx = (i64::from(c.x) - i64::from(self.x0)).rem_euclid(i64::from(grid.width())) as u32;
+        let dy = (i64::from(c.y) - i64::from(self.y0)).rem_euclid(i64::from(grid.height())) as u32;
+        dx < self.w && dy < self.h
+    }
+}
+
+/// A full-width horizontal stripe of `height` rows starting at row `y0`
+/// (Figure 1's adversarial band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripe {
+    /// First row of the stripe (canonical).
+    pub y0: u32,
+    /// Number of rows.
+    pub height: u32,
+}
+
+impl Region for Stripe {
+    fn contains(&self, grid: &Grid, c: Coord) -> bool {
+        let dy = (i64::from(c.y) - i64::from(self.y0)).rem_euclid(i64::from(grid.height())) as u32;
+        dy < self.height
+    }
+}
+
+/// The cross-shaped region of Figure 5: the union of a horizontal and a
+/// vertical bar centered at `(cx, cy)`, each of half-length `half_len`
+/// and half-width `half_width` (all inclusive).
+///
+/// In the paper the bars extend `Θ(r²)` in length and `Θ(r)` in width, so
+/// the cross holds `Θ(r³)` nodes — the only nodes that need the elevated
+/// budget `m' ≈ 2·m0` under protocol `Bheter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cross {
+    /// Center column.
+    pub cx: u32,
+    /// Center row.
+    pub cy: u32,
+    /// Arm half-length (inclusive).
+    pub half_len: u32,
+    /// Arm half-width (inclusive).
+    pub half_width: u32,
+}
+
+impl Cross {
+    /// The paper's configuration for radio range `r`: arms spanning the
+    /// `778·r²` square (half-length `389·r²`) with half-width `2r`.
+    pub fn paper_scale(cx: u32, cy: u32, r: u32) -> Self {
+        Cross {
+            cx,
+            cy,
+            half_len: 389 * r * r,
+            half_width: 2 * r,
+        }
+    }
+
+    /// A cross whose arms span the whole torus (used for reduced-scale
+    /// simulations where the paper-scale square exceeds the torus).
+    pub fn spanning(grid: &Grid, cx: u32, cy: u32, half_width: u32) -> Self {
+        Cross {
+            cx,
+            cy,
+            half_len: grid.width().max(grid.height()),
+            half_width,
+        }
+    }
+}
+
+impl Region for Cross {
+    fn contains(&self, grid: &Grid, c: Coord) -> bool {
+        let dx = axis_dist(self.cx, c.x, grid.width());
+        let dy = axis_dist(self.cy, c.y, grid.height());
+        (dx <= self.half_len && dy <= self.half_width)
+            || (dx <= self.half_width && dy <= self.half_len)
+    }
+}
+
+/// A Euclidean disc of radius `radius` centered at `(cx, cy)` — the
+/// "growing body" of Theorem 3's circular induction (Lemmas 10–11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disc {
+    /// Center column.
+    pub cx: u32,
+    /// Center row.
+    pub cy: u32,
+    /// Euclidean radius.
+    pub radius: f64,
+}
+
+impl Region for Disc {
+    fn contains(&self, grid: &Grid, c: Coord) -> bool {
+        let dx = f64::from(axis_dist(self.cx, c.x, grid.width()));
+        let dy = f64::from(axis_dist(self.cy, c.y, grid.height()));
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(20, 20, 2).unwrap()
+    }
+
+    #[test]
+    fn rect_inclusive_matches_paper_notation() {
+        let g = grid();
+        // [3..5, 4..4] is a 3x1 line of nodes.
+        let rect = Rect::inclusive(&g, 3, 5, 4, 4);
+        assert_eq!(rect.len(&g), 3);
+        assert!(rect.contains(&g, Coord::new(3, 4)));
+        assert!(rect.contains(&g, Coord::new(5, 4)));
+        assert!(!rect.contains(&g, Coord::new(6, 4)));
+        assert!(!rect.contains(&g, Coord::new(4, 5)));
+    }
+
+    #[test]
+    fn rect_wraps_around_torus() {
+        let g = grid();
+        let rect = Rect::inclusive(&g, -2, 1, -1, 0);
+        assert_eq!(rect.len(&g), 8);
+        assert!(rect.contains(&g, Coord::new(18, 19)));
+        assert!(rect.contains(&g, Coord::new(1, 0)));
+        assert!(!rect.contains(&g, Coord::new(2, 0)));
+    }
+
+    #[test]
+    fn stripe_covers_full_width() {
+        let g = grid();
+        let s = Stripe { y0: 18, height: 3 }; // wraps: rows 18, 19, 0
+        assert_eq!(s.len(&g), 60);
+        assert!(s.contains(&g, Coord::new(0, 0)));
+        assert!(s.contains(&g, Coord::new(10, 19)));
+        assert!(!s.contains(&g, Coord::new(10, 1)));
+    }
+
+    #[test]
+    fn cross_shape_and_size() {
+        let g = grid();
+        let c = Cross {
+            cx: 10,
+            cy: 10,
+            half_len: 6,
+            half_width: 1,
+        };
+        // Horizontal bar: 13 x 3; vertical bar: 3 x 13; overlap 3 x 3.
+        assert_eq!(c.len(&g), 13 * 3 + 3 * 13 - 9);
+        assert!(c.contains(&g, Coord::new(4, 10)));
+        assert!(c.contains(&g, Coord::new(10, 16)));
+        assert!(!c.contains(&g, Coord::new(4, 12)));
+    }
+
+    #[test]
+    fn cross_spanning_covers_axes() {
+        let g = grid();
+        let c = Cross::spanning(&g, 0, 0, 1);
+        assert!(c.contains(&g, Coord::new(9, 0)));
+        assert!(c.contains(&g, Coord::new(9, 1)));
+        assert!(!c.contains(&g, Coord::new(9, 2)));
+    }
+
+    #[test]
+    fn disc_euclidean() {
+        let g = grid();
+        let d = Disc {
+            cx: 10,
+            cy: 10,
+            radius: 2.0,
+        };
+        assert!(d.contains(&g, Coord::new(12, 10)));
+        assert!(!d.contains(&g, Coord::new(12, 12))); // sqrt(8) > 2
+        assert_eq!(d.len(&g), 13);
+    }
+
+    #[test]
+    fn paper_scale_cross_constants() {
+        let c = Cross::paper_scale(0, 0, 3);
+        assert_eq!(c.half_len, 389 * 9);
+        assert_eq!(c.half_width, 6);
+    }
+}

@@ -1,0 +1,147 @@
+use crate::{Grid, NetError, NodeId};
+
+/// A pre-determined collision-free TDMA schedule (paper §1.2: "there is a
+/// pre-determined time-slotted schedule such that if all nodes follow the
+/// schedule then no collision will occur").
+///
+/// Two transmitters conflict iff they share a potential receiver, i.e. iff
+/// their L∞ distance is at most `2r`. A schedule assigns each node a slot
+/// in `[0, period)` such that same-slot nodes are pairwise more than `2r`
+/// apart.
+///
+/// Two constructions are provided:
+///
+/// * [`Schedule::exclusive`] — one slot per node (`period = n`), always
+///   valid;
+/// * [`Schedule::spatial_reuse`] — the classic `(2r+1)²`-coloring by
+///   `(x mod 2r+1, y mod 2r+1)`, valid when both torus dimensions are
+///   multiples of `2r+1`, giving a period independent of network size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    period: u32,
+    slot_of: Vec<u32>,
+}
+
+impl Schedule {
+    /// One slot per node: trivially collision-free, period `n`.
+    pub fn exclusive(grid: &Grid) -> Self {
+        let n = grid.node_count();
+        Schedule {
+            period: u32::try_from(n).expect("grid too large for schedule"),
+            slot_of: (0..n as u32).collect(),
+        }
+    }
+
+    /// Spatial-reuse coloring with `(2r+1)²` slots: nodes whose coordinates
+    /// agree modulo `2r+1` share a slot; any two of them are at L∞ distance
+    /// at least `2r+1 > 2r`, so they share no receiver.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ScheduleUnavailable`] unless both torus dimensions are
+    /// multiples of `2r+1` (otherwise the coloring breaks at the wrap
+    /// seam).
+    pub fn spatial_reuse(grid: &Grid) -> Result<Self, NetError> {
+        let side = 2 * grid.range() + 1;
+        if grid.width() % side != 0 || grid.height() % side != 0 {
+            return Err(NetError::ScheduleUnavailable {
+                width: grid.width(),
+                height: grid.height(),
+                r: grid.range(),
+            });
+        }
+        let slot_of = grid
+            .nodes()
+            .map(|id| {
+                let c = grid.coord_of(id);
+                (c.y % side) * side + (c.x % side)
+            })
+            .collect();
+        Ok(Schedule {
+            period: side * side,
+            slot_of,
+        })
+    }
+
+    /// Number of slots in one schedule cycle.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// The slot assigned to `node`.
+    pub fn slot_of(&self, node: NodeId) -> u32 {
+        self.slot_of[node]
+    }
+
+    /// All nodes assigned to `slot`.
+    pub fn nodes_in_slot(&self, slot: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.slot_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &s)| s == slot)
+            .map(|(id, _)| id)
+    }
+
+    /// Verifies the collision-freedom invariant: no two same-slot nodes
+    /// within L∞ distance `2r`. Intended for tests and debug assertions
+    /// (O(n²) in the worst case).
+    pub fn verify(&self, grid: &Grid) -> bool {
+        for slot in 0..self.period {
+            let nodes: Vec<_> = self.nodes_in_slot(slot).collect();
+            for (i, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[i + 1..] {
+                    if grid.linf_distance(a, b) <= 2 * grid.range() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_is_always_collision_free() {
+        let g = Grid::new(7, 9, 2).unwrap();
+        let s = Schedule::exclusive(&g);
+        assert_eq!(s.period(), 63);
+        assert!(s.verify(&g));
+    }
+
+    #[test]
+    fn spatial_reuse_needs_divisible_dims() {
+        let g = Grid::new(7, 10, 2).unwrap();
+        assert!(matches!(
+            Schedule::spatial_reuse(&g),
+            Err(NetError::ScheduleUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn spatial_reuse_collision_free_and_compact() {
+        for r in 1..4u32 {
+            let side = 2 * r + 1;
+            let g = Grid::new(3 * side, 2 * side, r).unwrap();
+            let s = Schedule::spatial_reuse(&g).unwrap();
+            assert_eq!(s.period(), side * side);
+            assert!(s.verify(&g), "reuse schedule collides for r={r}");
+            // Every node got a slot within the period.
+            for id in g.nodes() {
+                assert!(s.slot_of(id) < s.period());
+            }
+        }
+    }
+
+    #[test]
+    fn every_slot_nonempty_in_reuse_schedule() {
+        let g = Grid::new(10, 15, 2).unwrap();
+        let s = Schedule::spatial_reuse(&g).unwrap();
+        for slot in 0..s.period() {
+            assert!(s.nodes_in_slot(slot).next().is_some());
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Source-neighborhood agreement for a possibly-faulty base station.
+//!
+//! The paper assumes the base station is always correct and notes
+//! (§1.2) that a faulty source "can actually be handled separately by
+//! running a special protocol \[14\] for achieving agreement first among
+//! the source's neighborhood". This module supplies that missing piece
+//! in the paper's own budgeted-collision model.
+//!
+//! # Why radio makes this easier — and what is left to solve
+//!
+//! In a point-to-point network a Byzantine source equivocates freely,
+//! sending different values to different neighbors. Radio removes that
+//! power: every copy the source transmits is heard **identically** by
+//! all of its neighbors. The only way two good neighbors can end up
+//! with different views is *selective collision* — colluding bad
+//! neighbors spending budget to corrupt different copies at different
+//! receivers. A faulty source therefore equivocates only as far as its
+//! colluders' budget `t·mf` reaches, and that is exactly the quantity
+//! the paper's thresholds already control.
+//!
+//! Two structural obstacles remain, both discovered by executing early
+//! designs in the `AgreementSim` engine (see EXPERIMENTS.md, EXP-X4):
+//!
+//! * **Corners hear little.** A member at a corner of the source's
+//!   `(2r+1)`-square hears only `(r+1)² − 1 − t` good co-members
+//!   ([`min_audible_good`]) — far fewer than the `r(2r+1) − t` of the
+//!   multi-hop analysis — so echo quotas must be sized for corners
+//!   ([`AgreementConfig::paper_margins`] does).
+//! * **One echo round cannot bridge the neighborhood.** Members at
+//!   opposite corners are L∞ distance `2r` apart and share *no* good
+//!   co-member, so after a single echo round an equivocating source
+//!   holds the west camp at one value and the east camp at another.
+//!   The protocol therefore runs a second aggregation round carrying
+//!   explicit **conflict evidence**: a member whose echo view is
+//!   ambiguous confirms [`CONFLICT`] instead of a value, and any
+//!   `t·mf + 1` conflict copies (unforgeable by the colluders alone)
+//!   force the receiver to the safe default.
+//!
+//! # The protocol
+//!
+//! Three phases, all plain local broadcasts under the paper's schedule:
+//!
+//! 1. **Propose.** The source broadcasts its value `S = 2·t·mf + 1`
+//!    times (a faulty source may split these transmissions among
+//!    arbitrary values or stay partly silent). Each member `u` takes
+//!    [`propose`]`(tallies_u)`: the strictly leading value, or
+//!    [`DEFAULT_VALUE`] on a tie or silence.
+//! 2. **Echo.** Every good member broadcasts its proposal
+//!    `q = echo_quota` times and aggregates what it hears with
+//!    [`aggregate`]: the leading value if it leads the runner-up by
+//!    `echo_margin`, else [`CONFLICT`].
+//! 3. **Confirm.** Every good member broadcasts its aggregate (value or
+//!    conflict token) `q` times and decides with [`confirm`]: the safe
+//!    default on `t·mf + 1` conflict copies, otherwise the leading
+//!    value with margin, otherwise the default.
+//!
+//! Guarantees, checked by the `AgreementSim` engine in `bftbcast-sim`
+//! across parameter/strategy sweeps and charted in EXP-X4:
+//!
+//! * **Validity** — a correct source brings every good member to
+//!   `Vtrue`, under any colluder strategy (conflict injection tops out
+//!   at `t·mf < t·mf + 1`).
+//! * **No forgery** — no good member ever decides a value proposed by
+//!   nobody.
+//! * **Agreement (empirical, cheap mode)** — across most of the EXP-X4
+//!   sweep of split sources and capacity schedules, no two good members
+//!   decide different non-default values; the residual outcome under a
+//!   faulty source is one value and/or defaults, which the outer
+//!   broadcast treats as "source faulty, abort". Unlike validity this
+//!   property is *not* proved, and EXP-X4 exhibits a parameter window
+//!   where a colluder schedule suppresses marginal conflict evidence
+//!   and splits the neighborhood.
+//! * **Agreement (guaranteed, proven mode)** — the vector mode
+//!   ([`decide_vector`]) has every member reliably broadcast its
+//!   proposal across the whole neighborhood (the \[14\] approach:
+//!   direct `2·t·mf + 1`-copy broadcasts plus `t + 1`-witness relays)
+//!   and decide by plurality with margin `t + 1`. Agreement is then
+//!   deterministic, for `t ≤ `[`proven_max_t`], at
+//!   [`proven_member_cost`] messages per member — a `Θ((2r+1)²)`
+//!   multiplier EXP-X4 quantifies.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_net::Value;
+//! use bftbcast_protocols::agreement::{propose, AgreementConfig, DEFAULT_VALUE};
+//! use bftbcast_protocols::Params;
+//!
+//! let cfg = AgreementConfig::paper_margins(Params::new(2, 1, 10));
+//! assert_eq!(cfg.source_copies, 21); // 2*t*mf + 1
+//!
+//! // A member that heard 12 copies of Vtrue and 9 forged copies
+//! // proposes Vtrue; a silent reception proposes the default.
+//! assert_eq!(propose(&[(Value::TRUE, 12), (Value(7), 9)]), Value::TRUE);
+//! assert_eq!(propose(&[]), DEFAULT_VALUE);
+//! ```
+
+use bftbcast_net::Value;
+
+use crate::bounds::Params;
+
+/// The distinguished "no decision / source faulty" value adopted on
+/// ties, silence, conflict evidence, or insufficient margin. Never
+/// transmitted (the engines reject it as a payload).
+pub const DEFAULT_VALUE: Value = Value(u64::MAX);
+
+/// The conflict token broadcast in the confirm phase by members whose
+/// echo view was ambiguous. Transmittable (and forgeable, which is why
+/// [`confirm`] demands `t·mf + 1` copies), but never decidable.
+pub const CONFLICT: Value = Value(u64::MAX - 1);
+
+/// The fewest good co-members (including itself) a member of the source
+/// neighborhood is guaranteed to hear: a corner of the `(2r+1)`-square
+/// shares only an `(r+1)²` sub-square with it, of which one node is the
+/// source and up to `t` are bad.
+pub fn min_audible_good(r: u32, t: u32) -> u64 {
+    let side = u64::from(r) + 1;
+    (side * side).saturating_sub(1 + u64::from(t))
+}
+
+/// Margins for the three-phase source-neighborhood agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementConfig {
+    /// Copies the (correct) source broadcasts in the propose phase.
+    pub source_copies: u64,
+    /// Copies each good member broadcasts in each of the echo and
+    /// confirm phases.
+    pub echo_quota: u64,
+    /// Required lead of the winning value over the runner-up in the
+    /// echo and confirm aggregations.
+    pub echo_margin: u64,
+    /// The fault assumption the margins were derived from.
+    pub params: Params,
+}
+
+impl AgreementConfig {
+    /// Margins sized for the worst (corner) member:
+    ///
+    /// * the source sends `2·t·mf + 1` copies (§3.1 step 1);
+    /// * the echo margin is `2·t·mf + 1` — one corruption unit removes a
+    ///   correct echo *and* adds a forged one, so colluders move a
+    ///   pairwise lead by at most `2·t·mf`;
+    /// * the per-member echo quota is `⌈(4·t·mf + 1) / g_min⌉` with
+    ///   `g_min = `[`min_audible_good`]`(r, t)`, so that even a corner
+    ///   member's intake `g_min·q` survives the `2·t·mf` swing with the
+    ///   echo margin to spare: `g_min·q − 2·t·mf ≥ 2·t·mf + 1`.
+    ///
+    /// Note this quota is *larger* than Theorem 2's relay quota — the
+    /// corner members of the source neighborhood hear fewer good
+    /// echoes than any node in the multi-hop induction, a distinction
+    /// the paper's single-source analysis never needs to make.
+    pub fn paper_margins(params: Params) -> Self {
+        let tmf = u64::from(params.t) * params.mf;
+        let g_min = min_audible_good(params.r, params.t).max(1);
+        AgreementConfig {
+            source_copies: 2 * tmf + 1,
+            echo_quota: (4 * tmf + 1).div_ceil(g_min),
+            echo_margin: 2 * tmf + 1,
+            params,
+        }
+    }
+
+    /// Overrides the echo margin (ablation: EXP-X4 shrinks it to locate
+    /// the agreement boundary).
+    pub fn with_echo_margin(mut self, margin: u64) -> Self {
+        self.echo_margin = margin;
+        self
+    }
+
+    /// Overrides the echo quota.
+    pub fn with_echo_quota(mut self, quota: u64) -> Self {
+        self.echo_quota = quota;
+        self
+    }
+
+    /// Per-member message cost of one agreement run (echo + confirm
+    /// phases; the source pays `source_copies` separately).
+    pub fn member_cost(&self) -> u64 {
+        2 * self.echo_quota
+    }
+
+    /// Per-member cost of the fully-proven vector mode
+    /// ([`proven_member_cost`]): the price of turning the empirical
+    /// agreement guarantee into a deterministic one.
+    pub fn proven_alternative_cost(&self) -> u64 {
+        proven_member_cost(self.params)
+    }
+}
+
+/// Phase-1 proposal rule: the value with the strictly largest tally;
+/// [`DEFAULT_VALUE`] on silence or a tie for the lead.
+pub fn propose(tallies: &[(Value, u64)]) -> Value {
+    leading_with_margin(tallies, 1).unwrap_or(DEFAULT_VALUE)
+}
+
+/// Phase-2 aggregation rule: the leading echo value if its lead over
+/// the runner-up is at least `margin`; [`CONFLICT`] otherwise.
+pub fn aggregate(echo_tallies: &[(Value, u64)], margin: u64) -> Value {
+    leading_with_margin(echo_tallies, margin).unwrap_or(CONFLICT)
+}
+
+/// Phase-3 decision rule: the safe [`DEFAULT_VALUE`] once the conflict
+/// tally is unforgeable (`≥ conflict_threshold`, normally `t·mf + 1`);
+/// otherwise the leading confirmed value with `margin`; otherwise the
+/// default.
+pub fn confirm(
+    confirm_tallies: &[(Value, u64)],
+    conflict_tally: u64,
+    margin: u64,
+    conflict_threshold: u64,
+) -> Value {
+    if conflict_tally >= conflict_threshold {
+        return DEFAULT_VALUE;
+    }
+    leading_with_margin(confirm_tallies, margin).unwrap_or(DEFAULT_VALUE)
+}
+
+/// The value whose tally exceeds every other tally by at least
+/// `margin`, if one exists. Entries with tally 0 and the distinguished
+/// [`DEFAULT_VALUE`]/[`CONFLICT`] tokens are ignored (they are
+/// *outputs* of the rules, never candidates; the conflict tally is
+/// passed to [`confirm`] separately).
+pub fn leading_with_margin(tallies: &[(Value, u64)], margin: u64) -> Option<Value> {
+    let mut best: Option<(Value, u64)> = None;
+    let mut runner_up = 0u64;
+    for &(v, n) in tallies {
+        if n == 0 || v == DEFAULT_VALUE || v == CONFLICT {
+            continue;
+        }
+        match best {
+            None => best = Some((v, n)),
+            Some((bv, bn)) => {
+                if n > bn || (n == bn && v < bv) {
+                    runner_up = runner_up.max(bn);
+                    best = Some((v, n));
+                } else {
+                    runner_up = runner_up.max(n);
+                }
+            }
+        }
+    }
+    let (v, n) = best?;
+    let margin = margin.max(1);
+    if n >= runner_up.saturating_add(margin) {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// The worst-case number of copies the colluding bad neighbors can
+/// swing between two values at a single receiver in one phase: each of
+/// the `t·mf` corruption units removes one copy of the victim value and
+/// delivers one forged copy, moving a pairwise lead by 2.
+pub fn equivocation_power(params: Params) -> u64 {
+    2 * u64::from(params.t) * params.mf
+}
+
+// ---------------------------------------------------------------------
+// The proven (vector) mode.
+// ---------------------------------------------------------------------
+
+/// The largest `t` the **proven** agreement mode supports: every pair
+/// of members — including two opposite corners of the neighborhood,
+/// whose radio ranges overlap only in an `(r+1)²` sub-square containing
+/// the source — must share at least `t + 1` good co-members to relay
+/// between them: `(r+1)² − 1 − t ≥ t + 1`.
+pub fn proven_max_t(r: u32) -> u64 {
+    let side = u64::from(r) + 1;
+    (side * side).saturating_sub(2) / 2
+}
+
+/// Per-member message cost of the proven vector mode: a direct
+/// broadcast of the member's own proposal (`2·t·mf + 1` copies, so the
+/// `t·mf` corruption capacity can never flip its majority) plus a
+/// faithful relay report for each of the `(2r+1)² − 2` co-members'
+/// entries at the same fidelity.
+pub fn proven_member_cost(params: Params) -> u64 {
+    let side = 2 * u64::from(params.r) + 1;
+    let tmf = u64::from(params.t) * params.mf;
+    (2 * tmf + 1) * (side * side - 1)
+}
+
+/// The proven-mode decision rule: the plurality value of the exchanged
+/// proposal vector, required to lead the runner-up by at least `t + 1`
+/// entries; [`DEFAULT_VALUE`] otherwise.
+///
+/// Two good members' vectors agree on every good member's entry (good
+/// proposals are delivered with an unflippable `t·mf + 1` majority,
+/// directly or through `t + 1` agreeing relays) and differ on at most
+/// `t` Byzantine entries, so a pairwise lead shifts by at most `2t`
+/// between two members — the `t + 1` margin therefore makes two
+/// different decided values contradictory. **Agreement is guaranteed**,
+/// unlike the cheap mode's empirical guarantee.
+pub fn decide_vector(entries: &[Value], t: u32) -> Value {
+    let mut tallies: Vec<(Value, u64)> = Vec::new();
+    for &v in entries {
+        if v == DEFAULT_VALUE || v == CONFLICT {
+            continue;
+        }
+        if let Some(e) = tallies.iter_mut().find(|(w, _)| *w == v) {
+            e.1 += 1;
+        } else {
+            tallies.push((v, 1));
+        }
+    }
+    leading_with_margin(&tallies, u64::from(t) + 1).unwrap_or(DEFAULT_VALUE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V2: Value = Value(2);
+    const V3: Value = Value(3);
+
+    #[test]
+    fn propose_majority_and_ties() {
+        assert_eq!(propose(&[(Value::TRUE, 5), (V2, 4)]), Value::TRUE);
+        assert_eq!(propose(&[(Value::TRUE, 4), (V2, 4)]), DEFAULT_VALUE);
+        assert_eq!(propose(&[]), DEFAULT_VALUE);
+        assert_eq!(propose(&[(V2, 0)]), DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn aggregate_requires_margin_else_conflict() {
+        let tallies = [(Value::TRUE, 10), (V2, 6)];
+        assert_eq!(aggregate(&tallies, 4), Value::TRUE);
+        assert_eq!(aggregate(&tallies, 5), CONFLICT);
+        assert_eq!(aggregate(&[], 1), CONFLICT);
+    }
+
+    #[test]
+    fn confirm_honors_conflict_evidence() {
+        let tallies = [(Value::TRUE, 30)];
+        assert_eq!(confirm(&tallies, 0, 5, 11), Value::TRUE);
+        // Forgeable conflict (<= t*mf) is ignored…
+        assert_eq!(confirm(&tallies, 10, 5, 11), Value::TRUE);
+        // …unforgeable conflict forces the default.
+        assert_eq!(confirm(&tallies, 11, 5, 11), DEFAULT_VALUE);
+        // No margin, no decision.
+        assert_eq!(confirm(&[(V2, 3), (V3, 3)], 0, 1, 11), DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn tokens_are_never_candidates() {
+        assert_eq!(propose(&[(DEFAULT_VALUE, 100)]), DEFAULT_VALUE);
+        assert_eq!(propose(&[(CONFLICT, 100)]), DEFAULT_VALUE);
+        assert_eq!(
+            leading_with_margin(&[(CONFLICT, 100), (V3, 1)], 1),
+            Some(V3),
+            "a real value beats any number of tokens"
+        );
+    }
+
+    #[test]
+    fn leading_breaks_exact_ties_deterministically() {
+        assert_eq!(leading_with_margin(&[(V2, 7), (V3, 7)], 1), None);
+        assert_eq!(leading_with_margin(&[(V2, 7)], 1), Some(V2));
+        // Margin 0 is promoted to 1 (a strict lead is always required).
+        assert_eq!(leading_with_margin(&[(V2, 7), (V3, 7)], 0), None);
+    }
+
+    #[test]
+    fn min_audible_good_counts_the_corner_subsquare() {
+        assert_eq!(min_audible_good(1, 0), 3); // 2x2 minus the source
+        assert_eq!(min_audible_good(1, 1), 2);
+        assert_eq!(min_audible_good(2, 1), 7); // 3x3 minus source minus 1 bad
+        assert_eq!(min_audible_good(4, 6), 18);
+    }
+
+    #[test]
+    fn paper_margins_match_formulas() {
+        let p = Params::new(2, 1, 10);
+        let cfg = AgreementConfig::paper_margins(p);
+        assert_eq!(cfg.source_copies, 21);
+        assert_eq!(cfg.echo_margin, 21);
+        // ceil((4*10 + 1) / 7) = 6, and the corner survives the swing:
+        assert_eq!(cfg.echo_quota, 6);
+        assert!(min_audible_good(2, 1) * cfg.echo_quota >= 4 * 10 + 1);
+        assert_eq!(equivocation_power(p), 20);
+    }
+
+    #[test]
+    fn corner_quota_exceeds_relay_quota() {
+        // The reproduction finding: the agreement phase needs a bigger
+        // per-node quota than Theorem 2's relay quota, because corner
+        // members hear fewer good echoes than any multi-hop frontier
+        // node does.
+        for &(r, t, mf) in &[(2u32, 1u32, 10u64), (3, 2, 50), (4, 1, 1000)] {
+            let p = Params::new(r, t, mf);
+            let cfg = AgreementConfig::paper_margins(p);
+            assert!(
+                cfg.echo_quota >= p.relay_quota(),
+                "r={r} t={t} mf={mf}: echo {} < relay {}",
+                cfg.echo_quota,
+                p.relay_quota()
+            );
+        }
+    }
+
+    #[test]
+    fn proven_alternative_is_much_more_expensive() {
+        let p = Params::new(2, 1, 10);
+        let cfg = AgreementConfig::paper_margins(p);
+        assert!(cfg.proven_alternative_cost() > 5 * cfg.member_cost());
+    }
+
+    #[test]
+    fn proven_max_t_matches_corner_overlap() {
+        // (r+1)^2 - 1 - t >= t + 1  <=>  t <= ((r+1)^2 - 2) / 2.
+        assert_eq!(proven_max_t(1), 1);
+        assert_eq!(proven_max_t(2), 3);
+        assert_eq!(proven_max_t(4), 11);
+        for r in 1..=8u32 {
+            let t = proven_max_t(r);
+            let overlap_good = (u64::from(r) + 1).pow(2) - 1 - t;
+            assert!(overlap_good >= t + 1, "r={r}");
+            let overlap_good_next = ((u64::from(r) + 1).pow(2) - 1).saturating_sub(t + 1);
+            assert!(overlap_good_next < t + 2, "r={r}: not tight");
+        }
+    }
+
+    #[test]
+    fn decide_vector_plurality_with_margin() {
+        let t = Value::TRUE;
+        // Lead of 2 >= t+1 = 2: decided.
+        assert_eq!(decide_vector(&[t, t, t, V2], 1), t);
+        // Lead of 1 < 2: default.
+        assert_eq!(decide_vector(&[t, t, V2], 1), DEFAULT_VALUE);
+        // Tokens never count.
+        assert_eq!(decide_vector(&[CONFLICT, CONFLICT, t, t], 1), t);
+        assert_eq!(decide_vector(&[], 0), DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn decide_vector_agreement_margin_is_sound() {
+        // Adversarially perturb up to t entries of a vector: if the
+        // original decides v, the perturbed one never decides w != v.
+        let t = 2u32;
+        let base = vec![Value::TRUE; 10]
+            .into_iter()
+            .chain(vec![V2; 6])
+            .collect::<Vec<_>>();
+        let original = decide_vector(&base, t);
+        assert_eq!(original, Value::TRUE);
+        // Flip t entries from TRUE to V2 (the worst perturbation).
+        let mut worst = base.clone();
+        for e in worst.iter_mut().take(t as usize) {
+            *e = V2;
+        }
+        let perturbed = decide_vector(&worst, t);
+        assert!(perturbed == Value::TRUE || perturbed == DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn proven_cost_scales_with_neighborhood() {
+        let p = Params::new(2, 1, 10);
+        // (2*10+1) * ((5*5) - 1) = 21 * 24.
+        assert_eq!(proven_member_cost(p), 21 * 24);
+        let cfg = AgreementConfig::paper_margins(p);
+        assert!(cfg.proven_alternative_cost() > 10 * cfg.member_cost());
+    }
+
+    #[test]
+    fn margin_rule_resists_equivocation_power() {
+        let p = Params::new(2, 2, 7);
+        let cfg = AgreementConfig::paper_margins(p);
+        let swing = equivocation_power(p);
+        assert!(cfg.echo_margin > swing);
+        assert_eq!(
+            aggregate(&[(V2, swing), (Value::TRUE, 0)], cfg.echo_margin),
+            CONFLICT
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Certified propagation (Bhandari–Vaidya), the multi-hop relay layer of
+//! protocol **Breactive** (§5).
+//!
+//! Once the coded reactive local broadcast makes every delivered message
+//! authentic-or-detected, multi-hop reliability reduces to the classic
+//! certified propagation rule over *identified* senders:
+//!
+//! * a neighbor of the base station commits to the value received
+//!   directly from it;
+//! * any other node commits to a value once `t + 1` **distinct**
+//!   neighbors have relayed it — at most `t` of them can be bad, so at
+//!   least one honest committed neighbor vouches for it;
+//! * upon committing, a node relays the value once (via the reactive
+//!   local broadcast primitive).
+//!
+//! On the grid this tolerates `t < ½·r(2r+1)` bad nodes per neighborhood
+//! (Bhandari–Vaidya's exact threshold, the paper's Theorem 4 regime).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bftbcast_net::{NodeId, Value};
+
+/// Per-node certified-propagation state.
+#[derive(Debug, Clone)]
+pub struct CpaState {
+    t: u32,
+    committed: Option<Value>,
+    witnesses: BTreeMap<Value, BTreeSet<NodeId>>,
+}
+
+impl CpaState {
+    /// Fresh state for the local bound `t`.
+    pub fn new(t: u32) -> Self {
+        CpaState {
+            t,
+            committed: None,
+            witnesses: BTreeMap::new(),
+        }
+    }
+
+    /// The committed value, if any.
+    pub fn committed(&self) -> Option<Value> {
+        self.committed
+    }
+
+    /// Handles one authenticated delivery from a distinct neighbor.
+    /// `from_source` marks deliveries heard directly from the base
+    /// station. Returns `Some(value)` exactly when this delivery causes
+    /// the node to commit (the caller should then relay once).
+    pub fn on_deliver(&mut self, from: NodeId, value: Value, from_source: bool) -> Option<Value> {
+        if self.committed.is_some() {
+            return None;
+        }
+        if from_source {
+            self.committed = Some(value);
+            return Some(value);
+        }
+        let set = self.witnesses.entry(value).or_default();
+        set.insert(from);
+        if set.len() as u64 > u64::from(self.t) {
+            self.committed = Some(value);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Number of distinct witnesses currently supporting `value`.
+    pub fn witness_count(&self, value: Value) -> usize {
+        self.witnesses.get(&value).map_or(0, BTreeSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_delivery_commits_immediately() {
+        let mut s = CpaState::new(3);
+        assert_eq!(s.on_deliver(0, Value::TRUE, true), Some(Value::TRUE));
+        assert_eq!(s.committed(), Some(Value::TRUE));
+        // Further deliveries are ignored.
+        assert_eq!(s.on_deliver(1, Value::FORGED, false), None);
+        assert_eq!(s.committed(), Some(Value::TRUE));
+    }
+
+    #[test]
+    fn needs_t_plus_one_distinct_witnesses() {
+        let mut s = CpaState::new(2);
+        assert_eq!(s.on_deliver(1, Value::TRUE, false), None);
+        assert_eq!(s.on_deliver(2, Value::TRUE, false), None);
+        // Duplicate witness does not count.
+        assert_eq!(s.on_deliver(2, Value::TRUE, false), None);
+        assert_eq!(s.witness_count(Value::TRUE), 2);
+        // Third distinct witness commits.
+        assert_eq!(s.on_deliver(3, Value::TRUE, false), Some(Value::TRUE));
+    }
+
+    #[test]
+    fn bad_minority_cannot_commit_wrong_value() {
+        let mut s = CpaState::new(2);
+        // Only t = 2 bad neighbors push the forged value: never commits.
+        assert_eq!(s.on_deliver(10, Value::FORGED, false), None);
+        assert_eq!(s.on_deliver(11, Value::FORGED, false), None);
+        assert_eq!(s.committed(), None);
+        // Meanwhile the true value gathers t + 1 witnesses.
+        s.on_deliver(1, Value::TRUE, false);
+        s.on_deliver(2, Value::TRUE, false);
+        assert_eq!(s.on_deliver(3, Value::TRUE, false), Some(Value::TRUE));
+    }
+
+    #[test]
+    fn t_zero_commits_on_single_witness() {
+        let mut s = CpaState::new(0);
+        assert_eq!(s.on_deliver(5, Value::TRUE, false), Some(Value::TRUE));
+    }
+}

@@ -1,0 +1,42 @@
+//! The broadcast protocols of the paper and every closed-form bound they
+//! are built on.
+//!
+//! * [`bounds`] — all of the paper's arithmetic: `m0`, relay quotas,
+//!   acceptance thresholds, Corollary 1's tolerable-`t` bounds, the Koo
+//!   et al. baseline budget, and Theorem 4's budget formula.
+//! * [`spec`] — *counting protocols*: the declarative description
+//!   (source copies, per-node relay quotas and budgets, acceptance
+//!   threshold) the worst-case counting engine executes. Protocol **B**
+//!   (Theorem 2), **Bheter** (Theorem 3), the Koo-PODC'06 baseline, and
+//!   budget-constrained variants for the impossibility experiments are
+//!   all built here.
+//! * [`cpa`] — the certified-propagation acceptance rule of
+//!   Bhandari–Vaidya, the multi-hop layer under protocol **Breactive**.
+//! * [`reactive`] — the reactive local broadcast of Section 5: coded
+//!   frames, NACK-triggered retransmission, and the quiet-window
+//!   termination rule.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_protocols::Params;
+//!
+//! // The Figure 2 parameters: r = 4, t = 1, mf = 1000.
+//! let p = Params::new(4, 1, 1000);
+//! assert_eq!(p.m0(), 58);                 // Theorem 1's floor
+//! assert_eq!(p.sufficient_budget(), 116); // Theorem 2's 2*m0
+//! assert_eq!(p.koo_budget(), 2001);       // the PODC'06 baseline
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod bounds;
+pub mod cpa;
+pub mod energy;
+pub mod reactive;
+pub mod spec;
+
+pub use bounds::Params;
+pub use spec::CountingProtocol;

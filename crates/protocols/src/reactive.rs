@@ -1,0 +1,284 @@
+//! The reactive local broadcast primitive of Section 5: coded frames,
+//! NACK-triggered retransmission, and the quiet-window termination rule.
+//!
+//! With `mf` unknown, a sender cannot pre-compute a repetition count.
+//! Instead every receiver verifies frame integrity with the two-level
+//! AUED code (`bftbcast-coding`) and broadcasts a NACK when verification
+//! fails; hearing *any* NACK — "either correct or corrupt" — makes the
+//! sender retransmit. A sender considers the local broadcast complete
+//! after `(2r+1)² − 1` consecutive NACK-free message rounds (one full
+//! TDMA schedule cycle, so every neighbor had a chance to object).
+//!
+//! This module holds the engine-agnostic state machines; the slot engine
+//! in `bftbcast-sim` wires them to the radio and the adversary.
+
+use bftbcast_coding::subbit::SubbitParams;
+
+/// Static configuration of the reactive primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveConfig {
+    /// Payload length in bits.
+    pub k: usize,
+    /// Sub-bit layer parameters (pattern length `L`).
+    pub subbit: SubbitParams,
+    /// Consecutive NACK-free message rounds required before a sender
+    /// stops: the paper's `(2r+1)² − 1`.
+    pub quiet_window: u32,
+}
+
+impl ReactiveConfig {
+    /// The paper's configuration for a torus of `n` nodes with radio
+    /// range `r`, local bound `t`, loose adversary-budget bound `mmax`,
+    /// and `k`-bit payloads.
+    pub fn paper(n: usize, r: u32, t: u32, mmax: u64, k: usize) -> Self {
+        let side = 2 * r + 1;
+        ReactiveConfig {
+            k,
+            subbit: SubbitParams::for_network(n, t as usize, mmax),
+            quiet_window: side * side - 1,
+        }
+    }
+
+    /// A variant with a scaled quiet window (EXP-A2's ablation).
+    pub fn with_quiet_window(mut self, quiet_window: u32) -> Self {
+        self.quiet_window = quiet_window.max(1);
+        self
+    }
+}
+
+/// What a reactive sender wants to do in the upcoming message round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderAction {
+    /// Transmit (or retransmit) the data frame.
+    Transmit,
+    /// Listen for NACKs.
+    Listen,
+    /// The local broadcast is complete.
+    Done,
+}
+
+/// Sender-side state machine, advanced once per message round.
+#[derive(Debug, Clone)]
+pub struct ReactiveSender {
+    quiet_window: u32,
+    quiet_rounds: u32,
+    pending_transmit: bool,
+    done: bool,
+    transmissions: u64,
+}
+
+impl ReactiveSender {
+    /// A sender that will transmit in the next round.
+    pub fn new(config: &ReactiveConfig) -> Self {
+        ReactiveSender {
+            quiet_window: config.quiet_window,
+            quiet_rounds: 0,
+            pending_transmit: true,
+            done: false,
+            transmissions: 0,
+        }
+    }
+
+    /// The action for the upcoming round.
+    pub fn action(&self) -> SenderAction {
+        if self.done {
+            SenderAction::Done
+        } else if self.pending_transmit {
+            SenderAction::Transmit
+        } else {
+            SenderAction::Listen
+        }
+    }
+
+    /// Advances the state machine at the end of a message round.
+    /// `transmitted` must reflect whether the sender actually transmitted
+    /// this round; `heard_nack` whether any frame it heard this round was
+    /// a NACK or failed verification (both signal failure, §5).
+    pub fn on_round_end(&mut self, transmitted: bool, heard_nack: bool) {
+        if self.done {
+            return;
+        }
+        if transmitted {
+            self.transmissions += 1;
+            self.pending_transmit = false;
+            self.quiet_rounds = 0;
+            return;
+        }
+        if heard_nack {
+            self.pending_transmit = true;
+            self.quiet_rounds = 0;
+        } else if !self.pending_transmit {
+            // Quiet rounds only count while actually listening — a
+            // sender still waiting for its TDMA slot has not yet given
+            // its neighbors a chance to object.
+            self.quiet_rounds += 1;
+            if self.quiet_rounds >= self.quiet_window {
+                self.done = true;
+            }
+        }
+    }
+
+    /// Whether the quiet window elapsed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Data-frame transmissions so far.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+/// Receiver-side outcome of one heard frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverOutcome {
+    /// A verified data frame: deliver the payload to the upper layer.
+    Deliver(Vec<bool>),
+    /// Verification failed: broadcast a NACK next round.
+    SendNack,
+    /// A (verified) NACK frame: nothing for a pure receiver to do.
+    NackHeard,
+}
+
+/// Classifies one received frame per the reactive receiver rules.
+pub fn classify_frame(
+    frame: &bftbcast_coding::frame::Frame,
+    config: &ReactiveConfig,
+) -> ReceiverOutcome {
+    match frame.decode_and_verify(config.subbit) {
+        Ok(decoded) => match decoded.kind {
+            bftbcast_coding::frame::FrameKind::Data => ReceiverOutcome::Deliver(decoded.payload),
+            bftbcast_coding::frame::FrameKind::Nack => ReceiverOutcome::NackHeard,
+        },
+        Err(_) => ReceiverOutcome::SendNack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_coding::frame::{AttackMask, Frame};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn config() -> ReactiveConfig {
+        ReactiveConfig::paper(400, 2, 1, 1 << 16, 16)
+    }
+
+    #[test]
+    fn paper_config_quiet_window() {
+        let c = config();
+        assert_eq!(c.quiet_window, 24); // (2*2+1)^2 - 1
+        assert_eq!(c.with_quiet_window(0).quiet_window, 1);
+    }
+
+    #[test]
+    fn sender_completes_after_quiet_window() {
+        let c = config().with_quiet_window(3);
+        let mut s = ReactiveSender::new(&c);
+        assert_eq!(s.action(), SenderAction::Transmit);
+        s.on_round_end(true, false);
+        assert_eq!(s.transmissions(), 1);
+        for _ in 0..3 {
+            assert_eq!(s.action(), SenderAction::Listen);
+            s.on_round_end(false, false);
+        }
+        assert_eq!(s.action(), SenderAction::Done);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn nack_forces_retransmission_and_resets_window() {
+        let c = config().with_quiet_window(2);
+        let mut s = ReactiveSender::new(&c);
+        s.on_round_end(true, false);
+        s.on_round_end(false, false); // quiet 1
+        s.on_round_end(false, true); // NACK!
+        assert_eq!(s.action(), SenderAction::Transmit);
+        s.on_round_end(true, false);
+        assert_eq!(s.transmissions(), 2);
+        s.on_round_end(false, false);
+        s.on_round_end(false, false);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn done_sender_ignores_further_events() {
+        let c = config().with_quiet_window(1);
+        let mut s = ReactiveSender::new(&c);
+        s.on_round_end(true, false);
+        s.on_round_end(false, false);
+        assert!(s.is_done());
+        // A late NACK must not resurrect a completed sender.
+        s.on_round_end(false, true);
+        assert_eq!(s.action(), SenderAction::Done);
+        assert_eq!(s.transmissions(), 1);
+    }
+
+    #[test]
+    fn quiet_rounds_only_count_while_listening() {
+        // A sender that has a retransmission pending (waiting for its
+        // TDMA slot) must not let quiet rounds elapse toward the
+        // window.
+        let c = config().with_quiet_window(2);
+        let mut s = ReactiveSender::new(&c);
+        s.on_round_end(true, false);
+        s.on_round_end(false, true); // NACK: pending again
+        assert_eq!(s.action(), SenderAction::Transmit);
+        // Two NACK-free rounds while *pending* do not finish it.
+        s.on_round_end(false, false);
+        s.on_round_end(false, false);
+        assert_eq!(s.action(), SenderAction::Transmit);
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn transmission_resets_the_quiet_count() {
+        let c = config().with_quiet_window(2);
+        let mut s = ReactiveSender::new(&c);
+        s.on_round_end(true, false);
+        s.on_round_end(false, false); // quiet 1
+        s.on_round_end(false, true); // NACK
+        s.on_round_end(true, false); // retransmit: count must restart
+        s.on_round_end(false, false); // quiet 1 again
+        assert!(!s.is_done());
+        s.on_round_end(false, false); // quiet 2
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn worst_case_transmissions_track_nack_count() {
+        // n NACKs force exactly n + 1 transmissions — the t*mf + 1
+        // count Theorem 4 charges.
+        let c = config().with_quiet_window(2);
+        let mut s = ReactiveSender::new(&c);
+        for _ in 0..7 {
+            assert_eq!(s.action(), SenderAction::Transmit);
+            s.on_round_end(true, false);
+            s.on_round_end(false, true);
+        }
+        s.on_round_end(true, false);
+        s.on_round_end(false, false);
+        s.on_round_end(false, false);
+        assert!(s.is_done());
+        assert_eq!(s.transmissions(), 8);
+    }
+
+    #[test]
+    fn classify_clean_corrupt_and_nack_frames() {
+        let c = config();
+        let mut rng = StdRng::seed_from_u64(21);
+        let payload: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let data = Frame::data(&payload, c.subbit, &mut rng);
+        assert_eq!(
+            classify_frame(&data, &c),
+            ReceiverOutcome::Deliver(payload)
+        );
+        let masks = AttackMask::new(data.coded_bits()).inject_one(3).into_masks();
+        assert_eq!(
+            classify_frame(&data.attacked(&masks), &c),
+            ReceiverOutcome::SendNack
+        );
+        let nack = Frame::nack(16, c.subbit, &mut rng);
+        assert_eq!(classify_frame(&nack, &c), ReceiverOutcome::NackHeard);
+    }
+}

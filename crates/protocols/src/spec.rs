@@ -1,0 +1,186 @@
+//! Counting protocols: the declarative form executed by the worst-case
+//! counting engine in `bftbcast-sim`.
+//!
+//! Protocols B and Bheter share one execution shape (§3.1, §4.1):
+//!
+//! 1. the base station locally broadcasts `2·t·mf + 1` copies of `Vtrue`;
+//! 2. every other node, *upon accepting* a value, relays it a fixed
+//!    number of times (its relay quota);
+//! 3. a node accepts a value once it has received it `t·mf + 1` times.
+//!
+//! What distinguishes the protocols — and what this module encodes — is
+//! the per-node relay quota and budget assignment: homogeneous `2·m0`
+//! (Theorem 2), the cross-shaped heterogeneous layout of Figure 5
+//! (Theorem 3), the Koo-PODC'06 baseline (`2·t·mf + 1` everywhere), or a
+//! deliberately starved budget for the impossibility experiments
+//! (Theorem 1, Figure 2).
+
+use bftbcast_net::{Cross, Grid, NodeId, Region};
+
+use crate::bounds::Params;
+
+/// A declarative protocol instance for the counting engine.
+#[derive(Debug, Clone)]
+pub struct CountingProtocol {
+    /// Short name for reports.
+    pub name: String,
+    /// Copies of `Vtrue` the (unbounded) base station broadcasts.
+    pub source_copies: u64,
+    /// Per-node relay quota: copies a node sends upon accepting.
+    pub relay_copies: Vec<u64>,
+    /// Per-node budget cap `m`. The engine errors if a node's protocol
+    /// behavior would exceed its cap — quotas must fit budgets.
+    pub budget: Vec<u64>,
+    /// Copies of one value required to accept it (`t·mf + 1`).
+    pub accept_threshold: u64,
+}
+
+impl CountingProtocol {
+    /// Protocol **B** (Theorem 2): homogeneous budget `m = 2·m0`, relay
+    /// quota `⌈(2tmf+1)/⌈(r(2r+1)−t)/2⌉⌉`.
+    pub fn protocol_b(grid: &Grid, params: Params) -> Self {
+        let n = grid.node_count();
+        CountingProtocol {
+            name: format!("B(r={},t={},mf={})", params.r, params.t, params.mf),
+            source_copies: params.source_quota(),
+            relay_copies: vec![params.relay_quota(); n],
+            budget: vec![params.sufficient_budget(); n],
+            accept_threshold: params.accept_threshold(),
+        }
+    }
+
+    /// A budget-starved variant for the impossibility experiments: every
+    /// node has budget `m` and relays all of it (the most any protocol
+    /// could do under the budget — Theorem 1's argument is
+    /// protocol-independent).
+    pub fn starved(grid: &Grid, params: Params, m: u64) -> Self {
+        let n = grid.node_count();
+        CountingProtocol {
+            name: format!("starved(m={m},r={},t={},mf={})", params.r, params.t, params.mf),
+            source_copies: params.source_quota(),
+            relay_copies: vec![m; n],
+            budget: vec![m; n],
+            accept_threshold: params.accept_threshold(),
+        }
+    }
+
+    /// Protocol **Bheter** (Theorem 3, Figure 5): nodes inside the
+    /// cross-shaped area get budget (and quota) `m' = relay_quota ≈ 2·m0`,
+    /// everyone else `m0`.
+    pub fn heterogeneous(grid: &Grid, params: Params, cross: &Cross) -> Self {
+        let n = grid.node_count();
+        let m0 = params.m0();
+        let m_prime = params.relay_quota();
+        let mut relay = vec![m0; n];
+        for id in cross.nodes(grid) {
+            relay[id] = m_prime;
+        }
+        CountingProtocol {
+            name: format!("Bheter(r={},t={},mf={})", params.r, params.t, params.mf),
+            source_copies: params.source_quota(),
+            budget: relay.clone(),
+            relay_copies: relay,
+            accept_threshold: params.accept_threshold(),
+        }
+    }
+
+    /// The Koo et al. (PODC'06) baseline: every node relays
+    /// `2·t·mf + 1` copies — each node overcomes its neighborhood's worst
+    /// case alone.
+    pub fn koo_baseline(grid: &Grid, params: Params) -> Self {
+        let n = grid.node_count();
+        CountingProtocol {
+            name: format!("koo(r={},t={},mf={})", params.r, params.t, params.mf),
+            source_copies: params.source_quota(),
+            relay_copies: vec![params.koo_budget(); n],
+            budget: vec![params.koo_budget(); n],
+            accept_threshold: params.accept_threshold(),
+        }
+    }
+
+    /// Average budget over good nodes (the message-cost metric of
+    /// Theorem 3's comparison).
+    pub fn average_budget(&self, good: impl Iterator<Item = NodeId>) -> f64 {
+        let mut sum = 0u128;
+        let mut count = 0u128;
+        for id in good {
+            sum += u128::from(self.budget[id]);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Sanity: every relay quota fits its budget.
+    pub fn quotas_fit_budgets(&self) -> bool {
+        self.relay_copies
+            .iter()
+            .zip(&self.budget)
+            .all(|(q, b)| q <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Grid, Params) {
+        (Grid::new(45, 45, 4).unwrap(), Params::new(4, 1, 1000))
+    }
+
+    #[test]
+    fn protocol_b_shape() {
+        let (grid, p) = fixture();
+        let b = CountingProtocol::protocol_b(&grid, p);
+        assert_eq!(b.source_copies, 2001);
+        assert_eq!(b.accept_threshold, 1001);
+        assert_eq!(b.budget[0], 116); // 2 * m0 = 116
+        assert!(b.quotas_fit_budgets());
+        // Relay quota: ceil(2001 / ceil(35/2)) = ceil(2001/18) = 112.
+        assert_eq!(b.relay_copies[0], 112);
+    }
+
+    #[test]
+    fn starved_relays_entire_budget() {
+        let (grid, p) = fixture();
+        let s = CountingProtocol::starved(&grid, p, 57);
+        assert!(s.relay_copies.iter().all(|&q| q == 57));
+        assert!(s.quotas_fit_budgets());
+    }
+
+    #[test]
+    fn heterogeneous_budgets_follow_cross() {
+        let (grid, p) = fixture();
+        let cross = Cross::spanning(&grid, 0, 0, 2 * grid.range());
+        let h = CountingProtocol::heterogeneous(&grid, p, &cross);
+        assert!(h.quotas_fit_budgets());
+        let m0 = p.m0();
+        let m_prime = p.relay_quota();
+        // On-axis nodes are boosted; far off-axis nodes are not.
+        assert_eq!(h.budget[grid.id_at(20, 0)], m_prime);
+        assert_eq!(h.budget[grid.id_at(20, 20)], m0);
+        // Average budget sits strictly between m0 and m'.
+        let avg = h.average_budget(grid.nodes());
+        assert!(avg > m0 as f64 && avg < m_prime as f64);
+    }
+
+    #[test]
+    fn koo_baseline_is_uniform_and_expensive() {
+        let (grid, p) = fixture();
+        let k = CountingProtocol::koo_baseline(&grid, p);
+        assert!(k.relay_copies.iter().all(|&q| q == 2001));
+        let b = CountingProtocol::protocol_b(&grid, p);
+        let ratio = k.budget[0] as f64 / b.budget[0] as f64;
+        assert!(ratio > 17.0, "baseline should cost ~17.5x, got {ratio}");
+    }
+
+    #[test]
+    fn average_budget_empty_iterator() {
+        let (grid, p) = fixture();
+        let b = CountingProtocol::protocol_b(&grid, p);
+        assert_eq!(b.average_budget(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The worst-case counting engine.
+//!
+//! A deterministic wave-expansion simulator implementing the exact
+//! per-receiver copy accounting of the paper's proofs:
+//!
+//! * wave 0: the base station broadcasts `source_copies` copies of
+//!   `Vtrue`;
+//! * each wave, the adversary strategy is shown the wave's transmissions
+//!   and plans collisions/forgeries, which the engine **validates**
+//!   (budgets, radio geometry, per-sender copy counts) before applying;
+//! * a copy of sender `s` collided by attacker `b` is replaced by a
+//!   forged value at every node of `N(b) ∩ N(s)` and delivered intact
+//!   everywhere else in `N(s)`; collisions against the same sender
+//!   consume distinct copies;
+//! * an undecided good node accepts a value once it has received it
+//!   `accept_threshold` times; newly accepted nodes relay their quota in
+//!   the next wave (spending their budget — the engine panics if a
+//!   protocol overdraws, which Lemma-1-style invariants rule out);
+//! * fixpoint when a wave produces no new acceptances.
+//!
+//! After [`CountingSim::run`] the per-node tallies remain inspectable —
+//! that is how the Figure 2 experiment extracts the paper's exact
+//! numbers (2065 / 1947 / 947).
+//!
+//! # Two adversary budget models
+//!
+//! The paper's impossibility arguments (Theorem 1, Figure 2) count a
+//! corruption capacity of `t·mf` at **every** receiver simultaneously
+//! ("the t bad nodes can corrupt up to tmf messages … delivered to u").
+//! A *physical* adversary cannot always realize that: one bad node's
+//! budget `mf` is shared across every victim it covers, and a collision
+//! corrupts a copy at the common neighbors of one (attacker, sender)
+//! pair only. The engine therefore supports both:
+//!
+//! * [`CountingSim::run`] — **global budgets**: a
+//!   [`CorruptionStrategy`] plans physical collisions, each budget unit
+//!   spent once, corruption shared only through common-neighbor
+//!   geometry;
+//! * [`CountingSim::run_oracle`] — **per-receiver budgets**: the
+//!   paper's accounting, with an independent capacity `mf` per
+//!   (bad node, receiver) pair, spent by a deterministic
+//!   block-if-winnable oracle.
+//!
+//! Possibility results (Theorems 2–3) hold under *both* models (the
+//! oracle adversary is strictly stronger). The impossibility
+//! constructions stall broadcast under the oracle model exactly as the
+//! paper describes; under global budgets they can leak — a reproduction
+//! finding quantified in EXPERIMENTS.md (EXP-T1/EXP-F2).
+
+use bftbcast_adversary::{AttackPlan, CorruptionStrategy, WaveView};
+use bftbcast_net::{Budget, Grid, NodeId, Value};
+use bftbcast_protocols::CountingProtocol;
+
+use crate::metrics::CountingOutcome;
+
+/// The counting engine. Construct with [`CountingSim::new`], run with
+/// [`CountingSim::run`], then inspect per-node state.
+#[derive(Debug, Clone)]
+pub struct CountingSim {
+    grid: Grid,
+    protocol: CountingProtocol,
+    source: NodeId,
+    is_good: Vec<bool>,
+    bad_nodes: Vec<NodeId>,
+    budgets: Vec<Budget>,
+    accepted: Vec<Option<Value>>,
+    accepted_wave: Vec<Option<usize>>,
+    tally_true: Vec<u64>,
+    tally_wrong: Vec<u64>,
+    waves: usize,
+    good_copies_sent: u64,
+    source_copies_sent: u64,
+    adversary_spent: u64,
+    wrong_accepts: usize,
+}
+
+impl CountingSim {
+    /// Builds an engine for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bad_nodes` contains the source, duplicates, or invalid
+    /// ids, or if a relay quota exceeds its node's budget.
+    pub fn new(
+        grid: Grid,
+        protocol: CountingProtocol,
+        source: NodeId,
+        bad_nodes: &[NodeId],
+        mf: u64,
+    ) -> Self {
+        let n = grid.node_count();
+        assert!(source < n, "source out of range");
+        assert!(
+            protocol.quotas_fit_budgets(),
+            "protocol quota exceeds budget"
+        );
+        let mut is_good = vec![true; n];
+        for &b in bad_nodes {
+            assert!(b < n, "bad node out of range");
+            assert!(b != source, "the base station is assumed correct");
+            assert!(is_good[b], "duplicate bad node {b}");
+            is_good[b] = false;
+        }
+        let budgets = (0..n)
+            .map(|id| {
+                if id == source {
+                    Budget::unbounded()
+                } else if is_good[id] {
+                    Budget::limited(protocol.budget[id])
+                } else {
+                    Budget::limited(mf)
+                }
+            })
+            .collect();
+        let mut accepted = vec![None; n];
+        accepted[source] = Some(Value::TRUE);
+        let mut accepted_wave = vec![None; n];
+        accepted_wave[source] = Some(0);
+        CountingSim {
+            grid,
+            protocol,
+            source,
+            is_good,
+            bad_nodes: bad_nodes.to_vec(),
+            budgets,
+            accepted,
+            accepted_wave,
+            tally_true: vec![0; n],
+            tally_wrong: vec![0; n],
+            waves: 0,
+            good_copies_sent: 0,
+            source_copies_sent: 0,
+            adversary_spent: 0,
+            wrong_accepts: 0,
+        }
+    }
+
+    /// Runs the engine to fixpoint against the given strategy.
+    pub fn run<S: CorruptionStrategy>(&mut self, strategy: &mut S) -> CountingOutcome {
+        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        self.source_copies_sent += self.protocol.source_copies;
+
+        while !wave.is_empty() {
+            self.waves += 1;
+            let plan = {
+                let remaining: Vec<u64> = self.budgets.iter().map(Budget::remaining).collect();
+                let accepted_true: Vec<bool> = self
+                    .accepted
+                    .iter()
+                    .map(|a| *a == Some(Value::TRUE))
+                    .collect();
+                let view = WaveView {
+                    grid: &self.grid,
+                    transmissions: &wave,
+                    accepted_true: &accepted_true,
+                    tallies_true: &self.tally_true,
+                    threshold: self.protocol.accept_threshold,
+                    bad_nodes: &self.bad_nodes,
+                    remaining_budget: &remaining,
+                    is_good: &self.is_good,
+                    relay_quota: &self.protocol.relay_copies,
+                };
+                strategy.plan(&view)
+            };
+            self.validate_and_spend(&wave, &plan);
+            self.apply_wave(&wave, &plan);
+            wave = self.collect_acceptances();
+        }
+
+        self.outcome()
+    }
+
+    /// Runs the engine to fixpoint under the paper's **per-receiver**
+    /// budget accounting (see module docs): every (bad node, receiver)
+    /// pair has an independent corruption capacity `mf`. Each wave, for
+    /// every undecided receiver the oracle corrupts just enough incoming
+    /// copies to hold the receiver below the acceptance threshold — but
+    /// only when the remaining capacity at that receiver can actually
+    /// close the gap (hopeless fights are skipped, exactly like the
+    /// narrative of Figure 2: the four "gray" nodes are let through).
+    pub fn run_oracle(&mut self, mf: u64) -> CountingOutcome {
+        let n = self.grid.node_count();
+        // Remaining per-receiver capacity: sum over bad b in N(u) of the
+        // per-pair budget. Initialized lazily.
+        let mut capacity = vec![0u64; n];
+        for &b in &self.bad_nodes.clone() {
+            for u in self.grid.neighbors(b) {
+                if self.is_good[u] {
+                    capacity[u] += mf;
+                }
+            }
+        }
+
+        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        self.source_copies_sent += self.protocol.source_copies;
+
+        while !wave.is_empty() {
+            self.waves += 1;
+            // Incoming correct copies this wave.
+            let mut incoming = vec![0u64; n];
+            for &(s, copies) in &wave {
+                for u in self.grid.neighbors(s) {
+                    if self.is_good[u] && self.accepted[u].is_none() {
+                        incoming[u] += copies;
+                    }
+                }
+            }
+            for u in 0..n {
+                if incoming[u] == 0 {
+                    continue;
+                }
+                let total = self.tally_true[u] + incoming[u];
+                // Keep u at threshold - 1 = t*mf correct copies.
+                let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
+                let corrupt = if deficit == 0 || deficit > capacity[u].min(incoming[u]) {
+                    0 // safe already, or hopeless: don't waste capacity
+                } else {
+                    deficit
+                };
+                capacity[u] -= corrupt;
+                self.adversary_spent += corrupt;
+                self.tally_true[u] += incoming[u] - corrupt;
+                self.tally_wrong[u] += corrupt;
+            }
+            wave = self.collect_acceptances();
+        }
+
+        self.outcome()
+    }
+
+    /// Runs the engine under the per-receiver oracle with **majority**
+    /// acceptance instead of the paper's threshold rule: a node accepts
+    /// the leading value once it has received `quorum` total copies
+    /// (correct or corrupted), ties breaking *against* the node.
+    ///
+    /// This is the EXP-A3 ablation. Under the threshold rule
+    /// (`t·mf + 1` copies of one value) forged copies are harmless — a
+    /// wrong value can never reach the threshold, so the adversary's
+    /// only lever is suppressing correct copies. Under majority
+    /// acceptance a corruption both removes a correct copy *and* adds a
+    /// wrong one, so safety needs `quorum ≥ 2·t·mf + 1` — twice the
+    /// intake — which is exactly why the paper's protocols accept at
+    /// `t·mf + 1` and reserve majority voting for the
+    /// `2·t·mf + 1`-copy source step (§3.1).
+    pub fn run_majority_oracle(&mut self, mf: u64, quorum: u64) -> CountingOutcome {
+        let n = self.grid.node_count();
+        let mut capacity = vec![0u64; n];
+        for &b in &self.bad_nodes.clone() {
+            for u in self.grid.neighbors(b) {
+                if self.is_good[u] {
+                    capacity[u] += mf;
+                }
+            }
+        }
+
+        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        self.source_copies_sent += self.protocol.source_copies;
+
+        while !wave.is_empty() {
+            self.waves += 1;
+            let mut incoming = vec![0u64; n];
+            for &(s, copies) in &wave {
+                for u in self.grid.neighbors(s) {
+                    if self.is_good[u] && self.accepted[u].is_none() {
+                        incoming[u] += copies;
+                    }
+                }
+            }
+            for u in 0..n {
+                if incoming[u] == 0 {
+                    continue;
+                }
+                // Greedy oracle: every corruption strictly improves the
+                // adversary's majority position, so spend eagerly.
+                let corrupt = capacity[u].min(incoming[u]);
+                capacity[u] -= corrupt;
+                self.adversary_spent += corrupt;
+                self.tally_true[u] += incoming[u] - corrupt;
+                self.tally_wrong[u] += corrupt;
+            }
+            // Majority acceptance at the quorum.
+            let mut next = Vec::new();
+            for u in 0..n {
+                if !self.is_good[u] || self.accepted[u].is_some() {
+                    continue;
+                }
+                let total = self.tally_true[u] + self.tally_wrong[u];
+                if total < quorum {
+                    continue;
+                }
+                if self.tally_wrong[u] >= self.tally_true[u] {
+                    self.accepted[u] = Some(Value::FORGED);
+                    self.accepted_wave[u] = Some(self.waves);
+                    self.wrong_accepts += 1;
+                } else {
+                    self.accepted[u] = Some(Value::TRUE);
+                    self.accepted_wave[u] = Some(self.waves);
+                    let quota = self.protocol.relay_copies[u];
+                    self.budgets[u]
+                        .try_spend(quota)
+                        .expect("relay quota exceeds good budget");
+                    self.good_copies_sent += quota;
+                    next.push((u, quota));
+                }
+            }
+            wave = next;
+        }
+
+        self.outcome()
+    }
+
+    fn outcome(&self) -> CountingOutcome {
+        CountingOutcome {
+            good_nodes: self.is_good.iter().filter(|&&g| g).count(),
+            accepted_true: self
+                .accepted
+                .iter()
+                .enumerate()
+                .filter(|&(id, a)| self.is_good[id] && *a == Some(Value::TRUE))
+                .count(),
+            wrong_accepts: self.wrong_accepts,
+            waves: self.waves,
+            good_copies_sent: self.good_copies_sent,
+            source_copies_sent: self.source_copies_sent,
+            adversary_spent: self.adversary_spent,
+        }
+    }
+
+    /// Validates the plan against the model and debits budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation: attacks by good nodes, out-of-range
+    /// collisions (`L∞(attacker, sender) > 2r`), over-collided senders,
+    /// or budget overdrafts. Strategies are untrusted; violations are
+    /// bugs worth crashing on.
+    fn validate_and_spend(&mut self, wave: &[(NodeId, u64)], plan: &AttackPlan) {
+        let mut collided_per_sender: std::collections::HashMap<NodeId, u64> = Default::default();
+        let sent: std::collections::HashMap<NodeId, u64> = wave.iter().copied().collect();
+        for c in &plan.collisions {
+            assert!(!self.is_good[c.attacker], "good node in attack plan");
+            let copies_sent = *sent
+                .get(&c.sender)
+                .expect("collision against a non-transmitting sender");
+            assert!(
+                self.grid.linf_distance(c.attacker, c.sender) <= 2 * self.grid.range(),
+                "collision out of radio range"
+            );
+            let entry = collided_per_sender.entry(c.sender).or_insert(0);
+            *entry += c.copies;
+            assert!(
+                *entry <= copies_sent,
+                "more copies collided than sender {} transmitted",
+                c.sender
+            );
+            self.budgets[c.attacker]
+                .try_spend(c.copies)
+                .expect("adversary over budget");
+            self.adversary_spent += c.copies;
+        }
+        for f in &plan.forgeries {
+            assert!(!self.is_good[f.attacker], "good node in attack plan");
+            self.budgets[f.attacker]
+                .try_spend(f.copies)
+                .expect("adversary over budget");
+            self.adversary_spent += f.copies;
+        }
+    }
+
+    /// Delivers one wave of transmissions under the validated plan.
+    fn apply_wave(&mut self, wave: &[(NodeId, u64)], plan: &AttackPlan) {
+        for &(sender, copies) in wave {
+            // Collisions targeting this sender.
+            let attacks: Vec<(NodeId, u64)> = plan
+                .collisions
+                .iter()
+                .filter(|c| c.sender == sender)
+                .map(|c| (c.attacker, c.copies))
+                .collect();
+            for u in self.grid.neighbors(sender) {
+                if !self.is_good[u] || self.accepted[u].is_some() {
+                    continue;
+                }
+                // Copies corrupted at u: collisions whose attacker covers u.
+                let corrupted: u64 = attacks
+                    .iter()
+                    .filter(|&&(b, _)| self.grid.are_neighbors(b, u))
+                    .map(|&(_, c)| c)
+                    .sum();
+                debug_assert!(corrupted <= copies);
+                self.tally_true[u] += copies - corrupted;
+                self.tally_wrong[u] += corrupted;
+            }
+        }
+        for f in &plan.forgeries {
+            for u in self.grid.neighbors(f.attacker) {
+                if self.is_good[u] && self.accepted[u].is_none() {
+                    self.tally_wrong[u] += f.copies;
+                }
+            }
+        }
+    }
+
+    /// Applies the acceptance rule and schedules the next wave.
+    fn collect_acceptances(&mut self) -> Vec<(NodeId, u64)> {
+        let mut next = Vec::new();
+        for u in 0..self.grid.node_count() {
+            if !self.is_good[u] || self.accepted[u].is_some() {
+                continue;
+            }
+            let true_in = self.tally_true[u] >= self.protocol.accept_threshold;
+            let wrong_in = self.tally_wrong[u] >= self.protocol.accept_threshold;
+            if wrong_in && self.tally_wrong[u] >= self.tally_true[u] {
+                // A forged value crossed the threshold first: a
+                // correctness violation (impossible when t*mf < threshold;
+                // kept as a checked invariant).
+                self.accepted[u] = Some(Value::FORGED);
+                self.accepted_wave[u] = Some(self.waves);
+                self.wrong_accepts += 1;
+            } else if true_in {
+                self.accepted[u] = Some(Value::TRUE);
+                self.accepted_wave[u] = Some(self.waves);
+                let quota = self.protocol.relay_copies[u];
+                self.budgets[u]
+                    .try_spend(quota)
+                    .expect("relay quota exceeds good budget");
+                self.good_copies_sent += quota;
+                next.push((u, quota));
+            }
+        }
+        next
+    }
+
+    // ------------------------------------------------------------------
+    // Post-run inspection (the Figure 2 trace API).
+    // ------------------------------------------------------------------
+
+    /// The torus.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The value accepted by `u`, if any.
+    pub fn accepted(&self, u: NodeId) -> Option<Value> {
+        self.accepted[u]
+    }
+
+    /// The wave in which `u` accepted (0 for the source), if it did.
+    pub fn accepted_wave(&self, u: NodeId) -> Option<usize> {
+        self.accepted_wave[u]
+    }
+
+    /// Cumulative good-node acceptances per wave — the propagation
+    /// profile of the run (index = wave).
+    pub fn propagation_profile(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.waves + 1];
+        for u in 0..self.grid.node_count() {
+            if let Some(w) = self.accepted_wave[u] {
+                if self.is_good[u] {
+                    counts[w] += 1;
+                }
+            }
+        }
+        let mut cumulative = 0;
+        counts
+            .iter()
+            .map(|c| {
+                cumulative += c;
+                cumulative
+            })
+            .collect()
+    }
+
+    /// Correct copies delivered to `u` so far.
+    pub fn tally_true(&self, u: NodeId) -> u64 {
+        self.tally_true[u]
+    }
+
+    /// Forged copies delivered to `u` so far.
+    pub fn tally_wrong(&self, u: NodeId) -> u64 {
+        self.tally_wrong[u]
+    }
+
+    /// Number of `u`'s neighbors (good or bad) that accepted `Vtrue`.
+    pub fn decided_neighbors(&self, u: NodeId) -> usize {
+        self.grid
+            .neighbors(u)
+            .filter(|&v| self.accepted[v] == Some(Value::TRUE))
+            .count()
+    }
+
+    /// Number of `u`'s *good* neighbors that accepted `Vtrue` (the
+    /// senders that can feed it correct copies).
+    pub fn decided_good_neighbors(&self, u: NodeId) -> usize {
+        self.grid
+            .neighbors(u)
+            .filter(|&v| self.is_good[v] && self.accepted[v] == Some(Value::TRUE))
+            .count()
+    }
+
+    /// Remaining attack budget of a node.
+    pub fn remaining_budget(&self, u: NodeId) -> u64 {
+        self.budgets[u].remaining()
+    }
+
+    /// Whether node `u` is honest.
+    pub fn is_good(&self, u: NodeId) -> bool {
+        self.is_good[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_adversary::{Chaos, GreedyFrontier, LatticePlacement, Passive, Placement};
+    use bftbcast_net::Grid;
+    use bftbcast_protocols::Params;
+
+    fn small() -> (Grid, Params) {
+        // 15x15 torus, r = 1, t = 1, mf = 4.
+        (Grid::new(15, 15, 1).unwrap(), Params::new(1, 1, 4))
+    }
+
+    #[test]
+    fn passive_run_reaches_everyone() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let mut sim = CountingSim::new(grid, proto, 0, &[], p.mf);
+        let out = sim.run(&mut Passive);
+        assert!(out.is_reliable(), "no adversary, full coverage: {out:?}");
+        assert_eq!(out.good_nodes, 225);
+        assert!(out.waves >= 7, "15x15 torus with r=1 takes several waves");
+    }
+
+    #[test]
+    fn protocol_b_survives_greedy_at_2m0() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let bad = LatticePlacement::new(1).bad_nodes(&grid);
+        let mut sim = CountingSim::new(grid, proto, 0, &bad, p.mf);
+        let out = sim.run(&mut GreedyFrontier::default());
+        assert!(out.is_correct());
+        assert!(
+            out.is_complete(),
+            "Theorem 2: m = 2 m0 beats any adversary (coverage {})",
+            out.coverage()
+        );
+    }
+
+    #[test]
+    fn protocol_b_survives_per_receiver_oracle_at_2m0() {
+        // Theorem 2 is proved against the per-receiver accounting; the
+        // oracle is that adversary, strictly stronger than any physical
+        // strategy.
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let bad = LatticePlacement::new(1).bad_nodes(&grid);
+        let mut sim = CountingSim::new(grid, proto, 0, &bad, p.mf);
+        let out = sim.run_oracle(p.mf);
+        assert!(out.is_correct());
+        assert!(out.is_complete(), "coverage {}", out.coverage());
+    }
+
+    /// Theorem 1's construction on the torus: a single stripe does not
+    /// separate a torus, so two stripes (rows 4 and 11) carve out the
+    /// band of rows 5–10. Under the paper's per-receiver accounting and
+    /// `m = m0 − 1` every band node is starved; at `m = m0` the stripe
+    /// adversary loses its grip.
+    #[test]
+    fn double_stripe_stalls_band_exactly_below_m0() {
+        use bftbcast_adversary::StripePlacement;
+        let (grid, p) = small();
+        let mut bad = StripePlacement::facing_up(4, 1).bad_nodes(&grid);
+        bad.extend(StripePlacement::facing_down(11, 1).bad_nodes(&grid));
+        assert!(bftbcast_adversary::respects_local_bound(&grid, &bad, 1));
+
+        // m = m0 - 1: the band never decides.
+        let m = p.m0() - 1;
+        let proto = CountingProtocol::starved(&grid, p, m);
+        let mut sim = CountingSim::new(grid.clone(), proto, 0, &bad, p.mf);
+        let out = sim.run_oracle(p.mf);
+        assert!(out.is_correct());
+        assert!(!out.is_complete(), "coverage {}", out.coverage());
+        // Every good node in the isolated band is undecided.
+        for y in 5..=10u32 {
+            for x in 0..grid.width() {
+                let id = grid.id_at(x, y);
+                if sim.is_good(id) {
+                    assert_eq!(sim.accepted(id), None, "({x},{y}) should be starved");
+                }
+            }
+        }
+
+        // Same adversary, m = m0: the stripe cannot hold the frontier.
+        let proto = CountingProtocol::starved(&grid, p, p.m0());
+        let mut sim = CountingSim::new(grid.clone(), proto, 0, &bad, p.mf);
+        let out = sim.run_oracle(p.mf);
+        assert!(out.is_complete(), "m = m0 defeats the stripe: {}", out.coverage());
+    }
+
+    #[test]
+    fn majority_rule_safe_at_double_quorum_unsafe_below() {
+        // EXP-A3's core claim, in miniature. Quorum 2*t*mf + 1: the
+        // adversary's t*mf corrupted copies can never reach parity, so
+        // majority acceptance is safe (but needs twice the intake).
+        let (grid, p) = small();
+        let bad = LatticePlacement::new(1).bad_nodes(&grid);
+        let koo = CountingProtocol::koo_baseline(&grid, p);
+        let mut sim = CountingSim::new(grid.clone(), koo.clone(), 0, &bad, p.mf);
+        let out = sim.run_majority_oracle(p.mf, 2 * p.mf * u64::from(p.t) + 1);
+        assert!(out.is_correct(), "wrong accepts: {}", out.wrong_accepts);
+        assert!(out.is_complete(), "coverage {}", out.coverage());
+
+        // Quorum t*mf + 1 (the threshold rule's intake) under majority
+        // acceptance, with relays sized to that intake: frontier nodes
+        // that hear a single relayer receive exactly quorum copies, of
+        // which the oracle corrupts t*mf — majority flips, the node
+        // accepts a forged value. (The threshold rule is immune at the
+        // same intake: `protocol_b_survives_per_receiver_oracle_at_2m0`.)
+        let tmf1 = p.mf * u64::from(p.t) + 1;
+        let lean = CountingProtocol::starved(&grid, p, tmf1);
+        let mut sim = CountingSim::new(grid, lean, 0, &bad, p.mf);
+        let out = sim.run_majority_oracle(p.mf, tmf1);
+        assert!(!out.is_correct(), "majority at low quorum must be forgeable");
+    }
+
+    #[test]
+    fn chaos_never_breaks_correctness() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let bad = LatticePlacement::new(1).bad_nodes(&grid);
+        for seed in 0..10u64 {
+            let mut sim = CountingSim::new(grid.clone(), proto.clone(), 0, &bad, p.mf);
+            let out = sim.run(&mut Chaos::new(seed));
+            assert!(out.is_correct(), "seed {seed}: wrong accept");
+            assert!(out.is_complete(), "seed {seed}: chaos is weaker than greedy");
+        }
+    }
+
+    #[test]
+    fn budgets_are_never_exceeded() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let bad = LatticePlacement::new(1).bad_nodes(&grid);
+        let mf = p.mf;
+        let mut sim = CountingSim::new(grid.clone(), proto.clone(), 0, &bad, mf);
+        sim.run(&mut GreedyFrontier::default());
+        for u in grid.nodes() {
+            if !sim.is_good(u) {
+                assert!(sim.remaining_budget(u) <= mf);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base station is assumed correct")]
+    fn source_cannot_be_bad() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let _ = CountingSim::new(grid, proto, 0, &[0], p.mf);
+    }
+
+    #[test]
+    fn source_neighbors_accept_in_first_wave() {
+        let (grid, p) = small();
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let mut sim = CountingSim::new(grid.clone(), proto, 0, &[], p.mf);
+        sim.run(&mut Passive);
+        for v in grid.neighbors(0) {
+            assert_eq!(sim.accepted(v), Some(Value::TRUE));
+            assert!(sim.tally_true(v) >= p.source_quota());
+        }
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use bftbcast_adversary::Passive;
+    use bftbcast_net::Grid;
+    use bftbcast_protocols::Params;
+
+    #[test]
+    fn propagation_profile_is_monotone_and_complete() {
+        let grid = Grid::new(15, 15, 1).unwrap();
+        let p = Params::new(1, 1, 4);
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let mut sim = CountingSim::new(grid.clone(), proto, 0, &[], p.mf);
+        let out = sim.run(&mut Passive);
+        let profile = sim.propagation_profile();
+        assert!(profile.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert_eq!(*profile.last().unwrap(), out.accepted_true);
+        // Source at wave 0; its neighbors at wave 1.
+        assert_eq!(sim.accepted_wave(0), Some(0));
+        for v in grid.neighbors(0) {
+            assert_eq!(sim.accepted_wave(v), Some(1));
+        }
+        // Wave index equals L-infinity distance from the source here.
+        for u in grid.nodes() {
+            assert_eq!(
+                sim.accepted_wave(u).unwrap() as u32,
+                grid.linf_distance(0, u),
+                "node {u}"
+            );
+        }
+    }
+}

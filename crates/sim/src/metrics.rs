@@ -1,0 +1,183 @@
+//! Outcome records produced by the engines.
+
+use bftbcast_net::NodeId;
+
+/// Result of a counting-engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingOutcome {
+    /// Good nodes (base station included).
+    pub good_nodes: usize,
+    /// Good nodes that accepted `Vtrue` (base station included).
+    pub accepted_true: usize,
+    /// Good nodes that accepted a forged value — must be zero for every
+    /// protocol with the `t·mf + 1` threshold (Lemma 1); non-zero values
+    /// indicate a model violation and fail tests.
+    pub wrong_accepts: usize,
+    /// Waves until fixpoint.
+    pub waves: usize,
+    /// Total copies sent by non-source good nodes.
+    pub good_copies_sent: u64,
+    /// Copies sent by the base station.
+    pub source_copies_sent: u64,
+    /// Total budget units the adversary spent.
+    pub adversary_spent: u64,
+}
+
+impl CountingOutcome {
+    /// Fraction of good nodes that accepted `Vtrue`.
+    pub fn coverage(&self) -> f64 {
+        if self.good_nodes == 0 {
+            return 0.0;
+        }
+        self.accepted_true as f64 / self.good_nodes as f64
+    }
+
+    /// Completeness: every good node accepted some value — with
+    /// correctness, every good node accepted `Vtrue`.
+    pub fn is_complete(&self) -> bool {
+        self.accepted_true + self.wrong_accepts == self.good_nodes
+    }
+
+    /// Correctness: nobody accepted a forged value.
+    pub fn is_correct(&self) -> bool {
+        self.wrong_accepts == 0
+    }
+
+    /// Reliable broadcast achieved: complete and correct.
+    pub fn is_reliable(&self) -> bool {
+        self.is_complete() && self.is_correct()
+    }
+
+    /// Average copies sent per non-source good node.
+    pub fn avg_copies_per_good(&self) -> f64 {
+        if self.good_nodes <= 1 {
+            return 0.0;
+        }
+        self.good_copies_sent as f64 / (self.good_nodes - 1) as f64
+    }
+}
+
+/// Result of a slot-engine (`Breactive`) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReactiveOutcome {
+    /// Good nodes (base station included).
+    pub good_nodes: usize,
+    /// Good nodes whose certified propagation committed `Vtrue`.
+    pub committed_true: usize,
+    /// Good nodes that committed a forged value (probabilistic failures:
+    /// successful sub-bit cancellations or bad-witness collusion).
+    pub committed_wrong: usize,
+    /// Message rounds elapsed.
+    pub rounds: u64,
+    /// Data-frame transmissions by good nodes.
+    pub data_transmissions: u64,
+    /// NACK transmissions by good nodes.
+    pub nack_transmissions: u64,
+    /// Maximum messages (data + NACK) transmitted by any single good
+    /// node — the quantity Theorem 4 bounds (×`K·L` for sub-bit slots).
+    pub max_node_messages: u64,
+    /// Sub-bit slots per message round (`K·L`).
+    pub subbits_per_message: u64,
+    /// Attack budget units spent by the adversary.
+    pub adversary_spent: u64,
+    /// Integrity violations detected by receivers (each triggered a
+    /// NACK).
+    pub detections: u64,
+    /// Undetected payload corruptions (successful cancellation attacks).
+    pub undetected_corruptions: u64,
+    /// Nodes still uncommitted when the engine stopped.
+    pub uncommitted: Vec<NodeId>,
+}
+
+impl ReactiveOutcome {
+    /// Fraction of good nodes that committed `Vtrue`.
+    pub fn coverage(&self) -> f64 {
+        if self.good_nodes == 0 {
+            return 0.0;
+        }
+        self.committed_true as f64 / self.good_nodes as f64
+    }
+
+    /// Reliable: everyone committed `Vtrue`, nobody committed wrong.
+    pub fn is_reliable(&self) -> bool {
+        self.committed_true == self.good_nodes && self.committed_wrong == 0
+    }
+
+    /// Worst per-node cost in sub-bit slots (Theorem 4's unit).
+    pub fn max_node_subbit_cost(&self) -> u64 {
+        self.max_node_messages * self.subbits_per_message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_fixture() -> CountingOutcome {
+        CountingOutcome {
+            good_nodes: 100,
+            accepted_true: 100,
+            wrong_accepts: 0,
+            waves: 7,
+            good_copies_sent: 9900,
+            source_copies_sent: 21,
+            adversary_spent: 40,
+        }
+    }
+
+    #[test]
+    fn counting_outcome_predicates() {
+        let o = counting_fixture();
+        assert!(o.is_reliable());
+        assert_eq!(o.coverage(), 1.0);
+        assert_eq!(o.avg_copies_per_good(), 100.0);
+        let failed = CountingOutcome {
+            accepted_true: 60,
+            ..o.clone()
+        };
+        assert!(!failed.is_complete());
+        assert!(failed.is_correct());
+        assert!((failed.coverage() - 0.6).abs() < 1e-12);
+        let unsafe_run = CountingOutcome {
+            wrong_accepts: 1,
+            ..o
+        };
+        assert!(!unsafe_run.is_correct());
+    }
+
+    #[test]
+    fn reactive_outcome_predicates() {
+        let o = ReactiveOutcome {
+            good_nodes: 25,
+            committed_true: 25,
+            committed_wrong: 0,
+            rounds: 500,
+            data_transmissions: 60,
+            nack_transmissions: 12,
+            max_node_messages: 9,
+            subbits_per_message: 41 * 78,
+            adversary_spent: 30,
+            detections: 12,
+            undetected_corruptions: 0,
+            uncommitted: vec![],
+        };
+        assert!(o.is_reliable());
+        assert_eq!(o.max_node_subbit_cost(), 9 * 41 * 78);
+        assert_eq!(o.coverage(), 1.0);
+    }
+
+    #[test]
+    fn zero_good_nodes_coverage() {
+        let o = CountingOutcome {
+            good_nodes: 0,
+            accepted_true: 0,
+            wrong_accepts: 0,
+            waves: 0,
+            good_copies_sent: 0,
+            source_copies_sent: 0,
+            adversary_spent: 0,
+        };
+        assert_eq!(o.coverage(), 0.0);
+        assert_eq!(o.avg_copies_per_good(), 0.0);
+    }
+}

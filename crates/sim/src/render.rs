@@ -1,0 +1,129 @@
+//! ASCII rendering of engine state — the quickest way to *see* the
+//! paper's constructions (the Figure 2 stall, the stripe band, the
+//! cross of Figure 5).
+//!
+//! Legend: `S` base station, `#` bad node, `o` accepted `Vtrue`,
+//! `!` accepted a forged value (never happens under the threshold
+//! rule), `.` undecided.
+
+use bftbcast_net::{NodeId, Value};
+
+use crate::counting::CountingSim;
+
+/// One cell of the rendered map.
+fn glyph(sim: &CountingSim, source: NodeId, id: NodeId) -> char {
+    if id == source {
+        'S'
+    } else if !sim.is_good(id) {
+        '#'
+    } else {
+        match sim.accepted(id) {
+            Some(Value::TRUE) => 'o',
+            Some(_) => '!',
+            None => '.',
+        }
+    }
+}
+
+/// Renders the acceptance map of a finished counting run, one row per
+/// torus row (row 0 on top).
+pub fn acceptance_map(sim: &CountingSim, source: NodeId) -> String {
+    let grid = sim.grid();
+    let mut out = String::with_capacity((grid.width() as usize + 1) * grid.height() as usize);
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            out.push(glyph(sim, source, grid.id_at(x, y)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a map *centered* on the given coordinate (the Figure 2
+/// figures center the source), showing `2·half + 1` rows/columns with
+/// torus wrap.
+pub fn acceptance_map_centered(sim: &CountingSim, source: NodeId, half: u32) -> String {
+    let grid = sim.grid();
+    let c = grid.coord_of(source);
+    let mut out = String::new();
+    for dy in -(i64::from(half))..=i64::from(half) {
+        for dx in -(i64::from(half))..=i64::from(half) {
+            let p = grid.wrap(i64::from(c.x) + dx, i64::from(c.y) + dy);
+            out.push(glyph(sim, source, grid.id_of(p)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-row acceptance counts, handy for stripe experiments.
+pub fn row_acceptance(sim: &CountingSim) -> Vec<(u32, usize, usize)> {
+    let grid = sim.grid();
+    (0..grid.height())
+        .map(|y| {
+            let mut accepted = 0;
+            let mut good = 0;
+            for x in 0..grid.width() {
+                let id = grid.id_at(x, y);
+                if sim.is_good(id) {
+                    good += 1;
+                    if sim.accepted(id) == Some(Value::TRUE) {
+                        accepted += 1;
+                    }
+                }
+            }
+            (y, accepted, good)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_adversary::Passive;
+    use bftbcast_net::Grid;
+    use bftbcast_protocols::{CountingProtocol, Params};
+
+    fn finished_sim() -> (CountingSim, NodeId) {
+        let grid = Grid::new(9, 9, 1).unwrap();
+        let p = Params::new(1, 1, 2);
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let bad = vec![grid.id_at(4, 4)];
+        let mut sim = CountingSim::new(grid, proto, 0, &bad, p.mf);
+        sim.run(&mut Passive);
+        (sim, 0)
+    }
+
+    #[test]
+    fn map_dimensions_and_glyphs() {
+        let (sim, source) = finished_sim();
+        let map = acceptance_map(&sim, source);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 9);
+        assert!(lines.iter().all(|l| l.len() == 9));
+        assert!(map.starts_with('S'));
+        assert_eq!(map.matches('#').count(), 1);
+        assert_eq!(map.matches('o').count(), 79); // 81 - source - bad
+        assert!(!map.contains('.'));
+        assert!(!map.contains('!'));
+    }
+
+    #[test]
+    fn centered_map_puts_source_in_middle() {
+        let (sim, source) = finished_sim();
+        let map = acceptance_map_centered(&sim, source, 2);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].chars().nth(2), Some('S'));
+    }
+
+    #[test]
+    fn row_counts_sum_to_population() {
+        let (sim, _) = finished_sim();
+        let rows = row_acceptance(&sim);
+        let good: usize = rows.iter().map(|&(_, _, g)| g).sum();
+        let accepted: usize = rows.iter().map(|&(_, a, _)| a).sum();
+        assert_eq!(good, 80); // 81 - 1 bad
+        assert_eq!(accepted, 80);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parameter sweeps and report formatting.
+//!
+//! The experiments regenerate the paper's figures by sweeping `(r, t,
+//! mf, m, seed, strategy)` grids; [`sweep`] fans the points out over
+//! crossbeam scoped threads (runs are independent and deterministic per
+//! point), and [`Table`] renders the paper-style rows the bench binaries
+//! print.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` over every point, in parallel, preserving input order.
+///
+/// `f` must be deterministic per point (all engine randomness is seeded
+/// from the point itself), so parallelism never changes results.
+pub fn sweep<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let r = f(&points[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every point computed"))
+        .collect()
+}
+
+/// A minimal fixed-width text table for experiment reports.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Read-only access to the data rows (cells as rendered strings).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order_and_results() {
+        let points: Vec<u64> = (0..100).collect();
+        let out = sweep(&points, |&p| p * p);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(sweep(&empty, |&p| p).is_empty());
+        assert_eq!(sweep(&[7u32], |&p| p + 1), vec![8]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["m", "coverage"]);
+        t.row(&["58".into(), "1.00".into()]);
+        t.row(&["116".into(), "0.42".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("m  coverage"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Line charts for parameter sweeps.
+//!
+//! [`LineChart`] plots one or more `(x, y)` series with linear axes,
+//! tick labels and a legend — enough to render reliability-vs-rate and
+//! cost-vs-`t` curves from the experiment harness without external
+//! plotting dependencies.
+
+use crate::svg::Document;
+
+const PALETTE: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+/// One named series.
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A chart under construction.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+}
+
+impl LineChart {
+    /// An empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 400.0,
+        }
+    }
+
+    /// Overrides the default 640x400 canvas.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions.
+    pub fn with_size(mut self, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "invalid chart size");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a named series. Points with non-finite coordinates are
+    /// dropped.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push(Series {
+            name: name.into(),
+            points: points
+                .iter()
+                .copied()
+                .filter(|&(x, y)| x.is_finite() && y.is_finite())
+                .collect(),
+        });
+        self
+    }
+
+    /// Number of series added so far.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter().copied());
+        let Some(first) = pts.next() else {
+            return (0.0, 1.0, 0.0, 1.0);
+        };
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for (x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        (x0, x1, y0, y1)
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let (x0, x1, y0, y1) = self.bounds();
+        let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 48.0); // margins
+        let (pw, ph) = (self.width - ml - mr, self.height - mt - mb);
+        let mut doc = Document::new(self.width, self.height);
+        let to_px = |x: f64, y: f64| -> (f64, f64) {
+            (
+                ml + (x - x0) / (x1 - x0) * pw,
+                mt + ph - (y - y0) / (y1 - y0) * ph,
+            )
+        };
+
+        doc.text(ml, 20.0, 14.0, &self.title);
+        // Axes.
+        doc.line(ml, mt, ml, mt + ph, "#333333", 1.0);
+        doc.line(ml, mt + ph, ml + pw, mt + ph, "#333333", 1.0);
+        doc.text(ml + pw / 2.0 - 20.0, self.height - 10.0, 11.0, &self.x_label);
+        doc.text(4.0, mt - 8.0, 11.0, &self.y_label);
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let (px, _) = to_px(fx, y0);
+            let (_, py) = to_px(x0, fy);
+            doc.line(px, mt + ph, px, mt + ph + 4.0, "#333333", 1.0);
+            doc.text(px - 12.0, mt + ph + 16.0, 10.0, &format!("{fx:.3}"));
+            doc.line(ml - 4.0, py, ml, py, "#333333", 1.0);
+            doc.text(6.0, py + 3.0, 10.0, &format!("{fy:.3}"));
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> = s.points.iter().map(|&(x, y)| to_px(x, y)).collect();
+            doc.polyline(&pts, color, 1.5);
+            for &(px, py) in &pts {
+                doc.circle(px, py, 2.0, color);
+            }
+            // Legend.
+            let ly = mt + 14.0 * i as f64;
+            doc.line(ml + pw - 90.0, ly, ml + pw - 74.0, ly, color, 2.0);
+            doc.text(ml + pw - 70.0, ly + 3.0, 10.0, &s.name);
+        }
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_series_and_labels() {
+        let mut c = LineChart::new("reliability", "p", "fraction");
+        c.series("measured", &[(0.0, 1.0), (0.05, 0.9), (0.1, 0.4)]);
+        c.series("analytic", &[(0.0, 1.0), (0.05, 0.8), (0.1, 0.1)]);
+        let svg = c.render();
+        assert!(svg.contains("reliability"));
+        assert!(svg.contains("measured"));
+        assert!(svg.contains("analytic"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // 6 data points drawn as circles.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn empty_chart_still_renders_axes() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<line"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let mut c = LineChart::new("flat", "x", "y");
+        c.series("const", &[(1.0, 2.0), (1.0, 2.0)]);
+        let svg = c.render();
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.series("s", &[(f64::NAN, 1.0), (0.0, f64::INFINITY), (1.0, 1.0)]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,41 @@
+//! SVG visualization for `bftbcast` — torus maps, propagation waves and
+//! sweep charts, generated as plain SVG strings with no external
+//! dependencies.
+//!
+//! Three layers:
+//!
+//! * [`svg`] — a minimal SVG document builder (rects, circles, lines,
+//!   polylines, text);
+//! * [`map`] — [`map::GridMap`]: a cell-per-node rendering of a torus,
+//!   with helpers that color a [`CountingSim`](bftbcast_sim::CountingSim)
+//!   by acceptance wave (the propagation "heat map" of the paper's
+//!   constructions) or by node role;
+//! * [`chart`] — [`chart::LineChart`]: simple multi-series line charts
+//!   for parameter sweeps (reliability vs corruption rate, cost vs `t`,
+//!   …).
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_net::Grid;
+//! use bftbcast_viz::map::{CellStyle, GridMap};
+//!
+//! let grid = Grid::new(9, 9, 1).unwrap();
+//! let mut map = GridMap::new(&grid, 12);
+//! map.set(grid.id_at(4, 4), CellStyle::source());
+//! map.set(grid.id_at(2, 2), CellStyle::bad());
+//! let svg = map.render("a 9x9 torus");
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod map;
+pub mod svg;
+
+pub use chart::LineChart;
+pub use map::{CellStyle, GridMap};
+pub use svg::Document;

@@ -1,0 +1,233 @@
+//! Torus maps: one SVG cell per node.
+//!
+//! [`GridMap`] renders arbitrary per-node styles;
+//! [`GridMap::from_counting_sim`] colors a finished
+//! [`CountingSim`] run by acceptance wave —
+//! the propagation heat-map of the paper's constructions (the Figure 2
+//! stall renders as a colored diamond inside a grey sea).
+
+use bftbcast_net::{Grid, NodeId, Value};
+use bftbcast_sim::CountingSim;
+
+use crate::svg::Document;
+
+/// Fill/label style of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStyle {
+    /// SVG fill color.
+    pub fill: String,
+    /// Optional single-character label drawn on the cell.
+    pub label: Option<char>,
+}
+
+impl CellStyle {
+    /// An undecided / background cell.
+    pub fn undecided() -> Self {
+        CellStyle {
+            fill: "#d9d9d9".into(),
+            label: None,
+        }
+    }
+
+    /// The base station.
+    pub fn source() -> Self {
+        CellStyle {
+            fill: "#ffd700".into(),
+            label: Some('S'),
+        }
+    }
+
+    /// A Byzantine node.
+    pub fn bad() -> Self {
+        CellStyle {
+            fill: "#1a1a1a".into(),
+            label: None,
+        }
+    }
+
+    /// A crash-faulty node.
+    pub fn crashed() -> Self {
+        CellStyle {
+            fill: "#8c564b".into(),
+            label: Some('x'),
+        }
+    }
+
+    /// A node that accepted a forged value.
+    pub fn forged() -> Self {
+        CellStyle {
+            fill: "#d62728".into(),
+            label: Some('!'),
+        }
+    }
+
+    /// A node that accepted `Vtrue` at the given wave, on a blue→green
+    /// gradient over `max_wave`.
+    pub fn wave(wave: usize, max_wave: usize) -> Self {
+        let t = if max_wave == 0 {
+            0.0
+        } else {
+            wave as f64 / max_wave as f64
+        };
+        // #1f77b4 (blue) -> #2ca02c (green).
+        let lerp = |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * t) as u8 };
+        CellStyle {
+            fill: format!(
+                "#{:02x}{:02x}{:02x}",
+                lerp(0x1f, 0x2c),
+                lerp(0x77, 0xa0),
+                lerp(0xb4, 0x2c)
+            ),
+            label: None,
+        }
+    }
+}
+
+/// A torus map under construction.
+#[derive(Debug, Clone)]
+pub struct GridMap {
+    width: u32,
+    height: u32,
+    cell: u32,
+    styles: Vec<CellStyle>,
+}
+
+impl GridMap {
+    /// A map for `grid` with square cells of `cell_px` user units,
+    /// everything initially [`CellStyle::undecided`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_px` is zero.
+    pub fn new(grid: &Grid, cell_px: u32) -> Self {
+        assert!(cell_px > 0, "cell size must be positive");
+        GridMap {
+            width: grid.width(),
+            height: grid.height(),
+            cell: cell_px,
+            styles: vec![CellStyle::undecided(); grid.node_count()],
+        }
+    }
+
+    /// Sets one node's style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set(&mut self, node: NodeId, style: CellStyle) {
+        self.styles[node] = style;
+    }
+
+    /// Colors a finished counting-engine run: acceptance waves on a
+    /// gradient, Byzantine nodes black, forged accepts red, the source
+    /// gold, undecided grey.
+    pub fn from_counting_sim(sim: &CountingSim, source: NodeId, cell_px: u32) -> Self {
+        let grid = sim.grid();
+        let mut map = GridMap::new(grid, cell_px);
+        let max_wave = grid
+            .nodes()
+            .filter_map(|u| sim.accepted_wave(u))
+            .max()
+            .unwrap_or(0);
+        for u in grid.nodes() {
+            let style = if u == source {
+                CellStyle::source()
+            } else if !sim.is_good(u) {
+                CellStyle::bad()
+            } else {
+                match sim.accepted(u) {
+                    Some(Value::TRUE) => {
+                        CellStyle::wave(sim.accepted_wave(u).unwrap_or(0), max_wave)
+                    }
+                    Some(_) => CellStyle::forged(),
+                    None => CellStyle::undecided(),
+                }
+            };
+            map.set(u, style);
+        }
+        map
+    }
+
+    /// Renders the map with a title line.
+    pub fn render(&self, title: &str) -> String {
+        let c = f64::from(self.cell);
+        let title_h = c.max(12.0) + 6.0;
+        let w = f64::from(self.width) * c;
+        let h = f64::from(self.height) * c + title_h;
+        let mut doc = Document::new(w.max(200.0), h);
+        doc.text(2.0, title_h - 8.0, c.max(10.0), title);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let idx = (y as usize) * (self.width as usize) + x as usize;
+                let style = &self.styles[idx];
+                let (px, py) = (f64::from(x) * c, title_h + f64::from(y) * c);
+                doc.rect(px, py, c, c, &style.fill, Some("#ffffff"));
+                if let Some(ch) = style.label {
+                    doc.text(px + 0.25 * c, py + 0.8 * c, 0.7 * c, &ch.to_string());
+                }
+            }
+        }
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftbcast_adversary::Passive;
+    use bftbcast_protocols::{CountingProtocol, Params};
+
+    #[test]
+    fn cell_count_matches_grid() {
+        let grid = Grid::new(7, 5, 1).unwrap();
+        let map = GridMap::new(&grid, 10);
+        let svg = map.render("test");
+        assert_eq!(svg.matches("<rect").count(), 35);
+    }
+
+    #[test]
+    fn styles_show_up() {
+        let grid = Grid::new(5, 5, 1).unwrap();
+        let mut map = GridMap::new(&grid, 10);
+        map.set(0, CellStyle::source());
+        map.set(1, CellStyle::bad());
+        map.set(2, CellStyle::forged());
+        let svg = map.render("roles");
+        assert!(svg.contains("#ffd700"));
+        assert!(svg.contains("#1a1a1a"));
+        assert!(svg.contains("#d62728"));
+        assert!(svg.contains(">S</text>"));
+    }
+
+    #[test]
+    fn wave_gradient_endpoints() {
+        assert_eq!(CellStyle::wave(0, 10).fill, "#1f77b4");
+        assert_eq!(CellStyle::wave(10, 10).fill, "#2ca02c");
+        // Degenerate max: start of gradient, no panic.
+        assert_eq!(CellStyle::wave(0, 0).fill, "#1f77b4");
+    }
+
+    #[test]
+    fn counting_sim_map_renders_every_node() {
+        let grid = Grid::new(9, 9, 1).unwrap();
+        let p = Params::new(1, 1, 2);
+        let proto = CountingProtocol::protocol_b(&grid, p);
+        let mut sim = bftbcast_sim::CountingSim::new(grid.clone(), proto, 0, &[], p.mf);
+        sim.run(&mut Passive);
+        let map = GridMap::from_counting_sim(&sim, 0, 8);
+        let svg = map.render("9x9 passive run");
+        assert_eq!(svg.matches("<rect").count(), 81);
+        // The farthest nodes carry the gradient's green end.
+        assert!(svg.contains("#2ca02c"));
+        assert!(svg.contains("#ffd700"), "source cell missing");
+        // A complete run has no undecided cells.
+        assert!(!svg.contains("#d9d9d9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_rejected() {
+        let grid = Grid::new(5, 5, 1).unwrap();
+        let _ = GridMap::new(&grid, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! A minimal SVG document builder.
+//!
+//! Only what the map and chart layers need: shapes, text and a final
+//! serialization. Coordinates are `f64` user units; the emitted
+//! document carries an explicit `viewBox` so it scales losslessly.
+
+use core::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Document {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes the five XML-special characters of a text node or attribute.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_coord(x: f64) -> String {
+    // Trim trailing zeros for compact output.
+    let s = format!("{x:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+impl Document {
+    /// An empty document of the given user-unit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive or non-finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "invalid document size {width}x{height}"
+        );
+        Document {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width in user units.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in user units.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled, optionally stroked rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(r#" stroke="{}" stroke-width="0.5""#, escape(s)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"{stroke_attr}/>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(w),
+            fmt_coord(h),
+            escape(fill),
+        );
+    }
+
+    /// A circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}"/>"#,
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r),
+            escape(fill),
+        );
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            escape(stroke),
+            fmt_coord(width),
+        );
+    }
+
+    /// An open polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt_coord(x), fmt_coord(y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            escape(stroke),
+            fmt_coord(width),
+        );
+    }
+
+    /// A text label anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="monospace">{}</text>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            escape(content),
+        );
+    }
+
+    /// Serializes the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+             width=\"{w}\" height=\"{h}\">\n{body}</svg>\n",
+            w = fmt_coord(self.width),
+            h = fmt_coord(self.height),
+            body = self.body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_envelope() {
+        let mut d = Document::new(100.0, 50.0);
+        d.rect(0.0, 0.0, 10.0, 10.0, "#fff", Some("#000"));
+        d.circle(5.0, 5.0, 2.0, "red");
+        d.line(0.0, 0.0, 10.0, 10.0, "blue", 1.0);
+        d.polyline(&[(0.0, 0.0), (1.0, 2.0)], "green", 0.5);
+        d.text(1.0, 1.0, 4.0, "label");
+        let s = d.render();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        for tag in ["<rect", "<circle", "<line", "<polyline", "<text"] {
+            assert!(s.contains(tag), "missing {tag}");
+        }
+        assert!(s.contains(r#"viewBox="0 0 100 50""#));
+    }
+
+    #[test]
+    fn escapes_xml_special_characters() {
+        assert_eq!(escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        let mut d = Document::new(10.0, 10.0);
+        d.text(0.0, 0.0, 2.0, "<script>");
+        assert!(!d.render().contains("<script>"));
+    }
+
+    #[test]
+    fn coordinates_are_trimmed() {
+        assert_eq!(super::fmt_coord(1.0), "1");
+        assert_eq!(super::fmt_coord(1.25), "1.25");
+        assert_eq!(super::fmt_coord(1.20), "1.2");
+        assert_eq!(super::fmt_coord(0.0), "0");
+        assert_eq!(super::fmt_coord(-0.004), "-0");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid document size")]
+    fn zero_size_rejected() {
+        let _ = Document::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn empty_polyline_is_a_noop() {
+        let mut d = Document::new(10.0, 10.0);
+        d.polyline(&[], "red", 1.0);
+        assert!(!d.render().contains("polyline"));
+    }
+}

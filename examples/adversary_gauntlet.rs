@@ -1,0 +1,96 @@
+//! The adversary gauntlet: every protocol against every adversary.
+//!
+//! A compact matrix of outcomes across protocols (B, Bheter, Koo
+//! baseline, starved) and adversary models (passive, greedy physical,
+//! chaos fuzzing, per-receiver oracle), demonstrating both halves of the
+//! paper: possibility results hold under *every* adversary, and the
+//! impossibility constructions bite exactly where predicted.
+//!
+//! ```text
+//! cargo run --release -p bftbcast-examples --bin adversary_gauntlet
+//! ```
+
+use bftbcast::net::Cross;
+use bftbcast::prelude::*;
+use bftbcast_examples::banner;
+
+fn main() {
+    let scenario = Scenario::builder(20, 20, 2)
+        .faults(3, 40)
+        .lattice_placement()
+        .build()
+        .expect("valid scenario");
+    let p = scenario.params();
+
+    banner("scenario");
+    println!(
+        "torus 20x20, r=2, t={}, mf={}: m0={}, m'={}, 2m0={}, koo={}",
+        p.t,
+        p.mf,
+        p.m0(),
+        p.relay_quota(),
+        p.sufficient_budget(),
+        p.koo_budget()
+    );
+
+    let adversaries = [
+        Adversary::Passive,
+        Adversary::Greedy,
+        Adversary::Chaos(99),
+        Adversary::PerReceiverOracle,
+    ];
+
+    banner("coverage matrix (rows: protocol, columns: adversary)");
+    let mut table = Table::new(
+        "gauntlet",
+        &["protocol", "passive", "greedy", "chaos", "oracle"],
+    );
+    let cross = Cross::spanning(scenario.grid(), 0, 0, 2 * p.r);
+    type Run<'a> = Box<dyn Fn(Adversary) -> CountingOutcome + 'a>;
+    let runs: Vec<(&str, Run)> = vec![
+        (
+            "B (m=2m0)",
+            Box::new(|a| scenario.run_protocol_b(a)),
+        ),
+        (
+            "Bheter (cross)",
+            Box::new(|a| scenario.run_heterogeneous(&cross, a)),
+        ),
+        (
+            "Koo baseline",
+            Box::new(|a| scenario.run_koo_baseline(a)),
+        ),
+        (
+            "starved (m0-1)",
+            Box::new(|a| scenario.run_starved(p.m0() - 1, a)),
+        ),
+    ];
+    for (name, run) in &runs {
+        let mut cells = vec![name.to_string()];
+        for adv in adversaries {
+            let out = run(adv);
+            let mark = if out.is_reliable() {
+                format!("{:.0}% ok", 100.0 * out.coverage())
+            } else if out.is_correct() {
+                format!("{:.0}% stall", 100.0 * out.coverage())
+            } else {
+                "UNSAFE".to_string()
+            };
+            cells.push(mark);
+        }
+        table.row(&cells);
+    }
+    println!("{table}");
+
+    banner("safety invariant");
+    println!(
+        "no run above may ever print UNSAFE: with the t*mf+1 acceptance threshold, \
+         correctness (Lemma 1) holds regardless of budget — only completeness is at stake."
+    );
+    for (_, run) in &runs {
+        for adv in adversaries {
+            assert!(run(adv).is_correct(), "correctness violated!");
+        }
+    }
+    println!("verified across {} runs.", runs.len() * adversaries.len() * 2);
+}

@@ -1,0 +1,98 @@
+//! Heterogeneous budget provisioning (Theorem 3 as a planning tool).
+//!
+//! Given a deployment `(r, t, mf, torus)`, print a provisioning plan:
+//! which sensors need the elevated budget `m' ≈ 2·m0` (the cross-shaped
+//! area of Figure 5) and which can ship with the floor budget `m0`, the
+//! expected average cost against homogeneous provisioning, and a
+//! simulated validation that the plan actually broadcasts reliably.
+//!
+//! ```text
+//! cargo run --release -p bftbcast-examples --bin budget_planning
+//! ```
+
+use bftbcast::net::{Cross, Region};
+use bftbcast::prelude::*;
+use bftbcast_examples::banner;
+
+fn main() {
+    // The Figure 2 regime, where naive m0 provisioning actually fails.
+    let (r, t, mf) = (4u32, 1u32, 1000u64);
+    let side = 45u32;
+
+    banner("deployment parameters");
+    let scenario = Scenario::builder(side, side, r)
+        .faults(t, mf)
+        .lattice_placement_with_offset(41)
+        .build()
+        .expect("valid scenario");
+    let p = scenario.params();
+    let grid = scenario.grid();
+    println!(
+        "torus {side}x{side}, r={r}, t={t}, mf={mf}: m0={}, m'={}, 2m0={}",
+        p.m0(),
+        p.relay_quota(),
+        p.sufficient_budget()
+    );
+
+    banner("plan A: everyone gets m0 (cheapest possible)");
+    let out = scenario.run_starved(p.m0(), Adversary::PerReceiverOracle);
+    println!(
+        "coverage {:.1}% — FAILS: the nodes flanking the initial square are starved \
+         (the Figure 2 corner problem)",
+        100.0 * out.coverage()
+    );
+    assert!(!out.is_complete());
+
+    banner("plan B: everyone gets 2*m0");
+    let out = scenario.run_protocol_b(Adversary::PerReceiverOracle);
+    println!(
+        "coverage {:.1}% — works, average budget {} units/node",
+        100.0 * out.coverage(),
+        p.sufficient_budget()
+    );
+    assert!(out.is_reliable());
+
+    banner("plan C (Theorem 3): cross-shaped m' + m0 elsewhere");
+    let cross = Cross::spanning(grid, 0, 0, 2 * r);
+    let cross_nodes = cross.len(grid);
+    let proto = CountingProtocol::heterogeneous(grid, p, &cross);
+    let avg = proto.average_budget(grid.nodes());
+    let out = scenario.run_heterogeneous(&cross, Adversary::PerReceiverOracle);
+    println!(
+        "cross: {} of {} sensors get m'={} (axes through the base station, half-width {}), \
+         the rest get m0={}",
+        cross_nodes,
+        grid.node_count(),
+        p.relay_quota(),
+        2 * r,
+        p.m0()
+    );
+    println!(
+        "coverage {:.1}% — works, average budget {avg:.1} units/node \
+         ({:.1}% cheaper than plan B; savings approach 50% as the torus grows)",
+        100.0 * out.coverage(),
+        100.0 * (1.0 - avg / p.sufficient_budget() as f64)
+    );
+    assert!(out.is_reliable());
+
+    banner("shopping list");
+    let mut boosted = 0u32;
+    for id in grid.nodes() {
+        if cross.contains(grid, grid.coord_of(id)) {
+            boosted += 1;
+        }
+    }
+    println!(
+        "order: {} standard sensors ({} msg budget) + {} boosted sensors ({} msg budget)",
+        grid.node_count() as u32 - boosted,
+        p.m0(),
+        boosted,
+        p.relay_quota()
+    );
+    println!(
+        "total budget units: plan B {} vs plan C {} ({}% saved)",
+        p.sufficient_budget() * grid.node_count() as u64,
+        (avg * grid.node_count() as f64) as u64,
+        (100.0 * (1.0 - avg / p.sufficient_budget() as f64)) as u32
+    );
+}

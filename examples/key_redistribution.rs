@@ -1,0 +1,83 @@
+//! Key redistribution under an unknown-budget jammer (the paper's §1
+//! motivating workload for Section 5).
+//!
+//! A base station must push a fresh 32-bit key digest to every sensor.
+//! Nothing is known about the attackers' message budgets — only a very
+//! loose bound `mmax` ("an estimate of a practical device's energy
+//! limit"). Protocol **Breactive** runs the two-level AUED code under
+//! NACK-driven retransmission on the slot-level engine, with certified
+//! propagation on top; we throw every adversary behavior at it and
+//! compare the measured worst per-node cost to Theorem 4's closed-form
+//! budget.
+//!
+//! ```text
+//! cargo run --release -p bftbcast-examples --bin key_redistribution
+//! ```
+
+use bftbcast::prelude::*;
+use bftbcast_examples::banner;
+
+fn main() {
+    let (r, t) = (1u32, 1u32);
+    let mf = 10u64; // the adversary's *actual* budget — unknown to nodes
+    let mmax = 1u64 << 16; // the loose bound good nodes do know
+    let k = 32usize; // key digest length in bits
+
+    banner("deployment");
+    let scenario = Scenario::builder(15, 15, r)
+        .faults(t, mf)
+        .random_placement(18, 2024)
+        .build()
+        .expect("valid scenario");
+    let n = scenario.grid().node_count() as u64;
+    println!(
+        "torus 15x15, r={r}, t={t}: {} sensors, {} compromised (budget mf={mf}, \
+         known only as mmax=2^16)",
+        n,
+        scenario.bad_nodes().len()
+    );
+    println!(
+        "tolerable faults for Breactive: t < r(2r+1)/2 => t_max = {}",
+        reactive_max_t(r)
+    );
+    let budget = theorem4_budget(n, k as u64, u64::from(t), mf, mmax);
+    println!("Theorem 4 worst-case cost: {budget} sub-bit slots per node");
+
+    banner("broadcasting the key digest");
+    for adversary in [
+        ReactiveAdversary::Passive,
+        ReactiveAdversary::Jammer,
+        ReactiveAdversary::NackForger,
+        ReactiveAdversary::Canceller,
+        ReactiveAdversary::Mixed,
+    ] {
+        let out = scenario.run_reactive(k, mmax, adversary, 7);
+        println!(
+            "{adversary:>10?}: delivered to {}/{} in {} rounds | data tx {}, NACKs {}, \
+             detections {}, undetected corruptions {} | worst node: {} msgs = {} sub-bits \
+             ({:.2}% of Thm 4 budget)",
+            out.committed_true,
+            out.good_nodes,
+            out.rounds,
+            out.data_transmissions,
+            out.nack_transmissions,
+            out.detections,
+            out.undetected_corruptions,
+            out.max_node_messages,
+            out.max_node_subbit_cost(),
+            100.0 * out.max_node_subbit_cost() as f64 / budget as f64,
+        );
+        assert!(out.is_reliable(), "delivery failed: {:?}", out.uncommitted);
+        assert!(out.max_node_subbit_cost() <= budget);
+    }
+
+    banner("why the code matters");
+    println!(
+        "every tampered frame is detected by the ones-counter cascade (NACK + retransmit); \
+         flipping a 1 bit unnoticed requires guessing all L = {} hidden sub-bits \
+         (probability {:.2e} per attempt)",
+        bftbcast::coding::subbit::SubbitParams::for_network(n as usize, t as usize, mmax).len(),
+        bftbcast::coding::subbit::SubbitParams::for_network(n as usize, t as usize, mmax)
+            .p_cancel(),
+    );
+}

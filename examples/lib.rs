@@ -1,0 +1,9 @@
+//! Shared helpers for the example binaries.
+//!
+//! Each example is a standalone binary exercising the `bftbcast` public
+//! API; see `quickstart.rs` for the smallest end-to-end run.
+
+/// Prints a section header used by all examples for consistent output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,84 @@
+//! Probabilistic corruption: sizing a deployment for an iid compromise
+//! rate (the paper's stated future work).
+//!
+//! Deployments rarely know "at most t bad nodes per neighborhood"; they
+//! estimate a compromise *rate*. This example sizes `t` (and therefore
+//! the message budget) for a target corruption rate, verifies the
+//! analytic bound by Monte-Carlo, and renders the reliability curve as
+//! an SVG chart.
+//!
+//! ```text
+//! cargo run --release -p bftbcast-examples --bin probabilistic_failures
+//! ```
+
+use bftbcast::adversary::{respects_local_bound, Placement};
+use bftbcast::prelude::*;
+use bftbcast_examples::banner;
+
+fn main() {
+    let (r, mf, side) = (2u32, 10u64, 20u32);
+    let n = u64::from(side) * u64::from(side);
+
+    banner("sizing t for a corruption rate");
+    println!("torus {side}x{side}, r={r}: which t covers an iid rate p with 99% confidence?");
+    for t in [1u32, 2, 4, 6] {
+        let p_star = critical_p(n, r, u64::from(t), 0.99);
+        let budget = Params::new(r, t, mf).sufficient_budget();
+        println!(
+            "  t={t}: tolerates p* = {:.4} ({:.2}% of nodes), per-node budget 2*m0 = {budget}",
+            p_star,
+            100.0 * p_star
+        );
+    }
+
+    banner("Monte-Carlo check at t = 2");
+    let t = 2u32;
+    let params = Params::new(r, t, mf);
+    let grid = Grid::new(side, side, r).expect("valid grid");
+    let mut curve_measured = Vec::new();
+    let mut curve_analytic = Vec::new();
+    for i in 1..=8 {
+        let p = f64::from(i) * 0.002;
+        let analytic = local_bound_holds_probability(n, r, u64::from(t), p);
+        let mut reliable = 0u32;
+        let mut held = 0u32;
+        let samples = 60u64;
+        for seed in 0..samples {
+            let bad = BernoulliPlacement {
+                p,
+                seed: 1000 + seed,
+                source: 0,
+            }
+            .bad_nodes(&grid);
+            if respects_local_bound(&grid, &bad, t as usize) {
+                held += 1;
+            }
+            let proto = CountingProtocol::protocol_b(&grid, params);
+            let mut sim = bftbcast::sim::CountingSim::new(grid.clone(), proto, 0, &bad, mf);
+            if sim.run_oracle(mf).is_reliable() {
+                reliable += 1;
+            }
+        }
+        let measured = f64::from(reliable) / samples as f64;
+        println!(
+            "  p={p:.3}: analytic >= {analytic:.3}, bound held {:.2}, measured reliable {measured:.2}",
+            f64::from(held) / samples as f64
+        );
+        curve_measured.push((p, measured));
+        curve_analytic.push((p, analytic));
+    }
+
+    banner("chart");
+    let mut chart = LineChart::new(
+        "protocol B reliability under iid corruption (20x20, r=2, t=2)",
+        "corruption rate p",
+        "fraction",
+    );
+    chart.series("measured (60 seeds)", &curve_measured);
+    chart.series("analytic lower bound", &curve_analytic);
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+    let path = dir.join("reliability_vs_rate.svg");
+    std::fs::write(&path, chart.render()).expect("write chart");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,46 @@
+// Probe: chart cheap-mode agreement over the sweep.
+use bftbcast::net::Grid;
+use bftbcast::protocols::agreement::AgreementConfig;
+use bftbcast::protocols::Params;
+use bftbcast::sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
+use bftbcast::net::Value;
+
+fn main() {
+    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 1, 20), (2, 2, 20), (3, 2, 50)] {
+        let side = 6 * r + 3;
+        let grid = Grid::new(side, side, r).unwrap();
+        let c = side / 2;
+        let source = grid.id_at(c, c);
+        let bad: Vec<usize> = (0..t)
+            .map(|i| grid.id_of(grid.wrap(i64::from(c) + i64::from(i) - 1, i64::from(c) + 1)))
+            .collect();
+        let cfg = AgreementConfig::paper_margins(Params::new(r, t, mf));
+        let base = AgreementSim::new(grid, cfg, source, &bad);
+        let mut splits = 0;
+        let mut total = 0;
+        let mut worst = None;
+        for p1i in 0..=10 {
+            for pei in 0..=10 {
+                let attack = SplitAttack {
+                    value_a: Value(2),
+                    value_b: Value(3),
+                    phase1_fraction: p1i as f64 / 10.0,
+                    echo_fraction: pei as f64 / 10.0,
+                };
+                let mut sim = base.clone();
+                let behavior = SourceBehavior::even_split(&cfg, Value(2), Value(3));
+                let out = sim.run(behavior, attack);
+                total += 1;
+                if !out.agreement_holds() {
+                    splits += 1;
+                    worst = Some((p1i, pei));
+                }
+                // proven mode must never split
+                let mut sim2 = base.clone();
+                let out2 = sim2.run_proven(SourceBehavior::even_split(&cfg, Value(2), Value(3)), attack);
+                assert!(out2.agreement_holds(), "PROVEN SPLIT r={r} t={t} mf={mf}");
+            }
+        }
+        println!("r={r} t={t} mf={mf}: cheap-mode splits {splits}/{total} worst={worst:?}");
+    }
+}

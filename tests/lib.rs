@@ -1,0 +1,5 @@
+//! Shared fixtures for the cross-crate integration tests (in `suites/`).
+
+/// Deterministic seeds used across integration suites so failures are
+/// reproducible from the test name alone.
+pub const SEEDS: [u64; 4] = [7, 42, 1010, 0xDEADBEEF];

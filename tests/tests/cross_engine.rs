@@ -1,0 +1,52 @@
+//! Integration: the two engines agree where their models overlap.
+//!
+//! With a passive adversary, the counting engine's wave expansion and
+//! the slot engine's certified propagation must both deliver `Vtrue` to
+//! every good node; and under attack both must preserve correctness.
+//! The engines implement different protocols (threshold-acceptance vs
+//! CPA), so only coverage/correctness — not message counts — are
+//! comparable.
+
+use bftbcast::prelude::*;
+
+#[test]
+fn both_engines_reach_everyone_without_attacks() {
+    let s = Scenario::builder(15, 15, 1)
+        .faults(1, 5)
+        .build()
+        .unwrap();
+    let counting = s.run_protocol_b(Adversary::Passive);
+    let slot = s.run_reactive(8, 1 << 12, ReactiveAdversary::Passive, 1);
+    assert!(counting.is_reliable());
+    assert!(slot.is_reliable());
+    assert_eq!(counting.good_nodes, slot.good_nodes);
+    assert_eq!(counting.accepted_true, slot.committed_true);
+}
+
+#[test]
+fn both_engines_reach_everyone_with_same_bad_set() {
+    let s = Scenario::builder(15, 15, 1)
+        .faults(1, 6)
+        .random_placement(12, 9)
+        .build()
+        .unwrap();
+    let counting = s.run_protocol_b(Adversary::Greedy);
+    let slot = s.run_reactive(8, 1 << 12, ReactiveAdversary::Jammer, 2);
+    assert!(counting.is_reliable(), "counting: {}", counting.coverage());
+    assert!(slot.is_reliable(), "slot: {:?}", slot.uncommitted);
+    assert_eq!(counting.accepted_true, slot.committed_true);
+}
+
+#[test]
+fn engines_report_consistent_population() {
+    let s = Scenario::builder(10, 10, 2)
+        .faults(1, 3)
+        .random_placement(5, 4)
+        .build()
+        .unwrap();
+    let n_bad = s.bad_nodes().len();
+    let counting = s.run_protocol_b(Adversary::Passive);
+    let slot = s.run_reactive(8, 1 << 12, ReactiveAdversary::Passive, 3);
+    assert_eq!(counting.good_nodes, 100 - n_bad);
+    assert_eq!(slot.good_nodes, 100 - n_bad);
+}

@@ -1,0 +1,107 @@
+//! Integration: every protocol, both engines, through the public API.
+
+use bftbcast::net::Cross;
+use bftbcast::prelude::*;
+use bftbcast_integration_tests::SEEDS;
+
+fn lattice(r: u32, mult: u32, t: u32, mf: u64) -> Scenario {
+    let side = (2 * r + 1) * mult;
+    Scenario::builder(side, side, r)
+        .faults(t, mf)
+        .lattice_placement()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn protocol_b_reliable_under_all_adversaries() {
+    for (r, mult, t, mf) in [(1u32, 5u32, 1u32, 20u64), (2, 4, 3, 40)] {
+        let s = lattice(r, mult, t, mf);
+        for adv in [
+            Adversary::Passive,
+            Adversary::Greedy,
+            Adversary::Chaos(1),
+            Adversary::PerReceiverOracle,
+        ] {
+            let out = s.run_protocol_b(adv);
+            assert!(out.is_reliable(), "r={r} t={t} {adv:?}");
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_protocol_reliable() {
+    let s = lattice(2, 4, 2, 30);
+    let cross = Cross::spanning(s.grid(), 0, 0, 4);
+    let out = s.run_heterogeneous(&cross, Adversary::PerReceiverOracle);
+    assert!(out.is_reliable());
+    // And strictly cheaper on average than homogeneous 2m0.
+    let proto = CountingProtocol::heterogeneous(s.grid(), s.params(), &cross);
+    assert!(proto.average_budget(s.grid().nodes()) < s.params().sufficient_budget() as f64);
+}
+
+#[test]
+fn koo_baseline_reliable_but_expensive() {
+    let s = lattice(2, 4, 2, 30);
+    let koo = s.run_koo_baseline(Adversary::PerReceiverOracle);
+    let b = s.run_protocol_b(Adversary::PerReceiverOracle);
+    assert!(koo.is_reliable() && b.is_reliable());
+    assert!(koo.good_copies_sent > 2 * b.good_copies_sent);
+}
+
+#[test]
+fn reactive_reliable_across_seeds_and_adversaries() {
+    let s = Scenario::builder(15, 15, 1)
+        .faults(1, 5)
+        .random_placement(15, 3)
+        .build()
+        .unwrap();
+    for &seed in &SEEDS {
+        for adv in [
+            ReactiveAdversary::Passive,
+            ReactiveAdversary::Jammer,
+            ReactiveAdversary::NackForger,
+            ReactiveAdversary::Mixed,
+        ] {
+            let out = s.run_reactive(16, 1 << 16, adv, seed);
+            assert!(
+                out.is_reliable(),
+                "seed {seed} {adv:?}: uncommitted {:?}",
+                out.uncommitted
+            );
+        }
+    }
+}
+
+#[test]
+fn starvation_below_m0_and_recovery_at_m0() {
+    let s = Scenario::builder(20, 20, 2)
+        .faults(2, 35)
+        .stripe_placement(&[(6, 2, true), (15, 2, false)])
+        .build()
+        .unwrap();
+    let p = s.params();
+    let starved = s.run_starved(p.m0() - 1, Adversary::PerReceiverOracle);
+    assert!(!starved.is_complete());
+    assert!(starved.is_correct());
+    let ok = s.run_starved(p.m0(), Adversary::PerReceiverOracle);
+    assert!(ok.is_complete());
+}
+
+#[test]
+fn correctness_invariant_fuzz() {
+    // Lemma 1 as an invariant: no adversary ever produces a wrong accept.
+    for &seed in &SEEDS {
+        let s = Scenario::builder(15, 15, 1)
+            .faults(2, 25)
+            .random_placement(30, seed)
+            .build()
+            .unwrap();
+        for m in [1, 5, s.params().m0(), s.params().sufficient_budget()] {
+            let out = s.run_starved(m, Adversary::Chaos(seed ^ 0xABCD));
+            assert!(out.is_correct(), "seed {seed} m={m}");
+            let out = s.run_starved(m, Adversary::PerReceiverOracle);
+            assert!(out.is_correct(), "oracle seed {seed} m={m}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration: the paper's concrete numbers, end to end through the
+//! public API.
+
+use bftbcast::prelude::*;
+
+/// Figure 2's headline arithmetic (§2).
+#[test]
+fn figure2_bounds() {
+    let p = Params::new(4, 1, 1000);
+    assert_eq!(p.m0(), 58);
+    assert_eq!(p.source_quota(), 2001);
+    assert_eq!(p.accept_threshold(), 1001);
+    assert_eq!((p.r_2r1() - 1) * (p.m0() + 1), 2065);
+}
+
+/// The full Figure 2 run: stall at 84 nodes with p's exact tallies.
+#[test]
+fn figure2_full_construction() {
+    let s = Scenario::builder(45, 45, 4)
+        .faults(1, 1000)
+        .lattice_placement_with_offset(41)
+        .build()
+        .unwrap();
+    let p = s.params();
+    let proto = CountingProtocol::starved(s.grid(), p, p.m0() + 1);
+    let mut sim = s.counting_sim(proto);
+    let out = sim.run_oracle(p.mf);
+    assert_eq!(out.accepted_true, 84, "square (80 good) + 4 gray nodes");
+    assert!(out.is_correct() && !out.is_complete());
+
+    let grid = s.grid();
+    let p_node = grid.id_of(grid.wrap(5, 1));
+    assert_eq!(sim.decided_neighbors(p_node), 33);
+    assert_eq!(sim.tally_true(p_node) + sim.tally_wrong(p_node), 1947);
+    assert_eq!(sim.tally_wrong(p_node), 947);
+    assert_eq!(sim.tally_true(p_node), 1000); // threshold - 1: blocked
+}
+
+/// Theorem 4's budget formula example.
+#[test]
+fn theorem4_formula() {
+    assert_eq!(theorem4_budget(1024, 64, 2, 8, 1 << 20), 2 * 17 * 41 * 78);
+}
+
+/// Corollary 1's two bounds never overlap and bracket the simulated
+/// stripe threshold.
+#[test]
+fn corollary1_bracketing() {
+    for r in 1..5u32 {
+        for m in [10u64, 58, 200] {
+            for mf in [10u64, 1000] {
+                let fail = corollary1_min_defeating_t(r, m, mf);
+                let ok = corollary1_max_tolerable_t(r, m, mf);
+                assert!(ok < fail, "r={r} m={m} mf={mf}");
+            }
+        }
+    }
+}
+
+/// The unknown-mf threshold t < r(2r+1)/2.
+#[test]
+fn reactive_threshold_values() {
+    assert_eq!(reactive_max_t(1), 1);
+    assert_eq!(reactive_max_t(2), 4);
+    assert_eq!(reactive_max_t(3), 10);
+    assert_eq!(reactive_max_t(4), 17);
+}
+
+/// The paper's baseline-cost comparison at the Figure 2 parameters:
+/// 2tmf+1 = 2001 vs 2m0 = 116, a ~17.25x saving (claim: 17.5x).
+#[test]
+fn baseline_ratio_figure2_parameters() {
+    let p = Params::new(4, 1, 1000);
+    assert_eq!(p.koo_budget(), 2001);
+    assert_eq!(p.sufficient_budget(), 116);
+    let ratio = p.actual_baseline_ratio();
+    assert!(ratio > 17.0 && ratio <= 17.5);
+}

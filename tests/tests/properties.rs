@@ -1,0 +1,121 @@
+//! Property-based integration tests over the public API.
+
+use bftbcast::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 1 end-to-end: whatever the placement, budget and adversary,
+    /// a good node never accepts a forged value.
+    #[test]
+    fn no_wrong_accepts_ever(
+        seed in any::<u64>(),
+        t in 1u32..3,
+        mf in 1u64..40,
+        m_scale in 0u64..3,
+        count in 0usize..40,
+    ) {
+        let s = Scenario::builder(15, 15, 1)
+            .faults(t, mf)
+            .random_placement(count, seed)
+            .build()
+            .unwrap();
+        let m = match m_scale {
+            0 => 1,
+            1 => s.params().m0(),
+            _ => s.params().sufficient_budget(),
+        };
+        for adv in [Adversary::Greedy, Adversary::Chaos(seed), Adversary::PerReceiverOracle] {
+            prop_assert!(s.run_starved(m, adv).is_correct());
+        }
+    }
+
+    /// Theorem 2 end-to-end: protocol B at 2*m0 is reliable against the
+    /// oracle for random placements.
+    #[test]
+    fn protocol_b_reliable_random_placements(
+        seed in any::<u64>(),
+        t in 1u32..3,
+        mf in 1u64..60,
+        count in 0usize..50,
+    ) {
+        let s = Scenario::builder(15, 15, 1)
+            .faults(t, mf)
+            .random_placement(count, seed)
+            .build()
+            .unwrap();
+        let out = s.run_protocol_b(Adversary::PerReceiverOracle);
+        prop_assert!(out.is_reliable(), "coverage {}", out.coverage());
+    }
+
+    /// Monotonicity: more budget never reduces oracle coverage.
+    #[test]
+    fn coverage_monotone_in_budget(
+        seed in any::<u64>(),
+        mf in 2u64..40,
+    ) {
+        let s = Scenario::builder(20, 20, 2)
+            .faults(1, mf)
+            .stripe_placement(&[(6, 1, true), (15, 1, false)])
+            .build()
+            .unwrap();
+        let m0 = s.params().m0();
+        let mut probes: Vec<u64> = vec![m0.saturating_sub(2), m0.saturating_sub(1), m0, m0 + 1];
+        probes.retain(|&m| m >= 1);
+        probes.sort_unstable();
+        probes.dedup();
+        let mut last = -1.0f64;
+        for m in probes {
+            let c = s.run_starved(m, Adversary::PerReceiverOracle).coverage();
+            prop_assert!(c >= last, "coverage dropped from {last} to {c} at m={m} (seed {seed})");
+            last = c;
+        }
+    }
+
+    /// The scenario builder never produces a placement violating the
+    /// local bound (and the engine never panics on it).
+    #[test]
+    fn builder_placements_always_respect_bound(
+        seed in any::<u64>(),
+        t in 1u32..3, // r = 1: the locally-bounded model needs t < r(2r+1) = 3
+        count in 0usize..100,
+    ) {
+        let s = Scenario::builder(15, 15, 1)
+            .faults(t, 3)
+            .random_placement(count, seed)
+            .build()
+            .unwrap();
+        prop_assert!(bftbcast::adversary::respects_local_bound(
+            s.grid(), s.bad_nodes(), t as usize));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adversary dominance: the per-receiver oracle is at least as strong
+    /// as any physical strategy — its coverage is never higher.
+    #[test]
+    fn oracle_dominates_physical_strategies(
+        seed in any::<u64>(),
+        mf in 1u64..50,
+        count in 0usize..40,
+        m_off in 0u64..4,
+    ) {
+        let s = Scenario::builder(15, 15, 1)
+            .faults(1, mf)
+            .random_placement(count, seed)
+            .build()
+            .unwrap();
+        let m = (s.params().m0() + m_off).max(1);
+        let oracle = s.run_starved(m, Adversary::PerReceiverOracle).coverage();
+        for adv in [Adversary::Greedy, Adversary::Chaos(seed), Adversary::Passive] {
+            let physical = s.run_starved(m, adv).coverage();
+            prop_assert!(
+                oracle <= physical + 1e-12,
+                "oracle {oracle} > {adv:?} {physical} (seed {seed}, m {m})"
+            );
+        }
+    }
+}
