@@ -38,9 +38,9 @@ pub mod placement;
 pub mod probabilistic;
 pub mod strategy;
 
-pub use probabilistic::BernoulliPlacement;
 pub use placement::{
     max_bad_per_neighborhood, respects_local_bound, LatticePlacement, Placement, RandomPlacement,
     StripePlacement,
 };
+pub use probabilistic::BernoulliPlacement;
 pub use strategy::{AttackPlan, Chaos, CorruptionStrategy, GreedyFrontier, Passive, WaveView};

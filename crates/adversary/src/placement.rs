@@ -5,7 +5,7 @@
 //! in any single neighborhood — and its impossibility results are driven
 //! by two specific constructions reproduced here exactly.
 
-use bftbcast_net::{Grid, NodeId};
+use bftbcast_net::{Grid, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -20,14 +20,23 @@ pub trait Placement {
 /// The maximum number of bad nodes contained in any single (open)
 /// neighborhood `N(u)`.
 pub fn max_bad_per_neighborhood(grid: &Grid, bad: &[NodeId]) -> usize {
+    // Every *distinct* bad node raises the count of the neighborhoods
+    // containing it, i.e. N(u) for u in N(b): O(|bad| · deg) without
+    // any precompute. Duplicate ids in `bad` count once.
     let mut is_bad = vec![false; grid.node_count()];
+    let mut load = vec![0usize; grid.node_count()];
+    let mut max = 0;
     for &b in bad {
+        if is_bad[b] {
+            continue;
+        }
         is_bad[b] = true;
+        for u in grid.neighbors(b) {
+            load[u] += 1;
+            max = max.max(load[u]);
+        }
     }
-    grid.nodes()
-        .map(|u| grid.neighbors(u).filter(|&v| is_bad[v]).count())
-        .max()
-        .unwrap_or(0)
+    max
 }
 
 /// Whether a placement respects the paper's local bound for a given `t`.
@@ -138,7 +147,7 @@ impl Placement for LatticePlacement {
     fn bad_nodes(&self, grid: &Grid) -> Vec<NodeId> {
         let side = 2 * grid.range() + 1;
         assert!(
-            grid.width() % side == 0 && grid.height() % side == 0,
+            grid.width().is_multiple_of(side) && grid.height().is_multiple_of(side),
             "lattice placement needs dimensions divisible by 2r+1"
         );
         assert!(
@@ -180,6 +189,7 @@ impl Placement for RandomPlacement {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut candidates: Vec<NodeId> = grid.nodes().filter(|&v| v != self.source).collect();
         candidates.shuffle(&mut rng);
+        let topo = Topology::new(grid.clone());
         // neighborhood_load[u] = number of already-picked bad nodes in N(u).
         let mut load = vec![0u32; grid.node_count()];
         let mut out = Vec::new();
@@ -189,8 +199,9 @@ impl Placement for RandomPlacement {
             }
             // Adding c raises the count of every neighborhood containing
             // c, i.e. N(u) for u in N(c).
-            if grid.neighbors(c).all(|u| load[u] < self.t) {
-                for u in grid.neighbors(c) {
+            let row = topo.neighbors_of(c);
+            if row.iter().all(|&u| load[u] < self.t) {
+                for &u in row {
                     load[u] += 1;
                 }
                 out.push(c);
@@ -217,7 +228,7 @@ mod tests {
         let p = StripePlacement::facing_up(8, 3);
         let bad = p.bad_nodes(&g);
         assert_eq!(bad.len(), 4 * 3); // 4 blocks x t
-        // All bad nodes in rows y0..y0+r.
+                                      // All bad nodes in rows y0..y0+r.
         for &b in &bad {
             let c = g.coord_of(b);
             assert!((8..10).contains(&c.y));
@@ -257,7 +268,11 @@ mod tests {
                 let cnt = g.neighbors(u).filter(|&v| is_bad[v]).count();
                 // Exactly t unless u itself is bad and sits on a corrupted
                 // class (then its own class contributes one fewer).
-                let expected = if is_bad[u] { t as usize - 1 } else { t as usize };
+                let expected = if is_bad[u] {
+                    t as usize - 1
+                } else {
+                    t as usize
+                };
                 assert_eq!(cnt, expected, "node {u} t={t}");
             }
             // Source at origin stays honest (offset = 1).
@@ -280,6 +295,16 @@ mod tests {
         assert!(respects_local_bound(&g, &a, 2));
         assert!(!a.contains(&g.id_at(0, 0)));
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn duplicate_bad_ids_count_once() {
+        let g = grid(1, 3);
+        assert_eq!(
+            max_bad_per_neighborhood(&g, &[5, 5, 5]),
+            max_bad_per_neighborhood(&g, &[5])
+        );
+        assert!(respects_local_bound(&g, &[5, 5], 1));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! **every** node in `N(b) ∩ N(s)`; distinct collisions against the same
 //! sender consume distinct copies.
 
-use bftbcast_net::{Grid, NodeId};
+use bftbcast_net::{Grid, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,8 +21,9 @@ use rand::{Rng, SeedableRng};
 /// omniscient about protocol state — the worst case).
 #[derive(Debug, Clone, Copy)]
 pub struct WaveView<'a> {
-    /// The torus.
-    pub grid: &'a Grid,
+    /// The precomputed neighborhood topology (CSR slices + bitset
+    /// membership); `topology.grid()` exposes the raw torus.
+    pub topology: &'a Topology,
     /// This wave's transmissions: `(sender, copies)`. Senders are decided
     /// good nodes relaying `Vtrue` (the base station included).
     pub transmissions: &'a [(NodeId, u64)],
@@ -189,13 +190,14 @@ impl GreedyFrontier {
 
 impl CorruptionStrategy for GreedyFrontier {
     fn plan(&mut self, view: &WaveView<'_>) -> AttackPlan {
-        let grid = view.grid;
-        let n = grid.node_count();
+        let topo = view.topology;
+        let grid = topo.grid();
+        let n = topo.node_count();
 
         // Incoming correct copies this wave, per undecided good node.
         let mut incoming = vec![0u64; n];
         for &(s, copies) in view.transmissions {
-            for u in grid.neighbors(s) {
+            for &u in topo.neighbors_of(s) {
                 if view.is_good[u] && !view.accepted_true[u] {
                     incoming[u] += copies;
                 }
@@ -224,9 +226,10 @@ impl CorruptionStrategy for GreedyFrontier {
                 // nodes of the expanding region are the cheapest to
                 // keep starving.
                 targets.sort_unstable_by_key(|&(deficit, u)| {
-                    let suppliers = grid
-                        .neighbors(u)
-                        .filter(|&v| view.is_good[v])
+                    let suppliers = topo
+                        .neighbors_of(u)
+                        .iter()
+                        .filter(|&&v| view.is_good[v])
                         .count();
                     (suppliers, deficit, u)
                 });
@@ -242,7 +245,7 @@ impl CorruptionStrategy for GreedyFrontier {
         let doomed = {
             let mut capacity = vec![0u64; n];
             for &b in view.bad_nodes {
-                for u in grid.neighbors(b) {
+                for &u in topo.neighbors_of(b) {
                     capacity[u] = capacity[u].saturating_add(view.remaining_budget[b]);
                 }
             }
@@ -256,10 +259,11 @@ impl CorruptionStrategy for GreedyFrontier {
                     // Future supply: copies already delivered or in
                     // flight, plus the quotas of unavoidable neighbors
                     // that have not yet transmitted.
-                    let future: u64 = grid
-                        .neighbors(u)
-                        .filter(|&v| unavoidable[v] && !view.accepted_true[v])
-                        .map(|v| view.relay_quota[v])
+                    let future: u64 = topo
+                        .neighbors_of(u)
+                        .iter()
+                        .filter(|&&v| unavoidable[v] && !view.accepted_true[v])
+                        .map(|&v| view.relay_quota[v])
                         .sum();
                     let supply = view.tallies_true[u] + incoming[u] + future;
                     if supply.saturating_sub(capacity[u]) >= view.threshold {
@@ -277,10 +281,15 @@ impl CorruptionStrategy for GreedyFrontier {
 
         let mut budget = view.remaining_budget.to_vec();
         // Copies of each sender already collided (copies are consumed
-        // disjointly across attackers).
-        let mut collided: std::collections::HashMap<NodeId, u64> = Default::default();
-        let sent: std::collections::HashMap<NodeId, u64> =
-            view.transmissions.iter().copied().collect();
+        // disjointly across attackers) and copies transmitted, as dense
+        // per-node arrays instead of hash maps.
+        let mut collided = vec![0u64; n];
+        let mut sent = vec![0u64; n];
+        let mut transmitting = vec![false; n];
+        for &(s, copies) in view.transmissions {
+            sent[s] = copies;
+            transmitting[s] = true;
+        }
         let mut plan: Vec<Collision> = Vec::new();
 
         for (deficit, u) in targets {
@@ -288,7 +297,7 @@ impl CorruptionStrategy for GreedyFrontier {
             // collisions.
             let planned_at_u: u64 = plan
                 .iter()
-                .filter(|c| grid.are_neighbors(c.attacker, u) && grid.are_neighbors(c.sender, u))
+                .filter(|c| topo.contains(c.attacker, u) && topo.contains(c.sender, u))
                 .map(|c| c.copies)
                 .sum();
             let mut need = deficit.saturating_sub(planned_at_u);
@@ -298,15 +307,20 @@ impl CorruptionStrategy for GreedyFrontier {
 
             // Resources reachable from u: attackers in N(u), senders in
             // N(u) with uncollided copies.
-            let mut attackers: Vec<NodeId> = grid
-                .neighbors(u)
+            let mut attackers: Vec<NodeId> = topo
+                .neighbors_of(u)
+                .iter()
+                .copied()
                 .filter(|&b| !view.is_good[b] && budget[b] > 0)
                 .collect();
-            let mut senders: Vec<(NodeId, u64)> = grid
-                .neighbors(u)
-                .filter_map(|s| {
-                    let total = *sent.get(&s)?;
-                    let free = total - collided.get(&s).copied().unwrap_or(0);
+            let mut senders: Vec<(NodeId, u64)> = topo
+                .neighbors_of(u)
+                .iter()
+                .filter_map(|&s| {
+                    if !transmitting[s] {
+                        return None;
+                    }
+                    let free = sent[s] - collided[s];
                     (free > 0).then_some((s, free))
                 })
                 .collect();
@@ -344,7 +358,7 @@ impl CorruptionStrategy for GreedyFrontier {
                     });
                     budget[b] -= amount;
                     *free -= amount;
-                    *collided.entry(*s).or_insert(0) += amount;
+                    collided[*s] += amount;
                     need -= amount;
                     if need == 0 {
                         break 'outer;
@@ -395,10 +409,11 @@ impl CorruptionStrategy for Chaos {
         if view.transmissions.is_empty() {
             return plan;
         }
+        let grid = view.topology.grid();
         // Copies of each sender already claimed by earlier collisions in
         // this plan — collisions consume distinct copies, so the plan
         // must stay within each sender's transmission count.
-        let mut claimed: std::collections::HashMap<NodeId, u64> = Default::default();
+        let mut claimed = vec![0u64; view.topology.node_count()];
         for &b in view.bad_nodes {
             let available = view.remaining_budget[b];
             if available == 0 {
@@ -412,16 +427,16 @@ impl CorruptionStrategy for Chaos {
             let in_range: Vec<(NodeId, u64)> = view
                 .transmissions
                 .iter()
-                .filter(|&&(s, _)| view.grid.linf_distance(s, b) <= 2 * view.grid.range())
+                .filter(|&&(s, _)| grid.linf_distance(s, b) <= 2 * grid.range())
                 .filter_map(|&(s, copies)| {
-                    let free = copies - claimed.get(&s).copied().unwrap_or(0);
+                    let free = copies - claimed[s];
                     (free > 0).then_some((s, free))
                 })
                 .collect();
             if !in_range.is_empty() && self.rng.random_bool(0.7) {
                 let (s, free) = in_range[self.rng.random_range(0..in_range.len())];
                 let copies = spend.min(free);
-                *claimed.entry(s).or_insert(0) += copies;
+                claimed[s] += copies;
                 plan.collisions.push(Collision {
                     attacker: b,
                     sender: s,
@@ -449,7 +464,7 @@ mod tests {
 
     #[allow(clippy::too_many_arguments)]
     fn view_fixture<'a>(
-        grid: &'a Grid,
+        topology: &'a Topology,
         transmissions: &'a [(NodeId, u64)],
         accepted: &'a [bool],
         tallies: &'a [u64],
@@ -460,7 +475,7 @@ mod tests {
         relay_quota: &'a [u64],
     ) -> WaveView<'a> {
         WaveView {
-            grid,
+            topology,
             transmissions,
             accepted_true: accepted,
             tallies_true: tallies,
@@ -475,6 +490,7 @@ mod tests {
     #[test]
     fn passive_plans_nothing() {
         let grid = Grid::new(5, 5, 1).unwrap();
+        let topo = Topology::new(grid.clone());
         let n = grid.node_count();
         let tx = [(grid.id_at(2, 2), 5u64)];
         let accepted = vec![false; n];
@@ -482,7 +498,17 @@ mod tests {
         let good = vec![true; n];
         let budget = vec![0u64; n];
         let quota = vec![5u64; n];
-        let v = view_fixture(&grid, &tx, &accepted, &tallies, &[], &budget, &good, 3, &quota);
+        let v = view_fixture(
+            &topo,
+            &tx,
+            &accepted,
+            &tallies,
+            &[],
+            &budget,
+            &good,
+            3,
+            &quota,
+        );
         assert_eq!(Passive.plan(&v), AttackPlan::none());
     }
 
@@ -492,6 +518,7 @@ mod tests {
         // node at (3,2) (budget 10) must corrupt 3 copies to keep each
         // common neighbor at 2 < 3.
         let grid = Grid::new(7, 7, 1).unwrap();
+        let topo = Topology::new(grid.clone());
         let n = grid.node_count();
         let sender = grid.id_at(3, 3);
         let bad_node = grid.id_at(3, 2);
@@ -507,15 +534,7 @@ mod tests {
         // the bad node covers are genuinely defensible (not doomed).
         let quota = vec![0u64; n];
         let v = view_fixture(
-            &grid,
-            &tx,
-            &accepted,
-            &tallies,
-            &bad,
-            &budget,
-            &good,
-            3,
-            &quota,
+            &topo, &tx, &accepted, &tallies, &bad, &budget, &good, 3, &quota,
         );
         let plan = GreedyFrontier::default().plan(&v);
         let total: u64 = plan.collisions.iter().map(|c| c.copies).sum();
@@ -535,6 +554,7 @@ mod tests {
     fn greedy_skips_unwinnable_fights() {
         // Bad node has budget 1 but deficit is 3 everywhere: plan nothing.
         let grid = Grid::new(7, 7, 1).unwrap();
+        let topo = Topology::new(grid.clone());
         let n = grid.node_count();
         let sender = grid.id_at(3, 3);
         let bad_node = grid.id_at(3, 2);
@@ -548,23 +568,19 @@ mod tests {
         let bad = [bad_node];
         let quota = vec![5u64; n];
         let v = view_fixture(
-            &grid,
-            &tx,
-            &accepted,
-            &tallies,
-            &bad,
-            &budget,
-            &good,
-            3,
-            &quota,
+            &topo, &tx, &accepted, &tallies, &bad, &budget, &good, 3, &quota,
         );
         let plan = GreedyFrontier::default().plan(&v);
-        assert!(plan.collisions.is_empty(), "hopeless fights must be skipped");
+        assert!(
+            plan.collisions.is_empty(),
+            "hopeless fights must be skipped"
+        );
     }
 
     #[test]
     fn greedy_respects_budget() {
         let grid = Grid::new(9, 9, 2).unwrap();
+        let topo = Topology::new(grid.clone());
         let n = grid.node_count();
         let sender = grid.id_at(4, 4);
         let bad_node = grid.id_at(4, 3);
@@ -578,15 +594,7 @@ mod tests {
         let bad = [bad_node];
         let quota = vec![100u64; n];
         let v = view_fixture(
-            &grid,
-            &tx,
-            &accepted,
-            &tallies,
-            &bad,
-            &budget,
-            &good,
-            120,
-            &quota,
+            &topo, &tx, &accepted, &tallies, &bad, &budget, &good, 120, &quota,
         );
         let plan = GreedyFrontier::default().plan(&v);
         let spend = plan.spend_by_node(n);
@@ -596,6 +604,7 @@ mod tests {
     #[test]
     fn chaos_is_deterministic_per_seed_and_bounded() {
         let grid = Grid::new(9, 9, 2).unwrap();
+        let topo = Topology::new(grid.clone());
         let n = grid.node_count();
         let sender = grid.id_at(4, 4);
         let bad_node = grid.id_at(0, 0);
@@ -609,15 +618,7 @@ mod tests {
         let bad = [bad_node];
         let quota = vec![5u64; n];
         let v = view_fixture(
-            &grid,
-            &tx,
-            &accepted,
-            &tallies,
-            &bad,
-            &budget,
-            &good,
-            3,
-            &quota,
+            &topo, &tx, &accepted, &tallies, &bad, &budget, &good, 3, &quota,
         );
         let a = Chaos::new(5).plan(&v);
         let b = Chaos::new(5).plan(&v);

@@ -4,16 +4,92 @@
 //! ```text
 //! cargo run --release -p bftbcast-bench --bin exp -- all
 //! cargo run --release -p bftbcast-bench --bin exp -- f2 t4
+//! cargo run --release -p bftbcast-bench --bin exp -- --json f2
 //! ```
+//!
+//! With `--json`, each experiment additionally dumps
+//! `BENCH_<exp>.json` in the working directory: wall time plus every
+//! result table (title, headers, rows) — the machine-readable record
+//! the perf trajectory tracks across commits.
 
+use bftbcast_bench::Table;
 use bftbcast_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Serializes one experiment report as a JSON document.
+fn report_json(id: &str, wall: std::time::Duration, tables: &[Table]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"experiment\": \"{}\",\n  \"wall_time_ms\": {:.3},\n  \"tables\": [",
+        json_escape(id),
+        wall.as_secs_f64() * 1e3,
+    );
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\n      \"title\": \"{}\",\n      \"headers\": {},\n      \"rows\": [",
+            json_escape(table.title()),
+            json_string_array(table.headers()),
+        );
+        for (j, row) in table.rows().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n        {}", json_string_array(row));
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--json") {
+        eprintln!("unknown flag {bad:?}; supported: --json");
+        std::process::exit(2);
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        named
     };
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(id) {
@@ -23,9 +99,19 @@ fn main() {
     }
     for id in ids {
         let start = std::time::Instant::now();
-        for table in run_experiment(id) {
+        let tables = run_experiment(id);
+        let wall = start.elapsed();
+        for table in &tables {
             println!("{table}");
         }
-        println!("[{} finished in {:?}]\n", id, start.elapsed());
+        println!("[{id} finished in {wall:?}]\n");
+        if json {
+            let path = format!("BENCH_{id}.json");
+            if let Err(e) = std::fs::write(&path, report_json(id, wall, &tables)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]\n");
+        }
     }
 }

@@ -105,7 +105,11 @@ mod tests {
             let s = lattice_scenario(r, mult, t, mf);
             let two = 2 * u64::from(t) * mf + 1;
             let out = majority_run(&s, two, two);
-            assert!(out.is_correct(), "r={r}: wrong accepts {}", out.wrong_accepts);
+            assert!(
+                out.is_correct(),
+                "r={r}: wrong accepts {}",
+                out.wrong_accepts
+            );
             assert!(out.is_complete(), "r={r}: coverage {}", out.coverage());
         }
     }

@@ -30,7 +30,13 @@ pub fn run() -> Vec<Table> {
             "B:Koo",
         ],
     );
-    for &(r, t, mf) in &[(1u32, 1u32, 50u64), (2, 1, 50), (2, 4, 50), (3, 2, 100), (4, 1, 1000)] {
+    for &(r, t, mf) in &[
+        (1u32, 1u32, 50u64),
+        (2, 1, 50),
+        (2, 4, 50),
+        (3, 2, 100),
+        (4, 1, 1000),
+    ] {
         let p = Params::new(r, t, mf);
         let cmp = lifetime_comparison(&model, p, bits);
         life.row(&[
@@ -67,9 +73,7 @@ pub fn run() -> Vec<Table> {
         let l = SubbitParams::for_network(n as usize, t as usize, mmax).len() as u64;
         let msgs = 2 * (t * mf + 1);
         let slots_per_msg = big_k * l;
-        let e = model
-            .with_range(2)
-            .broadcast_energy_j(msgs, slots_per_msg);
+        let e = model.with_range(2).broadcast_energy_j(msgs, slots_per_msg);
         // The closed-form Theorem 4 budget counts sub-bit
         // transmissions; for small k the real cascade exceeds the
         // paper's K <= k + 2 log k + 2 (EXPERIMENTS.md finding 3), so

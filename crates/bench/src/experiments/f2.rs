@@ -41,14 +41,10 @@ pub fn run() -> Vec<Table> {
         "2001".into(),
         p.source_quota().to_string(),
     ]);
-    headline.row(&[
-        "gray node intake (r(2r+1)-t)*m".into(),
-        "2065".into(),
-        {
-            let gray = grid.id_of(grid.wrap(0, 5));
-            (sim.tally_true(gray) + sim.tally_wrong(gray)).to_string()
-        },
-    ]);
+    headline.row(&["gray node intake (r(2r+1)-t)*m".into(), "2065".into(), {
+        let gray = grid.id_of(grid.wrap(0, 5));
+        (sim.tally_true(gray) + sim.tally_wrong(gray)).to_string()
+    }]);
     let pid = grid.id_of(grid.wrap(5, 1));
     headline.row(&[
         "decided neighbors of p=(5,1)".into(),
@@ -72,7 +68,12 @@ pub fn run() -> Vec<Table> {
     headline.row(&[
         "p undecided".into(),
         "yes".into(),
-        if sim.accepted(pid).is_none() { "yes" } else { "no" }.to_string(),
+        if sim.accepted(pid).is_none() {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
     ]);
     headline.row(&[
         "decided nodes at stall (square - 1 bad + 4 gray)".into(),

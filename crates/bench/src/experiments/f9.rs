@@ -20,7 +20,14 @@ use rand::{Rng, SeedableRng};
 pub fn run() -> Vec<Table> {
     let mut overhead = Table::new(
         "EXP-F9: coded length K vs paper bound k+2logk+2 vs I-code 2k",
-        &["k", "K", "paper bound", "bound holds", "I-code 2k", "K < 2k"],
+        &[
+            "k",
+            "K",
+            "paper bound",
+            "bound holds",
+            "I-code 2k",
+            "K < 2k",
+        ],
     );
     for k in [8usize, 16, 32, 64, 128, 256, 1024, 4096, 1 << 16] {
         let kk = coded_len(k).expect("k >= 2");
@@ -42,11 +49,7 @@ pub fn run() -> Vec<Table> {
     );
     for flips in 1..=2usize {
         let (cases, detected) = exhaustive_detection(6, flips);
-        detect.row(&[
-            flips.to_string(),
-            cases.to_string(),
-            detected.to_string(),
-        ]);
+        detect.row(&[flips.to_string(), cases.to_string(), detected.to_string()]);
     }
 
     // Cancellation probability at small L.
@@ -123,7 +126,14 @@ pub fn run() -> Vec<Table> {
     let mut cost = Table::new(
         "EXP-F9e: refined cost model (paper's future work) — total sub-bit slots, \
          AUED whole-frame retransmission vs I-code per-bit retransmission (L=8)",
-        &["k (flips/attack)", "attacks", "AUED slots", "I-code slots", "winner", "crossover (attacks)"],
+        &[
+            "k (flips/attack)",
+            "attacks",
+            "AUED slots",
+            "I-code slots",
+            "winner",
+            "crossover (attacks)",
+        ],
     );
     use bftbcast::coding::cost::{aued_total_slots, crossover_attacks, icode_total_slots};
     for k in [64usize, 256, 1024] {
@@ -209,7 +219,13 @@ fn exhaustive_detection(k: usize, flips: usize) -> (u64, u64) {
         let mut idx = vec![0usize; flips];
         // Iterate all strictly-increasing index tuples.
         fn combos(zeros: &[usize], flips: usize, f: &mut impl FnMut(&[usize])) {
-            fn rec(zeros: &[usize], start: usize, cur: &mut Vec<usize>, left: usize, f: &mut impl FnMut(&[usize])) {
+            fn rec(
+                zeros: &[usize],
+                start: usize,
+                cur: &mut Vec<usize>,
+                left: usize,
+                f: &mut impl FnMut(&[usize]),
+            ) {
                 if left == 0 {
                     f(cur);
                     return;

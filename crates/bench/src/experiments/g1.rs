@@ -35,7 +35,12 @@ pub fn run() -> Vec<Table> {
     let mut lemma9 = Table::new(
         "EXP-G1b: Lemma 9 clearance d > 1.25 (exact, 37-unit float committed lines, \
          32 slope samples per interval)",
-        &["r", "slope intervals", "min clearance", "d > 1.25 everywhere"],
+        &[
+            "r",
+            "slope intervals",
+            "min clearance",
+            "d > 1.25 everywhere",
+        ],
     );
     for r in 2..=12i128 {
         let (min_d, ok) = lemma9_sweep(r, 32);

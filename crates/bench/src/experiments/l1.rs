@@ -77,7 +77,12 @@ pub fn run() -> Vec<Table> {
         "EXP-L1b: Breactive rounds to completion (slot engine, mixed adversary, 5 seeds)",
         &["r", "t", "torus", "jamming", "min rounds", "max rounds"],
     );
-    for &(r, t, jam) in &[(1u32, 1u32, false), (1, 1, true), (2, 2, false), (2, 2, true)] {
+    for &(r, t, jam) in &[
+        (1u32, 1u32, false),
+        (1, 1, true),
+        (2, 2, false),
+        (2, 2, true),
+    ] {
         let side = torus_side(r, 3);
         let s = Scenario::builder(side, side, r)
             .faults(t, 3)

@@ -47,7 +47,16 @@ pub fn run() -> Vec<Table> {
     let mut exact = Table::new(
         "EXP-T1: double-stripe starvation vs m (per-receiver oracle) — \
          paper: starved iff m < m0",
-        &["r", "t", "mf", "m0", "m", "coverage", "band starved", "matches Thm 1"],
+        &[
+            "r",
+            "t",
+            "mf",
+            "m0",
+            "m",
+            "coverage",
+            "band starved",
+            "matches Thm 1",
+        ],
     );
     let mut physical = Table::new(
         "EXP-T1b: same sweep, physical global-budget greedy adversary \
@@ -92,7 +101,14 @@ pub fn run() -> Vec<Table> {
     // result pins the upper bound at m0 - 1. The truth lies between.
     let mut gap = Table::new(
         "EXP-T1c: empirical starvation threshold, physical greedy (lower bound) vs paper's m0",
-        &["r", "t", "mf", "m0 (paper)", "greedy starves up to m", "ratio"],
+        &[
+            "r",
+            "t",
+            "mf",
+            "m0 (paper)",
+            "greedy starves up to m",
+            "ratio",
+        ],
     );
     for &(r, mult, t, mf) in POINTS {
         let scenario = double_stripe_scenario(r, mult, t, mf);

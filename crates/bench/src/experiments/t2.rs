@@ -25,7 +25,15 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "EXP-T2: protocol B at m = 2*m0 (Theorem 2) — must be reliable everywhere",
         &[
-            "r", "t", "mf", "m0", "m=2m0", "adversary", "coverage", "correct", "adv spent",
+            "r",
+            "t",
+            "mf",
+            "m0",
+            "m=2m0",
+            "adversary",
+            "coverage",
+            "correct",
+            "adv spent",
         ],
     );
     for &(r, mult, t, mf) in POINTS {

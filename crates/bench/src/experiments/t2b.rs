@@ -22,7 +22,12 @@ pub fn run() -> Vec<Table> {
         ],
     );
     let mf = 1000u64;
-    for (r, t_list) in [(1u32, vec![1u32, 2]), (2, vec![1, 4, 9]), (3, vec![1, 10]), (4, vec![1, 17, 35])] {
+    for (r, t_list) in [
+        (1u32, vec![1u32, 2]),
+        (2, vec![1, 4, 9]),
+        (3, vec![1, 10]),
+        (4, vec![1, 17, 35]),
+    ] {
         for t in t_list {
             let p = Params::new(r, t, mf);
             table.row(&[
@@ -82,6 +87,8 @@ mod tests {
     fn baseline_and_b_both_reliable() {
         let s = lattice_scenario(2, 4, 1, 50);
         assert!(s.run_protocol_b(Adversary::PerReceiverOracle).is_reliable());
-        assert!(s.run_koo_baseline(Adversary::PerReceiverOracle).is_reliable());
+        assert!(s
+            .run_koo_baseline(Adversary::PerReceiverOracle)
+            .is_reliable());
     }
 }

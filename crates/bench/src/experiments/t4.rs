@@ -41,14 +41,13 @@ pub fn run() -> Vec<Table> {
     );
     let mmax = 1u64 << 16;
     let k = 16u64;
-    let points: &[(u32, u32, u32, u64)] = &[
-        (1, 5, 1, 4),
-        (1, 5, 1, 12),
-        (2, 3, 2, 4),
-        (2, 3, 4, 3),
-    ];
+    let points: &[(u32, u32, u32, u64)] =
+        &[(1, 5, 1, 4), (1, 5, 1, 12), (2, 3, 2, 4), (2, 3, 4, 3)];
     for &(r, mult, t, mf) in points {
-        assert!(u64::from(t) <= reactive_max_t(r), "t must stay below r(2r+1)/2");
+        assert!(
+            u64::from(t) <= reactive_max_t(r),
+            "t must stay below r(2r+1)/2"
+        );
         for adversary in [
             ReactiveAdversary::Passive,
             ReactiveAdversary::Jammer,

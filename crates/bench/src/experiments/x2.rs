@@ -66,7 +66,12 @@ pub fn run() -> Vec<Table> {
             "gap (oracle/phys best)",
         ],
     );
-    for &(r, mult, t, mf) in &[(1u32, 5u32, 1u32, 20u64), (2, 4, 1, 50), (2, 4, 3, 40), (3, 3, 2, 60)] {
+    for &(r, mult, t, mf) in &[
+        (1u32, 5u32, 1u32, 20u64),
+        (2, 4, 1, 50),
+        (2, 4, 3, 40),
+        (3, 3, 2, 60),
+    ] {
         let s = double_stripe_scenario(r, mult, t, mf);
         let hi = s.params().sufficient_budget() - 1;
         let oracle = max_stalled_oracle(&s, hi);

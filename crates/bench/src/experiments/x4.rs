@@ -13,8 +13,8 @@
 //!   a `Θ((2r+1)²)` message-cost multiplier.
 
 use bftbcast::net::{Grid, NodeId, Value};
-use bftbcast::protocols::agreement::{proven_max_t, proven_member_cost, AgreementConfig};
 use bftbcast::prelude::{Params, Table};
+use bftbcast::protocols::agreement::{proven_max_t, proven_member_cost, AgreementConfig};
 use bftbcast::sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
 
 /// Builds the standard EXP-X4 instance: centered source, `t` colluders
@@ -74,7 +74,12 @@ pub fn sweep_point(r: u32, t: u32, mf: u64) -> (usize, usize, usize, usize) {
             validity_failures += 1;
         }
     }
-    (cheap_splits, proven_splits, validity_failures, schedules.len())
+    (
+        cheap_splits,
+        proven_splits,
+        validity_failures,
+        schedules.len(),
+    )
 }
 
 /// Runs the experiment.
@@ -93,7 +98,13 @@ pub fn run() -> Vec<Table> {
             "proven t max",
         ],
     );
-    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 20), (3, 2, 50), (4, 1, 1000)] {
+    for &(r, t, mf) in &[
+        (1u32, 1u32, 5u64),
+        (2, 1, 10),
+        (2, 2, 20),
+        (3, 2, 50),
+        (4, 1, 1000),
+    ] {
         let p = Params::new(r, t, mf);
         let cfg = AgreementConfig::paper_margins(p);
         costs.row(&[
@@ -120,7 +131,13 @@ pub fn run() -> Vec<Table> {
             "validity failures",
         ],
     );
-    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 1, 20), (2, 2, 20), (3, 2, 50)] {
+    for &(r, t, mf) in &[
+        (1u32, 1u32, 5u64),
+        (2, 1, 10),
+        (2, 1, 20),
+        (2, 2, 20),
+        (3, 2, 50),
+    ] {
         let (cheap, proven, validity, total) = sweep_point(r, t, mf);
         sweep.row(&[
             r.to_string(),

@@ -15,9 +15,11 @@
 //! paper's `t` plus a leaky crash stripe, handled by protocol B at the
 //! Byzantine-only budget.
 
-use bftbcast::prelude::*;
-use bftbcast::sim::crash::{crash_only_protocol, crash_stripe, crash_threshold, CrashBehavior, HybridSim};
 use bftbcast::adversary::{LatticePlacement, Placement};
+use bftbcast::prelude::*;
+use bftbcast::sim::crash::{
+    crash_only_protocol, crash_stripe, crash_threshold, CrashBehavior, HybridSim,
+};
 
 use super::torus_side;
 
@@ -30,8 +32,7 @@ fn stripe_run(r: u32, mult: u32, h: u32) -> CountingOutcome {
     dead.sort_unstable();
     dead.dedup();
     let proto = crash_only_protocol(&grid);
-    let mut sim =
-        HybridSim::new(grid, proto, 0).with_crash_nodes(&dead, CrashBehavior::Immediate);
+    let mut sim = HybridSim::new(grid, proto, 0).with_crash_nodes(&dead, CrashBehavior::Immediate);
     sim.run(0)
 }
 
@@ -80,7 +81,15 @@ pub fn run() -> Vec<Table> {
 
     let mut hybrid = Table::new(
         "EXP-X5c: hybrid load — Byzantine lattice (t, mf) + leaky crash stripe, protocol B at 2m0",
-        &["r", "t", "mf", "crash faults", "byz faults", "coverage", "correct"],
+        &[
+            "r",
+            "t",
+            "mf",
+            "crash faults",
+            "byz faults",
+            "coverage",
+            "correct",
+        ],
     );
     for &(r, mult, t, mf) in &[(2u32, 4u32, 1u32, 20u64), (2, 4, 2, 10), (3, 3, 1, 50)] {
         let side = torus_side(r, mult);

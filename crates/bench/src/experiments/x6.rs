@@ -54,8 +54,7 @@ pub fn measured_reliability(
             held += 1;
         }
         let proto = CountingProtocol::protocol_b(&grid, params);
-        let mut sim =
-            bftbcast::sim::CountingSim::new(grid.clone(), proto, 0, &bad, mf);
+        let mut sim = bftbcast::sim::CountingSim::new(grid.clone(), proto, 0, &bad, mf);
         if sim.run_oracle(mf).is_reliable() {
             reliable += 1;
         }
@@ -72,7 +71,13 @@ pub fn run() -> Vec<Table> {
         "EXP-X6a: critical iid corruption rate p* (local bound holds with 99% confidence, union bound)",
         &["r", "t", "n", "neighborhood", "p*"],
     );
-    for &(r, t, mult) in &[(1u32, 1u32, 5u32), (1, 2, 5), (2, 2, 4), (2, 4, 4), (3, 4, 3)] {
+    for &(r, t, mult) in &[
+        (1u32, 1u32, 5u32),
+        (1, 2, 5),
+        (2, 2, 4),
+        (2, 4, 4),
+        (3, 4, 3),
+    ] {
         let side = u64::from(torus_side(r, mult));
         let n = side * side;
         let p_star = critical_p(n, r, u64::from(t), 0.99);

@@ -14,8 +14,8 @@ pub use bftbcast::prelude::Table;
 
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "t1", "f2", "t2", "t2b", "c1", "t3", "g1", "g2", "f9", "t4", "a1", "a2", "a3", "e1", "l1", "x1", "x2",
-    "x4", "x5", "x6",
+    "t1", "f2", "t2", "t2b", "c1", "t3", "g1", "g2", "f9", "t4", "a1", "a2", "a3", "e1", "l1",
+    "x1", "x2", "x4", "x5", "x6",
 ];
 
 /// Runs one experiment by id, returning its report tables.

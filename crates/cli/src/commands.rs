@@ -113,27 +113,54 @@ fn cmd_bounds(args: &Args) -> Result<String, CliError> {
     }
     let p = Params::new(r, t, mf);
     let mut out = String::new();
-    let _ = writeln!(out, "parameters: r={r} t={t} mf={mf}   (neighborhood r(2r+1) = {max_t} per half)");
+    let _ = writeln!(
+        out,
+        "parameters: r={r} t={t} mf={mf}   (neighborhood r(2r+1) = {max_t} per half)"
+    );
     let _ = writeln!(out, "m0 (Theorem 1 lower bound)      : {}", p.m0());
-    let _ = writeln!(out, "2*m0 (Theorem 2 sufficient)     : {}", p.sufficient_budget());
+    let _ = writeln!(
+        out,
+        "2*m0 (Theorem 2 sufficient)     : {}",
+        p.sufficient_budget()
+    );
     let _ = writeln!(out, "relay quota (protocol B)        : {}", p.relay_quota());
-    let _ = writeln!(out, "source copies 2*t*mf+1          : {}", p.source_quota());
-    let _ = writeln!(out, "accept threshold t*mf+1         : {}", p.accept_threshold());
+    let _ = writeln!(
+        out,
+        "source copies 2*t*mf+1          : {}",
+        p.source_quota()
+    );
+    let _ = writeln!(
+        out,
+        "accept threshold t*mf+1         : {}",
+        p.accept_threshold()
+    );
     let _ = writeln!(out, "Koo PODC'06 baseline budget     : {}", p.koo_budget());
-    let _ = writeln!(out, "baseline saving (claimed)       : {:.2}x", p.claimed_baseline_ratio());
+    let _ = writeln!(
+        out,
+        "baseline saving (claimed)       : {:.2}x",
+        p.claimed_baseline_ratio()
+    );
     let _ = writeln!(
         out,
         "Corollary 1: defeated above t > {}; tolerated at t <= {}",
         bounds::corollary1_min_defeating_t(r, p.sufficient_budget(), mf),
         bounds::corollary1_max_tolerable_t(r, p.sufficient_budget(), mf),
     );
-    let _ = writeln!(out, "reactive max t (Thm 4 regime)   : {}", bounds::reactive_max_t(r));
+    let _ = writeln!(
+        out,
+        "reactive max t (Thm 4 regime)   : {}",
+        bounds::reactive_max_t(r)
+    );
     let _ = writeln!(
         out,
         "Theorem 4 budget (n={n}, k={k})  : {}",
         bounds::theorem4_budget(n, k, u64::from(t), mf, mf.max(2)),
     );
-    let _ = writeln!(out, "crash-stop threshold r(2r+1)    : {}", crash_threshold(r));
+    let _ = writeln!(
+        out,
+        "crash-stop threshold r(2r+1)    : {}",
+        crash_threshold(r)
+    );
     let cfg = AgreementConfig::paper_margins(p);
     let _ = writeln!(
         out,
@@ -211,7 +238,9 @@ fn protocol_from(args: &Args, s: &Scenario) -> Result<CountingProtocol, CliError
     }
 }
 
-fn run_outcome(args: &Args) -> Result<(Scenario, bftbcast::sim::CountingSim, CountingOutcome), CliError> {
+fn run_outcome(
+    args: &Args,
+) -> Result<(Scenario, bftbcast::sim::CountingSim, CountingOutcome), CliError> {
     let s = scenario_from(args)?;
     let proto = protocol_from(args, &s)?;
     let adversary = adversary_from(args)?;
@@ -299,7 +328,11 @@ fn cmd_code(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "message bits k            : {k}");
     let _ = writeln!(out, "AUED cascade length K     : {coded}");
-    let _ = writeln!(out, "paper bound k+2logk+2     : {}", segment::paper_len_bound(k));
+    let _ = writeln!(
+        out,
+        "paper bound k+2logk+2     : {}",
+        segment::paper_len_bound(k)
+    );
     let _ = writeln!(out, "I-code length 2k          : {}", icode::coded_len(k));
     let _ = writeln!(out, "sub-bits per bit L        : {}", params.len());
     let _ = writeln!(out, "slots per message K*L     : {}", coded * params.len());
@@ -396,8 +429,21 @@ mod tests {
     #[test]
     fn run_starved_below_m0_stalls_on_stripes() {
         let out = run(&[
-            "run", "--r", "1", "--t", "1", "--mf", "4", "--side", "15", "--placement",
-            "stripes", "--protocol", "starved", "--m", "2",
+            "run",
+            "--r",
+            "1",
+            "--t",
+            "1",
+            "--mf",
+            "4",
+            "--side",
+            "15",
+            "--placement",
+            "stripes",
+            "--protocol",
+            "starved",
+            "--m",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("complete        : false"), "{out}");
@@ -409,13 +455,35 @@ mod tests {
         // A low rate builds and runs; an absurd rate surfaces the
         // local-bound violation as a user-facing error.
         let ok = run(&[
-            "run", "--r", "2", "--t", "4", "--mf", "5", "--placement", "bernoulli", "--p",
-            "0.005", "--seed", "7",
+            "run",
+            "--r",
+            "2",
+            "--t",
+            "4",
+            "--mf",
+            "5",
+            "--placement",
+            "bernoulli",
+            "--p",
+            "0.005",
+            "--seed",
+            "7",
         ]);
         assert!(ok.is_ok(), "{ok:?}");
         let err = run(&[
-            "run", "--r", "2", "--t", "1", "--mf", "5", "--placement", "bernoulli", "--p",
-            "0.5", "--seed", "7",
+            "run",
+            "--r",
+            "2",
+            "--t",
+            "1",
+            "--mf",
+            "5",
+            "--placement",
+            "bernoulli",
+            "--p",
+            "0.5",
+            "--seed",
+            "7",
         ]);
         assert!(err.is_err());
     }
@@ -451,7 +519,15 @@ mod tests {
     fn agreement_correct_source_agrees() {
         for mode in ["cheap", "proven"] {
             let out = run(&[
-                "agreement", "--r", "1", "--t", "1", "--mf", "5", "--mode", mode,
+                "agreement",
+                "--r",
+                "1",
+                "--t",
+                "1",
+                "--mf",
+                "5",
+                "--mode",
+                mode,
             ])
             .unwrap();
             assert!(out.contains("validity        : true"), "{mode}: {out}");

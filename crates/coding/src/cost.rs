@@ -57,9 +57,8 @@ pub fn icode_total_slots(k: usize, l: usize, attacks: u64, flips_per_attack: u64
 /// every attack rate, which cannot happen for `k ≥ 2`; and `Some(0)`
 /// when the I-code already wins unattacked, i.e. very small `k`).
 pub fn crossover_attacks(k: usize, l: usize, flips_per_attack: u64) -> Option<u64> {
-    (0..=1_000_000u64).find(|&a| {
-        icode_total_slots(k, l, a, flips_per_attack) < aued_total_slots(k, l, a)
-    })
+    (0..=1_000_000u64)
+        .find(|&a| icode_total_slots(k, l, a, flips_per_attack) < aued_total_slots(k, l, a))
 }
 
 #[cfg(test)]

@@ -34,10 +34,16 @@ impl fmt::Display for CodeError {
                 write!(f, "integrity violation at counter segment {segment}")
             }
             CodeError::LengthMismatch { expected, got } => {
-                write!(f, "sub-bit stream length mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "sub-bit stream length mismatch: expected {expected}, got {got}"
+                )
             }
             CodeError::PayloadTooShort { k } => {
-                write!(f, "payload of {k} bits is too short: the segment cascade needs k >= 2")
+                write!(
+                    f,
+                    "payload of {k} bits is too short: the segment cascade needs k >= 2"
+                )
             }
         }
     }

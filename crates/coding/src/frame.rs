@@ -126,10 +126,7 @@ impl Frame {
             .enumerate()
             .map(|(i, g)| g.xor_attack(masks.get(i).copied().unwrap_or(0)))
             .collect();
-        Frame {
-            k: self.k,
-            groups,
-        }
+        Frame { k: self.k, groups }
     }
 
     /// Decodes every group, verifies the counter cascade, and splits the
@@ -282,7 +279,10 @@ mod tests {
             mask = mask.inject_one(start + len - 1);
             start += len;
         }
-        assert!(f.attacked(&mask.into_masks()).decode_and_verify(params()).is_err());
+        assert!(f
+            .attacked(&mask.into_masks())
+            .decode_and_verify(params())
+            .is_err());
     }
 
     #[test]
@@ -303,7 +303,6 @@ mod tests {
                     undetected_flips += 1;
                 }
             } // Err: detected, the sender will retransmit
-        
         }
         // p_cancel = 1/(2^24 - 1): essentially never in 2000 trials.
         assert_eq!(undetected_flips, 0);

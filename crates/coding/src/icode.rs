@@ -44,7 +44,7 @@ pub fn encode(message: &[bool]) -> Vec<bool> {
 ///
 /// [`CodeError::LengthMismatch`] when the slot count is odd.
 pub fn check(slots: &[bool]) -> Result<Vec<BitCheck>, CodeError> {
-    if slots.len() % 2 != 0 {
+    if !slots.len().is_multiple_of(2) {
         return Err(CodeError::LengthMismatch {
             expected: slots.len() + 1,
             got: slots.len(),

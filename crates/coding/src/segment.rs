@@ -205,7 +205,10 @@ mod tests {
                 let mut tampered = coded.clone();
                 tampered[pos] = true;
                 assert!(
-                    matches!(verify(&tampered, 6), Err(CodeError::IntegrityViolation { .. })),
+                    matches!(
+                        verify(&tampered, 6),
+                        Err(CodeError::IntegrityViolation { .. })
+                    ),
                     "undetected flip at {pos} of message {m:06b}"
                 );
             }
@@ -219,8 +222,7 @@ mod tests {
         for m in 0..16u32 {
             let msg: Vec<bool> = (0..4).rev().map(|b| (m >> b) & 1 == 1).collect();
             let coded = encode(&msg).unwrap();
-            let zero_positions: Vec<usize> =
-                (0..coded.len()).filter(|&i| !coded[i]).collect();
+            let zero_positions: Vec<usize> = (0..coded.len()).filter(|&i| !coded[i]).collect();
             for (ai, &a) in zero_positions.iter().enumerate() {
                 for &b in &zero_positions[ai + 1..] {
                     let mut tampered = coded.clone();

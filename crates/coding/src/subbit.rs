@@ -36,7 +36,10 @@ impl SubbitParams {
     /// Panics if `l == 0` or `l > 63` (patterns are manipulated as `u64`
     /// masks).
     pub fn with_length(l: usize) -> Self {
-        assert!((1..=63).contains(&l), "sub-bit pattern length must be in 1..=63");
+        assert!(
+            (1..=63).contains(&l),
+            "sub-bit pattern length must be in 1..=63"
+        );
         SubbitParams { l }
     }
 

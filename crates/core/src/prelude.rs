@@ -7,16 +7,20 @@
 //! ```
 
 pub use crate::scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
+pub use bftbcast_adversary::probabilistic::{
+    critical_p, local_bound_holds_probability, BernoulliPlacement,
+};
 pub use bftbcast_net::{Budget, Cross, Disc, Grid, NodeId, Rect, Region, Schedule, Stripe, Value};
+pub use bftbcast_protocols::agreement::{AgreementConfig, CONFLICT, DEFAULT_VALUE};
 pub use bftbcast_protocols::bounds::{
     corollary1_max_tolerable_t, corollary1_min_defeating_t, reactive_max_t, theorem4_budget,
 };
 pub use bftbcast_protocols::{CountingProtocol, Params};
+pub use bftbcast_sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
+pub use bftbcast_sim::crash::{
+    crash_only_protocol, crash_stripe, crash_threshold, CrashBehavior, HybridSim,
+};
 pub use bftbcast_sim::metrics::{CountingOutcome, ReactiveOutcome};
 pub use bftbcast_sim::runner::{sweep, Table};
 pub use bftbcast_sim::slot::ReactiveAdversary;
-pub use bftbcast_protocols::agreement::{AgreementConfig, CONFLICT, DEFAULT_VALUE};
-pub use bftbcast_sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
-pub use bftbcast_sim::crash::{crash_only_protocol, crash_stripe, crash_threshold, CrashBehavior, HybridSim};
-pub use bftbcast_adversary::probabilistic::{critical_p, local_bound_holds_probability, BernoulliPlacement};
 pub use bftbcast_viz::{CellStyle, GridMap, LineChart};

@@ -177,11 +177,9 @@ impl ScenarioBuilder {
         let source = grid.id_at(self.source_xy.0, self.source_xy.1);
         let bad_nodes = match self.placement {
             PlacementChoice::None => Vec::new(),
-            PlacementChoice::Lattice { offset } => LatticePlacement {
-                t: self.t,
-                offset,
+            PlacementChoice::Lattice { offset } => {
+                LatticePlacement { t: self.t, offset }.bad_nodes(&grid)
             }
-            .bad_nodes(&grid),
             PlacementChoice::Stripes(stripes) => {
                 let mut all = Vec::new();
                 for (y0, t, victims_above) in stripes {
@@ -279,7 +277,10 @@ impl Scenario {
 
     /// Runs **protocol B** (Theorem 2: homogeneous `m = 2·m0`).
     pub fn run_protocol_b(&self, adversary: Adversary) -> CountingOutcome {
-        self.run_counting(CountingProtocol::protocol_b(&self.grid, self.params), adversary)
+        self.run_counting(
+            CountingProtocol::protocol_b(&self.grid, self.params),
+            adversary,
+        )
     }
 
     /// Runs the budget-starved variant (`m` per node, all relayed) —
@@ -357,8 +358,7 @@ impl Scenario {
     /// inside `N(source)` as the colluders (bad nodes elsewhere cannot
     /// touch the agreement phase).
     pub fn agreement_sim(&self) -> bftbcast_sim::agreement::AgreementSim {
-        let cfg =
-            bftbcast_protocols::agreement::AgreementConfig::paper_margins(self.params);
+        let cfg = bftbcast_protocols::agreement::AgreementConfig::paper_margins(self.params);
         let colluders: Vec<NodeId> = self
             .bad_nodes
             .iter()
@@ -366,12 +366,7 @@ impl Scenario {
             .filter(|&b| self.grid.are_neighbors(self.source, b))
             .take(self.params.t as usize)
             .collect();
-        bftbcast_sim::agreement::AgreementSim::new(
-            self.grid.clone(),
-            cfg,
-            self.source,
-            &colluders,
-        )
+        bftbcast_sim::agreement::AgreementSim::new(self.grid.clone(), cfg, self.source, &colluders)
     }
 
     /// Runs **Breactive** (Theorem 4) on the slot engine: coded frames,

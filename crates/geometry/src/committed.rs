@@ -81,8 +81,7 @@ impl CommittedLine {
 
     /// Marker point `P_i = P0 + i·(r, ρ)`.
     pub fn marker(&self, i: i128) -> Pt {
-        self.p0
-            .offset(Rat::int(i * self.r), Rat::int(i * self.rho))
+        self.p0.offset(Rat::int(i * self.r), Rat::int(i * self.rho))
     }
 
     /// Right endpoint `Pl`.
@@ -204,7 +203,7 @@ mod tests {
         let next = cl.advance().unwrap();
         assert_eq!(next.segments(), 4);
         assert_eq!(next.marker(0), Pt::int(3, 0)); // P1 + (0, 1)
-        // Too short to advance.
+                                                   // Too short to advance.
         assert!(CommittedLine::new(3, -1, Pt::int(0, 0), 3)
             .advance()
             .is_none());

@@ -91,8 +91,7 @@ pub fn lemma9_clearances(r: i128, rho: i128, h: Rat) -> (Option<Rat>, Option<Rat
 pub fn lemma9_holds(r: i128, rho: i128, h: Rat) -> bool {
     let threshold_sq = clearance_threshold().square();
     let (lo, hi) = lemma9_clearances(r, rho, h);
-    lo.map(|d| d > threshold_sq).unwrap_or(false)
-        || hi.map(|d| d > threshold_sq).unwrap_or(false)
+    lo.map(|d| d > threshold_sq).unwrap_or(false) || hi.map(|d| d > threshold_sq).unwrap_or(false)
 }
 
 /// Sweeps Lemma 9 over every `ρ ∈ [−r, −1]` and `subdivisions` slope

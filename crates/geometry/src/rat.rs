@@ -17,6 +17,7 @@ pub struct Rat {
     den: i128,
 }
 
+#[inline]
 fn gcd(a: i128, b: i128) -> i128 {
     let (mut a, mut b) = (a.abs(), b.abs());
     while b != 0 {
@@ -36,8 +37,18 @@ impl Rat {
     /// # Panics
     ///
     /// Panics if `den == 0`.
+    #[inline]
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "zero denominator");
+        // Integer fast path: den == +/-1 is already in lowest terms, so
+        // integer-heavy workloads (grid coordinates, step counts) skip
+        // the gcd loop entirely.
+        if den == 1 {
+            return Rat { num, den: 1 };
+        }
+        if den == -1 {
+            return Rat { num: -num, den: 1 };
+        }
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
         Rat {
@@ -47,21 +58,25 @@ impl Rat {
     }
 
     /// An integer as a rational.
+    #[inline]
     pub fn int(n: i128) -> Self {
         Rat { num: n, den: 1 }
     }
 
     /// Numerator (lowest terms, sign-carrying).
+    #[inline]
     pub fn num(self) -> i128 {
         self.num
     }
 
     /// Denominator (lowest terms, always positive).
+    #[inline]
     pub fn den(self) -> i128 {
         self.den
     }
 
     /// Absolute value.
+    #[inline]
     pub fn abs(self) -> Self {
         Rat {
             num: self.num.abs(),
@@ -70,21 +85,25 @@ impl Rat {
     }
 
     /// Whether the value is an integer.
+    #[inline]
     pub fn is_integer(self) -> bool {
         self.den == 1
     }
 
     /// `⌊self⌋`.
+    #[inline]
     pub fn floor(self) -> i128 {
         self.num.div_euclid(self.den)
     }
 
     /// Lossy conversion for reporting.
+    #[inline]
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64
     }
 
     /// Square.
+    #[inline]
     pub fn square(self) -> Self {
         self * self
     }
@@ -92,13 +111,16 @@ impl Rat {
 
 impl Add for Rat {
     type Output = Rat;
+    #[inline]
     fn add(self, rhs: Rat) -> Rat {
+        // Integer + integer stays on the fast path (den product is 1).
         Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
     }
 }
 
 impl Sub for Rat {
     type Output = Rat;
+    #[inline]
     fn sub(self, rhs: Rat) -> Rat {
         Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
     }
@@ -106,6 +128,7 @@ impl Sub for Rat {
 
 impl Mul for Rat {
     type Output = Rat;
+    #[inline]
     fn mul(self, rhs: Rat) -> Rat {
         Rat::new(self.num * rhs.num, self.den * rhs.den)
     }
@@ -113,6 +136,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[inline]
     fn div(self, rhs: Rat) -> Rat {
         assert!(rhs.num != 0, "division by zero");
         Rat::new(self.num * rhs.den, self.den * rhs.num)
@@ -121,6 +145,7 @@ impl Div for Rat {
 
 impl Neg for Rat {
     type Output = Rat;
+    #[inline]
     fn neg(self) -> Rat {
         Rat {
             num: -self.num,
@@ -130,12 +155,14 @@ impl Neg for Rat {
 }
 
 impl PartialOrd for Rat {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for Rat {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         (self.num * other.den).cmp(&(other.num * self.den))
     }

@@ -14,7 +14,11 @@
 //! * transmissions follow a pre-determined collision-free time-slotted
 //!   schedule ([`Schedule`]);
 //! * every node has a finite message budget ([`Budget`]) — the property the
-//!   paper's message-efficiency results revolve around.
+//!   paper's message-efficiency results revolve around;
+//! * a precomputed flat neighborhood topology ([`Topology`]): CSR
+//!   adjacency slices plus per-node bitset rows, the allocation-free
+//!   fast path the simulation engines' hot loops run on (the naive
+//!   [`Grid`] iterators remain as the property-test oracle).
 //!
 //! The crate is purely a *substrate*: it knows nothing about protocols or
 //! adversaries. Those live in `bftbcast-protocols` and
@@ -45,6 +49,7 @@ mod grid;
 mod message;
 mod region;
 mod schedule;
+mod topology;
 
 pub use budget::Budget;
 pub use error::NetError;
@@ -52,3 +57,4 @@ pub use grid::{Coord, Grid, NodeId};
 pub use message::{NodeKind, Value};
 pub use region::{Cross, Disc, Rect, Region, Stripe};
 pub use schedule::Schedule;
+pub use topology::Topology;

@@ -43,7 +43,7 @@ impl Schedule {
     /// seam).
     pub fn spatial_reuse(grid: &Grid) -> Result<Self, NetError> {
         let side = 2 * grid.range() + 1;
-        if grid.width() % side != 0 || grid.height() % side != 0 {
+        if !grid.width().is_multiple_of(side) || !grid.height().is_multiple_of(side) {
             return Err(NetError::ScheduleUnavailable {
                 width: grid.width(),
                 height: grid.height(),

@@ -1,0 +1,281 @@
+//! Precomputed flat neighborhood topology: the allocation-free fast
+//! path every engine hot loop runs on.
+//!
+//! [`Grid::neighbors`] re-derives torus coordinates with `rem_euclid`
+//! divisions for every yielded neighbor, and [`Grid::are_neighbors`] /
+//! [`Grid::common_neighbors`] cost a distance computation (or an
+//! O(deg²) filter with a fresh `Vec`) per call. Those costs are
+//! invisible at unit-test scale and dominant in the wave/slot engines,
+//! which visit every neighborhood every round. [`Topology`] pays the
+//! derivation once:
+//!
+//! * a **CSR flat array** of all neighborhoods — `offsets` +
+//!   `adjacency`, exploiting the fixed degree `(2r+1)² − 1` so every
+//!   row has the same width — giving [`Topology::neighbors_of`] as a
+//!   plain slice borrow, no iterator state, no divisions;
+//! * per-node **bitset rows** (`⌈n/64⌉` words each) giving O(1)
+//!   [`Topology::contains`] and word-AND neighborhood intersection
+//!   ([`Topology::common_neighbors_into`],
+//!   [`Topology::common_neighbor_count`]).
+//!
+//! The CSR block is `n · degree` ids, built eagerly. The bitset block
+//! is `n·⌈n/64⌉` words — quadratic in `n`, ~12 MB at `n = 10⁴` — and
+//! is built **lazily on first membership/intersection query**, so
+//! engines that only walk CSR rows (the per-receiver oracles, crash
+//! waves) scale to millions of nodes without paying it; beyond ~10⁵
+//! nodes, membership-heavy callers should fall back to the arithmetic
+//! [`Grid`] predicates.
+//!
+//! [`Grid`] keeps its naive methods unchanged: they are the property-
+//! test oracle `Topology` is verified against (see `tests/prop.rs`).
+
+use crate::grid::{Grid, NodeId};
+
+/// Precomputed CSR + bitset view of every neighborhood of a [`Grid`].
+///
+/// Immutable after construction; engines build one per run (or share
+/// one per sweep) and route all per-wave/per-slot neighborhood queries
+/// through it.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    grid: Grid,
+    /// Row width: `(2r+1)² − 1`, the same for every node.
+    degree: usize,
+    /// CSR row offsets into `adjacency`; `offsets[u] == u * degree`
+    /// (kept explicit so the layout reads as standard CSR and callers
+    /// can consume `offsets`/`adjacency` directly).
+    offsets: Vec<u32>,
+    /// All neighborhoods, row-concatenated: `adjacency[offsets[u] ..
+    /// offsets[u + 1]]` is `N(u)` in the same order `Grid::neighbors`
+    /// yields.
+    adjacency: Vec<NodeId>,
+    /// Words per bitset row: `⌈n/64⌉`.
+    words_per_row: usize,
+    /// Per-node membership rows: bit `v` of row `u` is set iff
+    /// `v ∈ N(u)`. Quadratic in `n`, so built on first use; CSR-only
+    /// consumers never allocate it (and `Clone` copies it only once
+    /// built).
+    bits: std::sync::OnceLock<Vec<u64>>,
+}
+
+impl Topology {
+    /// Precomputes the full neighborhood structure of `grid`.
+    pub fn new(grid: Grid) -> Self {
+        let n = grid.node_count();
+        let degree = grid.neighborhood_size();
+        let (w, h) = (grid.width() as usize, grid.height() as usize);
+        let r = grid.range() as usize;
+        let side = 2 * r + 1;
+
+        // Wrapped coordinate lookup tables: wrapped[i] = (i - r) mod len
+        // for i in 0..side, evaluated per row/column instead of per
+        // neighbor. len >= side by the Grid invariant, so one
+        // conditional wrap suffices in each direction.
+        let wrap_axis = |center: usize, len: usize| -> Vec<usize> {
+            (0..side)
+                .map(|i| {
+                    let raw = center + len + i - r; // >= 0
+                    let m = raw % len;
+                    debug_assert!(m < len);
+                    m
+                })
+                .collect()
+        };
+
+        let mut adjacency = Vec::with_capacity(n * degree);
+
+        // Column tables depend only on x; reuse across rows.
+        let col_tables: Vec<Vec<usize>> = (0..w).map(|x| wrap_axis(x, w)).collect();
+        for y in 0..h {
+            let rows = wrap_axis(y, h);
+            for cols in &col_tables {
+                for (dy, &ny) in rows.iter().enumerate() {
+                    let row_base = ny * w;
+                    for (dx, &nx) in cols.iter().enumerate() {
+                        if dy == r && dx == r {
+                            continue; // the node itself
+                        }
+                        adjacency.push(row_base + nx);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(adjacency.len(), n * degree);
+
+        let offsets = (0..=n)
+            .map(|u| u32::try_from(u * degree).expect("adjacency exceeds u32 offsets"))
+            .collect();
+
+        Topology {
+            grid,
+            degree,
+            offsets,
+            adjacency,
+            words_per_row: n.div_ceil(64),
+            bits: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The bitset rows, built from the CSR block on first use.
+    fn bitset(&self) -> &[u64] {
+        self.bits.get_or_init(|| {
+            let n = self.node_count();
+            let mut bits = vec![0u64; n * self.words_per_row];
+            for u in 0..n {
+                let base = u * self.words_per_row;
+                for &v in self.neighbors_of(u) {
+                    bits[base + v / 64] |= 1u64 << (v % 64);
+                }
+            }
+            bits
+        })
+    }
+
+    /// The underlying torus.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.grid.node_count()
+    }
+
+    /// The uniform neighborhood size `(2r+1)² − 1`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The CSR row offsets (length `n + 1`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The concatenated adjacency rows (length `n · degree`).
+    pub fn adjacency(&self) -> &[NodeId] {
+        &self.adjacency
+    }
+
+    /// The (open) neighborhood of `u` as a borrowed slice — the
+    /// allocation-free replacement for collecting [`Grid::neighbors`].
+    #[inline]
+    pub fn neighbors_of(&self, u: NodeId) -> &[NodeId] {
+        let start = self.offsets[u] as usize;
+        let end = self.offsets[u + 1] as usize;
+        &self.adjacency[start..end]
+    }
+
+    /// One bitset row.
+    #[inline]
+    fn row(&self, u: NodeId) -> &[u64] {
+        let base = u * self.words_per_row;
+        &self.bitset()[base..base + self.words_per_row]
+    }
+
+    /// Whether `v ∈ N(u)` — O(1) after the first membership query
+    /// builds the bitset; equivalent to [`Grid::are_neighbors`]
+    /// (symmetric, false for `u == v`).
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        debug_assert!(u < self.node_count() && v < self.node_count());
+        self.bitset()[u * self.words_per_row + v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Appends `N(a) ∩ N(b)` to `out` (ascending id order) without
+    /// allocating beyond `out`'s capacity — the fast path replacing
+    /// [`Grid::common_neighbors`]. The intersection never includes `a`
+    /// or `b` themselves, matching the naive method.
+    pub fn common_neighbors_into(&self, a: NodeId, b: NodeId, out: &mut Vec<NodeId>) {
+        let ra = self.row(a);
+        let rb = self.row(b);
+        for (w, (&wa, &wb)) in ra.iter().zip(rb).enumerate() {
+            let mut word = wa & wb;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /// `|N(a) ∩ N(b)|` by word-AND popcount — the receivers a collision
+    /// between transmitters `a` and `b` corrupts.
+    #[inline]
+    pub fn common_neighbor_count(&self, a: NodeId, b: NodeId) -> usize {
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .map(|(&wa, &wb)| (wa & wb).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(w: u32, h: u32, r: u32) -> Topology {
+        Topology::new(Grid::new(w, h, r).unwrap())
+    }
+
+    #[test]
+    fn neighbors_match_grid_exactly() {
+        for (w, h, r) in [(5, 5, 1), (9, 7, 2), (15, 15, 1), (12, 20, 2)] {
+            let t = topo(w, h, r);
+            for u in t.grid().nodes() {
+                let naive: Vec<NodeId> = t.grid().neighbors(u).collect();
+                assert_eq!(t.neighbors_of(u), naive.as_slice(), "node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_reflect_fixed_degree() {
+        let t = topo(10, 8, 2);
+        assert_eq!(t.degree(), 24);
+        assert_eq!(t.offsets().len(), t.node_count() + 1);
+        for u in 0..t.node_count() {
+            assert_eq!(t.offsets()[u] as usize, u * t.degree());
+            assert_eq!(t.neighbors_of(u).len(), t.degree());
+        }
+        assert_eq!(t.adjacency().len(), t.node_count() * t.degree());
+    }
+
+    #[test]
+    fn contains_matches_are_neighbors() {
+        let t = topo(9, 11, 2);
+        for u in t.grid().nodes() {
+            for v in t.grid().nodes() {
+                assert_eq!(
+                    t.contains(u, v),
+                    t.grid().are_neighbors(u, v),
+                    "pair ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_neighbors_match_naive() {
+        let t = topo(12, 12, 2);
+        let mut out = Vec::new();
+        for &(a, b) in &[(0, 1), (0, 30), (5, 144 - 1), (20, 20), (7, 100)] {
+            out.clear();
+            t.common_neighbors_into(a, b, &mut out);
+            let mut naive = t.grid().common_neighbors(a, b);
+            naive.sort_unstable();
+            assert_eq!(out, naive, "pair ({a}, {b})");
+            assert_eq!(t.common_neighbor_count(a, b), naive.len());
+        }
+    }
+
+    #[test]
+    fn self_intersection_is_whole_neighborhood() {
+        let t = topo(9, 9, 1);
+        let mut out = Vec::new();
+        t.common_neighbors_into(4, 4, &mut out);
+        let mut naive: Vec<NodeId> = t.grid().neighbors(4).collect();
+        naive.sort_unstable();
+        assert_eq!(out, naive);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests for the network substrate: metric axioms, neighborhood
 //! structure, schedule safety, region consistency.
 
-use bftbcast_net::{Cross, Disc, Grid, Rect, Region, Schedule, Stripe};
+use bftbcast_net::{Cross, Disc, Grid, Rect, Region, Schedule, Stripe, Topology};
 use proptest::prelude::*;
 
 fn arb_grid() -> impl Strategy<Value = Grid> {
@@ -63,6 +63,44 @@ proptest! {
         for &u in &common {
             prop_assert!(grid.are_neighbors(a, u) && grid.are_neighbors(b, u));
         }
+    }
+
+    /// The precomputed [`Topology`] agrees *exactly* with the naive
+    /// [`Grid`] methods it replaces in the engine hot loops — the
+    /// naive iterators stay authoritative as this oracle.
+    #[test]
+    fn topology_matches_grid_oracle(grid in arb_grid(), seed in any::<u64>()) {
+        let topo = Topology::new(grid.clone());
+        let n = grid.node_count();
+        prop_assert_eq!(topo.node_count(), n);
+        prop_assert_eq!(topo.degree(), grid.neighborhood_size());
+
+        // neighbors_of == Grid::neighbors, same order, for every node.
+        for u in grid.nodes() {
+            let naive: Vec<usize> = grid.neighbors(u).collect();
+            prop_assert_eq!(topo.neighbors_of(u), naive.as_slice(), "node {}", u);
+        }
+
+        // contains == are_neighbors on a random pair and all its
+        // neighbors (full n x n is covered by the per-node loop above
+        // plus symmetry of the construction).
+        let a = (seed % n as u64) as usize;
+        let b = ((seed / 13) % n as u64) as usize;
+        prop_assert_eq!(topo.contains(a, b), grid.are_neighbors(a, b));
+        prop_assert_eq!(topo.contains(b, a), grid.are_neighbors(b, a));
+        for v in grid.nodes() {
+            prop_assert_eq!(topo.contains(a, v), grid.are_neighbors(a, v), "pair ({}, {})", a, v);
+        }
+
+        // common_neighbors_into == common_neighbors as a set (the
+        // bitset walk yields ascending ids; the naive filter follows
+        // iteration order).
+        let mut fast = Vec::new();
+        topo.common_neighbors_into(a, b, &mut fast);
+        let mut naive = grid.common_neighbors(a, b);
+        naive.sort_unstable();
+        prop_assert_eq!(&fast, &naive, "pair ({}, {})", a, b);
+        prop_assert_eq!(topo.common_neighbor_count(a, b), naive.len());
     }
 
     /// The spatial-reuse schedule never lets same-slot transmitters share

@@ -377,7 +377,7 @@ mod tests {
         assert_eq!(cfg.echo_margin, 21);
         // ceil((4*10 + 1) / 7) = 6, and the corner survives the swing:
         assert_eq!(cfg.echo_quota, 6);
-        assert!(min_audible_good(2, 1) * cfg.echo_quota >= 4 * 10 + 1);
+        assert!(min_audible_good(2, 1) * cfg.echo_quota > 4 * 10);
         assert_eq!(equivocation_power(p), 20);
     }
 
@@ -415,7 +415,7 @@ mod tests {
         for r in 1..=8u32 {
             let t = proven_max_t(r);
             let overlap_good = (u64::from(r) + 1).pow(2) - 1 - t;
-            assert!(overlap_good >= t + 1, "r={r}");
+            assert!(overlap_good > t, "r={r}");
             let overlap_good_next = ((u64::from(r) + 1).pow(2) - 1).saturating_sub(t + 1);
             assert!(overlap_good_next < t + 2, "r={r}: not tight");
         }

@@ -269,11 +269,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let payload: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
         let data = Frame::data(&payload, c.subbit, &mut rng);
-        assert_eq!(
-            classify_frame(&data, &c),
-            ReceiverOutcome::Deliver(payload)
-        );
-        let masks = AttackMask::new(data.coded_bits()).inject_one(3).into_masks();
+        assert_eq!(classify_frame(&data, &c), ReceiverOutcome::Deliver(payload));
+        let masks = AttackMask::new(data.coded_bits())
+            .inject_one(3)
+            .into_masks();
         assert_eq!(
             classify_frame(&data.attacked(&masks), &c),
             ReceiverOutcome::SendNack

@@ -56,7 +56,10 @@ impl CountingProtocol {
     pub fn starved(grid: &Grid, params: Params, m: u64) -> Self {
         let n = grid.node_count();
         CountingProtocol {
-            name: format!("starved(m={m},r={},t={},mf={})", params.r, params.t, params.mf),
+            name: format!(
+                "starved(m={m},r={},t={},mf={})",
+                params.r, params.t, params.mf
+            ),
             source_copies: params.source_quota(),
             relay_copies: vec![m; n],
             budget: vec![m; n],

@@ -37,7 +37,7 @@
 //! assert!(out.agreement_holds());
 //! ```
 
-use bftbcast_net::{Grid, NodeId, Value};
+use bftbcast_net::{Grid, NodeId, Topology, Value};
 use bftbcast_protocols::agreement::{
     aggregate, confirm, propose, AgreementConfig, CONFLICT, DEFAULT_VALUE,
 };
@@ -181,7 +181,7 @@ impl AgreementOutcome {
 /// execution.
 #[derive(Debug, Clone)]
 pub struct AgreementSim {
-    grid: Grid,
+    topology: Topology,
     cfg: AgreementConfig,
     source: NodeId,
     members: Vec<NodeId>,
@@ -202,15 +202,16 @@ impl AgreementSim {
     /// Panics if a bad node is the source itself, outside `N(source)`,
     /// duplicated, or if the bad count exceeds the configured `t`.
     pub fn new(grid: Grid, cfg: AgreementConfig, source: NodeId, bad: &[NodeId]) -> Self {
-        let members: Vec<NodeId> = grid.neighbors(source).collect();
-        let mut is_bad = vec![false; grid.node_count()];
+        let topology = Topology::new(grid);
+        let members: Vec<NodeId> = topology.neighbors_of(source).to_vec();
+        let mut is_bad = vec![false; topology.node_count()];
         for &b in bad {
             assert!(
                 b != source,
                 "the source's faults are modeled by SourceBehavior"
             );
             assert!(
-                grid.are_neighbors(source, b),
+                topology.contains(source, b),
                 "colluder {b} is outside the source neighborhood"
             );
             assert!(!is_bad[b], "duplicate bad node {b}");
@@ -222,16 +223,16 @@ impl AgreementSim {
             bad.len(),
             cfg.params.t
         );
-        let mut capacity = vec![0u64; grid.node_count()];
+        let mut capacity = vec![0u64; topology.node_count()];
         for &b in bad {
-            for u in grid.neighbors(b) {
+            for &u in topology.neighbors_of(b) {
                 if !is_bad[u] {
                     capacity[u] += cfg.params.mf;
                 }
             }
         }
         AgreementSim {
-            grid,
+            topology,
             cfg,
             source,
             members,
@@ -257,9 +258,10 @@ impl AgreementSim {
 
     fn camp_a(&self, u: NodeId) -> bool {
         // Signed x-offset on the torus: west (or on-column) is camp A.
-        let w = i64::from(self.grid.width());
-        let sx = i64::from(self.grid.coord_of(self.source).x);
-        let ux = i64::from(self.grid.coord_of(u).x);
+        let grid = self.topology.grid();
+        let w = i64::from(grid.width());
+        let sx = i64::from(grid.coord_of(self.source).x);
+        let ux = i64::from(grid.coord_of(u).x);
         let mut dx = ux - sx;
         if dx > w / 2 {
             dx -= w;
@@ -307,8 +309,7 @@ impl AgreementSim {
             .map(|&u| {
                 let favored = attack.favored(self.camp_a(u));
                 let mut tallies = self.audible_tallies(u, &proposals, quota);
-                let budget =
-                    (self.capacity[u] as f64 * attack.echo_fraction).floor() as u64;
+                let budget = (self.capacity[u] as f64 * attack.echo_fraction).floor() as u64;
                 let spent = spend_inject_and_corrupt(&mut tallies, favored, budget);
                 self.capacity[u] -= spent;
                 (u, aggregate(&tallies, self.cfg.echo_margin))
@@ -419,7 +420,7 @@ impl AgreementSim {
             if v == DEFAULT_VALUE {
                 continue;
             }
-            if w == u || self.grid.are_neighbors(u, w) {
+            if w == u || self.topology.contains(u, w) {
                 bump(&mut tallies, v, quota);
             }
         }
@@ -430,11 +431,7 @@ impl AgreementSim {
 /// Spends up to `budget`: half injecting forged copies of `favored`,
 /// half converting rival copies (any value but `favored`, including the
 /// conflict token) into `favored`. Returns the capacity spent.
-fn spend_inject_and_corrupt(
-    tallies: &mut Vec<(Value, u64)>,
-    favored: Value,
-    budget: u64,
-) -> u64 {
+fn spend_inject_and_corrupt(tallies: &mut Vec<(Value, u64)>, favored: Value, budget: u64) -> u64 {
     let inject = budget / 2;
     bump(tallies, favored, inject);
     inject + corrupt_towards(tallies, favored, budget - inject)
@@ -520,8 +517,7 @@ mod tests {
     #[test]
     fn correct_source_survives_full_collusion() {
         for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 10), (3, 2, 50)] {
-            let colluders: Vec<(i64, i64)> =
-                (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
+            let colluders: Vec<(i64, i64)> = (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
             let base = setup(r, t, mf, &colluders);
             for attack in attack_grid() {
                 let mut sim = base.clone();
@@ -552,8 +548,7 @@ mod tests {
         // even split plus full collusion produces defaults and/or one
         // agreed value — never two camps deciding different values.
         for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 20), (3, 2, 50)] {
-            let colluders: Vec<(i64, i64)> =
-                (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
+            let colluders: Vec<(i64, i64)> = (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
             let base = setup(r, t, mf, &colluders);
             let cfg = base.cfg;
             for attack in attack_grid() {
@@ -572,8 +567,7 @@ mod tests {
     #[test]
     fn proven_mode_validity_under_full_collusion() {
         for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 2, 10)] {
-            let colluders: Vec<(i64, i64)> =
-                (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
+            let colluders: Vec<(i64, i64)> = (0..t).map(|i| (i64::from(i) - 1, 1)).collect();
             let base = setup(r, t, mf, &colluders);
             for attack in attack_grid() {
                 let mut sim = base.clone();
@@ -633,7 +627,11 @@ mod tests {
             let mut sim = base.clone();
             let behavior = SourceBehavior::even_split(&cfg, Value(2), Value(3));
             let out = sim.run(behavior, attack);
-            assert!(out.agreement_holds(), "{attack:?}: {:?}", out.decided_values());
+            assert!(
+                out.agreement_holds(),
+                "{attack:?}: {:?}",
+                out.decided_values()
+            );
         }
     }
 

@@ -48,16 +48,20 @@
 //! finding quantified in EXPERIMENTS.md (EXP-T1/EXP-F2).
 
 use bftbcast_adversary::{AttackPlan, CorruptionStrategy, WaveView};
-use bftbcast_net::{Budget, Grid, NodeId, Value};
+use bftbcast_net::{Budget, Grid, NodeId, Topology, Value};
 use bftbcast_protocols::CountingProtocol;
 
 use crate::metrics::CountingOutcome;
 
 /// The counting engine. Construct with [`CountingSim::new`], run with
 /// [`CountingSim::run`], then inspect per-node state.
+///
+/// All per-wave neighborhood queries route through a precomputed
+/// [`Topology`] (CSR slices + bitset intersection); the naive [`Grid`]
+/// iterator never runs inside the wave loop.
 #[derive(Debug, Clone)]
 pub struct CountingSim {
-    grid: Grid,
+    topology: Topology,
     protocol: CountingProtocol,
     source: NodeId,
     is_good: Vec<bool>,
@@ -117,7 +121,7 @@ impl CountingSim {
         let mut accepted_wave = vec![None; n];
         accepted_wave[source] = Some(0);
         CountingSim {
-            grid,
+            topology: Topology::new(grid),
             protocol,
             source,
             is_good,
@@ -136,21 +140,33 @@ impl CountingSim {
     }
 
     /// Runs the engine to fixpoint against the given strategy.
+    ///
+    /// The wave loop is allocation-free at steady state: wave vectors
+    /// are double-buffered, the strategy view's per-node slices are
+    /// reused buffers, and deliveries walk [`Topology`] CSR slices with
+    /// bitset-intersection corruption.
     pub fn run<S: CorruptionStrategy>(&mut self, strategy: &mut S) -> CountingOutcome {
+        let n = self.topology.node_count();
         let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        let mut remaining = vec![0u64; n];
+        let mut accepted_true = vec![false; n];
+        // Per-wave dense sender state, validity stamped by wave number
+        // so no per-wave clearing is needed.
+        let mut sent = WaveStamped::new(n);
+        let mut collided = WaveStamped::new(n);
+        let mut common: Vec<NodeId> = Vec::with_capacity(self.topology.degree());
         self.source_copies_sent += self.protocol.source_copies;
 
         while !wave.is_empty() {
             self.waves += 1;
             let plan = {
-                let remaining: Vec<u64> = self.budgets.iter().map(Budget::remaining).collect();
-                let accepted_true: Vec<bool> = self
-                    .accepted
-                    .iter()
-                    .map(|a| *a == Some(Value::TRUE))
-                    .collect();
+                for u in 0..n {
+                    remaining[u] = self.budgets[u].remaining();
+                    accepted_true[u] = self.accepted[u] == Some(Value::TRUE);
+                }
                 let view = WaveView {
-                    grid: &self.grid,
+                    topology: &self.topology,
                     transmissions: &wave,
                     accepted_true: &accepted_true,
                     tallies_true: &self.tally_true,
@@ -162,9 +178,11 @@ impl CountingSim {
                 };
                 strategy.plan(&view)
             };
-            self.validate_and_spend(&wave, &plan);
-            self.apply_wave(&wave, &plan);
-            wave = self.collect_acceptances();
+            self.validate_and_spend(&wave, &plan, &mut sent, &mut collided);
+            self.apply_wave(&wave, &plan, &mut common);
+            next.clear();
+            self.collect_acceptances_into(&mut next);
+            std::mem::swap(&mut wave, &mut next);
         }
 
         self.outcome()
@@ -179,12 +197,12 @@ impl CountingSim {
     /// close the gap (hopeless fights are skipped, exactly like the
     /// narrative of Figure 2: the four "gray" nodes are let through).
     pub fn run_oracle(&mut self, mf: u64) -> CountingOutcome {
-        let n = self.grid.node_count();
+        let n = self.topology.node_count();
         // Remaining per-receiver capacity: sum over bad b in N(u) of the
-        // per-pair budget. Initialized lazily.
+        // per-pair budget.
         let mut capacity = vec![0u64; n];
-        for &b in &self.bad_nodes.clone() {
-            for u in self.grid.neighbors(b) {
+        for &b in &self.bad_nodes {
+            for &u in self.topology.neighbors_of(b) {
                 if self.is_good[u] {
                     capacity[u] += mf;
                 }
@@ -192,14 +210,16 @@ impl CountingSim {
         }
 
         let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
 
         while !wave.is_empty() {
             self.waves += 1;
             // Incoming correct copies this wave.
-            let mut incoming = vec![0u64; n];
+            incoming.fill(0);
             for &(s, copies) in &wave {
-                for u in self.grid.neighbors(s) {
+                for &u in self.topology.neighbors_of(s) {
                     if self.is_good[u] && self.accepted[u].is_none() {
                         incoming[u] += copies;
                     }
@@ -222,7 +242,9 @@ impl CountingSim {
                 self.tally_true[u] += incoming[u] - corrupt;
                 self.tally_wrong[u] += corrupt;
             }
-            wave = self.collect_acceptances();
+            next.clear();
+            self.collect_acceptances_into(&mut next);
+            std::mem::swap(&mut wave, &mut next);
         }
 
         self.outcome()
@@ -243,10 +265,10 @@ impl CountingSim {
     /// `t·mf + 1` and reserve majority voting for the
     /// `2·t·mf + 1`-copy source step (§3.1).
     pub fn run_majority_oracle(&mut self, mf: u64, quorum: u64) -> CountingOutcome {
-        let n = self.grid.node_count();
+        let n = self.topology.node_count();
         let mut capacity = vec![0u64; n];
-        for &b in &self.bad_nodes.clone() {
-            for u in self.grid.neighbors(b) {
+        for &b in &self.bad_nodes {
+            for &u in self.topology.neighbors_of(b) {
                 if self.is_good[u] {
                     capacity[u] += mf;
                 }
@@ -254,13 +276,14 @@ impl CountingSim {
         }
 
         let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
 
         while !wave.is_empty() {
             self.waves += 1;
-            let mut incoming = vec![0u64; n];
+            incoming.fill(0);
             for &(s, copies) in &wave {
-                for u in self.grid.neighbors(s) {
+                for &u in self.topology.neighbors_of(s) {
                     if self.is_good[u] && self.accepted[u].is_none() {
                         incoming[u] += copies;
                     }
@@ -334,22 +357,30 @@ impl CountingSim {
     /// collisions (`L∞(attacker, sender) > 2r`), over-collided senders,
     /// or budget overdrafts. Strategies are untrusted; violations are
     /// bugs worth crashing on.
-    fn validate_and_spend(&mut self, wave: &[(NodeId, u64)], plan: &AttackPlan) {
-        let mut collided_per_sender: std::collections::HashMap<NodeId, u64> = Default::default();
-        let sent: std::collections::HashMap<NodeId, u64> = wave.iter().copied().collect();
+    fn validate_and_spend(
+        &mut self,
+        wave: &[(NodeId, u64)],
+        plan: &AttackPlan,
+        sent: &mut WaveStamped,
+        collided: &mut WaveStamped,
+    ) {
+        let grid = self.topology.grid();
+        for &(s, copies) in wave {
+            sent.set(s, copies, self.waves);
+        }
         for c in &plan.collisions {
             assert!(!self.is_good[c.attacker], "good node in attack plan");
-            let copies_sent = *sent
-                .get(&c.sender)
+            let copies_sent = sent
+                .get(c.sender, self.waves)
                 .expect("collision against a non-transmitting sender");
             assert!(
-                self.grid.linf_distance(c.attacker, c.sender) <= 2 * self.grid.range(),
+                grid.linf_distance(c.attacker, c.sender) <= 2 * grid.range(),
                 "collision out of radio range"
             );
-            let entry = collided_per_sender.entry(c.sender).or_insert(0);
-            *entry += c.copies;
+            let total = collided.get(c.sender, self.waves).unwrap_or(0) + c.copies;
+            collided.set(c.sender, total, self.waves);
             assert!(
-                *entry <= copies_sent,
+                total <= copies_sent,
                 "more copies collided than sender {} transmitted",
                 c.sender
             );
@@ -368,32 +399,35 @@ impl CountingSim {
     }
 
     /// Delivers one wave of transmissions under the validated plan.
-    fn apply_wave(&mut self, wave: &[(NodeId, u64)], plan: &AttackPlan) {
+    ///
+    /// Deliveries first credit every undecided receiver in `N(sender)`
+    /// with the full transmission, then each collision moves its copies
+    /// from correct to corrupted at exactly `N(attacker) ∩ N(sender)` —
+    /// computed by bitset word-AND instead of an `are_neighbors` filter
+    /// per (receiver, attack) pair.
+    fn apply_wave(&mut self, wave: &[(NodeId, u64)], plan: &AttackPlan, common: &mut Vec<NodeId>) {
         for &(sender, copies) in wave {
-            // Collisions targeting this sender.
-            let attacks: Vec<(NodeId, u64)> = plan
-                .collisions
-                .iter()
-                .filter(|c| c.sender == sender)
-                .map(|c| (c.attacker, c.copies))
-                .collect();
-            for u in self.grid.neighbors(sender) {
-                if !self.is_good[u] || self.accepted[u].is_some() {
-                    continue;
+            for &u in self.topology.neighbors_of(sender) {
+                if self.is_good[u] && self.accepted[u].is_none() {
+                    self.tally_true[u] += copies;
                 }
-                // Copies corrupted at u: collisions whose attacker covers u.
-                let corrupted: u64 = attacks
-                    .iter()
-                    .filter(|&&(b, _)| self.grid.are_neighbors(b, u))
-                    .map(|&(_, c)| c)
-                    .sum();
-                debug_assert!(corrupted <= copies);
-                self.tally_true[u] += copies - corrupted;
-                self.tally_wrong[u] += corrupted;
+            }
+        }
+        for c in &plan.collisions {
+            common.clear();
+            self.topology
+                .common_neighbors_into(c.attacker, c.sender, common);
+            for &u in common.iter() {
+                if self.is_good[u] && self.accepted[u].is_none() {
+                    // Validation bounds the collided total per sender by
+                    // its transmitted copies, so this never underflows.
+                    self.tally_true[u] -= c.copies;
+                    self.tally_wrong[u] += c.copies;
+                }
             }
         }
         for f in &plan.forgeries {
-            for u in self.grid.neighbors(f.attacker) {
+            for &u in self.topology.neighbors_of(f.attacker) {
                 if self.is_good[u] && self.accepted[u].is_none() {
                     self.tally_wrong[u] += f.copies;
                 }
@@ -401,10 +435,10 @@ impl CountingSim {
         }
     }
 
-    /// Applies the acceptance rule and schedules the next wave.
-    fn collect_acceptances(&mut self) -> Vec<(NodeId, u64)> {
-        let mut next = Vec::new();
-        for u in 0..self.grid.node_count() {
+    /// Applies the acceptance rule and schedules the next wave into
+    /// `next` (cleared by the caller; double-buffered across waves).
+    fn collect_acceptances_into(&mut self, next: &mut Vec<(NodeId, u64)>) {
+        for u in 0..self.topology.node_count() {
             if !self.is_good[u] || self.accepted[u].is_some() {
                 continue;
             }
@@ -428,7 +462,6 @@ impl CountingSim {
                 next.push((u, quota));
             }
         }
-        next
     }
 
     // ------------------------------------------------------------------
@@ -437,7 +470,12 @@ impl CountingSim {
 
     /// The torus.
     pub fn grid(&self) -> &Grid {
-        &self.grid
+        self.topology.grid()
+    }
+
+    /// The precomputed neighborhood topology the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The value accepted by `u`, if any.
@@ -454,7 +492,7 @@ impl CountingSim {
     /// profile of the run (index = wave).
     pub fn propagation_profile(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.waves + 1];
-        for u in 0..self.grid.node_count() {
+        for u in 0..self.topology.node_count() {
             if let Some(w) = self.accepted_wave[u] {
                 if self.is_good[u] {
                     counts[w] += 1;
@@ -483,18 +521,20 @@ impl CountingSim {
 
     /// Number of `u`'s neighbors (good or bad) that accepted `Vtrue`.
     pub fn decided_neighbors(&self, u: NodeId) -> usize {
-        self.grid
-            .neighbors(u)
-            .filter(|&v| self.accepted[v] == Some(Value::TRUE))
+        self.topology
+            .neighbors_of(u)
+            .iter()
+            .filter(|&&v| self.accepted[v] == Some(Value::TRUE))
             .count()
     }
 
     /// Number of `u`'s *good* neighbors that accepted `Vtrue` (the
     /// senders that can feed it correct copies).
     pub fn decided_good_neighbors(&self, u: NodeId) -> usize {
-        self.grid
-            .neighbors(u)
-            .filter(|&v| self.is_good[v] && self.accepted[v] == Some(Value::TRUE))
+        self.topology
+            .neighbors_of(u)
+            .iter()
+            .filter(|&&v| self.is_good[v] && self.accepted[v] == Some(Value::TRUE))
             .count()
     }
 
@@ -506,6 +546,34 @@ impl CountingSim {
     /// Whether node `u` is honest.
     pub fn is_good(&self, u: NodeId) -> bool {
         self.is_good[u]
+    }
+}
+
+/// A dense per-node `u64` map whose entries are valid only for one wave
+/// (identified by a stamp), so per-wave sender state never needs an
+/// O(n) clear or a hash map: stale entries are simply ignored.
+#[derive(Debug, Clone)]
+struct WaveStamped {
+    value: Vec<u64>,
+    stamp: Vec<usize>,
+}
+
+impl WaveStamped {
+    fn new(n: usize) -> Self {
+        WaveStamped {
+            value: vec![0; n],
+            // Wave numbers start at 1, so 0 marks "never written".
+            stamp: vec![0; n],
+        }
+    }
+
+    fn set(&mut self, u: NodeId, v: u64, wave: usize) {
+        self.value[u] = v;
+        self.stamp[u] = wave;
+    }
+
+    fn get(&self, u: NodeId, wave: usize) -> Option<u64> {
+        (self.stamp[u] == wave).then(|| self.value[u])
     }
 }
 
@@ -595,7 +663,11 @@ mod tests {
         let proto = CountingProtocol::starved(&grid, p, p.m0());
         let mut sim = CountingSim::new(grid.clone(), proto, 0, &bad, p.mf);
         let out = sim.run_oracle(p.mf);
-        assert!(out.is_complete(), "m = m0 defeats the stripe: {}", out.coverage());
+        assert!(
+            out.is_complete(),
+            "m = m0 defeats the stripe: {}",
+            out.coverage()
+        );
     }
 
     #[test]
@@ -621,7 +693,10 @@ mod tests {
         let lean = CountingProtocol::starved(&grid, p, tmf1);
         let mut sim = CountingSim::new(grid, lean, 0, &bad, p.mf);
         let out = sim.run_majority_oracle(p.mf, tmf1);
-        assert!(!out.is_correct(), "majority at low quorum must be forgeable");
+        assert!(
+            !out.is_correct(),
+            "majority at low quorum must be forgeable"
+        );
     }
 
     #[test]
@@ -633,7 +708,10 @@ mod tests {
             let mut sim = CountingSim::new(grid.clone(), proto.clone(), 0, &bad, p.mf);
             let out = sim.run(&mut Chaos::new(seed));
             assert!(out.is_correct(), "seed {seed}: wrong accept");
-            assert!(out.is_complete(), "seed {seed}: chaos is weaker than greedy");
+            assert!(
+                out.is_complete(),
+                "seed {seed}: chaos is weaker than greedy"
+            );
         }
     }
 

@@ -45,7 +45,7 @@
 //! assert!(out.is_reliable());
 //! ```
 
-use bftbcast_net::{Grid, NodeId, Value};
+use bftbcast_net::{Grid, NodeId, Topology, Value};
 use bftbcast_protocols::CountingProtocol;
 
 use crate::metrics::CountingOutcome;
@@ -113,7 +113,7 @@ pub fn crash_threshold(r: u32) -> u64 {
 /// receiver below threshold.
 #[derive(Debug, Clone)]
 pub struct HybridSim {
-    grid: Grid,
+    topology: Topology,
     protocol: CountingProtocol,
     source: NodeId,
     /// `None` = good; `Some(behavior)` = crash-faulty.
@@ -151,7 +151,7 @@ impl HybridSim {
         let mut accepted_wave = vec![None; n];
         accepted_wave[source] = Some(0);
         HybridSim {
-            grid,
+            topology: Topology::new(grid),
             protocol,
             source,
             crash: vec![None; n],
@@ -196,7 +196,7 @@ impl HybridSim {
     }
 
     fn assert_fresh(&self, u: NodeId) {
-        assert!(u < self.grid.node_count(), "node {u} out of range");
+        assert!(u < self.topology.node_count(), "node {u} out of range");
         assert!(u != self.source, "the base station is assumed correct");
         assert!(
             self.crash[u].is_none() && !self.byzantine[u],
@@ -217,12 +217,12 @@ impl HybridSim {
     /// Runs to fixpoint. `mf` is the per-(Byzantine node, receiver)
     /// corruption capacity; pass 0 for a collision-free run.
     pub fn run(&mut self, mf: u64) -> CountingOutcome {
-        let n = self.grid.node_count();
+        let n = self.topology.node_count();
         let mut capacity = vec![0u64; n];
         if mf > 0 {
             for b in 0..n {
                 if self.byzantine[b] {
-                    for u in self.grid.neighbors(b) {
+                    for &u in self.topology.neighbors_of(b) {
                         if self.is_honest_receiver(u) {
                             capacity[u] += mf;
                         }
@@ -232,13 +232,15 @@ impl HybridSim {
         }
 
         let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
 
         while !wave.is_empty() {
             self.waves += 1;
-            let mut incoming = vec![0u64; n];
+            incoming.fill(0);
             for &(s, copies) in &wave {
-                for u in self.grid.neighbors(s) {
+                for &u in self.topology.neighbors_of(s) {
                     if self.is_honest_receiver(u) && self.accepted[u].is_none() {
                         incoming[u] += copies;
                     }
@@ -260,15 +262,16 @@ impl HybridSim {
                 self.tally_true[u] += incoming[u] - corrupt;
                 self.tally_wrong[u] += corrupt;
             }
-            wave = self.collect_acceptances();
+            next.clear();
+            self.collect_acceptances_into(&mut next);
+            std::mem::swap(&mut wave, &mut next);
         }
 
         self.outcome()
     }
 
-    fn collect_acceptances(&mut self) -> Vec<(NodeId, u64)> {
-        let mut next = Vec::new();
-        for u in 0..self.grid.node_count() {
+    fn collect_acceptances_into(&mut self, next: &mut Vec<(NodeId, u64)>) {
+        for u in 0..self.topology.node_count() {
             if !self.is_honest_receiver(u) || self.accepted[u].is_some() {
                 continue;
             }
@@ -296,11 +299,10 @@ impl HybridSim {
                 }
             }
         }
-        next
     }
 
     fn outcome(&self) -> CountingOutcome {
-        let good: Vec<NodeId> = (0..self.grid.node_count())
+        let good: Vec<NodeId> = (0..self.topology.node_count())
             .filter(|&u| self.is_good(u))
             .collect();
         CountingOutcome {
@@ -319,7 +321,7 @@ impl HybridSim {
 
     /// The torus.
     pub fn grid(&self) -> &Grid {
-        &self.grid
+        self.topology.grid()
     }
 
     /// The value accepted by `u`, if any.

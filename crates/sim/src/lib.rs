@@ -15,7 +15,7 @@
 //!   also used to cross-validate the counting engine on small
 //!   configurations.
 //!
-//! [`runner`] adds seeded parameter sweeps parallelized with crossbeam
+//! [`runner`] adds seeded parameter sweeps parallelized with std scoped threads
 //! scoped threads, and [`metrics`] the outcome records both engines
 //! produce.
 //!

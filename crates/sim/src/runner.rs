@@ -2,45 +2,45 @@
 //!
 //! The experiments regenerate the paper's figures by sweeping `(r, t,
 //! mf, m, seed, strategy)` grids; [`sweep`] fans the points out over
-//! crossbeam scoped threads (runs are independent and deterministic per
+//! std scoped threads (runs are independent and deterministic per
 //! point), and [`Table`] renders the paper-style rows the bench binaries
 //! print.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f` over every point, in parallel, preserving input order.
 ///
 /// `f` must be deterministic per point (all engine randomness is seeded
 /// from the point itself), so parallelism never changes results.
+///
+/// Each worker owns a disjoint `&mut` chunk of the result vector, so
+/// results are written lock-free; input order is preserved because
+/// chunk boundaries are positional.
 pub fn sweep<P, R, F>(points: &[P], f: F) -> Vec<R>
 where
     P: Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    if points.is_empty() {
+        return Vec::new();
+    }
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(4)
-        .min(points.len().max(1));
-    let next = AtomicUsize::new(0);
+        .min(points.len());
+    let chunk = points.len().div_ceil(threads);
     let mut results: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (inputs, outputs) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (p, slot) in inputs.iter().zip(outputs.iter_mut()) {
+                    *slot = Some(f(p));
                 }
-                let r = f(&points[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
-    drop(slots);
+    });
     results
         .into_iter()
         .map(|r| r.expect("every point computed"))
@@ -116,7 +116,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

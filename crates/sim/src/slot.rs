@@ -23,7 +23,7 @@
 
 use bftbcast_coding::frame::{AttackMask, Frame, FrameKind};
 use bftbcast_coding::{channel, segment};
-use bftbcast_net::{Budget, Grid, NodeId, Schedule, Value};
+use bftbcast_net::{Budget, Grid, NodeId, Schedule, Topology, Value};
 use bftbcast_protocols::cpa::CpaState;
 use bftbcast_protocols::reactive::{ReactiveConfig, ReactiveSender, SenderAction};
 use rand::rngs::StdRng;
@@ -99,7 +99,7 @@ struct GoodNode {
 /// The slot-level engine. Build with [`SlotSim::new`], run with
 /// [`SlotSim::run`].
 pub struct SlotSim {
-    grid: Grid,
+    topology: Topology,
     schedule: Schedule,
     config: SlotConfig,
     source: NodeId,
@@ -185,7 +185,7 @@ impl SlotSim {
                     }
                 })
                 .collect(),
-            grid,
+            topology: Topology::new(grid),
             schedule,
             config,
             source,
@@ -209,9 +209,8 @@ impl SlotSim {
         let mut quiet_rounds = 0u64;
         // Once nobody transmits for a full schedule cycle plus the NACK
         // quiet window, no state can change again.
-        let quiescence = u64::from(self.schedule.period())
-            + u64::from(self.config.reactive.quiet_window)
-            + 1;
+        let quiescence =
+            u64::from(self.schedule.period()) + u64::from(self.config.reactive.quiet_window) + 1;
         while self.rounds < self.config.max_rounds {
             let slot = (self.rounds % u64::from(self.schedule.period())) as u32;
             let transmissions_before = self.data_transmissions + self.nack_transmissions;
@@ -235,14 +234,14 @@ impl SlotSim {
     fn finished(&self) -> bool {
         self.nodes.iter().flatten().all(|g| {
             g.committed_value.is_some()
-                && g.sender.as_ref().as_ref().map_or(true, |s| s.is_done())
+                && g.sender.as_ref().as_ref().is_none_or(|s| s.is_done())
                 && !g.pending_nack
         })
     }
 
     fn step(&mut self, slot: u32) {
         let mut txs: Vec<Tx> = Vec::new();
-        let mut busy: Vec<bool> = vec![false; self.grid.node_count()];
+        let mut busy: Vec<bool> = vec![false; self.topology.node_count()];
 
         // --- Good transmitters of this slot class.
         for id in self.schedule.nodes_in_slot(slot).collect::<Vec<_>>() {
@@ -307,7 +306,7 @@ impl SlotSim {
         self.deliver(&txs);
 
         // --- Advance sender state machines.
-        for id in 0..self.grid.node_count() {
+        for id in 0..self.topology.node_count() {
             let Some(node) = self.nodes[id].as_mut() else {
                 continue;
             };
@@ -349,8 +348,7 @@ impl SlotSim {
                         &mut self.rng,
                     )
                 } else {
-                    let payload =
-                        value_to_payload(Value::FORGED, self.config.reactive.k);
+                    let payload = value_to_payload(Value::FORGED, self.config.reactive.k);
                     Frame::data(&payload, self.config.reactive.subbit, &mut self.rng)
                 };
                 txs.push(Tx {
@@ -362,10 +360,13 @@ impl SlotSim {
             }
             ReactiveAdversary::Jammer | ReactiveAdversary::Canceller => {
                 // Find an in-range good data transmission to collide with.
+                let grid = self.topology.grid();
                 let target = txs.iter_mut().find(|tx| {
                     self.is_good[tx.sender]
-                        && self.grid.linf_distance(tx.sender, b) <= 2 * self.grid.range()
-                        && tx.frame.decode_and_verify(self.config.reactive.subbit)
+                        && grid.linf_distance(tx.sender, b) <= 2 * grid.range()
+                        && tx
+                            .frame
+                            .decode_and_verify(self.config.reactive.subbit)
                             .is_ok_and(|d| d.kind == FrameKind::Data)
                 });
                 let Some(tx) = target else {
@@ -379,11 +380,7 @@ impl SlotSim {
                         .inject_one(bit)
                         .into_masks()
                 } else {
-                    Self::cancellation_mask(
-                        &tx.frame,
-                        self.config.reactive,
-                        &mut self.rng,
-                    )
+                    Self::cancellation_mask(&tx.frame, self.config.reactive, &mut self.rng)
                 };
                 tx.attacks.push((b, mask));
                 true
@@ -437,14 +434,18 @@ impl SlotSim {
             } else {
                 None
             };
-            for u in self.grid.neighbors(tx.sender).collect::<Vec<_>>() {
+            // Index-based walk over the CSR row: the slice borrow is
+            // re-taken per iteration so `self` stays free for the
+            // mutations below (no per-transmission Vec of receivers).
+            for i in 0..self.topology.degree() {
+                let u = self.topology.neighbors_of(tx.sender)[i];
                 if !self.is_good[u] {
                     continue;
                 }
                 let masks: Vec<Vec<u64>> = tx
                     .attacks
                     .iter()
-                    .filter(|(b, _)| self.grid.are_neighbors(*b, u))
+                    .filter(|(b, _)| self.topology.contains(*b, u))
                     .map(|(_, m)| m.clone())
                     .collect();
                 let heard = channel::superpose(&tx.frame, &masks);
@@ -564,12 +565,7 @@ mod tests {
 
     #[test]
     fn passive_run_commits_everyone() {
-        let mut sim = SlotSim::new(
-            grid(),
-            0,
-            &[],
-            config(ReactiveAdversary::Passive, 0, 1),
-        );
+        let mut sim = SlotSim::new(grid(), 0, &[], config(ReactiveAdversary::Passive, 0, 1));
         let out = sim.run();
         assert!(out.is_reliable(), "uncommitted: {:?}", out.uncommitted);
         assert_eq!(out.nack_transmissions, 0);
@@ -637,8 +633,10 @@ mod tests {
             );
             let out = sim.run();
             total_undetected += out.undetected_corruptions;
-            assert!(out.committed_true + out.committed_wrong >= out.good_nodes - 2,
-                "near-complete coverage expected");
+            assert!(
+                out.committed_true + out.committed_wrong >= out.good_nodes - 2,
+                "near-complete coverage expected"
+            );
         }
         // L = 2*8 + 0 + 16 = 32 sub-bits; a cancellation needs several
         // simultaneous 2^-32 guesses. Zero successes expected.

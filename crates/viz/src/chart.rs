@@ -31,7 +31,11 @@ pub struct LineChart {
 
 impl LineChart {
     /// An empty chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         LineChart {
             title: title.into(),
             x_label: x_label.into(),
@@ -111,7 +115,12 @@ impl LineChart {
         // Axes.
         doc.line(ml, mt, ml, mt + ph, "#333333", 1.0);
         doc.line(ml, mt + ph, ml + pw, mt + ph, "#333333", 1.0);
-        doc.text(ml + pw / 2.0 - 20.0, self.height - 10.0, 11.0, &self.x_label);
+        doc.text(
+            ml + pw / 2.0 - 20.0,
+            self.height - 10.0,
+            11.0,
+            &self.x_label,
+        );
         doc.text(4.0, mt - 8.0, 11.0, &self.y_label);
         // Ticks: 5 per axis.
         for i in 0..=4 {

@@ -70,7 +70,8 @@ impl CellStyle {
             wave as f64 / max_wave as f64
         };
         // #1f77b4 (blue) -> #2ca02c (green).
-        let lerp = |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * t) as u8 };
+        let lerp =
+            |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * t) as u8 };
         CellStyle {
             fill: format!(
                 "#{:02x}{:02x}{:02x}",

@@ -48,18 +48,12 @@ fn main() {
     let cross = Cross::spanning(scenario.grid(), 0, 0, 2 * p.r);
     type Run<'a> = Box<dyn Fn(Adversary) -> CountingOutcome + 'a>;
     let runs: Vec<(&str, Run)> = vec![
-        (
-            "B (m=2m0)",
-            Box::new(|a| scenario.run_protocol_b(a)),
-        ),
+        ("B (m=2m0)", Box::new(|a| scenario.run_protocol_b(a))),
         (
             "Bheter (cross)",
             Box::new(|a| scenario.run_heterogeneous(&cross, a)),
         ),
-        (
-            "Koo baseline",
-            Box::new(|a| scenario.run_koo_baseline(a)),
-        ),
+        ("Koo baseline", Box::new(|a| scenario.run_koo_baseline(a))),
         (
             "starved (m0-1)",
             Box::new(|a| scenario.run_starved(p.m0() - 1, a)),
@@ -92,5 +86,8 @@ fn main() {
             assert!(run(adv).is_correct(), "correctness violated!");
         }
     }
-    println!("verified across {} runs.", runs.len() * adversaries.len() * 2);
+    println!(
+        "verified across {} runs.",
+        runs.len() * adversaries.len() * 2
+    );
 }

@@ -38,8 +38,8 @@ fn main() {
     dead.sort_unstable();
     dead.dedup();
     let proto = crash_only_protocol(&grid);
-    let mut sim = HybridSim::new(grid.clone(), proto, 0)
-        .with_crash_nodes(&dead, CrashBehavior::Immediate);
+    let mut sim =
+        HybridSim::new(grid.clone(), proto, 0).with_crash_nodes(&dead, CrashBehavior::Immediate);
     let out = sim.run(0);
     println!(
         "{} crashed nodes, coverage {:.1}%, total good copies sent: {}",
@@ -54,8 +54,8 @@ fn main() {
     barrier.sort_unstable();
     barrier.dedup();
     let proto = crash_only_protocol(&grid);
-    let mut sim = HybridSim::new(grid.clone(), proto, 0)
-        .with_crash_nodes(&barrier, CrashBehavior::Immediate);
+    let mut sim =
+        HybridSim::new(grid.clone(), proto, 0).with_crash_nodes(&barrier, CrashBehavior::Immediate);
     let out = sim.run(0);
     println!(
         "two height-{r} stripes ({} nodes): coverage {:.1}% — the isolated band is starved, \
@@ -88,7 +88,5 @@ fn main() {
         100.0 * out.coverage(),
         out.is_correct()
     );
-    println!(
-        "(the Byzantine part sets the threshold; the crash part only thins the relay supply)"
-    );
+    println!("(the Byzantine part sets the threshold; the crash part only thins the relay supply)");
 }

@@ -1,12 +1,18 @@
 // Probe: chart cheap-mode agreement over the sweep.
 use bftbcast::net::Grid;
+use bftbcast::net::Value;
 use bftbcast::protocols::agreement::AgreementConfig;
 use bftbcast::protocols::Params;
 use bftbcast::sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
-use bftbcast::net::Value;
 
 fn main() {
-    for &(r, t, mf) in &[(1u32, 1u32, 5u64), (2, 1, 10), (2, 1, 20), (2, 2, 20), (3, 2, 50)] {
+    for &(r, t, mf) in &[
+        (1u32, 1u32, 5u64),
+        (2, 1, 10),
+        (2, 1, 20),
+        (2, 2, 20),
+        (3, 2, 50),
+    ] {
         let side = 6 * r + 3;
         let grid = Grid::new(side, side, r).unwrap();
         let c = side / 2;
@@ -37,7 +43,8 @@ fn main() {
                 }
                 // proven mode must never split
                 let mut sim2 = base.clone();
-                let out2 = sim2.run_proven(SourceBehavior::even_split(&cfg, Value(2), Value(3)), attack);
+                let out2 =
+                    sim2.run_proven(SourceBehavior::even_split(&cfg, Value(2), Value(3)), attack);
                 assert!(out2.agreement_holds(), "PROVEN SPLIT r={r} t={t} mf={mf}");
             }
         }

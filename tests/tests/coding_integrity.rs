@@ -39,7 +39,10 @@ fn frames_reject_the_chain_attack() {
         mask = mask.inject_one(start + len - 1);
         start += len;
     }
-    assert!(frame.attacked(&mask.into_masks()).decode_and_verify(params).is_err());
+    assert!(frame
+        .attacked(&mask.into_masks())
+        .decode_and_verify(params)
+        .is_err());
 }
 
 /// Frames always round-trip cleanly for every payload pattern.
@@ -68,9 +71,14 @@ fn no_single_injection_corrupts_a_frame() {
     let payload: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
     let frame = Frame::data(&payload, params, &mut rng);
     for bit in 0..frame.coded_bits() {
-        let masks = AttackMask::new(frame.coded_bits()).inject_one(bit).into_masks();
+        let masks = AttackMask::new(frame.coded_bits())
+            .inject_one(bit)
+            .into_masks();
         if let Ok(d) = frame.attacked(&masks).decode_and_verify(params) {
-            assert_eq!(d.payload, payload, "undetected corruption at coded bit {bit}");
+            assert_eq!(
+                d.payload, payload,
+                "undetected corruption at coded bit {bit}"
+            );
         }
     }
 }

@@ -11,10 +11,7 @@ use bftbcast::prelude::*;
 
 #[test]
 fn both_engines_reach_everyone_without_attacks() {
-    let s = Scenario::builder(15, 15, 1)
-        .faults(1, 5)
-        .build()
-        .unwrap();
+    let s = Scenario::builder(15, 15, 1).faults(1, 5).build().unwrap();
     let counting = s.run_protocol_b(Adversary::Passive);
     let slot = s.run_reactive(8, 1 << 12, ReactiveAdversary::Passive, 1);
     assert!(counting.is_reliable());

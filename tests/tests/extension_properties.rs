@@ -203,6 +203,10 @@ fn crash_engine_matches_reachability_with_barrier() {
         if dead.contains(&u) {
             continue;
         }
-        assert_eq!(sim.accepted(u) == Some(Value::TRUE), reachable[u], "node {u}");
+        assert_eq!(
+            sim.accepted(u) == Some(Value::TRUE),
+            reachable[u],
+            "node {u}"
+        );
     }
 }

@@ -147,12 +147,18 @@ fn bernoulli_corruption_below_critical_rate_is_survivable() {
         let proto = CountingProtocol::protocol_b(&grid, params);
         let mut sim = bftbcast::sim::CountingSim::new(grid.clone(), proto, 0, &bad, params.mf);
         let out = sim.run_oracle(params.mf);
-        assert!(out.is_correct(), "seed {seed}: correctness must never break");
+        assert!(
+            out.is_correct(),
+            "seed {seed}: correctness must never break"
+        );
         if out.is_reliable() {
             reliable += 1;
         }
     }
-    assert!(reliable >= 36, "at p* expect ~99% reliability, got {reliable}/40");
+    assert!(
+        reliable >= 36,
+        "at p* expect ~99% reliability, got {reliable}/40"
+    );
 }
 
 /// An overloaded neighborhood (local bound broken) can defeat the
