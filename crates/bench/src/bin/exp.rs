@@ -12,36 +12,10 @@
 //! result table (title, headers, rows) — the machine-readable record
 //! the perf trajectory tracks across commits.
 
+use bftbcast::json::{escape as json_escape, string_array as json_string_array};
 use bftbcast_bench::Table;
 use bftbcast_bench::{run_experiment, ALL_EXPERIMENTS};
 use std::fmt::Write as _;
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_string_array(items: &[String]) -> String {
-    let cells: Vec<String> = items
-        .iter()
-        .map(|s| format!("\"{}\"", json_escape(s)))
-        .collect();
-    format!("[{}]", cells.join(","))
-}
 
 /// Serializes one experiment report as a JSON document.
 fn report_json(id: &str, wall: std::time::Duration, tables: &[Table]) -> String {

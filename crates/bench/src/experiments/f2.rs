@@ -8,6 +8,10 @@
 //! `(5, 1)` has 33 decided neighbors, receives `33·59 = 1947` copies of
 //! which 947 are corrupted, leaving `1000 < 1001` — exactly the paper's
 //! numbers.
+//!
+//! Declarative port: `scenarios/f2.scn` (same construction, same
+//! goldens, via `bftbcast run --scenario`; round-trip-tested in
+//! `tests/tests/scenario_files.rs`).
 
 use bftbcast::prelude::*;
 

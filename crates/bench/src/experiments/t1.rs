@@ -6,6 +6,9 @@
 //! budgets the greedy adversary is weaker (budget sharing across
 //! victims), which the second table quantifies: the reproduction finding
 //! of EXPERIMENTS.md.
+//!
+//! Declarative port: `scenarios/t1.scn` sweeps `m` across the
+//! threshold at the `(r, t, mf) = (1, 1, 10)` point.
 
 use bftbcast::prelude::*;
 

@@ -65,6 +65,11 @@ COMMANDS:
               --m M --placement lattice|stripes|random|bernoulli|none
               --p RATE --count N --seed SEED --adversary oracle|greedy|chaos|passive]
              run one broadcast and report the outcome
+  run        --scenario FILE [--format jsonl|table]
+             run a declarative scenario file (*.scn): expand its sweep
+             axes, fan the points over worker threads, and stream one
+             JSON line (or table row) per point; see docs/ARCHITECTURE.md
+             for the grammar and EXPERIMENTS.md for the output schema
   map        run options plus [--svg FILE]: render the acceptance map
              (ASCII to stdout, or an SVG heat map to FILE)
   exp        [ids...]: regenerate paper experiments (default: all);
@@ -255,6 +260,9 @@ fn run_outcome(
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
+    if let Some(path) = args.get("scenario") {
+        return cmd_run_scenario(path, args);
+    }
     let (s, _, out) = run_outcome(args)?;
     let p = s.params();
     let mut text = String::new();
@@ -275,6 +283,21 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(text, "good copies sent: {}", out.good_copies_sent);
     let _ = writeln!(text, "adversary spent : {}", out.adversary_spent);
     Ok(text)
+}
+
+/// `run --scenario FILE`: the declarative batch path.
+fn cmd_run_scenario(path: &str, args: &Args) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    let file = ScenarioFile::parse(&text)?;
+    let report = run_file(&file)?;
+    match args.get("format").unwrap_or("jsonl") {
+        "jsonl" => Ok(report.jsonl()),
+        "table" => Ok(report.table().to_string()),
+        other => Err(CliError::Other(format!(
+            "unknown format {other:?} (jsonl|table)"
+        ))),
+    }
 }
 
 fn cmd_map(args: &Args) -> Result<String, CliError> {
@@ -538,6 +561,61 @@ mod tests {
     #[test]
     fn exp_rejects_unknown_ids() {
         assert!(run(&["exp", "nope"]).is_err());
+    }
+
+    /// The acceptance gate: `bftbcast run --scenario scenarios/f2.scn`
+    /// reproduces the paper's Figure 2 goldens bit-identically.
+    #[test]
+    fn run_scenario_f2_reproduces_goldens() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/f2.scn");
+        let out = run(&["run", "--scenario", path]).unwrap();
+        assert_eq!(out.lines().count(), 1, "one sweep point, one JSON line");
+        for needle in [
+            "\"scenario\":\"f2\"",
+            "\"intake\":2065",
+            "\"intake\":1947",
+            "\"tally_wrong\":947",
+            "\"accepted_true\":84",
+            "\"complete\":false",
+        ] {
+            assert!(out.contains(needle), "{needle} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_scenario_table_format_and_sweep() {
+        let path = std::env::temp_dir().join("bftbcast_cli_test_sweep.scn");
+        std::fs::write(
+            &path,
+            concat!(
+                "name = \"mini\"\n",
+                "[topology]\nside = 15\nr = 1\n",
+                "[faults]\nt = 1\nmf = 4\n",
+                "[placement]\nkind = \"lattice\"\n",
+                "[protocol]\nkind = \"starved\"\nm = 4\n",
+                "[sweep]\nm = [2, 8]\n",
+            ),
+        )
+        .unwrap();
+        let path_str = path.to_str().unwrap();
+        let table = run(&["run", "--scenario", path_str, "--format", "table"]).unwrap();
+        assert!(table.contains("scenario mini"), "{table}");
+        assert!(table.contains("m  coverage"), "{table}");
+        let jsonl = run(&["run", "--scenario", path_str]).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"m\":2"), "{jsonl}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_scenario_surfaces_parse_and_io_errors() {
+        let missing = run(&["run", "--scenario", "/nonexistent/nope.scn"]);
+        assert!(missing.is_err());
+        let path = std::env::temp_dir().join("bftbcast_cli_test_bad.scn");
+        std::fs::write(&path, "[topology]\nside = 15\nr = 1\nwarp = 9\n").unwrap();
+        let err = run(&["run", "--scenario", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

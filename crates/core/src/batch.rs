@@ -1,0 +1,567 @@
+//! The batch runner: expands a [`ScenarioFile`]'s sweep into points,
+//! fans them across worker threads, and reports one result row per
+//! point — as JSON lines (the machine-readable interface, schema
+//! documented in `EXPERIMENTS.md`) or a [`Table`].
+//!
+//! Every point is deterministic given the file (all randomness is
+//! seeded from the point itself), so the parallel fan-out through
+//! [`bftbcast_sim::runner::sweep`] never changes results.
+//!
+//! ```
+//! use bftbcast::batch::run_file;
+//! use bftbcast::scenario_file::ScenarioFile;
+//!
+//! let file = ScenarioFile::parse(concat!(
+//!     "name = \"demo\"\n",
+//!     "[topology]\nside = 15\nr = 1\n",
+//!     "[faults]\nt = 1\nmf = 4\n",
+//!     "[placement]\nkind = \"lattice\"\n",
+//!     "[protocol]\nkind = \"starved\"\nm = 4\n",
+//!     "[sweep]\nm = [2, 4, 8]\n",
+//! ))
+//! .unwrap();
+//! let report = run_file(&file).unwrap();
+//! assert_eq!(report.results.len(), 3);
+//! // m = 2 < m0 stalls; m = 8 = 2*m0 is Theorem 2's regime.
+//! assert!(!report.results[0].outcome.success());
+//! assert!(report.results[2].outcome.success());
+//! assert_eq!(report.jsonl().lines().count(), 3);
+//! ```
+
+use bftbcast_net::{Cross, NodeId, Value};
+use bftbcast_protocols::reactive::ReactiveConfig;
+use bftbcast_protocols::CountingProtocol;
+use bftbcast_sim::crash::{crash_only_protocol, crash_stripe, HybridSim};
+use bftbcast_sim::engine::{
+    AgreementEngine, CountingDrive, CountingEngine, CrashEngine, EngineOutcome, Probe, SimEngine,
+    SlotEngine,
+};
+use bftbcast_sim::runner::{sweep, Table};
+use bftbcast_sim::slot::SlotConfig;
+
+use crate::json::{self, Object};
+use crate::scenario::ScenarioError;
+use crate::scenario_file::{
+    AdversarySpec, CrashNodesSpec, EngineKind, PointSpec, ProtocolSpec, ScenarioFile, SourceSpec,
+};
+
+/// One probe cell's tallies after a point's run.
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// Probed cell.
+    pub x: u32,
+    /// Probed cell.
+    pub y: u32,
+    /// The cell's node id.
+    pub node: NodeId,
+    /// Its tallies.
+    pub probe: Probe,
+}
+
+/// One sweep point's result.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// `(axis, rendered value)` identifying the point.
+    pub point: Vec<(String, String)>,
+    /// The engine outcome.
+    pub outcome: EngineOutcome,
+    /// Probe tallies (counting/crash engines; empty elsewhere).
+    pub probes: Vec<ProbeResult>,
+}
+
+/// All results of one scenario file.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The scenario's name.
+    pub name: String,
+    /// The engine that ran.
+    pub engine: EngineKind,
+    /// One result per sweep point, in sweep order.
+    pub results: Vec<PointResult>,
+}
+
+/// Builds the right engine for one point of a scenario file.
+///
+/// # Errors
+///
+/// Any [`ScenarioError`] from scenario construction (invalid grid,
+/// local-bound violation, probe cell off the torus, …).
+pub fn build_engine(
+    engine: EngineKind,
+    point: &PointSpec,
+) -> Result<Box<dyn SimEngine>, ScenarioError> {
+    let scenario = point.build_scenario()?;
+    let grid = scenario.grid();
+    let params = scenario.params();
+    let protocol = |spec: ProtocolSpec| -> CountingProtocol {
+        match spec {
+            ProtocolSpec::B => CountingProtocol::protocol_b(grid, params),
+            ProtocolSpec::Koo => CountingProtocol::koo_baseline(grid, params),
+            ProtocolSpec::Heter => {
+                let cross = Cross::paper_scale(0, 0, params.r);
+                CountingProtocol::heterogeneous(grid, params, &cross)
+            }
+            ProtocolSpec::Starved { m } => CountingProtocol::starved(grid, params, m),
+            // Mirrors Scenario::run_majority: send quota = quorum.
+            ProtocolSpec::Majority { quorum } => CountingProtocol::starved(grid, params, quorum),
+            ProtocolSpec::CrashOnly => crash_only_protocol(grid),
+        }
+    };
+    Ok(match engine {
+        EngineKind::Counting => {
+            let drive = match (point.adversary, point.protocol) {
+                (AdversarySpec::Oracle, ProtocolSpec::Majority { quorum }) => {
+                    CountingDrive::Majority { quorum }
+                }
+                (AdversarySpec::Oracle, _) => CountingDrive::Oracle,
+                (AdversarySpec::Greedy, _) => CountingDrive::Greedy,
+                (AdversarySpec::Chaos, _) => CountingDrive::Chaos(point.seed),
+                (AdversarySpec::Passive, _) => CountingDrive::Passive,
+            };
+            let sim = scenario.counting_sim(protocol(point.protocol));
+            Box::new(CountingEngine::new(sim, params.mf, drive))
+        }
+        EngineKind::Crash => {
+            let spec = point.crash.as_ref().expect("validated at parse time");
+            let mut dead: Vec<NodeId> = match &spec.nodes {
+                CrashNodesSpec::Stripe { y0, height } => crash_stripe(grid, *y0, *height),
+                CrashNodesSpec::Explicit(cells) => {
+                    cells.iter().map(|&(x, y)| grid.id_at(x, y)).collect()
+                }
+            };
+            // Crash nodes must not overlap the source or the Byzantine
+            // set; the declarative layer filters rather than panics.
+            dead.retain(|u| *u != scenario.source() && !scenario.bad_nodes().contains(u));
+            let sim = HybridSim::new(grid.clone(), protocol(point.protocol), scenario.source())
+                .with_byzantine_nodes(scenario.bad_nodes())
+                .with_crash_nodes(&dead, spec.behavior);
+            Box::new(CrashEngine::new(sim, params.mf))
+        }
+        EngineKind::Slot => {
+            let config = SlotConfig {
+                reactive: ReactiveConfig::paper(
+                    grid.node_count(),
+                    grid.range(),
+                    params.t,
+                    point.reactive.mmax,
+                    point.reactive.k,
+                ),
+                t: params.t,
+                mf: params.mf,
+                good_budget: point.reactive.budget,
+                adversary: point.reactive.adversary,
+                max_rounds: point.reactive.max_rounds,
+                seed: point.seed,
+            };
+            Box::new(SlotEngine::new(
+                grid.clone(),
+                scenario.source(),
+                scenario.bad_nodes(),
+                config,
+            ))
+        }
+        EngineKind::Agreement => {
+            use bftbcast_sim::agreement::{SourceBehavior, SplitAttack};
+            use bftbcast_sim::engine::AgreementMode;
+            // Parse-time validation covers this; re-checked here so a
+            // hand-built PointSpec errors instead of asserting on a
+            // sweep() worker thread.
+            if point.agreement.mode == AgreementMode::Proven {
+                use bftbcast_protocols::agreement::proven_max_t;
+                if u64::from(params.t) > proven_max_t(params.r) {
+                    return Err(ScenarioError::Invalid {
+                        what: "agreement.mode".to_string(),
+                        message: format!(
+                            "proven mode requires t <= {} at r = {}",
+                            proven_max_t(params.r),
+                            params.r
+                        ),
+                    });
+                }
+            }
+            let sim = scenario.agreement_sim();
+            let behavior = match point.agreement.source {
+                SourceSpec::Correct => SourceBehavior::Correct,
+                SourceSpec::Split => SourceBehavior::even_split(sim.config(), Value(2), Value(3)),
+                SourceSpec::Silent => SourceBehavior::Silent,
+            };
+            let attack = SplitAttack {
+                value_a: Value(2),
+                value_b: Value(3),
+                phase1_fraction: point.agreement.p1,
+                echo_fraction: point.agreement.pe,
+            };
+            Box::new(AgreementEngine::new(
+                sim,
+                behavior,
+                attack,
+                point.agreement.mode,
+            ))
+        }
+    })
+}
+
+/// Runs one point: build the engine, run to fixpoint, read the probes.
+///
+/// # Errors
+///
+/// Any [`ScenarioError`] from engine construction.
+pub fn run_point(file: &ScenarioFile, point: &PointSpec) -> Result<PointResult, ScenarioError> {
+    let mut engine = build_engine(file.engine, point)?;
+    // Probe cells are validated at parse time; re-check before the
+    // (possibly expensive) run as a backstop against hand-built files.
+    for &(x, y) in &file.probes {
+        let grid = engine.topology().grid();
+        if x >= grid.width() || y >= grid.height() {
+            return Err(ScenarioError::Invalid {
+                what: "probes.nodes".to_string(),
+                message: format!(
+                    "probe ({x}, {y}) is off the {}x{} torus",
+                    grid.width(),
+                    grid.height()
+                ),
+            });
+        }
+    }
+    let outcome = engine.run_to_completion();
+    let mut probes = Vec::with_capacity(file.probes.len());
+    for &(x, y) in &file.probes {
+        let node = engine.topology().grid().id_at(x, y);
+        if let Some(probe) = engine.probe(node) {
+            probes.push(ProbeResult { x, y, node, probe });
+        }
+    }
+    Ok(PointResult {
+        point: point.label.clone(),
+        outcome,
+        probes,
+    })
+}
+
+/// Runs every point of a scenario file, fanned out over worker threads
+/// (deterministic per point, so parallelism never changes results).
+///
+/// # Errors
+///
+/// The first [`ScenarioError`] any point produced, in sweep order.
+pub fn run_file(file: &ScenarioFile) -> Result<BatchReport, ScenarioError> {
+    let points = file.points();
+    let results = sweep(&points, |p| run_point(file, p));
+    let mut ok = Vec::with_capacity(results.len());
+    for r in results {
+        ok.push(r?);
+    }
+    Ok(BatchReport {
+        name: file.name.clone(),
+        engine: file.engine,
+        results: ok,
+    })
+}
+
+fn value_json(v: Option<Value>) -> String {
+    match v {
+        None => "null".to_string(),
+        Some(Value::TRUE) => json::string("true"),
+        Some(Value::FORGED) => json::string("forged"),
+        Some(Value(other)) => other.to_string(),
+    }
+}
+
+fn outcome_object(outcome: &EngineOutcome) -> Object {
+    match outcome {
+        EngineOutcome::Counting(o) => Object::new()
+            .str("kind", "counting")
+            .u64("good_nodes", o.good_nodes as u64)
+            .u64("accepted_true", o.accepted_true as u64)
+            .u64("wrong_accepts", o.wrong_accepts as u64)
+            .u64("waves", o.waves as u64)
+            .u64("good_copies_sent", o.good_copies_sent)
+            .u64("source_copies_sent", o.source_copies_sent)
+            .u64("adversary_spent", o.adversary_spent)
+            .f64("coverage", o.coverage())
+            .bool("complete", o.is_complete())
+            .bool("correct", o.is_correct())
+            .bool("reliable", o.is_reliable()),
+        EngineOutcome::Reactive(o) => Object::new()
+            .str("kind", "reactive")
+            .u64("good_nodes", o.good_nodes as u64)
+            .u64("committed_true", o.committed_true as u64)
+            .u64("committed_wrong", o.committed_wrong as u64)
+            .u64("rounds", o.rounds)
+            .u64("data_transmissions", o.data_transmissions)
+            .u64("nack_transmissions", o.nack_transmissions)
+            .u64("max_node_messages", o.max_node_messages)
+            .u64("subbits_per_message", o.subbits_per_message)
+            .u64("adversary_spent", o.adversary_spent)
+            .u64("detections", o.detections)
+            .u64("undetected_corruptions", o.undetected_corruptions)
+            .u64("uncommitted", o.uncommitted.len() as u64)
+            .f64("coverage", o.coverage())
+            .bool("reliable", o.is_reliable()),
+        EngineOutcome::Agreement(o) => {
+            let decided: Vec<String> = o.decided_values().iter().map(|v| v.0.to_string()).collect();
+            Object::new()
+                .str("kind", "agreement")
+                .u64("members", o.decisions.len() as u64)
+                .bool("validity", o.validity_holds())
+                .bool("agreement", o.agreement_holds())
+                .u64("defaults", o.default_count() as u64)
+                .u64("conflicted", o.conflicted_count() as u64)
+                .raw("decided_values", format!("[{}]", decided.join(",")))
+        }
+    }
+}
+
+impl BatchReport {
+    /// Renders the report as JSON lines: one self-describing object per
+    /// point (schema documented in `EXPERIMENTS.md`).
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for result in &self.results {
+            let mut point = Object::new();
+            for (axis, value) in &result.point {
+                point = point.raw(axis, value.clone());
+            }
+            let probes: Vec<String> = result
+                .probes
+                .iter()
+                .map(|p| {
+                    Object::new()
+                        .u64("x", u64::from(p.x))
+                        .u64("y", u64::from(p.y))
+                        .u64("node", p.node as u64)
+                        .u64("tally_true", p.probe.tally_true)
+                        .u64("tally_wrong", p.probe.tally_wrong)
+                        .u64("intake", p.probe.intake())
+                        .u64("decided_neighbors", p.probe.decided_neighbors as u64)
+                        .raw("accepted", value_json(p.probe.accepted))
+                        .render()
+                })
+                .collect();
+            let line = Object::new()
+                .str("scenario", &self.name)
+                .str("engine", self.engine.name())
+                .raw("point", point.render())
+                .raw("outcome", outcome_object(&result.outcome).render())
+                .raw("probes", format!("[{}]", probes.join(",")))
+                .render();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as a [`Table`] — the same row shape the bench
+    /// harness prints and serializes into `BENCH_*.json`.
+    pub fn table(&self) -> Table {
+        let axes: Vec<String> = self
+            .results
+            .first()
+            .map(|r| r.point.iter().map(|(a, _)| a.clone()).collect())
+            .unwrap_or_default();
+        let outcome_headers: &[&str] = match self.engine {
+            EngineKind::Counting | EngineKind::Crash => {
+                &["coverage", "complete", "correct", "waves"]
+            }
+            EngineKind::Slot => &["coverage", "reliable", "rounds", "max_node_messages"],
+            EngineKind::Agreement => &["members", "validity", "agreement", "defaults"],
+        };
+        let headers: Vec<&str> = axes
+            .iter()
+            .map(String::as_str)
+            .chain(outcome_headers.iter().copied())
+            .collect();
+        let mut table = Table::new(
+            format!("scenario {} ({} engine)", self.name, self.engine.name()),
+            &headers,
+        );
+        for result in &self.results {
+            let mut row: Vec<String> = result.point.iter().map(|(_, v)| v.clone()).collect();
+            match &result.outcome {
+                EngineOutcome::Counting(o) => {
+                    row.push(format!("{:.3}", o.coverage()));
+                    row.push(o.is_complete().to_string());
+                    row.push(o.is_correct().to_string());
+                    row.push(o.waves.to_string());
+                }
+                EngineOutcome::Reactive(o) => {
+                    row.push(format!("{:.3}", o.coverage()));
+                    row.push(o.is_reliable().to_string());
+                    row.push(o.rounds.to_string());
+                    row.push(o.max_node_messages.to_string());
+                }
+                EngineOutcome::Agreement(o) => {
+                    row.push(o.decisions.len().to_string());
+                    row.push(o.validity_holds().to_string());
+                    row.push(o.agreement_holds().to_string());
+                    row.push(o.default_count().to_string());
+                }
+            }
+            table.row(&row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_scenario_reproduces_the_paper_goldens() {
+        // The same construction as scenarios/f2.scn (kept inline so the
+        // core crate's tests need no file-system layout assumptions;
+        // the repo-level round-trip test reads the actual file).
+        let file = ScenarioFile::parse(concat!(
+            "name = \"f2\"\n",
+            "[topology]\nwidth = 45\nheight = 45\nr = 4\n",
+            "[faults]\nt = 1\nmf = 1000\n",
+            "[placement]\nkind = \"lattice\"\noffset = 41\n",
+            "[protocol]\nkind = \"starved\"\nm = 59\n",
+            "[adversary]\nkind = \"oracle\"\n",
+            "[probes]\nnodes = [[0, 5], [5, 1]]\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        assert_eq!(report.results.len(), 1);
+        let result = &report.results[0];
+        let o = result.outcome.as_counting().unwrap();
+        assert_eq!(o.accepted_true, 84, "stall at 84 decided nodes");
+        assert!(!o.is_complete());
+        let gray = &result.probes[0];
+        assert_eq!(gray.probe.intake(), 2065, "gray-node intake");
+        let p = &result.probes[1];
+        assert_eq!(p.probe.intake(), 1947, "copies delivered to p");
+        assert_eq!(p.probe.tally_wrong, 947, "copies corrupted at p");
+        assert_eq!(p.probe.accepted, None, "p stays undecided");
+
+        let jsonl = report.jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        for needle in [
+            "\"intake\":2065",
+            "\"intake\":1947",
+            "\"tally_wrong\":947",
+            "\"accepted_true\":84",
+        ] {
+            assert!(jsonl.contains(needle), "{needle} missing from {jsonl}");
+        }
+    }
+
+    #[test]
+    fn sweep_rows_arrive_in_order_with_labels() {
+        let file = ScenarioFile::parse(concat!(
+            "name = \"t1-mini\"\n",
+            "[topology]\nside = 15\nr = 1\n",
+            "[faults]\nt = 1\nmf = 10\n",
+            "[placement]\nkind = \"stripes\"\nstripes = [[5, 1, true], [11, 1, false]]\n",
+            "[protocol]\nkind = \"starved\"\nm = 1\n",
+            "[sweep]\nm = [10, 11, 22]\n",
+        ))
+        .unwrap();
+        // m0 = ceil(21/2) = 11: starved below, complete at and above.
+        let report = run_file(&file).unwrap();
+        let complete: Vec<bool> = report
+            .results
+            .iter()
+            .map(|r| r.outcome.as_counting().unwrap().is_complete())
+            .collect();
+        assert_eq!(complete, vec![false, true, true]);
+        assert_eq!(report.results[0].point, vec![("m".into(), "10".into())]);
+        let table = report.table();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.headers()[0], "m");
+    }
+
+    #[test]
+    fn crash_engine_runs_from_a_file() {
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"crash\"\n",
+            "[topology]\nside = 20\nr = 2\n",
+            "[faults]\nt = 1\nmf = 10\n",
+            "[placement]\nkind = \"lattice\"\n",
+            "[crash]\nkind = \"stripe\"\ny0 = 9\nheight = 1\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        let o = report.results[0].outcome.as_counting().unwrap();
+        assert!(o.is_correct());
+        assert!(o.is_complete(), "height-1 stripe cannot block r = 2");
+    }
+
+    #[test]
+    fn slot_engine_runs_from_a_file() {
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"slot\"\nseed = 42\n",
+            "[topology]\nside = 15\nr = 1\n",
+            "[faults]\nt = 1\nmf = 4\n",
+            "[placement]\nkind = \"random\"\ncount = 8\n",
+            "[reactive]\nk = 8\nadversary = \"jammer\"\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        let o = report.results[0].outcome.as_reactive().unwrap();
+        assert!(o.is_reliable(), "uncommitted: {:?}", o.uncommitted);
+    }
+
+    #[test]
+    fn agreement_engine_sweeps_fractions_from_a_file() {
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"agreement\"\n",
+            "[topology]\nside = 15\nr = 2\n",
+            "[faults]\nt = 1\nmf = 10\n",
+            "[source]\nx = 7\ny = 7\n",
+            "[placement]\nkind = \"explicit\"\nnodes = [[6, 8]]\n",
+            "[agreement]\nmode = \"proven\"\nsource = \"split\"\n",
+            "[sweep]\np1 = [0.0, 0.5, 1.0]\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        assert_eq!(report.results.len(), 3);
+        for r in &report.results {
+            let o = r.outcome.as_agreement().unwrap();
+            assert!(o.agreement_holds(), "proven mode never splits");
+        }
+    }
+
+    #[test]
+    fn local_bound_violation_surfaces_from_run_file() {
+        let file = ScenarioFile::parse(concat!(
+            "[topology]\nside = 15\nr = 1\n",
+            "[placement]\nkind = \"explicit\"\nnodes = [[1, 1], [2, 1], [3, 1]]\n",
+        ))
+        .unwrap();
+        let err = run_file(&file).unwrap_err();
+        assert!(matches!(err, ScenarioError::LocalBoundViolated { .. }));
+    }
+
+    #[test]
+    fn probe_off_the_torus_is_rejected_at_parse_time() {
+        let err = ScenarioFile::parse(concat!(
+            "[topology]\nside = 15\nr = 1\n",
+            "[probes]\nnodes = [[99, 0]]\n",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn proven_mode_t_bound_is_a_graceful_error_for_hand_built_points() {
+        // Parse rejects this file; a hand-mutated PointSpec must error
+        // (not assert) when the engine is built.
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"agreement\"\n",
+            "[topology]\nside = 9\nr = 1\n",
+            "[faults]\nt = 1\nmf = 5\n",
+            "[source]\nx = 4\ny = 4\n",
+            "[agreement]\nmode = \"proven\"\n",
+        ))
+        .unwrap();
+        let mut point = file.points().remove(0);
+        point.t = 2;
+        let err = match build_engine(file.engine, &point) {
+            Err(e) => e,
+            Ok(_) => panic!("hand-built point must be rejected"),
+        };
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal JSON writing helpers (no dependencies), shared by the batch
+//! runner's JSON-lines stream and the bench harness's `BENCH_*.json`
+//! reports.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document (quotes,
+/// backslashes, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a `["a","b",...]` array of strings.
+pub fn string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| string(s)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Renders a float as a JSON number (finite values only; non-finite
+/// become `null`, which JSON has no float spelling for).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` object writer preserving insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Adds a pre-rendered JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = string(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a float field.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let rendered = number(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object on one line.
+    pub fn render(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", string(k)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_renders_in_insertion_order() {
+        let o = Object::new()
+            .str("name", "f2")
+            .u64("m", 59)
+            .f64("coverage", 0.5)
+            .bool("ok", true)
+            .raw("probes", "[]");
+        assert_eq!(
+            o.render(),
+            "{\"name\":\"f2\",\"m\":59,\"coverage\":0.5,\"ok\":true,\"probes\":[]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(1.25), "1.25");
+    }
+
+    #[test]
+    fn string_array_quotes_and_joins() {
+        assert_eq!(
+            string_array(&["a".into(), "b\"c".into()]),
+            "[\"a\",\"b\\\"c\"]"
+        );
+    }
+}

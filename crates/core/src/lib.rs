@@ -43,9 +43,30 @@
 //! | [`geometry`] | exact committed-line/frontier verification (Lemmas 5–11) |
 //! | [`adversary`] | bad-node placements and corruption strategies |
 //! | [`protocols`] | bounds (`m0`, Corollary 1, Theorem 4) and protocol specs |
-//! | [`sim`] | counting engine, slot engine, crash/hybrid engine, agreement engine, sweep runner |
+//! | [`sim`] | counting engine, slot engine, crash/hybrid engine, agreement engine, `SimEngine` trait, sweep runner |
 //! | [`viz`] | SVG torus maps and sweep charts |
 //! | [`scenario`] | this crate's high-level builder API |
+//! | [`scn`] / [`scenario_file`] / [`batch`] | declarative `*.scn` scenario files and the batch runner |
+//!
+//! # Declarative scenarios
+//!
+//! The same run can be described in a `*.scn` file (see
+//! `docs/ARCHITECTURE.md` for the grammar) and executed — optionally
+//! over a sweep grid — without writing Rust:
+//!
+//! ```
+//! use bftbcast::batch::run_file;
+//! use bftbcast::scenario_file::ScenarioFile;
+//!
+//! let file = ScenarioFile::parse(concat!(
+//!     "[topology]\nside = 15\nr = 1\n",
+//!     "[faults]\nt = 1\nmf = 50\n",
+//!     "[placement]\nkind = \"lattice\"\n",
+//! ))
+//! .unwrap();
+//! let report = run_file(&file).unwrap();
+//! assert!(report.results[0].outcome.success());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,7 +79,13 @@ pub use bftbcast_protocols as protocols;
 pub use bftbcast_sim as sim;
 pub use bftbcast_viz as viz;
 
+pub mod batch;
+pub mod json;
 pub mod prelude;
 pub mod scenario;
+pub mod scenario_file;
+pub mod scn;
 
+pub use batch::{run_file, BatchReport, PointResult};
 pub use scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
+pub use scenario_file::{EngineKind, PointSpec, ScenarioFile};

@@ -6,7 +6,9 @@
 //! assert_eq!(p.m0(), 58);
 //! ```
 
+pub use crate::batch::{run_file, BatchReport, PointResult, ProbeResult};
 pub use crate::scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
+pub use crate::scenario_file::{EngineKind, PointSpec, ScenarioFile};
 pub use bftbcast_adversary::probabilistic::{
     critical_p, local_bound_holds_probability, BernoulliPlacement,
 };
@@ -20,6 +22,7 @@ pub use bftbcast_sim::agreement::{AgreementSim, SourceBehavior, SplitAttack};
 pub use bftbcast_sim::crash::{
     crash_only_protocol, crash_stripe, crash_threshold, CrashBehavior, HybridSim,
 };
+pub use bftbcast_sim::engine::{EngineOutcome, Probe, SimEngine};
 pub use bftbcast_sim::metrics::{CountingOutcome, ReactiveOutcome};
 pub use bftbcast_sim::runner::{sweep, Table};
 pub use bftbcast_sim::slot::ReactiveAdversary;

@@ -1,5 +1,44 @@
 //! The high-level builder API: describe a network + fault assumption
 //! once, then run any of the paper's protocols against any adversary.
+//!
+//! A [`Scenario`] is the validated triple *(torus, fault parameters,
+//! bad-node placement)*. The builder checks the model's side conditions
+//! — a well-formed grid, the local bound `t` — at [`ScenarioBuilder::build`]
+//! time, so every run method on the resulting scenario starts from a
+//! legal configuration. The `run_*` methods cover the paper's protocol
+//! family (B, the starved variant, Bheter, Breactive, the Koo
+//! baseline) and the engines behind them; [`Scenario::counting_sim`]
+//! and [`Scenario::agreement_sim`] hand back the engine itself for
+//! per-node inspection.
+//!
+//! ```
+//! use bftbcast::prelude::*;
+//!
+//! // Theorem 2 end to end: a 15x15 torus, one bad node per
+//! // neighborhood, budget 50 each.
+//! let scenario = Scenario::builder(15, 15, 1)
+//!     .faults(1, 50)
+//!     .lattice_placement()
+//!     .build()
+//!     .unwrap();
+//!
+//! // Protocol B at m = 2*m0 survives the strongest adversary...
+//! assert!(scenario.run_protocol_b(Adversary::PerReceiverOracle).is_reliable());
+//! // ...while budgets below m0 stall (Theorem 1).
+//! let starved = scenario.run_starved(scenario.params().m0() - 1, Adversary::PerReceiverOracle);
+//! assert!(!starved.is_complete());
+//!
+//! // Illegal configurations never build:
+//! let err = Scenario::builder(15, 15, 1)
+//!     .faults(1, 50)
+//!     .explicit_placement(vec![16, 17, 18]) // three adjacent bad nodes
+//!     .build()
+//!     .unwrap_err();
+//! assert!(matches!(err, ScenarioError::LocalBoundViolated { .. }));
+//! ```
+//!
+//! The declarative twin of this module is [`crate::scenario_file`]:
+//! the same configurations written as `*.scn` files and run in batch.
 
 use core::fmt;
 
@@ -14,8 +53,9 @@ use bftbcast_sim::metrics::{CountingOutcome, ReactiveOutcome};
 use bftbcast_sim::slot::{ReactiveAdversary, SlotConfig, SlotSim};
 use bftbcast_sim::CountingSim;
 
-/// Errors from scenario construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors from scenario construction — programmatic ([`ScenarioBuilder`])
+/// or declarative (`*.scn` files, see [`crate::scenario_file`]).
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ScenarioError {
     /// Invalid torus dimensions / radio range.
@@ -27,6 +67,29 @@ pub enum ScenarioError {
         /// The configured bound.
         t: u32,
     },
+    /// Scenario-file text failed to parse (see [`crate::scn`]).
+    Parse {
+        /// 1-based line number of the offending text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A scenario-file section or key outside the grammar — typically a
+    /// typo; rejected rather than silently ignored.
+    UnknownKey {
+        /// Section name (`""` for the top level).
+        section: String,
+        /// The offending key (`""` when the section itself is unknown).
+        key: String,
+    },
+    /// A semantically invalid scenario-file field, sweep axis, or
+    /// combination.
+    Invalid {
+        /// What was being interpreted (`"sweep.m"`, `"placement.kind"`, …).
+        what: String,
+        /// Why it is invalid.
+        message: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -37,6 +100,21 @@ impl fmt::Display for ScenarioError {
                 f,
                 "placement puts {worst} bad nodes in one neighborhood, exceeding t = {t}"
             ),
+            ScenarioError::Parse { line, message } => {
+                write!(f, "scenario parse error at line {line}: {message}")
+            }
+            ScenarioError::UnknownKey { section, key } if key.is_empty() => {
+                write!(f, "unknown scenario section [{section}]")
+            }
+            ScenarioError::UnknownKey { section, key } if section.is_empty() => {
+                write!(f, "unknown top-level scenario key {key:?}")
+            }
+            ScenarioError::UnknownKey { section, key } => {
+                write!(f, "unknown key {key:?} in scenario section [{section}]")
+            }
+            ScenarioError::Invalid { what, message } => {
+                write!(f, "invalid {what}: {message}")
+            }
         }
     }
 }
@@ -46,6 +124,15 @@ impl std::error::Error for ScenarioError {}
 impl From<NetError> for ScenarioError {
     fn from(e: NetError) -> Self {
         ScenarioError::Net(e)
+    }
+}
+
+impl From<crate::scn::ScnError> for ScenarioError {
+    fn from(e: crate::scn::ScnError) -> Self {
+        ScenarioError::Parse {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 

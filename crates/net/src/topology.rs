@@ -28,6 +28,29 @@
 //!
 //! [`Grid`] keeps its naive methods unchanged: they are the property-
 //! test oracle `Topology` is verified against (see `tests/prop.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_net::{Grid, Topology};
+//!
+//! let grid = Grid::new(9, 9, 1).unwrap();
+//! let topo = Topology::new(grid);
+//!
+//! // Fixed degree (2r+1)^2 - 1 = 8; neighborhoods are plain slices.
+//! assert_eq!(topo.degree(), 8);
+//! let n0 = topo.neighbors_of(0);
+//! assert_eq!(n0.len(), 8);
+//!
+//! // O(1) membership and word-AND intersection agree with the grid.
+//! assert!(topo.contains(0, 1));
+//! let mut common = Vec::new();
+//! topo.common_neighbors_into(0, 1, &mut common);
+//! assert_eq!(common.len(), topo.common_neighbor_count(0, 1));
+//! for &v in &common {
+//!     assert!(topo.grid().are_neighbors(0, v) && topo.grid().are_neighbors(1, v));
+//! }
+//! ```
 
 use crate::grid::{Grid, NodeId};
 

@@ -64,7 +64,7 @@ impl SourceBehavior {
         SourceBehavior::Split(vec![(a, half), (b, cfg.source_copies - half)])
     }
 
-    fn transmissions(&self, cfg: &AgreementConfig) -> Vec<(Value, u64)> {
+    pub(crate) fn transmissions(&self, cfg: &AgreementConfig) -> Vec<(Value, u64)> {
         match self {
             SourceBehavior::Correct => vec![(Value::TRUE, cfg.source_copies)],
             SourceBehavior::Split(split) => split.clone(),
@@ -247,6 +247,16 @@ impl AgreementSim {
         self
     }
 
+    /// The precomputed neighborhood topology the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The protocol configuration this engine runs.
+    pub fn config(&self) -> &AgreementConfig {
+        &self.cfg
+    }
+
     /// The good members of the source neighborhood.
     pub fn good_members(&self) -> Vec<NodeId> {
         self.members
@@ -273,13 +283,42 @@ impl AgreementSim {
     }
 
     /// Runs all three phases and reports every good member's decision.
+    ///
+    /// Equivalent to [`AgreementSim::propose_phase`],
+    /// [`AgreementSim::echo_phase`] and [`AgreementSim::confirm_phase`]
+    /// in sequence — the phase-stepped form the
+    /// [`crate::engine::SimEngine`] runtime drives.
     pub fn run(&mut self, source: SourceBehavior, attack: SplitAttack) -> AgreementOutcome {
+        let transmissions = self.validate_inputs(&source, attack);
+        let source_correct = source == SourceBehavior::Correct;
+        let proposals = self.propose_phase(&transmissions, attack);
+        let aggregates = self.echo_phase(&proposals, attack);
+        let decisions = self.confirm_phase(&aggregates, attack);
+        AgreementOutcome {
+            decisions,
+            source_correct,
+            proposals,
+            aggregates,
+        }
+    }
+
+    /// Validates the attack fractions and source transmissions,
+    /// returning the latter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fractions outside `[0, 1]` or a source proposing the
+    /// distinguished [`DEFAULT_VALUE`] / [`CONFLICT`] tokens.
+    pub(crate) fn validate_inputs(
+        &self,
+        source: &SourceBehavior,
+        attack: SplitAttack,
+    ) -> Vec<(Value, u64)> {
         assert!(
             (0.0..=1.0).contains(&attack.phase1_fraction)
                 && (0.0..=1.0).contains(&attack.echo_fraction),
             "attack fractions outside [0, 1]"
         );
-        let source_correct = source == SourceBehavior::Correct;
         let transmissions = source.transmissions(&self.cfg);
         assert!(
             transmissions
@@ -287,41 +326,65 @@ impl AgreementSim {
                 .all(|&(v, _)| v != DEFAULT_VALUE && v != CONFLICT),
             "distinguished tokens cannot be proposed by the source"
         );
+        transmissions
+    }
 
+    /// Phase 1: every good member tallies the source's propose-phase
+    /// copies under the attack's phase-1 corruption spend and forms its
+    /// proposal.
+    pub fn propose_phase(
+        &mut self,
+        transmissions: &[(Value, u64)],
+        attack: SplitAttack,
+    ) -> Vec<(NodeId, Value)> {
         let good: Vec<NodeId> = self.good_members();
-        let quota = self.cfg.echo_quota;
-        let tmf = u64::from(self.cfg.params.t) * self.cfg.params.mf;
-
-        // ---- Phase 1: propose ------------------------------------------
         let mut proposals: Vec<(NodeId, Value)> = Vec::with_capacity(good.len());
         for &u in &good {
             let budget = (self.capacity[u] as f64 * attack.phase1_fraction).floor() as u64;
             let favored = attack.favored(self.camp_a(u));
-            let mut tallies = transmissions.clone();
+            let mut tallies = transmissions.to_vec();
             let spent = corrupt_towards(&mut tallies, favored, budget);
             self.capacity[u] -= spent;
             proposals.push((u, propose(&tallies)));
         }
+        proposals
+    }
 
-        // ---- Phase 2: echo ---------------------------------------------
-        let aggregates: Vec<(NodeId, Value)> = good
-            .iter()
+    /// Phase 2: every good member aggregates the audible proposal
+    /// echoes under the attack's echo-phase spend.
+    pub fn echo_phase(
+        &mut self,
+        proposals: &[(NodeId, Value)],
+        attack: SplitAttack,
+    ) -> Vec<(NodeId, Value)> {
+        let good: Vec<NodeId> = self.good_members();
+        let quota = self.cfg.echo_quota;
+        good.iter()
             .map(|&u| {
                 let favored = attack.favored(self.camp_a(u));
-                let mut tallies = self.audible_tallies(u, &proposals, quota);
+                let mut tallies = self.audible_tallies(u, proposals, quota);
                 let budget = (self.capacity[u] as f64 * attack.echo_fraction).floor() as u64;
                 let spent = spend_inject_and_corrupt(&mut tallies, favored, budget);
                 self.capacity[u] -= spent;
                 (u, aggregate(&tallies, self.cfg.echo_margin))
             })
-            .collect();
+            .collect()
+    }
 
-        // ---- Phase 3: confirm -------------------------------------------
-        let decisions: Vec<(NodeId, Value)> = good
-            .iter()
+    /// Phase 3: every good member confirms from the audible aggregates,
+    /// the colluders spending all remaining per-receiver capacity.
+    pub fn confirm_phase(
+        &mut self,
+        aggregates: &[(NodeId, Value)],
+        attack: SplitAttack,
+    ) -> Vec<(NodeId, Value)> {
+        let good: Vec<NodeId> = self.good_members();
+        let quota = self.cfg.echo_quota;
+        let tmf = u64::from(self.cfg.params.t) * self.cfg.params.mf;
+        good.iter()
             .map(|&u| {
                 let favored = attack.favored(self.camp_a(u));
-                let mut tallies = self.audible_tallies(u, &aggregates, quota);
+                let mut tallies = self.audible_tallies(u, aggregates, quota);
                 let budget = self.capacity[u];
                 let spent = spend_inject_and_corrupt(&mut tallies, favored, budget);
                 self.capacity[u] -= spent;
@@ -334,14 +397,7 @@ impl AgreementSim {
                     confirm(&tallies, conflict_tally, self.cfg.echo_margin, tmf + 1),
                 )
             })
-            .collect();
-
-        AgreementOutcome {
-            decisions,
-            source_correct,
-            proposals,
-            aggregates,
-        }
+            .collect()
     }
 
     /// Runs the **proven vector mode** (see
@@ -361,7 +417,7 @@ impl AgreementSim {
     /// [`bftbcast_protocols::agreement::proven_max_t`] (opposite corners
     /// would lack relay witnesses).
     pub fn run_proven(&mut self, source: SourceBehavior, attack: SplitAttack) -> AgreementOutcome {
-        use bftbcast_protocols::agreement::{decide_vector, proven_max_t};
+        use bftbcast_protocols::agreement::proven_max_t;
         assert!(
             u64::from(self.cfg.params.t) <= proven_max_t(self.cfg.params.r),
             "t = {} exceeds the proven-mode bound {} at r = {}",
@@ -371,32 +427,11 @@ impl AgreementSim {
         );
         let source_correct = source == SourceBehavior::Correct;
         let transmissions = source.transmissions(&self.cfg);
-        let good: Vec<NodeId> = self.good_members();
 
         // Phase 1: propose, exactly as in the cheap mode.
-        let mut proposals: Vec<(NodeId, Value)> = Vec::with_capacity(good.len());
-        for &u in &good {
-            let budget = (self.capacity[u] as f64 * attack.phase1_fraction).floor() as u64;
-            let favored = attack.favored(self.camp_a(u));
-            let mut tallies = transmissions.clone();
-            let spent = corrupt_towards(&mut tallies, favored, budget);
-            self.capacity[u] -= spent;
-            proposals.push((u, propose(&tallies)));
-        }
-
-        // Phase 2: vector exchange. Good entries arrive identically at
-        // every member; each Byzantine member contributes one
-        // receiver-controlled entry.
-        let byz_count = self.members.iter().filter(|&&m| self.is_bad[m]).count();
-        let decisions: Vec<(NodeId, Value)> = good
-            .iter()
-            .map(|&u| {
-                let favored = attack.favored(self.camp_a(u));
-                let mut entries: Vec<Value> = proposals.iter().map(|&(_, p)| p).collect();
-                entries.extend((0..byz_count).map(|_| favored));
-                (u, decide_vector(&entries, self.cfg.params.t))
-            })
-            .collect();
+        let proposals = self.propose_phase(&transmissions, attack);
+        // Phase 2: vector exchange.
+        let decisions = self.vector_phase(&proposals, attack);
 
         AgreementOutcome {
             decisions,
@@ -404,6 +439,28 @@ impl AgreementSim {
             aggregates: proposals.clone(),
             proposals,
         }
+    }
+
+    /// The proven mode's vector-exchange phase: good entries arrive
+    /// identically at every member; each Byzantine member contributes
+    /// one receiver-controlled entry. Decisions use plurality with
+    /// margin `t + 1` ([`bftbcast_protocols::agreement::decide_vector`]).
+    pub fn vector_phase(
+        &self,
+        proposals: &[(NodeId, Value)],
+        attack: SplitAttack,
+    ) -> Vec<(NodeId, Value)> {
+        use bftbcast_protocols::agreement::decide_vector;
+        let byz_count = self.members.iter().filter(|&&m| self.is_bad[m]).count();
+        self.good_members()
+            .iter()
+            .map(|&u| {
+                let favored = attack.favored(self.camp_a(u));
+                let mut entries: Vec<Value> = proposals.iter().map(|&(_, p)| p).collect();
+                entries.extend((0..byz_count).map(|_| favored));
+                (u, decide_vector(&entries, self.cfg.params.t))
+            })
+            .collect()
     }
 
     /// Tallies of the phase messages audible to `u` (its own plus those

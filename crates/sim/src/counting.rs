@@ -141,51 +141,76 @@ impl CountingSim {
 
     /// Runs the engine to fixpoint against the given strategy.
     ///
+    /// Equivalent to [`CountingSim::begin_attack`] followed by
+    /// [`CountingSim::step_attack`] until fixpoint — the resumable form
+    /// the [`crate::engine::SimEngine`] runtime drives wave by wave.
+    ///
     /// The wave loop is allocation-free at steady state: wave vectors
     /// are double-buffered, the strategy view's per-node slices are
     /// reused buffers, and deliveries walk [`Topology`] CSR slices with
     /// bitset-intersection corruption.
     pub fn run<S: CorruptionStrategy>(&mut self, strategy: &mut S) -> CountingOutcome {
-        let n = self.topology.node_count();
-        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
-        let mut next: Vec<(NodeId, u64)> = Vec::new();
-        let mut remaining = vec![0u64; n];
-        let mut accepted_true = vec![false; n];
-        // Per-wave dense sender state, validity stamped by wave number
-        // so no per-wave clearing is needed.
-        let mut sent = WaveStamped::new(n);
-        let mut collided = WaveStamped::new(n);
-        let mut common: Vec<NodeId> = Vec::with_capacity(self.topology.degree());
-        self.source_copies_sent += self.protocol.source_copies;
-
-        while !wave.is_empty() {
-            self.waves += 1;
-            let plan = {
-                for u in 0..n {
-                    remaining[u] = self.budgets[u].remaining();
-                    accepted_true[u] = self.accepted[u] == Some(Value::TRUE);
-                }
-                let view = WaveView {
-                    topology: &self.topology,
-                    transmissions: &wave,
-                    accepted_true: &accepted_true,
-                    tallies_true: &self.tally_true,
-                    threshold: self.protocol.accept_threshold,
-                    bad_nodes: &self.bad_nodes,
-                    remaining_budget: &remaining,
-                    is_good: &self.is_good,
-                    relay_quota: &self.protocol.relay_copies,
-                };
-                strategy.plan(&view)
-            };
-            self.validate_and_spend(&wave, &plan, &mut sent, &mut collided);
-            self.apply_wave(&wave, &plan, &mut common);
-            next.clear();
-            self.collect_acceptances_into(&mut next);
-            std::mem::swap(&mut wave, &mut next);
-        }
-
+        let mut run = self.begin_attack();
+        while self.step_attack(&mut run, strategy) {}
         self.outcome()
+    }
+
+    /// Starts a strategy-driven (global-budget) run: charges the source
+    /// transmission and returns the resumable wave state. Call at most
+    /// once per engine; drive with [`CountingSim::step_attack`].
+    pub fn begin_attack(&mut self) -> AttackRun {
+        let n = self.topology.node_count();
+        self.source_copies_sent += self.protocol.source_copies;
+        AttackRun {
+            wave: vec![(self.source, self.protocol.source_copies)],
+            next: Vec::new(),
+            remaining: vec![0u64; n],
+            accepted_true: vec![false; n],
+            // Per-wave dense sender state, validity stamped by wave
+            // number so no per-wave clearing is needed.
+            sent: WaveStamped::new(n),
+            collided: WaveStamped::new(n),
+            common: Vec::with_capacity(self.topology.degree()),
+        }
+    }
+
+    /// Advances a strategy-driven run by one wave. Returns `false` at
+    /// fixpoint (no transmissions pending), after which
+    /// [`CountingSim::outcome`] and the per-node inspectors are final.
+    pub fn step_attack(
+        &mut self,
+        run: &mut AttackRun,
+        strategy: &mut dyn CorruptionStrategy,
+    ) -> bool {
+        if run.wave.is_empty() {
+            return false;
+        }
+        let n = self.topology.node_count();
+        self.waves += 1;
+        let plan = {
+            for u in 0..n {
+                run.remaining[u] = self.budgets[u].remaining();
+                run.accepted_true[u] = self.accepted[u] == Some(Value::TRUE);
+            }
+            let view = WaveView {
+                topology: &self.topology,
+                transmissions: &run.wave,
+                accepted_true: &run.accepted_true,
+                tallies_true: &self.tally_true,
+                threshold: self.protocol.accept_threshold,
+                bad_nodes: &self.bad_nodes,
+                remaining_budget: &run.remaining,
+                is_good: &self.is_good,
+                relay_quota: &self.protocol.relay_copies,
+            };
+            strategy.plan(&view)
+        };
+        self.validate_and_spend(&run.wave, &plan, &mut run.sent, &mut run.collided);
+        self.apply_wave(&run.wave, &plan, &mut run.common);
+        run.next.clear();
+        self.collect_acceptances_into(&mut run.next);
+        std::mem::swap(&mut run.wave, &mut run.next);
+        true
     }
 
     /// Runs the engine to fixpoint under the paper's **per-receiver**
@@ -197,6 +222,17 @@ impl CountingSim {
     /// close the gap (hopeless fights are skipped, exactly like the
     /// narrative of Figure 2: the four "gray" nodes are let through).
     pub fn run_oracle(&mut self, mf: u64) -> CountingOutcome {
+        let mut run = self.begin_oracle(mf);
+        while self.step_oracle(&mut run) {}
+        self.outcome()
+    }
+
+    /// Starts a per-receiver-oracle run (see
+    /// [`CountingSim::run_oracle`]): charges the source transmission,
+    /// precomputes per-receiver corruption capacity, and returns the
+    /// resumable wave state. Call at most once per engine; drive with
+    /// [`CountingSim::step_oracle`].
+    pub fn begin_oracle(&mut self, mf: u64) -> OracleRun {
         let n = self.topology.node_count();
         // Remaining per-receiver capacity: sum over bad b in N(u) of the
         // per-pair budget.
@@ -208,46 +244,54 @@ impl CountingSim {
                 }
             }
         }
-
-        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
-        let mut next: Vec<(NodeId, u64)> = Vec::new();
-        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
-
-        while !wave.is_empty() {
-            self.waves += 1;
-            // Incoming correct copies this wave.
-            incoming.fill(0);
-            for &(s, copies) in &wave {
-                for &u in self.topology.neighbors_of(s) {
-                    if self.is_good[u] && self.accepted[u].is_none() {
-                        incoming[u] += copies;
-                    }
-                }
-            }
-            for u in 0..n {
-                if incoming[u] == 0 {
-                    continue;
-                }
-                let total = self.tally_true[u] + incoming[u];
-                // Keep u at threshold - 1 = t*mf correct copies.
-                let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
-                let corrupt = if deficit == 0 || deficit > capacity[u].min(incoming[u]) {
-                    0 // safe already, or hopeless: don't waste capacity
-                } else {
-                    deficit
-                };
-                capacity[u] -= corrupt;
-                self.adversary_spent += corrupt;
-                self.tally_true[u] += incoming[u] - corrupt;
-                self.tally_wrong[u] += corrupt;
-            }
-            next.clear();
-            self.collect_acceptances_into(&mut next);
-            std::mem::swap(&mut wave, &mut next);
+        OracleRun {
+            capacity,
+            wave: vec![(self.source, self.protocol.source_copies)],
+            next: Vec::new(),
+            incoming: vec![0u64; n],
         }
+    }
 
-        self.outcome()
+    /// Advances an oracle run by one wave. Returns `false` at fixpoint,
+    /// after which [`CountingSim::outcome`] and the per-node inspectors
+    /// are final.
+    pub fn step_oracle(&mut self, run: &mut OracleRun) -> bool {
+        if run.wave.is_empty() {
+            return false;
+        }
+        let n = self.topology.node_count();
+        self.waves += 1;
+        // Incoming correct copies this wave.
+        run.incoming.fill(0);
+        for &(s, copies) in &run.wave {
+            for &u in self.topology.neighbors_of(s) {
+                if self.is_good[u] && self.accepted[u].is_none() {
+                    run.incoming[u] += copies;
+                }
+            }
+        }
+        for u in 0..n {
+            if run.incoming[u] == 0 {
+                continue;
+            }
+            let total = self.tally_true[u] + run.incoming[u];
+            // Keep u at threshold - 1 = t*mf correct copies.
+            let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
+            let corrupt = if deficit == 0 || deficit > run.capacity[u].min(run.incoming[u]) {
+                0 // safe already, or hopeless: don't waste capacity
+            } else {
+                deficit
+            };
+            run.capacity[u] -= corrupt;
+            self.adversary_spent += corrupt;
+            self.tally_true[u] += run.incoming[u] - corrupt;
+            self.tally_wrong[u] += corrupt;
+        }
+        run.next.clear();
+        self.collect_acceptances_into(&mut run.next);
+        std::mem::swap(&mut run.wave, &mut run.next);
+        true
     }
 
     /// Runs the engine under the per-receiver oracle with **majority**
@@ -265,6 +309,15 @@ impl CountingSim {
     /// `t·mf + 1` and reserve majority voting for the
     /// `2·t·mf + 1`-copy source step (§3.1).
     pub fn run_majority_oracle(&mut self, mf: u64, quorum: u64) -> CountingOutcome {
+        let mut run = self.begin_majority_oracle(mf, quorum);
+        while self.step_majority_oracle(&mut run) {}
+        self.outcome()
+    }
+
+    /// Starts a majority-acceptance oracle run (see
+    /// [`CountingSim::run_majority_oracle`]). Call at most once per
+    /// engine; drive with [`CountingSim::step_majority_oracle`].
+    pub fn begin_majority_oracle(&mut self, mf: u64, quorum: u64) -> MajorityRun {
         let n = self.topology.node_count();
         let mut capacity = vec![0u64; n];
         for &b in &self.bad_nodes {
@@ -274,65 +327,75 @@ impl CountingSim {
                 }
             }
         }
-
-        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
-        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
-
-        while !wave.is_empty() {
-            self.waves += 1;
-            incoming.fill(0);
-            for &(s, copies) in &wave {
-                for &u in self.topology.neighbors_of(s) {
-                    if self.is_good[u] && self.accepted[u].is_none() {
-                        incoming[u] += copies;
-                    }
-                }
-            }
-            for u in 0..n {
-                if incoming[u] == 0 {
-                    continue;
-                }
-                // Greedy oracle: every corruption strictly improves the
-                // adversary's majority position, so spend eagerly.
-                let corrupt = capacity[u].min(incoming[u]);
-                capacity[u] -= corrupt;
-                self.adversary_spent += corrupt;
-                self.tally_true[u] += incoming[u] - corrupt;
-                self.tally_wrong[u] += corrupt;
-            }
-            // Majority acceptance at the quorum.
-            let mut next = Vec::new();
-            for u in 0..n {
-                if !self.is_good[u] || self.accepted[u].is_some() {
-                    continue;
-                }
-                let total = self.tally_true[u] + self.tally_wrong[u];
-                if total < quorum {
-                    continue;
-                }
-                if self.tally_wrong[u] >= self.tally_true[u] {
-                    self.accepted[u] = Some(Value::FORGED);
-                    self.accepted_wave[u] = Some(self.waves);
-                    self.wrong_accepts += 1;
-                } else {
-                    self.accepted[u] = Some(Value::TRUE);
-                    self.accepted_wave[u] = Some(self.waves);
-                    let quota = self.protocol.relay_copies[u];
-                    self.budgets[u]
-                        .try_spend(quota)
-                        .expect("relay quota exceeds good budget");
-                    self.good_copies_sent += quota;
-                    next.push((u, quota));
-                }
-            }
-            wave = next;
+        MajorityRun {
+            capacity,
+            quorum,
+            wave: vec![(self.source, self.protocol.source_copies)],
+            next: Vec::new(),
+            incoming: vec![0u64; n],
         }
-
-        self.outcome()
     }
 
-    fn outcome(&self) -> CountingOutcome {
+    /// Advances a majority-oracle run by one wave; `false` at fixpoint.
+    pub fn step_majority_oracle(&mut self, run: &mut MajorityRun) -> bool {
+        if run.wave.is_empty() {
+            return false;
+        }
+        let n = self.topology.node_count();
+        self.waves += 1;
+        run.incoming.fill(0);
+        for &(s, copies) in &run.wave {
+            for &u in self.topology.neighbors_of(s) {
+                if self.is_good[u] && self.accepted[u].is_none() {
+                    run.incoming[u] += copies;
+                }
+            }
+        }
+        for u in 0..n {
+            if run.incoming[u] == 0 {
+                continue;
+            }
+            // Greedy oracle: every corruption strictly improves the
+            // adversary's majority position, so spend eagerly.
+            let corrupt = run.capacity[u].min(run.incoming[u]);
+            run.capacity[u] -= corrupt;
+            self.adversary_spent += corrupt;
+            self.tally_true[u] += run.incoming[u] - corrupt;
+            self.tally_wrong[u] += corrupt;
+        }
+        // Majority acceptance at the quorum.
+        run.next.clear();
+        for u in 0..n {
+            if !self.is_good[u] || self.accepted[u].is_some() {
+                continue;
+            }
+            let total = self.tally_true[u] + self.tally_wrong[u];
+            if total < run.quorum {
+                continue;
+            }
+            if self.tally_wrong[u] >= self.tally_true[u] {
+                self.accepted[u] = Some(Value::FORGED);
+                self.accepted_wave[u] = Some(self.waves);
+                self.wrong_accepts += 1;
+            } else {
+                self.accepted[u] = Some(Value::TRUE);
+                self.accepted_wave[u] = Some(self.waves);
+                let quota = self.protocol.relay_copies[u];
+                self.budgets[u]
+                    .try_spend(quota)
+                    .expect("relay quota exceeds good budget");
+                self.good_copies_sent += quota;
+                run.next.push((u, quota));
+            }
+        }
+        std::mem::swap(&mut run.wave, &mut run.next);
+        true
+    }
+
+    /// The aggregate outcome of the run so far (final once the driving
+    /// `step_*` method has returned `false`).
+    pub fn outcome(&self) -> CountingOutcome {
         CountingOutcome {
             good_nodes: self.is_good.iter().filter(|&&g| g).count(),
             accepted_true: self
@@ -547,6 +610,43 @@ impl CountingSim {
     pub fn is_good(&self, u: NodeId) -> bool {
         self.is_good[u]
     }
+}
+
+/// Resumable state of a strategy-driven run: the pending wave plus the
+/// reusable per-wave buffers. Produced by [`CountingSim::begin_attack`],
+/// advanced by [`CountingSim::step_attack`].
+#[derive(Debug, Clone)]
+pub struct AttackRun {
+    wave: Vec<(NodeId, u64)>,
+    next: Vec<(NodeId, u64)>,
+    remaining: Vec<u64>,
+    accepted_true: Vec<bool>,
+    sent: WaveStamped,
+    collided: WaveStamped,
+    common: Vec<NodeId>,
+}
+
+/// Resumable state of a per-receiver-oracle run. Produced by
+/// [`CountingSim::begin_oracle`], advanced by
+/// [`CountingSim::step_oracle`].
+#[derive(Debug, Clone)]
+pub struct OracleRun {
+    capacity: Vec<u64>,
+    wave: Vec<(NodeId, u64)>,
+    next: Vec<(NodeId, u64)>,
+    incoming: Vec<u64>,
+}
+
+/// Resumable state of a majority-acceptance oracle run. Produced by
+/// [`CountingSim::begin_majority_oracle`], advanced by
+/// [`CountingSim::step_majority_oracle`].
+#[derive(Debug, Clone)]
+pub struct MajorityRun {
+    capacity: Vec<u64>,
+    quorum: u64,
+    wave: Vec<(NodeId, u64)>,
+    next: Vec<(NodeId, u64)>,
+    incoming: Vec<u64>,
 }
 
 /// A dense per-node `u64` map whose entries are valid only for one wave

@@ -216,7 +216,21 @@ impl HybridSim {
 
     /// Runs to fixpoint. `mf` is the per-(Byzantine node, receiver)
     /// corruption capacity; pass 0 for a collision-free run.
+    ///
+    /// Equivalent to [`HybridSim::begin`] followed by
+    /// [`HybridSim::step_wave`] until fixpoint — the resumable form the
+    /// [`crate::engine::SimEngine`] runtime drives wave by wave.
     pub fn run(&mut self, mf: u64) -> CountingOutcome {
+        let mut run = self.begin(mf);
+        while self.step_wave(&mut run) {}
+        self.outcome()
+    }
+
+    /// Starts a run: charges the source transmission, precomputes the
+    /// per-receiver Byzantine corruption capacity, and returns the
+    /// resumable wave state. Call at most once per engine; drive with
+    /// [`HybridSim::step_wave`].
+    pub fn begin(&mut self, mf: u64) -> CrashRun {
         let n = self.topology.node_count();
         let mut capacity = vec![0u64; n];
         if mf > 0 {
@@ -230,44 +244,52 @@ impl HybridSim {
                 }
             }
         }
-
-        let mut wave: Vec<(NodeId, u64)> = vec![(self.source, self.protocol.source_copies)];
-        let mut next: Vec<(NodeId, u64)> = Vec::new();
-        let mut incoming = vec![0u64; n];
         self.source_copies_sent += self.protocol.source_copies;
-
-        while !wave.is_empty() {
-            self.waves += 1;
-            incoming.fill(0);
-            for &(s, copies) in &wave {
-                for &u in self.topology.neighbors_of(s) {
-                    if self.is_honest_receiver(u) && self.accepted[u].is_none() {
-                        incoming[u] += copies;
-                    }
-                }
-            }
-            for u in 0..n {
-                if incoming[u] == 0 {
-                    continue;
-                }
-                let total = self.tally_true[u] + incoming[u];
-                let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
-                let corrupt = if deficit == 0 || deficit > capacity[u].min(incoming[u]) {
-                    0
-                } else {
-                    deficit
-                };
-                capacity[u] -= corrupt;
-                self.adversary_spent += corrupt;
-                self.tally_true[u] += incoming[u] - corrupt;
-                self.tally_wrong[u] += corrupt;
-            }
-            next.clear();
-            self.collect_acceptances_into(&mut next);
-            std::mem::swap(&mut wave, &mut next);
+        CrashRun {
+            capacity,
+            wave: vec![(self.source, self.protocol.source_copies)],
+            next: Vec::new(),
+            incoming: vec![0u64; n],
         }
+    }
 
-        self.outcome()
+    /// Advances a run by one wave. Returns `false` at fixpoint, after
+    /// which [`HybridSim::outcome`] and the per-node inspectors are
+    /// final.
+    pub fn step_wave(&mut self, run: &mut CrashRun) -> bool {
+        if run.wave.is_empty() {
+            return false;
+        }
+        let n = self.topology.node_count();
+        self.waves += 1;
+        run.incoming.fill(0);
+        for &(s, copies) in &run.wave {
+            for &u in self.topology.neighbors_of(s) {
+                if self.is_honest_receiver(u) && self.accepted[u].is_none() {
+                    run.incoming[u] += copies;
+                }
+            }
+        }
+        for u in 0..n {
+            if run.incoming[u] == 0 {
+                continue;
+            }
+            let total = self.tally_true[u] + run.incoming[u];
+            let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
+            let corrupt = if deficit == 0 || deficit > run.capacity[u].min(run.incoming[u]) {
+                0
+            } else {
+                deficit
+            };
+            run.capacity[u] -= corrupt;
+            self.adversary_spent += corrupt;
+            self.tally_true[u] += run.incoming[u] - corrupt;
+            self.tally_wrong[u] += corrupt;
+        }
+        run.next.clear();
+        self.collect_acceptances_into(&mut run.next);
+        std::mem::swap(&mut run.wave, &mut run.next);
+        true
     }
 
     fn collect_acceptances_into(&mut self, next: &mut Vec<(NodeId, u64)>) {
@@ -301,7 +323,11 @@ impl HybridSim {
         }
     }
 
-    fn outcome(&self) -> CountingOutcome {
+    /// The aggregate outcome of the run so far (final once
+    /// [`HybridSim::step_wave`] has returned `false`). Crash-faulty
+    /// nodes are excluded from the good-node counts even when they
+    /// accepted before stopping.
+    pub fn outcome(&self) -> CountingOutcome {
         let good: Vec<NodeId> = (0..self.topology.node_count())
             .filter(|&u| self.is_good(u))
             .collect();
@@ -324,6 +350,11 @@ impl HybridSim {
         self.topology.grid()
     }
 
+    /// The precomputed neighborhood topology the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// The value accepted by `u`, if any.
     pub fn accepted(&self, u: NodeId) -> Option<Value> {
         self.accepted[u]
@@ -333,6 +364,37 @@ impl HybridSim {
     pub fn accepted_wave(&self, u: NodeId) -> Option<usize> {
         self.accepted_wave[u]
     }
+
+    /// Correct copies delivered to `u` so far.
+    pub fn tally_true(&self, u: NodeId) -> u64 {
+        self.tally_true[u]
+    }
+
+    /// Corrupted copies delivered to `u` so far.
+    pub fn tally_wrong(&self, u: NodeId) -> u64 {
+        self.tally_wrong[u]
+    }
+
+    /// Number of `u`'s neighbors (any fault class) that accepted
+    /// `Vtrue`.
+    pub fn decided_neighbors(&self, u: NodeId) -> usize {
+        self.topology
+            .neighbors_of(u)
+            .iter()
+            .filter(|&&v| self.accepted[v] == Some(Value::TRUE))
+            .count()
+    }
+}
+
+/// Resumable state of a hybrid run: the pending wave plus reusable
+/// per-wave buffers. Produced by [`HybridSim::begin`], advanced by
+/// [`HybridSim::step_wave`].
+#[derive(Debug, Clone)]
+pub struct CrashRun {
+    capacity: Vec<u64>,
+    wave: Vec<(NodeId, u64)>,
+    next: Vec<(NodeId, u64)>,
+    incoming: Vec<u64>,
 }
 
 /// The stripe-of-height-`h` crash placement: all nodes in rows

@@ -15,8 +15,16 @@
 //!   also used to cross-validate the counting engine on small
 //!   configurations.
 //!
-//! [`runner`] adds seeded parameter sweeps parallelized with std scoped threads
-//! scoped threads, and [`metrics`] the outcome records both engines
+//! Two further engines build on the same substrate: [`crash`] (hybrid
+//! crash + Byzantine fault loads) and [`agreement`]
+//! (source-neighborhood agreement under a faulty base station).
+//!
+//! [`engine`] puts one incremental [`SimEngine`] surface
+//! (`prepare / step / outcome` over a shared
+//! [`bftbcast_net::Topology`]) over all four engines — the contract the
+//! declarative scenario runtime in the `bftbcast` crate drives.
+//! [`runner`] adds seeded parameter sweeps parallelized with std
+//! scoped threads, and [`metrics`] the outcome records the engines
 //! produce.
 //!
 //! # Example
@@ -40,6 +48,7 @@
 pub mod agreement;
 pub mod counting;
 pub mod crash;
+pub mod engine;
 pub mod metrics;
 pub mod render;
 pub mod runner;
@@ -47,5 +56,6 @@ pub mod slot;
 
 pub use counting::CountingSim;
 pub use crash::HybridSim;
+pub use engine::{EngineOutcome, Probe, SimEngine};
 pub use metrics::{CountingOutcome, ReactiveOutcome};
 pub use slot::SlotSim;

@@ -117,6 +117,18 @@ pub struct SlotSim {
     undetected_corruptions: u64,
 }
 
+/// Resumable state of a slot-engine run (the quiescence tracker).
+/// Produced by [`SlotSim::begin_rounds`], advanced by
+/// [`SlotSim::step_round`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlotRun {
+    quiet_rounds: u64,
+    quiescence: u64,
+    /// Latched on any terminating condition so further `step_round`
+    /// calls are no-ops and the outcome stays final.
+    done: bool,
+}
+
 /// One in-flight transmission during a round.
 struct Tx {
     sender: NodeId,
@@ -206,29 +218,54 @@ impl SlotSim {
     /// exhaustion can strand uncommitted nodes), or `max_rounds`
     /// elapsed.
     pub fn run(&mut self) -> ReactiveOutcome {
-        let mut quiet_rounds = 0u64;
-        // Once nobody transmits for a full schedule cycle plus the NACK
-        // quiet window, no state can change again.
-        let quiescence =
-            u64::from(self.schedule.period()) + u64::from(self.config.reactive.quiet_window) + 1;
-        while self.rounds < self.config.max_rounds {
-            let slot = (self.rounds % u64::from(self.schedule.period())) as u32;
-            let transmissions_before = self.data_transmissions + self.nack_transmissions;
-            self.step(slot);
-            self.rounds += 1;
-            if self.finished() {
-                break;
-            }
-            if self.data_transmissions + self.nack_transmissions == transmissions_before {
-                quiet_rounds += 1;
-                if quiet_rounds >= quiescence {
-                    break;
-                }
-            } else {
-                quiet_rounds = 0;
-            }
-        }
+        let mut run = self.begin_rounds();
+        while self.step_round(&mut run) {}
         self.outcome()
+    }
+
+    /// Starts a run, returning the resumable round state (the
+    /// quiescence tracker). Call at most once per engine; drive with
+    /// [`SlotSim::step_round`].
+    pub fn begin_rounds(&mut self) -> SlotRun {
+        SlotRun {
+            quiet_rounds: 0,
+            // Once nobody transmits for a full schedule cycle plus the
+            // NACK quiet window, no state can change again.
+            quiescence: u64::from(self.schedule.period())
+                + u64::from(self.config.reactive.quiet_window)
+                + 1,
+            done: false,
+        }
+    }
+
+    /// Advances the engine by one message round. Returns `false` once
+    /// the run is over: every good node committed and went quiet, the
+    /// network is permanently quiescent, or `max_rounds` elapsed —
+    /// after which [`SlotSim::outcome`] is final and further calls are
+    /// no-ops.
+    pub fn step_round(&mut self, run: &mut SlotRun) -> bool {
+        if run.done || self.rounds >= self.config.max_rounds {
+            run.done = true;
+            return false;
+        }
+        let slot = (self.rounds % u64::from(self.schedule.period())) as u32;
+        let transmissions_before = self.data_transmissions + self.nack_transmissions;
+        self.step(slot);
+        self.rounds += 1;
+        if self.finished() {
+            run.done = true;
+            return false;
+        }
+        if self.data_transmissions + self.nack_transmissions == transmissions_before {
+            run.quiet_rounds += 1;
+            if run.quiet_rounds >= run.quiescence {
+                run.done = true;
+                return false;
+            }
+        } else {
+            run.quiet_rounds = 0;
+        }
+        true
     }
 
     fn finished(&self) -> bool {
@@ -490,7 +527,9 @@ impl SlotSim {
         }
     }
 
-    fn outcome(&self) -> ReactiveOutcome {
+    /// The aggregate outcome of the run so far (final once
+    /// [`SlotSim::step_round`] has returned `false`).
+    pub fn outcome(&self) -> ReactiveOutcome {
         let good_nodes = self.is_good.iter().filter(|&&g| g).count();
         let mut committed_true = 0;
         let mut committed_wrong = 0;
@@ -526,6 +565,11 @@ impl SlotSim {
     /// The committed value at a node (post-run inspection).
     pub fn committed(&self, u: NodeId) -> Option<Value> {
         self.nodes[u].as_ref().and_then(|n| n.committed_value)
+    }
+
+    /// The precomputed neighborhood topology the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Messages (data + NACK) transmitted by a good node so far.

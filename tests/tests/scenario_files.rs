@@ -1,0 +1,149 @@
+//! Round-trip tests for the shipped `scenarios/*.scn` files: parse the
+//! actual files, run them through the batch runner, and hold the
+//! ported experiments to their Rust twins' numbers — most importantly
+//! the Figure 2 goldens (2065 / 1947 / 947, stall 84), which must stay
+//! bit-identical.
+
+use bftbcast::prelude::*;
+
+fn load(rel: &str) -> ScenarioFile {
+    let path = format!("{}/../{rel}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    ScenarioFile::parse(&text).unwrap_or_else(|e| panic!("parsing {rel}: {e}"))
+}
+
+/// scenarios/f2.scn reproduces the paper's Figure 2 numbers exactly.
+#[test]
+fn f2_scn_round_trips_the_goldens() {
+    let file = load("scenarios/f2.scn");
+    assert_eq!(file.name, "f2");
+    assert_eq!(file.engine, EngineKind::Counting);
+    let report = run_file(&file).expect("f2 runs");
+    assert_eq!(report.results.len(), 1);
+    let result = &report.results[0];
+
+    let outcome = result.outcome.as_counting().expect("counting outcome");
+    assert_eq!(outcome.accepted_true, 84, "decided nodes at stall");
+    assert!(!outcome.is_complete(), "broadcast must fail");
+    assert!(outcome.is_correct(), "no forged acceptance");
+
+    let gray = &result.probes[0];
+    assert_eq!((gray.x, gray.y), (0, 5));
+    assert_eq!(gray.probe.intake(), 2065, "gray-node intake");
+    let p = &result.probes[1];
+    assert_eq!((p.x, p.y), (5, 1));
+    assert_eq!(p.probe.intake(), 1947, "copies delivered to p");
+    assert_eq!(p.probe.tally_wrong, 947, "copies corrupted at p");
+    assert_eq!(p.probe.accepted, None, "p undecided");
+    assert_eq!(p.probe.decided_neighbors, 33, "decided neighbors of p");
+}
+
+/// The declarative f2 run and the hand-written EXP-F2 construction are
+/// the same simulation: identical outcome, wave by wave.
+#[test]
+fn f2_scn_matches_the_programmatic_construction() {
+    let file = load("scenarios/f2.scn");
+    let report = run_file(&file).expect("f2 runs");
+    let declarative = report.results[0].outcome.as_counting().unwrap().clone();
+
+    let s = Scenario::builder(45, 45, 4)
+        .faults(1, 1000)
+        .lattice_placement_with_offset(41)
+        .build()
+        .unwrap();
+    let proto = CountingProtocol::starved(s.grid(), s.params(), 59);
+    let mut sim = s.counting_sim(proto);
+    let programmatic = sim.run_oracle(s.params().mf);
+    assert_eq!(declarative, programmatic);
+}
+
+/// scenarios/t1.scn: the band is starved iff m < m0 = 11.
+#[test]
+fn t1_scn_flips_exactly_at_m0() {
+    let file = load("scenarios/t1.scn");
+    let report = run_file(&file).expect("t1 runs");
+    assert_eq!(report.results.len(), 5, "sweep m = [9, 10, 11, 12, 22]");
+    for result in &report.results {
+        let m: u64 = result.point[0].1.parse().unwrap();
+        let o = result.outcome.as_counting().unwrap();
+        assert!(o.is_correct(), "m = {m}");
+        assert_eq!(
+            o.is_complete(),
+            m >= 11,
+            "Theorem 1 threshold at m0 = 11; m = {m} gave coverage {}",
+            o.coverage()
+        );
+    }
+}
+
+/// scenarios/x4.scn: the 121-schedule equivocation sweep shows the
+/// cheap mode's split window — present, but a minority of schedules —
+/// matching EXP-X4b's r = 2, t = 1, mf = 10 row.
+#[test]
+fn x4_scn_reproduces_the_split_window() {
+    let file = load("scenarios/x4.scn");
+    assert_eq!(file.engine, EngineKind::Agreement);
+    let report = run_file(&file).expect("x4 runs");
+    assert_eq!(report.results.len(), 121, "11x11 capacity schedules");
+    let splits = report
+        .results
+        .iter()
+        .filter(|r| !r.outcome.as_agreement().unwrap().agreement_holds())
+        .count();
+    assert!(splits > 0, "the split window is a documented finding");
+    assert!(splits < 121 / 2, "splits are a minority ({splits}/121)");
+}
+
+/// Every shipped example scenario parses and runs; correctness (no
+/// forged acceptance) holds everywhere the counting family runs.
+#[test]
+fn example_scenarios_parse_and_run() {
+    for rel in [
+        "scenarios/examples/stripe_chaos.scn",
+        "scenarios/examples/hybrid_stripes.scn",
+        "scenarios/examples/reactive_mixed.scn",
+    ] {
+        let file = load(rel);
+        let report = run_file(&file).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert!(!report.results.is_empty(), "{rel}");
+        for result in &report.results {
+            if let Some(o) = result.outcome.as_counting() {
+                assert!(o.is_correct(), "{rel} point {:?}", result.point);
+            }
+        }
+    }
+}
+
+/// Chaos fuzzing over stripes never defeats protocol B (Theorem 2
+/// holds under any adversary) — the guarantee the stripe_chaos example
+/// documents.
+#[test]
+fn stripe_chaos_example_upholds_theorem2() {
+    let file = load("scenarios/examples/stripe_chaos.scn");
+    let report = run_file(&file).unwrap();
+    assert_eq!(report.results.len(), 8);
+    for result in &report.results {
+        let o = result.outcome.as_counting().unwrap();
+        assert!(o.is_reliable(), "seed {:?}", result.point);
+    }
+}
+
+/// JSON-lines output is one valid self-describing object per point
+/// (spot-checked shape; full schema in EXPERIMENTS.md).
+#[test]
+fn jsonl_stream_shape() {
+    let file = load("scenarios/t1.scn");
+    let report = run_file(&file).unwrap();
+    let jsonl = report.jsonl();
+    assert_eq!(jsonl.lines().count(), report.results.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"scenario\":\"t1\""), "{line}");
+        assert!(line.contains("\"engine\":\"counting\""), "{line}");
+        assert!(line.contains("\"point\":{\"m\":"), "{line}");
+        assert!(
+            line.contains("\"outcome\":{\"kind\":\"counting\""),
+            "{line}"
+        );
+        assert!(line.ends_with("}"), "{line}");
+    }
+}
