@@ -5,12 +5,14 @@
 //! cargo run --release -p bftbcast-bench --bin exp -- all
 //! cargo run --release -p bftbcast-bench --bin exp -- f2 t4
 //! cargo run --release -p bftbcast-bench --bin exp -- --json f2
+//! cargo run --release -p bftbcast-bench --bin exp -- --json --out reports f2
 //! ```
 //!
 //! With `--json`, each experiment additionally dumps
-//! `BENCH_<exp>.json` in the working directory: wall time plus every
-//! result table (title, headers, rows) — the machine-readable record
-//! the perf trajectory tracks across commits.
+//! `BENCH_<exp>.json` into `--out DIR` (default: the working
+//! directory; created if missing): wall time plus every result table
+//! (title, headers, rows) — the machine-readable record the perf
+//! trajectory tracks across commits.
 
 use bftbcast::json::{escape as json_escape, string_array as json_string_array};
 use bftbcast_bench::Table;
@@ -50,16 +52,27 @@ fn report_json(id: &str, wall: std::time::Duration, tables: &[Table]) -> String 
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--json") {
-        eprintln!("unknown flag {bad:?}; supported: --json");
-        std::process::exit(2);
+    let mut json = false;
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut named: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = std::path::PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}; supported: --json, --out DIR");
+                std::process::exit(2);
+            }
+            id => named.push(id),
+        }
     }
-    let json = args.iter().any(|a| a == "--json");
-    let named: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
     let ids: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -71,6 +84,12 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if json {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("error: cannot create {}: {e}", out_dir.display());
+            std::process::exit(1);
+        }
+    }
     for id in ids {
         let start = std::time::Instant::now();
         let tables = run_experiment(id);
@@ -80,12 +99,12 @@ fn main() {
         }
         println!("[{id} finished in {wall:?}]\n");
         if json {
-            let path = format!("BENCH_{id}.json");
+            let path = out_dir.join(format!("BENCH_{id}.json"));
             if let Err(e) = std::fs::write(&path, report_json(id, wall, &tables)) {
-                eprintln!("error: cannot write {path}: {e}");
+                eprintln!("error: cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
-            println!("[wrote {path}]\n");
+            println!("[wrote {}]\n", path.display());
         }
     }
 }

@@ -65,11 +65,26 @@ COMMANDS:
               --m M --placement lattice|stripes|random|bernoulli|none
               --p RATE --count N --seed SEED --adversary oracle|greedy|chaos|passive]
              run one broadcast and report the outcome
-  run        --scenario FILE [--format jsonl|table]
+  run        --scenario FILE [--format jsonl|table --jobs N --store DIR]
              run a declarative scenario file (*.scn): expand its sweep
-             axes, fan the points over worker threads, and stream one
-             JSON line (or table row) per point; see docs/ARCHITECTURE.md
-             for the grammar and EXPERIMENTS.md for the output schema
+             axes, fan the points over worker threads (at most N with
+             --jobs), and stream one JSON line (or table row) per point;
+             with --store, consult/record the content-addressed outcome
+             store so repeated points cost a lookup instead of a run;
+             see docs/ARCHITECTURE.md for the grammar and EXPERIMENTS.md
+             for the output schema
+  serve      [--addr HOST:PORT --store DIR --jobs N]
+             run the persistent sweep service (default 127.0.0.1:7171):
+             queue submitted scenarios, fan each over the batch pool,
+             and cache every point in the outcome store (in-memory
+             without --store); prints \"listening on ADDR\" once ready
+  submit     FILE [--addr HOST:PORT]: queue a *.scn file on a running
+             server; prints the reply with the assigned job id
+  status     JOB [--addr HOST:PORT]: one job's state and cache counters
+  results    JOB [--addr HOST:PORT]: a job's JSONL rows (waits for the
+             job to finish); identical to run --scenario output
+  stats      [--addr HOST:PORT]: server store/queue statistics
+  shutdown   [--addr HOST:PORT]: stop the server (drains queued jobs)
   map        run options plus [--svg FILE]: render the acceptance map
              (ASCII to stdout, or an SVG heat map to FILE)
   exp        [ids...]: regenerate paper experiments (default: all);
@@ -95,6 +110,12 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("exp") => cmd_exp(args),
         Some("code") => cmd_code(args),
         Some("agreement") => cmd_agreement(args),
+        Some("serve") => cmd_serve(args),
+        Some("submit") => cmd_submit(args),
+        Some("status") => cmd_job_line(args, "status"),
+        Some("results") => cmd_results(args),
+        Some("stats") => cmd_stats(args),
+        Some("shutdown") => cmd_shutdown(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; run `bftbcast help`"
         ))),
@@ -285,12 +306,45 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// `--jobs N`: optional worker-pool cap, rejected by name when below 1.
+fn jobs_from(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.get("jobs") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(CliError::Args(ArgsError::Invalid {
+                flag: "jobs".to_string(),
+                value: raw.to_string(),
+                expected: "an integer >= 1",
+            })),
+        },
+    }
+}
+
+/// `--store DIR`: opens (creating if needed) the outcome store.
+fn store_from(args: &Args) -> Result<Option<bftbcast_store::Store>, CliError> {
+    match args.get("store") {
+        None => Ok(None),
+        Some(dir) => bftbcast_store::Store::open(dir)
+            .map(Some)
+            .map_err(|e| CliError::Other(format!("opening store {dir}: {e}"))),
+    }
+}
+
 /// `run --scenario FILE`: the declarative batch path.
 fn cmd_run_scenario(path: &str, args: &Args) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
     let file = ScenarioFile::parse(&text)?;
-    let report = run_file(&file)?;
+    let jobs = jobs_from(args)?;
+    let store = store_from(args)?;
+    let report = bftbcast::run_file_with(
+        &file,
+        &bftbcast::BatchOptions {
+            jobs,
+            store: store.as_ref(),
+        },
+    )?;
     match args.get("format").unwrap_or("jsonl") {
         "jsonl" => Ok(report.jsonl()),
         "table" => Ok(report.table().to_string()),
@@ -298,6 +352,104 @@ fn cmd_run_scenario(path: &str, args: &Args) -> Result<String, CliError> {
             "unknown format {other:?} (jsonl|table)"
         ))),
     }
+}
+
+/// The service verbs' default endpoint.
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn addr_from(args: &Args) -> String {
+    args.get("addr").unwrap_or(DEFAULT_ADDR).to_string()
+}
+
+fn net_err(what: &str, addr: &str, e: std::io::Error) -> CliError {
+    CliError::Other(format!("{what} {addr}: {e}"))
+}
+
+/// `serve`: run the persistent sweep service until a shutdown request.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use std::sync::Arc;
+    let addr = addr_from(args);
+    let jobs = jobs_from(args)?;
+    let store = Arc::new(match store_from(args)? {
+        Some(store) => store,
+        None => bftbcast_store::Store::in_memory(),
+    });
+    let server = bftbcast_server::Server::bind(addr.as_str(), Arc::clone(&store), jobs)
+        .map_err(|e| net_err("binding", &addr, e))?;
+    // Announce readiness eagerly (and flush): scripts scrape this line
+    // to learn the resolved port when --addr ends in :0.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .serve()
+        .map_err(|e| net_err("serving on", &addr, e))?;
+    let stats = store.stats();
+    Ok(format!(
+        "server stopped ({} store entries, {} hits, {} misses)\n",
+        stats.entries, stats.hits, stats.misses
+    ))
+}
+
+/// `submit FILE`: queue a scenario on a running server.
+fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Other("submit needs a scenario file argument".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    let addr = addr_from(args);
+    // Reject locally what the server would reject, with the better
+    // local error message.
+    ScenarioFile::parse(&text)?;
+    let job = bftbcast_server::client::submit(&addr, &text)
+        .map_err(|e| net_err("submitting to", &addr, e))?;
+    Ok(format!("{{\"ok\":true,\"job\":\"{job}\"}}\n"))
+}
+
+/// `status JOB` (single-line verbs share this shape).
+fn cmd_job_line(args: &Args, verb: &str) -> Result<String, CliError> {
+    let job = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Other(format!("{verb} needs a job id argument")))?;
+    let addr = addr_from(args);
+    let line =
+        bftbcast_server::client::status(&addr, job).map_err(|e| net_err("querying", &addr, e))?;
+    Ok(format!("{line}\n"))
+}
+
+/// `results JOB`: the job's JSONL rows (the trailer stays on stderr's
+/// side of the contract — rows only, exactly like `run --scenario`).
+fn cmd_results(args: &Args) -> Result<String, CliError> {
+    let job = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Other("results needs a job id argument".into()))?;
+    let addr = addr_from(args);
+    let (rows, _trailer) =
+        bftbcast_server::client::results(&addr, job).map_err(|e| net_err("querying", &addr, e))?;
+    let mut out = rows.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `stats`: the server's store/queue statistics line.
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let addr = addr_from(args);
+    let line = bftbcast_server::client::stats(&addr).map_err(|e| net_err("querying", &addr, e))?;
+    Ok(format!("{line}\n"))
+}
+
+/// `shutdown`: stop a running server.
+fn cmd_shutdown(args: &Args) -> Result<String, CliError> {
+    let addr = addr_from(args);
+    let line =
+        bftbcast_server::client::shutdown(&addr).map_err(|e| net_err("stopping", &addr, e))?;
+    Ok(format!("{line}\n"))
 }
 
 fn cmd_map(args: &Args) -> Result<String, CliError> {
@@ -622,5 +774,86 @@ mod tests {
     fn exp_runs_a_fast_experiment() {
         let out = run(&["exp", "t2b"]).unwrap();
         assert!(out.contains("EXP-T2b"), "{out}");
+    }
+
+    #[test]
+    fn run_scenario_jobs_flag_bounds_and_validates() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let ok = run(&["run", "--scenario", path, "--jobs", "1"]).unwrap();
+        assert!(ok.contains("\"scenario\""), "{ok}");
+        for bad in ["0", "-1", "lots"] {
+            let err = run(&["run", "--scenario", path, "--jobs", bad]).unwrap_err();
+            assert!(
+                err.to_string().contains("--jobs") && err.to_string().contains(">= 1"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_scenario_store_caches_across_invocations() {
+        let dir =
+            std::env::temp_dir().join(format!("bftbcast_cli_test_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let cold = run(&["run", "--scenario", path, "--store", store]).unwrap();
+        let warm = run(&["run", "--scenario", path, "--store", store]).unwrap();
+        assert_eq!(cold, warm, "cached rerun is bit-identical");
+        assert!(dir.join("store.log").exists(), "store persisted to disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The full service loop through the real CLI verbs, over a real
+    /// socket: serve, submit f2, read goldens from results, resubmit,
+    /// observe all-hit status, stats, shutdown.
+    #[test]
+    fn service_verbs_round_trip_with_warm_cache() {
+        use bftbcast_store::Store;
+        use std::sync::Arc;
+        // Bind the server in-process (cmd_serve blocks; the verbs under
+        // test are the client side).
+        let server =
+            bftbcast_server::Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), None)
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/f2.scn");
+        let reply = run(&["submit", scn, "--addr", &addr]).unwrap();
+        assert!(reply.contains("\"job\":\"job-0\""), "{reply}");
+        let rows = run(&["results", "job-0", "--addr", &addr]).unwrap();
+        for needle in ["\"intake\":2065", "\"intake\":1947", "\"tally_wrong\":947"] {
+            assert!(rows.contains(needle), "{needle} missing:\n{rows}");
+        }
+        let reply = run(&["submit", scn, "--addr", &addr]).unwrap();
+        assert!(reply.contains("\"job\":\"job-1\""), "{reply}");
+        let rows2 = run(&["results", "job-1", "--addr", &addr]).unwrap();
+        assert_eq!(rows, rows2, "warm rows are bit-identical");
+        let status = run(&["status", "job-1", "--addr", &addr]).unwrap();
+        assert!(status.contains("\"cache_hits\":1"), "{status}");
+        assert!(status.contains("\"cache_misses\":0"), "{status}");
+        let stats = run(&["stats", "--addr", &addr]).unwrap();
+        assert!(stats.contains("\"jobs_done\":2"), "{stats}");
+        let bye = run(&["shutdown", "--addr", &addr]).unwrap();
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn service_verbs_report_usage_and_connection_errors() {
+        assert!(run(&["submit"]).is_err(), "missing file");
+        assert!(run(&["status"]).is_err(), "missing job id");
+        assert!(run(&["results"]).is_err(), "missing job id");
+        // Nothing listens on this port: a clean user-facing error.
+        let err = run(&["stats", "--addr", "127.0.0.1:1"]).unwrap_err();
+        assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+        // A submit of a file that does not parse fails before the
+        // network is touched.
+        let bad = std::env::temp_dir().join("bftbcast_cli_test_badsubmit.scn");
+        std::fs::write(&bad, "[teleport]\n x = 1\n").unwrap();
+        let err = run(&["submit", bad.to_str().unwrap(), "--addr", "127.0.0.1:1"]).unwrap_err();
+        assert!(!err.to_string().contains("127.0.0.1:1"), "{err}");
+        std::fs::remove_file(bad).ok();
     }
 }

@@ -36,9 +36,11 @@ use bftbcast_sim::engine::{
     AgreementEngine, CountingDrive, CountingEngine, CrashEngine, EngineOutcome, Probe, SimEngine,
     SlotEngine,
 };
-use bftbcast_sim::runner::{sweep, Table};
+use bftbcast_sim::runner::{sweep_bounded, Table};
 use bftbcast_sim::slot::SlotConfig;
+use bftbcast_store::Store;
 
+use crate::cache;
 use crate::json::{self, Object};
 use crate::scenario::ScenarioError;
 use crate::scenario_file::{
@@ -78,6 +80,22 @@ pub struct BatchReport {
     pub engine: EngineKind,
     /// One result per sweep point, in sweep order.
     pub results: Vec<PointResult>,
+    /// Points answered from the outcome store (0 without a store).
+    pub cache_hits: usize,
+    /// Points that ran an engine (equals `results.len()` without a
+    /// store).
+    pub cache_misses: usize,
+}
+
+/// Execution knobs for [`run_file_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions<'a> {
+    /// Cap on the worker-thread count (`None` = one per core). Must be
+    /// at least 1 when given.
+    pub jobs: Option<usize>,
+    /// Outcome store consulted before — and recorded after — every
+    /// engine run.
+    pub store: Option<&'a Store>,
 }
 
 /// Builds the right engine for one point of a scenario file.
@@ -238,6 +256,40 @@ pub fn run_point(file: &ScenarioFile, point: &PointSpec) -> Result<PointResult, 
     })
 }
 
+/// Runs one point through the outcome store: consult before, record
+/// after, single-flight on the content key. Returns the result plus
+/// whether it was a cache hit.
+fn run_point_cached(
+    file: &ScenarioFile,
+    point: &PointSpec,
+    store: &Store,
+) -> Result<(PointResult, bool), ScenarioError> {
+    let key = cache::point_key(file.engine, point, &file.probes);
+    let mut computed: Option<PointResult> = None;
+    let (bytes, hit) = store.get_or_compute(key, || -> Result<Vec<u8>, ScenarioError> {
+        let result = run_point(file, point)?;
+        let encoded = cache::encode_result(&result);
+        computed = Some(result);
+        Ok(encoded)
+    })?;
+    let result = match computed {
+        Some(result) => result,
+        None => {
+            let mut result =
+                cache::decode_result(&bytes).ok_or_else(|| ScenarioError::Invalid {
+                    what: "store".to_string(),
+                    message: format!(
+                        "corrupt outcome-store entry for key {key:016x}; \
+                     delete the store directory to rebuild it"
+                    ),
+                })?;
+            result.point = point.label.clone();
+            result
+        }
+    };
+    Ok((result, hit))
+}
+
 /// Runs every point of a scenario file, fanned out over worker threads
 /// (deterministic per point, so parallelism never changes results).
 ///
@@ -245,16 +297,52 @@ pub fn run_point(file: &ScenarioFile, point: &PointSpec) -> Result<PointResult, 
 ///
 /// The first [`ScenarioError`] any point produced, in sweep order.
 pub fn run_file(file: &ScenarioFile) -> Result<BatchReport, ScenarioError> {
+    run_file_with(file, &BatchOptions::default())
+}
+
+/// [`run_file`] with execution knobs: a worker-count cap (`--jobs N`)
+/// and an optional content-addressed outcome store. With a store,
+/// every point is looked up before any engine runs and recorded after;
+/// identical points — within the sweep, across invocations, across
+/// processes sharing the store directory — are computed exactly once.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] (`what = "jobs"`) for a zero worker
+/// count, otherwise the first [`ScenarioError`] any point produced, in
+/// sweep order.
+pub fn run_file_with(
+    file: &ScenarioFile,
+    options: &BatchOptions<'_>,
+) -> Result<BatchReport, ScenarioError> {
+    if options.jobs == Some(0) {
+        return Err(ScenarioError::Invalid {
+            what: "jobs".to_string(),
+            message: "worker count must be at least 1".to_string(),
+        });
+    }
     let points = file.points();
-    let results = sweep(&points, |p| run_point(file, p));
+    let results = sweep_bounded(&points, options.jobs, |p| match options.store {
+        None => run_point(file, p).map(|result| (result, false)),
+        Some(store) => run_point_cached(file, p, store),
+    });
     let mut ok = Vec::with_capacity(results.len());
+    let (mut cache_hits, mut cache_misses) = (0, 0);
     for r in results {
-        ok.push(r?);
+        let (result, hit) = r?;
+        if hit {
+            cache_hits += 1;
+        } else {
+            cache_misses += 1;
+        }
+        ok.push(result);
     }
     Ok(BatchReport {
         name: file.name.clone(),
         engine: file.engine,
         results: ok,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -542,6 +630,92 @@ mod tests {
         ))
         .unwrap_err();
         assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_jobs_is_a_named_error() {
+        let file = ScenarioFile::parse("[topology]\nside = 15\nr = 1\n").unwrap();
+        let err = run_file_with(
+            &file,
+            &BatchOptions {
+                jobs: Some(0),
+                store: None,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Invalid { ref what, .. } if what == "jobs"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_makes_reruns_bit_identical_cache_hits() {
+        let file = ScenarioFile::parse(concat!(
+            "name = \"cached\"\n",
+            "[topology]\nside = 15\nr = 1\n",
+            "[faults]\nt = 1\nmf = 4\n",
+            "[placement]\nkind = \"lattice\"\n",
+            "[protocol]\nkind = \"starved\"\nm = 4\n",
+            "[probes]\nnodes = [[3, 3]]\n",
+            "[sweep]\nm = [2, 8]\n",
+        ))
+        .unwrap();
+        let store = Store::in_memory();
+        let cold = run_file_with(
+            &file,
+            &BatchOptions {
+                jobs: Some(1),
+                store: Some(&store),
+            },
+        )
+        .unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+        assert_eq!(store.len(), 2);
+        let warm = run_file_with(
+            &file,
+            &BatchOptions {
+                jobs: None,
+                store: Some(&store),
+            },
+        )
+        .unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+        assert_eq!(warm.jsonl(), cold.jsonl(), "cached rows are bit-identical");
+        assert_eq!(store.len(), 2, "no new entries on the warm run");
+        // A storeless run reports everything as a miss.
+        let plain = run_file(&file).unwrap();
+        assert_eq!((plain.cache_hits, plain.cache_misses), (0, 2));
+        assert_eq!(plain.jsonl(), cold.jsonl());
+    }
+
+    #[test]
+    fn duplicate_sweep_points_share_one_cache_entry() {
+        // The same m twice: two rows, one engine run recorded.
+        let file = ScenarioFile::parse(concat!(
+            "[topology]\nside = 15\nr = 1\n",
+            "[faults]\nt = 1\nmf = 4\n",
+            "[protocol]\nkind = \"starved\"\nm = 4\n",
+            "[sweep]\nm = [8, 8]\n",
+        ))
+        .unwrap();
+        let store = Store::in_memory();
+        let report = run_file_with(
+            &file,
+            &BatchOptions {
+                jobs: None,
+                store: Some(&store),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(store.len(), 1, "identical points are content-equal");
+        assert_eq!(report.cache_hits + report.cache_misses, 2);
+        assert!(report.cache_misses >= 1 && report.cache_hits >= 1);
+        assert_eq!(
+            report.results[0].outcome, report.results[1].outcome,
+            "both rows carry the same outcome"
+        );
     }
 
     #[test]

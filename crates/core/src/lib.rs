@@ -47,6 +47,7 @@
 //! | [`viz`] | SVG torus maps and sweep charts |
 //! | [`scenario`] | this crate's high-level builder API |
 //! | [`scn`] / [`scenario_file`] / [`batch`] | declarative `*.scn` scenario files and the batch runner |
+//! | [`cache`] | content-addressed cache keys and the result codec over `bftbcast-store` |
 //!
 //! # Declarative scenarios
 //!
@@ -80,12 +81,13 @@ pub use bftbcast_sim as sim;
 pub use bftbcast_viz as viz;
 
 pub mod batch;
+pub mod cache;
 pub mod json;
 pub mod prelude;
 pub mod scenario;
 pub mod scenario_file;
 pub mod scn;
 
-pub use batch::{run_file, BatchReport, PointResult};
+pub use batch::{run_file, run_file_with, BatchOptions, BatchReport, PointResult};
 pub use scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
 pub use scenario_file::{EngineKind, PointSpec, ScenarioFile};

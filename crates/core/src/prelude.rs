@@ -6,7 +6,9 @@
 //! assert_eq!(p.m0(), 58);
 //! ```
 
-pub use crate::batch::{run_file, BatchReport, PointResult, ProbeResult};
+pub use crate::batch::{
+    run_file, run_file_with, BatchOptions, BatchReport, PointResult, ProbeResult,
+};
 pub use crate::scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
 pub use crate::scenario_file::{EngineKind, PointSpec, ScenarioFile};
 pub use bftbcast_adversary::probabilistic::{

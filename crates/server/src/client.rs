@@ -1,0 +1,134 @@
+//! Client helpers for the JSON-lines protocol — used by the
+//! `bftbcast submit`/`status`/`results`/`stats`/`shutdown` CLI verbs
+//! and by tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+use bftbcast::json::{Json, Object};
+
+/// Sends one request line and returns every response line.
+///
+/// # Errors
+///
+/// Connection/transport failures. Protocol-level errors (a
+/// `{"ok":false,...}` reply) are returned as lines, not errors — the
+/// typed helpers below interpret them.
+pub fn request(addr: &str, line: &str) -> io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+    let reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if !line.is_empty() {
+            lines.push(line);
+        }
+    }
+    Ok(lines)
+}
+
+/// Converts a `{"ok":false,"error":...}` reply into an [`io::Error`].
+fn check_ok(line: &str) -> io::Result<()> {
+    let doc = Json::parse(line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
+    if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(());
+    }
+    let message = doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("server reported failure")
+        .to_string();
+    Err(io::Error::other(message))
+}
+
+fn single_line(mut lines: Vec<String>) -> io::Result<String> {
+    if lines.len() != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected one reply line, got {}", lines.len()),
+        ));
+    }
+    let line = lines.remove(0);
+    check_ok(&line)?;
+    Ok(line)
+}
+
+/// Submits a scenario document; returns the assigned job id.
+///
+/// # Errors
+///
+/// Transport failures, or a server-side rejection (parse error,
+/// shutdown in progress).
+pub fn submit(addr: &str, scenario: &str) -> io::Result<String> {
+    let line = single_line(request(
+        addr,
+        &Object::new()
+            .str("cmd", "submit")
+            .str("scenario", scenario)
+            .render(),
+    )?)?;
+    let doc = Json::parse(&line).expect("validated by single_line");
+    doc.get("job")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "reply lacks a job id"))
+}
+
+/// One job's status line (verbatim JSON).
+///
+/// # Errors
+///
+/// Transport failures or an unknown job.
+pub fn status(addr: &str, job: &str) -> io::Result<String> {
+    single_line(request(
+        addr,
+        &Object::new().str("cmd", "status").str("job", job).render(),
+    )?)
+}
+
+/// A job's result rows plus the summary trailer. Blocks until the job
+/// finishes (the server holds the reply for running jobs).
+///
+/// # Errors
+///
+/// Transport failures, an unknown job, or a failed job.
+pub fn results(addr: &str, job: &str) -> io::Result<(Vec<String>, String)> {
+    let mut lines = request(
+        addr,
+        &Object::new().str("cmd", "results").str("job", job).render(),
+    )?;
+    let Some(trailer) = lines.pop() else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "empty results reply",
+        ));
+    };
+    check_ok(&trailer)?;
+    Ok((lines, trailer))
+}
+
+/// The server's store/queue statistics line (verbatim JSON).
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn stats(addr: &str) -> io::Result<String> {
+    single_line(request(addr, &Object::new().str("cmd", "stats").render())?)
+}
+
+/// Asks the server to stop; returns its acknowledgement line.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn shutdown(addr: &str) -> io::Result<String> {
+    single_line(request(
+        addr,
+        &Object::new().str("cmd", "shutdown").render(),
+    )?)
+}

@@ -1,0 +1,62 @@
+//! **bftbcast-server** — the persistent sweep service.
+//!
+//! `bftbcast run --scenario` is a one-shot process: every invocation
+//! recomputes every point from zero, even one computed seconds
+//! earlier. This crate turns the batch runner into a long-running
+//! service: a multi-threaded TCP server (plain `std::net`, no
+//! dependencies beyond the workspace) that queues submitted scenario
+//! files, fans each over the existing [`bftbcast::batch`] worker pool,
+//! and consults a content-addressed
+//! [outcome store](bftbcast_store::Store) before every engine run —
+//! so resubmitting a scenario, or submitting one that overlaps an
+//! earlier sweep, costs one store lookup per point instead of one
+//! simulation.
+//!
+//! # Protocol
+//!
+//! JSON lines over TCP, **one request per connection**: the client
+//! sends a single JSON object terminated by `\n`, the server answers
+//! with one or more JSON lines and closes. Requests:
+//!
+//! | request | reply |
+//! |---------|-------|
+//! | `{"cmd":"submit","scenario":"<.scn text>"}` | `{"ok":true,"job":"job-N","name":...,"points":N}` |
+//! | `{"cmd":"status","job":"job-N"}` | `{"ok":true,"job":...,"state":"queued\|running\|done\|failed","points":N,"cache_hits":H,"cache_misses":M}` |
+//! | `{"cmd":"results","job":"job-N"}` | the job's JSONL result rows (exactly `run --scenario`'s output), then a `{"ok":true,"done":true,...}` trailer |
+//! | `{"cmd":"stats"}` | `{"ok":true,"store_entries":N,"store_hits":H,"store_misses":M,"jobs":J,"jobs_done":D}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"shutting_down":true}` |
+//!
+//! `results` *waits* for the job to finish — a client can submit and
+//! immediately ask for results. Errors (parse failures, unknown jobs)
+//! come back as `{"ok":false,"error":"..."}`. The full grammar is
+//! documented in `docs/ARCHITECTURE.md` ("Service layer").
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_server::{client, Server};
+//! use bftbcast_store::Store;
+//! use std::sync::Arc;
+//!
+//! let server = Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), None).unwrap();
+//! let addr = server.local_addr().to_string();
+//! let handle = std::thread::spawn(move || server.serve());
+//!
+//! let scn = "[topology]\nside = 15\nr = 1\n[faults]\nt = 1\nmf = 4\n";
+//! let job = client::submit(&addr, scn).unwrap();
+//! let (rows, trailer) = client::results(&addr, &job).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert!(trailer.contains("\"ok\":true"));
+//! client::shutdown(&addr).unwrap();
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod proto;
+mod service;
+
+pub use proto::Request;
+pub use service::Server;

@@ -1,0 +1,118 @@
+//! Request parsing for the JSON-lines protocol (the response side is
+//! written directly with [`bftbcast::json::Object`]).
+
+use bftbcast::json::Json;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue a scenario file (`scenario` is the `.scn` document text).
+    Submit {
+        /// The scenario document to queue.
+        scenario: String,
+    },
+    /// Report a job's state.
+    Status {
+        /// The job id (`job-N`).
+        job: String,
+    },
+    /// Stream a job's result rows (waits for completion).
+    Results {
+        /// The job id (`job-N`).
+        job: String,
+    },
+    /// Report store and queue statistics.
+    Stats,
+    /// Stop accepting work and exit once queued jobs drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A user-facing description: malformed JSON, a missing/unknown
+    /// `cmd`, or a missing required field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let cmd = doc
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"cmd\" field")?;
+        let job = |doc: &Json| -> Result<String, String> {
+            doc.get("job")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{cmd:?} needs a string \"job\" field"))
+        };
+        match cmd {
+            "submit" => {
+                let scenario = doc
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .ok_or("\"submit\" needs a string \"scenario\" field")?
+                    .to_string();
+                Ok(Request::Submit { scenario })
+            }
+            "status" => Ok(Request::Status { job: job(&doc)? }),
+            "results" => Ok(Request::Results { job: job(&doc)? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown cmd {other:?} (submit|status|results|stats|shutdown)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            Request::parse("{\"cmd\":\"submit\",\"scenario\":\"x = 1\\n\"}").unwrap(),
+            Request::Submit {
+                scenario: "x = 1\n".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"status\",\"job\":\"job-3\"}").unwrap(),
+            Request::Status {
+                job: "job-3".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"results\",\"job\":\"job-0\"}").unwrap(),
+            Request::Results {
+                job: "job-0".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"cmd\":7}",
+            "{\"cmd\":\"teleport\"}",
+            "{\"cmd\":\"submit\"}",
+            "{\"cmd\":\"status\"}",
+            "{\"cmd\":\"results\",\"job\":3}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+}

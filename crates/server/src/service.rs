@@ -1,0 +1,482 @@
+//! The TCP service: listener, per-connection handlers, and the job
+//! worker feeding the batch runner through the outcome store.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bftbcast::batch::{run_file_with, BatchOptions};
+use bftbcast::json::Object;
+use bftbcast::ScenarioFile;
+use bftbcast_store::Store;
+
+use crate::proto::Request;
+
+/// A queued/running/finished job.
+struct Job {
+    id: String,
+    name: String,
+    points: usize,
+    /// Present while queued; taken by the worker.
+    file: Option<ScenarioFile>,
+    state: JobState,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done {
+        rows: Vec<String>,
+        hits: usize,
+        misses: usize,
+    },
+    Failed(String),
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done { .. } | JobState::Failed(_))
+    }
+}
+
+struct State {
+    jobs: Vec<Job>,
+    queue: VecDeque<usize>,
+    shutdown: bool,
+}
+
+struct Shared {
+    store: Arc<Store>,
+    jobs_bound: Option<usize>,
+    addr: SocketAddr,
+    state: Mutex<State>,
+    /// Signalled on every job/queue/shutdown transition.
+    changed: Condvar,
+}
+
+/// The sweep service: see the [crate docs](crate) for the protocol.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the service (not yet accepting — call [`Server::serve`]).
+    /// `jobs` caps each batch's worker pool, exactly like
+    /// `run --scenario --jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `jobs == Some(0)` (`InvalidInput`).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<Store>,
+        jobs: Option<usize>,
+    ) -> io::Result<Server> {
+        if jobs == Some(0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--jobs: worker count must be at least 1",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                store,
+                jobs_bound: jobs,
+                addr,
+                state: Mutex::new(State {
+                    jobs: Vec::new(),
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                }),
+                changed: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Accepts and serves connections until a `shutdown` request,
+    /// then drains the remaining queue and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection I/O failures are
+    /// contained to their connection thread.
+    pub fn serve(self) -> io::Result<()> {
+        let worker = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        };
+        for conn in self.listener.incoming() {
+            if let Ok(stream) = conn {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            if self.shared.state.lock().expect("server lock").shutdown {
+                break;
+            }
+        }
+        worker.join().expect("worker thread panicked");
+        Ok(())
+    }
+}
+
+/// The single queue consumer: pops jobs in submission order and runs
+/// each through the cached batch runner (which fans the job's points
+/// over its own worker pool).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (idx, file) = {
+            let mut st = shared.state.lock().expect("server lock");
+            loop {
+                if let Some(idx) = st.queue.pop_front() {
+                    st.jobs[idx].state = JobState::Running;
+                    let file = st.jobs[idx].file.take().expect("queued job keeps its file");
+                    break (idx, file);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.changed.wait(st).expect("server lock");
+            }
+        };
+        shared.changed.notify_all();
+        let outcome = run_file_with(
+            &file,
+            &BatchOptions {
+                jobs: shared.jobs_bound,
+                store: Some(&shared.store),
+            },
+        );
+        let mut st = shared.state.lock().expect("server lock");
+        st.jobs[idx].state = match outcome {
+            Ok(report) => JobState::Done {
+                rows: report.jsonl().lines().map(str::to_string).collect(),
+                hits: report.cache_hits,
+                misses: report.cache_misses,
+            },
+            Err(e) => JobState::Failed(e.to_string()),
+        };
+        drop(st);
+        shared.changed.notify_all();
+    }
+}
+
+fn error_line(message: &str) -> String {
+    Object::new()
+        .bool("ok", false)
+        .str("error", message)
+        .render()
+}
+
+/// Upper bound on one request line. Scenario documents are the only
+/// legitimately large payload and run to a few KB; 8 MiB leaves three
+/// orders of magnitude of headroom while keeping a hostile client from
+/// growing server memory without bound.
+const MAX_REQUEST_BYTES: u64 = 8 << 20;
+
+/// Reads the single request line, dispatches, writes the reply lines.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A client that connects and never writes must not pin this thread
+    // forever; one minute is generous for a one-line request.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let result: io::Result<()> = (|| {
+        use std::io::Read as _;
+        let mut reader = BufReader::new(stream.try_clone()?.take(MAX_REQUEST_BYTES));
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut out = stream;
+        if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
+            return writeln!(
+                out,
+                "{}",
+                error_line(&format!("request exceeds {MAX_REQUEST_BYTES} bytes"))
+            );
+        }
+        match Request::parse(line.trim()) {
+            Err(e) => writeln!(out, "{}", error_line(&e)),
+            Ok(request) => respond(request, shared, &mut out),
+        }
+    })();
+    // Connection errors (client went away) are the client's problem.
+    let _ = result;
+}
+
+fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result<()> {
+    match request {
+        Request::Submit { scenario } => {
+            let reply = match ScenarioFile::parse(&scenario) {
+                Err(e) => error_line(&format!("scenario rejected: {e}")),
+                Ok(file) => {
+                    let points = file.points().len();
+                    let mut st = shared.state.lock().expect("server lock");
+                    if st.shutdown {
+                        error_line("server is shutting down")
+                    } else {
+                        let idx = st.jobs.len();
+                        let id = format!("job-{idx}");
+                        let name = file.name.clone();
+                        st.jobs.push(Job {
+                            id: id.clone(),
+                            name: name.clone(),
+                            points,
+                            file: Some(file),
+                            state: JobState::Queued,
+                        });
+                        st.queue.push_back(idx);
+                        drop(st);
+                        shared.changed.notify_all();
+                        Object::new()
+                            .bool("ok", true)
+                            .str("job", &id)
+                            .str("name", &name)
+                            .u64("points", points as u64)
+                            .render()
+                    }
+                }
+            };
+            writeln!(out, "{reply}")
+        }
+        Request::Status { job } => {
+            let st = shared.state.lock().expect("server lock");
+            let reply = match find(&st, &job) {
+                None => error_line(&format!("unknown job {job:?}")),
+                Some(j) => {
+                    let mut o = Object::new()
+                        .bool("ok", true)
+                        .str("job", &j.id)
+                        .str("name", &j.name)
+                        .str("state", j.state.name())
+                        .u64("points", j.points as u64);
+                    o = match &j.state {
+                        JobState::Done { hits, misses, .. } => o
+                            .u64("cache_hits", *hits as u64)
+                            .u64("cache_misses", *misses as u64),
+                        JobState::Failed(e) => o.str("error", e),
+                        _ => o,
+                    };
+                    o.render()
+                }
+            };
+            writeln!(out, "{reply}")
+        }
+        Request::Results { job } => {
+            let mut st = shared.state.lock().expect("server lock");
+            let Some(idx) = st.jobs.iter().position(|j| j.id == job) else {
+                return writeln!(out, "{}", error_line(&format!("unknown job {job:?}")));
+            };
+            while !st.jobs[idx].state.is_terminal() {
+                st = shared.changed.wait(st).expect("server lock");
+            }
+            match &st.jobs[idx].state {
+                JobState::Done { rows, hits, misses } => {
+                    let trailer = Object::new()
+                        .bool("ok", true)
+                        .bool("done", true)
+                        .str("job", &job)
+                        .u64("rows", rows.len() as u64)
+                        .u64("cache_hits", *hits as u64)
+                        .u64("cache_misses", *misses as u64)
+                        .render();
+                    let mut body = rows.join("\n");
+                    if !body.is_empty() {
+                        body.push('\n');
+                    }
+                    body.push_str(&trailer);
+                    drop(st);
+                    writeln!(out, "{body}")
+                }
+                JobState::Failed(e) => {
+                    let line = error_line(&format!("job {job} failed: {e}"));
+                    drop(st);
+                    writeln!(out, "{line}")
+                }
+                _ => unreachable!("waited for a terminal state"),
+            }
+        }
+        Request::Stats => {
+            let stats = shared.store.stats();
+            let st = shared.state.lock().expect("server lock");
+            let done = st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, JobState::Done { .. }))
+                .count();
+            let reply = Object::new()
+                .bool("ok", true)
+                .u64("store_entries", stats.entries as u64)
+                .u64("store_hits", stats.hits)
+                .u64("store_misses", stats.misses)
+                .u64("jobs", st.jobs.len() as u64)
+                .u64("jobs_done", done as u64)
+                .render();
+            drop(st);
+            writeln!(out, "{reply}")
+        }
+        Request::Shutdown => {
+            writeln!(
+                out,
+                "{}",
+                Object::new()
+                    .bool("ok", true)
+                    .bool("shutting_down", true)
+                    .render()
+            )?;
+            out.flush()?;
+            {
+                let mut st = shared.state.lock().expect("server lock");
+                st.shutdown = true;
+            }
+            shared.changed.notify_all();
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            Ok(())
+        }
+    }
+}
+
+fn find<'a>(st: &'a State, job: &str) -> Option<&'a Job> {
+    st.jobs.iter().find(|j| j.id == job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn start(jobs: Option<usize>) -> (String, std::thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), jobs).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+        (addr, handle)
+    }
+
+    const MINI: &str = concat!(
+        "name = \"mini\"\n",
+        "[topology]\nside = 15\nr = 1\n",
+        "[faults]\nt = 1\nmf = 4\n",
+        "[placement]\nkind = \"lattice\"\n",
+        "[protocol]\nkind = \"starved\"\nm = 4\n",
+        "[sweep]\nm = [2, 8]\n",
+    );
+
+    #[test]
+    fn submit_results_stats_shutdown_round_trip() {
+        let (addr, handle) = start(Some(2));
+        let job = client::submit(&addr, MINI).unwrap();
+        assert_eq!(job, "job-0");
+        let (rows, trailer) = client::results(&addr, &job).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("\"scenario\":\"mini\""), "{}", rows[0]);
+        assert!(trailer.contains("\"cache_misses\":2"), "{trailer}");
+
+        // Resubmission: same content, zero engine runs.
+        let job2 = client::submit(&addr, MINI).unwrap();
+        let (rows2, trailer2) = client::results(&addr, &job2).unwrap();
+        assert_eq!(rows2, rows, "warm rows are bit-identical");
+        assert!(trailer2.contains("\"cache_hits\":2"), "{trailer2}");
+        assert!(trailer2.contains("\"cache_misses\":0"), "{trailer2}");
+
+        let status = client::status(&addr, &job2).unwrap();
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+        assert!(status.contains("\"cache_hits\":2"), "{status}");
+
+        let stats = client::stats(&addr).unwrap();
+        assert!(stats.contains("\"store_entries\":2"), "{stats}");
+        assert!(stats.contains("\"jobs_done\":2"), "{stats}");
+
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_and_bad_scenarios_are_contained() {
+        let (addr, handle) = start(None);
+        let lines = client::request(&addr, "this is not json").unwrap();
+        assert!(lines[0].contains("\"ok\":false"), "{lines:?}");
+        let lines = client::request(&addr, "{\"cmd\":\"status\",\"job\":\"job-9\"}").unwrap();
+        assert!(lines[0].contains("unknown job"), "{lines:?}");
+        let err = client::submit(&addr, "[teleport]\nx = 1\n").unwrap_err();
+        assert!(err.to_string().contains("scenario rejected"), "{err}");
+        // The service survives all of the above.
+        let job = client::submit(&addr, MINI).unwrap();
+        let (rows, _) = client::results(&addr, &job).unwrap();
+        assert_eq!(rows.len(), 2);
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_requests_do_not_take_down_the_server() {
+        let (addr, handle) = start(None);
+        // ~9 MiB in one line: past MAX_REQUEST_BYTES. The server stops
+        // reading at the cap and replies (or resets the connection mid
+        // upload — either way, bounded memory and a live server).
+        let huge = format!(
+            "{{\"cmd\":\"submit\",\"scenario\":\"{}\"}}",
+            "x".repeat(9 << 20)
+        );
+        // An Err means the connection reset while still uploading —
+        // also acceptable.
+        if let Ok(lines) = client::request(&addr, &huge) {
+            assert!(lines[0].contains("\"ok\":false"), "{}", lines[0]);
+        }
+        let stats = client::stats(&addr).unwrap();
+        assert!(stats.contains("\"ok\":true"), "{stats}");
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_jobs_bound_is_rejected_at_bind() {
+        let err = Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), Some(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn failed_jobs_report_failed_not_hang() {
+        let (addr, handle) = start(None);
+        // Parses, but the placement violates the local bound at build
+        // time — the job must fail, not wedge the queue.
+        let bad = concat!(
+            "[topology]\nside = 15\nr = 1\n",
+            "[placement]\nkind = \"explicit\"\nnodes = [[1, 1], [2, 1], [3, 1]]\n",
+        );
+        let job = client::submit(&addr, bad).unwrap();
+        let err = client::results(&addr, &job).unwrap_err();
+        assert!(err.to_string().contains("failed"), "{err}");
+        let status = client::status(&addr, &job).unwrap();
+        assert!(status.contains("\"state\":\"failed\""), "{status}");
+        // The queue keeps moving afterwards.
+        let job2 = client::submit(&addr, MINI).unwrap();
+        assert!(client::results(&addr, &job2).is_ok());
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -120,7 +120,7 @@ impl SplitAttack {
 }
 
 /// Per-node outcome of an agreement run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgreementOutcome {
     /// `(node, decided value)` for every good member of `N(source)`.
     pub decisions: Vec<(NodeId, Value)>,

@@ -92,7 +92,7 @@ pub trait SimEngine {
 }
 
 /// Outcome of any [`SimEngine`] run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineOutcome {
     /// A counting or crash/hybrid engine run.
     Counting(CountingOutcome),

@@ -22,12 +22,28 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    sweep_bounded(points, None, f)
+}
+
+/// [`sweep`] with an optional cap on the worker-thread count.
+///
+/// `None` uses full parallelism (one worker per core, at most one per
+/// point); `Some(n)` never spawns more than `n` workers — the
+/// `--jobs N` knob for sharing a machine. `Some(0)` is treated as
+/// `Some(1)`: callers wanting a validation error check before calling.
+pub fn sweep_bounded<P, R, F>(points: &[P], max_workers: Option<usize>, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
     if points.is_empty() {
         return Vec::new();
     }
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(4)
+        .min(max_workers.unwrap_or(usize::MAX).max(1))
         .min(points.len());
     let chunk = points.len().div_ceil(threads);
     let mut results: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
@@ -147,6 +163,25 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(sweep(&empty, |&p| p).is_empty());
         assert_eq!(sweep(&[7u32], |&p| p + 1), vec![8]);
+    }
+
+    #[test]
+    fn sweep_bounded_limits_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let points: Vec<u64> = (0..64).collect();
+        let out = sweep_bounded(&points, Some(2), |&p| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            p * 2
+        });
+        assert_eq!(out[63], 126);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "worker cap exceeded");
+        // A zero cap degrades to one worker rather than deadlocking.
+        assert_eq!(sweep_bounded(&[1u64, 2], Some(0), |&p| p), vec![1, 2]);
     }
 
     #[test]

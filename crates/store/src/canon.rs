@@ -1,0 +1,274 @@
+//! Canonical, versioned binary encoding of structured records, and the
+//! stable 64-bit FNV-1a content hash over it.
+//!
+//! A [`Record`] is a set of named, typed fields (possibly nested). Its
+//! [`canonical bytes`](Record::canonical_bytes) are independent of the
+//! order the fields were added in — the encoding sorts fields by name —
+//! and fully self-delimiting: every name and value is length-prefixed
+//! and every value carries a type tag, so distinct records can never
+//! share an encoding (`str("1")` ≠ `u64(1)`, and `("ab", "c")` ≠
+//! `("a", "bc")`). The encoding starts with the caller-chosen schema
+//! version, so evolving the schema retires every old key instead of
+//! silently aliasing new configurations onto stale cache entries.
+//!
+//! The content hash is plain FNV-1a 64 — no dependencies, stable across
+//! platforms and process runs, and collision-free in practice for the
+//! cache-sized key spaces used here (a collision would require two
+//! distinct ~100-byte canonical encodings to hash equal, at 2⁻⁶⁴).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The stable FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Value type tags. Part of the on-disk/hashed format — append only,
+/// never renumber.
+const TAG_U64: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_RECORD: u8 = 6;
+const TAG_LIST: u8 = 7;
+
+/// One encoded field value: a type tag plus its canonical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Encoded {
+    tag: u8,
+    bytes: Vec<u8>,
+}
+
+/// A canonical record under construction: named, typed fields whose
+/// eventual encoding is independent of insertion order.
+///
+/// Builder methods consume and return `self` so a record reads as one
+/// expression; see the [crate docs](crate) for an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    version: u16,
+    fields: Vec<(String, Encoded)>,
+}
+
+impl Record {
+    /// An empty record under schema version `version`.
+    pub fn new(version: u16) -> Self {
+        Record {
+            version,
+            fields: Vec::new(),
+        }
+    }
+
+    fn push(mut self, name: &str, tag: u8, bytes: Vec<u8>) -> Self {
+        debug_assert!(
+            !self.fields.iter().any(|(n, _)| n == name),
+            "duplicate canonical field {name:?}"
+        );
+        self.fields.push((name.to_string(), Encoded { tag, bytes }));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, name: &str, v: u64) -> Self {
+        self.push(name, TAG_U64, v.to_le_bytes().to_vec())
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(self, name: &str, v: i64) -> Self {
+        self.push(name, TAG_I64, v.to_le_bytes().to_vec())
+    }
+
+    /// Adds a float field (encoded by bit pattern, so `-0.0` ≠ `0.0`
+    /// and NaN payloads are preserved verbatim).
+    pub fn f64(self, name: &str, v: f64) -> Self {
+        self.push(name, TAG_F64, v.to_bits().to_le_bytes().to_vec())
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, name: &str, v: bool) -> Self {
+        self.push(name, TAG_BOOL, vec![u8::from(v)])
+    }
+
+    /// Adds a string field.
+    pub fn str(self, name: &str, v: &str) -> Self {
+        self.push(name, TAG_STR, v.as_bytes().to_vec())
+    }
+
+    /// Adds a nested record (canonicalized independently, so field
+    /// order inside the child is irrelevant too).
+    pub fn record(self, name: &str, child: Record) -> Self {
+        let bytes = child.canonical_bytes();
+        self.push(name, TAG_RECORD, bytes)
+    }
+
+    /// Adds an ordered list of records. Unlike fields, list order is
+    /// semantic and preserved.
+    pub fn list(self, name: &str, items: &[Record]) -> Self {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(items.len() as u32).to_le_bytes());
+        for item in items {
+            let child = item.canonical_bytes();
+            bytes.extend_from_slice(&(child.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&child);
+        }
+        self.push(name, TAG_LIST, bytes)
+    }
+
+    /// The canonical encoding: version, then every field sorted by
+    /// name, each as `name_len | name | tag | value_len | value`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut fields: Vec<&(String, Encoded)> = self.fields.iter().collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(16 + 16 * fields.len());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        for (name, value) in fields {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(value.tag);
+            out.extend_from_slice(&(value.bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&value.bytes);
+        }
+        out
+    }
+
+    /// The FNV-1a 64 content hash of the canonical encoding — the
+    /// store key for this record's configuration.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(&self.canonical_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let a = Record::new(1).u64("r", 4).str("engine", "counting");
+        let b = Record::new(1).str("engine", "counting").u64("r", 4);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn every_ingredient_is_load_bearing() {
+        let base = || Record::new(1).u64("r", 4).str("kind", "oracle");
+        let h = base().content_hash();
+        assert_ne!(h, base().u64("extra", 0).content_hash(), "added field");
+        assert_ne!(
+            h,
+            Record::new(2)
+                .u64("r", 4)
+                .str("kind", "oracle")
+                .content_hash(),
+            "schema version"
+        );
+        assert_ne!(
+            h,
+            Record::new(1)
+                .u64("r", 5)
+                .str("kind", "oracle")
+                .content_hash(),
+            "value change"
+        );
+        assert_ne!(
+            h,
+            Record::new(1)
+                .u64("rr", 4)
+                .str("kind", "oracle")
+                .content_hash(),
+            "name change"
+        );
+    }
+
+    #[test]
+    fn type_tags_separate_lookalike_values() {
+        let as_int = Record::new(1).u64("v", 1).content_hash();
+        let as_str = Record::new(1).str("v", "1").content_hash();
+        let as_bool = Record::new(1).bool("v", true).content_hash();
+        let as_float = Record::new(1).f64("v", 1.0).content_hash();
+        let all = [as_int, as_str, as_bool, as_float];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "tags {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixes_prevent_concatenation_ambiguity() {
+        let a = Record::new(1).str("ab", "c");
+        let b = Record::new(1).str("a", "bc");
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn nested_records_and_lists() {
+        let child = |o: u32| Record::new(1).u64("offset", u64::from(o));
+        let a = Record::new(1).record("placement", child(41));
+        let b = Record::new(1).record("placement", child(42));
+        assert_ne!(a.content_hash(), b.content_hash());
+
+        let l1 = Record::new(1).list("probes", &[child(1), child(2)]);
+        let l2 = Record::new(1).list("probes", &[child(2), child(1)]);
+        assert_ne!(
+            l1.content_hash(),
+            l2.content_hash(),
+            "list order is semantic"
+        );
+        let l3 = Record::new(1).list("probes", &[child(1), child(2)]);
+        assert_eq!(l1.content_hash(), l3.content_hash());
+    }
+
+    #[test]
+    fn float_encoding_is_bitwise() {
+        let pos = Record::new(1).f64("p", 0.0).content_hash();
+        let neg = Record::new(1).f64("p", -0.0).content_hash();
+        assert_ne!(pos, neg);
+    }
+
+    /// Guards cross-process / cross-platform stability: this constant
+    /// was computed once and must never change, or every store on disk
+    /// silently turns into a miss (or worse, a future encoding change
+    /// would go unnoticed).
+    #[test]
+    fn golden_hash_is_stable_forever() {
+        let r = Record::new(1)
+            .str("engine", "counting")
+            .u64("width", 45)
+            .u64("height", 45)
+            .u64("r", 4)
+            .u64("mf", 1000)
+            .f64("p1", 0.4)
+            .bool("split", false)
+            .record(
+                "placement",
+                Record::new(1).str("kind", "lattice").u64("offset", 41),
+            )
+            .list(
+                "probes",
+                &[
+                    Record::new(1).u64("x", 0).u64("y", 5),
+                    Record::new(1).u64("x", 5).u64("y", 1),
+                ],
+            );
+        assert_eq!(r.content_hash(), 0x79f8_2dff_2b41_1a4a);
+    }
+}

@@ -1,0 +1,50 @@
+//! **bftbcast-store** — a content-addressed outcome store.
+//!
+//! Every sweep point in this workspace is deterministic given its
+//! fully-resolved configuration, so a (configuration → outcome) cache
+//! is a correctness-preserving speedup: the same point never has to be
+//! simulated twice, whether it recurs within one sweep, across two
+//! `run --scenario` invocations, or across jobs submitted to a
+//! long-running `bftbcast serve` process.
+//!
+//! The crate is deliberately dumb about *what* it stores — keys are
+//! 64-bit content hashes, values are opaque byte strings — so it
+//! depends on nothing else in the workspace (and, like `scn`, on
+//! nothing outside `std`). The two halves:
+//!
+//! * [`canon`] — a canonical, versioned binary encoding for structured
+//!   records ([`Record`]) and the stable FNV-1a content hash over it
+//!   ([`fnv1a`]). Field order never matters: the canonical form sorts
+//!   fields by name, so any two ways of describing the same
+//!   configuration hash identically, in every process, forever.
+//! * [`log`] — the [`Store`]: an append-only on-disk log
+//!   (`<dir>/store.log`) replayed into an in-memory index at open,
+//!   with write-once dedupe, hit/miss [`StoreStats`], and a
+//!   single-flight [`Store::get_or_compute`] so concurrent requests
+//!   for the same key compute it exactly once.
+//!
+//! ```
+//! use bftbcast_store::{Record, Store};
+//!
+//! let store = Store::in_memory();
+//! let key = Record::new(1).u64("r", 4).u64("mf", 1000).content_hash();
+//! let (bytes, hit) = store
+//!     .get_or_compute(key, || Ok::<_, std::io::Error>(vec![42]))
+//!     .unwrap();
+//! assert!(!hit);
+//! let (again, hit) = store
+//!     .get_or_compute(key, || -> Result<_, std::io::Error> { unreachable!("cached") })
+//!     .unwrap();
+//! assert!(hit);
+//! assert_eq!(bytes, again);
+//! assert_eq!(store.stats().hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canon;
+pub mod log;
+
+pub use canon::{fnv1a, Record};
+pub use log::{Store, StoreStats};

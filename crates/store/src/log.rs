@@ -1,0 +1,503 @@
+//! The [`Store`]: an append-only on-disk log with an in-memory index,
+//! write-once dedupe, hit/miss counters, and single-flight computes.
+//!
+//! # On-disk format
+//!
+//! A store directory (conventionally `.bftbcast-store/`) holds one
+//! file, `store.log`:
+//!
+//! ```text
+//! magic   8 bytes   b"BFTBSTR\x01"   (7-byte tag + format version)
+//! record  repeated  key u64 LE | len u32 LE | len payload bytes
+//! ```
+//!
+//! Records are only ever appended; a key appears at most once (puts of
+//! an existing key are dropped, first write wins — values are
+//! content-addressed, so a duplicate key can only carry the same
+//! payload). At open the log is replayed into a `HashMap`; a truncated
+//! tail record (a crash mid-append) is discarded and the file trimmed
+//! back to the last complete record, so the log self-heals.
+//!
+//! # Concurrency
+//!
+//! One [`Store`] is shared by every worker thread (and, under
+//! `bftbcast serve`, every connection). [`Store::get_or_compute`] is
+//! **single-flight**: when several threads ask for the same absent key
+//! at once, exactly one runs the compute closure while the rest block
+//! and then read the published value — so a sweep containing duplicate
+//! points, or two clients submitting the same scenario, still cost one
+//! engine run per distinct point.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Log file magic: 7 tag bytes plus one format-version byte.
+const MAGIC: &[u8; 8] = b"BFTBSTR\x01";
+/// The log file's name inside the store directory.
+const LOG_NAME: &str = "store.log";
+
+/// Hit/miss accounting for one store instance (process lifetime, not
+/// persisted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered from the index.
+    pub hits: u64,
+    /// Lookups that required (or will require) a compute.
+    pub misses: u64,
+    /// Distinct keys currently stored.
+    pub entries: usize,
+}
+
+struct Inner {
+    index: HashMap<u64, Vec<u8>>,
+    /// Keys currently being computed by some thread (single-flight).
+    inflight: HashSet<u64>,
+    /// Append handle; `None` for in-memory stores.
+    file: Option<File>,
+}
+
+/// A content-addressed byte store: append-only log + in-memory index.
+pub struct Store {
+    inner: Mutex<Inner>,
+    settled: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Store {
+    /// A store with no backing file: entries live for the process only.
+    pub fn in_memory() -> Store {
+        Store {
+            inner: Mutex::new(Inner {
+                index: HashMap::new(),
+                inflight: HashSet::new(),
+                file: None,
+            }),
+            settled: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dir: None,
+        }
+    }
+
+    /// Opens (creating if necessary) the store rooted at `dir`,
+    /// replaying `store.log` into the in-memory index.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a log file whose magic does not match (not a
+    /// bftbcast store, or a future incompatible format version).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(LOG_NAME);
+        // O_APPEND: every record lands at the file's *current* end, so
+        // two processes sharing a store directory interleave whole
+        // records instead of overwriting each other at a stale offset.
+        // (Duplicate keys across processes are benign: values are
+        // content-addressed, and replay's last-insert-wins indexes the
+        // same payload.)
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let mut index = HashMap::new();
+        if len == 0 {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+        } else {
+            let mut magic = [0u8; 8];
+            file.read_exact(&mut magic)?;
+            if &magic != MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a bftbcast store log (bad magic)", path.display()),
+                ));
+            }
+            let mut good_end = MAGIC.len() as u64;
+            loop {
+                let mut header = [0u8; 12];
+                if !read_exact_or_eof(&mut file, &mut header)? {
+                    break; // clean EOF or truncated header
+                }
+                let key = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+                let plen = u32::from_le_bytes(header[8..].try_into().expect("4 bytes")) as usize;
+                let mut payload = vec![0u8; plen];
+                if !read_exact_or_eof(&mut file, &mut payload)? {
+                    break; // truncated payload: discard the tail record
+                }
+                index.insert(key, payload);
+                good_end += 12 + plen as u64;
+            }
+            if good_end < len {
+                // Trim a torn tail so future appends stay parseable.
+                file.set_len(good_end)?;
+            }
+        }
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                index,
+                inflight: HashSet::new(),
+                file: Some(file),
+            }),
+            settled: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dir: Some(dir),
+        })
+    }
+
+    /// The store directory, if file-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks a key up, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let g = self.inner.lock().expect("store lock");
+        match g.index.get(&key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value unless the key already exists (first write
+    /// wins). Returns whether the value was inserted. Does not touch
+    /// the hit/miss counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures appending to the log (file-backed stores only); the
+    /// index is only updated after a successful append, so the memory
+    /// and disk views never diverge.
+    pub fn put(&self, key: u64, value: &[u8]) -> io::Result<bool> {
+        let mut g = self.inner.lock().expect("store lock");
+        if g.index.contains_key(&key) {
+            return Ok(false);
+        }
+        append_record(&mut g, key, value)?;
+        Ok(true)
+    }
+
+    /// The single-flight cached compute: returns `(value, hit)` where
+    /// `hit` says the value came from the store. When the key is
+    /// absent, exactly one caller runs `compute` (outside the store
+    /// lock) and publishes the result; concurrent callers for the same
+    /// key block until it settles and then count as hits. A failed
+    /// compute publishes nothing — the next caller retries.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns. A log-append failure after a
+    /// successful compute is not an error: the value is still returned
+    /// and indexed, the entry just degrades to memory-only.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `compute` — but unwinds safely: the
+    /// in-flight marker is released on the way out (via a drop guard),
+    /// so waiters retry instead of blocking forever.
+    pub fn get_or_compute<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<(Vec<u8>, bool), E> {
+        let mut g = self.inner.lock().expect("store lock");
+        loop {
+            if let Some(v) = g.index.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((v.clone(), true));
+            }
+            if g.inflight.insert(key) {
+                break; // we are the computing leader for this key
+            }
+            g = self.settled.wait(g).expect("store lock");
+        }
+        drop(g);
+        // From here until return we hold the in-flight marker; the
+        // guard releases it and wakes waiters on every exit path —
+        // including a panic unwinding out of `compute`, which would
+        // otherwise leave waiters asleep forever.
+        let _guard = InflightGuard { store: self, key };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = compute();
+        let mut g = self.inner.lock().expect("store lock");
+        let result = match outcome {
+            Ok(value) => {
+                if !g.index.contains_key(&key) && append_record(&mut g, key, &value).is_err() {
+                    // A failed append keeps the entry memory-only; the
+                    // value itself is still good.
+                    g.index.insert(key, value.clone());
+                }
+                Ok((value, false))
+            }
+            Err(e) => Err(e),
+        };
+        drop(g);
+        // _guard drops here: the value (if any) is already published,
+        // so woken waiters find it in the index.
+        result
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").index.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// This instance's hit/miss counters plus the current entry count.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Releases a [`Store`]'s in-flight marker for one key and wakes
+/// waiters — on normal return *and* on unwind, so a panicking compute
+/// never strands the waiters on the condvar.
+struct InflightGuard<'a> {
+    store: &'a Store,
+    key: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        // Never panic in drop (it may already be running on an unwind
+        // path): a poisoned lock is recovered, not propagated.
+        let mut g = match self.store.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        g.inflight.remove(&self.key);
+        drop(g);
+        self.store.settled.notify_all();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` on EOF (clean or mid
+/// buffer), `Ok(true)` on success.
+fn read_exact_or_eof(file: &mut File, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Appends one record and indexes it (caller holds the lock and has
+/// checked the key is absent).
+fn append_record(g: &mut Inner, key: u64, value: &[u8]) -> io::Result<()> {
+    if let Some(file) = g.file.as_mut() {
+        let mut rec = Vec::with_capacity(12 + value.len());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(value);
+        file.write_all(&rec)?;
+        file.flush()?;
+    }
+    g.index.insert(key, value.to_vec());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bftbcast-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_dedupe_and_stats() {
+        let s = Store::in_memory();
+        assert!(s.is_empty());
+        assert_eq!(s.get(7), None);
+        assert!(s.put(7, b"alpha").unwrap());
+        assert!(!s.put(7, b"alpha").unwrap(), "first write wins");
+        assert_eq!(s.get(7).as_deref(), Some(&b"alpha"[..]));
+        let stats = s.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn reopen_replays_the_log() {
+        let dir = temp_dir("reopen");
+        {
+            let s = Store::open(&dir).unwrap();
+            assert!(s.put(1, b"one").unwrap());
+            assert!(s.put(2, b"two").unwrap());
+        }
+        {
+            let s = Store::open(&dir).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.get(2).as_deref(), Some(&b"two"[..]));
+            // Fresh instance: counters start at zero.
+            assert_eq!(s.stats().hits, 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_trimmed() {
+        let dir = temp_dir("torn");
+        {
+            let s = Store::open(&dir).unwrap();
+            s.put(1, b"good").unwrap();
+        }
+        let path = dir.join(LOG_NAME);
+        // Simulate a crash mid-append: a header promising more payload
+        // than exists.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&2u64.to_le_bytes()).unwrap();
+        f.write_all(&100u32.to_le_bytes()).unwrap();
+        f.write_all(b"short").unwrap();
+        drop(f);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 1, "torn record discarded");
+        assert!(s.put(2, b"retry").unwrap());
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 2, "append after trim stays parseable");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOG_NAME), b"not a store").unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_or_compute_hits_after_first_compute() {
+        let s = Store::in_memory();
+        let (v, hit) = s
+            .get_or_compute(9, || Ok::<_, io::Error>(b"val".to_vec()))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(v, b"val");
+        let (v, hit) = s
+            .get_or_compute(9, || -> Result<Vec<u8>, io::Error> {
+                panic!("must not recompute")
+            })
+            .unwrap();
+        assert!(hit);
+        assert_eq!(v, b"val");
+        let stats = s.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn panicking_computes_release_the_inflight_marker() {
+        let s = Arc::new(Store::in_memory());
+        let crashed = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let _ =
+                    s.get_or_compute(5, || -> Result<Vec<u8>, io::Error> { panic!("engine bug") });
+            })
+        };
+        assert!(crashed.join().is_err(), "the panic propagates");
+        // The key is no longer in flight: this call must compute, not
+        // block forever on the condvar.
+        let (v, hit) = s.get_or_compute(5, || Ok::<_, io::Error>(vec![9])).unwrap();
+        assert!(!hit);
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn failed_computes_publish_nothing() {
+        let s = Store::in_memory();
+        let err = s
+            .get_or_compute(3, || Err::<Vec<u8>, _>("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(s.is_empty());
+        // The next caller retries and can succeed.
+        let (v, hit) = s.get_or_compute(3, || Ok::<_, &str>(vec![1])).unwrap();
+        assert!(!hit);
+        assert_eq!(v, vec![1]);
+    }
+
+    /// Two threads racing the same key: single-flight means exactly one
+    /// compute and exactly one store entry; the loser blocks and reads
+    /// the leader's value as a hit.
+    #[test]
+    fn concurrent_same_key_computes_exactly_once() {
+        let s = Arc::new(Store::in_memory());
+        let computes = Arc::new(AtomicUsize::new(0));
+        // The leader's compute stalls until the chaser has announced it
+        // is about to call get_or_compute, forcing genuine overlap
+        // (worst case the chaser arrives after the leader finished — a
+        // plain hit, which asserts the same way).
+        let (announce, announced) = std::sync::mpsc::channel::<()>();
+        let chaser = {
+            let s = Arc::clone(&s);
+            let computes = Arc::clone(&computes);
+            std::thread::spawn(move || {
+                announce.send(()).unwrap();
+                let (v, _) = s
+                    .get_or_compute(42, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        Ok::<_, io::Error>(b"winner".to_vec())
+                    })
+                    .unwrap();
+                v
+            })
+        };
+        let (v, _) = s
+            .get_or_compute(42, || {
+                announced.recv().unwrap();
+                computes.fetch_add(1, Ordering::SeqCst);
+                Ok::<_, io::Error>(b"winner".to_vec())
+            })
+            .unwrap();
+        let chaser_v = chaser.join().unwrap();
+        assert_eq!(v, b"winner");
+        assert_eq!(chaser_v, b"winner");
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(s.len(), 1, "exactly one store entry");
+        let stats = s.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the canonical encoding: the cache key must be
+//! *stable* (field order and process runs never change it) and
+//! *sensitive* (any single field change flips it) — the two halves of
+//! "content-addressed".
+
+use bftbcast_store::Record;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generated field: a small distinct name plus a typed value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+fn arb_fields() -> impl Strategy<Value = Vec<(String, Val)>> {
+    vec((0u8..24, 0u8..5, any::<u64>()), 1..8).prop_map(|raw| {
+        let mut out: Vec<(String, Val)> = Vec::new();
+        for (name_idx, kind, payload) in raw {
+            let name = format!("field_{name_idx}");
+            if out.iter().any(|(n, _)| *n == name) {
+                continue; // canonical records require distinct names
+            }
+            let val = match kind {
+                0 => Val::U64(payload),
+                1 => Val::I64(payload as i64),
+                2 => Val::F64(f64::from_bits(payload)),
+                3 => Val::Bool(payload % 2 == 0),
+                _ => Val::Str(format!("s{payload:x}")),
+            };
+            out.push((name, val));
+        }
+        out
+    })
+}
+
+fn build(version: u16, fields: &[(String, Val)]) -> Record {
+    let mut r = Record::new(version);
+    for (name, val) in fields {
+        r = match val {
+            Val::U64(v) => r.u64(name, *v),
+            Val::I64(v) => r.i64(name, *v),
+            Val::F64(v) => r.f64(name, *v),
+            Val::Bool(v) => r.bool(name, *v),
+            Val::Str(v) => r.str(name, v),
+        };
+    }
+    r
+}
+
+/// A minimal change to one field's value — used to assert sensitivity.
+fn perturb(val: &Val) -> Val {
+    match val {
+        Val::U64(v) => Val::U64(v.wrapping_add(1)),
+        Val::I64(v) => Val::I64(v.wrapping_add(1)),
+        Val::F64(v) => Val::F64(f64::from_bits(v.to_bits() ^ 1)),
+        Val::Bool(v) => Val::Bool(!v),
+        Val::Str(v) => Val::Str(format!("{v}x")),
+    }
+}
+
+proptest! {
+    /// Hash is invariant under every field-order permutation tried:
+    /// as-generated, reversed, and rotated.
+    #[test]
+    fn hash_is_field_order_independent(fields in arb_fields(), rot in any::<u64>()) {
+        let baseline = build(1, &fields).content_hash();
+        let mut reversed = fields.clone();
+        reversed.reverse();
+        prop_assert_eq!(build(1, &reversed).content_hash(), baseline);
+        let mut rotated = fields.clone();
+        rotated.rotate_left(rot as usize % fields.len().max(1));
+        prop_assert_eq!(build(1, &rotated).content_hash(), baseline);
+    }
+
+    /// Two independent builds of the same logical record hash the same
+    /// — nothing about the hash depends on allocation, iteration, or
+    /// process state. (Cross-run stability rests on this plus the
+    /// golden-constant unit test in `canon.rs`, which pins the exact
+    /// value across processes and platforms.)
+    #[test]
+    fn hash_depends_only_on_content(fields in arb_fields()) {
+        let a = build(1, &fields);
+        let b = build(1, &fields.clone());
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    /// Changing any single field's value flips the hash.
+    #[test]
+    fn any_single_value_change_flips_the_hash(fields in arb_fields(), pick in any::<u64>()) {
+        let baseline = build(1, &fields).content_hash();
+        let i = pick as usize % fields.len();
+        let mut changed = fields.clone();
+        changed[i].1 = perturb(&changed[i].1);
+        prop_assert_ne!(build(1, &changed).content_hash(), baseline);
+    }
+
+    /// Renaming any single field flips the hash.
+    #[test]
+    fn any_field_rename_flips_the_hash(fields in arb_fields(), pick in any::<u64>()) {
+        let baseline = build(1, &fields).content_hash();
+        let i = pick as usize % fields.len();
+        let mut renamed = fields.clone();
+        renamed[i].0 = format!("renamed_{}", renamed[i].0);
+        prop_assert_ne!(build(1, &renamed).content_hash(), baseline);
+    }
+
+    /// Dropping any single field flips the hash.
+    #[test]
+    fn any_field_removal_flips_the_hash(fields in arb_fields(), pick in any::<u64>()) {
+        let baseline = build(1, &fields).content_hash();
+        let i = pick as usize % fields.len();
+        let mut fewer = fields.clone();
+        fewer.remove(i);
+        prop_assert_ne!(build(1, &fewer).content_hash(), baseline);
+    }
+
+    /// Bumping the schema version flips the hash of any record.
+    #[test]
+    fn schema_version_is_part_of_the_key(fields in arb_fields()) {
+        prop_assert_ne!(
+            build(1, &fields).content_hash(),
+            build(2, &fields).content_hash()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke test for the sweep service: start `bftbcast serve` on an
+# ephemeral port, submit scenarios/f2.scn, assert the Figure 2 goldens
+# (2065 / 1947 / 947, stall 84) from RESULTS, resubmit, and assert the
+# warm job reports all cache hits (hits == points, misses == 0).
+#
+# Usage: scripts/smoke_serve.sh [path-to-bftbcast-binary]
+# (run from the repo root; CI passes target/release/bftbcast)
+set -euo pipefail
+
+BIN=${1:-target/release/bftbcast}
+STORE=$(mktemp -d)
+LOG=$(mktemp)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$STORE" "$LOG"' EXIT
+
+"$BIN" serve --addr 127.0.0.1:0 --store "$STORE" >"$LOG" &
+SERVER_PID=$!
+
+# The server prints "listening on HOST:PORT" once ready.
+for _ in $(seq 100); do
+  grep -q '^listening on ' "$LOG" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$LOG" | head -n1)
+[ -n "$ADDR" ] || { echo "server never announced its address"; cat "$LOG"; exit 1; }
+echo "server up on $ADDR (store: $STORE)"
+
+job_id() { sed -n 's/.*"job":"\([^"]*\)".*/\1/p'; }
+expect() { # expect <haystack-file> <needle>...
+  local file=$1; shift
+  for needle in "$@"; do
+    grep -qF "$needle" "$file" || { echo "MISSING $needle in:"; cat "$file"; exit 1; }
+  done
+}
+
+# Cold submit: the Figure 2 goldens, bit-exact.
+JOB=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
+echo "cold job: $JOB"
+ROWS=$(mktemp); "$BIN" results "$JOB" --addr "$ADDR" >"$ROWS"
+expect "$ROWS" '"intake":2065' '"intake":1947' '"tally_wrong":947' \
+               '"accepted_true":84' '"complete":false'
+
+# Warm resubmit: zero engine runs.
+JOB2=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
+echo "warm job: $JOB2"
+ROWS2=$(mktemp); "$BIN" results "$JOB2" --addr "$ADDR" >"$ROWS2"
+cmp -s "$ROWS" "$ROWS2" || { echo "warm rows differ from cold rows"; diff "$ROWS" "$ROWS2"; exit 1; }
+STATUS2=$(mktemp); "$BIN" status "$JOB2" --addr "$ADDR" >"$STATUS2"
+expect "$STATUS2" '"state":"done"' '"cache_hits":1' '"cache_misses":0'
+
+STATS=$(mktemp); "$BIN" stats --addr "$ADDR" >"$STATS"
+expect "$STATS" '"store_entries":1' '"store_hits":1' '"jobs_done":2'
+
+"$BIN" shutdown --addr "$ADDR" >/dev/null
+wait "$SERVER_PID"
+rm -f "$ROWS" "$ROWS2" "$STATUS2" "$STATS"
+echo "serve smoke OK"
