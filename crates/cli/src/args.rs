@@ -5,14 +5,15 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Parsed command-line arguments: a subcommand, positional words and
-/// `--key value` flags.
+/// `--key value` flags. A flag may repeat (`--set a=1 --set b=2`);
+/// single-valued lookups read the last occurrence.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The first positional word, if any (the subcommand).
     pub command: Option<String>,
     /// Remaining positional words.
     pub positional: Vec<String>,
-    flags: BTreeMap<String, String>,
+    flags: BTreeMap<String, Vec<String>>,
 }
 
 /// A parse or lookup error, ready for user display.
@@ -69,7 +70,7 @@ impl Args {
                     Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
                     _ => return Err(ArgsError::MissingValue(name.to_string())),
                 };
-                out.flags.insert(name.to_string(), value);
+                out.flags.entry(name.to_string()).or_default().push(value);
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
@@ -79,9 +80,18 @@ impl Args {
         Ok(out)
     }
 
-    /// The raw value of a flag.
+    /// The raw value of a flag (the last occurrence when repeated).
     pub fn get(&self, flag: &str) -> Option<&str> {
-        self.flags.get(flag).map(String::as_str)
+        self.flags
+            .get(flag)
+            .and_then(|values| values.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in order (empty when
+    /// absent).
+    pub fn get_all(&self, flag: &str) -> &[String] {
+        self.flags.get(flag).map_or(&[], Vec::as_slice)
     }
 
     /// A required string flag.
@@ -169,5 +179,13 @@ mod tests {
     fn empty_input_is_fine() {
         let a = Args::parse(Vec::<String>::new()).unwrap();
         assert_eq!(a.command, None);
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_in_order() {
+        let a = Args::parse(["run", "--set", "m=1", "--set", "seed=2"]).unwrap();
+        assert_eq!(a.get_all("set"), ["m=1".to_string(), "seed=2".to_string()]);
+        assert_eq!(a.get("set"), Some("seed=2"), "single lookup reads the last");
+        assert!(a.get_all("nope").is_empty());
     }
 }

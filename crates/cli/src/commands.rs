@@ -65,21 +65,36 @@ COMMANDS:
               --m M --placement lattice|stripes|random|bernoulli|none
               --p RATE --count N --seed SEED --adversary oracle|greedy|chaos|passive]
              run one broadcast and report the outcome
-  run        --scenario FILE [--format jsonl|table --jobs N --store DIR]
+  run        --scenario FILE [--format jsonl|table --jobs N --store DIR
+              --set key=value ...]
              run a declarative scenario file (*.scn): expand its sweep
              axes, fan the points over worker threads (at most N with
              --jobs), and stream one JSON line (or table row) per point;
              with --store, consult/record the content-addressed outcome
              store so repeated points cost a lookup instead of a run;
+             each --set pins one field by sweep-axis name (m, quorum,
+             t, mf, seed, count, p, k, mmax, p1, pe) before the sweep
+             expands, dropping any [sweep] axis over the same key;
              see docs/ARCHITECTURE.md for the grammar and EXPERIMENTS.md
              for the output schema
+  spec       FILE [--to scn|json|key]: convert engine specs between the
+             *.scn grammar and canonical JSON (default: the opposite of
+             the input form, detected by content); --to json prints one
+             canonical JSON spec per expanded sweep point, --to scn
+             requires a single-point document, --to key prints each
+             point's 16-hex content-addressed cache key
+  validate   FILE...: parse and validate scenario files (*.scn) and
+             spec JSON documents; prints one line per file and fails if
+             any file is invalid
   serve      [--addr HOST:PORT --store DIR --jobs N]
              run the persistent sweep service (default 127.0.0.1:7171):
              queue submitted scenarios, fan each over the batch pool,
              and cache every point in the outcome store (in-memory
              without --store); prints \"listening on ADDR\" once ready
-  submit     FILE [--addr HOST:PORT]: queue a *.scn file on a running
-             server; prints the reply with the assigned job id
+  submit     FILE [--addr HOST:PORT]: queue a *.scn file — or a spec
+             JSON document, detected by content — on a running server;
+             prints the reply with the assigned job id; both forms
+             share store entries for identical configurations
   status     JOB [--addr HOST:PORT]: one job's state and cache counters
   results    JOB [--addr HOST:PORT]: a job's JSONL rows (waits for the
              job to finish); identical to run --scenario output
@@ -106,6 +121,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         None | Some("help") => Ok(USAGE.to_string()),
         Some("bounds") => cmd_bounds(args),
         Some("run") => cmd_run(args),
+        Some("spec") => cmd_spec(args),
+        Some("validate") => cmd_validate(args),
         Some("map") => cmd_map(args),
         Some("exp") => cmd_exp(args),
         Some("code") => cmd_code(args),
@@ -284,6 +301,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.get("scenario") {
         return cmd_run_scenario(path, args);
     }
+    if !args.get_all("set").is_empty() {
+        return Err(CliError::Other(
+            "--set overrides scenario-file points; it requires --scenario FILE".into(),
+        ));
+    }
     let (s, _, out) = run_outcome(args)?;
     let p = s.params();
     let mut text = String::new();
@@ -331,11 +353,36 @@ fn store_from(args: &Args) -> Result<Option<bftbcast_store::Store>, CliError> {
     }
 }
 
+/// One `--set key=value` override: the value is an integer or float in
+/// the sweep-axis vocabulary.
+fn parse_set(raw: &str) -> Result<(&str, bftbcast::scenario_file::AxisValue), CliError> {
+    use bftbcast::scenario_file::AxisValue;
+    let Some((key, value)) = raw.split_once('=') else {
+        return Err(CliError::Other(format!(
+            "--set {raw:?}: expected key=value (e.g. --set seed=7)"
+        )));
+    };
+    let value = if let Ok(i) = value.parse::<i64>() {
+        AxisValue::Int(i)
+    } else if let Ok(f) = value.parse::<f64>() {
+        AxisValue::Float(f)
+    } else {
+        return Err(CliError::Other(format!(
+            "--set {raw:?}: value {value:?} is not a number"
+        )));
+    };
+    Ok((key, value))
+}
+
 /// `run --scenario FILE`: the declarative batch path.
 fn cmd_run_scenario(path: &str, args: &Args) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
-    let file = ScenarioFile::parse(&text)?;
+    let mut file = ScenarioFile::parse(&text)?;
+    for raw in args.get_all("set") {
+        let (key, value) = parse_set(raw)?;
+        file.override_base(key, value)?;
+    }
     let jobs = jobs_from(args)?;
     let store = store_from(args)?;
     let report = bftbcast::run_file_with(
@@ -351,6 +398,108 @@ fn cmd_run_scenario(path: &str, args: &Args) -> Result<String, CliError> {
         other => Err(CliError::Other(format!(
             "unknown format {other:?} (jsonl|table)"
         ))),
+    }
+}
+
+/// Reads a file and expands it into engine specs, detecting the form
+/// by content: a document starting with `{` is spec JSON — one object,
+/// or one per line (exactly what `spec --to json` emits for a sweep) —
+/// anything else is `.scn` text.
+fn specs_from_file(path: &str) -> Result<(bool, Vec<bftbcast::EngineSpec>), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    if !text.trim_start().starts_with('{') {
+        return Ok((false, ScenarioFile::parse(&text)?.specs()?));
+    }
+    // A single object first (covers pretty-printed JSON), then the
+    // tool's own JSONL form.
+    if let Ok(spec) = bftbcast::EngineSpec::from_json(&text) {
+        return Ok((true, vec![spec]));
+    }
+    let mut specs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        specs.push(
+            bftbcast::EngineSpec::from_json(line)
+                .map_err(|e| CliError::Other(format!("{path} line {}: {e}", i + 1)))?,
+        );
+    }
+    Ok((true, specs))
+}
+
+/// `spec FILE [--to scn|json|key]`: the codec verb.
+fn cmd_spec(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Other("spec needs a file argument".into()))?;
+    let (input_is_json, specs) = specs_from_file(path)?;
+    let to = match args.get("to") {
+        Some(to) => to,
+        None if input_is_json => "scn",
+        None => "json",
+    };
+    match to {
+        "json" => Ok(specs.iter().map(|s| s.to_json() + "\n").collect()),
+        "key" => Ok(specs
+            .iter()
+            .map(|s| format!("{:016x}\n", s.cache_key()))
+            .collect()),
+        "scn" => match specs.as_slice() {
+            [spec] => Ok(spec.to_scn()),
+            many => Err(CliError::Other(format!(
+                "{path} expands to {} sweep points; .scn output holds exactly one spec \
+                 (use --to json for one spec per line)",
+                many.len()
+            ))),
+        },
+        other => Err(CliError::Other(format!(
+            "unknown target {other:?} (scn|json|key)"
+        ))),
+    }
+}
+
+/// `validate FILE...`: parse and validate every file, report one line
+/// each, fail (after checking all of them) if any was invalid.
+fn cmd_validate(args: &Args) -> Result<String, CliError> {
+    if args.positional.is_empty() {
+        return Err(CliError::Other(
+            "validate needs one or more file arguments".into(),
+        ));
+    }
+    let mut report = String::new();
+    let mut failures = 0usize;
+    for path in &args.positional {
+        match specs_from_file(path) {
+            Ok((_, specs)) => {
+                let engines: Vec<&str> = {
+                    let mut names: Vec<&str> = specs.iter().map(|s| s.engine().name()).collect();
+                    names.dedup();
+                    names
+                };
+                let _ = writeln!(
+                    report,
+                    "ok   {path}: {} point{} ({})",
+                    specs.len(),
+                    if specs.len() == 1 { "" } else { "s" },
+                    engines.join("+"),
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(report, "FAIL {path}: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        Err(CliError::Other(format!(
+            "{failures} of {} file(s) invalid\n{report}",
+            args.positional.len()
+        )))
+    } else {
+        Ok(report)
     }
 }
 
@@ -391,20 +540,35 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     ))
 }
 
-/// `submit FILE`: queue a scenario on a running server.
+/// `submit FILE`: queue a scenario (`.scn`) or an inline spec (JSON,
+/// detected by content) on a running server.
 fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let path = args
         .positional
         .first()
-        .ok_or_else(|| CliError::Other("submit needs a scenario file argument".into()))?;
+        .ok_or_else(|| CliError::Other("submit needs a scenario or spec file argument".into()))?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
     let addr = addr_from(args);
     // Reject locally what the server would reject, with the better
-    // local error message.
-    ScenarioFile::parse(&text)?;
-    let job = bftbcast_server::client::submit(&addr, &text)
-        .map_err(|e| net_err("submitting to", &addr, e))?;
+    // local error message; a JSON document goes over the wire as an
+    // inline spec (same store entries as the equivalent .scn).
+    let job = if text.trim_start().starts_with('{') {
+        let (_, specs) = specs_from_file(path)?;
+        let [spec] = specs.as_slice() else {
+            return Err(CliError::Other(format!(
+                "{path} holds {} specs; a submission is one job — submit the .scn \
+                 sweep instead, or one spec line at a time",
+                specs.len()
+            )));
+        };
+        bftbcast_server::client::submit_spec(&addr, &spec.to_json())
+            .map_err(|e| net_err("submitting to", &addr, e))?
+    } else {
+        ScenarioFile::parse(&text)?;
+        bftbcast_server::client::submit(&addr, &text)
+            .map_err(|e| net_err("submitting to", &addr, e))?
+    };
     Ok(format!("{{\"ok\":true,\"job\":\"{job}\"}}\n"))
 }
 
@@ -774,6 +938,106 @@ mod tests {
     fn exp_runs_a_fast_experiment() {
         let out = run(&["exp", "t2b"]).unwrap();
         assert!(out.contains("EXP-T2b"), "{out}");
+    }
+
+    #[test]
+    fn run_scenario_set_overrides_points() {
+        let path = std::env::temp_dir().join("bftbcast_cli_test_set.scn");
+        std::fs::write(
+            &path,
+            concat!(
+                "name = \"mini\"\n",
+                "[topology]\nside = 15\nr = 1\n",
+                "[faults]\nt = 1\nmf = 4\n",
+                "[placement]\nkind = \"lattice\"\n",
+                "[protocol]\nkind = \"starved\"\nm = 2\n",
+            ),
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        // m = 2 < m0 stalls; --set m=8 reaches Theorem 2's regime.
+        let starved = run(&["run", "--scenario", p]).unwrap();
+        assert!(starved.contains("\"complete\":false"), "{starved}");
+        let fixed = run(&["run", "--scenario", p, "--set", "m=8"]).unwrap();
+        assert!(fixed.contains("\"complete\":true"), "{fixed}");
+        // Several overrides compose; bad keys/values are named errors.
+        let two = run(&["run", "--scenario", p, "--set", "m=8", "--set", "mf=2"]).unwrap();
+        assert!(two.contains("\"complete\":true"), "{two}");
+        for bad in ["warp=1", "m", "m=lots"] {
+            let err = run(&["run", "--scenario", p, "--set", bad]).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad}");
+        }
+        // --set without --scenario has nothing to override.
+        assert!(run(&["run", "--set", "m=8"]).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `.scn` ⇄ JSON ⇄ key through the spec verb: the conversions are
+    /// lossless and the cache key is form-independent.
+    #[test]
+    fn spec_verb_converts_both_ways_with_a_stable_key() {
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/f2.scn");
+        let json = run(&["spec", scn]).unwrap();
+        assert_eq!(json.lines().count(), 1, "f2 is one point");
+        assert!(json.contains("\"engine\":\"counting\""), "{json}");
+        assert!(json.contains("\"name\":\"f2\""), "{json}");
+        let key = run(&["spec", scn, "--to", "key"]).unwrap();
+        assert_eq!(key.trim().len(), 16, "{key}");
+
+        let json_path = std::env::temp_dir().join("bftbcast_cli_test_spec.json");
+        std::fs::write(&json_path, &json).unwrap();
+        let jp = json_path.to_str().unwrap();
+        let back = run(&["spec", jp]).unwrap();
+        assert!(back.contains("[topology]"), "{back}");
+        assert_eq!(
+            run(&["spec", jp, "--to", "key"]).unwrap(),
+            key,
+            "identical key through both forms"
+        );
+        std::fs::remove_file(json_path).ok();
+
+        // A sweep file: one JSON spec per point, but no single .scn.
+        let t1 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let jsonl = run(&["spec", t1, "--to", "json"]).unwrap();
+        assert_eq!(jsonl.lines().count(), 5, "{jsonl}");
+        assert!(run(&["spec", t1, "--to", "scn"]).is_err());
+        assert!(run(&["spec", t1, "--to", "yaml"]).is_err());
+        assert!(run(&["spec"]).is_err(), "missing file");
+
+        // The tool's own JSONL output feeds back: same 5 keys through
+        // spec and validate.
+        let jsonl_path = std::env::temp_dir().join("bftbcast_cli_test_spec_t1.jsonl");
+        std::fs::write(&jsonl_path, &jsonl).unwrap();
+        let jlp = jsonl_path.to_str().unwrap();
+        assert_eq!(
+            run(&["spec", jlp, "--to", "key"]).unwrap(),
+            run(&["spec", t1, "--to", "key"]).unwrap(),
+        );
+        let out = run(&["validate", jlp]).unwrap();
+        assert!(out.contains("5 points"), "{out}");
+        std::fs::remove_file(jsonl_path).ok();
+    }
+
+    #[test]
+    fn validate_accepts_good_files_and_names_bad_ones() {
+        let f2 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/f2.scn");
+        let t1 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let out = run(&["validate", f2, t1]).unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+        assert!(out.contains("5 points (counting)"), "{out}");
+
+        let bad = std::env::temp_dir().join("bftbcast_cli_test_validate_bad.scn");
+        std::fs::write(&bad, "[topology]\nside = 15\nr = 1\nwarp = 9\n").unwrap();
+        let err = run(&["validate", f2, bad.to_str().unwrap()]).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("1 of 2"), "{text}");
+        assert!(text.contains("warp"), "{text}");
+        assert!(
+            text.contains("ok   "),
+            "the good file is still reported: {text}"
+        );
+        std::fs::remove_file(bad).ok();
+        assert!(run(&["validate"]).is_err(), "no files");
     }
 
     #[test]

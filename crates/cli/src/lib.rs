@@ -1,0 +1,14 @@
+//! The `bftbcast` command-line tool, as a library.
+//!
+//! Everything lives here — [`args`] (the flag parser) and [`commands`]
+//! (the subcommands, each returning the text it would print) — so the
+//! whole CLI is unit-testable without spawning processes and documents
+//! under `cargo doc` without the binary target colliding with the
+//! `bftbcast` library crate. The `bftbcast` binary (`src/main.rs`) is
+//! a thin shell over [`commands::dispatch`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

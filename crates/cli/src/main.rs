@@ -1,9 +1,9 @@
-//! The `bftbcast` command-line tool. See `commands::USAGE`.
+//! The `bftbcast` binary: a thin shell over
+//! [`bftbcast_cli::commands::dispatch`]. See `commands::USAGE`.
 
 #![forbid(unsafe_code)]
 
-mod args;
-mod commands;
+use bftbcast_cli::{args, commands};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();

@@ -28,24 +28,16 @@
 //! assert_eq!(report.jsonl().lines().count(), 3);
 //! ```
 
-use bftbcast_net::{Cross, NodeId, Value};
-use bftbcast_protocols::reactive::ReactiveConfig;
-use bftbcast_protocols::CountingProtocol;
-use bftbcast_sim::crash::{crash_only_protocol, crash_stripe, HybridSim};
-use bftbcast_sim::engine::{
-    AgreementEngine, CountingDrive, CountingEngine, CrashEngine, EngineOutcome, Probe, SimEngine,
-    SlotEngine,
-};
+use bftbcast_net::{NodeId, Value};
+use bftbcast_sim::engine::{EngineOutcome, Probe, SimEngine};
 use bftbcast_sim::runner::{sweep_bounded, Table};
-use bftbcast_sim::slot::SlotConfig;
 use bftbcast_store::Store;
 
 use crate::cache;
 use crate::json::{self, Object};
 use crate::scenario::ScenarioError;
-use crate::scenario_file::{
-    AdversarySpec, CrashNodesSpec, EngineKind, PointSpec, ProtocolSpec, ScenarioFile, SourceSpec,
-};
+use crate::scenario_file::{EngineKind, PointSpec, ScenarioFile};
+use crate::spec::EngineSpec;
 
 /// One probe cell's tallies after a point's run.
 #[derive(Debug, Clone)]
@@ -67,7 +59,8 @@ pub struct PointResult {
     pub point: Vec<(String, String)>,
     /// The engine outcome.
     pub outcome: EngineOutcome,
-    /// Probe tallies (counting/crash engines; empty elsewhere).
+    /// Probe tallies (every engine answers for the nodes it tracks;
+    /// see [`Probe`]).
     pub probes: Vec<ProbeResult>,
 }
 
@@ -98,125 +91,19 @@ pub struct BatchOptions<'a> {
     pub store: Option<&'a Store>,
 }
 
-/// Builds the right engine for one point of a scenario file.
+/// Builds the right engine for one point of a scenario file — a thin
+/// adapter over the canonical construction path,
+/// [`EngineSpec::build_engine`](crate::spec::EngineSpec::build_engine).
 ///
 /// # Errors
 ///
-/// Any [`ScenarioError`] from scenario construction (invalid grid,
-/// local-bound violation, probe cell off the torus, …).
+/// Any [`ScenarioError`] from spec validation or scenario construction
+/// (invalid grid, cross-field violation, local-bound violation, …).
 pub fn build_engine(
     engine: EngineKind,
     point: &PointSpec,
 ) -> Result<Box<dyn SimEngine>, ScenarioError> {
-    let scenario = point.build_scenario()?;
-    let grid = scenario.grid();
-    let params = scenario.params();
-    let protocol = |spec: ProtocolSpec| -> CountingProtocol {
-        match spec {
-            ProtocolSpec::B => CountingProtocol::protocol_b(grid, params),
-            ProtocolSpec::Koo => CountingProtocol::koo_baseline(grid, params),
-            ProtocolSpec::Heter => {
-                let cross = Cross::paper_scale(0, 0, params.r);
-                CountingProtocol::heterogeneous(grid, params, &cross)
-            }
-            ProtocolSpec::Starved { m } => CountingProtocol::starved(grid, params, m),
-            // Mirrors Scenario::run_majority: send quota = quorum.
-            ProtocolSpec::Majority { quorum } => CountingProtocol::starved(grid, params, quorum),
-            ProtocolSpec::CrashOnly => crash_only_protocol(grid),
-        }
-    };
-    Ok(match engine {
-        EngineKind::Counting => {
-            let drive = match (point.adversary, point.protocol) {
-                (AdversarySpec::Oracle, ProtocolSpec::Majority { quorum }) => {
-                    CountingDrive::Majority { quorum }
-                }
-                (AdversarySpec::Oracle, _) => CountingDrive::Oracle,
-                (AdversarySpec::Greedy, _) => CountingDrive::Greedy,
-                (AdversarySpec::Chaos, _) => CountingDrive::Chaos(point.seed),
-                (AdversarySpec::Passive, _) => CountingDrive::Passive,
-            };
-            let sim = scenario.counting_sim(protocol(point.protocol));
-            Box::new(CountingEngine::new(sim, params.mf, drive))
-        }
-        EngineKind::Crash => {
-            let spec = point.crash.as_ref().expect("validated at parse time");
-            let mut dead: Vec<NodeId> = match &spec.nodes {
-                CrashNodesSpec::Stripe { y0, height } => crash_stripe(grid, *y0, *height),
-                CrashNodesSpec::Explicit(cells) => {
-                    cells.iter().map(|&(x, y)| grid.id_at(x, y)).collect()
-                }
-            };
-            // Crash nodes must not overlap the source or the Byzantine
-            // set; the declarative layer filters rather than panics.
-            dead.retain(|u| *u != scenario.source() && !scenario.bad_nodes().contains(u));
-            let sim = HybridSim::new(grid.clone(), protocol(point.protocol), scenario.source())
-                .with_byzantine_nodes(scenario.bad_nodes())
-                .with_crash_nodes(&dead, spec.behavior);
-            Box::new(CrashEngine::new(sim, params.mf))
-        }
-        EngineKind::Slot => {
-            let config = SlotConfig {
-                reactive: ReactiveConfig::paper(
-                    grid.node_count(),
-                    grid.range(),
-                    params.t,
-                    point.reactive.mmax,
-                    point.reactive.k,
-                ),
-                t: params.t,
-                mf: params.mf,
-                good_budget: point.reactive.budget,
-                adversary: point.reactive.adversary,
-                max_rounds: point.reactive.max_rounds,
-                seed: point.seed,
-            };
-            Box::new(SlotEngine::new(
-                grid.clone(),
-                scenario.source(),
-                scenario.bad_nodes(),
-                config,
-            ))
-        }
-        EngineKind::Agreement => {
-            use bftbcast_sim::agreement::{SourceBehavior, SplitAttack};
-            use bftbcast_sim::engine::AgreementMode;
-            // Parse-time validation covers this; re-checked here so a
-            // hand-built PointSpec errors instead of asserting on a
-            // sweep() worker thread.
-            if point.agreement.mode == AgreementMode::Proven {
-                use bftbcast_protocols::agreement::proven_max_t;
-                if u64::from(params.t) > proven_max_t(params.r) {
-                    return Err(ScenarioError::Invalid {
-                        what: "agreement.mode".to_string(),
-                        message: format!(
-                            "proven mode requires t <= {} at r = {}",
-                            proven_max_t(params.r),
-                            params.r
-                        ),
-                    });
-                }
-            }
-            let sim = scenario.agreement_sim();
-            let behavior = match point.agreement.source {
-                SourceSpec::Correct => SourceBehavior::Correct,
-                SourceSpec::Split => SourceBehavior::even_split(sim.config(), Value(2), Value(3)),
-                SourceSpec::Silent => SourceBehavior::Silent,
-            };
-            let attack = SplitAttack {
-                value_a: Value(2),
-                value_b: Value(3),
-                phase1_fraction: point.agreement.p1,
-                echo_fraction: point.agreement.pe,
-            };
-            Box::new(AgreementEngine::new(
-                sim,
-                behavior,
-                attack,
-                point.agreement.mode,
-            ))
-        }
-    })
+    EngineSpec::from_parts(String::new(), engine, point.clone(), Vec::new())?.build_engine()
 }
 
 /// Runs one point: build the engine, run to fixpoint, read the probes.
@@ -577,18 +464,57 @@ mod tests {
     }
 
     #[test]
-    fn slot_engine_runs_from_a_file() {
+    fn slot_engine_runs_from_a_file_with_probes() {
         let file = ScenarioFile::parse(concat!(
             "engine = \"slot\"\nseed = 42\n",
             "[topology]\nside = 15\nr = 1\n",
             "[faults]\nt = 1\nmf = 4\n",
             "[placement]\nkind = \"random\"\ncount = 8\n",
             "[reactive]\nk = 8\nadversary = \"jammer\"\n",
+            "[probes]\nnodes = [[3, 3]]\n",
         ))
         .unwrap();
         let report = run_file(&file).unwrap();
-        let o = report.results[0].outcome.as_reactive().unwrap();
+        let result = &report.results[0];
+        let o = result.outcome.as_reactive().unwrap();
         assert!(o.is_reliable(), "uncommitted: {:?}", o.uncommitted);
+        // The slot engine answers probes for good nodes: a reliable run
+        // means (3, 3) committed the broadcast value, delivered by at
+        // least one data frame.
+        if let [p] = result.probes.as_slice() {
+            assert!(p.probe.tally_true >= 1, "{:?}", p.probe);
+            assert_eq!(p.probe.accepted, Some(bftbcast_net::Value::TRUE));
+            assert!(p.probe.decided_neighbors >= 1);
+        } else {
+            panic!("probe cell fell on a bad node: {:?}", result.probes);
+        }
+    }
+
+    #[test]
+    fn agreement_engine_answers_probes_for_members() {
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"agreement\"\n",
+            "[topology]\nside = 15\nr = 2\n",
+            "[faults]\nt = 1\nmf = 10\n",
+            "[source]\nx = 7\ny = 7\n",
+            // (6, 8) is a member cell but Byzantine; (7, 8) is a good
+            // member; (0, 0) is outside the source neighborhood.
+            "[placement]\nkind = \"explicit\"\nnodes = [[6, 8]]\n",
+            "[agreement]\nmode = \"proven\"\nsource = \"correct\"\n",
+            "[probes]\nnodes = [[7, 8], [0, 0]]\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        let result = &report.results[0];
+        let o = result.outcome.as_agreement().unwrap();
+        assert!(o.agreement_holds() && o.validity_holds());
+        // Only the deciding member answers; the far cell yields no row.
+        assert_eq!(result.probes.len(), 1, "{:?}", result.probes);
+        let p = &result.probes[0];
+        assert_eq!((p.x, p.y), (7, 8));
+        assert_eq!(p.probe.tally_true, o.decisions.len() as u64, "unanimous");
+        assert_eq!(p.probe.tally_wrong, 0);
+        assert!(p.probe.accepted.is_some());
     }
 
     #[test]

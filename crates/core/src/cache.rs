@@ -25,15 +25,13 @@
 
 use bftbcast_net::Value;
 use bftbcast_sim::crash::CrashBehavior;
-use bftbcast_sim::engine::{AgreementMode, EngineOutcome, Probe};
+use bftbcast_sim::engine::{EngineOutcome, Probe};
 use bftbcast_sim::metrics::{CountingOutcome, ReactiveOutcome};
-use bftbcast_sim::slot::ReactiveAdversary;
 use bftbcast_store::Record;
 
 use crate::batch::{PointResult, ProbeResult};
-use crate::scenario_file::{
-    AdversarySpec, CrashNodesSpec, EngineKind, PlacementSpec, PointSpec, ProtocolSpec, SourceSpec,
-};
+use crate::scenario_file::{CrashNodesSpec, EngineKind, PlacementSpec, PointSpec, ProtocolSpec};
+use crate::spec::{agreement_mode_name, reactive_adversary_name};
 
 /// Version of both the key record and the result encoding. Bump on any
 /// schema change; old entries then miss instead of misdecoding.
@@ -89,17 +87,6 @@ fn protocol_record(protocol: &ProtocolSpec) -> Record {
     }
 }
 
-fn reactive_adversary_name(adv: ReactiveAdversary) -> &'static str {
-    match adv {
-        ReactiveAdversary::Passive => "passive",
-        ReactiveAdversary::Jammer => "jammer",
-        ReactiveAdversary::Canceller => "canceller",
-        ReactiveAdversary::NackForger => "nack_forger",
-        ReactiveAdversary::WitnessForger => "witness_forger",
-        ReactiveAdversary::Mixed => "mixed",
-    }
-}
-
 /// The content-hash cache key for one fully-resolved sweep point.
 ///
 /// Stable across field order, process runs, and platforms (see
@@ -119,15 +106,7 @@ pub fn point_key(engine: EngineKind, point: &PointSpec, probes: &[(u32, u32)]) -
         .u64("seed", point.seed)
         .record("placement", placement_record(&point.placement))
         .record("protocol", protocol_record(&point.protocol))
-        .str(
-            "adversary",
-            match point.adversary {
-                AdversarySpec::Oracle => "oracle",
-                AdversarySpec::Greedy => "greedy",
-                AdversarySpec::Chaos => "chaos",
-                AdversarySpec::Passive => "passive",
-            },
-        )
+        .str("adversary", point.adversary.name())
         .list("probes", &cells_list(probes));
     if let Some(crash) = &point.crash {
         let nodes = match &crash.nodes {
@@ -171,21 +150,8 @@ pub fn point_key(engine: EngineKind, point: &PointSpec, probes: &[(u32, u32)]) -
     r = r.record(
         "agreement",
         Record::new(CACHE_SCHEMA_VERSION)
-            .str(
-                "mode",
-                match point.agreement.mode {
-                    AgreementMode::Cheap => "cheap",
-                    AgreementMode::Proven => "proven",
-                },
-            )
-            .str(
-                "source",
-                match point.agreement.source {
-                    SourceSpec::Correct => "correct",
-                    SourceSpec::Split => "split",
-                    SourceSpec::Silent => "silent",
-                },
-            )
+            .str("mode", agreement_mode_name(point.agreement.mode))
+            .str("source", point.agreement.source.name())
             .f64("p1", point.agreement.p1)
             .f64("pe", point.agreement.pe),
     );
@@ -426,7 +392,7 @@ pub fn decode_result(bytes: &[u8]) -> Option<PointResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario_file::ScenarioFile;
+    use crate::scenario_file::{AdversarySpec, ScenarioFile};
     use bftbcast_sim::agreement::AgreementOutcome;
 
     fn f2_file() -> ScenarioFile {

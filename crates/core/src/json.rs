@@ -168,6 +168,22 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as an `f64`, if this is a (finite) number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok().filter(|x: &f64| x.is_finite()),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Maximum container nesting. The parser recurses per level and reads

@@ -46,6 +46,7 @@
 //! | [`sim`] | counting engine, slot engine, crash/hybrid engine, agreement engine, `SimEngine` trait, sweep runner |
 //! | [`viz`] | SVG torus maps and sweep charts |
 //! | [`scenario`] | this crate's high-level builder API |
+//! | [`spec`] | the canonical typed [`EngineSpec`]: builder, `.scn` ⇄ JSON codecs, identity = cache key |
 //! | [`scn`] / [`scenario_file`] / [`batch`] | declarative `*.scn` scenario files and the batch runner |
 //! | [`cache`] | content-addressed cache keys and the result codec over `bftbcast-store` |
 //!
@@ -87,7 +88,15 @@ pub mod prelude;
 pub mod scenario;
 pub mod scenario_file;
 pub mod scn;
+pub mod spec;
 
 pub use batch::{run_file, run_file_with, BatchOptions, BatchReport, PointResult};
 pub use scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
 pub use scenario_file::{EngineKind, PointSpec, ScenarioFile};
+pub use spec::{EngineSpec, SpecBuilder};
+
+/// Compiles the README's code blocks as doctests, so the embedding
+/// examples there can never drift from the real API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -28,7 +28,7 @@
 //! | `[crash]` | `kind`, `y0`, `height`, `nodes`, `behavior`, `after` | crash engine only |
 //! | `[reactive]` | `k`, `mmax`, `adversary`, `budget`, `max_rounds` | slot engine only |
 //! | `[agreement]` | `mode`, `source`, `p1`, `pe` | agreement engine only |
-//! | `[probes]` | `nodes = [[x, y], ...]` | counting/crash engines |
+//! | `[probes]` | `nodes = [[x, y], ...]` | any engine (see [`bftbcast_sim::engine::Probe`]) |
 //! | `[sweep]` | one key per axis | values: array, or `"a..b"` / `"a..=b"` range string |
 //!
 //! Sweep axes override the base document per point; the cartesian
@@ -63,6 +63,18 @@ impl EngineKind {
             EngineKind::Slot => "slot",
             EngineKind::Agreement => "agreement",
         }
+    }
+
+    /// The inverse of [`EngineKind::name`] — shared by the `.scn` and
+    /// JSON codecs so both grammars accept exactly the same names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "counting" => EngineKind::Counting,
+            "crash" => EngineKind::Crash,
+            "slot" => EngineKind::Slot,
+            "agreement" => EngineKind::Agreement,
+            _ => return None,
+        })
     }
 }
 
@@ -131,6 +143,30 @@ pub enum AdversarySpec {
     Passive,
 }
 
+impl AdversarySpec {
+    /// The grammar's name for this adversary (also the cache-key
+    /// spelling in [`crate::cache::point_key`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversarySpec::Oracle => "oracle",
+            AdversarySpec::Greedy => "greedy",
+            AdversarySpec::Chaos => "chaos",
+            AdversarySpec::Passive => "passive",
+        }
+    }
+
+    /// The inverse of [`AdversarySpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "oracle" => AdversarySpec::Oracle,
+            "greedy" => AdversarySpec::Greedy,
+            "chaos" => AdversarySpec::Chaos,
+            "passive" => AdversarySpec::Passive,
+            _ => return None,
+        })
+    }
+}
+
 /// Crash-node selection (crash engine).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CrashNodesSpec {
@@ -190,6 +226,27 @@ pub enum SourceSpec {
     Split,
     /// A Byzantine source that stays silent.
     Silent,
+}
+
+impl SourceSpec {
+    /// The grammar's name for this source behavior.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceSpec::Correct => "correct",
+            SourceSpec::Split => "split",
+            SourceSpec::Silent => "silent",
+        }
+    }
+
+    /// The inverse of [`SourceSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "correct" => SourceSpec::Correct,
+            "split" => SourceSpec::Split,
+            "silent" => SourceSpec::Silent,
+            _ => return None,
+        })
+    }
 }
 
 /// Agreement-engine configuration.
@@ -365,6 +422,10 @@ fn get_int(section: &ScnSection, key: &str) -> Result<Option<i64>, ScenarioError
     match section.get(key) {
         None => Ok(None),
         Some(ScnValue::Int(i)) => Ok(Some(*i)),
+        Some(ScnValue::BigInt(n)) => Err(invalid(
+            &format!("{}.{key}", section_name(section)),
+            format!("integer {n} is out of range for this field"),
+        )),
         Some(other) => Err(invalid(
             &format!("{}.{key}", section_name(section)),
             format!("expected an integer, found {}", other.kind()),
@@ -397,6 +458,11 @@ fn get_u32(section: &ScnSection, key: &str) -> Result<Option<u32>, ScenarioError
 }
 
 fn get_u64(section: &ScnSection, key: &str) -> Result<Option<u64>, ScenarioError> {
+    // Full-range u64 fields: i64-range literals and BigInt literals
+    // (above i64::MAX) are both valid.
+    if let Some(ScnValue::BigInt(n)) = section.get(key) {
+        return Ok(Some(*n));
+    }
     match get_int(section, key)? {
         None => Ok(None),
         Some(i) => u64::try_from(i).map(Some).map_err(|_| {
@@ -452,6 +518,12 @@ fn axis_values(name: &str, value: &ScnValue) -> Result<Vec<AxisValue>, ScenarioE
                 out.push(match item {
                     ScnValue::Int(i) => AxisValue::Int(*i),
                     ScnValue::Float(f) => AxisValue::Float(*f),
+                    ScnValue::BigInt(n) => {
+                        return Err(invalid(
+                            &what,
+                            format!("axis value {n} is above the sweepable range (i64)"),
+                        ))
+                    }
                     other => {
                         return Err(invalid(
                             &what,
@@ -502,8 +574,13 @@ fn axis_values(name: &str, value: &ScnValue) -> Result<Vec<AxisValue>, ScenarioE
     Ok(values)
 }
 
-/// Applies one axis override to a [`PointSpec`].
-fn apply_axis(spec: &mut PointSpec, name: &str, value: AxisValue) -> Result<(), ScenarioError> {
+/// Applies one axis override to a [`PointSpec`] — the shared vocabulary
+/// of `[sweep]` axes and `run --set key=value` overrides.
+pub(crate) fn apply_axis(
+    spec: &mut PointSpec,
+    name: &str,
+    value: AxisValue,
+) -> Result<(), ScenarioError> {
     let what = format!("sweep.{name}");
     match name {
         "m" => match &mut spec.protocol {
@@ -573,7 +650,7 @@ fn apply_axis(spec: &mut PointSpec, name: &str, value: AxisValue) -> Result<(), 
 /// `sweep()` worker thread, aborting the batch — fails here with a
 /// [`ScenarioError`] instead. Called on the base document and on every
 /// sweep-axis value at parse time.
-fn validate_point(spec: &PointSpec, engine: EngineKind) -> Result<(), ScenarioError> {
+pub(crate) fn validate_point(spec: &PointSpec, engine: EngineKind) -> Result<(), ScenarioError> {
     let (w, h) = (spec.width, spec.height);
     let check_cell = |what: &str, x: u32, y: u32| -> Result<(), ScenarioError> {
         if x >= w || y >= h {
@@ -666,18 +743,13 @@ impl ScenarioFile {
         let top = doc.section("").unwrap_or(&empty);
         check_keys(top, &["name", "engine", "seed"])?;
         let name = get_str(top, "name")?.unwrap_or("scenario").to_string();
-        let engine = match get_str(top, "engine")?.unwrap_or("counting") {
-            "counting" => EngineKind::Counting,
-            "crash" => EngineKind::Crash,
-            "slot" => EngineKind::Slot,
-            "agreement" => EngineKind::Agreement,
-            other => {
-                return Err(invalid(
-                    "engine",
-                    format!("unknown engine {other:?} (counting|crash|slot|agreement)"),
-                ))
-            }
-        };
+        let engine_name = get_str(top, "engine")?.unwrap_or("counting");
+        let engine = EngineKind::from_name(engine_name).ok_or_else(|| {
+            invalid(
+                "engine",
+                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement)"),
+            )
+        })?;
         let seed = get_u64(top, "seed")?.unwrap_or(0);
 
         // Engine/section applicability: a typo'd or misplaced section
@@ -688,7 +760,6 @@ impl ScenarioFile {
             ("reactive", &[EngineKind::Slot][..]),
             ("agreement", &[EngineKind::Agreement][..]),
             ("protocol", &[EngineKind::Counting, EngineKind::Crash][..]),
-            ("probes", &[EngineKind::Counting, EngineKind::Crash][..]),
         ] {
             if doc.section(section).is_some() && !engines.contains(&engine) {
                 return Err(invalid(
@@ -844,18 +915,13 @@ impl ScenarioFile {
             None => AdversarySpec::Oracle,
             Some(s) => {
                 check_keys(s, &["kind"])?;
-                match get_str(s, "kind")?.unwrap_or("oracle") {
-                    "oracle" => AdversarySpec::Oracle,
-                    "greedy" => AdversarySpec::Greedy,
-                    "chaos" => AdversarySpec::Chaos,
-                    "passive" => AdversarySpec::Passive,
-                    other => {
-                        return Err(invalid(
-                            "adversary.kind",
-                            format!("unknown kind {other:?} (oracle|greedy|chaos|passive)"),
-                        ))
-                    }
-                }
+                let kind = get_str(s, "kind")?.unwrap_or("oracle");
+                AdversarySpec::from_name(kind).ok_or_else(|| {
+                    invalid(
+                        "adversary.kind",
+                        format!("unknown kind {kind:?} (oracle|greedy|chaos|passive)"),
+                    )
+                })?
             }
         };
         if matches!(protocol, ProtocolSpec::Majority { .. }) && adversary != AdversarySpec::Oracle {
@@ -956,17 +1022,13 @@ impl ScenarioFile {
                         ))
                     }
                 };
-                let source = match get_str(s, "source")?.unwrap_or("correct") {
-                    "correct" => SourceSpec::Correct,
-                    "split" => SourceSpec::Split,
-                    "silent" => SourceSpec::Silent,
-                    other => {
-                        return Err(invalid(
-                            "agreement.source",
-                            format!("unknown source {other:?} (correct|split|silent)"),
-                        ))
-                    }
-                };
+                let source_name = get_str(s, "source")?.unwrap_or("correct");
+                let source = SourceSpec::from_name(source_name).ok_or_else(|| {
+                    invalid(
+                        "agreement.source",
+                        format!("unknown source {source_name:?} (correct|split|silent)"),
+                    )
+                })?;
                 let defaults = AgreementSpec::default();
                 let p1 = get_f64(s, "p1")?.unwrap_or(defaults.p1);
                 let pe = get_f64(s, "pe")?.unwrap_or(defaults.pe);
@@ -1066,6 +1128,72 @@ impl ScenarioFile {
     /// The base configuration (sweep overrides not applied).
     pub fn base(&self) -> &PointSpec {
         &self.base
+    }
+
+    /// Wraps one validated [`EngineSpec`](crate::spec::EngineSpec) as a
+    /// single-point scenario file — the adapter that lets every
+    /// `ScenarioFile` consumer (the batch runner, the server job queue)
+    /// run a spec submitted as JSON through exactly the same code path
+    /// (and therefore exactly the same store keys) as `.scn` text.
+    pub fn from_spec(spec: &crate::spec::EngineSpec) -> ScenarioFile {
+        ScenarioFile {
+            name: spec.name().to_string(),
+            engine: spec.engine(),
+            probes: spec.probes().to_vec(),
+            base: spec.point().clone(),
+            sweep: Vec::new(),
+        }
+    }
+
+    /// Expands the file into one validated
+    /// [`EngineSpec`](crate::spec::EngineSpec) per sweep point (the
+    /// sweep labels are presentation and are dropped — a spec's
+    /// identity is its cache key).
+    ///
+    /// # Errors
+    ///
+    /// None in practice for parse-produced files (everything was
+    /// validated at parse time); hand-mutated files surface the usual
+    /// [`ScenarioError`]s.
+    pub fn specs(&self) -> Result<Vec<crate::spec::EngineSpec>, ScenarioError> {
+        self.points()
+            .into_iter()
+            .map(|mut point| {
+                point.label.clear();
+                crate::spec::EngineSpec::from_parts(
+                    self.name.clone(),
+                    self.engine,
+                    point,
+                    self.probes.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Overrides one field by sweep-axis name (the `run --set
+    /// key=value` path), then re-validates the base and every sweep
+    /// point against the change. An override **pins** the field: a
+    /// `[sweep]` axis over the same key is dropped (otherwise the
+    /// sweep would silently reapply its values over the override at
+    /// every point).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] for an unknown axis, a value of the
+    /// wrong shape, or an override that makes the base or any sweep
+    /// point invalid.
+    pub fn override_base(&mut self, key: &str, value: AxisValue) -> Result<(), ScenarioError> {
+        apply_axis(&mut self.base, key, value)?;
+        validate_point(&self.base, self.engine)?;
+        self.sweep.retain(|axis| axis.name != key);
+        for axis in &self.sweep {
+            for &v in &axis.values {
+                let mut probe_spec = self.base.clone();
+                apply_axis(&mut probe_spec, &axis.name, v)?;
+                validate_point(&probe_spec, self.engine)?;
+            }
+        }
+        Ok(())
     }
 
     /// Expands the sweep axes into fully-resolved points (cartesian
@@ -1224,7 +1352,8 @@ mod tests {
             ("counting", "[crash]\ny0 = 5\n"),
             ("counting", "[reactive]\nk = 8\n"),
             ("slot", "[adversary]\nkind = \"oracle\"\n"),
-            ("agreement", "[probes]\nnodes = [[1, 1]]\n"),
+            ("slot", "[protocol]\nkind = \"b\"\n"),
+            ("crash", "[agreement]\nmode = \"cheap\"\n"),
         ] {
             let text = format!("engine = \"{engine}\"\n{base}{section}");
             let err = ScenarioFile::parse(&text).unwrap_err();
@@ -1301,6 +1430,37 @@ mod tests {
             matches!(err, ScenarioError::LocalBoundViolated { .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn override_base_pins_fields_and_drops_matching_sweep_axes() {
+        let parse = || {
+            ScenarioFile::parse(concat!(
+                "[topology]\nside = 15\nr = 1\n",
+                "[protocol]\nkind = \"starved\"\nm = 1\n",
+                "[sweep]\nm = [5, 6]\nseed = \"0..3\"\n",
+            ))
+            .unwrap()
+        };
+        // Overriding a swept key pins it: the m axis is dropped, the
+        // seed axis survives.
+        let mut f = parse();
+        f.override_base("m", AxisValue::Int(9)).unwrap();
+        let points = f.points();
+        assert_eq!(points.len(), 3, "only the seed axis remains");
+        for p in &points {
+            assert_eq!(p.protocol, ProtocolSpec::Starved { m: 9 });
+            assert_eq!(p.label.len(), 1, "no m label: {:?}", p.label);
+        }
+        // Overriding a non-swept key leaves the sweep intact.
+        let mut f = parse();
+        f.override_base("mf", AxisValue::Int(7)).unwrap();
+        assert_eq!(f.points().len(), 6);
+        assert!(f.points().iter().all(|p| p.mf == 7));
+        // Unknown keys and wrong shapes are named errors.
+        let mut f = parse();
+        assert!(f.override_base("warp", AxisValue::Int(1)).is_err());
+        assert!(f.override_base("m", AxisValue::Int(-1)).is_err());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!   list of sections; keys before the first header belong to the
 //!   top-level section `""`);
 //! * values: quoted strings (`"0..8"`, with `\"` `\\` `\n` `\t`
-//!   escapes), integers, floats, booleans, and single-line arrays of
-//!   values (nesting allowed: `[[0, 5], [5, 1]]`);
+//!   escapes), integers (full `u64` range — literals above `i64::MAX`
+//!   parse as [`ScnValue::BigInt`]), floats, booleans, and single-line
+//!   arrays of values (nesting allowed: `[[0, 5], [5, 1]]`);
 //! * `#` comments anywhere outside a string.
 //!
 //! Not supported (and rejected with a line-numbered error rather than
@@ -63,6 +64,9 @@ pub enum ScnValue {
     Str(String),
     /// An integer literal.
     Int(i64),
+    /// An unsigned integer literal above `i64::MAX` (full-range `u64`
+    /// fields — seeds, budgets — stay representable and lossless).
+    BigInt(u64),
     /// A float literal (contains `.`, `e`, or `E`).
     Float(f64),
     /// `true` / `false`.
@@ -76,7 +80,7 @@ impl ScnValue {
     pub fn kind(&self) -> &'static str {
         match self {
             ScnValue::Str(_) => "string",
-            ScnValue::Int(_) => "integer",
+            ScnValue::Int(_) | ScnValue::BigInt(_) => "integer",
             ScnValue::Float(_) => "float",
             ScnValue::Bool(_) => "boolean",
             ScnValue::Array(_) => "array",
@@ -294,10 +298,13 @@ impl ValueParser {
                 .parse::<f64>()
                 .map(ScnValue::Float)
                 .map_err(|_| self.err(format!("invalid float {raw:?}")))
+        } else if let Ok(i) = clean.parse::<i64>() {
+            Ok(ScnValue::Int(i))
         } else {
+            // Above i64::MAX: still a valid u64 literal.
             clean
-                .parse::<i64>()
-                .map(ScnValue::Int)
+                .parse::<u64>()
+                .map(ScnValue::BigInt)
                 .map_err(|_| self.err(format!("invalid integer {raw:?}")))
         }
     }
@@ -511,6 +518,16 @@ mod tests {
         assert_eq!(top.get("a"), Some(&ScnValue::Int(-3)));
         assert_eq!(top.get("b"), Some(&ScnValue::Float(0.25)));
         assert_eq!(top.get("c"), Some(&ScnValue::Float(1000.0)));
+    }
+
+    #[test]
+    fn integers_above_i64_parse_as_bigint() {
+        let doc = parse(&format!("a = {}\nb = {}\n", u64::MAX, i64::MAX)).unwrap();
+        let top = doc.section("").unwrap();
+        assert_eq!(top.get("a"), Some(&ScnValue::BigInt(u64::MAX)));
+        assert_eq!(top.get("b"), Some(&ScnValue::Int(i64::MAX)));
+        // Still an error beyond u64.
+        assert!(parse("a = 99999999999999999999999\n").is_err());
     }
 
     #[test]

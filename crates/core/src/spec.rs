@@ -1,0 +1,1690 @@
+//! The canonical construction surface: one typed [`EngineSpec`] that
+//! every entry point — `.scn` files, CLI flags, the wire protocol, and
+//! embedding Rust code — converges on.
+//!
+//! An [`EngineSpec`] is a *validated* engine configuration: engine
+//! kind, topology, fault parameters, placement, protocol, adversary,
+//! seeds, and probe cells. It is produced by the fluent
+//! [`SpecBuilder`], by [`EngineSpec::from_scn`] /
+//! [`EngineSpec::from_json`], or by expanding a [`ScenarioFile`] with
+//! [`ScenarioFile::specs`](crate::scenario_file::ScenarioFile::specs) —
+//! and consumed by [`EngineSpec::build_engine`], which every layer
+//! (the batch runner, the server job queue, embedders) uses to
+//! construct the actual [`SimEngine`].
+//!
+//! # Identity is the cache key
+//!
+//! Both codecs are **lossless** and mirror the field definitions of
+//! [`crate::cache::point_key`]: two specs are the same configuration
+//! exactly when [`EngineSpec::cache_key`] agrees, regardless of which
+//! surface they came through. A scenario submitted as `.scn` text and
+//! the same configuration submitted as spec JSON therefore hit the
+//! same store entries (see `crates/server`). The spec `name` — like a
+//! sweep label — is presentation, not configuration, and never reaches
+//! the key.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast::sim::engine::SimEngine;
+//! use bftbcast::spec::EngineSpec;
+//!
+//! let mut engine = EngineSpec::counting(15, 15, 1)
+//!     .faults(1, 50)
+//!     .lattice()
+//!     .build()
+//!     .unwrap();
+//! assert!(engine.run_to_completion().success());
+//!
+//! // The same configuration, as a validated value with an identity:
+//! let spec = EngineSpec::counting(15, 15, 1)
+//!     .faults(1, 50)
+//!     .lattice()
+//!     .finish()
+//!     .unwrap();
+//! assert_eq!(EngineSpec::from_json(&spec.to_json()).unwrap(), spec);
+//! assert_eq!(EngineSpec::from_scn(&spec.to_scn()).unwrap(), spec);
+//! assert_eq!(
+//!     EngineSpec::from_json(&spec.to_json()).unwrap().cache_key(),
+//!     spec.cache_key()
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+use bftbcast_net::{Cross, NodeId};
+use bftbcast_protocols::reactive::ReactiveConfig;
+use bftbcast_protocols::CountingProtocol;
+use bftbcast_sim::crash::{crash_only_protocol, crash_stripe, CrashBehavior, HybridSim};
+use bftbcast_sim::engine::{
+    AgreementEngine, AgreementMode, CountingDrive, CountingEngine, CrashEngine, SimEngine,
+    SlotEngine,
+};
+use bftbcast_sim::slot::{ReactiveAdversary, SlotConfig};
+
+use crate::cache::{self, CACHE_SCHEMA_VERSION};
+use crate::json::{Json, Object};
+use crate::scenario::ScenarioError;
+use crate::scenario_file::{
+    self, AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, EngineKind, PlacementSpec,
+    PointSpec, ProtocolSpec, ReactiveSpec, ScenarioFile, SourceSpec,
+};
+
+// ---------------------------------------------------------------------
+// Canonical names for the sim-crate enums (both codec directions).
+// ---------------------------------------------------------------------
+
+/// The grammar's name for a slot-engine adversary (also the cache-key
+/// spelling in [`crate::cache::point_key`]).
+pub fn reactive_adversary_name(adv: ReactiveAdversary) -> &'static str {
+    match adv {
+        ReactiveAdversary::Passive => "passive",
+        ReactiveAdversary::Jammer => "jammer",
+        ReactiveAdversary::Canceller => "canceller",
+        ReactiveAdversary::NackForger => "nack_forger",
+        ReactiveAdversary::WitnessForger => "witness_forger",
+        ReactiveAdversary::Mixed => "mixed",
+    }
+}
+
+/// The inverse of [`reactive_adversary_name`].
+pub fn reactive_adversary_from_name(name: &str) -> Option<ReactiveAdversary> {
+    Some(match name {
+        "passive" => ReactiveAdversary::Passive,
+        "jammer" => ReactiveAdversary::Jammer,
+        "canceller" => ReactiveAdversary::Canceller,
+        "nack_forger" => ReactiveAdversary::NackForger,
+        "witness_forger" => ReactiveAdversary::WitnessForger,
+        "mixed" => ReactiveAdversary::Mixed,
+        _ => return None,
+    })
+}
+
+/// The grammar's name for an agreement mode.
+pub fn agreement_mode_name(mode: AgreementMode) -> &'static str {
+    match mode {
+        AgreementMode::Cheap => "cheap",
+        AgreementMode::Proven => "proven",
+    }
+}
+
+/// The inverse of [`agreement_mode_name`].
+pub fn agreement_mode_from_name(name: &str) -> Option<AgreementMode> {
+    Some(match name {
+        "cheap" => AgreementMode::Cheap,
+        "proven" => AgreementMode::Proven,
+        _ => return None,
+    })
+}
+
+fn invalid(what: &str, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid {
+        what: what.to_string(),
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// EngineSpec
+// ---------------------------------------------------------------------
+
+/// One validated engine configuration — see the [module docs](self).
+///
+/// Construction always validates (builder [`SpecBuilder::finish`],
+/// codecs, [`EngineSpec::from_parts`]), so holding an `EngineSpec`
+/// means [`EngineSpec::build_engine`] can only fail on placement-level
+/// errors that need the actual grid (local-bound violations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    name: String,
+    engine: EngineKind,
+    point: PointSpec,
+    probes: Vec<(u32, u32)>,
+}
+
+impl EngineSpec {
+    /// Starts a counting-engine spec on a `width`×`height` torus with
+    /// radio range `r`.
+    pub fn counting(width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(EngineKind::Counting, width, height, r)
+    }
+
+    /// Starts a crash/hybrid-engine spec.
+    pub fn crash(width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(EngineKind::Crash, width, height, r)
+    }
+
+    /// Starts a slot-engine (`Breactive`) spec.
+    pub fn slot(width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(EngineKind::Slot, width, height, r)
+    }
+
+    /// Starts an agreement-engine spec.
+    pub fn agreement(width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(EngineKind::Agreement, width, height, r)
+    }
+
+    /// Starts a spec for any engine kind.
+    pub fn builder(engine: EngineKind, width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(engine, width, height, r)
+    }
+
+    /// Assembles and validates a spec from already-resolved parts (the
+    /// path [`ScenarioFile::specs`] and the batch runner use). The
+    /// point's sweep label is cleared — labels are presentation, and a
+    /// spec's identity is its cache key.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] for any configuration the `.scn` grammar would
+    /// reject: cross-field violations (a crash engine without a crash
+    /// load, a majority protocol off the counting engine, …),
+    /// inapplicable sections carrying non-default values, cells off the
+    /// torus, out-of-range fractions.
+    pub fn from_parts(
+        name: String,
+        engine: EngineKind,
+        mut point: PointSpec,
+        probes: Vec<(u32, u32)>,
+    ) -> Result<EngineSpec, ScenarioError> {
+        point.label.clear();
+        validate_spec(&name, engine, &point, &probes)?;
+        Ok(EngineSpec {
+            name,
+            engine,
+            point,
+            probes,
+        })
+    }
+
+    /// The spec's display name (presentation only — never part of
+    /// [`EngineSpec::cache_key`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which engine this spec builds.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The fully-resolved configuration point.
+    pub fn point(&self) -> &PointSpec {
+        &self.point
+    }
+
+    /// Probe cells reported after a run.
+    pub fn probes(&self) -> &[(u32, u32)] {
+        &self.probes
+    }
+
+    /// The spec's content-addressed identity:
+    /// [`crate::cache::point_key`] over every field the engines read.
+    /// Equal keys ⇔ same configuration, whichever surface (builder,
+    /// `.scn`, JSON, wire) produced it.
+    pub fn cache_key(&self) -> u64 {
+        cache::point_key(self.engine, &self.point, &self.probes)
+    }
+
+    /// Builds the configured engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] from scenario construction — in practice only
+    /// placement-level failures that need the actual grid (local-bound
+    /// violations, invalid torus/range combinations).
+    pub fn build_engine(&self) -> Result<Box<dyn SimEngine>, ScenarioError> {
+        build_engine_impl(self.engine, &self.point)
+    }
+}
+
+/// Validation shared by every `EngineSpec` entry path: the same
+/// cross-field rules the `.scn` grammar enforces at parse time, so a
+/// spec assembled by hand or decoded from JSON can never describe a
+/// configuration a scenario file could not.
+fn validate_spec(
+    name: &str,
+    engine: EngineKind,
+    point: &PointSpec,
+    probes: &[(u32, u32)],
+) -> Result<(), ScenarioError> {
+    if name
+        .chars()
+        .any(|c| (c as u32) < 0x20 && c != '\n' && c != '\t')
+    {
+        return Err(invalid("name", "control characters are not representable"));
+    }
+    // Inapplicable configuration must be at its defaults — mirrors the
+    // grammar's section/engine applicability, and keeps the codecs
+    // lossless (there is no `.scn` spelling for, say, a slot spec
+    // carrying a counting protocol).
+    if !matches!(engine, EngineKind::Counting | EngineKind::Crash)
+        && point.protocol != ProtocolSpec::B
+    {
+        return Err(invalid(
+            "protocol",
+            format!("does not apply to engine = \"{}\"", engine.name()),
+        ));
+    }
+    if engine != EngineKind::Counting && point.adversary != AdversarySpec::Oracle {
+        return Err(invalid(
+            "adversary",
+            format!("does not apply to engine = \"{}\"", engine.name()),
+        ));
+    }
+    match engine {
+        EngineKind::Crash => {
+            if point.crash.is_none() {
+                return Err(invalid(
+                    "crash",
+                    "the crash engine needs a crash fault load",
+                ));
+            }
+        }
+        _ => {
+            if point.crash.is_some() {
+                return Err(invalid(
+                    "crash",
+                    format!("does not apply to engine = \"{}\"", engine.name()),
+                ));
+            }
+        }
+    }
+    if engine != EngineKind::Slot && point.reactive != ReactiveSpec::default() {
+        return Err(invalid(
+            "reactive",
+            format!("does not apply to engine = \"{}\"", engine.name()),
+        ));
+    }
+    if engine != EngineKind::Agreement && point.agreement != AgreementSpec::default() {
+        return Err(invalid(
+            "agreement",
+            format!("does not apply to engine = \"{}\"", engine.name()),
+        ));
+    }
+    if point.protocol == ProtocolSpec::CrashOnly && engine != EngineKind::Crash {
+        return Err(invalid(
+            "protocol.kind",
+            "crash_only applies to the crash engine only",
+        ));
+    }
+    if matches!(point.protocol, ProtocolSpec::Majority { .. }) {
+        if engine != EngineKind::Counting {
+            return Err(invalid(
+                "protocol.kind",
+                "majority applies to the counting engine only",
+            ));
+        }
+        if point.adversary != AdversarySpec::Oracle {
+            return Err(invalid(
+                "adversary.kind",
+                "the majority protocol is driven by the per-receiver oracle only",
+            ));
+        }
+    }
+    for &(x, y) in probes {
+        if x >= point.width || y >= point.height {
+            return Err(invalid(
+                "probes.nodes",
+                format!(
+                    "probe ({x}, {y}) is off the {}x{} torus",
+                    point.width, point.height
+                ),
+            ));
+        }
+    }
+    scenario_file::validate_point(point, engine)
+}
+
+/// Builds the right engine for one fully-resolved point (shared by
+/// [`EngineSpec::build_engine`] and, through it, the batch runner).
+fn build_engine_impl(
+    engine: EngineKind,
+    point: &PointSpec,
+) -> Result<Box<dyn SimEngine>, ScenarioError> {
+    let scenario = point.build_scenario()?;
+    let grid = scenario.grid();
+    let params = scenario.params();
+    let protocol = |spec: ProtocolSpec| -> CountingProtocol {
+        match spec {
+            ProtocolSpec::B => CountingProtocol::protocol_b(grid, params),
+            ProtocolSpec::Koo => CountingProtocol::koo_baseline(grid, params),
+            ProtocolSpec::Heter => {
+                let cross = Cross::paper_scale(0, 0, params.r);
+                CountingProtocol::heterogeneous(grid, params, &cross)
+            }
+            ProtocolSpec::Starved { m } => CountingProtocol::starved(grid, params, m),
+            // Mirrors Scenario::run_majority: send quota = quorum.
+            ProtocolSpec::Majority { quorum } => CountingProtocol::starved(grid, params, quorum),
+            ProtocolSpec::CrashOnly => crash_only_protocol(grid),
+        }
+    };
+    Ok(match engine {
+        EngineKind::Counting => {
+            let drive = match (point.adversary, point.protocol) {
+                (AdversarySpec::Oracle, ProtocolSpec::Majority { quorum }) => {
+                    CountingDrive::Majority { quorum }
+                }
+                (AdversarySpec::Oracle, _) => CountingDrive::Oracle,
+                (AdversarySpec::Greedy, _) => CountingDrive::Greedy,
+                (AdversarySpec::Chaos, _) => CountingDrive::Chaos(point.seed),
+                (AdversarySpec::Passive, _) => CountingDrive::Passive,
+            };
+            let sim = scenario.counting_sim(protocol(point.protocol));
+            Box::new(CountingEngine::new(sim, params.mf, drive))
+        }
+        EngineKind::Crash => {
+            let spec = point.crash.as_ref().expect("validated at construction");
+            let mut dead: Vec<NodeId> = match &spec.nodes {
+                CrashNodesSpec::Stripe { y0, height } => crash_stripe(grid, *y0, *height),
+                CrashNodesSpec::Explicit(cells) => {
+                    cells.iter().map(|&(x, y)| grid.id_at(x, y)).collect()
+                }
+            };
+            // Crash nodes must not overlap the source or the Byzantine
+            // set; the declarative layer filters rather than panics.
+            dead.retain(|u| *u != scenario.source() && !scenario.bad_nodes().contains(u));
+            let sim = HybridSim::new(grid.clone(), protocol(point.protocol), scenario.source())
+                .with_byzantine_nodes(scenario.bad_nodes())
+                .with_crash_nodes(&dead, spec.behavior);
+            Box::new(CrashEngine::new(sim, params.mf))
+        }
+        EngineKind::Slot => {
+            let config = SlotConfig {
+                reactive: ReactiveConfig::paper(
+                    grid.node_count(),
+                    grid.range(),
+                    params.t,
+                    point.reactive.mmax,
+                    point.reactive.k,
+                ),
+                t: params.t,
+                mf: params.mf,
+                good_budget: point.reactive.budget,
+                adversary: point.reactive.adversary,
+                max_rounds: point.reactive.max_rounds,
+                seed: point.seed,
+            };
+            Box::new(SlotEngine::new(
+                grid.clone(),
+                scenario.source(),
+                scenario.bad_nodes(),
+                config,
+            ))
+        }
+        EngineKind::Agreement => {
+            use bftbcast_net::Value;
+            use bftbcast_sim::agreement::{SourceBehavior, SplitAttack};
+            // Construction-time validation covers this; re-checked here
+            // so a hand-built PointSpec errors instead of asserting on
+            // a sweep() worker thread.
+            if point.agreement.mode == AgreementMode::Proven {
+                use bftbcast_protocols::agreement::proven_max_t;
+                if u64::from(params.t) > proven_max_t(params.r) {
+                    return Err(invalid(
+                        "agreement.mode",
+                        format!(
+                            "proven mode requires t <= {} at r = {}",
+                            proven_max_t(params.r),
+                            params.r
+                        ),
+                    ));
+                }
+            }
+            let sim = scenario.agreement_sim();
+            let behavior = match point.agreement.source {
+                SourceSpec::Correct => SourceBehavior::Correct,
+                SourceSpec::Split => SourceBehavior::even_split(sim.config(), Value(2), Value(3)),
+                SourceSpec::Silent => SourceBehavior::Silent,
+            };
+            let attack = SplitAttack {
+                value_a: Value(2),
+                value_b: Value(3),
+                phase1_fraction: point.agreement.p1,
+                echo_fraction: point.agreement.pe,
+            };
+            Box::new(AgreementEngine::new(
+                sim,
+                behavior,
+                attack,
+                point.agreement.mode,
+            ))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Fluent construction of an [`EngineSpec`] — the embedding surface.
+///
+/// Every setter is infallible; [`SpecBuilder::finish`] (or
+/// [`SpecBuilder::build`], which goes straight to the engine) runs the
+/// full grammar validation in one place.
+#[derive(Debug, Clone)]
+pub struct SpecBuilder {
+    name: String,
+    engine: EngineKind,
+    point: PointSpec,
+    probes: Vec<(u32, u32)>,
+}
+
+impl SpecBuilder {
+    fn new(engine: EngineKind, width: u32, height: u32, r: u32) -> Self {
+        SpecBuilder {
+            name: "spec".to_string(),
+            engine,
+            point: PointSpec {
+                width,
+                height,
+                r,
+                t: 1,
+                mf: 1,
+                source: (0, 0),
+                seed: 0,
+                placement: PlacementSpec::None,
+                protocol: ProtocolSpec::B,
+                adversary: AdversarySpec::Oracle,
+                crash: None,
+                reactive: ReactiveSpec::default(),
+                agreement: AgreementSpec::default(),
+                label: Vec::new(),
+            },
+            probes: Vec::new(),
+        }
+    }
+
+    /// Display name (reported in every output row; not part of the
+    /// cache key).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Local bound `t` and per-bad-node budget `mf`.
+    pub fn faults(mut self, t: u32, mf: u64) -> Self {
+        self.point.t = t;
+        self.point.mf = mf;
+        self
+    }
+
+    /// Base-station cell (default `(0, 0)`).
+    pub fn source(mut self, x: u32, y: u32) -> Self {
+        self.point.source = (x, y);
+        self
+    }
+
+    /// Run seed (chaos adversary, random/Bernoulli placement, slot
+    /// RNG).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.point.seed = seed;
+        self
+    }
+
+    /// Byzantine placement, explicitly.
+    pub fn placement(mut self, placement: PlacementSpec) -> Self {
+        self.point.placement = placement;
+        self
+    }
+
+    /// Figure 2's lattice placement at the default offset.
+    pub fn lattice(self) -> Self {
+        self.placement(PlacementSpec::Lattice { offset: 1 })
+    }
+
+    /// Lattice placement at an explicit residue-class offset (41
+    /// reproduces Figure 2's positions).
+    pub fn lattice_offset(self, offset: u32) -> Self {
+        self.placement(PlacementSpec::Lattice { offset })
+    }
+
+    /// Theorem 1's stripe placement: `(y0, t, victims_above)` per
+    /// stripe.
+    pub fn stripes(self, stripes: &[(u32, u32, bool)]) -> Self {
+        self.placement(PlacementSpec::Stripes(stripes.to_vec()))
+    }
+
+    /// Random placement honoring the local bound (uses the run seed).
+    pub fn random_bad(self, count: usize) -> Self {
+        self.placement(PlacementSpec::Random { count })
+    }
+
+    /// Probabilistic iid corruption at rate `p` (uses the run seed).
+    pub fn bernoulli(self, p: f64) -> Self {
+        self.placement(PlacementSpec::Bernoulli { p })
+    }
+
+    /// An explicit list of Byzantine `(x, y)` cells.
+    pub fn bad_cells(self, cells: &[(u32, u32)]) -> Self {
+        self.placement(PlacementSpec::Explicit(cells.to_vec()))
+    }
+
+    /// Protocol under test, explicitly.
+    pub fn protocol(mut self, protocol: ProtocolSpec) -> Self {
+        self.point.protocol = protocol;
+        self
+    }
+
+    /// Protocol B (Theorem 2, `m = 2·m0`) — the default.
+    pub fn protocol_b(self) -> Self {
+        self.protocol(ProtocolSpec::B)
+    }
+
+    /// The Koo PODC'06 baseline.
+    pub fn koo(self) -> Self {
+        self.protocol(ProtocolSpec::Koo)
+    }
+
+    /// `Bheter` with the paper-scale cross at the origin.
+    pub fn heterogeneous(self) -> Self {
+        self.protocol(ProtocolSpec::Heter)
+    }
+
+    /// Budget-starved protocol B variant at `m` copies per node.
+    pub fn starved(self, m: u64) -> Self {
+        self.protocol(ProtocolSpec::Starved { m })
+    }
+
+    /// Majority acceptance at this quorum (counting engine, oracle
+    /// adversary only).
+    pub fn majority(self, quorum: u64) -> Self {
+        self.protocol(ProtocolSpec::Majority { quorum })
+    }
+
+    /// The crash-only protocol (crash engine only).
+    pub fn crash_only(self) -> Self {
+        self.protocol(ProtocolSpec::CrashOnly)
+    }
+
+    /// Counting-engine adversary, explicitly.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.point.adversary = adversary;
+        self
+    }
+
+    /// The frontier-starving greedy adversary.
+    pub fn greedy(self) -> Self {
+        self.adversary(AdversarySpec::Greedy)
+    }
+
+    /// The seeded random adversary (also sets the run seed).
+    pub fn chaos(self, seed: u64) -> Self {
+        self.seed(seed).adversary(AdversarySpec::Chaos)
+    }
+
+    /// No attacks.
+    pub fn passive(self) -> Self {
+        self.adversary(AdversarySpec::Passive)
+    }
+
+    /// Crash fault load, explicitly (crash engine).
+    pub fn crash_load(mut self, crash: CrashSpec) -> Self {
+        self.point.crash = Some(crash);
+        self
+    }
+
+    /// Crash every node in rows `y0 .. y0 + height` (wrapping).
+    pub fn crash_stripe(self, y0: u32, height: u32) -> Self {
+        let behavior = self
+            .point
+            .crash
+            .as_ref()
+            .map_or(CrashBehavior::Immediate, |c| c.behavior);
+        self.crash_load(CrashSpec {
+            nodes: CrashNodesSpec::Stripe { y0, height },
+            behavior,
+        })
+    }
+
+    /// Crash an explicit list of `(x, y)` cells.
+    pub fn crash_cells(self, cells: &[(u32, u32)]) -> Self {
+        let behavior = self
+            .point
+            .crash
+            .as_ref()
+            .map_or(CrashBehavior::Immediate, |c| c.behavior);
+        self.crash_load(CrashSpec {
+            nodes: CrashNodesSpec::Explicit(cells.to_vec()),
+            behavior,
+        })
+    }
+
+    /// When crash nodes stop relaying (defaults to
+    /// [`CrashBehavior::Immediate`]).
+    pub fn crash_behavior(mut self, behavior: CrashBehavior) -> Self {
+        let nodes = self
+            .point
+            .crash
+            .take()
+            .map_or(CrashNodesSpec::Stripe { y0: 0, height: 1 }, |c| c.nodes);
+        self.point.crash = Some(CrashSpec { nodes, behavior });
+        self
+    }
+
+    /// Slot-engine configuration (slot engine).
+    pub fn reactive(mut self, reactive: ReactiveSpec) -> Self {
+        self.point.reactive = reactive;
+        self
+    }
+
+    /// Agreement-engine configuration (agreement engine).
+    pub fn agreement_config(mut self, agreement: AgreementSpec) -> Self {
+        self.point.agreement = agreement;
+        self
+    }
+
+    /// Replaces the probe-cell list.
+    pub fn probes(mut self, cells: &[(u32, u32)]) -> Self {
+        self.probes = cells.to_vec();
+        self
+    }
+
+    /// Appends one probe cell.
+    pub fn probe(mut self, x: u32, y: u32) -> Self {
+        self.probes.push((x, y));
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`EngineSpec::from_parts`]'s.
+    pub fn finish(self) -> Result<EngineSpec, ScenarioError> {
+        EngineSpec::from_parts(self.name, self.engine, self.point, self.probes)
+    }
+
+    /// Validates the spec and builds the configured engine in one step.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecBuilder::finish`]'s validation errors, then
+    /// [`EngineSpec::build_engine`]'s construction errors.
+    pub fn build(self) -> Result<Box<dyn SimEngine>, ScenarioError> {
+        self.finish()?.build_engine()
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------
+
+fn cells_json(cells: &[(u32, u32)]) -> String {
+    let items: Vec<String> = cells.iter().map(|&(x, y)| format!("[{x},{y}]")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn placement_json(placement: &PlacementSpec) -> String {
+    match placement {
+        PlacementSpec::None => Object::new().str("kind", "none").render(),
+        PlacementSpec::Lattice { offset } => Object::new()
+            .str("kind", "lattice")
+            .u64("offset", u64::from(*offset))
+            .render(),
+        PlacementSpec::Stripes(stripes) => {
+            let items: Vec<String> = stripes
+                .iter()
+                .map(|&(y0, t, above)| format!("[{y0},{t},{above}]"))
+                .collect();
+            Object::new()
+                .str("kind", "stripes")
+                .raw("stripes", format!("[{}]", items.join(",")))
+                .render()
+        }
+        PlacementSpec::Random { count } => Object::new()
+            .str("kind", "random")
+            .u64("count", *count as u64)
+            .render(),
+        PlacementSpec::Bernoulli { p } => {
+            Object::new().str("kind", "bernoulli").f64("p", *p).render()
+        }
+        PlacementSpec::Explicit(cells) => Object::new()
+            .str("kind", "explicit")
+            .raw("nodes", cells_json(cells))
+            .render(),
+    }
+}
+
+fn protocol_json(protocol: &ProtocolSpec) -> String {
+    match protocol {
+        ProtocolSpec::B => Object::new().str("kind", "b").render(),
+        ProtocolSpec::Koo => Object::new().str("kind", "koo").render(),
+        ProtocolSpec::Heter => Object::new().str("kind", "heter").render(),
+        ProtocolSpec::Starved { m } => Object::new().str("kind", "starved").u64("m", *m).render(),
+        ProtocolSpec::Majority { quorum } => Object::new()
+            .str("kind", "majority")
+            .u64("quorum", *quorum)
+            .render(),
+        ProtocolSpec::CrashOnly => Object::new().str("kind", "crash_only").render(),
+    }
+}
+
+fn crash_json(crash: &CrashSpec) -> String {
+    let nodes = match &crash.nodes {
+        CrashNodesSpec::Stripe { y0, height } => Object::new()
+            .str("kind", "stripe")
+            .u64("y0", u64::from(*y0))
+            .u64("height", u64::from(*height))
+            .render(),
+        CrashNodesSpec::Explicit(cells) => Object::new()
+            .str("kind", "explicit")
+            .raw("nodes", cells_json(cells))
+            .render(),
+    };
+    let behavior = match crash.behavior {
+        CrashBehavior::Immediate => Object::new().str("kind", "immediate").render(),
+        CrashBehavior::AfterQuota => Object::new().str("kind", "after_quota").render(),
+        CrashBehavior::AfterCopies(n) => Object::new()
+            .str("kind", "after_copies")
+            .u64("after", n)
+            .render(),
+    };
+    Object::new()
+        .raw("nodes", nodes)
+        .raw("behavior", behavior)
+        .render()
+}
+
+fn reactive_json(reactive: &ReactiveSpec) -> String {
+    Object::new()
+        .u64("k", reactive.k as u64)
+        .u64("mmax", reactive.mmax)
+        .str("adversary", reactive_adversary_name(reactive.adversary))
+        .raw(
+            "budget",
+            reactive
+                .budget
+                .map_or("null".to_string(), |b| b.to_string()),
+        )
+        .u64("max_rounds", reactive.max_rounds)
+        .render()
+}
+
+fn agreement_json(agreement: &AgreementSpec) -> String {
+    Object::new()
+        .str("mode", agreement_mode_name(agreement.mode))
+        .str("source", agreement.source.name())
+        .f64("p1", agreement.p1)
+        .f64("pe", agreement.pe)
+        .render()
+}
+
+impl EngineSpec {
+    /// Renders the spec as one line of canonical JSON — the wire form
+    /// (`{"cmd":"submit","spec":{...}}`) and the `bftbcast spec`
+    /// interchange form. Field names follow
+    /// [`crate::cache::point_key`]'s record; sections that do not apply
+    /// to the engine are omitted (they are at their defaults by
+    /// construction).
+    pub fn to_json(&self) -> String {
+        let mut o = Object::new()
+            .u64("version", u64::from(CACHE_SCHEMA_VERSION))
+            .str("name", &self.name)
+            .str("engine", self.engine.name())
+            .u64("width", u64::from(self.point.width))
+            .u64("height", u64::from(self.point.height))
+            .u64("r", u64::from(self.point.r))
+            .u64("t", u64::from(self.point.t))
+            .u64("mf", self.point.mf)
+            .u64("source_x", u64::from(self.point.source.0))
+            .u64("source_y", u64::from(self.point.source.1))
+            .u64("seed", self.point.seed)
+            .raw("placement", placement_json(&self.point.placement));
+        if matches!(self.engine, EngineKind::Counting | EngineKind::Crash) {
+            o = o.raw("protocol", protocol_json(&self.point.protocol));
+        }
+        if self.engine == EngineKind::Counting {
+            o = o.str("adversary", self.point.adversary.name());
+        }
+        if let Some(crash) = &self.point.crash {
+            o = o.raw("crash", crash_json(crash));
+        }
+        if self.engine == EngineKind::Slot {
+            o = o.raw("reactive", reactive_json(&self.point.reactive));
+        }
+        if self.engine == EngineKind::Agreement {
+            o = o.raw("agreement", agreement_json(&self.point.agreement));
+        }
+        o.raw("probes", cells_json(&self.probes)).render()
+    }
+
+    /// Parses a spec from canonical JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] for malformed JSON, otherwise exactly
+    /// [`EngineSpec::from_json_value`].
+    pub fn from_json(text: &str) -> Result<EngineSpec, ScenarioError> {
+        let doc = Json::parse(text).map_err(|message| ScenarioError::Parse { line: 1, message })?;
+        EngineSpec::from_json_value(&doc)
+    }
+
+    /// Parses a spec from an already-parsed JSON value (the server's
+    /// inline-submit path).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] for unknown/missing/mistyped fields or any
+    /// validation failure — the same strictness as the `.scn` grammar.
+    pub fn from_json_value(doc: &Json) -> Result<EngineSpec, ScenarioError> {
+        let Json::Obj(fields) = doc else {
+            return Err(invalid("spec", "expected a JSON object"));
+        };
+        const ALLOWED: &[&str] = &[
+            "version",
+            "name",
+            "engine",
+            "width",
+            "height",
+            "r",
+            "t",
+            "mf",
+            "source_x",
+            "source_y",
+            "seed",
+            "placement",
+            "protocol",
+            "adversary",
+            "crash",
+            "reactive",
+            "agreement",
+            "probes",
+        ];
+        for (key, _) in fields {
+            if !ALLOWED.contains(&key.as_str()) {
+                return Err(ScenarioError::UnknownKey {
+                    section: "spec".to_string(),
+                    key: key.clone(),
+                });
+            }
+        }
+        if let Some(v) = doc.get("version") {
+            let version = v
+                .as_u64()
+                .ok_or_else(|| invalid("spec.version", "expected an integer"))?;
+            if version != u64::from(CACHE_SCHEMA_VERSION) {
+                return Err(invalid(
+                    "spec.version",
+                    format!("unsupported spec version {version} (this build speaks {CACHE_SCHEMA_VERSION})"),
+                ));
+            }
+        }
+        let name = match doc.get("name") {
+            None => "spec".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| invalid("spec.name", "expected a string"))?
+                .to_string(),
+        };
+        let engine_name = match doc.get("engine") {
+            None => "counting",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| invalid("spec.engine", "expected a string"))?,
+        };
+        let engine = EngineKind::from_name(engine_name).ok_or_else(|| {
+            invalid(
+                "spec.engine",
+                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement)"),
+            )
+        })?;
+        // `*_or`: absent ⇒ the grammar's default (unlike the strict
+        // module-level `u32_field`/`u64_field`, which require the key).
+        let u32_or = |key: &str, default: u32| -> Result<u32, ScenarioError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| {
+                        invalid(
+                            &format!("spec.{key}"),
+                            "expected a non-negative 32-bit integer",
+                        )
+                    }),
+            }
+        };
+        let u64_or = |key: &str, default: u64| -> Result<u64, ScenarioError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    invalid(&format!("spec.{key}"), "expected a non-negative integer")
+                }),
+            }
+        };
+        let width = doc
+            .get("width")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| invalid("spec.width", "required non-negative 32-bit integer"))?;
+        let height = doc
+            .get("height")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| invalid("spec.height", "required non-negative 32-bit integer"))?;
+        let r = doc
+            .get("r")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| invalid("spec.r", "required non-negative 32-bit integer"))?;
+        let point = PointSpec {
+            width,
+            height,
+            r,
+            t: u32_or("t", 1)?,
+            mf: u64_or("mf", 1)?,
+            source: (u32_or("source_x", 0)?, u32_or("source_y", 0)?),
+            seed: u64_or("seed", 0)?,
+            placement: match doc.get("placement") {
+                None => PlacementSpec::None,
+                Some(v) => placement_from_json(v)?,
+            },
+            protocol: match doc.get("protocol") {
+                None => ProtocolSpec::B,
+                Some(v) => protocol_from_json(v)?,
+            },
+            adversary: match doc.get("adversary") {
+                None => AdversarySpec::Oracle,
+                Some(v) => {
+                    let kind = v
+                        .as_str()
+                        .ok_or_else(|| invalid("spec.adversary", "expected a string"))?;
+                    AdversarySpec::from_name(kind).ok_or_else(|| {
+                        invalid(
+                            "spec.adversary",
+                            format!("unknown adversary {kind:?} (oracle|greedy|chaos|passive)"),
+                        )
+                    })?
+                }
+            },
+            crash: match doc.get("crash") {
+                None => None,
+                Some(v) => Some(crash_from_json(v)?),
+            },
+            reactive: match doc.get("reactive") {
+                None => ReactiveSpec::default(),
+                Some(v) => reactive_from_json(v)?,
+            },
+            agreement: match doc.get("agreement") {
+                None => AgreementSpec::default(),
+                Some(v) => agreement_from_json(v)?,
+            },
+            label: Vec::new(),
+        };
+        let probes = match doc.get("probes") {
+            None => Vec::new(),
+            Some(v) => cells_from_json("spec.probes", v)?,
+        };
+        EngineSpec::from_parts(name, engine, point, probes)
+    }
+}
+
+fn obj_fields<'a>(what: &str, v: &'a Json, allowed: &[&str]) -> Result<&'a Json, ScenarioError> {
+    let Json::Obj(fields) = v else {
+        return Err(invalid(what, "expected a JSON object"));
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::UnknownKey {
+                section: what.to_string(),
+                key: key.clone(),
+            });
+        }
+    }
+    Ok(v)
+}
+
+fn str_field<'a>(what: &str, v: &'a Json, key: &str) -> Result<&'a str, ScenarioError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid(&format!("{what}.{key}"), "expected a string"))
+}
+
+fn u64_field(what: &str, v: &Json, key: &str) -> Result<u64, ScenarioError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| invalid(&format!("{what}.{key}"), "expected a non-negative integer"))
+}
+
+fn u32_field(what: &str, v: &Json, key: &str) -> Result<u32, ScenarioError> {
+    u64_field(what, v, key).and_then(|n| {
+        u32::try_from(n).map_err(|_| invalid(&format!("{what}.{key}"), "expected a 32-bit integer"))
+    })
+}
+
+fn f64_field(what: &str, v: &Json, key: &str) -> Result<f64, ScenarioError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| invalid(&format!("{what}.{key}"), "expected a number"))
+}
+
+fn cells_from_json(what: &str, v: &Json) -> Result<Vec<(u32, u32)>, ScenarioError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| invalid(what, "expected an array of [x, y] pairs"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_array()
+            .ok_or_else(|| invalid(what, "each entry must be an [x, y] pair"))?;
+        let [x, y] = pair else {
+            return Err(invalid(what, "each entry must be two integers"));
+        };
+        let (Some(x), Some(y)) = (x.as_u64(), y.as_u64()) else {
+            return Err(invalid(what, "coordinates must be non-negative integers"));
+        };
+        let (Ok(x), Ok(y)) = (u32::try_from(x), u32::try_from(y)) else {
+            return Err(invalid(what, "coordinates must fit 32 bits"));
+        };
+        out.push((x, y));
+    }
+    Ok(out)
+}
+
+fn placement_from_json(v: &Json) -> Result<PlacementSpec, ScenarioError> {
+    let what = "spec.placement";
+    obj_fields(
+        what,
+        v,
+        &["kind", "offset", "stripes", "count", "p", "nodes"],
+    )?;
+    Ok(match str_field(what, v, "kind")? {
+        "none" => PlacementSpec::None,
+        "lattice" => PlacementSpec::Lattice {
+            // Absent ⇒ the grammar's default offset, exactly as `.scn`.
+            offset: match v.get("offset") {
+                None => 1,
+                Some(_) => u32_field(what, v, "offset")?,
+            },
+        },
+        "stripes" => {
+            let items = v
+                .get("stripes")
+                .and_then(Json::as_array)
+                .ok_or_else(|| invalid(what, "stripes must be [[y0, t, above], ...]"))?;
+            let mut stripes = Vec::with_capacity(items.len());
+            for item in items {
+                let triple = item
+                    .as_array()
+                    .ok_or_else(|| invalid(what, "each stripe is [y0, t, above]"))?;
+                let [y0, t, above] = triple else {
+                    return Err(invalid(what, "each stripe is [int y0, int t, bool above]"));
+                };
+                let (Some(y0), Some(t), Some(above)) = (
+                    y0.as_u64().and_then(|n| u32::try_from(n).ok()),
+                    t.as_u64().and_then(|n| u32::try_from(n).ok()),
+                    above.as_bool(),
+                ) else {
+                    return Err(invalid(what, "each stripe is [int y0, int t, bool above]"));
+                };
+                stripes.push((y0, t, above));
+            }
+            PlacementSpec::Stripes(stripes)
+        }
+        "random" => PlacementSpec::Random {
+            count: u64_field(what, v, "count")? as usize,
+        },
+        "bernoulli" => PlacementSpec::Bernoulli {
+            p: f64_field(what, v, "p")?,
+        },
+        "explicit" => PlacementSpec::Explicit(cells_from_json(
+            what,
+            v.get("nodes")
+                .ok_or_else(|| invalid(what, "explicit needs nodes"))?,
+        )?),
+        other => {
+            return Err(invalid(
+                what,
+                format!("unknown kind {other:?} (none|lattice|stripes|random|bernoulli|explicit)"),
+            ))
+        }
+    })
+}
+
+fn protocol_from_json(v: &Json) -> Result<ProtocolSpec, ScenarioError> {
+    let what = "spec.protocol";
+    obj_fields(what, v, &["kind", "m", "quorum"])?;
+    Ok(match str_field(what, v, "kind")? {
+        "b" => ProtocolSpec::B,
+        "koo" => ProtocolSpec::Koo,
+        "heter" => ProtocolSpec::Heter,
+        "starved" => ProtocolSpec::Starved {
+            m: u64_field(what, v, "m")?,
+        },
+        "majority" => ProtocolSpec::Majority {
+            quorum: u64_field(what, v, "quorum")?,
+        },
+        "crash_only" => ProtocolSpec::CrashOnly,
+        other => {
+            return Err(invalid(
+                what,
+                format!("unknown kind {other:?} (b|koo|heter|starved|majority|crash_only)"),
+            ))
+        }
+    })
+}
+
+fn crash_from_json(v: &Json) -> Result<CrashSpec, ScenarioError> {
+    let what = "spec.crash";
+    obj_fields(what, v, &["nodes", "behavior"])?;
+    let nodes_v = v
+        .get("nodes")
+        .ok_or_else(|| invalid(what, "crash needs nodes"))?;
+    obj_fields(
+        "spec.crash.nodes",
+        nodes_v,
+        &["kind", "y0", "height", "nodes"],
+    )?;
+    let nodes = match str_field("spec.crash.nodes", nodes_v, "kind")? {
+        "stripe" => CrashNodesSpec::Stripe {
+            y0: u32_field("spec.crash.nodes", nodes_v, "y0")?,
+            height: match nodes_v.get("height") {
+                None => 1,
+                Some(_) => u32_field("spec.crash.nodes", nodes_v, "height")?,
+            },
+        },
+        "explicit" => CrashNodesSpec::Explicit(cells_from_json(
+            "spec.crash.nodes",
+            nodes_v
+                .get("nodes")
+                .ok_or_else(|| invalid("spec.crash.nodes", "explicit needs nodes"))?,
+        )?),
+        other => {
+            return Err(invalid(
+                "spec.crash.nodes",
+                format!("unknown kind {other:?} (stripe|explicit)"),
+            ))
+        }
+    };
+    let behavior = match v.get("behavior") {
+        None => CrashBehavior::Immediate,
+        Some(behavior_v) => {
+            obj_fields("spec.crash.behavior", behavior_v, &["kind", "after"])?;
+            match str_field("spec.crash.behavior", behavior_v, "kind")? {
+                "immediate" => CrashBehavior::Immediate,
+                "after_quota" => CrashBehavior::AfterQuota,
+                "after_copies" => CrashBehavior::AfterCopies(u64_field(
+                    "spec.crash.behavior",
+                    behavior_v,
+                    "after",
+                )?),
+                other => {
+                    return Err(invalid(
+                        "spec.crash.behavior",
+                        format!("unknown kind {other:?} (immediate|after_quota|after_copies)"),
+                    ))
+                }
+            }
+        }
+    };
+    Ok(CrashSpec { nodes, behavior })
+}
+
+fn reactive_from_json(v: &Json) -> Result<ReactiveSpec, ScenarioError> {
+    let what = "spec.reactive";
+    obj_fields(what, v, &["k", "mmax", "adversary", "budget", "max_rounds"])?;
+    let defaults = ReactiveSpec::default();
+    let adversary = match v.get("adversary") {
+        None => defaults.adversary,
+        Some(a) => {
+            let name = a
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.adversary"), "expected a string"))?;
+            reactive_adversary_from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.adversary"),
+                    format!(
+                        "unknown adversary {name:?} \
+                         (passive|jammer|canceller|nack_forger|witness_forger|mixed)"
+                    ),
+                )
+            })?
+        }
+    };
+    let budget = match v.get("budget") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(
+            b.as_u64()
+                .ok_or_else(|| invalid(&format!("{what}.budget"), "expected null or an integer"))?,
+        ),
+    };
+    Ok(ReactiveSpec {
+        k: match v.get("k") {
+            None => defaults.k,
+            Some(_) => u64_field(what, v, "k")? as usize,
+        },
+        mmax: match v.get("mmax") {
+            None => defaults.mmax,
+            Some(_) => u64_field(what, v, "mmax")?,
+        },
+        adversary,
+        budget,
+        max_rounds: match v.get("max_rounds") {
+            None => defaults.max_rounds,
+            Some(_) => u64_field(what, v, "max_rounds")?,
+        },
+    })
+}
+
+fn agreement_from_json(v: &Json) -> Result<AgreementSpec, ScenarioError> {
+    let what = "spec.agreement";
+    obj_fields(what, v, &["mode", "source", "p1", "pe"])?;
+    let defaults = AgreementSpec::default();
+    let mode = match v.get("mode") {
+        None => defaults.mode,
+        Some(m) => {
+            let name = m
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.mode"), "expected a string"))?;
+            agreement_mode_from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.mode"),
+                    format!("unknown mode {name:?} (cheap|proven)"),
+                )
+            })?
+        }
+    };
+    let source = match v.get("source") {
+        None => defaults.source,
+        Some(s) => {
+            let name = s
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.source"), "expected a string"))?;
+            SourceSpec::from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.source"),
+                    format!("unknown source {name:?} (correct|split|silent)"),
+                )
+            })?
+        }
+    };
+    Ok(AgreementSpec {
+        mode,
+        source,
+        p1: match v.get("p1") {
+            None => defaults.p1,
+            Some(_) => f64_field(what, v, "p1")?,
+        },
+        pe: match v.get("pe") {
+            None => defaults.pe,
+            Some(_) => f64_field(what, v, "pe")?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// .scn codec
+// ---------------------------------------------------------------------
+
+/// Escapes a string for a `.scn` quoted literal.
+fn scn_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn scn_cells(cells: &[(u32, u32)]) -> String {
+    let items: Vec<String> = cells.iter().map(|&(x, y)| format!("[{x}, {y}]")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+impl EngineSpec {
+    /// Renders the spec as a canonical, sweep-free `.scn` document
+    /// (every resolved value spelled out explicitly; sections that do
+    /// not apply to the engine omitted).
+    pub fn to_scn(&self) -> String {
+        let p = &self.point;
+        let mut s = String::new();
+        let _ = writeln!(s, "name = {}", scn_string(&self.name));
+        let _ = writeln!(s, "engine = {}", scn_string(self.engine.name()));
+        let _ = writeln!(s, "seed = {}", p.seed);
+        let _ = writeln!(s, "\n[topology]");
+        let _ = writeln!(s, "width = {}", p.width);
+        let _ = writeln!(s, "height = {}", p.height);
+        let _ = writeln!(s, "r = {}", p.r);
+        let _ = writeln!(s, "\n[faults]");
+        let _ = writeln!(s, "t = {}", p.t);
+        let _ = writeln!(s, "mf = {}", p.mf);
+        let _ = writeln!(s, "\n[source]");
+        let _ = writeln!(s, "x = {}", p.source.0);
+        let _ = writeln!(s, "y = {}", p.source.1);
+        let _ = writeln!(s, "\n[placement]");
+        match &p.placement {
+            PlacementSpec::None => {
+                let _ = writeln!(s, "kind = \"none\"");
+            }
+            PlacementSpec::Lattice { offset } => {
+                let _ = writeln!(s, "kind = \"lattice\"");
+                let _ = writeln!(s, "offset = {offset}");
+            }
+            PlacementSpec::Stripes(stripes) => {
+                let _ = writeln!(s, "kind = \"stripes\"");
+                let items: Vec<String> = stripes
+                    .iter()
+                    .map(|&(y0, t, above)| format!("[{y0}, {t}, {above}]"))
+                    .collect();
+                let _ = writeln!(s, "stripes = [{}]", items.join(", "));
+            }
+            PlacementSpec::Random { count } => {
+                let _ = writeln!(s, "kind = \"random\"");
+                let _ = writeln!(s, "count = {count}");
+            }
+            PlacementSpec::Bernoulli { p: rate } => {
+                let _ = writeln!(s, "kind = \"bernoulli\"");
+                let _ = writeln!(s, "p = {rate}");
+            }
+            PlacementSpec::Explicit(cells) => {
+                let _ = writeln!(s, "kind = \"explicit\"");
+                let _ = writeln!(s, "nodes = {}", scn_cells(cells));
+            }
+        }
+        if matches!(self.engine, EngineKind::Counting | EngineKind::Crash) {
+            let _ = writeln!(s, "\n[protocol]");
+            match p.protocol {
+                ProtocolSpec::B => {
+                    let _ = writeln!(s, "kind = \"b\"");
+                }
+                ProtocolSpec::Koo => {
+                    let _ = writeln!(s, "kind = \"koo\"");
+                }
+                ProtocolSpec::Heter => {
+                    let _ = writeln!(s, "kind = \"heter\"");
+                }
+                ProtocolSpec::Starved { m } => {
+                    let _ = writeln!(s, "kind = \"starved\"");
+                    let _ = writeln!(s, "m = {m}");
+                }
+                ProtocolSpec::Majority { quorum } => {
+                    let _ = writeln!(s, "kind = \"majority\"");
+                    let _ = writeln!(s, "quorum = {quorum}");
+                }
+                ProtocolSpec::CrashOnly => {
+                    let _ = writeln!(s, "kind = \"crash_only\"");
+                }
+            }
+        }
+        if self.engine == EngineKind::Counting {
+            let _ = writeln!(s, "\n[adversary]");
+            let _ = writeln!(s, "kind = {}", scn_string(p.adversary.name()));
+        }
+        if let Some(crash) = &p.crash {
+            let _ = writeln!(s, "\n[crash]");
+            match &crash.nodes {
+                CrashNodesSpec::Stripe { y0, height } => {
+                    let _ = writeln!(s, "kind = \"stripe\"");
+                    let _ = writeln!(s, "y0 = {y0}");
+                    let _ = writeln!(s, "height = {height}");
+                }
+                CrashNodesSpec::Explicit(cells) => {
+                    let _ = writeln!(s, "kind = \"explicit\"");
+                    let _ = writeln!(s, "nodes = {}", scn_cells(cells));
+                }
+            }
+            match crash.behavior {
+                CrashBehavior::Immediate => {
+                    let _ = writeln!(s, "behavior = \"immediate\"");
+                }
+                CrashBehavior::AfterQuota => {
+                    let _ = writeln!(s, "behavior = \"after_quota\"");
+                }
+                CrashBehavior::AfterCopies(n) => {
+                    let _ = writeln!(s, "after = {n}");
+                }
+            }
+        }
+        if self.engine == EngineKind::Slot {
+            let _ = writeln!(s, "\n[reactive]");
+            let _ = writeln!(s, "k = {}", p.reactive.k);
+            let _ = writeln!(s, "mmax = {}", p.reactive.mmax);
+            let _ = writeln!(
+                s,
+                "adversary = {}",
+                scn_string(reactive_adversary_name(p.reactive.adversary))
+            );
+            if let Some(budget) = p.reactive.budget {
+                let _ = writeln!(s, "budget = {budget}");
+            }
+            let _ = writeln!(s, "max_rounds = {}", p.reactive.max_rounds);
+        }
+        if self.engine == EngineKind::Agreement {
+            let _ = writeln!(s, "\n[agreement]");
+            let _ = writeln!(
+                s,
+                "mode = {}",
+                scn_string(agreement_mode_name(p.agreement.mode))
+            );
+            let _ = writeln!(s, "source = {}", scn_string(p.agreement.source.name()));
+            let _ = writeln!(s, "p1 = {}", p.agreement.p1);
+            let _ = writeln!(s, "pe = {}", p.agreement.pe);
+        }
+        if !self.probes.is_empty() {
+            let _ = writeln!(s, "\n[probes]");
+            let _ = writeln!(s, "nodes = {}", scn_cells(&self.probes));
+        }
+        s
+    }
+
+    /// Parses a spec from a sweep-free `.scn` document.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioFile::parse`] error, or
+    /// [`ScenarioError::Invalid`] when the document carries a `[sweep]`
+    /// section expanding to more than one point (a spec is exactly one
+    /// configuration — expand sweeps through [`ScenarioFile::specs`]).
+    pub fn from_scn(text: &str) -> Result<EngineSpec, ScenarioError> {
+        let file = ScenarioFile::parse(text)?;
+        let mut specs = file.specs()?;
+        if specs.len() != 1 {
+            return Err(invalid(
+                "spec",
+                format!(
+                    "document expands to {} sweep points; a spec is exactly one configuration",
+                    specs.len()
+                ),
+            ));
+        }
+        Ok(specs.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f2_spec() -> EngineSpec {
+        EngineSpec::counting(45, 45, 4)
+            .name("f2")
+            .faults(1, 1000)
+            .lattice_offset(41)
+            .starved(59)
+            .probes(&[(0, 5), (5, 1)])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_builds_the_figure2_engine() {
+        let spec = f2_spec();
+        let mut engine = spec.build_engine().unwrap();
+        let outcome = engine.run_to_completion();
+        let o = outcome.as_counting().unwrap();
+        assert_eq!(o.accepted_true, 84, "stall at 84 decided nodes");
+        let grid = engine.topology().grid();
+        let p = engine.probe(grid.id_at(5, 1)).unwrap();
+        assert_eq!(p.intake(), 1947);
+        assert_eq!(p.tally_wrong, 947);
+    }
+
+    #[test]
+    fn spec_key_matches_the_scenario_file_path() {
+        let text = f2_spec().to_scn();
+        let file = ScenarioFile::parse(&text).unwrap();
+        let specs = file.specs().unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0], f2_spec());
+        assert_eq!(specs[0].cache_key(), f2_spec().cache_key());
+    }
+
+    #[test]
+    fn json_and_scn_round_trip_all_engines() {
+        let crash = EngineSpec::crash(20, 20, 2)
+            .name("hybrid")
+            .faults(1, 10)
+            .lattice()
+            .crash_stripe(9, 2)
+            .crash_behavior(CrashBehavior::AfterCopies(3))
+            .finish()
+            .unwrap();
+        let slot = EngineSpec::slot(15, 15, 1)
+            .name("reactive")
+            .faults(1, 4)
+            .random_bad(8)
+            .seed(42)
+            .reactive(ReactiveSpec {
+                k: 10,
+                mmax: 1 << 12,
+                adversary: ReactiveAdversary::Mixed,
+                budget: Some(500),
+                max_rounds: 10_000,
+            })
+            .probe(3, 3)
+            .finish()
+            .unwrap();
+        let agreement = EngineSpec::agreement(15, 15, 2)
+            .name("x4")
+            .faults(1, 10)
+            .source(7, 7)
+            .bad_cells(&[(6, 8)])
+            .agreement_config(AgreementSpec {
+                mode: AgreementMode::Cheap,
+                source: SourceSpec::Split,
+                p1: 0.3,
+                pe: 0.7,
+            })
+            .finish()
+            .unwrap();
+        for spec in [f2_spec(), crash, slot, agreement] {
+            let via_json = EngineSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(via_json, spec, "JSON round trip");
+            let via_scn = EngineSpec::from_scn(&spec.to_scn()).unwrap();
+            assert_eq!(via_scn, spec, "scn round trip");
+            assert_eq!(via_json.cache_key(), spec.cache_key());
+            assert_eq!(via_scn.cache_key(), spec.cache_key());
+        }
+    }
+
+    #[test]
+    fn json_field_order_is_irrelevant_but_fields_are_not() {
+        let spec = f2_spec();
+        // Hand-permuted field order: same spec, same key.
+        let shuffled = concat!(
+            "{\"probes\":[[0,5],[5,1]],\"engine\":\"counting\",",
+            "\"placement\":{\"offset\":41,\"kind\":\"lattice\"},",
+            "\"seed\":0,\"mf\":1000,\"t\":1,\"r\":4,\"height\":45,\"width\":45,",
+            "\"source_y\":0,\"source_x\":0,\"name\":\"f2\",",
+            "\"protocol\":{\"m\":59,\"kind\":\"starved\"},\"adversary\":\"oracle\"}",
+        );
+        let parsed = EngineSpec::from_json(shuffled).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.cache_key(), spec.cache_key());
+        // A single changed field flips the key.
+        let tweaked =
+            EngineSpec::from_json(&spec.to_json().replace("\"mf\":1000", "\"mf\":999")).unwrap();
+        assert_ne!(tweaked.cache_key(), spec.cache_key());
+        // The name alone never does.
+        let renamed =
+            EngineSpec::from_json(&spec.to_json().replace("\"name\":\"f2\"", "\"name\":\"zz\""))
+                .unwrap();
+        assert_eq!(renamed.cache_key(), spec.cache_key());
+    }
+
+    #[test]
+    fn unknown_and_mistyped_json_fields_are_rejected() {
+        let spec = f2_spec();
+        for bad in [
+            spec.to_json().replace("\"mf\"", "\"mf_typo\""),
+            spec.to_json()
+                .replace("\"engine\":\"counting\"", "\"engine\":\"teleport\""),
+            spec.to_json().replace("\"width\":45", "\"width\":\"45\""),
+            "[1,2,3]".to_string(),
+            "{\"width\":15,\"height\":15}".to_string(), // r missing
+        ] {
+            assert!(EngineSpec::from_json(&bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn cross_field_violations_fail_at_finish() {
+        // A crash engine without a crash load.
+        assert!(EngineSpec::crash(15, 15, 1).lattice().finish().is_err());
+        // Majority off the counting engine / off the oracle.
+        assert!(EngineSpec::crash(15, 15, 1)
+            .crash_stripe(5, 1)
+            .majority(9)
+            .finish()
+            .is_err());
+        assert!(EngineSpec::counting(15, 15, 1)
+            .majority(9)
+            .greedy()
+            .finish()
+            .is_err());
+        // Inapplicable sections carrying non-default values.
+        assert!(EngineSpec::slot(15, 15, 1).starved(5).finish().is_err());
+        assert!(EngineSpec::slot(15, 15, 1).greedy().finish().is_err());
+        assert!(EngineSpec::counting(15, 15, 1)
+            .reactive(ReactiveSpec {
+                k: 9,
+                ..ReactiveSpec::default()
+            })
+            .finish()
+            .is_err());
+        // Probe off the torus.
+        assert!(EngineSpec::counting(15, 15, 1)
+            .probe(99, 0)
+            .finish()
+            .is_err());
+        // Slot payload width out of range.
+        assert!(EngineSpec::slot(15, 15, 1)
+            .reactive(ReactiveSpec {
+                k: 100,
+                ..ReactiveSpec::default()
+            })
+            .finish()
+            .is_err());
+    }
+
+    #[test]
+    fn sweep_documents_are_not_single_specs() {
+        let err = EngineSpec::from_scn(concat!(
+            "[topology]\nside = 15\nr = 1\n",
+            "[protocol]\nkind = \"starved\"\nm = 1\n",
+            "[sweep]\nm = [5, 6]\n",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn scn_rendering_escapes_names() {
+        let spec = EngineSpec::counting(15, 15, 1)
+            .name("a \"quoted\"\nname # not a comment")
+            .finish()
+            .unwrap();
+        let round = EngineSpec::from_scn(&spec.to_scn()).unwrap();
+        assert_eq!(round.name(), spec.name());
+        let via_json = EngineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(via_json, spec);
+    }
+}

@@ -58,6 +58,14 @@ fn single_line(mut lines: Vec<String>) -> io::Result<String> {
     Ok(line)
 }
 
+fn job_id(line: &str) -> io::Result<String> {
+    let doc = Json::parse(line).expect("validated by single_line");
+    doc.get("job")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "reply lacks a job id"))
+}
+
 /// Submits a scenario document; returns the assigned job id.
 ///
 /// # Errors
@@ -72,11 +80,26 @@ pub fn submit(addr: &str, scenario: &str) -> io::Result<String> {
             .str("scenario", scenario)
             .render(),
     )?)?;
-    let doc = Json::parse(&line).expect("validated by single_line");
-    doc.get("job")
-        .and_then(Json::as_str)
-        .map(str::to_string)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "reply lacks a job id"))
+    job_id(&line)
+}
+
+/// Submits one inline spec (canonical JSON, one object — see
+/// `bftbcast::spec::EngineSpec::to_json`); returns the assigned job
+/// id. Identical configurations submitted through [`submit`] and
+/// through this form share store entries.
+///
+/// # Errors
+///
+/// Transport failures, or a server-side rejection.
+pub fn submit_spec(addr: &str, spec_json: &str) -> io::Result<String> {
+    let line = single_line(request(
+        addr,
+        &Object::new()
+            .str("cmd", "submit")
+            .raw("spec", spec_json.trim())
+            .render(),
+    )?)?;
+    job_id(&line)
 }
 
 /// One job's status line (verbatim JSON).

@@ -21,6 +21,7 @@
 //! | request | reply |
 //! |---------|-------|
 //! | `{"cmd":"submit","scenario":"<.scn text>"}` | `{"ok":true,"job":"job-N","name":...,"points":N}` |
+//! | `{"cmd":"submit","spec":{...}}` | same — the inline form of one [`bftbcast::spec::EngineSpec`] (canonical JSON); identical configurations share store entries with the `.scn` form |
 //! | `{"cmd":"status","job":"job-N"}` | `{"ok":true,"job":...,"state":"queued\|running\|done\|failed","points":N,"cache_hits":H,"cache_misses":M}` |
 //! | `{"cmd":"results","job":"job-N"}` | the job's JSONL result rows (exactly `run --scenario`'s output), then a `{"ok":true,"done":true,...}` trailer |
 //! | `{"cmd":"stats"}` | `{"ok":true,"store_entries":N,"store_hits":H,"store_misses":M,"jobs":J,"jobs_done":D}` |
@@ -58,5 +59,5 @@ pub mod client;
 mod proto;
 mod service;
 
-pub use proto::Request;
+pub use proto::{Request, Submission};
 pub use service::Server;

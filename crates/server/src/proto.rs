@@ -3,13 +3,25 @@
 
 use bftbcast::json::Json;
 
+/// What a `submit` request carries: `.scn` text or an inline spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submission {
+    /// A `.scn` scenario document (`"scenario"` field).
+    ScenarioText(String),
+    /// An inline canonical spec object (`"spec"` field) — decoded by
+    /// `bftbcast::spec::EngineSpec::from_json_value`. Both forms hit
+    /// the same store entries: the cache key is computed from the
+    /// resolved configuration, not the submission syntax.
+    SpecJson(Json),
+}
+
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Queue a scenario file (`scenario` is the `.scn` document text).
+    /// Queue a workload: a scenario file or an inline spec.
     Submit {
-        /// The scenario document to queue.
-        scenario: String,
+        /// The submitted workload body.
+        body: Submission,
     },
     /// Report a job's state.
     Status {
@@ -48,12 +60,29 @@ impl Request {
         };
         match cmd {
             "submit" => {
-                let scenario = doc
-                    .get("scenario")
-                    .and_then(Json::as_str)
-                    .ok_or("\"submit\" needs a string \"scenario\" field")?
-                    .to_string();
-                Ok(Request::Submit { scenario })
+                let body =
+                    match (doc.get("scenario"), doc.get("spec")) {
+                        (Some(_), Some(_)) => {
+                            return Err(
+                                "\"submit\" takes either \"scenario\" or \"spec\", not both".into(),
+                            )
+                        }
+                        (Some(scenario), None) => Submission::ScenarioText(
+                            scenario
+                                .as_str()
+                                .ok_or("\"scenario\" must be a string (.scn document text)")?
+                                .to_string(),
+                        ),
+                        (None, Some(spec)) => match spec {
+                            Json::Obj(_) => Submission::SpecJson(spec.clone()),
+                            _ => return Err("\"spec\" must be a JSON object".into()),
+                        },
+                        (None, None) => return Err(
+                            "\"submit\" needs a \"scenario\" (string) or \"spec\" (object) field"
+                                .into(),
+                        ),
+                    };
+                Ok(Request::Submit { body })
             }
             "status" => Ok(Request::Status { job: job(&doc)? }),
             "results" => Ok(Request::Results { job: job(&doc)? }),
@@ -75,8 +104,18 @@ mod tests {
         assert_eq!(
             Request::parse("{\"cmd\":\"submit\",\"scenario\":\"x = 1\\n\"}").unwrap(),
             Request::Submit {
-                scenario: "x = 1\n".into()
+                body: Submission::ScenarioText("x = 1\n".into())
             }
+        );
+        let inline = Request::parse("{\"cmd\":\"submit\",\"spec\":{\"width\":15}}").unwrap();
+        assert!(
+            matches!(
+                &inline,
+                Request::Submit {
+                    body: Submission::SpecJson(Json::Obj(fields))
+                } if fields.len() == 1
+            ),
+            "{inline:?}"
         );
         assert_eq!(
             Request::parse("{\"cmd\":\"status\",\"job\":\"job-3\"}").unwrap(),
@@ -109,6 +148,8 @@ mod tests {
             "{\"cmd\":7}",
             "{\"cmd\":\"teleport\"}",
             "{\"cmd\":\"submit\"}",
+            "{\"cmd\":\"submit\",\"spec\":\"not an object\"}",
+            "{\"cmd\":\"submit\",\"scenario\":\"x = 1\",\"spec\":{}}",
             "{\"cmd\":\"status\"}",
             "{\"cmd\":\"results\",\"job\":3}",
         ] {

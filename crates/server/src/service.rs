@@ -9,10 +9,11 @@ use std::time::Duration;
 
 use bftbcast::batch::{run_file_with, BatchOptions};
 use bftbcast::json::Object;
+use bftbcast::spec::EngineSpec;
 use bftbcast::ScenarioFile;
 use bftbcast_store::Store;
 
-use crate::proto::Request;
+use crate::proto::{Request, Submission};
 
 /// A queued/running/finished job.
 struct Job {
@@ -228,11 +229,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = result;
 }
 
+/// Resolves either submission form into the one `ScenarioFile` the job
+/// queue runs — inline specs go through `EngineSpec::from_json_value`
+/// and `ScenarioFile::from_spec`, so both forms produce identical
+/// store keys for identical configurations.
+fn file_from_submission(body: &Submission) -> Result<ScenarioFile, String> {
+    match body {
+        Submission::ScenarioText(text) => {
+            ScenarioFile::parse(text).map_err(|e| format!("scenario rejected: {e}"))
+        }
+        Submission::SpecJson(doc) => EngineSpec::from_json_value(doc)
+            .map(|spec| ScenarioFile::from_spec(&spec))
+            .map_err(|e| format!("spec rejected: {e}")),
+    }
+}
+
 fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result<()> {
     match request {
-        Request::Submit { scenario } => {
-            let reply = match ScenarioFile::parse(&scenario) {
-                Err(e) => error_line(&format!("scenario rejected: {e}")),
+        Request::Submit { body } => {
+            let reply = match file_from_submission(&body) {
+                Err(e) => error_line(&e),
                 Ok(file) => {
                     let points = file.points().len();
                     let mut st = shared.state.lock().expect("server lock");

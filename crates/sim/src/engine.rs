@@ -76,8 +76,12 @@ pub trait SimEngine {
     /// `false`).
     fn outcome(&self) -> EngineOutcome;
 
-    /// Per-node tallies, where the engine tracks them (counting and
-    /// crash engines; `None` elsewhere).
+    /// Per-node tallies. Every engine answers for the nodes it tracks:
+    /// the counting and crash engines for all nodes, the slot engine
+    /// for good nodes (`None` at Byzantine cells), the agreement engine
+    /// for neighborhood members once the run finished. The exact
+    /// meaning of each [`Probe`] field per engine is documented on
+    /// [`Probe`].
     fn probe(&self, u: NodeId) -> Option<Probe> {
         let _ = u;
         None
@@ -167,15 +171,24 @@ impl EngineOutcome {
 
 /// Per-node tallies exposed by [`SimEngine::probe`] — the quantities
 /// the Figure 2 narrative reads off node by node.
+///
+/// Per engine: the counting/crash engines report delivered copies
+/// (correct vs corrupted) and the accepted value; the slot engine
+/// reports delivered data frames (decoding to the broadcast value vs
+/// anything else) and the committed value; the agreement engine
+/// reports members agreeing/disagreeing with this member's decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Probe {
-    /// Correct copies delivered so far.
+    /// Correct copies delivered so far (agreement engine: members
+    /// deciding the same value as this one, itself included).
     pub tally_true: u64,
-    /// Corrupted copies delivered so far.
+    /// Corrupted copies delivered so far (agreement engine: members
+    /// deciding a different value).
     pub tally_wrong: u64,
-    /// Neighbors that accepted `Vtrue`.
+    /// Neighbors that accepted/committed `Vtrue` (agreement engine:
+    /// neighbors that decided anything).
     pub decided_neighbors: usize,
-    /// The value this node accepted, if any.
+    /// The value this node accepted/committed/decided, if any.
     pub accepted: Option<Value>,
 }
 
@@ -429,6 +442,16 @@ impl SimEngine for SlotEngine {
     fn outcome(&self) -> EngineOutcome {
         EngineOutcome::Reactive(self.live.outcome())
     }
+
+    fn probe(&self, u: NodeId) -> Option<Probe> {
+        let (tally_true, tally_wrong) = self.live.tallies(u)?;
+        Some(Probe {
+            tally_true,
+            tally_wrong,
+            decided_neighbors: self.live.committed_neighbors(u),
+            accepted: self.live.committed(u),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -576,6 +599,25 @@ impl SimEngine for AgreementEngine {
             },
         };
         EngineOutcome::Agreement(out)
+    }
+
+    fn probe(&self, u: NodeId) -> Option<Probe> {
+        let AgreementState::Done(out) = &self.state else {
+            return None;
+        };
+        let &(_, decided) = out.decisions.iter().find(|&&(w, _)| w == u)?;
+        let same = out.decisions.iter().filter(|&&(_, v)| v == decided).count();
+        let decided_neighbors = out
+            .decisions
+            .iter()
+            .filter(|&&(w, _)| w != u && self.live.topology().contains(u, w))
+            .count();
+        Some(Probe {
+            tally_true: same as u64,
+            tally_wrong: (out.decisions.len() - same) as u64,
+            decided_neighbors,
+            accepted: Some(decided),
+        })
     }
 }
 
@@ -747,6 +789,62 @@ mod tests {
         assert!(!engine.step());
         assert!(!engine.step());
         assert_eq!(engine.outcome().as_reactive().unwrap().rounds, rounds);
+    }
+
+    #[test]
+    fn slot_probe_reports_good_nodes_only() {
+        let grid = Grid::new(15, 15, 1).unwrap();
+        let bad = vec![grid.id_at(7, 7)];
+        let config = SlotConfig {
+            reactive: bftbcast_protocols::reactive::ReactiveConfig::paper(
+                grid.node_count(),
+                grid.range(),
+                1,
+                1 << 16,
+                8,
+            ),
+            t: 1,
+            mf: 4,
+            good_budget: None,
+            adversary: ReactiveAdversary::Jammer,
+            max_rounds: 2_000_000,
+            seed: 42,
+        };
+        let mut engine = SlotEngine::new(grid.clone(), 0, &bad, config);
+        let outcome = engine.run_to_completion();
+        assert!(outcome.as_reactive().unwrap().is_reliable());
+        assert_eq!(engine.probe(grid.id_at(7, 7)), None, "bad nodes are mute");
+        let probe = engine.probe(grid.id_at(3, 3)).expect("good node");
+        assert!(probe.tally_true >= 1, "{probe:?}");
+        assert_eq!(probe.accepted, Some(Value::TRUE));
+        assert!(probe.decided_neighbors >= 1);
+    }
+
+    #[test]
+    fn agreement_probe_answers_members_after_completion() {
+        let grid = Grid::new(15, 15, 2).unwrap();
+        let p = Params::new(2, 1, 10);
+        let cfg = AgreementConfig::paper_margins(p);
+        let source = grid.id_at(7, 7);
+        let member = grid.id_at(7, 8);
+        let far = grid.id_at(0, 0);
+        let sim = AgreementSim::new(grid, cfg, source, &[]);
+        let mut engine = AgreementEngine::new(
+            sim,
+            SourceBehavior::Correct,
+            SplitAttack::strongest(),
+            AgreementMode::Cheap,
+        );
+        assert_eq!(engine.probe(member), None, "no decisions before the run");
+        engine.run_to_completion();
+        let outcome = engine.outcome();
+        let o = outcome.as_agreement().unwrap();
+        let probe = engine.probe(member).expect("member decided");
+        assert_eq!(probe.tally_true, o.decisions.len() as u64, "unanimous");
+        assert_eq!(probe.tally_wrong, 0);
+        assert!(probe.accepted.is_some());
+        assert!(probe.decided_neighbors >= 1);
+        assert_eq!(engine.probe(far), None, "non-members are mute");
     }
 
     #[test]

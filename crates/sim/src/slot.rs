@@ -94,6 +94,11 @@ struct GoodNode {
     messages_sent: u64,
     transmitted_this_round: bool,
     heard_nack_this_round: bool,
+    /// Data frames decoding to the broadcast value, delivered here.
+    tally_true: u64,
+    /// Data frames decoding to anything else (forgeries, undetected
+    /// cancellations), delivered here.
+    tally_wrong: u64,
 }
 
 /// The slot-level engine. Build with [`SlotSim::new`], run with
@@ -179,6 +184,8 @@ impl SlotSim {
                     messages_sent: 0,
                     transmitted_this_round: false,
                     heard_nack_this_round: false,
+                    tally_true: 0,
+                    tally_wrong: 0,
                 })
             })
             .collect();
@@ -495,6 +502,12 @@ impl SlotSim {
                                     self.undetected_corruptions += 1;
                                 }
                             }
+                            let node = self.nodes[u].as_mut().expect("good node");
+                            if value == Value::TRUE {
+                                node.tally_true += 1;
+                            } else {
+                                node.tally_wrong += 1;
+                            }
                             self.deliver_value(u, tx.sender, value);
                         }
                         FrameKind::Nack => {
@@ -565,6 +578,24 @@ impl SlotSim {
     /// The committed value at a node (post-run inspection).
     pub fn committed(&self, u: NodeId) -> Option<Value> {
         self.nodes[u].as_ref().and_then(|n| n.committed_value)
+    }
+
+    /// Per-node delivery tallies `(true, wrong)`: data frames delivered
+    /// at `u` decoding to the broadcast value vs anything else. `None`
+    /// for Byzantine nodes (they keep no honest state).
+    pub fn tallies(&self, u: NodeId) -> Option<(u64, u64)> {
+        self.nodes[u]
+            .as_ref()
+            .map(|n| (n.tally_true, n.tally_wrong))
+    }
+
+    /// Neighbors of `u` that committed the broadcast value.
+    pub fn committed_neighbors(&self, u: NodeId) -> usize {
+        self.topology
+            .neighbors_of(u)
+            .iter()
+            .filter(|&&v| self.committed(v) == Some(Value::TRUE))
+            .count()
     }
 
     /// The precomputed neighborhood topology the engine runs on.

@@ -88,6 +88,99 @@ fn f2_over_the_wire_then_warm_resubmit_is_all_hits() {
     handle.join().unwrap().unwrap();
 }
 
+/// The acceptance criterion for the spec layer: submitting f2 as
+/// `.scn` text and as an inline spec JSON body yields bit-identical
+/// JSONL goldens and identical store keys — a warm cache from one
+/// form serves the other with hits == points, misses == 0.
+#[test]
+fn scn_and_inline_spec_submissions_share_store_entries() {
+    let store = Arc::new(Store::in_memory());
+    let (addr, handle) = start(Arc::clone(&store));
+    let f2 = read_scn("scenarios/f2.scn");
+
+    // Cold: the .scn form computes the goldens.
+    let job = client::submit(&addr, &f2).expect("submit .scn");
+    let (rows, trailer) = client::results(&addr, &job).expect("results");
+    assert_eq!(field_u64(&trailer, "cache_misses"), 1);
+    for needle in ["\"intake\":2065", "\"intake\":1947", "\"tally_wrong\":947"] {
+        assert!(
+            rows[0].contains(needle),
+            "{needle} missing from {}",
+            rows[0]
+        );
+    }
+    assert!(rows[0].contains("\"accepted_true\":84"), "{}", rows[0]);
+    assert_eq!(store.len(), 1);
+
+    // The same configuration as canonical spec JSON (the conversion the
+    // `bftbcast spec` verb performs).
+    let file = bftbcast::ScenarioFile::parse(&f2).unwrap();
+    let specs = file.specs().unwrap();
+    assert_eq!(specs.len(), 1, "f2 is one point");
+    let spec_json = specs[0].to_json();
+
+    // Warm: the inline-spec form is served entirely from the .scn
+    // form's cache — identical keys, zero engine runs, identical rows.
+    let job2 = client::submit_spec(&addr, &spec_json).expect("submit spec");
+    let (rows2, trailer2) = client::results(&addr, &job2).expect("spec results");
+    assert_eq!(rows2, rows, "bit-identical JSONL across submission forms");
+    assert_eq!(field_u64(&trailer2, "cache_hits"), 1, "hits == points");
+    assert_eq!(field_u64(&trailer2, "cache_misses"), 0, "misses == 0");
+    assert_eq!(store.len(), 1, "no new store entries: identical keys");
+
+    // And the reverse direction: a fresh server warmed by the spec form
+    // serves the .scn form from cache.
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap().unwrap();
+    let store = Arc::new(Store::in_memory());
+    let (addr, handle) = start(Arc::clone(&store));
+    let job = client::submit_spec(&addr, &spec_json).expect("spec first");
+    let (rows3, _) = client::results(&addr, &job).expect("spec cold results");
+    assert_eq!(rows3, rows);
+    let job = client::submit(&addr, &f2).expect(".scn second");
+    let (_, trailer4) = client::results(&addr, &job).expect(".scn warm results");
+    assert_eq!(field_u64(&trailer4, "cache_hits"), 1);
+    assert_eq!(field_u64(&trailer4, "cache_misses"), 0);
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+/// Malformed or invalid inline specs are rejected at submit time with
+/// a named error, exactly like scenario text.
+#[test]
+fn bad_inline_specs_are_rejected_at_submit() {
+    let (addr, handle) = start(Arc::new(Store::in_memory()));
+    for (label, line) in [
+        ("not an object", "{\"cmd\":\"submit\",\"spec\":[1,2]}"),
+        (
+            "unknown field",
+            "{\"cmd\":\"submit\",\"spec\":{\"width\":15,\"height\":15,\"r\":1,\"warp\":9}}",
+        ),
+        (
+            "missing r",
+            "{\"cmd\":\"submit\",\"spec\":{\"width\":15,\"height\":15}}",
+        ),
+        (
+            "both forms",
+            "{\"cmd\":\"submit\",\"scenario\":\"x\",\"spec\":{}}",
+        ),
+    ] {
+        let lines = client::request(&addr, line).unwrap();
+        assert!(lines[0].contains("\"ok\":false"), "{label}: {lines:?}");
+    }
+    // A valid minimal spec still goes through afterwards.
+    let job = client::submit_spec(
+        &addr,
+        "{\"width\":15,\"height\":15,\"r\":1,\"mf\":4,\"placement\":{\"kind\":\"lattice\"}}",
+    )
+    .unwrap();
+    let (rows, _) = client::results(&addr, &job).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].contains("\"complete\":true"), "{}", rows[0]);
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
 /// The server's rows are byte-for-byte what the offline batch runner
 /// prints — a client cannot tell whether a row was computed or cached,
 /// or whether it came from `serve` or `run --scenario`.

@@ -253,7 +253,7 @@ pub mod collection {
     use super::TestRng;
     use core::ops::Range;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
