@@ -6,15 +6,20 @@
 //! cargo run --release -p bftbcast-bench --bin exp -- f2 t4
 //! cargo run --release -p bftbcast-bench --bin exp -- --json f2
 //! cargo run --release -p bftbcast-bench --bin exp -- --json --out reports f2
+//! cargo run --release -p bftbcast-bench --bin exp -- --json --figures x1
 //! ```
 //!
 //! With `--json`, each experiment additionally dumps
 //! `BENCH_<exp>.json` into `--out DIR` (default: the working
 //! directory; created if missing): wall time plus every result table
 //! (title, headers, rows) — the machine-readable record the perf
-//! trajectory tracks across commits.
+//! trajectory tracks across commits. Adding `--figures` also renders
+//! `BENCH_<exp>.svg` alongside it: the first result table with at
+//! least two numeric columns as a line chart (x = the first numeric
+//! column, one series per remaining numeric column).
 
 use bftbcast::json::{escape as json_escape, string_array as json_string_array};
+use bftbcast::viz::LineChart;
 use bftbcast_bench::Table;
 use bftbcast_bench::{run_experiment, ALL_EXPERIMENTS};
 use std::fmt::Write as _;
@@ -50,15 +55,60 @@ fn report_json(id: &str, wall: std::time::Duration, tables: &[Table]) -> String 
     out
 }
 
+/// Renders an experiment's headline figure: the first table with at
+/// least two fully-numeric columns becomes a line chart (x = the first
+/// numeric column, one series per remaining numeric column). `None`
+/// when no table is chartable (e.g. purely boolean/text reports).
+fn report_figure(id: &str, tables: &[Table]) -> Option<String> {
+    for table in tables {
+        let headers = table.headers();
+        let rows = table.rows();
+        if rows.is_empty() {
+            continue;
+        }
+        let numeric: Vec<usize> = (0..headers.len())
+            .filter(|&col| {
+                rows.iter()
+                    .all(|row| row.get(col).is_some_and(|cell| cell.parse::<f64>().is_ok()))
+            })
+            .collect();
+        if numeric.len() < 2 {
+            continue;
+        }
+        let x_col = numeric[0];
+        let mut chart = LineChart::new(
+            format!("{id}: {}", table.title()),
+            headers[x_col].clone(),
+            "value",
+        );
+        for &col in &numeric[1..] {
+            let points: Vec<(f64, f64)> = rows
+                .iter()
+                .map(|row| {
+                    (
+                        row[x_col].parse().expect("checked numeric"),
+                        row[col].parse().expect("checked numeric"),
+                    )
+                })
+                .collect();
+            chart.series(headers[col].clone(), &points);
+        }
+        return Some(chart.render());
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut figures = false;
     let mut out_dir = std::path::PathBuf::from(".");
     let mut named: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--figures" => figures = true,
             "--out" => match iter.next() {
                 Some(dir) => out_dir = std::path::PathBuf::from(dir),
                 None => {
@@ -67,7 +117,7 @@ fn main() {
                 }
             },
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag:?}; supported: --json, --out DIR");
+                eprintln!("unknown flag {flag:?}; supported: --json, --figures, --out DIR");
                 std::process::exit(2);
             }
             id => named.push(id),
@@ -83,6 +133,10 @@ fn main() {
             eprintln!("unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?}");
             std::process::exit(2);
         }
+    }
+    if figures && !json {
+        eprintln!("--figures renders alongside BENCH_<exp>.json; it needs --json");
+        std::process::exit(2);
     }
     if json {
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -105,6 +159,19 @@ fn main() {
                 std::process::exit(1);
             }
             println!("[wrote {}]\n", path.display());
+            if figures {
+                match report_figure(id, &tables) {
+                    None => println!("[{id}: no table with two numeric columns to chart]\n"),
+                    Some(svg) => {
+                        let path = out_dir.join(format!("BENCH_{id}.svg"));
+                        if let Err(e) = std::fs::write(&path, svg) {
+                            eprintln!("error: cannot write {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
+                        println!("[wrote {}]\n", path.display());
+                    }
+                }
+            }
         }
     }
 }

@@ -100,6 +100,21 @@ COMMANDS:
              job to finish); identical to run --scenario output
   stats      [--addr HOST:PORT]: server store/queue statistics
   shutdown   [--addr HOST:PORT]: stop the server (drains queued jobs)
+  report     --scenario FILE [--out DIR --store DIR --jobs N
+              --figure auto|map|chart --field NAME --x AXIS --point N
+              --cell N --addr HOST:PORT]
+             render a scenario as a paper-style SVG figure into --out
+             (default .): a sweep becomes a line chart of --field
+             (default coverage) vs --x, a single point a per-node heat
+             map (probes expanded to every cell; --field intake|
+             tally_true|tally_wrong|decided_neighbors); --store
+             cache-replays computed points, --addr renders remotely on
+             a running server via the report request
+  report     --from-jsonl FILE [--scenario FILE --out DIR ...]
+             render previously captured JSONL rows (run --scenario or
+             results output) without resimulating; --scenario supplies
+             torus styling (source/Byzantine cells, probe callouts)
+             for maps
   map        run options plus [--svg FILE]: render the acceptance map
              (ASCII to stdout, or an SVG heat map to FILE)
   exp        [ids...]: regenerate paper experiments (default: all);
@@ -122,6 +137,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("bounds") => cmd_bounds(args),
         Some("run") => cmd_run(args),
         Some("spec") => cmd_spec(args),
+        Some("report") => cmd_report(args),
         Some("validate") => cmd_validate(args),
         Some("map") => cmd_map(args),
         Some("exp") => cmd_exp(args),
@@ -459,6 +475,139 @@ fn cmd_spec(args: &Args) -> Result<String, CliError> {
             "unknown target {other:?} (scn|json|key)"
         ))),
     }
+}
+
+/// The `report` flags as a typed [`bftbcast::ReportSpec`].
+fn report_spec_from(args: &Args) -> Result<bftbcast::ReportSpec, CliError> {
+    let mut spec = bftbcast::ReportSpec::default();
+    if let Some(name) = args.get("figure") {
+        spec.figure = bftbcast::FigureKind::from_name(name)
+            .ok_or_else(|| CliError::Other(format!("unknown figure {name:?} (auto|map|chart)")))?;
+    }
+    spec.field = args.get("field").map(str::to_string);
+    spec.x_axis = args.get("x").map(str::to_string);
+    spec.point = args.int_or("point", 0usize)?;
+    let cell: u32 = args.int_or("cell", spec.cell_px)?;
+    if cell == 0 || cell > 64 {
+        return Err(CliError::Args(ArgsError::Invalid {
+            flag: "cell".to_string(),
+            value: cell.to_string(),
+            expected: "an integer in 1..=64",
+        }));
+    }
+    spec.cell_px = cell;
+    Ok(spec)
+}
+
+/// Writes figures into `--out` (default `.`, created if needed) and
+/// reports one `wrote PATH` line each.
+fn write_figures(
+    out_dir: &str,
+    figures: &[(String, String)],
+    summary: Option<String>,
+) -> Result<String, CliError> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::Other(format!("creating {out_dir}: {e}")))?;
+    let mut out = String::new();
+    for (name, svg) in figures {
+        // Locally rendered names are pre-sanitized, but --addr names
+        // come off the wire: flatten anything that could escape
+        // --out (separators, drive letters, empty names).
+        let name: String = name
+            .chars()
+            .map(|c| match c {
+                c if c.is_ascii_alphanumeric() => c,
+                '.' | '_' | '-' => c,
+                _ => '-',
+            })
+            .collect();
+        let name = if name.is_empty() {
+            "figure".to_string()
+        } else {
+            name
+        };
+        let path = std::path::Path::new(out_dir).join(format!("{name}.svg"));
+        std::fs::write(&path, svg)
+            .map_err(|e| CliError::Other(format!("writing {}: {e}", path.display())))?;
+        let _ = writeln!(out, "wrote {}", path.display());
+    }
+    if let Some(line) = summary {
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
+/// `report`: the paper-figure pipeline — run (or cache-replay) a
+/// scenario, or replay captured JSONL rows, and render SVG figures.
+fn cmd_report(args: &Args) -> Result<String, CliError> {
+    let spec = report_spec_from(args)?;
+    let out_dir = args.get("out").unwrap_or(".").to_string();
+
+    // Captured-rows path: no simulation at all.
+    if let Some(path) = args.get("from-jsonl") {
+        let rows = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+        let decor = match args.get("scenario") {
+            None => None,
+            Some(scn) => {
+                let text = std::fs::read_to_string(scn)
+                    .map_err(|e| CliError::Other(format!("reading {scn}: {e}")))?;
+                let file = ScenarioFile::parse(&text)?;
+                Some(bftbcast::report::MapDecor::from_file(&file, spec.point))
+            }
+        };
+        let figure = bftbcast::report::render_jsonl(&rows, &spec, decor.as_ref())?;
+        return write_figures(&out_dir, &[(figure.name, figure.svg)], None);
+    }
+
+    let path = args.get("scenario").ok_or_else(|| {
+        CliError::Other("report needs --scenario FILE or --from-jsonl FILE".into())
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    // Parse once: the local error message beats the server's, and the
+    // local path renders from this file.
+    let file = ScenarioFile::parse(&text)?;
+
+    // Remote path: a running server renders from its warm store.
+    if let Some(addr) = args.get("addr") {
+        let params = bftbcast_server::client::ReportParams {
+            figure: args.get("figure").map(str::to_string),
+            field: args.get("field").map(str::to_string),
+            x: args.get("x").map(str::to_string),
+            point: args.get("point").map(|_| spec.point as u64),
+            cell: args.get("cell").map(|_| u64::from(spec.cell_px)),
+        };
+        let (figures, trailer) = bftbcast_server::client::report(addr, &text, &params)
+            .map_err(|e| net_err("rendering on", addr, e))?;
+        return write_figures(&out_dir, &figures, Some(trailer));
+    }
+
+    let jobs = jobs_from(args)?;
+    let store = store_from(args)?;
+    let report = bftbcast::report::render_scenario(
+        &file,
+        &spec,
+        &bftbcast::BatchOptions {
+            jobs,
+            store: store.as_ref(),
+        },
+    )?;
+    let figures: Vec<(String, String)> = report
+        .figures
+        .into_iter()
+        .map(|f| (f.name, f.svg))
+        .collect();
+    write_figures(
+        &out_dir,
+        &figures,
+        Some(format!(
+            "{} figure(s), cache_hits {}, cache_misses {}",
+            figures.len(),
+            report.cache_hits,
+            report.cache_misses
+        )),
+    )
 }
 
 /// `validate FILE...`: parse and validate every file, report one line
@@ -1016,6 +1165,82 @@ mod tests {
         let out = run(&["validate", jlp]).unwrap();
         assert!(out.contains("5 points"), "{out}");
         std::fs::remove_file(jsonl_path).ok();
+    }
+
+    /// The report verb end to end: a sweep renders a chart, captured
+    /// rows replay to the same bytes, and flag errors are named.
+    #[test]
+    fn report_renders_charts_and_replays_captured_rows() {
+        let t1 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let dir = std::env::temp_dir().join(format!("bftbcast_cli_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap();
+        let text = run(&["report", "--scenario", t1, "--out", out]).unwrap();
+        assert!(text.contains("t1-chart.svg"), "{text}");
+        assert!(text.contains("cache_misses 5"), "{text}");
+        let direct = std::fs::read_to_string(dir.join("t1-chart.svg")).unwrap();
+        assert!(direct.starts_with("<svg"));
+        assert!(direct.contains("coverage vs m"), "{direct}");
+
+        // Captured rows replay to bit-identical bytes.
+        let rows = run(&["run", "--scenario", t1]).unwrap();
+        let rows_path = dir.join("t1.jsonl");
+        std::fs::write(&rows_path, rows).unwrap();
+        run(&[
+            "report",
+            "--from-jsonl",
+            rows_path.to_str().unwrap(),
+            "--out",
+            out,
+        ])
+        .unwrap();
+        let replayed = std::fs::read_to_string(dir.join("t1-chart.svg")).unwrap();
+        assert_eq!(replayed, direct, "replayed rows render the same bytes");
+
+        for bad in [
+            vec!["report"],
+            vec!["report", "--scenario", t1, "--figure", "pie"],
+            vec!["report", "--scenario", t1, "--cell", "0"],
+            vec!["report", "--scenario", t1, "--field", "warp"],
+            vec!["report", "--from-jsonl", "/nonexistent/rows.jsonl"],
+        ] {
+            assert!(run(&bad).is_err(), "{bad:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `report --addr`: a running server renders the figure remotely;
+    /// the second render is all cache hits and byte-identical.
+    #[test]
+    fn report_addr_renders_on_a_server_with_a_warm_second_pass() {
+        use bftbcast_store::Store;
+        use std::sync::Arc;
+        let server =
+            bftbcast_server::Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), None)
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let t1 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        let dir =
+            std::env::temp_dir().join(format!("bftbcast_cli_report_addr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap();
+        let cold = run(&["report", "--scenario", t1, "--addr", &addr, "--out", out]).unwrap();
+        assert!(cold.contains("\"cache_misses\":5"), "{cold}");
+        let bytes = std::fs::read_to_string(dir.join("t1-chart.svg")).unwrap();
+        let warm = run(&["report", "--scenario", t1, "--addr", &addr, "--out", out]).unwrap();
+        assert!(warm.contains("\"cache_hits\":5"), "{warm}");
+        assert!(warm.contains("\"cache_misses\":0"), "{warm}");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("t1-chart.svg")).unwrap(),
+            bytes,
+            "warm remote render is bit-identical"
+        );
+
+        run(&["shutdown", "--addr", &addr]).unwrap();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! | [`spec`] | the canonical typed [`EngineSpec`]: builder, `.scn` ⇄ JSON codecs, identity = cache key |
 //! | [`scn`] / [`scenario_file`] / [`batch`] | declarative `*.scn` scenario files and the batch runner |
 //! | [`cache`] | content-addressed cache keys and the result codec over `bftbcast-store` |
+//! | [`report`] | the report layer: sweep results → deterministic SVG maps and charts |
 //!
 //! # Declarative scenarios
 //!
@@ -85,12 +86,14 @@ pub mod batch;
 pub mod cache;
 pub mod json;
 pub mod prelude;
+pub mod report;
 pub mod scenario;
 pub mod scenario_file;
 pub mod scn;
 pub mod spec;
 
 pub use batch::{run_file, run_file_with, BatchOptions, BatchReport, PointResult};
+pub use report::{Figure, FigureKind, ReportSpec};
 pub use scenario::{Adversary, Scenario, ScenarioBuilder, ScenarioError};
 pub use scenario_file::{EngineKind, PointSpec, ScenarioFile};
 pub use spec::{EngineSpec, SpecBuilder};

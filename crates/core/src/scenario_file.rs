@@ -1145,6 +1145,23 @@ impl ScenarioFile {
         }
     }
 
+    /// A copy of this file narrowed to one expanded sweep point: the
+    /// point becomes the base document (its sweep label retained, so
+    /// result rows still carry the axis values) and the sweep is
+    /// dropped. `None` when `index` is out of range. The report layer
+    /// renders single-point map figures through this instead of
+    /// re-running the whole sweep.
+    pub fn single_point(&self, index: usize) -> Option<ScenarioFile> {
+        let point = self.points().into_iter().nth(index)?;
+        Some(ScenarioFile {
+            name: self.name.clone(),
+            engine: self.engine,
+            probes: self.probes.clone(),
+            base: point,
+            sweep: Vec::new(),
+        })
+    }
+
     /// Expands the file into one validated
     /// [`EngineSpec`](crate::spec::EngineSpec) per sweep point (the
     /// sweep labels are presentation and are dropped — a spec's

@@ -4,6 +4,24 @@
 //! The central quantity is
 //! `m0 = ⌈(2·t·mf + 1) / (r(2r+1) − t)⌉` (§1.3): Theorem 1 shows
 //! broadcast is impossible below it, Theorem 2 achievable at `2·m0`.
+//!
+//! # Example
+//!
+//! The Figure 2 parameter set, end to end:
+//!
+//! ```
+//! use bftbcast_protocols::bounds::{self, Params};
+//!
+//! let p = Params::new(4, 1, 1000);
+//! assert_eq!(p.m0(), 58);
+//! assert_eq!(p.sufficient_budget(), 116);       // Theorem 2's 2*m0
+//! assert_eq!(p.accept_threshold(), 1001);       // t*mf + 1
+//! assert_eq!(p.koo_budget(), 2001);             // the PODC'06 baseline
+//! // Corollary 1 brackets t at m = 2*m0: t = 1 is tolerable, t >= 2
+//! // hands the adversary a winning strategy.
+//! assert_eq!(bounds::corollary1_max_tolerable_t(4, 116, 1000), 1);
+//! assert_eq!(bounds::corollary1_min_defeating_t(4, 116, 1000), 2);
+//! ```
 
 use bftbcast_net::Grid;
 

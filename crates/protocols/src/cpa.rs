@@ -15,6 +15,22 @@
 //!
 //! On the grid this tolerates `t < ½·r(2r+1)` bad nodes per neighborhood
 //! (Bhandari–Vaidya's exact threshold, the paper's Theorem 4 regime).
+//!
+//! # Example
+//!
+//! At `t = 1` a node needs two distinct relaying neighbors — a repeat
+//! from the same neighbor never counts:
+//!
+//! ```
+//! use bftbcast_net::Value;
+//! use bftbcast_protocols::cpa::CpaState;
+//!
+//! let mut state = CpaState::new(1);
+//! assert_eq!(state.on_deliver(7, Value::TRUE, false), None);
+//! assert_eq!(state.on_deliver(7, Value::TRUE, false), None); // same witness
+//! assert_eq!(state.on_deliver(9, Value::TRUE, false), Some(Value::TRUE));
+//! assert_eq!(state.committed(), Some(Value::TRUE));
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 

@@ -11,6 +11,27 @@
 //!
 //! This module holds the engine-agnostic state machines; the slot engine
 //! in `bftbcast-sim` wires them to the radio and the adversary.
+//!
+//! # Example
+//!
+//! An unmolested sender transmits once, then goes quiet for one full
+//! window; a NACK would have re-armed the transmit instead:
+//!
+//! ```
+//! use bftbcast_protocols::reactive::{ReactiveConfig, ReactiveSender, SenderAction};
+//!
+//! let config = ReactiveConfig::paper(225, 1, 1, 1 << 16, 8);
+//! assert_eq!(config.quiet_window, 8); // (2r+1)^2 - 1
+//! let mut sender = ReactiveSender::new(&config);
+//! assert_eq!(sender.action(), SenderAction::Transmit);
+//! sender.on_round_end(true, false);
+//! for _ in 0..8 {
+//!     assert_eq!(sender.action(), SenderAction::Listen);
+//!     sender.on_round_end(false, false);
+//! }
+//! assert!(sender.is_done());
+//! assert_eq!(sender.transmissions(), 1);
+//! ```
 
 use bftbcast_coding::subbit::SubbitParams;
 

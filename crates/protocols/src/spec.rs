@@ -14,6 +14,24 @@
 //! (Theorem 3), the Koo-PODC'06 baseline (`2·t·mf + 1` everywhere), or a
 //! deliberately starved budget for the impossibility experiments
 //! (Theorem 1, Figure 2).
+//!
+//! # Example
+//!
+//! Protocol B's quotas always fit its budgets; the baseline costs the
+//! claimed factor more per node:
+//!
+//! ```
+//! use bftbcast_net::Grid;
+//! use bftbcast_protocols::{CountingProtocol, Params};
+//!
+//! let grid = Grid::new(15, 15, 2).unwrap();
+//! let params = Params::new(2, 1, 10);
+//! let b = CountingProtocol::protocol_b(&grid, params);
+//! assert!(b.quotas_fit_budgets());
+//! let koo = CountingProtocol::koo_baseline(&grid, params);
+//! let ratio = koo.average_budget(grid.nodes()) / b.average_budget(grid.nodes());
+//! assert!(ratio > 3.0, "the baseline spends more: {ratio}");
+//! ```
 
 use bftbcast_net::{Cross, Grid, NodeId, Region};
 

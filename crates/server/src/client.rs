@@ -135,6 +135,108 @@ pub fn results(addr: &str, job: &str) -> io::Result<(Vec<String>, String)> {
     Ok((lines, trailer))
 }
 
+/// Optional `report` request fields (absent fields keep the server's
+/// defaults — see `bftbcast::ReportSpec`).
+#[derive(Debug, Clone, Default)]
+pub struct ReportParams {
+    /// Figure family: `auto` | `map` | `chart`.
+    pub figure: Option<String>,
+    /// Probe field (maps) or outcome field (charts) to render.
+    pub field: Option<String>,
+    /// Chart x axis.
+    pub x: Option<String>,
+    /// Map sweep-point index.
+    pub point: Option<u64>,
+    /// Map cell size in SVG user units.
+    pub cell: Option<u64>,
+}
+
+impl ReportParams {
+    fn apply(&self, mut request: Object) -> Object {
+        if let Some(figure) = &self.figure {
+            request = request.str("figure", figure);
+        }
+        if let Some(field) = &self.field {
+            request = request.str("field", field);
+        }
+        if let Some(x) = &self.x {
+            request = request.str("x", x);
+        }
+        if let Some(point) = self.point {
+            request = request.u64("point", point);
+        }
+        if let Some(cell) = self.cell {
+            request = request.u64("cell", cell);
+        }
+        request
+    }
+}
+
+fn report_reply(lines: Vec<String>) -> io::Result<(Vec<(String, String)>, String)> {
+    let mut lines = lines;
+    let Some(trailer) = lines.pop() else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "empty report reply",
+        ));
+    };
+    check_ok(&trailer)?;
+    let mut figures = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let doc = Json::parse(line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
+        let field = |key: &str| -> io::Result<String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("figure line lacks a string {key:?}"),
+                    )
+                })
+        };
+        figures.push((field("name")?, field("svg")?));
+    }
+    Ok((figures, trailer))
+}
+
+/// Renders a scenario document on the server: `(name, svg)` figures
+/// plus the `{"ok":true,"done":true,...}` trailer with the render's
+/// cache counters. A warm store answers with `cache_hits == points`
+/// and zero engine runs.
+///
+/// # Errors
+///
+/// Transport failures, or a server-side rejection (parse error,
+/// unknown field/axis, a failed run).
+pub fn report(
+    addr: &str,
+    scenario: &str,
+    params: &ReportParams,
+) -> io::Result<(Vec<(String, String)>, String)> {
+    let request_line = params.apply(Object::new().str("cmd", "report").str("scenario", scenario));
+    report_reply(request(addr, &request_line.render())?)
+}
+
+/// [`report`] for one inline spec (canonical JSON, one object).
+///
+/// # Errors
+///
+/// Transport failures, or a server-side rejection.
+pub fn report_spec(
+    addr: &str,
+    spec_json: &str,
+    params: &ReportParams,
+) -> io::Result<(Vec<(String, String)>, String)> {
+    let request_line = params.apply(
+        Object::new()
+            .str("cmd", "report")
+            .raw("spec", spec_json.trim()),
+    );
+    report_reply(request(addr, &request_line.render())?)
+}
+
 /// The server's store/queue statistics line (verbatim JSON).
 ///
 /// # Errors

@@ -22,6 +22,7 @@
 //! |---------|-------|
 //! | `{"cmd":"submit","scenario":"<.scn text>"}` | `{"ok":true,"job":"job-N","name":...,"points":N}` |
 //! | `{"cmd":"submit","spec":{...}}` | same — the inline form of one [`bftbcast::spec::EngineSpec`] (canonical JSON); identical configurations share store entries with the `.scn` form |
+//! | `{"cmd":"report","scenario":"<.scn text>"}` (or `"spec":{...}`; optional `figure`/`field`/`x`/`point`/`cell` fields) | one `{"ok":true,"name":"...","svg":"<svg.../>"}` line per rendered figure, then `{"ok":true,"done":true,"figures":F,"cache_hits":H,"cache_misses":M}` — a warm store renders without simulating (`cache_hits == points`) |
 //! | `{"cmd":"status","job":"job-N"}` | `{"ok":true,"job":...,"state":"queued\|running\|done\|failed","points":N,"cache_hits":H,"cache_misses":M}` |
 //! | `{"cmd":"results","job":"job-N"}` | the job's JSONL result rows (exactly `run --scenario`'s output), then a `{"ok":true,"done":true,...}` trailer |
 //! | `{"cmd":"stats"}` | `{"ok":true,"store_entries":N,"store_hits":H,"store_misses":M,"jobs":J,"jobs_done":D}` |

@@ -2,6 +2,7 @@
 //! written directly with [`bftbcast::json::Object`]).
 
 use bftbcast::json::Json;
+use bftbcast::ReportSpec;
 
 /// What a `submit` request carries: `.scn` text or an inline spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,16 @@ pub enum Request {
     Submit {
         /// The submitted workload body.
         body: Submission,
+    },
+    /// Render a workload as SVG figures: run (or answer from the
+    /// store) and stream one figure line per result, so a warm store
+    /// replies without simulating.
+    Report {
+        /// The workload to render (same forms as `submit`).
+        body: Submission,
+        /// What to render (`figure`/`field`/`x`/`point`/`cell` request
+        /// fields; defaults apply when absent).
+        spec: ReportSpec,
     },
     /// Report a job's state.
     Status {
@@ -59,37 +70,42 @@ impl Request {
                 .ok_or_else(|| format!("{cmd:?} needs a string \"job\" field"))
         };
         match cmd {
-            "submit" => {
-                let body =
-                    match (doc.get("scenario"), doc.get("spec")) {
-                        (Some(_), Some(_)) => {
-                            return Err(
-                                "\"submit\" takes either \"scenario\" or \"spec\", not both".into(),
-                            )
-                        }
-                        (Some(scenario), None) => Submission::ScenarioText(
-                            scenario
-                                .as_str()
-                                .ok_or("\"scenario\" must be a string (.scn document text)")?
-                                .to_string(),
-                        ),
-                        (None, Some(spec)) => match spec {
-                            Json::Obj(_) => Submission::SpecJson(spec.clone()),
-                            _ => return Err("\"spec\" must be a JSON object".into()),
-                        },
-                        (None, None) => return Err(
-                            "\"submit\" needs a \"scenario\" (string) or \"spec\" (object) field"
-                                .into(),
-                        ),
-                    };
-                Ok(Request::Submit { body })
-            }
+            "submit" => Ok(Request::Submit {
+                body: Self::body(&doc, cmd)?,
+            }),
+            "report" => Ok(Request::Report {
+                body: Self::body(&doc, cmd)?,
+                spec: ReportSpec::from_json_fields(&doc)?,
+            }),
             "status" => Ok(Request::Status { job: job(&doc)? }),
             "results" => Ok(Request::Results { job: job(&doc)? }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown cmd {other:?} (submit|status|results|stats|shutdown)"
+                "unknown cmd {other:?} (submit|report|status|results|stats|shutdown)"
+            )),
+        }
+    }
+
+    /// The workload body shared by `submit` and `report`: `.scn` text
+    /// under `"scenario"`, or an inline spec object under `"spec"`.
+    fn body(doc: &Json, cmd: &str) -> Result<Submission, String> {
+        match (doc.get("scenario"), doc.get("spec")) {
+            (Some(_), Some(_)) => Err(format!(
+                "{cmd:?} takes either \"scenario\" or \"spec\", not both"
+            )),
+            (Some(scenario), None) => Ok(Submission::ScenarioText(
+                scenario
+                    .as_str()
+                    .ok_or("\"scenario\" must be a string (.scn document text)")?
+                    .to_string(),
+            )),
+            (None, Some(spec)) => match spec {
+                Json::Obj(_) => Ok(Submission::SpecJson(spec.clone())),
+                _ => Err("\"spec\" must be a JSON object".into()),
+            },
+            (None, None) => Err(format!(
+                "{cmd:?} needs a \"scenario\" (string) or \"spec\" (object) field"
             )),
         }
     }
@@ -116,6 +132,17 @@ mod tests {
                 } if fields.len() == 1
             ),
             "{inline:?}"
+        );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"report\",\"scenario\":\"x = 1\\n\",\"figure\":\"map\"}")
+                .unwrap(),
+            Request::Report {
+                body: Submission::ScenarioText("x = 1\n".into()),
+                spec: ReportSpec {
+                    figure: bftbcast::FigureKind::Map,
+                    ..ReportSpec::default()
+                },
+            }
         );
         assert_eq!(
             Request::parse("{\"cmd\":\"status\",\"job\":\"job-3\"}").unwrap(),
@@ -150,6 +177,9 @@ mod tests {
             "{\"cmd\":\"submit\"}",
             "{\"cmd\":\"submit\",\"spec\":\"not an object\"}",
             "{\"cmd\":\"submit\",\"scenario\":\"x = 1\",\"spec\":{}}",
+            "{\"cmd\":\"report\"}",
+            "{\"cmd\":\"report\",\"scenario\":\"x = 1\",\"figure\":\"pie\"}",
+            "{\"cmd\":\"report\",\"scenario\":\"x = 1\",\"cell\":0}",
             "{\"cmd\":\"status\"}",
             "{\"cmd\":\"results\",\"job\":3}",
         ] {

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use bftbcast::batch::{run_file_with, BatchOptions};
 use bftbcast::json::Object;
+use bftbcast::report;
 use bftbcast::spec::EngineSpec;
 use bftbcast::ScenarioFile;
 use bftbcast_store::Store;
@@ -279,6 +280,44 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
             };
             writeln!(out, "{reply}")
         }
+        Request::Report { body, spec } => {
+            // Rendered inline on the connection thread (the job queue
+            // is untouched): the store still deduplicates against
+            // queued work via single-flight, and a warm store answers
+            // with cache_hits == points without simulating.
+            let rendered = file_from_submission(&body).and_then(|file| {
+                report::render_scenario(
+                    &file,
+                    &spec,
+                    &BatchOptions {
+                        jobs: shared.jobs_bound,
+                        store: Some(&shared.store),
+                    },
+                )
+                .map_err(|e| format!("report failed: {e}"))
+            });
+            match rendered {
+                Err(e) => writeln!(out, "{}", error_line(&e)),
+                Ok(output) => {
+                    for figure in &output.figures {
+                        let line = Object::new()
+                            .bool("ok", true)
+                            .str("name", &figure.name)
+                            .str("svg", &figure.svg)
+                            .render();
+                        writeln!(out, "{line}")?;
+                    }
+                    let trailer = Object::new()
+                        .bool("ok", true)
+                        .bool("done", true)
+                        .u64("figures", output.figures.len() as u64)
+                        .u64("cache_hits", output.cache_hits as u64)
+                        .u64("cache_misses", output.cache_misses as u64)
+                        .render();
+                    writeln!(out, "{trailer}")
+                }
+            }
+        }
         Request::Status { job } => {
             let st = shared.state.lock().expect("server lock");
             let reply = match find(&st, &job) {
@@ -465,6 +504,41 @@ mod tests {
         }
         let stats = client::stats(&addr).unwrap();
         assert!(stats.contains("\"ok\":true"), "{stats}");
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn report_renders_figures_and_warm_replays_from_the_store() {
+        let (addr, handle) = start(Some(2));
+        // A sweep renders a chart; the cold render computes its points.
+        let params = client::ReportParams::default();
+        let (figures, trailer) = client::report(&addr, MINI, &params).unwrap();
+        assert_eq!(figures.len(), 1);
+        assert_eq!(figures[0].0, "mini-chart");
+        assert!(figures[0].1.starts_with("<svg"), "{}", figures[0].1);
+        assert!(trailer.contains("\"cache_misses\":2"), "{trailer}");
+
+        // Warm replay: same bytes, zero engine runs.
+        let (figures2, trailer2) = client::report(&addr, MINI, &params).unwrap();
+        assert_eq!(figures2, figures, "warm figures are bit-identical");
+        assert!(trailer2.contains("\"cache_hits\":2"), "{trailer2}");
+        assert!(trailer2.contains("\"cache_misses\":0"), "{trailer2}");
+
+        // Field/figure options travel; bad ones come back as errors.
+        let waves = client::ReportParams {
+            field: Some("waves".to_string()),
+            ..client::ReportParams::default()
+        };
+        let (figures3, _) = client::report(&addr, MINI, &waves).unwrap();
+        assert!(figures3[0].1.contains("waves vs m"), "{}", figures3[0].1);
+        let bad = client::ReportParams {
+            field: Some("warp".to_string()),
+            ..client::ReportParams::default()
+        };
+        let err = client::report(&addr, MINI, &bad).unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+
         client::shutdown(&addr).unwrap();
         handle.join().unwrap().unwrap();
     }

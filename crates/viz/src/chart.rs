@@ -4,6 +4,22 @@
 //! tick labels and a legend — enough to render reliability-vs-rate and
 //! cost-vs-`t` curves from the experiment harness without external
 //! plotting dependencies.
+//!
+//! # Example
+//!
+//! The Theorem 1 flip region as a two-series chart:
+//!
+//! ```
+//! use bftbcast_viz::LineChart;
+//!
+//! let mut chart = LineChart::new("coverage vs m", "m", "coverage");
+//! chart.series("oracle", &[(9.0, 0.3), (10.0, 0.3), (11.0, 1.0), (12.0, 1.0)]);
+//! chart.series("passive", &[(9.0, 1.0), (12.0, 1.0)]);
+//! let svg = chart.render();
+//! assert!(svg.starts_with("<svg"));
+//! assert_eq!(svg.matches("<polyline").count(), 2);
+//! assert!(svg.contains("coverage vs m"));
+//! ```
 
 use crate::svg::Document;
 

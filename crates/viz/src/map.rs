@@ -5,6 +5,26 @@
 //! [`CountingSim`] run by acceptance wave —
 //! the propagation heat-map of the paper's constructions (the Figure 2
 //! stall renders as a colored diamond inside a grey sea).
+//!
+//! # Example
+//!
+//! A 5×4 torus colored on the sequential heat ramp, with the source
+//! styled and one cell marked as a probe callout:
+//!
+//! ```
+//! use bftbcast_viz::map::{CellStyle, GridMap};
+//!
+//! let mut map = GridMap::with_dims(5, 4, 10);
+//! for node in 0..20 {
+//!     map.set(node, CellStyle::heat(node as f64 / 19.0));
+//! }
+//! map.set(0, CellStyle::source());
+//! map.mark(7, '+');
+//! let svg = map.render_with_caption("heat demo", &["probe (2, 1)".to_string()]);
+//! assert_eq!(svg.matches("<rect").count(), 20);
+//! assert!(svg.contains(">+</text>"));
+//! assert!(svg.contains("probe (2, 1)"));
+//! ```
 
 use bftbcast_net::{Grid, NodeId, Value};
 use bftbcast_sim::CountingSim;
@@ -61,6 +81,30 @@ impl CellStyle {
         }
     }
 
+    /// A sequential heat color for a normalized magnitude `t` in
+    /// `[0, 1]` (values outside are clamped): a light-to-dark
+    /// single-hue ramp (`#f7fbff` → `#08306b`) for quantities like the
+    /// Figure 2 per-node intake, where zero must read as "nothing
+    /// arrived" rather than as a category of its own.
+    pub fn heat(t: f64) -> Self {
+        let t = if t.is_finite() {
+            t.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let lerp =
+            |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * t) as u8 };
+        CellStyle {
+            fill: format!(
+                "#{:02x}{:02x}{:02x}",
+                lerp(0xf7, 0x08),
+                lerp(0xfb, 0x30),
+                lerp(0xff, 0x6b)
+            ),
+            label: None,
+        }
+    }
+
     /// A node that accepted `Vtrue` at the given wave, on a blue→green
     /// gradient over `max_wave`.
     pub fn wave(wave: usize, max_wave: usize) -> Self {
@@ -101,12 +145,24 @@ impl GridMap {
     ///
     /// Panics if `cell_px` is zero.
     pub fn new(grid: &Grid, cell_px: u32) -> Self {
+        GridMap::with_dims(grid.width(), grid.height(), cell_px)
+    }
+
+    /// A map for a raw `width`×`height` torus — for renderers (like the
+    /// report layer's JSONL path) that know the dimensions but hold no
+    /// [`Grid`]. Node ids index row-major: `id = y * width + x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or `cell_px` is zero.
+    pub fn with_dims(width: u32, height: u32, cell_px: u32) -> Self {
         assert!(cell_px > 0, "cell size must be positive");
+        assert!(width > 0 && height > 0, "map dimensions must be positive");
         GridMap {
-            width: grid.width(),
-            height: grid.height(),
+            width,
+            height,
             cell: cell_px,
-            styles: vec![CellStyle::undecided(); grid.node_count()],
+            styles: vec![CellStyle::undecided(); width as usize * height as usize],
         }
     }
 
@@ -117,6 +173,16 @@ impl GridMap {
     /// Panics if `node` is out of range.
     pub fn set(&mut self, node: NodeId, style: CellStyle) {
         self.styles[node] = style;
+    }
+
+    /// Overlays a single-character label on a node's existing style
+    /// (fill untouched) — probe callouts on an already-colored map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn mark(&mut self, node: NodeId, label: char) {
+        self.styles[node].label = Some(label);
     }
 
     /// Colors a finished counting-engine run: acceptance waves on a
@@ -151,10 +217,18 @@ impl GridMap {
 
     /// Renders the map with a title line.
     pub fn render(&self, title: &str) -> String {
+        self.render_with_caption(title, &[])
+    }
+
+    /// Renders the map with a title line above and caption lines below
+    /// the grid — probe tallies, outcome summaries, legends.
+    pub fn render_with_caption(&self, title: &str, caption: &[String]) -> String {
         let c = f64::from(self.cell);
         let title_h = c.max(12.0) + 6.0;
+        let caption_size = c.clamp(10.0, 12.0);
+        let caption_h = caption.len() as f64 * (caption_size + 4.0);
         let w = f64::from(self.width) * c;
-        let h = f64::from(self.height) * c + title_h;
+        let h = f64::from(self.height) * c + title_h + caption_h;
         let mut doc = Document::new(w.max(200.0), h);
         doc.text(2.0, title_h - 8.0, c.max(10.0), title);
         for y in 0..self.height {
@@ -167,6 +241,11 @@ impl GridMap {
                     doc.text(px + 0.25 * c, py + 0.8 * c, 0.7 * c, &ch.to_string());
                 }
             }
+        }
+        let grid_bottom = title_h + f64::from(self.height) * c;
+        for (i, line) in caption.iter().enumerate() {
+            let y = grid_bottom + (i as f64 + 1.0) * (caption_size + 4.0) - 4.0;
+            doc.text(2.0, y, caption_size, line);
         }
         doc.render()
     }
@@ -230,5 +309,46 @@ mod tests {
     fn zero_cell_rejected() {
         let grid = Grid::new(5, 5, 1).unwrap();
         let _ = GridMap::new(&grid, 0);
+    }
+
+    #[test]
+    fn heat_ramp_endpoints_and_clamping() {
+        assert_eq!(CellStyle::heat(0.0).fill, "#f7fbff");
+        assert_eq!(CellStyle::heat(1.0).fill, "#08306b");
+        assert_eq!(CellStyle::heat(-3.0).fill, CellStyle::heat(0.0).fill);
+        assert_eq!(CellStyle::heat(7.0).fill, CellStyle::heat(1.0).fill);
+        assert_eq!(CellStyle::heat(f64::NAN).fill, CellStyle::heat(0.0).fill);
+    }
+
+    #[test]
+    fn with_dims_needs_no_grid_and_marks_overlay_labels() {
+        let mut map = GridMap::with_dims(4, 3, 10);
+        map.set(5, CellStyle::heat(0.5));
+        let fill = CellStyle::heat(0.5).fill;
+        map.mark(5, '+');
+        let svg = map.render("raw dims");
+        assert_eq!(svg.matches("<rect").count(), 12);
+        assert!(svg.contains(&fill), "mark must keep the fill");
+        assert!(svg.contains(">+</text>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "map dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = GridMap::with_dims(0, 3, 10);
+    }
+
+    #[test]
+    fn captions_extend_the_document_below_the_grid() {
+        let map = GridMap::with_dims(5, 5, 10);
+        let plain = map.render("t");
+        let captioned =
+            map.render_with_caption("t", &["line one".to_string(), "line two".to_string()]);
+        assert!(captioned.contains("line one") && captioned.contains("line two"));
+        let height = |svg: &str| -> f64 {
+            let tail = svg.split("height=\"").nth(1).unwrap();
+            tail.split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(height(&captioned) > height(&plain));
     }
 }

@@ -3,6 +3,19 @@
 //! Only what the map and chart layers need: shapes, text and a final
 //! serialization. Coordinates are `f64` user units; the emitted
 //! document carries an explicit `viewBox` so it scales losslessly.
+//!
+//! # Example
+//!
+//! ```
+//! use bftbcast_viz::Document;
+//!
+//! let mut doc = Document::new(100.0, 50.0);
+//! doc.rect(10.0, 10.0, 30.0, 20.0, "#1f77b4", None);
+//! doc.text(12.0, 45.0, 10.0, "a < b");
+//! let svg = doc.render();
+//! assert!(svg.contains(r#"viewBox="0 0 100 50""#));
+//! assert!(svg.contains("a &lt; b"), "text is XML-escaped");
+//! ```
 
 use core::fmt::Write as _;
 

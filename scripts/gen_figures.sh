@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates the committed figure gallery under docs/figures/ from the
+# declarative scenarios: the ported experiments (f2, t1, x4) and the
+# example files. Rendering is deterministic, so CI runs this script and
+# fails if the regenerated SVGs differ from the committed ones — figure
+# drift is caught exactly like number drift (see docs/FIGURES.md).
+#
+# Usage: scripts/gen_figures.sh [path-to-bftbcast-binary] [out-dir]
+# (run from the repo root; CI passes target/release/bftbcast)
+set -euo pipefail
+
+BIN=${1:-target/release/bftbcast}
+OUT=${2:-docs/figures}
+
+# f2 is a single point: an intake heat map of the stalled torus, the
+# Figure 2 goldens (2065 / 1947 / 947, stall 84) in the caption.
+"$BIN" report --scenario scenarios/f2.scn --out "$OUT"
+
+# The sweeps render as charts: t1's coverage-vs-m flip at m0 = 11, and
+# x4's agreement outcome over the colluders' p1 x pe schedule grid.
+"$BIN" report --scenario scenarios/t1.scn --out "$OUT"
+"$BIN" report --scenario scenarios/x4.scn --out "$OUT"
+
+# The example scenarios: combinations no EXP-* experiment covers.
+for scn in scenarios/examples/*.scn; do
+  "$BIN" report --scenario "$scn" --out "$OUT"
+done
+
+echo "figures regenerated into $OUT"

@@ -1,0 +1,121 @@
+//! The figure pipeline's goldens: the f2 heat map is hash-pinned the
+//! way the f2 numbers are, the committed gallery under `docs/figures/`
+//! must match a fresh render bit-for-bit, and the server's `report`
+//! request must replay a warm store without simulating.
+
+use bftbcast::report::{figure_hash, render_scenario, Figure, ReportSpec};
+use bftbcast::{BatchOptions, ScenarioFile};
+
+/// The pinned FNV-1a 64 hash of the rendered `f2-map.svg` bytes. The
+/// map's caption carries the Figure 2 goldens (2065 / 1947 / 947,
+/// stall 84), so this constant pins them the way the number goldens
+/// are pinned — a renderer or engine change that moves any pixel or
+/// digit must consciously update it (and regenerate `docs/figures/`
+/// via `scripts/gen_figures.sh`).
+const F2_MAP_HASH: u64 = 0xe7cf_d97b_debb_9ef0;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn render(rel: &str) -> Figure {
+    let text = std::fs::read_to_string(repo_path(rel)).unwrap();
+    let file = ScenarioFile::parse(&text).unwrap();
+    let out = render_scenario(&file, &ReportSpec::default(), &BatchOptions::default()).unwrap();
+    assert_eq!(out.figures.len(), 1);
+    out.figures.into_iter().next().unwrap()
+}
+
+/// The acceptance gate: `report --scenario scenarios/f2.scn` renders a
+/// deterministic heat map whose pinned hash encodes the goldens.
+#[test]
+fn f2_map_is_hash_pinned_and_carries_the_goldens() {
+    let figure = render("scenarios/f2.scn");
+    assert_eq!(figure.name, "f2-map");
+    // 45x45 cells, every one colored.
+    assert_eq!(figure.svg.matches("<rect").count(), 45 * 45);
+    for needle in [
+        "probe (0, 5): intake 2065, true 2065, wrong 0",
+        "probe (5, 1): intake 1947, true 1000, wrong 947",
+        "outcome: accepted_true 84",
+        "#ffd700", // the source cell
+        "#1a1a1a", // Byzantine cells
+    ] {
+        assert!(figure.svg.contains(needle), "{needle} missing from the map");
+    }
+    assert_eq!(
+        figure_hash(&figure.svg),
+        F2_MAP_HASH,
+        "f2-map.svg drifted; if intentional, update the hash and rerun \
+         scripts/gen_figures.sh"
+    );
+    // Rendering twice is bit-identical.
+    assert_eq!(render("scenarios/f2.scn").svg, figure.svg);
+}
+
+/// Every committed gallery figure equals a fresh default render — the
+/// in-repo version of CI's determinism gate.
+#[test]
+fn committed_gallery_matches_fresh_renders() {
+    for (scenario, figure_file) in [
+        ("scenarios/f2.scn", "docs/figures/f2-map.svg"),
+        ("scenarios/t1.scn", "docs/figures/t1-chart.svg"),
+        ("scenarios/x4.scn", "docs/figures/x4-chart.svg"),
+        (
+            "scenarios/examples/hybrid_stripes.scn",
+            "docs/figures/hybrid-stripes-chart.svg",
+        ),
+        (
+            "scenarios/examples/reactive_mixed.scn",
+            "docs/figures/reactive-mixed-chart.svg",
+        ),
+        (
+            "scenarios/examples/stripe_chaos.scn",
+            "docs/figures/stripe-chaos-chart.svg",
+        ),
+    ] {
+        let fresh = render(scenario);
+        let committed = std::fs::read_to_string(repo_path(figure_file)).unwrap();
+        assert_eq!(
+            committed, fresh.svg,
+            "{figure_file} differs from rendering {scenario}; \
+             rerun scripts/gen_figures.sh"
+        );
+    }
+}
+
+/// The acceptance gate's second half: a warm-store `report` round trip
+/// over the server renders the same bytes with `cache_hits == points`.
+#[test]
+fn server_report_round_trip_replays_warm_without_simulating() {
+    use bftbcast_server::client;
+    use bftbcast_store::Store;
+    use std::sync::Arc;
+
+    let server =
+        bftbcast_server::Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), None).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.serve());
+
+    let f2 = std::fs::read_to_string(repo_path("scenarios/f2.scn")).unwrap();
+    let params = client::ReportParams::default();
+    let (cold, trailer) = client::report(&addr, &f2, &params).unwrap();
+    assert_eq!(cold.len(), 1);
+    assert!(trailer.contains("\"cache_hits\":0"), "{trailer}");
+    assert!(trailer.contains("\"cache_misses\":1"), "{trailer}");
+
+    let (warm, trailer2) = client::report(&addr, &f2, &params).unwrap();
+    assert_eq!(warm, cold, "warm figures are bit-identical");
+    assert!(
+        trailer2.contains("\"cache_hits\":1") && trailer2.contains("\"cache_misses\":0"),
+        "warm render must be all hits: {trailer2}"
+    );
+
+    // The remote bytes are the local bytes — and therefore the pinned
+    // golden.
+    assert_eq!(warm[0].0, "f2-map");
+    assert_eq!(figure_hash(&warm[0].1), F2_MAP_HASH);
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap().unwrap();
+}
