@@ -86,20 +86,39 @@ COMMANDS:
   validate   FILE...: parse and validate scenario files (*.scn) and
              spec JSON documents; prints one line per file and fails if
              any file is invalid
-  serve      [--addr HOST:PORT --store DIR --jobs N]
+  serve      [--addr HOST:PORT --store DIR --jobs N --queue N
+              --io-timeout SECS]
              run the persistent sweep service (default 127.0.0.1:7171):
              queue submitted scenarios, fan each over the batch pool,
              and cache every point in the outcome store (in-memory
-             without --store); prints \"listening on ADDR\" once ready
-  submit     FILE [--addr HOST:PORT]: queue a *.scn file — or a spec
-             JSON document, detected by content — on a running server;
-             prints the reply with the assigned job id; both forms
-             share store entries for identical configurations
+             without --store); prints \"listening on ADDR\" once ready;
+             --queue bounds queued jobs (default 64; a full queue sends
+             an explicit retryable reply), --io-timeout deadlines every
+             connection read and write (default 60)
+  submit     FILE [--addr HOST:PORT --retries N --retry-ms MS]: queue a
+             *.scn file — or a spec JSON document, detected by content —
+             on a running server; prints the reply with the assigned
+             job id; both forms share store entries for identical
+             configurations; transient failures (connection refused or
+             dropped, queue backpressure) retry up to N attempts
+             (default 3, 1 = never) with exponential backoff from MS
+             milliseconds (default 50) — safe to retry because the
+             store is write-once, so a duplicate submit replays warm
   status     JOB [--addr HOST:PORT]: one job's state and cache counters
-  results    JOB [--addr HOST:PORT]: a job's JSONL rows (waits for the
-             job to finish); identical to run --scenario output
+  results    JOB [--addr HOST:PORT --retries N --retry-ms MS]: a job's
+             JSONL rows (waits for the job to finish); identical to
+             run --scenario output; a reply dropped mid-stream refetches
+             whole (bit-identical, never partial)
   stats      [--addr HOST:PORT]: server store/queue statistics
-  shutdown   [--addr HOST:PORT]: stop the server (drains queued jobs)
+  shutdown   [--addr HOST:PORT]: stop the server (drains queued jobs,
+             fsyncs the store)
+  store      fsck|repair|compact [--store DIR]
+             offline log maintenance (default DIR .bftbcast-store):
+             fsck verifies every record checksum and exits non-zero if
+             the log needs repair; repair atomically rewrites the log
+             from its verifiable records (shedding corrupt spans and
+             torn tails, migrating v1 logs); compact rewrites even a
+             clean log (also dropping duplicate records)
   report     --scenario FILE [--out DIR --store DIR --jobs N
               --figure auto|map|chart --field NAME --x AXIS --point N
               --cell N --addr HOST:PORT]
@@ -149,6 +168,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("results") => cmd_results(args),
         Some("stats") => cmd_stats(args),
         Some("shutdown") => cmd_shutdown(args),
+        Some("store") => cmd_store(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; run `bftbcast help`"
         ))),
@@ -578,8 +598,9 @@ fn cmd_report(args: &Args) -> Result<String, CliError> {
             point: args.get("point").map(|_| spec.point as u64),
             cell: args.get("cell").map(|_| u64::from(spec.cell_px)),
         };
-        let (figures, trailer) = bftbcast_server::client::report(addr, &text, &params)
-            .map_err(|e| net_err("rendering on", addr, e))?;
+        let (figures, trailer) =
+            bftbcast_server::client::report_with(addr, &text, &params, &retry_from(args)?)
+                .map_err(|e| net_err("rendering on", addr, e))?;
         return write_figures(&out_dir, &figures, Some(trailer));
     }
 
@@ -663,16 +684,50 @@ fn net_err(what: &str, addr: &str, e: std::io::Error) -> CliError {
     CliError::Other(format!("{what} {addr}: {e}"))
 }
 
+/// `--retries N --retry-ms MS`: the client-side retry policy for the
+/// idempotent verbs (submit/results/report). Defaults to three attempts
+/// with a 50 ms backoff base; `--retries 1` disables retrying.
+fn retry_from(args: &Args) -> Result<bftbcast_server::client::RetryPolicy, CliError> {
+    let attempts: u32 = args.int_or("retries", 3u32)?;
+    if attempts == 0 {
+        return Err(CliError::Args(ArgsError::Invalid {
+            flag: "retries".to_string(),
+            value: "0".to_string(),
+            expected: "an integer >= 1 (1 = no retries)",
+        }));
+    }
+    let base_ms: u64 = args.int_or("retry-ms", 50u64)?;
+    Ok(bftbcast_server::client::RetryPolicy {
+        attempts,
+        base_delay: std::time::Duration::from_millis(base_ms),
+        ..bftbcast_server::client::RetryPolicy::default()
+    })
+}
+
 /// `serve`: run the persistent sweep service until a shutdown request.
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
     use std::sync::Arc;
     let addr = addr_from(args);
-    let jobs = jobs_from(args)?;
+    let defaults = bftbcast_server::ServeOptions::default();
+    let opts = bftbcast_server::ServeOptions {
+        jobs: jobs_from(args)?,
+        queue_cap: args.int_or("queue", defaults.queue_cap)?,
+        io_timeout: std::time::Duration::from_secs(
+            args.int_or("io-timeout", defaults.io_timeout.as_secs())?,
+        ),
+    };
+    if opts.queue_cap == 0 {
+        return Err(CliError::Args(ArgsError::Invalid {
+            flag: "queue".to_string(),
+            value: "0".to_string(),
+            expected: "an integer >= 1",
+        }));
+    }
     let store = Arc::new(match store_from(args)? {
         Some(store) => store,
         None => bftbcast_store::Store::in_memory(),
     });
-    let server = bftbcast_server::Server::bind(addr.as_str(), Arc::clone(&store), jobs)
+    let server = bftbcast_server::Server::bind_with(addr.as_str(), Arc::clone(&store), opts)
         .map_err(|e| net_err("binding", &addr, e))?;
     // Announce readiness eagerly (and flush): scripts scrape this line
     // to learn the resolved port when --addr ends in :0.
@@ -699,6 +754,7 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
     let addr = addr_from(args);
+    let retry = retry_from(args)?;
     // Reject locally what the server would reject, with the better
     // local error message; a JSON document goes over the wire as an
     // inline spec (same store entries as the equivalent .scn).
@@ -711,11 +767,11 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
                 specs.len()
             )));
         };
-        bftbcast_server::client::submit_spec(&addr, &spec.to_json())
+        bftbcast_server::client::submit_spec_with(&addr, &spec.to_json(), &retry)
             .map_err(|e| net_err("submitting to", &addr, e))?
     } else {
         ScenarioFile::parse(&text)?;
-        bftbcast_server::client::submit(&addr, &text)
+        bftbcast_server::client::submit_with(&addr, &text, &retry)
             .map_err(|e| net_err("submitting to", &addr, e))?
     };
     Ok(format!("{{\"ok\":true,\"job\":\"{job}\"}}\n"))
@@ -741,8 +797,8 @@ fn cmd_results(args: &Args) -> Result<String, CliError> {
         .first()
         .ok_or_else(|| CliError::Other("results needs a job id argument".into()))?;
     let addr = addr_from(args);
-    let (rows, _trailer) =
-        bftbcast_server::client::results(&addr, job).map_err(|e| net_err("querying", &addr, e))?;
+    let (rows, _trailer) = bftbcast_server::client::results_with(&addr, job, &retry_from(args)?)
+        .map_err(|e| net_err("querying", &addr, e))?;
     let mut out = rows.join("\n");
     if !out.is_empty() {
         out.push('\n');
@@ -755,6 +811,44 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
     let addr = addr_from(args);
     let line = bftbcast_server::client::stats(&addr).map_err(|e| net_err("querying", &addr, e))?;
     Ok(format!("{line}\n"))
+}
+
+/// `store fsck|repair|compact [--store DIR]`: offline log maintenance.
+/// `fsck` is the health check scripts gate on — it succeeds only when
+/// the log is clean, so `bftbcast store fsck || bftbcast store repair`
+/// is the canonical recovery one-liner.
+fn cmd_store(args: &Args) -> Result<String, CliError> {
+    let verb = args.positional.first().map(String::as_str);
+    let dir = args.get("store").unwrap_or(".bftbcast-store");
+    match verb {
+        Some("fsck") => {
+            let report = bftbcast_store::fsck_report(dir)
+                .map_err(|e| CliError::Other(format!("fsck {dir}: {e}")))?;
+            if report.is_clean() {
+                Ok(format!("ok   {dir}: {report}\n"))
+            } else {
+                Err(CliError::Other(format!(
+                    "FAIL {dir}: {report}\nrun `bftbcast store repair --store {dir}` to heal"
+                )))
+            }
+        }
+        Some("repair") => {
+            let report = bftbcast_store::repair(dir)
+                .map_err(|e| CliError::Other(format!("repair {dir}: {e}")))?;
+            Ok(format!("{dir}: {report}\n"))
+        }
+        Some("compact") => {
+            let report = bftbcast_store::compact(dir)
+                .map_err(|e| CliError::Other(format!("compact {dir}: {e}")))?;
+            Ok(format!("{dir}: {report}\n"))
+        }
+        Some(other) => Err(CliError::Other(format!(
+            "unknown store verb {other:?} (fsck|repair|compact)"
+        ))),
+        None => Err(CliError::Other(
+            "store needs a verb: fsck | repair | compact [--store DIR]".into(),
+        )),
+    }
 }
 
 /// `shutdown`: stop a running server.
@@ -1327,6 +1421,73 @@ mod tests {
         let bye = run(&["shutdown", "--addr", &addr]).unwrap();
         assert!(bye.contains("\"shutting_down\":true"), "{bye}");
         handle.join().unwrap().unwrap();
+    }
+
+    /// `store fsck`/`repair`/`compact` against a real log: fsck gates
+    /// on cleanliness (non-zero exit when dirty), repair heals, compact
+    /// dedupes.
+    #[test]
+    fn store_verbs_fsck_repair_compact_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "bftbcast_cli_test_storeverbs_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap();
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        run(&["run", "--scenario", scn, "--store", store]).unwrap();
+
+        let ok = run(&["store", "fsck", "--store", store]).unwrap();
+        assert!(ok.contains("ok   "), "{ok}");
+        assert!(ok.contains("5 valid records"), "{ok}");
+
+        // Corrupt one byte mid-log: fsck fails, repair heals, fsck
+        // passes again with one record quarantined.
+        let log = dir.join("store.log");
+        let mut raw = std::fs::read(&log).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&log, &raw).unwrap();
+        let err = run(&["store", "fsck", "--store", store]).unwrap_err();
+        assert!(err.to_string().contains("FAIL"), "{err}");
+        assert!(err.to_string().contains("store repair"), "{err}");
+        let healed = run(&["store", "repair", "--store", store]).unwrap();
+        assert!(healed.contains("rewrote log"), "{healed}");
+        assert!(run(&["store", "fsck", "--store", store]).is_ok());
+
+        // Repair on a clean log is a no-op; compact still rewrites.
+        let noop = run(&["store", "repair", "--store", store]).unwrap();
+        assert!(noop.contains("nothing to do"), "{noop}");
+        let compacted = run(&["store", "compact", "--store", store]).unwrap();
+        assert!(compacted.contains("rewrote log"), "{compacted}");
+
+        // Bad verbs are named errors.
+        assert!(run(&["store"]).is_err());
+        assert!(run(&["store", "defrag", "--store", store]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_retry_flags_validate() {
+        // --queue 0 is rejected before any socket is bound.
+        let err = run(&["serve", "--queue", "0", "--addr", "127.0.0.1:0"]).unwrap_err();
+        assert!(err.to_string().contains("--queue"), "{err}");
+        // --retries 0 is rejected before the network is touched.
+        let err = run(&[
+            "results",
+            "job-0",
+            "--retries",
+            "0",
+            "--addr",
+            "127.0.0.1:1",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--retries"), "{err}");
+        // USAGE documents the new surface.
+        let usage = run(&["help"]).unwrap();
+        for needle in ["store      fsck|repair|compact", "--queue", "--retries"] {
+            assert!(usage.contains(needle), "{needle} missing from usage");
+        }
     }
 
     #[test]

@@ -1,9 +1,23 @@
 //! Client helpers for the JSON-lines protocol — used by the
 //! `bftbcast submit`/`status`/`results`/`stats`/`shutdown` CLI verbs
 //! and by tests.
+//!
+//! Every reply is parsed defensively: malformed JSON, missing fields,
+//! or a connection dropped mid-reply come back as typed [`io::Error`]s
+//! (`InvalidData`, `UnexpectedEof`) — wire data is never unwrapped.
+//!
+//! The `*_with` variants take a [`RetryPolicy`]: transient failures
+//! (connection refused/reset, a dropped reply, the server's explicit
+//! `"retryable":true` backpressure reply) are retried with exponential
+//! backoff plus seeded jitter. Retrying is *safe* here — not merely
+//! convenient — because the store is write-once and content-addressed:
+//! resubmitting a scenario whose first submit actually landed just
+//! produces a warm job with bit-identical rows, never a duplicate
+//! computation or a conflicting result.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 use bftbcast::json::{Json, Object};
 
@@ -31,7 +45,106 @@ pub fn request(addr: &str, line: &str) -> io::Result<Vec<String>> {
     Ok(lines)
 }
 
-/// Converts a `{"ok":false,"error":...}` reply into an [`io::Error`].
+/// How (and whether) transient request failures are retried.
+///
+/// Backoff for attempt `n` is `base_delay * 2^n` plus up to one
+/// `base_delay` of seeded jitter, so a burst of clients bounced by the
+/// same backpressure event does not re-arrive in lockstep — and a test
+/// replaying a seed sees the same schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub attempts: u32,
+    /// Backoff unit; doubled per attempt, plus jitter in `[0, base)`.
+    pub base_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms base — covers a server restart or a
+    /// momentarily full queue without stalling an interactive caller.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// One SplitMix64 step for the jitter stream (same mix the store's
+/// fault plans use — stable everywhere, no platform RNG).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether an error is worth retrying: transient transport failures
+/// plus the server's explicit retryable (backpressure) reply. Protocol
+/// rejections (`InvalidData`, plain `Other`) are permanent — retrying a
+/// scenario the server cannot parse only repeats the rejection.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock          // server said "retryable":true
+            | io::ErrorKind::ConnectionRefused // server restarting
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof     // reply dropped mid-stream
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// Runs `op` under `policy`: retryable failures back off and retry, the
+/// final (or first permanent) error propagates.
+///
+/// # Errors
+///
+/// The last error `op` returned.
+pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut jitter_state = policy.seed;
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if attempt + 1 < attempts && is_retryable(&e) => {
+                let base = policy.base_delay;
+                let backoff = base.saturating_mul(1 << attempt.min(16));
+                let jitter_unit = base.max(Duration::from_millis(1));
+                let jitter = Duration::from_nanos(
+                    splitmix(&mut jitter_state) % jitter_unit.as_nanos().max(1) as u64,
+                );
+                std::thread::sleep(backoff.saturating_add(jitter));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Converts a `{"ok":false,...}` reply into an [`io::Error`]: replies
+/// flagged `"retryable":true` (backpressure) map to [`WouldBlock`]
+/// (`io::ErrorKind`) so [`with_retry`] picks them up; other rejections
+/// are permanent.
+///
+/// [`WouldBlock`]: io::ErrorKind::WouldBlock
 fn check_ok(line: &str) -> io::Result<()> {
     let doc = Json::parse(line)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
@@ -43,10 +156,21 @@ fn check_ok(line: &str) -> io::Result<()> {
         .and_then(Json::as_str)
         .unwrap_or("server reported failure")
         .to_string();
+    if doc.get("retryable").and_then(Json::as_bool) == Some(true) {
+        return Err(io::Error::new(io::ErrorKind::WouldBlock, message));
+    }
     Err(io::Error::other(message))
 }
 
 fn single_line(mut lines: Vec<String>) -> io::Result<String> {
+    if lines.is_empty() {
+        // The connection closed before any reply arrived — the
+        // retryable shape (the server may have died mid-request).
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a reply arrived",
+        ));
+    }
     if lines.len() != 1 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -58,29 +182,69 @@ fn single_line(mut lines: Vec<String>) -> io::Result<String> {
     Ok(line)
 }
 
+/// Validates a streamed reply (`results`/`report`): pops the final
+/// line and requires it to be the `"done":true` trailer. An explicit
+/// `{"ok":false,...}` reply maps through [`check_ok`]; anything else —
+/// a row/figure line where the trailer should be, or an unparseable
+/// fragment — means the connection dropped mid-stream, which surfaces
+/// as a retryable [`UnexpectedEof`](io::ErrorKind::UnexpectedEof)
+/// rather than trusting a truncated result.
+fn take_trailer(lines: &mut Vec<String>) -> io::Result<String> {
+    let truncated = |detail: &str| io::Error::new(io::ErrorKind::UnexpectedEof, detail.to_string());
+    let Some(trailer) = lines.pop() else {
+        return Err(truncated("connection closed before a reply arrived"));
+    };
+    match Json::parse(&trailer) {
+        Err(_) => Err(truncated("reply truncated mid-line")),
+        Ok(doc) => {
+            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+                check_ok(&trailer)?;
+                unreachable!("check_ok errors on ok:false replies");
+            }
+            if doc.get("done").and_then(Json::as_bool) != Some(true) {
+                return Err(truncated("reply ended before its done trailer"));
+            }
+            Ok(trailer)
+        }
+    }
+}
+
 fn job_id(line: &str) -> io::Result<String> {
-    let doc = Json::parse(line).expect("validated by single_line");
+    let doc = Json::parse(line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
     doc.get("job")
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "reply lacks a job id"))
 }
 
-/// Submits a scenario document; returns the assigned job id.
+/// Submits a scenario document; returns the assigned job id. No
+/// retries — see [`submit_with`].
 ///
 /// # Errors
 ///
 /// Transport failures, or a server-side rejection (parse error,
-/// shutdown in progress).
+/// backpressure, shutdown in progress).
 pub fn submit(addr: &str, scenario: &str) -> io::Result<String> {
-    let line = single_line(request(
-        addr,
-        &Object::new()
-            .str("cmd", "submit")
-            .str("scenario", scenario)
-            .render(),
-    )?)?;
-    job_id(&line)
+    submit_with(addr, scenario, &RetryPolicy::none())
+}
+
+/// [`submit`] under a [`RetryPolicy`]. Idempotent: if a retried submit
+/// follows one that actually landed, the second job replays warm from
+/// the store with identical rows.
+///
+/// # Errors
+///
+/// As [`submit`], after the policy's attempts are exhausted.
+pub fn submit_with(addr: &str, scenario: &str, policy: &RetryPolicy) -> io::Result<String> {
+    let request_line = Object::new()
+        .str("cmd", "submit")
+        .str("scenario", scenario)
+        .render();
+    with_retry(policy, || {
+        let line = single_line(request(addr, &request_line)?)?;
+        job_id(&line)
+    })
 }
 
 /// Submits one inline spec (canonical JSON, one object — see
@@ -92,14 +256,24 @@ pub fn submit(addr: &str, scenario: &str) -> io::Result<String> {
 ///
 /// Transport failures, or a server-side rejection.
 pub fn submit_spec(addr: &str, spec_json: &str) -> io::Result<String> {
-    let line = single_line(request(
-        addr,
-        &Object::new()
-            .str("cmd", "submit")
-            .raw("spec", spec_json.trim())
-            .render(),
-    )?)?;
-    job_id(&line)
+    submit_spec_with(addr, spec_json, &RetryPolicy::none())
+}
+
+/// [`submit_spec`] under a [`RetryPolicy`] (idempotent, as
+/// [`submit_with`]).
+///
+/// # Errors
+///
+/// As [`submit_spec`], after the policy's attempts are exhausted.
+pub fn submit_spec_with(addr: &str, spec_json: &str, policy: &RetryPolicy) -> io::Result<String> {
+    let request_line = Object::new()
+        .str("cmd", "submit")
+        .raw("spec", spec_json.trim())
+        .render();
+    with_retry(policy, || {
+        let line = single_line(request(addr, &request_line)?)?;
+        job_id(&line)
+    })
 }
 
 /// One job's status line (verbatim JSON).
@@ -115,24 +289,35 @@ pub fn status(addr: &str, job: &str) -> io::Result<String> {
 }
 
 /// A job's result rows plus the summary trailer. Blocks until the job
-/// finishes (the server holds the reply for running jobs).
+/// finishes (the server holds the reply for running jobs). No retries
+/// — see [`results_with`].
 ///
 /// # Errors
 ///
 /// Transport failures, an unknown job, or a failed job.
 pub fn results(addr: &str, job: &str) -> io::Result<(Vec<String>, String)> {
-    let mut lines = request(
-        addr,
-        &Object::new().str("cmd", "results").str("job", job).render(),
-    )?;
-    let Some(trailer) = lines.pop() else {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "empty results reply",
-        ));
-    };
-    check_ok(&trailer)?;
-    Ok((lines, trailer))
+    results_with(addr, job, &RetryPolicy::none())
+}
+
+/// [`results`] under a [`RetryPolicy`]: a connection dropped mid-stream
+/// refetches the whole reply (rows are served from the job record, so
+/// a refetch is bit-identical, never partial-then-resumed).
+///
+/// # Errors
+///
+/// As [`results`], after the policy's attempts are exhausted. An
+/// unknown or failed job is permanent and does not retry.
+pub fn results_with(
+    addr: &str,
+    job: &str,
+    policy: &RetryPolicy,
+) -> io::Result<(Vec<String>, String)> {
+    let request_line = Object::new().str("cmd", "results").str("job", job).render();
+    with_retry(policy, || {
+        let mut lines = request(addr, &request_line)?;
+        let trailer = take_trailer(&mut lines)?;
+        Ok((lines, trailer))
+    })
 }
 
 /// Optional `report` request fields (absent fields keep the server's
@@ -174,13 +359,7 @@ impl ReportParams {
 
 fn report_reply(lines: Vec<String>) -> io::Result<(Vec<(String, String)>, String)> {
     let mut lines = lines;
-    let Some(trailer) = lines.pop() else {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "empty report reply",
-        ));
-    };
-    check_ok(&trailer)?;
+    let trailer = take_trailer(&mut lines)?;
     let mut figures = Vec::with_capacity(lines.len());
     for line in &lines {
         let doc = Json::parse(line)
@@ -215,8 +394,26 @@ pub fn report(
     scenario: &str,
     params: &ReportParams,
 ) -> io::Result<(Vec<(String, String)>, String)> {
-    let request_line = params.apply(Object::new().str("cmd", "report").str("scenario", scenario));
-    report_reply(request(addr, &request_line.render())?)
+    report_with(addr, scenario, params, &RetryPolicy::none())
+}
+
+/// [`report`] under a [`RetryPolicy`]: a dropped connection refetches
+/// the whole figure stream (warm from the store, so refetches are
+/// bit-identical).
+///
+/// # Errors
+///
+/// As [`report`], after the policy's attempts are exhausted.
+pub fn report_with(
+    addr: &str,
+    scenario: &str,
+    params: &ReportParams,
+    policy: &RetryPolicy,
+) -> io::Result<(Vec<(String, String)>, String)> {
+    let request_line = params
+        .apply(Object::new().str("cmd", "report").str("scenario", scenario))
+        .render();
+    with_retry(policy, || report_reply(request(addr, &request_line)?))
 }
 
 /// [`report`] for one inline spec (canonical JSON, one object).
@@ -229,12 +426,28 @@ pub fn report_spec(
     spec_json: &str,
     params: &ReportParams,
 ) -> io::Result<(Vec<(String, String)>, String)> {
-    let request_line = params.apply(
-        Object::new()
-            .str("cmd", "report")
-            .raw("spec", spec_json.trim()),
-    );
-    report_reply(request(addr, &request_line.render())?)
+    report_spec_with(addr, spec_json, params, &RetryPolicy::none())
+}
+
+/// [`report_spec`] under a [`RetryPolicy`] (as [`report_with`]).
+///
+/// # Errors
+///
+/// As [`report_spec`], after the policy's attempts are exhausted.
+pub fn report_spec_with(
+    addr: &str,
+    spec_json: &str,
+    params: &ReportParams,
+    policy: &RetryPolicy,
+) -> io::Result<(Vec<(String, String)>, String)> {
+    let request_line = params
+        .apply(
+            Object::new()
+                .str("cmd", "report")
+                .raw("spec", spec_json.trim()),
+        )
+        .render();
+    with_retry(policy, || report_reply(request(addr, &request_line)?))
 }
 
 /// The server's store/queue statistics line (verbatim JSON).
@@ -256,4 +469,116 @@ pub fn shutdown(addr: &str) -> io::Result<String> {
         addr,
         &Object::new().str("cmd", "shutdown").render(),
     )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base_delay: Duration::from_millis(1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn with_retry_retries_transient_errors_until_success() {
+        let mut calls = 0;
+        let out = with_retry(&fast_policy(4), || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "down"))
+            } else {
+                Ok(calls)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn with_retry_gives_up_after_the_attempt_budget() {
+        let mut calls = 0;
+        let err = with_retry(&fast_policy(3), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "queue full"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn with_retry_does_not_retry_permanent_errors() {
+        let mut calls = 0;
+        let err = with_retry(&fast_policy(5), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::InvalidData, "bad scenario"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "a rejection must not be replayed");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn retryable_replies_map_to_would_block() {
+        let err =
+            check_ok("{\"ok\":false,\"retryable\":true,\"error\":\"job queue full\"}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("queue full"));
+        let err = check_ok("{\"ok\":false,\"error\":\"scenario rejected\"}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn malformed_wire_data_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            check_ok("not json at all").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            job_id("{\"truncated\":").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            job_id("{\"ok\":true}").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            single_line(vec![]).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn truncated_streams_are_retryable_not_trusted() {
+        // A stream that ends on a row (no done trailer): the connection
+        // dropped mid-reply.
+        let mut rows = vec!["{\"scenario\":\"f2\",\"intake\":2065}".to_string()];
+        assert_eq!(
+            take_trailer(&mut rows).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // A stream that ends mid-line.
+        let mut torn = vec!["{\"ok\":true,\"done\":tr".to_string()];
+        assert_eq!(
+            take_trailer(&mut torn).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // A complete stream passes and yields its trailer.
+        let mut full = vec![
+            "{\"scenario\":\"f2\"}".to_string(),
+            "{\"ok\":true,\"done\":true,\"rows\":1}".to_string(),
+        ];
+        let trailer = take_trailer(&mut full).unwrap();
+        assert!(trailer.contains("\"done\":true"));
+        assert_eq!(full.len(), 1, "rows remain after the trailer pops");
+        // An explicit failure reply propagates as its own error.
+        let mut failed = vec!["{\"ok\":false,\"error\":\"job job-0 failed\"}".to_string()];
+        let err = take_trailer(&mut failed).unwrap_err();
+        assert!(err.to_string().contains("failed"));
+    }
 }

@@ -33,6 +33,21 @@
 //! come back as `{"ok":false,"error":"..."}`. The full grammar is
 //! documented in `docs/ARCHITECTURE.md` ("Service layer").
 //!
+//! # Robustness (PR 6)
+//!
+//! The job queue is bounded ([`ServeOptions::queue_cap`]); a submit
+//! past the cap answers `{"ok":false,"retryable":true,"error":"job
+//! queue full ..."}` instead of growing memory — the `retryable` flag
+//! is the server's contract that the same request may simply be sent
+//! again. Every connection carries a read *and* write deadline
+//! ([`ServeOptions::io_timeout`]), so a dead client mid-`results`
+//! stream cannot pin a thread. Shutdown drains the queue and fsyncs
+//! the store before the process exits. On the client side,
+//! [`client::RetryPolicy`] + the `*_with` helpers retry transient
+//! failures with exponential backoff and seeded jitter — safe because
+//! the store is write-once and content-addressed, so a duplicated
+//! submit replays warm with bit-identical rows.
+//!
 //! # Example
 //!
 //! ```
@@ -61,4 +76,4 @@ mod proto;
 mod service;
 
 pub use proto::{Request, Submission};
-pub use service::Server;
+pub use service::{ServeOptions, Server};

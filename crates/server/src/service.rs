@@ -58,9 +58,38 @@ struct State {
     shutdown: bool,
 }
 
+/// Tunables for a [`Server`], beyond the bind address and store.
+///
+/// The defaults are what `Server::bind` has always done plus the PR 6
+/// robustness bounds: a 64-job queue and a 60-second deadline on every
+/// connection read *and* write, so neither a silent client nor a dead
+/// one can pin a server thread indefinitely.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker-pool cap per batch, exactly like `run --scenario --jobs`
+    /// (`None` = one worker per available core).
+    pub jobs: Option<usize>,
+    /// Maximum *queued* (not yet running) jobs; a submit past the cap
+    /// gets an explicit retryable backpressure reply instead of growing
+    /// server memory without bound.
+    pub queue_cap: usize,
+    /// Read and write deadline applied to every connection stream.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            jobs: None,
+            queue_cap: 64,
+            io_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
 struct Shared {
     store: Arc<Store>,
-    jobs_bound: Option<usize>,
+    opts: ServeOptions,
     addr: SocketAddr,
     state: Mutex<State>,
     /// Signalled on every job/queue/shutdown transition.
@@ -84,7 +113,8 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Binds the service (not yet accepting — call [`Server::serve`]).
     /// `jobs` caps each batch's worker pool, exactly like
-    /// `run --scenario --jobs`.
+    /// `run --scenario --jobs`; everything else takes the
+    /// [`ServeOptions`] defaults.
     ///
     /// # Errors
     ///
@@ -94,10 +124,37 @@ impl Server {
         store: Arc<Store>,
         jobs: Option<usize>,
     ) -> io::Result<Server> {
-        if jobs == Some(0) {
+        Self::bind_with(
+            addr,
+            store,
+            ServeOptions {
+                jobs,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// [`Server::bind`] with every tunable exposed.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, `jobs == Some(0)`, or `queue_cap == 0`
+    /// (`InvalidInput`).
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        store: Arc<Store>,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
+        if opts.jobs == Some(0) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "--jobs: worker count must be at least 1",
+            ));
+        }
+        if opts.queue_cap == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--queue: job queue capacity must be at least 1",
             ));
         }
         let listener = TcpListener::bind(addr)?;
@@ -106,7 +163,7 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 store,
-                jobs_bound: jobs,
+                opts,
                 addr,
                 state: Mutex::new(State {
                     jobs: Vec::new(),
@@ -123,13 +180,16 @@ impl Server {
         self.shared.addr
     }
 
-    /// Accepts and serves connections until a `shutdown` request,
-    /// then drains the remaining queue and returns.
+    /// Accepts and serves connections until a `shutdown` request, then
+    /// drains the remaining queue, flushes the store to stable storage
+    /// (`fsync`), and returns — so a shutdown ack means every accepted
+    /// job's outcomes survive a host crash immediately after.
     ///
     /// # Errors
     ///
-    /// Fatal listener errors only; per-connection I/O failures are
-    /// contained to their connection thread.
+    /// Fatal listener errors or a failed final store flush;
+    /// per-connection I/O failures are contained to their connection
+    /// thread.
     pub fn serve(self) -> io::Result<()> {
         let worker = {
             let shared = Arc::clone(&self.shared);
@@ -145,7 +205,7 @@ impl Server {
             }
         }
         worker.join().expect("worker thread panicked");
-        Ok(())
+        self.shared.store.sync()
     }
 }
 
@@ -172,7 +232,7 @@ fn worker_loop(shared: &Shared) {
         let outcome = run_file_with(
             &file,
             &BatchOptions {
-                jobs: shared.jobs_bound,
+                jobs: shared.opts.jobs,
                 store: Some(&shared.store),
             },
         );
@@ -197,6 +257,17 @@ fn error_line(message: &str) -> String {
         .render()
 }
 
+/// An error the client may safely retry (transient server state, not a
+/// problem with the request itself). The client maps `retryable` onto
+/// its backoff policy.
+fn retryable_error_line(message: &str) -> String {
+    Object::new()
+        .bool("ok", false)
+        .bool("retryable", true)
+        .str("error", message)
+        .render()
+}
+
 /// Upper bound on one request line. Scenario documents are the only
 /// legitimately large payload and run to a few KB; 8 MiB leaves three
 /// orders of magnitude of headroom while keeping a hostile client from
@@ -205,9 +276,13 @@ const MAX_REQUEST_BYTES: u64 = 8 << 20;
 
 /// Reads the single request line, dispatches, writes the reply lines.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // A client that connects and never writes must not pin this thread
-    // forever; one minute is generous for a one-line request.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    // A client that connects and never writes — or stops reading while
+    // we stream `results`/`report` rows at it — must not pin this
+    // thread forever: deadline both directions. (Small replies never
+    // hit the write deadline; it fires when the socket buffer fills
+    // against a dead reader.)
+    let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
     let result: io::Result<()> = (|| {
         use std::io::Read as _;
         let mut reader = BufReader::new(stream.try_clone()?.take(MAX_REQUEST_BYTES));
@@ -255,6 +330,14 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
                     let mut st = shared.state.lock().expect("server lock");
                     if st.shutdown {
                         error_line("server is shutting down")
+                    } else if st.queue.len() >= shared.opts.queue_cap {
+                        // Explicit backpressure: bounded queue, and the
+                        // client is told the rejection is transient.
+                        retryable_error_line(&format!(
+                            "job queue full ({} queued, cap {})",
+                            st.queue.len(),
+                            shared.opts.queue_cap
+                        ))
                     } else {
                         let idx = st.jobs.len();
                         let id = format!("job-{idx}");
@@ -290,7 +373,7 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
                     &file,
                     &spec,
                     &BatchOptions {
-                        jobs: shared.jobs_bound,
+                        jobs: shared.opts.jobs,
                         store: Some(&shared.store),
                     },
                 )
@@ -547,6 +630,83 @@ mod tests {
     fn zero_jobs_bound_is_rejected_at_bind() {
         let err = Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), Some(0)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::new(Store::in_memory()),
+            ServeOptions {
+                queue_cap: 0,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// A full queue answers submits with an explicit, retryable
+    /// backpressure reply — and keeps serving once it drains.
+    ///
+    /// Deterministic setup: the test pre-claims the single-flight
+    /// in-flight marker for MINI's first sweep point, so the worker's
+    /// first job blocks inside the store (not on a timer) while we fill
+    /// the queue to its cap.
+    #[test]
+    fn full_queue_pushes_back_with_a_retryable_reply() {
+        let store = Arc::new(Store::in_memory());
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&store),
+            ServeOptions {
+                jobs: Some(1),
+                queue_cap: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let file = ScenarioFile::parse(MINI).unwrap();
+        let key = bftbcast::cache::point_key(file.engine, &file.points()[0], &file.probes);
+        let (blocked_tx, blocked_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Hold the marker, then *fail* the compute: publishes
+                // nothing, so the real worker recomputes the true value
+                // and the job's rows stay correct.
+                let _ = store.get_or_compute(key, || {
+                    blocked_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err::<Vec<u8>, _>("blocker released")
+                });
+            })
+        };
+        blocked_rx.recv().unwrap();
+
+        // job-0 runs (wedged inside the store); job-1 fills the queue.
+        let job0 = client::submit(&addr, MINI).unwrap();
+        let job1 = client::submit(&addr, MINI).unwrap();
+        // Wait until job-0 has actually been popped off the queue.
+        loop {
+            let status = client::status(&addr, &job0).unwrap();
+            if status.contains("\"state\":\"running\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = client::submit(&addr, MINI).unwrap_err();
+        assert!(err.to_string().contains("queue full"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "marked retryable");
+
+        release_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        let (rows0, _) = client::results(&addr, &job0).unwrap();
+        let (rows1, trailer1) = client::results(&addr, &job1).unwrap();
+        assert_eq!(rows0, rows1, "drained queue still computes right");
+        assert!(trailer1.contains("\"cache_hits\":2"), "{trailer1}");
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Seeded, deterministic fault injection for the store's I/O path.
+//!
+//! A [`FaultPlan`] is a reproducible schedule of storage failures: given
+//! the same seed and the same sequence of store operations, it injects
+//! the same faults at the same points, every time. That turns "what if
+//! the disk tears a write here?" from a flaky soak-test observation
+//! into an ordinary deterministic test case — the chaos suite
+//! (`tests/tests/chaos.rs`) asserts bit-identical recovery under fixed
+//! seeds, and a failing seed replays exactly.
+//!
+//! Four fault families, each with an independent per-mille rate:
+//!
+//! * **Torn writes** — a record append stops partway and the "process
+//!   crashes": a prefix of the record reaches disk, the call errors.
+//! * **Bit flips** — the append "succeeds" but one bit of the record is
+//!   silently flipped on disk. The in-memory index keeps the good
+//!   value; the corruption is only visible to a later replay or
+//!   [`fsck`](crate::maintenance::fsck), which the per-record checksum
+//!   lets them catch.
+//! * **ENOSPC** — the append fails cleanly before writing anything, as
+//!   a full disk would.
+//! * **Short reads** — a replay at open sees a truncated view of the
+//!   log, as a torn page cache or truncated download would produce.
+//!
+//! The decision stream is SplitMix64 over the seed, so plans are cheap,
+//! portable, and independent of platform RNG. Rates are per mille
+//! (0..=1000); the write-fault rates share one roll, so their sum must
+//! stay at or below 1000.
+//!
+//! ```
+//! use bftbcast_store::FaultPlan;
+//!
+//! let mut plan = FaultPlan::seeded(7).torn_writes(1000);
+//! // Every write faults at rate 1000‰ — and deterministically so:
+//! let a = format!("{:?}", plan.next_write(64));
+//! let b = format!("{:?}", FaultPlan::seeded(7).torn_writes(1000).next_write(64));
+//! assert_eq!(a, b);
+//! assert_eq!(plan.stats().torn_writes, 1);
+//! ```
+
+/// Counters of faults a plan has actually injected, by family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Appends that wrote a partial record and then failed.
+    pub torn_writes: u64,
+    /// Appends whose on-disk bytes were silently corrupted.
+    pub bit_flips: u64,
+    /// Appends failed cleanly with a no-space error.
+    pub no_space: u64,
+    /// Opens whose replay saw a truncated log.
+    pub short_reads: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all families.
+    pub fn total(&self) -> u64 {
+        self.torn_writes + self.bit_flips + self.no_space + self.short_reads
+    }
+}
+
+/// The fault (if any) a plan injects into one record append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the record intact.
+    None,
+    /// Write only the first `keep` bytes, then fail (crash mid-append).
+    Torn {
+        /// Bytes of the encoded record that reach disk.
+        keep: usize,
+    },
+    /// Write the whole record but flip `bit` of byte `offset` on disk.
+    Flip {
+        /// Byte offset within the encoded record.
+        offset: usize,
+        /// Bit index (0..8) within that byte.
+        bit: u8,
+    },
+    /// Fail cleanly before writing anything (disk full).
+    NoSpace,
+}
+
+/// A seeded, deterministic schedule of storage faults.
+///
+/// Construct with [`FaultPlan::seeded`], dial in rates with the builder
+/// methods, and hand the plan to
+/// [`Store::open_with_faults`](crate::Store::open_with_faults). All
+/// rates default to zero — a fresh plan injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    torn_per_mille: u16,
+    flip_per_mille: u16,
+    nospace_per_mille: u16,
+    short_read_per_mille: u16,
+    stats: FaultStats,
+}
+
+/// One SplitMix64 step: the standard 64-bit mix, stable everywhere.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with all rates zero, rolling SplitMix64 over `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            state: seed,
+            torn_per_mille: 0,
+            flip_per_mille: 0,
+            nospace_per_mille: 0,
+            short_read_per_mille: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn checked_write_rates(self) -> Self {
+        let sum = u32::from(self.torn_per_mille)
+            + u32::from(self.flip_per_mille)
+            + u32::from(self.nospace_per_mille);
+        assert!(
+            sum <= 1000,
+            "write-fault rates share one roll; torn+flip+nospace must be <= 1000 per mille (got {sum})"
+        );
+        self
+    }
+
+    /// Sets the torn-write rate (per mille of appends).
+    #[must_use]
+    pub fn torn_writes(mut self, per_mille: u16) -> Self {
+        self.torn_per_mille = per_mille.min(1000);
+        self.checked_write_rates()
+    }
+
+    /// Sets the silent bit-flip rate (per mille of appends).
+    #[must_use]
+    pub fn bit_flips(mut self, per_mille: u16) -> Self {
+        self.flip_per_mille = per_mille.min(1000);
+        self.checked_write_rates()
+    }
+
+    /// Sets the no-space rate (per mille of appends).
+    #[must_use]
+    pub fn no_space(mut self, per_mille: u16) -> Self {
+        self.nospace_per_mille = per_mille.min(1000);
+        self.checked_write_rates()
+    }
+
+    /// Sets the short-read rate (per mille of opens).
+    #[must_use]
+    pub fn short_reads(mut self, per_mille: u16) -> Self {
+        self.short_read_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// What this plan has injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fault for one record append of `record_len` encoded
+    /// bytes. One roll picks the family; extra rolls pick offsets, so
+    /// the decision stream is a pure function of the seed and the call
+    /// sequence.
+    pub fn next_write(&mut self, record_len: usize) -> WriteFault {
+        let roll = (splitmix(&mut self.state) % 1000) as u16;
+        let torn_end = self.torn_per_mille;
+        let flip_end = torn_end + self.flip_per_mille;
+        let nospace_end = flip_end + self.nospace_per_mille;
+        if roll < torn_end && record_len > 0 {
+            self.stats.torn_writes += 1;
+            WriteFault::Torn {
+                keep: (splitmix(&mut self.state) as usize) % record_len,
+            }
+        } else if roll < flip_end && record_len > 0 {
+            self.stats.bit_flips += 1;
+            WriteFault::Flip {
+                offset: (splitmix(&mut self.state) as usize) % record_len,
+                bit: (splitmix(&mut self.state) % 8) as u8,
+            }
+        } else if roll < nospace_end {
+            self.stats.no_space += 1;
+            WriteFault::NoSpace
+        } else {
+            WriteFault::None
+        }
+    }
+
+    /// Decides the fault for one log replay of `log_len` bytes:
+    /// `Some(keep)` delivers only the first `keep` bytes (the rest read
+    /// as EOF), `None` reads faithfully.
+    pub fn next_read(&mut self, log_len: usize) -> Option<usize> {
+        let roll = (splitmix(&mut self.state) % 1000) as u16;
+        if roll < self.short_read_per_mille {
+            self.stats.short_reads += 1;
+            Some((splitmix(&mut self.state) as usize) % (log_len + 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::seeded(42)
+            .torn_writes(300)
+            .bit_flips(300)
+            .no_space(300);
+        let mut b = FaultPlan::seeded(42)
+            .torn_writes(300)
+            .bit_flips(300)
+            .no_space(300);
+        for len in 1..200 {
+            assert_eq!(a.next_write(len), b.next_write(len));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "rates this high must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::seeded(1).torn_writes(500);
+        let mut b = FaultPlan::seeded(2).torn_writes(500);
+        let seq_a: Vec<WriteFault> = (0..64).map(|_| a.next_write(100)).collect();
+        let seq_b: Vec<WriteFault> = (0..64).map(|_| b.next_write(100)).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut plan = FaultPlan::seeded(9);
+        for len in 1..100 {
+            assert_eq!(plan.next_write(len), WriteFault::None);
+            assert_eq!(plan.next_read(len), None);
+        }
+        assert_eq!(plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn faults_stay_in_bounds() {
+        let mut plan = FaultPlan::seeded(3)
+            .torn_writes(400)
+            .bit_flips(400)
+            .short_reads(1000);
+        for len in 1..300 {
+            match plan.next_write(len) {
+                WriteFault::Torn { keep } => assert!(keep < len),
+                WriteFault::Flip { offset, bit } => {
+                    assert!(offset < len);
+                    assert!(bit < 8);
+                }
+                WriteFault::None | WriteFault::NoSpace => {}
+            }
+            let keep = plan.next_read(len).expect("rate 1000 always fires");
+            assert!(keep <= len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per mille")]
+    fn overcommitted_write_rates_panic() {
+        let _ = FaultPlan::seeded(0).torn_writes(600).bit_flips(600);
+    }
+}

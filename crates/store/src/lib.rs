@@ -23,6 +23,16 @@
 //!   single-flight [`Store::get_or_compute`] so concurrent requests
 //!   for the same key compute it exactly once.
 //!
+//! Two more modules harden that core (PR 6):
+//!
+//! * [`fault`] — [`FaultPlan`], a seeded deterministic schedule of
+//!   storage faults (torn writes, bit flips, ENOSPC, short reads)
+//!   injected behind the log's I/O via [`Store::open_with_faults`], so
+//!   every crash-recovery scenario replays exactly from a seed.
+//! * [`maintenance`] — offline [`fsck`] / [`repair`] / [`compact`]
+//!   over the same checksummed scan replay uses, for operators (the
+//!   `bftbcast store` CLI verbs) and the chaos suite.
+//!
 //! ```
 //! use bftbcast_store::{Record, Store};
 //!
@@ -44,7 +54,11 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+pub mod fault;
 pub mod log;
+pub mod maintenance;
 
 pub use canon::{fnv1a, Record};
-pub use log::{Store, StoreStats};
+pub use fault::{FaultPlan, FaultStats, WriteFault};
+pub use log::{RecoveryReport, Store, StoreStats};
+pub use maintenance::{compact, fsck, fsck_report, repair, FsckReport, RepairReport};

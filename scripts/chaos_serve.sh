@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Chaos test for the serve/store path, against the release binary:
+# crash the server with SIGKILL mid-life, mangle the persisted log with
+# seed-derived garbage, and assert the recovery story end to end —
+# `store fsck` detects the damage, `store repair` heals it, a restarted
+# server replays the f2 sweep 100% warm with bit-identical rows.
+#
+# Usage: scripts/chaos_serve.sh [path-to-bftbcast-binary]
+# (run from the repo root; CI passes target/release/bftbcast)
+set -euo pipefail
+
+BIN=${1:-target/release/bftbcast}
+STORE=$(mktemp -d)
+LOG=$(mktemp)
+SERVER_PID=""
+SCRATCH=()
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$STORE" "$LOG" "${SCRATCH[@]:-}"
+}
+trap cleanup EXIT INT TERM
+
+scratch() { local f; f=$(mktemp); SCRATCH+=("$f"); echo "$f"; }
+job_id() { sed -n 's/.*"job":"\([^"]*\)".*/\1/p'; }
+expect() { # expect <haystack-file> <needle>...
+  local file=$1; shift
+  for needle in "$@"; do
+    grep -qF "$needle" "$file" || { echo "MISSING $needle in:"; cat "$file"; exit 1; }
+  done
+}
+
+start_server() {
+  : >"$LOG"
+  "$BIN" serve --addr 127.0.0.1:0 --store "$STORE" >"$LOG" &
+  SERVER_PID=$!
+  for _ in $(seq 100); do
+    grep -q '^listening on ' "$LOG" && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^listening on //p' "$LOG" | head -n1)
+  [ -n "$ADDR" ] || { echo "server never announced its address"; cat "$LOG"; exit 1; }
+}
+
+# Cold run: compute the Figure 2 goldens once and keep the rows as the
+# oracle every post-chaos replay must match byte for byte.
+start_server
+echo "server up on $ADDR (store: $STORE)"
+JOB=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
+GOLDEN=$(scratch); "$BIN" results "$JOB" --addr "$ADDR" >"$GOLDEN"
+expect "$GOLDEN" '"intake":2065' '"intake":1947' '"tally_wrong":947' \
+                 '"accepted_true":84' '"complete":false'
+
+for SEED in C0FFEE DECADE 0005EED5; do
+  echo "--- chaos round, seed $SEED ---"
+
+  # Crash: SIGKILL, no shutdown handshake, no fsync courtesy.
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+
+  # Mangle the log tail with seed-derived garbage (deterministic per
+  # round: the seed string repeated to a seed-dependent length).
+  GARBAGE_LEN=$(( 16 + 16#$SEED % 48 ))
+  printf "garbage-%s-" "$SEED" | head -c "$GARBAGE_LEN" \
+    >>"$STORE/store.log"
+
+  # fsck must detect the damage (nonzero exit) and repair must heal it.
+  if "$BIN" store fsck --store "$STORE" >/dev/null 2>&1; then
+    echo "fsck missed injected corruption (seed $SEED)"; exit 1
+  fi
+  REPAIR=$(scratch); "$BIN" store repair --store "$STORE" >"$REPAIR"
+  expect "$REPAIR" 'rewrote log'
+  "$BIN" store fsck --store "$STORE" >/dev/null
+
+  # Restart + resubmit: the healed store replays 100% warm with rows
+  # bit-identical to the cold run.
+  start_server
+  JOB=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
+  ROWS=$(scratch); "$BIN" results "$JOB" --addr "$ADDR" >"$ROWS"
+  cmp -s "$GOLDEN" "$ROWS" || { echo "post-repair rows differ (seed $SEED)"; diff "$GOLDEN" "$ROWS"; exit 1; }
+  STATUS=$(scratch); "$BIN" status "$JOB" --addr "$ADDR" >"$STATUS"
+  expect "$STATUS" '"state":"done"' '"cache_hits":1' '"cache_misses":0'
+done
+
+"$BIN" shutdown --addr "$ADDR" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+"$BIN" store fsck --store "$STORE"
+echo "chaos serve OK"

@@ -3,6 +3,7 @@
 # ephemeral port, submit scenarios/f2.scn, assert the Figure 2 goldens
 # (2065 / 1947 / 947, stall 84) from RESULTS, resubmit, and assert the
 # warm job reports all cache hits (hits == points, misses == 0).
+# Finishes with `store fsck` on the persisted log.
 #
 # Usage: scripts/smoke_serve.sh [path-to-bftbcast-binary]
 # (run from the repo root; CI passes target/release/bftbcast)
@@ -11,7 +12,20 @@ set -euo pipefail
 BIN=${1:-target/release/bftbcast}
 STORE=$(mktemp -d)
 LOG=$(mktemp)
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$STORE" "$LOG"' EXIT
+SERVER_PID=""
+SCRATCH=()
+
+# Trap-based cleanup: whatever step fails (or signal arrives), the
+# background serve process is killed and the temp files removed — a
+# red CI run must never leak a listener.
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$STORE" "$LOG" "${SCRATCH[@]:-}"
+}
+trap cleanup EXIT INT TERM
 
 "$BIN" serve --addr 127.0.0.1:0 --store "$STORE" >"$LOG" &
 SERVER_PID=$!
@@ -33,26 +47,30 @@ expect() { # expect <haystack-file> <needle>...
     grep -qF "$needle" "$file" || { echo "MISSING $needle in:"; cat "$file"; exit 1; }
   done
 }
+scratch() { local f; f=$(mktemp); SCRATCH+=("$f"); echo "$f"; }
 
 # Cold submit: the Figure 2 goldens, bit-exact.
 JOB=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
 echo "cold job: $JOB"
-ROWS=$(mktemp); "$BIN" results "$JOB" --addr "$ADDR" >"$ROWS"
+ROWS=$(scratch); "$BIN" results "$JOB" --addr "$ADDR" >"$ROWS"
 expect "$ROWS" '"intake":2065' '"intake":1947' '"tally_wrong":947' \
                '"accepted_true":84' '"complete":false'
 
 # Warm resubmit: zero engine runs.
 JOB2=$("$BIN" submit scenarios/f2.scn --addr "$ADDR" | job_id)
 echo "warm job: $JOB2"
-ROWS2=$(mktemp); "$BIN" results "$JOB2" --addr "$ADDR" >"$ROWS2"
+ROWS2=$(scratch); "$BIN" results "$JOB2" --addr "$ADDR" >"$ROWS2"
 cmp -s "$ROWS" "$ROWS2" || { echo "warm rows differ from cold rows"; diff "$ROWS" "$ROWS2"; exit 1; }
-STATUS2=$(mktemp); "$BIN" status "$JOB2" --addr "$ADDR" >"$STATUS2"
+STATUS2=$(scratch); "$BIN" status "$JOB2" --addr "$ADDR" >"$STATUS2"
 expect "$STATUS2" '"state":"done"' '"cache_hits":1' '"cache_misses":0'
 
-STATS=$(mktemp); "$BIN" stats --addr "$ADDR" >"$STATS"
+STATS=$(scratch); "$BIN" stats --addr "$ADDR" >"$STATS"
 expect "$STATS" '"store_entries":1' '"store_hits":1' '"jobs_done":2'
 
 "$BIN" shutdown --addr "$ADDR" >/dev/null
 wait "$SERVER_PID"
-rm -f "$ROWS" "$ROWS2" "$STATUS2" "$STATS"
+SERVER_PID=""
+
+# The drained, fsynced store verifies clean.
+"$BIN" store fsck --store "$STORE"
 echo "serve smoke OK"

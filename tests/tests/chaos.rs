@@ -1,0 +1,303 @@
+//! The chaos harness: seeded end-to-end fault injection against the
+//! serve/store path — the acceptance gate for PR 6.
+//!
+//! Every test here runs under multiple fixed fault-plan seeds and
+//! asserts the one invariant the robustness layer promises: **every
+//! injected fault yields either a typed error or bit-identical
+//! goldens — never a panic, never a wrong result.**
+//!
+//! The scenarios:
+//!
+//! * crash the server mid-life (abandon it without shutdown, torn
+//!   bytes on the log tail), restart on the same store, resubmit —
+//!   the Figure 2 goldens (2065 / 1947 / 947, stall 84) come back
+//!   bit-identically and 100% warm (zero engine runs);
+//! * corrupt the log with seeded bit flips — `fsck` detects every
+//!   flipped record, `repair` heals, recomputation reproduces the
+//!   identical bytes;
+//! * drop connections mid-request and mid-reply — the server keeps
+//!   serving, the client sees typed errors, a retried fetch is
+//!   bit-identical;
+//! * inject ENOSPC and torn writes under live computes — callers get
+//!   the right values (typed errors at worst), and every record a
+//!   reopen recovers verifies.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use bftbcast::json::Json;
+use bftbcast_server::{client, Server};
+use bftbcast_store::{fsck, fsck_report, repair, FaultPlan, Store};
+
+/// The fixed fault-plan seeds the suite (and the CI chaos job) runs
+/// under — three distinct schedules, per the acceptance criteria.
+const SEEDS: [u64; 3] = [0xC0FFEE, 0xDECADE, 0x0005_EED5];
+
+fn read_scn(rel: &str) -> String {
+    let path = format!("{}/../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn temp_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bftbcast-chaos-{tag}-{seed:x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(store: Arc<Store>) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", store, None).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.serve());
+    (addr, handle)
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    Json::parse(line)
+        .unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"))
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no u64 {key:?} in {line}"))
+}
+
+fn assert_f2_goldens(rows: &[String]) {
+    assert_eq!(rows.len(), 1, "f2 is a single point");
+    for needle in [
+        "\"intake\":2065",
+        "\"intake\":1947",
+        "\"tally_wrong\":947",
+        "\"accepted_true\":84",
+        "\"complete\":false",
+    ] {
+        assert!(rows[0].contains(needle), "{needle} missing:\n{}", rows[0]);
+    }
+}
+
+/// One SplitMix64 step — the same deterministic stream the fault plans
+/// use, here generating per-seed garbage for crash tails.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The acceptance criterion, verbatim: injected crash + restart +
+/// resubmit reproduces the f2 goldens with 100% warm-cache hits, under
+/// every seed.
+#[test]
+fn crash_restart_resubmit_reproduces_f2_goldens_warm() {
+    let f2 = read_scn("scenarios/f2.scn");
+    for seed in SEEDS {
+        let dir = temp_dir("crash", seed);
+
+        // Life 1: compute f2 cold. The append lands (and flushes) as
+        // part of the compute, *before* any orderly shutdown.
+        let store = Arc::new(Store::open(&dir).expect("open store"));
+        let (addr, _abandoned) = start(Arc::clone(&store));
+        let job = client::submit(&addr, &f2).expect("cold submit");
+        let (cold_rows, _) = client::results(&addr, &job).expect("cold results");
+        assert_f2_goldens(&cold_rows);
+
+        // Crash: no shutdown, no drain, no final fsync — the serve
+        // thread is simply abandoned. Worse, the "crash" tears a
+        // partial append onto the log tail (seeded garbage, so each
+        // seed exercises a different tear).
+        let mut state = seed;
+        let tail_len = 1 + (splitmix(&mut state) as usize % 40);
+        let garbage: Vec<u8> = (0..tail_len)
+            .map(|_| (splitmix(&mut state) % 256) as u8)
+            .collect();
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("store.log"))
+            .expect("open log for tearing");
+        log.write_all(&garbage).expect("tear the tail");
+        drop(log);
+
+        // Life 2: restart on the same directory. Recovery trims (or
+        // quarantines) the torn tail; the f2 record survives.
+        let store2 = Arc::new(Store::open(&dir).expect("reopen after crash"));
+        assert!(
+            !store2.recovery().is_clean(),
+            "seed {seed:#x}: the torn tail must be visible to recovery"
+        );
+        assert_eq!(store2.len(), 1, "the f2 outcome survived the crash");
+        let (addr2, handle2) = start(Arc::clone(&store2));
+        let job2 = client::submit(&addr2, &f2).expect("warm resubmit");
+        let (warm_rows, _) = client::results(&addr2, &job2).expect("warm results");
+        assert_eq!(
+            warm_rows, cold_rows,
+            "seed {seed:#x}: rows not bit-identical"
+        );
+        let status = client::status(&addr2, &job2).expect("status");
+        assert_eq!(field_u64(&status, "cache_hits"), 1, "{status}");
+        assert_eq!(field_u64(&status, "cache_misses"), 0, "100% warm: {status}");
+
+        client::shutdown(&addr2).expect("shutdown");
+        handle2.join().unwrap().unwrap();
+        // After the drain + fsync, the log is clean again.
+        assert!(fsck(&dir).is_ok(), "seed {seed:#x}: post-shutdown fsck");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Seeded bit flips: `fsck` detects exactly the corrupted records,
+/// `repair` heals the log, and recomputing the lost keys reproduces
+/// bit-identical values.
+#[test]
+fn fsck_detects_and_repair_heals_every_injected_flip() {
+    let total = 32u64;
+    let value_of = |k: u64| format!("outcome-{k:04}").repeat(4).into_bytes();
+    for seed in SEEDS {
+        let dir = temp_dir("flips", seed);
+        let flips = {
+            let store =
+                Store::open_with_faults(&dir, FaultPlan::seeded(seed).bit_flips(250)).unwrap();
+            for k in 0..total {
+                let (v, _) = store
+                    .get_or_compute(k, || Ok::<_, std::io::Error>(value_of(k)))
+                    .expect("flips are silent: the caller sees success");
+                assert_eq!(v, value_of(k), "seed {seed:#x}: caller got wrong bytes");
+            }
+            store.fault_stats().unwrap().bit_flips
+        };
+        assert!(flips > 0, "seed {seed:#x}: rate 250\u{2030} must fire");
+
+        // fsck detects every injected corruption...
+        let report = fsck_report(&dir).unwrap();
+        assert_eq!(
+            report.valid_records as u64,
+            total - flips,
+            "seed {seed:#x}: fsck must count exactly the unflipped records"
+        );
+        assert!(fsck(&dir).is_err(), "seed {seed:#x}: dirty log fails fsck");
+
+        // ...which repair then heals.
+        let healed = repair(&dir).unwrap();
+        assert!(healed.rewritten);
+        assert_eq!(healed.kept_records as u64, total - flips);
+        assert!(fsck(&dir).is_ok(), "seed {seed:#x}: repaired log is clean");
+
+        // Recomputing the quarantined keys reproduces identical bytes,
+        // and every surviving record already verifies.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.recovery().is_clean());
+        for k in 0..total {
+            let (v, _) = store
+                .get_or_compute(k, || Ok::<_, std::io::Error>(value_of(k)))
+                .unwrap();
+            assert_eq!(v, value_of(k), "seed {seed:#x}: wrong value after repair");
+        }
+        assert_eq!(store.len() as u64, total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Connections dropped mid-request and mid-reply: the server keeps
+/// serving, and a retried fetch returns the identical rows.
+#[test]
+fn dropped_connections_never_take_down_the_server_or_corrupt_results() {
+    let f2 = read_scn("scenarios/f2.scn");
+    let store = Arc::new(Store::in_memory());
+    let (addr, handle) = start(Arc::clone(&store));
+    let job = client::submit(&addr, &f2).expect("cold submit");
+    let (rows, _) = client::results(&addr, &job).expect("cold results");
+    assert_f2_goldens(&rows);
+
+    for seed in SEEDS {
+        // Mid-request drop: write half a submit line, hang up.
+        let mut half = std::net::TcpStream::connect(&addr).unwrap();
+        let cut = 1 + (seed as usize % 20);
+        half.write_all(&format!("{{\"cmd\":\"submit\",\"scenario\":\"{f2}\"}}").as_bytes()[..cut])
+            .unwrap();
+        drop(half);
+
+        // Mid-reply drop: request results, read nothing, hang up while
+        // the server is writing rows at us.
+        let mut gone = std::net::TcpStream::connect(&addr).unwrap();
+        gone.write_all(format!("{{\"cmd\":\"results\",\"job\":\"{job}\"}}\n").as_bytes())
+            .unwrap();
+        drop(gone);
+
+        // The server survives both and still serves correct, identical
+        // results; a retrying client sees rows, not fragments.
+        let (again, _) = client::results_with(&addr, &job, &client::RetryPolicy::default())
+            .expect("results after drops");
+        assert_eq!(again, rows, "seed {seed:#x}: rows drifted after drops");
+    }
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(field_u64(&stats, "jobs_done"), 1, "{stats}");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// ENOSPC and torn writes under live computes: callers always get the
+/// right value (the entry degrades to memory-only), nothing panics,
+/// and every record a reopen recovers verifies against its checksum.
+#[test]
+fn write_faults_degrade_to_typed_errors_never_wrong_results() {
+    let total = 48u64;
+    let value_of = |k: u64| k.to_le_bytes().repeat(9);
+    for seed in SEEDS {
+        let dir = temp_dir("writes", seed);
+        let injected = {
+            let plan = FaultPlan::seeded(seed).torn_writes(200).no_space(200);
+            let store = Store::open_with_faults(&dir, plan).unwrap();
+            for k in 0..total {
+                // get_or_compute absorbs append failures (memory-only
+                // entry); a direct put surfaces them as typed errors.
+                let (v, _) = store
+                    .get_or_compute(k, || Ok::<_, std::io::Error>(value_of(k)))
+                    .expect("compute result is never lost to an append fault");
+                assert_eq!(v, value_of(k));
+            }
+            let put_dir = temp_dir("writes-put", seed);
+            let err = Store::open_with_faults(&put_dir, FaultPlan::seeded(seed).no_space(1000))
+                .unwrap()
+                .put(0, b"doomed")
+                .expect_err("a pure put under ENOSPC errors");
+            assert!(err.to_string().contains("no space"), "{err}");
+            std::fs::remove_dir_all(&put_dir).ok();
+            let stats = store.fault_stats().unwrap();
+            assert!(stats.torn_writes + stats.no_space > 0, "seed {seed:#x}");
+            stats.torn_writes + stats.no_space
+        };
+
+        // Reopen faithfully: the faulted appends are absent, everything
+        // recovered verifies, and re-adding the missing keys works.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len() as u64, total - injected);
+        // Torn prefixes buried under later appends are quarantined in
+        // place (recovery skips them; only repair removes them).
+        let quarantined = store.recovery().quarantined_spans > 0;
+        for k in 0..total {
+            if let Some(v) = store.get(k) {
+                assert_eq!(v, value_of(k), "seed {seed:#x}: corrupt record served");
+            } else {
+                assert!(store.put(k, &value_of(k)).unwrap());
+            }
+        }
+        assert_eq!(store.len() as u64, total);
+        drop(store);
+        if quarantined {
+            assert!(
+                fsck(&dir).is_err(),
+                "seed {seed:#x}: fsck must flag the spans"
+            );
+            assert!(repair(&dir).unwrap().rewritten);
+        }
+        assert!(
+            fsck(&dir).is_ok(),
+            "seed {seed:#x}: backfilled log verifies"
+        );
+        // The repaired, backfilled store serves every key.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.recovery().is_clean());
+        assert_eq!(store.len() as u64, total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
