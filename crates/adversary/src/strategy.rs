@@ -12,10 +12,62 @@
 //! against one copy transmitted by `s` corrupts that copy's delivery at
 //! **every** node in `N(b) ∩ N(s)`; distinct collisions against the same
 //! sender consume distinct copies.
+//!
+//! Planning cost is proportional to the wave's *activity* (senders ×
+//! neighborhood, threatened targets), not to the grid: the strategies
+//! keep epoch-stamped per-node scratch arrays (cleared in O(1) by
+//! bumping the epoch) and run the doomed-set fixpoint as a chaotic
+//! worklist iteration, so million-cell grids pay only for the frontier
+//! the wave actually touches.
 
 use bftbcast_net::{Grid, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A dense `u64`-per-node map whose clear is O(1): an entry is valid
+/// only while its stamp equals the current epoch, so `begin` invalidates
+/// everything by bumping the epoch instead of zeroing `n` words. The
+/// backing vectors are allocated once and reused across waves.
+#[derive(Debug, Clone, Default)]
+struct StampedVec {
+    epoch: u64,
+    stamp: Vec<u64>,
+    value: Vec<u64>,
+}
+
+impl StampedVec {
+    /// Starts a new epoch over `n` nodes; every entry reads as unset.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp = vec![0; n];
+            self.value = vec![0; n];
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn is_set(&self, u: NodeId) -> bool {
+        self.stamp[u] == self.epoch
+    }
+
+    fn get(&self, u: NodeId) -> u64 {
+        if self.is_set(u) {
+            self.value[u]
+        } else {
+            0
+        }
+    }
+
+    fn set(&mut self, u: NodeId, v: u64) {
+        self.stamp[u] = self.epoch;
+        self.value[u] = v;
+    }
+
+    fn add(&mut self, u: NodeId, v: u64) {
+        let cur = self.get(u);
+        self.set(u, cur.saturating_add(v));
+    }
+}
 
 /// Everything the adversary can see when planning a wave (it is
 /// omniscient about protocol state — the worst case).
@@ -29,7 +81,9 @@ pub struct WaveView<'a> {
     pub transmissions: &'a [(NodeId, u64)],
     /// Per node: has it accepted `Vtrue` already?
     pub accepted_true: &'a [bool],
-    /// Per node: correct copies delivered so far.
+    /// Per node: correct copies delivered so far. For undecided good
+    /// nodes this is below `threshold` — the engine accepts the moment
+    /// a tally reaches it — and strategies may rely on that invariant.
     pub tallies_true: &'a [u64],
     /// Copies of one value a node needs in order to accept it.
     pub threshold: u64,
@@ -142,9 +196,42 @@ impl CorruptionStrategy for Passive {
 /// fewest-supplier targets first — the "corner nodes" the paper
 /// identifies as the weakest under attack (§2) — holding the cheap
 /// victims longest when budget is scarce (EXP-X2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Equality compares the ordering heuristic only; the reusable scratch
+/// buffers are transparent planning state.
+#[derive(Debug, Clone, Default)]
 pub struct GreedyFrontier {
     order: TargetOrder,
+    scratch: GreedyScratch,
+}
+
+impl PartialEq for GreedyFrontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+
+impl Eq for GreedyFrontier {}
+
+/// Per-wave scratch, reused across `plan` calls so steady-state
+/// planning allocates nothing proportional to the grid.
+#[derive(Debug, Clone, Default)]
+struct GreedyScratch {
+    /// Correct copies arriving this wave, per undecided good node.
+    incoming: StampedVec,
+    /// Total attack budget reachable from a node (lazily computed).
+    capacity: StampedVec,
+    /// Copies of each sender already collided by this plan.
+    collided: StampedVec,
+    /// Copies each sender transmits this wave (stamp = "is a sender").
+    sent: StampedVec,
+    /// Budget units each attacker already spends in this plan.
+    spent: StampedVec,
+    /// Membership in the doomed set (stamp = promoted this wave).
+    promoted: StampedVec,
+    /// Nodes with incoming > 0 this wave.
+    touched: Vec<NodeId>,
+    /// Chaotic-iteration worklist for the doomed fixpoint.
+    queue: Vec<NodeId>,
 }
 
 /// Target-processing order for [`GreedyFrontier`].
@@ -164,6 +251,7 @@ impl GreedyFrontier {
     pub fn forward() -> Self {
         GreedyFrontier {
             order: TargetOrder::Forward,
+            scratch: GreedyScratch::default(),
         }
     }
 
@@ -171,6 +259,7 @@ impl GreedyFrontier {
     pub fn corners() -> Self {
         GreedyFrontier {
             order: TargetOrder::Corners,
+            scratch: GreedyScratch::default(),
         }
     }
 
@@ -193,24 +282,46 @@ impl CorruptionStrategy for GreedyFrontier {
         let topo = view.topology;
         let grid = topo.grid();
         let n = topo.node_count();
+        let order = self.order;
+        let s = &mut self.scratch;
+        s.incoming.begin(n);
+        s.capacity.begin(n);
+        s.collided.begin(n);
+        s.sent.begin(n);
+        s.spent.begin(n);
+        s.promoted.begin(n);
+        s.touched.clear();
+        s.queue.clear();
 
-        // Incoming correct copies this wave, per undecided good node.
-        let mut incoming = vec![0u64; n];
-        for &(s, copies) in view.transmissions {
-            for &u in topo.neighbors_of(s) {
+        // Incoming correct copies this wave, per undecided good node —
+        // accumulated over the senders' neighborhoods only, so the cost
+        // is proportional to the wave, not the grid.
+        for &(tx, copies) in view.transmissions {
+            s.sent.set(tx, copies);
+            for &u in topo.neighbors_of(tx) {
                 if view.is_good[u] && !view.accepted_true[u] {
-                    incoming[u] += copies;
+                    if !s.incoming.is_set(u) {
+                        s.touched.push(u);
+                    }
+                    s.incoming.add(u, copies);
                 }
             }
         }
 
         // Targets at risk of accepting this wave: cheapest deficit first
         // (default), or coordinate order (forward variant, so collision
-        // side-effects land on the still-unprocessed targets).
-        let mut targets: Vec<(u64, NodeId)> = (0..n)
-            .filter(|&u| view.is_good[u] && !view.accepted_true[u] && incoming[u] > 0)
-            .filter_map(|u| {
-                let total = view.tallies_true[u] + incoming[u];
+        // side-effects land on the still-unprocessed targets). Each sort
+        // key is unique per node id, so the order is independent of the
+        // order `touched` was filled in.
+        let mut targets: Vec<(u64, NodeId)> = s
+            .touched
+            .iter()
+            .filter_map(|&u| {
+                let inc = s.incoming.get(u);
+                if inc == 0 {
+                    return None;
+                }
+                let total = view.tallies_true[u] + inc;
                 if total >= view.threshold {
                     Some((total - (view.threshold - 1), u))
                 } else {
@@ -218,7 +329,7 @@ impl CorruptionStrategy for GreedyFrontier {
                 }
             })
             .collect();
-        match self.order {
+        match order {
             TargetOrder::Forward => targets.sort_unstable_by_key(|&(_, u)| u),
             TargetOrder::Nearest => targets.sort_unstable(),
             TargetOrder::Corners => {
@@ -239,65 +350,66 @@ impl CorruptionStrategy for GreedyFrontier {
         // Doomed-set fixpoint: a target that will cross the threshold
         // *eventually* even if every remaining budget unit in its window
         // could be spent against it (per-receiver optimism for the
-        // adversary) is doomed — spending on it is pure waste. Compute
-        // the set of unavoidable acceptors, then only fight for the
-        // rest.
-        let doomed = {
-            let mut capacity = vec![0u64; n];
-            for &b in view.bad_nodes {
-                for &u in topo.neighbors_of(b) {
-                    capacity[u] = capacity[u].saturating_add(view.remaining_budget[b]);
-                }
+        // adversary) is doomed — spending on it is pure waste. The
+        // promoted set is the least fixpoint of a monotone operator, so
+        // chaotic iteration over a worklist finds exactly the set a
+        // dense repeated sweep would. Seeds are this wave's receivers:
+        // an untouched undecided node has tally < threshold (engine
+        // invariant) and no promoted neighbors yet, so it cannot enter
+        // the set before a neighbor does — which re-queues it.
+        s.queue.extend_from_slice(&s.touched);
+        let mut i = 0;
+        while i < s.queue.len() {
+            let u = s.queue[i];
+            i += 1;
+            if s.promoted.is_set(u) || view.accepted_true[u] || !view.is_good[u] {
+                continue;
             }
-            let mut unavoidable: Vec<bool> = view.accepted_true.to_vec();
-            loop {
-                let mut changed = false;
-                for u in 0..n {
-                    if unavoidable[u] || !view.is_good[u] {
-                        continue;
-                    }
-                    // Future supply: copies already delivered or in
-                    // flight, plus the quotas of unavoidable neighbors
-                    // that have not yet transmitted.
-                    let future: u64 = topo
-                        .neighbors_of(u)
-                        .iter()
-                        .filter(|&&v| unavoidable[v] && !view.accepted_true[v])
-                        .map(|&v| view.relay_quota[v])
-                        .sum();
-                    let supply = view.tallies_true[u] + incoming[u] + future;
-                    if supply.saturating_sub(capacity[u]) >= view.threshold {
-                        unavoidable[u] = true;
-                        changed = true;
+            // Attack budget reachable from u, computed lazily the first
+            // time u is examined (neighborhoods are symmetric, so
+            // scanning N(u) for bad nodes equals scanning bad nodes for
+            // u).
+            let capacity = if s.capacity.is_set(u) {
+                s.capacity.get(u)
+            } else {
+                let mut cap = 0u64;
+                for &b in topo.neighbors_of(u) {
+                    if !view.is_good[b] {
+                        cap = cap.saturating_add(view.remaining_budget[b]);
                     }
                 }
-                if !changed {
-                    break;
+                s.capacity.set(u, cap);
+                cap
+            };
+            // Future supply: copies already delivered or in flight,
+            // plus the quotas of doomed neighbors that have not yet
+            // transmitted.
+            let future: u64 = topo
+                .neighbors_of(u)
+                .iter()
+                .filter(|&&v| s.promoted.is_set(v))
+                .map(|&v| view.relay_quota[v])
+                .sum();
+            let supply = view.tallies_true[u] + s.incoming.get(u) + future;
+            if supply.saturating_sub(capacity) >= view.threshold {
+                s.promoted.set(u, 1);
+                for &v in topo.neighbors_of(u) {
+                    if view.is_good[v] && !view.accepted_true[v] && !s.promoted.is_set(v) {
+                        s.queue.push(v);
+                    }
                 }
             }
-            unavoidable
-        };
-        targets.retain(|&(_, u)| !doomed[u]);
-
-        let mut budget = view.remaining_budget.to_vec();
-        // Copies of each sender already collided (copies are consumed
-        // disjointly across attackers) and copies transmitted, as dense
-        // per-node arrays instead of hash maps.
-        let mut collided = vec![0u64; n];
-        let mut sent = vec![0u64; n];
-        let mut transmitting = vec![false; n];
-        for &(s, copies) in view.transmissions {
-            sent[s] = copies;
-            transmitting[s] = true;
         }
+        targets.retain(|&(_, u)| !s.promoted.is_set(u));
+
         let mut plan: Vec<Collision> = Vec::new();
 
         for (deficit, u) in targets {
             // Corruption already landing on u from previously planned
-            // collisions.
+            // collisions (O(1) torus adjacency — no bitset rows).
             let planned_at_u: u64 = plan
                 .iter()
-                .filter(|c| topo.contains(c.attacker, u) && topo.contains(c.sender, u))
+                .filter(|c| grid.are_neighbors(c.attacker, u) && grid.are_neighbors(c.sender, u))
                 .map(|c| c.copies)
                 .sum();
             let mut need = deficit.saturating_sub(planned_at_u);
@@ -311,59 +423,63 @@ impl CorruptionStrategy for GreedyFrontier {
                 .neighbors_of(u)
                 .iter()
                 .copied()
-                .filter(|&b| !view.is_good[b] && budget[b] > 0)
+                .filter(|&b| !view.is_good[b] && view.remaining_budget[b] > s.spent.get(b))
                 .collect();
             let mut senders: Vec<(NodeId, u64)> = topo
                 .neighbors_of(u)
                 .iter()
-                .filter_map(|&s| {
-                    if !transmitting[s] {
+                .filter_map(|&tx| {
+                    if !s.sent.is_set(tx) {
                         return None;
                     }
-                    let free = sent[s] - collided[s];
-                    (free > 0).then_some((s, free))
+                    let free = s.sent.get(tx) - s.collided.get(tx);
+                    (free > 0).then_some((tx, free))
                 })
                 .collect();
-            if self.order == TargetOrder::Forward {
+            if order == TargetOrder::Forward {
                 // Prefer resources ahead of u (towards unprocessed
                 // targets), so the shared corruption is maximal.
                 attackers.sort_unstable_by_key(|&b| -Self::dx(grid, u, b));
-                senders.sort_unstable_by_key(|&(s, _)| -Self::dx(grid, u, s));
+                senders.sort_unstable_by_key(|&(tx, _)| -Self::dx(grid, u, tx));
             } else {
                 attackers.sort_unstable_by_key(|&b| grid.linf_distance(b, u));
-                senders.sort_unstable_by_key(|&(s, _)| grid.linf_distance(s, u));
+                senders.sort_unstable_by_key(|&(tx, _)| grid.linf_distance(tx, u));
             }
 
             // Unwinnable fights waste budget: skip if the reachable
             // resources cannot close the deficit.
-            let budget_avail: u64 = attackers.iter().map(|&b| budget[b]).sum();
+            let budget_avail: u64 = attackers
+                .iter()
+                .map(|&b| view.remaining_budget[b] - s.spent.get(b))
+                .sum();
             let copies_avail: u64 = senders.iter().map(|&(_, c)| c).sum();
             if need > budget_avail.min(copies_avail) {
                 continue;
             }
 
             'outer: for &b in &attackers {
-                for (s, free) in senders.iter_mut() {
+                for (tx, free) in senders.iter_mut() {
                     if *free == 0 {
                         continue;
                     }
-                    let amount = need.min(budget[b]).min(*free);
+                    let avail = view.remaining_budget[b] - s.spent.get(b);
+                    let amount = need.min(avail).min(*free);
                     if amount == 0 {
                         continue;
                     }
                     plan.push(Collision {
                         attacker: b,
-                        sender: *s,
+                        sender: *tx,
                         copies: amount,
                     });
-                    budget[b] -= amount;
+                    s.spent.add(b, amount);
                     *free -= amount;
-                    collided[*s] += amount;
+                    s.collided.add(*tx, amount);
                     need -= amount;
                     if need == 0 {
                         break 'outer;
                     }
-                    if budget[b] == 0 {
+                    if s.spent.get(b) == view.remaining_budget[b] {
                         break;
                     }
                 }
@@ -392,6 +508,9 @@ impl CorruptionStrategy for GreedyFrontier {
 #[derive(Debug, Clone)]
 pub struct Chaos {
     rng: StdRng,
+    /// Copies of each sender already claimed by earlier collisions in
+    /// the current plan (epoch-stamped: cleared in O(1) per wave).
+    claimed: StampedVec,
 }
 
 impl Chaos {
@@ -399,6 +518,7 @@ impl Chaos {
     pub fn new(seed: u64) -> Self {
         Chaos {
             rng: StdRng::seed_from_u64(seed),
+            claimed: StampedVec::default(),
         }
     }
 }
@@ -410,10 +530,9 @@ impl CorruptionStrategy for Chaos {
             return plan;
         }
         let grid = view.topology.grid();
-        // Copies of each sender already claimed by earlier collisions in
-        // this plan — collisions consume distinct copies, so the plan
-        // must stay within each sender's transmission count.
-        let mut claimed = vec![0u64; view.topology.node_count()];
+        // Collisions consume distinct copies, so the plan must stay
+        // within each sender's transmission count.
+        self.claimed.begin(view.topology.node_count());
         for &b in view.bad_nodes {
             let available = view.remaining_budget[b];
             if available == 0 {
@@ -429,14 +548,14 @@ impl CorruptionStrategy for Chaos {
                 .iter()
                 .filter(|&&(s, _)| grid.linf_distance(s, b) <= 2 * grid.range())
                 .filter_map(|&(s, copies)| {
-                    let free = copies - claimed[s];
+                    let free = copies - self.claimed.get(s);
                     (free > 0).then_some((s, free))
                 })
                 .collect();
             if !in_range.is_empty() && self.rng.random_bool(0.7) {
                 let (s, free) = in_range[self.rng.random_range(0..in_range.len())];
                 let copies = spend.min(free);
-                claimed[s] += copies;
+                self.claimed.add(s, copies);
                 plan.collisions.push(Collision {
                     attacker: b,
                     sender: s,
@@ -599,6 +718,329 @@ mod tests {
         let plan = GreedyFrontier::default().plan(&v);
         let spend = plan.spend_by_node(n);
         assert!(spend[bad_node] <= 7);
+    }
+
+    // -----------------------------------------------------------------
+    // Frontier-proportional planner vs. the dense reference
+    // -----------------------------------------------------------------
+    //
+    // The planner was rewritten around epoch-stamped scratch and a
+    // worklist doomed-fixpoint; these references are verbatim copies of
+    // the previous dense implementation. Every plan must be identical.
+
+    fn dense_reference(order: TargetOrder, view: &WaveView<'_>) -> AttackPlan {
+        let topo = view.topology;
+        let grid = topo.grid();
+        let n = topo.node_count();
+
+        let mut incoming = vec![0u64; n];
+        for &(s, copies) in view.transmissions {
+            for &u in topo.neighbors_of(s) {
+                if view.is_good[u] && !view.accepted_true[u] {
+                    incoming[u] += copies;
+                }
+            }
+        }
+
+        let mut targets: Vec<(u64, NodeId)> = (0..n)
+            .filter(|&u| view.is_good[u] && !view.accepted_true[u] && incoming[u] > 0)
+            .filter_map(|u| {
+                let total = view.tallies_true[u] + incoming[u];
+                if total >= view.threshold {
+                    Some((total - (view.threshold - 1), u))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        match order {
+            TargetOrder::Forward => targets.sort_unstable_by_key(|&(_, u)| u),
+            TargetOrder::Nearest => targets.sort_unstable(),
+            TargetOrder::Corners => {
+                targets.sort_unstable_by_key(|&(deficit, u)| {
+                    let suppliers = topo
+                        .neighbors_of(u)
+                        .iter()
+                        .filter(|&&v| view.is_good[v])
+                        .count();
+                    (suppliers, deficit, u)
+                });
+            }
+        }
+
+        let doomed = {
+            let mut capacity = vec![0u64; n];
+            for &b in view.bad_nodes {
+                for &u in topo.neighbors_of(b) {
+                    capacity[u] = capacity[u].saturating_add(view.remaining_budget[b]);
+                }
+            }
+            let mut unavoidable: Vec<bool> = view.accepted_true.to_vec();
+            loop {
+                let mut changed = false;
+                for u in 0..n {
+                    if unavoidable[u] || !view.is_good[u] {
+                        continue;
+                    }
+                    let future: u64 = topo
+                        .neighbors_of(u)
+                        .iter()
+                        .filter(|&&v| unavoidable[v] && !view.accepted_true[v])
+                        .map(|&v| view.relay_quota[v])
+                        .sum();
+                    let supply = view.tallies_true[u] + incoming[u] + future;
+                    if supply.saturating_sub(capacity[u]) >= view.threshold {
+                        unavoidable[u] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            unavoidable
+        };
+        targets.retain(|&(_, u)| !doomed[u]);
+
+        let mut budget = view.remaining_budget.to_vec();
+        let mut collided = vec![0u64; n];
+        let mut sent = vec![0u64; n];
+        let mut transmitting = vec![false; n];
+        for &(s, copies) in view.transmissions {
+            sent[s] = copies;
+            transmitting[s] = true;
+        }
+        let mut plan: Vec<Collision> = Vec::new();
+
+        for (deficit, u) in targets {
+            let planned_at_u: u64 = plan
+                .iter()
+                .filter(|c| topo.contains(c.attacker, u) && topo.contains(c.sender, u))
+                .map(|c| c.copies)
+                .sum();
+            let mut need = deficit.saturating_sub(planned_at_u);
+            if need == 0 {
+                continue;
+            }
+
+            let mut attackers: Vec<NodeId> = topo
+                .neighbors_of(u)
+                .iter()
+                .copied()
+                .filter(|&b| !view.is_good[b] && budget[b] > 0)
+                .collect();
+            let mut senders: Vec<(NodeId, u64)> = topo
+                .neighbors_of(u)
+                .iter()
+                .filter_map(|&s| {
+                    if !transmitting[s] {
+                        return None;
+                    }
+                    let free = sent[s] - collided[s];
+                    (free > 0).then_some((s, free))
+                })
+                .collect();
+            if order == TargetOrder::Forward {
+                attackers.sort_unstable_by_key(|&b| -GreedyFrontier::dx(grid, u, b));
+                senders.sort_unstable_by_key(|&(s, _)| -GreedyFrontier::dx(grid, u, s));
+            } else {
+                attackers.sort_unstable_by_key(|&b| grid.linf_distance(b, u));
+                senders.sort_unstable_by_key(|&(s, _)| grid.linf_distance(s, u));
+            }
+
+            let budget_avail: u64 = attackers.iter().map(|&b| budget[b]).sum();
+            let copies_avail: u64 = senders.iter().map(|&(_, c)| c).sum();
+            if need > budget_avail.min(copies_avail) {
+                continue;
+            }
+
+            'outer: for &b in &attackers {
+                for (s, free) in senders.iter_mut() {
+                    if *free == 0 {
+                        continue;
+                    }
+                    let amount = need.min(budget[b]).min(*free);
+                    if amount == 0 {
+                        continue;
+                    }
+                    plan.push(Collision {
+                        attacker: b,
+                        sender: *s,
+                        copies: amount,
+                    });
+                    budget[b] -= amount;
+                    *free -= amount;
+                    collided[*s] += amount;
+                    need -= amount;
+                    if need == 0 {
+                        break 'outer;
+                    }
+                    if budget[b] == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        AttackPlan {
+            collisions: plan,
+            forgeries: Vec::new(),
+        }
+    }
+
+    fn chaos_reference(seed: u64, view: &WaveView<'_>) -> AttackPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = AttackPlan::none();
+        if view.transmissions.is_empty() {
+            return plan;
+        }
+        let grid = view.topology.grid();
+        let mut claimed = vec![0u64; view.topology.node_count()];
+        for &b in view.bad_nodes {
+            let available = view.remaining_budget[b];
+            if available == 0 {
+                continue;
+            }
+            let spend = rng.random_range(0..=available.min(16));
+            if spend == 0 {
+                continue;
+            }
+            let in_range: Vec<(NodeId, u64)> = view
+                .transmissions
+                .iter()
+                .filter(|&&(s, _)| grid.linf_distance(s, b) <= 2 * grid.range())
+                .filter_map(|&(s, copies)| {
+                    let free = copies - claimed[s];
+                    (free > 0).then_some((s, free))
+                })
+                .collect();
+            if !in_range.is_empty() && rng.random_bool(0.7) {
+                let (s, free) = in_range[rng.random_range(0..in_range.len())];
+                let copies = spend.min(free);
+                claimed[s] += copies;
+                plan.collisions.push(Collision {
+                    attacker: b,
+                    sender: s,
+                    copies,
+                });
+            } else {
+                plan.forgeries.push(Forgery {
+                    attacker: b,
+                    copies: spend,
+                });
+            }
+        }
+        plan
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// One random wave state satisfying the engine invariants the
+    /// planner relies on (undecided good tallies below threshold,
+    /// `bad_nodes` consistent with `is_good`).
+    #[allow(clippy::type_complexity)]
+    fn random_wave(
+        st: &mut u64,
+        n: usize,
+    ) -> (
+        u64,
+        Vec<bool>,
+        Vec<NodeId>,
+        Vec<u64>,
+        Vec<bool>,
+        Vec<u64>,
+        Vec<u64>,
+        Vec<(NodeId, u64)>,
+    ) {
+        let threshold = 1 + splitmix(st) % 6;
+        let mut is_good = vec![true; n];
+        let mut bad = Vec::new();
+        let mut budget = vec![0u64; n];
+        let mut accepted = vec![false; n];
+        let mut tallies = vec![0u64; n];
+        let mut quota = vec![0u64; n];
+        let mut txs = Vec::new();
+        for u in 0..n {
+            quota[u] = splitmix(st) % 5;
+            if splitmix(st).is_multiple_of(5) {
+                is_good[u] = false;
+                bad.push(u);
+                budget[u] = splitmix(st) % 9;
+                continue;
+            }
+            if splitmix(st) % 10 < 3 {
+                accepted[u] = true;
+            } else {
+                tallies[u] = splitmix(st) % threshold;
+            }
+            if splitmix(st).is_multiple_of(8) {
+                txs.push((u, 1 + splitmix(st) % 5));
+            }
+        }
+        (
+            threshold, is_good, bad, budget, accepted, tallies, quota, txs,
+        )
+    }
+
+    #[test]
+    fn frontier_planner_matches_dense_reference() {
+        // Square, rectangular, thin-strip and whole-torus-wrap grids.
+        for &(w, h, r) in &[(13u32, 11u32, 2u32), (9, 9, 1), (5, 25, 2), (3, 12, 1)] {
+            let grid = Grid::new(w, h, r).unwrap();
+            let topo = Topology::new(grid);
+            let n = topo.node_count();
+            let mut st = 0xB0_0B5 ^ (u64::from(w) << 32 | u64::from(h) << 8 | u64::from(r));
+            for _ in 0..40 {
+                let (threshold, is_good, bad, budget, accepted, tallies, quota, txs) =
+                    random_wave(&mut st, n);
+                let view = view_fixture(
+                    &topo, &txs, &accepted, &tallies, &bad, &budget, &is_good, threshold, &quota,
+                );
+                for mut greedy in [
+                    GreedyFrontier::default(),
+                    GreedyFrontier::forward(),
+                    GreedyFrontier::corners(),
+                ] {
+                    let order = greedy.order;
+                    assert_eq!(
+                        greedy.plan(&view),
+                        dense_reference(order, &view),
+                        "order {order:?}, grid {w}x{h} r={r}"
+                    );
+                }
+                let seed = splitmix(&mut st);
+                assert_eq!(Chaos::new(seed).plan(&view), chaos_reference(seed, &view));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_scratch_survives_reuse_across_grids() {
+        // The same strategy instance planning waves over differently
+        // sized topologies must re-size its scratch, not index stale
+        // arrays.
+        let mut greedy = GreedyFrontier::default();
+        let mut st = 42;
+        for &(w, h, r) in &[(9u32, 9u32, 1u32), (13, 11, 2), (9, 9, 1)] {
+            let grid = Grid::new(w, h, r).unwrap();
+            let topo = Topology::new(grid);
+            let n = topo.node_count();
+            let (threshold, is_good, bad, budget, accepted, tallies, quota, txs) =
+                random_wave(&mut st, n);
+            let view = view_fixture(
+                &topo, &txs, &accepted, &tallies, &bad, &budget, &is_good, threshold, &quota,
+            );
+            assert_eq!(
+                greedy.plan(&view),
+                dense_reference(TargetOrder::Nearest, &view)
+            );
+        }
     }
 
     #[test]

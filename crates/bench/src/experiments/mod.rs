@@ -10,6 +10,7 @@ pub mod f9;
 pub mod g1;
 pub mod g2;
 pub mod l1;
+pub mod scale;
 pub mod t1;
 pub mod t2;
 pub mod t2b;

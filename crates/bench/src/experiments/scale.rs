@@ -1,0 +1,146 @@
+//! EXP-SCALE — the frontier kernel on million-cell grids.
+//!
+//! Sweeps the torus side 100 → 4096 (`r = 1`, protocol B, one isolated
+//! bad node roughly every 103 cells so no neighborhood ever exceeds
+//! `t = 1`) through the counting engine's per-receiver oracle in
+//! [`ScanMode::Frontier`], timing the full broadcast. Dense full-scan
+//! timings are collected up to a cutoff side — the legacy kernel's
+//! `O(n · waves)` cost makes larger sides pointless — and wherever both
+//! kernels run their outcomes are asserted identical.
+//!
+//! A second table samples per-wave frontier size against per-wave step
+//! time at one mid-sweep side: the step cost tracks the frontier (which
+//! grows to the torus midline and shrinks back), not the grid.
+//!
+//! Env knobs (the CI smoke run caps both):
+//! * `BFTBCAST_SCALE_MAX` — skip sides above this (default 4096).
+//! * `BFTBCAST_SCALE_DENSE_MAX` — dense-timing cutoff (default 1024).
+
+use bftbcast::net::ScanMode;
+use bftbcast::prelude::*;
+use bftbcast::sim::CountingSim;
+use std::time::Instant;
+
+/// Swept torus sides (~10k cells → ~16.7M cells).
+pub const SIDES: &[u32] = &[100, 256, 512, 1024, 2048, 4096];
+
+/// Bad-node spacing. 103 is prime and, for every swept side, no two
+/// ids 103 apart land in one `3×3` neighborhood (the in-neighborhood id
+/// deltas `a·side + b`, `a ∈ 0..=2`, `|b| ≤ 2`, miss every multiple of
+/// 103), so the `t = 1` local bound holds and broadcast completes.
+const BAD_SPACING: usize = 103;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The sweep's simulation at one side, plus the oracle capacity `mf`.
+pub fn build_sim(side: u32) -> (CountingSim, u64) {
+    let grid = Grid::new(side, side, 1).expect("valid grid");
+    let n = grid.node_count();
+    let p = Params::new(1, 1, 4);
+    let proto = CountingProtocol::protocol_b(&grid, p);
+    let bad: Vec<NodeId> = (0..n).skip(7).step_by(BAD_SPACING).collect();
+    (CountingSim::new(grid, proto, 0, &bad, p.mf), p.mf)
+}
+
+fn run_timed(side: u32, mode: ScanMode) -> (f64, CountingOutcome) {
+    let (mut sim, mf) = build_sim(side);
+    sim.set_scan_mode(mode);
+    let start = Instant::now();
+    let mut run = sim.begin_oracle(mf);
+    while sim.step_oracle(&mut run) {}
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (ms, sim.outcome())
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let max_side = env_u32("BFTBCAST_SCALE_MAX", 4096);
+    let dense_max = env_u32("BFTBCAST_SCALE_DENSE_MAX", 1024);
+
+    let mut sweep = Table::new(
+        "EXP-SCALE: full-broadcast wall time, frontier vs dense oracle kernel \
+         (r=1, protocol B, t=1 lattice-free sparse adversary)",
+        &[
+            "side",
+            "nodes",
+            "waves",
+            "frontier_ms",
+            "dense_ms",
+            "speedup",
+        ],
+    );
+    for &side in SIDES {
+        if side > max_side {
+            continue;
+        }
+        let (frontier_ms, out) = run_timed(side, ScanMode::Frontier);
+        let (dense_cell, speedup_cell) = if side <= dense_max {
+            let (dense_ms, dense_out) = run_timed(side, ScanMode::Dense);
+            assert_eq!(out, dense_out, "kernel divergence at side {side}");
+            (
+                format!("{dense_ms:.3}"),
+                format!("{:.1}", dense_ms / frontier_ms),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
+        sweep.row(&[
+            side.to_string(),
+            (side as u64 * side as u64).to_string(),
+            out.waves.to_string(),
+            format!("{frontier_ms:.3}"),
+            dense_cell,
+            speedup_cell,
+        ]);
+    }
+
+    // Per-wave instrumentation at one mid-sweep side: step cost tracks
+    // the frontier through its grow/shrink cycle.
+    let probe_side = 512.min(max_side);
+    let (mut sim, mf) = build_sim(probe_side);
+    sim.set_scan_mode(ScanMode::Frontier);
+    let mut run = sim.begin_oracle(mf);
+    let mut waves: Vec<(usize, usize, f64)> = Vec::new();
+    loop {
+        let front = run.front_size();
+        let start = Instant::now();
+        if !sim.step_oracle(&mut run) {
+            break;
+        }
+        waves.push((waves.len() + 1, front, start.elapsed().as_secs_f64() * 1e6));
+    }
+    let mut per_wave = Table::new(
+        format!(
+            "EXP-SCALE-WAVES: sampled per-wave frontier size vs step time \
+             ({probe_side}x{probe_side}, frontier kernel)"
+        ),
+        &["wave", "front_senders", "step_us"],
+    );
+    let stride = (waves.len() / 12).max(1);
+    for (wave, front, us) in waves.iter().step_by(stride) {
+        per_wave.row(&[wave.to_string(), front.to_string(), format!("{us:.1}")]);
+    }
+
+    vec![sweep, per_wave]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree_at_a_small_side() {
+        let (frontier_ms, a) = run_timed(100, ScanMode::Frontier);
+        let (_, b) = run_timed(100, ScanMode::Dense);
+        assert!(frontier_ms >= 0.0);
+        assert_eq!(a, b);
+        // The sparse adversary never violates t=1, so protocol B
+        // completes the broadcast.
+        assert_eq!(a.accepted_true, a.good_nodes);
+    }
+}

@@ -15,7 +15,7 @@ pub use bftbcast::prelude::Table;
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "t1", "f2", "t2", "t2b", "c1", "t3", "g1", "g2", "f9", "t4", "a1", "a2", "a3", "e1", "l1",
-    "x1", "x2", "x4", "x5", "x6",
+    "x1", "x2", "x4", "x5", "x6", "scale",
 ];
 
 /// Runs one experiment by id, returning its report tables.
@@ -45,6 +45,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "x4" => experiments::x4::run(),
         "x5" => experiments::x5::run(),
         "x6" => experiments::x6::run(),
+        "scale" => experiments::scale::run(),
         other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),
     }
 }

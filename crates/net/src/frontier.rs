@@ -1,0 +1,286 @@
+//! The active-frontier worklist: the sparse iteration kernel the wave
+//! engines run on.
+//!
+//! The paper's broadcast dynamics are a thin propagation front expanding
+//! over the torus — each wave, only the nodes adjacent to last wave's
+//! senders can change state. A full-grid scan per wave therefore wastes
+//! `O(n)` work on quiescent cells; at a 4096×4096 torus (~16.7M cells)
+//! that waste is the whole runtime. [`Worklist`] is the data structure
+//! that makes the sparse iteration exact:
+//!
+//! * a **bitset of marks** (one word per 64 nodes, laid out in the same
+//!   row-major node order as the CSR adjacency of
+//!   [`Topology`](crate::Topology)) answers "already queued?" in O(1)
+//!   and deduplicates inserts;
+//! * a **dense item vector** records the queued ids, so clearing is
+//!   `O(front)` — only the words actually touched are reset, never the
+//!   whole bitset;
+//! * [`Worklist::extend_neighborhoods`] unions whole CSR neighborhood
+//!   rows into the marks with a run-compressed word-OR: consecutive id
+//!   runs inside a row (the common case on a torus away from the wrap
+//!   seam) become one masked OR per 64-bit word instead of one
+//!   test-and-set per bit, and because CSR rows are streamed in seed
+//!   order the mark words for a (2r+1)-row band stay cache-resident
+//!   across adjacent seeds — the tiled, cache-blocked intersection of
+//!   the frontier kernel.
+//!
+//! The worklist invariant the engines maintain: **a node enters the
+//! worklist iff a neighbor's send/decide state changed this wave.**
+//! Engines [`sort`](Worklist::sort) the worklist before applying state
+//! transitions so the visit order is ascending node id — identical to
+//! the legacy `0..n` scan restricted to the touched set, which is what
+//! makes the frontier path bit-identical to the dense one (same
+//! iteration order ⇒ same acceptance order, same budget spend order,
+//! same next-wave ordering).
+//!
+//! [`ScanMode`] is the flag the engines switch on: `Frontier` (the
+//! default) runs the worklist kernel, `Dense` preserves the legacy
+//! full-grid scans verbatim for differential testing — the
+//! `DenseOracle` harness in `bftbcast-sim` runs every engine both ways
+//! and asserts per-wave state equality.
+
+use crate::grid::NodeId;
+use crate::topology::Topology;
+
+/// How a wave engine iterates per-wave state transitions.
+///
+/// Both modes produce bit-identical outcomes, probes and counters; the
+/// dense path exists so the equivalence stays testable (and as a
+/// fallback should a future engine change break the frontier argument).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ScanMode {
+    /// Legacy full-grid `0..n` scans every wave — cost `O(n · degree)`
+    /// per wave regardless of how small the active front is.
+    Dense,
+    /// Active-frontier worklist iteration — cost proportional to the
+    /// front (the nodes whose neighborhood changed last wave), not the
+    /// grid.
+    #[default]
+    Frontier,
+}
+
+/// A bitset-backed worklist over node ids: O(1) dedup on insert,
+/// O(front) clear, ascending-order iteration after [`Worklist::sort`].
+///
+/// See the module docs for the role this plays in the frontier kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Worklist {
+    /// One mark bit per node; `marks[u / 64] >> (u % 64) & 1`.
+    marks: Vec<u64>,
+    /// The queued ids, in insertion order until [`Worklist::sort`].
+    items: Vec<NodeId>,
+}
+
+impl Worklist {
+    /// An empty worklist over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Worklist {
+            marks: vec![0; n.div_ceil(64)],
+            items: Vec::new(),
+        }
+    }
+
+    /// Number of queued nodes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no node is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `u` is queued.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.marks[u / 64] >> (u % 64) & 1 != 0
+    }
+
+    /// Queues `u`; returns `true` iff it was not already queued.
+    pub fn insert(&mut self, u: NodeId) -> bool {
+        let word = &mut self.marks[u / 64];
+        let bit = 1u64 << (u % 64);
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.items.push(u);
+        true
+    }
+
+    /// The queued ids — insertion order, or ascending after
+    /// [`Worklist::sort`].
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.items
+    }
+
+    /// The `i`-th queued id (by-value accessor so callers can iterate
+    /// while mutating other state).
+    pub fn item(&self, i: usize) -> NodeId {
+        self.items[i]
+    }
+
+    /// Sorts the queue into ascending id order, so iteration matches a
+    /// `0..n` scan restricted to the queued set.
+    pub fn sort(&mut self) {
+        self.items.sort_unstable();
+    }
+
+    /// Unqueues every node; O(front), touching only the mark words of
+    /// queued nodes.
+    pub fn clear(&mut self) {
+        for &u in &self.items {
+            self.marks[u / 64] = 0;
+        }
+        self.items.clear();
+    }
+
+    /// Keeps only the queued nodes satisfying `keep`, unmarking the
+    /// rest. Preserves queue order.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId) -> bool) {
+        let marks = &mut self.marks;
+        self.items.retain(|&u| {
+            if keep(u) {
+                true
+            } else {
+                marks[u / 64] &= !(1u64 << (u % 64));
+                false
+            }
+        });
+    }
+
+    /// Unions the CSR neighborhood row of every seed into the worklist —
+    /// the frontier-expansion kernel.
+    ///
+    /// Consecutive id runs within a row collapse to one masked OR per
+    /// 64-bit word (run-compressed), and rows are streamed in seed
+    /// order so the mark words of a neighborhood band stay hot across
+    /// adjacent seeds.
+    pub fn extend_neighborhoods<I>(&mut self, topology: &Topology, seeds: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for s in seeds {
+            let row = topology.neighbors_of(s);
+            let mut i = 0;
+            while i < row.len() {
+                let start = row[i];
+                let mut end = start;
+                while i + 1 < row.len() && row[i + 1] == end + 1 {
+                    end += 1;
+                    i += 1;
+                }
+                i += 1;
+                self.insert_run(start, end);
+            }
+        }
+    }
+
+    /// Marks the inclusive id range `[start, end]`, pushing the newly
+    /// marked ids.
+    fn insert_run(&mut self, start: NodeId, end: NodeId) {
+        let (w0, w1) = (start / 64, end / 64);
+        for w in w0..=w1 {
+            let lo = if w == w0 { (start % 64) as u32 } else { 0 };
+            let hi = if w == w1 { (end % 64) as u32 } else { 63 };
+            // Bits [lo, hi] of word w; hi < 64 so the shift is safe.
+            let mask = (u64::MAX << lo) & (u64::MAX >> (63 - hi));
+            let mut fresh = mask & !self.marks[w];
+            self.marks[w] |= fresh;
+            while fresh != 0 {
+                let bit = fresh.trailing_zeros() as usize;
+                self.items.push(w * 64 + bit);
+                fresh &= fresh - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    #[test]
+    fn insert_dedups_and_clear_is_sparse() {
+        let mut wl = Worklist::new(200);
+        assert!(wl.insert(7));
+        assert!(!wl.insert(7));
+        assert!(wl.insert(130));
+        assert!(wl.contains(7));
+        assert!(wl.contains(130));
+        assert!(!wl.contains(8));
+        assert_eq!(wl.len(), 2);
+        wl.clear();
+        assert!(wl.is_empty());
+        assert!(!wl.contains(7));
+        assert!(wl.insert(7), "clear must reset marks");
+    }
+
+    #[test]
+    fn sort_orders_items_ascending() {
+        let mut wl = Worklist::new(64);
+        for u in [9, 3, 60, 1] {
+            wl.insert(u);
+        }
+        wl.sort();
+        assert_eq!(wl.as_slice(), &[1, 3, 9, 60]);
+        assert_eq!(wl.item(2), 9);
+    }
+
+    #[test]
+    fn retain_unmarks_dropped_nodes() {
+        let mut wl = Worklist::new(100);
+        for u in [2, 65, 70] {
+            wl.insert(u);
+        }
+        wl.retain(|u| u != 65);
+        assert_eq!(wl.as_slice(), &[2, 70]);
+        assert!(!wl.contains(65));
+        assert!(wl.insert(65), "retained-out nodes can re-enter");
+    }
+
+    #[test]
+    fn insert_run_crosses_word_boundaries() {
+        let mut wl = Worklist::new(256);
+        wl.insert(64); // pre-marked: the run must skip it
+        wl.insert_run(60, 130);
+        wl.sort();
+        let expect: Vec<NodeId> = (60..=130).collect();
+        assert_eq!(wl.as_slice(), &expect[..]);
+        for u in 60..=130 {
+            assert!(wl.contains(u));
+        }
+        assert!(!wl.contains(59));
+        assert!(!wl.contains(131));
+    }
+
+    #[test]
+    fn extend_neighborhoods_matches_per_node_inserts() {
+        let grid = Grid::new(17, 13, 2).unwrap();
+        let topo = Topology::new(grid);
+        let seeds = [0usize, 5, 16, 16 * 13 - 1, 100];
+        let mut fast = Worklist::new(topo.node_count());
+        fast.extend_neighborhoods(&topo, seeds.iter().copied());
+        let mut slow = Worklist::new(topo.node_count());
+        for &s in &seeds {
+            for &u in topo.neighbors_of(s) {
+                slow.insert(u);
+            }
+        }
+        fast.sort();
+        slow.sort();
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn extend_neighborhoods_covers_wrap_seams() {
+        // Degenerate torus: dims == 2r+1, every neighborhood is the
+        // whole grid minus the seed.
+        let grid = Grid::new(5, 5, 2).unwrap();
+        let topo = Topology::new(grid);
+        let mut wl = Worklist::new(25);
+        wl.extend_neighborhoods(&topo, [12usize]);
+        assert_eq!(wl.len(), 24);
+        assert!(!wl.contains(12));
+    }
+}

@@ -18,7 +18,13 @@
 //! * a precomputed flat neighborhood topology ([`Topology`]): CSR
 //!   adjacency slices plus per-node bitset rows, the allocation-free
 //!   fast path the simulation engines' hot loops run on (the naive
-//!   [`Grid`] iterators remain as the property-test oracle).
+//!   [`Grid`] iterators remain as the property-test oracle);
+//! * an active-frontier worklist ([`Worklist`]) plus the [`ScanMode`]
+//!   flag: the sparse iteration kernel that lets the wave engines visit
+//!   only the nodes whose neighborhood changed last wave, making
+//!   per-wave cost proportional to the propagation front instead of the
+//!   grid (the legacy dense scans stay available for differential
+//!   testing).
 //!
 //! The crate is purely a *substrate*: it knows nothing about protocols or
 //! adversaries. Those live in `bftbcast-protocols` and
@@ -45,6 +51,7 @@
 
 mod budget;
 mod error;
+mod frontier;
 mod grid;
 mod message;
 mod region;
@@ -53,6 +60,7 @@ mod topology;
 
 pub use budget::Budget;
 pub use error::NetError;
+pub use frontier::{ScanMode, Worklist};
 pub use grid::{Coord, Grid, NodeId};
 pub use message::{NodeKind, Value};
 pub use region::{Cross, Disc, Rect, Region, Stripe};

@@ -48,7 +48,7 @@
 //! finding quantified in EXPERIMENTS.md (EXP-T1/EXP-F2).
 
 use bftbcast_adversary::{AttackPlan, CorruptionStrategy, WaveView};
-use bftbcast_net::{Budget, Grid, NodeId, Topology, Value};
+use bftbcast_net::{Budget, Grid, NodeId, ScanMode, Topology, Value, Worklist};
 use bftbcast_protocols::CountingProtocol;
 
 use crate::metrics::CountingOutcome;
@@ -63,11 +63,17 @@ use crate::metrics::CountingOutcome;
 pub struct CountingSim {
     topology: Topology,
     protocol: CountingProtocol,
+    scan: ScanMode,
     source: NodeId,
     is_good: Vec<bool>,
     bad_nodes: Vec<NodeId>,
     budgets: Vec<Budget>,
     accepted: Vec<Option<Value>>,
+    /// Bitset mirror of `is_good[u] && accepted[u].is_none()` — the
+    /// frontier kernel's receiver filter. One cache-resident word read
+    /// (128 KiB per million nodes) instead of two scattered array
+    /// lookups; kept in sync at every acceptance.
+    undecided: Vec<u64>,
     accepted_wave: Vec<Option<usize>>,
     tally_true: Vec<u64>,
     tally_wrong: Vec<u64>,
@@ -118,16 +124,24 @@ impl CountingSim {
             .collect();
         let mut accepted = vec![None; n];
         accepted[source] = Some(Value::TRUE);
+        let mut undecided = vec![0u64; n.div_ceil(64)];
+        for u in 0..n {
+            if is_good[u] && accepted[u].is_none() {
+                undecided[u / 64] |= 1 << (u % 64);
+            }
+        }
         let mut accepted_wave = vec![None; n];
         accepted_wave[source] = Some(0);
         CountingSim {
             topology: Topology::new(grid),
             protocol,
+            scan: ScanMode::default(),
             source,
             is_good,
             bad_nodes: bad_nodes.to_vec(),
             budgets,
             accepted,
+            undecided,
             accepted_wave,
             tally_true: vec![0; n],
             tally_wrong: vec![0; n],
@@ -155,6 +169,19 @@ impl CountingSim {
         self.outcome()
     }
 
+    /// Selects dense or frontier per-wave iteration (see [`ScanMode`]).
+    /// Both modes are bit-identical in outcomes, tallies and counters —
+    /// the flag only changes per-wave cost. Set it before beginning a
+    /// run; switching modes mid-run is not supported.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan = mode;
+    }
+
+    /// The active scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
+    }
+
     /// Starts a strategy-driven (global-budget) run: charges the source
     /// transmission and returns the resumable wave state. Call at most
     /// once per engine; drive with [`CountingSim::step_attack`].
@@ -164,13 +191,21 @@ impl CountingSim {
         AttackRun {
             wave: vec![(self.source, self.protocol.source_copies)],
             next: Vec::new(),
-            remaining: vec![0u64; n],
-            accepted_true: vec![false; n],
+            // The strategy-view inputs, correct as of "before wave 1".
+            // The dense path rebuilds them from scratch each wave; the
+            // frontier path keeps them fresh incrementally at the only
+            // nodes whose budget/acceptance can change (plan attackers
+            // and new acceptors).
+            remaining: (0..n).map(|u| self.budgets[u].remaining()).collect(),
+            accepted_true: (0..n)
+                .map(|u| self.accepted[u] == Some(Value::TRUE))
+                .collect(),
             // Per-wave dense sender state, validity stamped by wave
             // number so no per-wave clearing is needed.
             sent: WaveStamped::new(n),
             collided: WaveStamped::new(n),
             common: Vec::with_capacity(self.topology.degree()),
+            touched: Worklist::new(n),
         }
     }
 
@@ -185,13 +220,16 @@ impl CountingSim {
         if run.wave.is_empty() {
             return false;
         }
-        let n = self.topology.node_count();
         self.waves += 1;
-        let plan = {
-            for u in 0..n {
+        if self.scan == ScanMode::Dense {
+            // Legacy: rebuild the dense strategy-view inputs from
+            // scratch every wave.
+            for u in 0..self.topology.node_count() {
                 run.remaining[u] = self.budgets[u].remaining();
                 run.accepted_true[u] = self.accepted[u] == Some(Value::TRUE);
             }
+        }
+        let plan = {
             let view = WaveView {
                 topology: &self.topology,
                 transmissions: &run.wave,
@@ -206,9 +244,43 @@ impl CountingSim {
             strategy.plan(&view)
         };
         self.validate_and_spend(&run.wave, &plan, &mut run.sent, &mut run.collided);
+        if self.scan == ScanMode::Frontier {
+            // The spend changed budgets only at the plan's attackers.
+            for c in &plan.collisions {
+                run.remaining[c.attacker] = self.budgets[c.attacker].remaining();
+            }
+            for f in &plan.forgeries {
+                run.remaining[f.attacker] = self.budgets[f.attacker].remaining();
+            }
+        }
         self.apply_wave(&run.wave, &plan, &mut run.common);
         run.next.clear();
-        self.collect_acceptances_into(&mut run.next);
+        match self.scan {
+            ScanMode::Dense => self.collect_acceptances_into(None, &mut run.next),
+            ScanMode::Frontier => {
+                // Tallies changed only inside the senders' and forgery
+                // attackers' neighborhoods (a collision hits the common
+                // neighbors of attacker and sender — already a subset of
+                // N(sender)); no other node can newly accept.
+                run.touched.clear();
+                run.touched
+                    .extend_neighborhoods(&self.topology, run.wave.iter().map(|&(s, _)| s));
+                run.touched.extend_neighborhoods(
+                    &self.topology,
+                    plan.forgeries.iter().map(|f| f.attacker),
+                );
+                run.touched.sort();
+                self.collect_acceptances_into(Some(run.touched.as_slice()), &mut run.next);
+            }
+        }
+        if self.scan == ScanMode::Frontier {
+            // New TRUE acceptors are exactly the scheduled relayers:
+            // they flipped acceptance and spent their relay quota.
+            for &(u, _) in &run.next {
+                run.accepted_true[u] = true;
+                run.remaining[u] = self.budgets[u].remaining();
+            }
+        }
         std::mem::swap(&mut run.wave, &mut run.next);
         true
     }
@@ -250,6 +322,7 @@ impl CountingSim {
             wave: vec![(self.source, self.protocol.source_copies)],
             next: Vec::new(),
             incoming: vec![0u64; n],
+            touched: Worklist::new(n),
         }
     }
 
@@ -260,38 +333,80 @@ impl CountingSim {
         if run.wave.is_empty() {
             return false;
         }
-        let n = self.topology.node_count();
         self.waves += 1;
-        // Incoming correct copies this wave.
-        run.incoming.fill(0);
-        for &(s, copies) in &run.wave {
-            for &u in self.topology.neighbors_of(s) {
-                if self.is_good[u] && self.accepted[u].is_none() {
-                    run.incoming[u] += copies;
+        match self.scan {
+            ScanMode::Dense => {
+                // Incoming correct copies this wave.
+                run.incoming.fill(0);
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.is_good[u] && self.accepted[u].is_none() {
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                for u in 0..self.topology.node_count() {
+                    if run.incoming[u] == 0 {
+                        continue;
+                    }
+                    let incoming = run.incoming[u];
+                    self.oracle_corrupt(u, incoming, &mut run.capacity[u]);
+                }
+                run.next.clear();
+                self.collect_acceptances_into(None, &mut run.next);
+            }
+            ScanMode::Frontier => {
+                // Only undecided good receivers adjacent to a sender can
+                // change state this wave; `touched` collects exactly
+                // those, lazily zeroing `incoming` on first touch so no
+                // O(n) fill is needed.
+                run.touched.clear();
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.undecided(u) {
+                            if run.touched.insert(u) {
+                                run.incoming[u] = 0;
+                            }
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                // Ascending order = the dense 0..n scan restricted to
+                // the touched set: identical corrupt/accept order. The
+                // dense path's corrupt and accept sweeps are fused into
+                // one pass here: both touch only u-local state (plus
+                // commutative global counters), so the fused loop lands
+                // in the same end state with u's lines still cache-hot.
+                run.touched.sort();
+                run.next.clear();
+                for i in 0..run.touched.len() {
+                    let u = run.touched.item(i);
+                    let incoming = run.incoming[u];
+                    self.oracle_corrupt(u, incoming, &mut run.capacity[u]);
+                    self.try_accept(u, &mut run.next);
                 }
             }
         }
-        for u in 0..n {
-            if run.incoming[u] == 0 {
-                continue;
-            }
-            let total = self.tally_true[u] + run.incoming[u];
-            // Keep u at threshold - 1 = t*mf correct copies.
-            let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
-            let corrupt = if deficit == 0 || deficit > run.capacity[u].min(run.incoming[u]) {
-                0 // safe already, or hopeless: don't waste capacity
-            } else {
-                deficit
-            };
-            run.capacity[u] -= corrupt;
-            self.adversary_spent += corrupt;
-            self.tally_true[u] += run.incoming[u] - corrupt;
-            self.tally_wrong[u] += corrupt;
-        }
-        run.next.clear();
-        self.collect_acceptances_into(&mut run.next);
         std::mem::swap(&mut run.wave, &mut run.next);
         true
+    }
+
+    /// The per-receiver oracle's corruption rule at one receiver (see
+    /// [`CountingSim::run_oracle`]): hold `u` at `threshold − 1` correct
+    /// copies, but never waste capacity on a safe or hopeless fight.
+    fn oracle_corrupt(&mut self, u: NodeId, incoming: u64, capacity: &mut u64) {
+        let total = self.tally_true[u] + incoming;
+        // Keep u at threshold - 1 = t*mf correct copies.
+        let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
+        let corrupt = if deficit == 0 || deficit > (*capacity).min(incoming) {
+            0 // safe already, or hopeless: don't waste capacity
+        } else {
+            deficit
+        };
+        *capacity -= corrupt;
+        self.adversary_spent += corrupt;
+        self.tally_true[u] += incoming - corrupt;
+        self.tally_wrong[u] += corrupt;
     }
 
     /// Runs the engine under the per-receiver oracle with **majority**
@@ -334,6 +449,7 @@ impl CountingSim {
             wave: vec![(self.source, self.protocol.source_copies)],
             next: Vec::new(),
             incoming: vec![0u64; n],
+            touched: Worklist::new(n),
         }
     }
 
@@ -342,55 +458,95 @@ impl CountingSim {
         if run.wave.is_empty() {
             return false;
         }
-        let n = self.topology.node_count();
         self.waves += 1;
-        run.incoming.fill(0);
-        for &(s, copies) in &run.wave {
-            for &u in self.topology.neighbors_of(s) {
-                if self.is_good[u] && self.accepted[u].is_none() {
-                    run.incoming[u] += copies;
+        run.next.clear();
+        match self.scan {
+            ScanMode::Dense => {
+                run.incoming.fill(0);
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.is_good[u] && self.accepted[u].is_none() {
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                for u in 0..self.topology.node_count() {
+                    if run.incoming[u] == 0 {
+                        continue;
+                    }
+                    let incoming = run.incoming[u];
+                    self.majority_corrupt(u, incoming, &mut run.capacity[u]);
+                }
+                // Majority acceptance at the quorum.
+                for u in 0..self.topology.node_count() {
+                    self.try_accept_majority(u, run.quorum, &mut run.next);
                 }
             }
-        }
-        for u in 0..n {
-            if run.incoming[u] == 0 {
-                continue;
-            }
-            // Greedy oracle: every corruption strictly improves the
-            // adversary's majority position, so spend eagerly.
-            let corrupt = run.capacity[u].min(run.incoming[u]);
-            run.capacity[u] -= corrupt;
-            self.adversary_spent += corrupt;
-            self.tally_true[u] += run.incoming[u] - corrupt;
-            self.tally_wrong[u] += corrupt;
-        }
-        // Majority acceptance at the quorum.
-        run.next.clear();
-        for u in 0..n {
-            if !self.is_good[u] || self.accepted[u].is_some() {
-                continue;
-            }
-            let total = self.tally_true[u] + self.tally_wrong[u];
-            if total < run.quorum {
-                continue;
-            }
-            if self.tally_wrong[u] >= self.tally_true[u] {
-                self.accepted[u] = Some(Value::FORGED);
-                self.accepted_wave[u] = Some(self.waves);
-                self.wrong_accepts += 1;
-            } else {
-                self.accepted[u] = Some(Value::TRUE);
-                self.accepted_wave[u] = Some(self.waves);
-                let quota = self.protocol.relay_copies[u];
-                self.budgets[u]
-                    .try_spend(quota)
-                    .expect("relay quota exceeds good budget");
-                self.good_copies_sent += quota;
-                run.next.push((u, quota));
+            ScanMode::Frontier => {
+                run.touched.clear();
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.undecided(u) {
+                            if run.touched.insert(u) {
+                                run.incoming[u] = 0;
+                            }
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                // Only touched nodes gained copies, so only they can
+                // newly reach the quorum; corrupt and accept fuse into
+                // one sorted pass exactly as in the threshold oracle.
+                run.touched.sort();
+                for i in 0..run.touched.len() {
+                    let u = run.touched.item(i);
+                    let incoming = run.incoming[u];
+                    self.majority_corrupt(u, incoming, &mut run.capacity[u]);
+                    self.try_accept_majority(u, run.quorum, &mut run.next);
+                }
             }
         }
         std::mem::swap(&mut run.wave, &mut run.next);
         true
+    }
+
+    /// The majority oracle's corruption rule at one receiver: every
+    /// corruption strictly improves the adversary's majority position,
+    /// so spend eagerly.
+    fn majority_corrupt(&mut self, u: NodeId, incoming: u64, capacity: &mut u64) {
+        let corrupt = (*capacity).min(incoming);
+        *capacity -= corrupt;
+        self.adversary_spent += corrupt;
+        self.tally_true[u] += incoming - corrupt;
+        self.tally_wrong[u] += corrupt;
+    }
+
+    /// Applies the majority acceptance rule at one node, scheduling a
+    /// newly accepted relayer into `next`.
+    fn try_accept_majority(&mut self, u: NodeId, quorum: u64, next: &mut Vec<(NodeId, u64)>) {
+        if !self.undecided(u) {
+            return;
+        }
+        let total = self.tally_true[u] + self.tally_wrong[u];
+        if total < quorum {
+            return;
+        }
+        if self.tally_wrong[u] >= self.tally_true[u] {
+            self.accepted[u] = Some(Value::FORGED);
+            self.mark_decided(u);
+            self.accepted_wave[u] = Some(self.waves);
+            self.wrong_accepts += 1;
+        } else {
+            self.accepted[u] = Some(Value::TRUE);
+            self.mark_decided(u);
+            self.accepted_wave[u] = Some(self.waves);
+            let quota = self.protocol.relay_copies[u];
+            self.budgets[u]
+                .try_spend(quota)
+                .expect("relay quota exceeds good budget");
+            self.good_copies_sent += quota;
+            next.push((u, quota));
+        }
     }
 
     /// The aggregate outcome of the run so far (final once the driving
@@ -500,30 +656,71 @@ impl CountingSim {
 
     /// Applies the acceptance rule and schedules the next wave into
     /// `next` (cleared by the caller; double-buffered across waves).
-    fn collect_acceptances_into(&mut self, next: &mut Vec<(NodeId, u64)>) {
-        for u in 0..self.topology.node_count() {
-            if !self.is_good[u] || self.accepted[u].is_some() {
-                continue;
+    ///
+    /// `candidates` selects the scan: `None` is the legacy full-grid
+    /// pass, `Some(touched)` restricts it to an ascending-sorted touched
+    /// set — exact because a node whose tallies did not change this wave
+    /// cannot newly cross the threshold (it would have accepted when
+    /// they last changed).
+    /// Whether `u` is a good node that has not yet accepted a value —
+    /// the bitset fast path for the per-wave receiver filter.
+    #[inline]
+    fn undecided(&self, u: NodeId) -> bool {
+        self.undecided[u / 64] >> (u % 64) & 1 != 0
+    }
+
+    /// Clears `u`'s bit in the undecided mirror; call exactly where
+    /// `accepted[u]` is written.
+    #[inline]
+    fn mark_decided(&mut self, u: NodeId) {
+        self.undecided[u / 64] &= !(1u64 << (u % 64));
+    }
+
+    fn collect_acceptances_into(
+        &mut self,
+        candidates: Option<&[NodeId]>,
+        next: &mut Vec<(NodeId, u64)>,
+    ) {
+        match candidates {
+            None => {
+                for u in 0..self.topology.node_count() {
+                    self.try_accept(u, next);
+                }
             }
-            let true_in = self.tally_true[u] >= self.protocol.accept_threshold;
-            let wrong_in = self.tally_wrong[u] >= self.protocol.accept_threshold;
-            if wrong_in && self.tally_wrong[u] >= self.tally_true[u] {
-                // A forged value crossed the threshold first: a
-                // correctness violation (impossible when t*mf < threshold;
-                // kept as a checked invariant).
-                self.accepted[u] = Some(Value::FORGED);
-                self.accepted_wave[u] = Some(self.waves);
-                self.wrong_accepts += 1;
-            } else if true_in {
-                self.accepted[u] = Some(Value::TRUE);
-                self.accepted_wave[u] = Some(self.waves);
-                let quota = self.protocol.relay_copies[u];
-                self.budgets[u]
-                    .try_spend(quota)
-                    .expect("relay quota exceeds good budget");
-                self.good_copies_sent += quota;
-                next.push((u, quota));
+            Some(touched) => {
+                for &u in touched {
+                    self.try_accept(u, next);
+                }
             }
+        }
+    }
+
+    /// Applies the threshold acceptance rule at one node, scheduling a
+    /// newly accepted relayer into `next`.
+    fn try_accept(&mut self, u: NodeId, next: &mut Vec<(NodeId, u64)>) {
+        if !self.undecided(u) {
+            return;
+        }
+        let true_in = self.tally_true[u] >= self.protocol.accept_threshold;
+        let wrong_in = self.tally_wrong[u] >= self.protocol.accept_threshold;
+        if wrong_in && self.tally_wrong[u] >= self.tally_true[u] {
+            // A forged value crossed the threshold first: a
+            // correctness violation (impossible when t*mf < threshold;
+            // kept as a checked invariant).
+            self.accepted[u] = Some(Value::FORGED);
+            self.mark_decided(u);
+            self.accepted_wave[u] = Some(self.waves);
+            self.wrong_accepts += 1;
+        } else if true_in {
+            self.accepted[u] = Some(Value::TRUE);
+            self.mark_decided(u);
+            self.accepted_wave[u] = Some(self.waves);
+            let quota = self.protocol.relay_copies[u];
+            self.budgets[u]
+                .try_spend(quota)
+                .expect("relay quota exceeds good budget");
+            self.good_copies_sent += quota;
+            next.push((u, quota));
         }
     }
 
@@ -624,6 +821,7 @@ pub struct AttackRun {
     sent: WaveStamped,
     collided: WaveStamped,
     common: Vec<NodeId>,
+    touched: Worklist,
 }
 
 /// Resumable state of a per-receiver-oracle run. Produced by
@@ -635,6 +833,17 @@ pub struct OracleRun {
     wave: Vec<(NodeId, u64)>,
     next: Vec<(NodeId, u64)>,
     incoming: Vec<u64>,
+    touched: Worklist,
+}
+
+impl OracleRun {
+    /// Number of senders transmitting in the upcoming wave — the active
+    /// frontier the next [`CountingSim::step_oracle`] call will expand.
+    /// Scale instrumentation reads this to correlate per-wave cost with
+    /// frontier size.
+    pub fn front_size(&self) -> usize {
+        self.wave.len()
+    }
 }
 
 /// Resumable state of a majority-acceptance oracle run. Produced by
@@ -647,6 +856,7 @@ pub struct MajorityRun {
     wave: Vec<(NodeId, u64)>,
     next: Vec<(NodeId, u64)>,
     incoming: Vec<u64>,
+    touched: Worklist,
 }
 
 /// A dense per-node `u64` map whose entries are valid only for one wave

@@ -45,7 +45,7 @@
 //! assert!(out.is_reliable());
 //! ```
 
-use bftbcast_net::{Grid, NodeId, Topology, Value};
+use bftbcast_net::{Grid, NodeId, ScanMode, Topology, Value, Worklist};
 use bftbcast_protocols::CountingProtocol;
 
 use crate::metrics::CountingOutcome;
@@ -115,6 +115,7 @@ pub fn crash_threshold(r: u32) -> u64 {
 pub struct HybridSim {
     topology: Topology,
     protocol: CountingProtocol,
+    scan: ScanMode,
     source: NodeId,
     /// `None` = good; `Some(behavior)` = crash-faulty.
     crash: Vec<Option<CrashBehavior>>,
@@ -153,6 +154,7 @@ impl HybridSim {
         HybridSim {
             topology: Topology::new(grid),
             protocol,
+            scan: ScanMode::default(),
             source,
             crash: vec![None; n],
             byzantine: vec![false; n],
@@ -250,7 +252,19 @@ impl HybridSim {
             wave: vec![(self.source, self.protocol.source_copies)],
             next: Vec::new(),
             incoming: vec![0u64; n],
+            touched: Worklist::new(n),
         }
+    }
+
+    /// Selects dense or frontier per-wave iteration (see [`ScanMode`]).
+    /// Both modes are bit-identical; set before beginning a run.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan = mode;
+    }
+
+    /// The active scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
     }
 
     /// Advances a run by one wave. Returns `false` at fixpoint, after
@@ -260,65 +274,106 @@ impl HybridSim {
         if run.wave.is_empty() {
             return false;
         }
-        let n = self.topology.node_count();
         self.waves += 1;
-        run.incoming.fill(0);
-        for &(s, copies) in &run.wave {
-            for &u in self.topology.neighbors_of(s) {
-                if self.is_honest_receiver(u) && self.accepted[u].is_none() {
-                    run.incoming[u] += copies;
+        run.next.clear();
+        match self.scan {
+            ScanMode::Dense => {
+                run.incoming.fill(0);
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.is_honest_receiver(u) && self.accepted[u].is_none() {
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                for u in 0..self.topology.node_count() {
+                    if run.incoming[u] == 0 {
+                        continue;
+                    }
+                    let incoming = run.incoming[u];
+                    self.oracle_corrupt(u, incoming, &mut run.capacity[u]);
+                }
+                for u in 0..self.topology.node_count() {
+                    self.try_accept(u, &mut run.next);
+                }
+            }
+            ScanMode::Frontier => {
+                // Only undecided honest receivers adjacent to a sender
+                // can change state this wave (see the frontier-kernel
+                // notes on [`Worklist`]); `incoming` is zeroed lazily on
+                // first touch, and the sorted visit order matches the
+                // dense 0..n scan restricted to the touched set.
+                run.touched.clear();
+                for &(s, copies) in &run.wave {
+                    for &u in self.topology.neighbors_of(s) {
+                        if self.is_honest_receiver(u) && self.accepted[u].is_none() {
+                            if run.touched.insert(u) {
+                                run.incoming[u] = 0;
+                            }
+                            run.incoming[u] += copies;
+                        }
+                    }
+                }
+                run.touched.sort();
+                for i in 0..run.touched.len() {
+                    let u = run.touched.item(i);
+                    let incoming = run.incoming[u];
+                    self.oracle_corrupt(u, incoming, &mut run.capacity[u]);
+                }
+                for i in 0..run.touched.len() {
+                    let u = run.touched.item(i);
+                    self.try_accept(u, &mut run.next);
                 }
             }
         }
-        for u in 0..n {
-            if run.incoming[u] == 0 {
-                continue;
-            }
-            let total = self.tally_true[u] + run.incoming[u];
-            let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
-            let corrupt = if deficit == 0 || deficit > run.capacity[u].min(run.incoming[u]) {
-                0
-            } else {
-                deficit
-            };
-            run.capacity[u] -= corrupt;
-            self.adversary_spent += corrupt;
-            self.tally_true[u] += run.incoming[u] - corrupt;
-            self.tally_wrong[u] += corrupt;
-        }
-        run.next.clear();
-        self.collect_acceptances_into(&mut run.next);
         std::mem::swap(&mut run.wave, &mut run.next);
         true
     }
 
-    fn collect_acceptances_into(&mut self, next: &mut Vec<(NodeId, u64)>) {
-        for u in 0..self.topology.node_count() {
-            if !self.is_honest_receiver(u) || self.accepted[u].is_some() {
-                continue;
+    /// The per-receiver oracle's corruption rule at one receiver — the
+    /// same block-if-winnable accounting as
+    /// [`CountingSim::run_oracle`](crate::CountingSim::run_oracle).
+    fn oracle_corrupt(&mut self, u: NodeId, incoming: u64, capacity: &mut u64) {
+        let total = self.tally_true[u] + incoming;
+        let deficit = (total + 1).saturating_sub(self.protocol.accept_threshold);
+        let corrupt = if deficit == 0 || deficit > (*capacity).min(incoming) {
+            0
+        } else {
+            deficit
+        };
+        *capacity -= corrupt;
+        self.adversary_spent += corrupt;
+        self.tally_true[u] += incoming - corrupt;
+        self.tally_wrong[u] += corrupt;
+    }
+
+    /// Applies the acceptance rule at one node (good or not-yet-crashed
+    /// receiver), scheduling its relay into `next`.
+    fn try_accept(&mut self, u: NodeId, next: &mut Vec<(NodeId, u64)>) {
+        if !self.is_honest_receiver(u) || self.accepted[u].is_some() {
+            return;
+        }
+        let true_in = self.tally_true[u] >= self.protocol.accept_threshold;
+        let wrong_in = self.tally_wrong[u] >= self.protocol.accept_threshold;
+        if wrong_in && self.tally_wrong[u] >= self.tally_true[u] {
+            self.accepted[u] = Some(Value::FORGED);
+            self.accepted_wave[u] = Some(self.waves);
+            if self.is_good(u) {
+                self.wrong_accepts += 1;
             }
-            let true_in = self.tally_true[u] >= self.protocol.accept_threshold;
-            let wrong_in = self.tally_wrong[u] >= self.protocol.accept_threshold;
-            if wrong_in && self.tally_wrong[u] >= self.tally_true[u] {
-                self.accepted[u] = Some(Value::FORGED);
-                self.accepted_wave[u] = Some(self.waves);
-                if self.is_good(u) {
-                    self.wrong_accepts += 1;
-                }
-            } else if true_in {
-                self.accepted[u] = Some(Value::TRUE);
-                self.accepted_wave[u] = Some(self.waves);
-                let quota = self.protocol.relay_copies[u];
-                let copies = match self.crash[u] {
-                    None => quota,
-                    Some(behavior) => behavior.copies_sent(quota),
-                };
-                if self.is_good(u) {
-                    self.good_copies_sent += copies;
-                }
-                if copies > 0 {
-                    next.push((u, copies));
-                }
+        } else if true_in {
+            self.accepted[u] = Some(Value::TRUE);
+            self.accepted_wave[u] = Some(self.waves);
+            let quota = self.protocol.relay_copies[u];
+            let copies = match self.crash[u] {
+                None => quota,
+                Some(behavior) => behavior.copies_sent(quota),
+            };
+            if self.is_good(u) {
+                self.good_copies_sent += copies;
+            }
+            if copies > 0 {
+                next.push((u, copies));
             }
         }
     }
@@ -395,6 +450,7 @@ pub struct CrashRun {
     wave: Vec<(NodeId, u64)>,
     next: Vec<(NodeId, u64)>,
     incoming: Vec<u64>,
+    touched: Worklist,
 }
 
 /// The stripe-of-height-`h` crash placement: all nodes in rows

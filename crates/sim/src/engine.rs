@@ -46,7 +46,7 @@
 //! ```
 
 use bftbcast_adversary::{Chaos, CorruptionStrategy, GreedyFrontier, Passive};
-use bftbcast_net::{NodeId, Topology, Value};
+use bftbcast_net::{NodeId, ScanMode, Topology, Value};
 
 use crate::agreement::{AgreementOutcome, AgreementSim, SourceBehavior, SplitAttack};
 use crate::counting::{AttackRun, CountingSim, MajorityRun, OracleRun};
@@ -85,6 +85,16 @@ pub trait SimEngine {
     fn probe(&self, u: NodeId) -> Option<Probe> {
         let _ = u;
         None
+    }
+
+    /// Selects dense or frontier per-step iteration (see [`ScanMode`]).
+    /// Both modes are bit-identical in outcomes and probes; the flag
+    /// only changes per-step cost. Call before [`SimEngine::prepare`];
+    /// the mode persists across re-prepares. Engines without a dense
+    /// scan to switch away from (the agreement engine is already
+    /// neighborhood-local) ignore it.
+    fn set_scan_mode(&mut self, mode: ScanMode) {
+        let _ = mode;
     }
 
     /// Prepares and steps to fixpoint, returning the final outcome.
@@ -309,6 +319,12 @@ impl SimEngine for CountingEngine {
             accepted: self.live.accepted(u),
         })
     }
+
+    fn set_scan_mode(&mut self, mode: ScanMode) {
+        // Template too, so the mode survives `prepare`'s clone.
+        self.template.set_scan_mode(mode);
+        self.live.set_scan_mode(mode);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -379,6 +395,11 @@ impl SimEngine for CrashEngine {
             accepted: self.live.accepted(u),
         })
     }
+
+    fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.template.set_scan_mode(mode);
+        self.live.set_scan_mode(mode);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -393,6 +414,7 @@ pub struct SlotEngine {
     source: NodeId,
     bad_nodes: Vec<NodeId>,
     config: crate::slot::SlotConfig,
+    scan: ScanMode,
     live: SlotSim,
     state: Option<SlotRun>,
 }
@@ -411,6 +433,7 @@ impl SlotEngine {
             source,
             bad_nodes: bad_nodes.to_vec(),
             config,
+            scan: ScanMode::default(),
             state: None,
         }
     }
@@ -428,6 +451,7 @@ impl SimEngine for SlotEngine {
 
     fn prepare(&mut self) {
         self.live = SlotSim::new(self.grid.clone(), self.source, &self.bad_nodes, self.config);
+        self.live.set_scan_mode(self.scan);
         self.state = Some(self.live.begin_rounds());
     }
 
@@ -451,6 +475,12 @@ impl SimEngine for SlotEngine {
             decided_neighbors: self.live.committed_neighbors(u),
             accepted: self.live.committed(u),
         })
+    }
+
+    fn set_scan_mode(&mut self, mode: ScanMode) {
+        // Stored so `prepare`'s rebuild re-applies it.
+        self.scan = mode;
+        self.live.set_scan_mode(mode);
     }
 }
 

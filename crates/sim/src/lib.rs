@@ -25,7 +25,10 @@
 //! declarative scenario runtime in the `bftbcast` crate drives.
 //! [`runner`] adds seeded parameter sweeps parallelized with std
 //! scoped threads, and [`metrics`] the outcome records the engines
-//! produce.
+//! produce. [`oracle`] is the differential harness for the frontier
+//! kernel: it runs any engine in [`bftbcast_net::ScanMode::Frontier`]
+//! and [`bftbcast_net::ScanMode::Dense`] lockstep, asserting per-step
+//! state equality.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod counting;
 pub mod crash;
 pub mod engine;
 pub mod metrics;
+pub mod oracle;
 pub mod render;
 pub mod runner;
 pub mod slot;
@@ -58,4 +62,5 @@ pub use counting::CountingSim;
 pub use crash::HybridSim;
 pub use engine::{EngineOutcome, Probe, SimEngine};
 pub use metrics::{CountingOutcome, ReactiveOutcome};
+pub use oracle::DenseOracle;
 pub use slot::SlotSim;

@@ -23,7 +23,7 @@
 
 use bftbcast_coding::frame::{AttackMask, Frame, FrameKind};
 use bftbcast_coding::{channel, segment};
-use bftbcast_net::{Budget, Grid, NodeId, Schedule, Topology, Value};
+use bftbcast_net::{Budget, Grid, NodeId, ScanMode, Schedule, Topology, Value, Worklist};
 use bftbcast_protocols::cpa::CpaState;
 use bftbcast_protocols::reactive::{ReactiveConfig, ReactiveSender, SenderAction};
 use rand::rngs::StdRng;
@@ -107,12 +107,24 @@ pub struct SlotSim {
     topology: Topology,
     schedule: Schedule,
     config: SlotConfig,
+    scan: ScanMode,
     source: NodeId,
     is_good: Vec<bool>,
     bad_nodes: Vec<NodeId>,
     bad_budget: Vec<Budget>,
     nodes: Vec<Option<GoodNode>>,
     rng: StdRng,
+    /// Nodes whose reactive sender exists; a superset is fine mid-round
+    /// (compacted lazily at round end). The frontier advance loop ticks
+    /// exactly these instead of scanning the grid.
+    live_senders: Worklist,
+    /// Nodes whose per-round flags were set this round by a delivery.
+    round_touched: Worklist,
+    // Incremental termination counters, maintained at every state
+    // transition so the frontier path's `finished()` is O(1).
+    uncommitted_good: usize,
+    busy_senders: usize,
+    pending_nacks: usize,
     // Counters.
     rounds: u64,
     data_transmissions: u64,
@@ -192,7 +204,12 @@ impl SlotSim {
         // The source is committed from the start and relays immediately.
         let src = nodes[source].as_mut().expect("source must be good");
         src.committed_value = Some(Value::TRUE);
-        src.sender = Some(ReactiveSender::new(&config.reactive));
+        let sender = ReactiveSender::new(&config.reactive);
+        let busy_senders = usize::from(!sender.is_done());
+        src.sender = Some(sender);
+        let mut live_senders = Worklist::new(n);
+        live_senders.insert(source);
+        let uncommitted_good = is_good.iter().filter(|&&g| g).count() - 1;
         SlotSim {
             rng: StdRng::seed_from_u64(config.seed),
             bad_budget: (0..n)
@@ -207,10 +224,16 @@ impl SlotSim {
             topology: Topology::new(grid),
             schedule,
             config,
+            scan: ScanMode::default(),
             source,
             is_good,
             bad_nodes: bad_nodes.to_vec(),
             nodes,
+            live_senders,
+            round_touched: Worklist::new(n),
+            uncommitted_good,
+            busy_senders,
+            pending_nacks: 0,
             rounds: 0,
             data_transmissions: 0,
             nack_transmissions: 0,
@@ -275,17 +298,34 @@ impl SlotSim {
         true
     }
 
+    /// Selects dense or frontier per-round iteration (see [`ScanMode`]).
+    /// Both modes are bit-identical; set before the first round.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan = mode;
+    }
+
+    /// The active scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
+    }
+
     fn finished(&self) -> bool {
-        self.nodes.iter().flatten().all(|g| {
-            g.committed_value.is_some()
-                && g.sender.as_ref().as_ref().is_none_or(|s| s.is_done())
-                && !g.pending_nack
-        })
+        match self.scan {
+            ScanMode::Dense => self.nodes.iter().flatten().all(|g| {
+                g.committed_value.is_some()
+                    && g.sender.as_ref().as_ref().is_none_or(|s| s.is_done())
+                    && !g.pending_nack
+            }),
+            // The counters track exactly the three clauses of the dense
+            // scan, updated at every state transition.
+            ScanMode::Frontier => {
+                self.uncommitted_good == 0 && self.busy_senders == 0 && self.pending_nacks == 0
+            }
+        }
     }
 
     fn step(&mut self, slot: u32) {
         let mut txs: Vec<Tx> = Vec::new();
-        let mut busy: Vec<bool> = vec![false; self.topology.node_count()];
 
         // --- Good transmitters of this slot class.
         for id in self.schedule.nodes_in_slot(slot).collect::<Vec<_>>() {
@@ -294,11 +334,11 @@ impl SlotSim {
             };
             node.transmitted_this_round = false;
             if node.pending_nack {
-                if node.budget.try_spend(1).is_err() {
-                    node.pending_nack = false; // exhausted: falls silent
-                    continue;
-                }
                 node.pending_nack = false;
+                self.pending_nacks -= 1;
+                if node.budget.try_spend(1).is_err() {
+                    continue; // exhausted: falls silent
+                }
                 node.messages_sent += 1;
                 self.nack_transmissions += 1;
                 let frame = Frame::nack(
@@ -317,7 +357,10 @@ impl SlotSim {
                 .is_some_and(|s| s.action() == SenderAction::Transmit)
             {
                 if node.budget.try_spend(1).is_err() {
+                    // A Transmit-action sender is never done, so this
+                    // drop always retires an active sender.
                     node.sender = None; // exhausted: gives up relaying
+                    self.busy_senders -= 1;
                     continue;
                 }
                 let value = node.committed_value.expect("sender without value");
@@ -334,15 +377,17 @@ impl SlotSim {
             }
         }
 
-        // --- Bad nodes: one action per round each.
-        for &b in &self.bad_nodes.clone() {
-            if self.bad_budget[b].remaining() == 0 || busy[b] {
+        // --- Bad nodes: one action per round each. (Index loop: no
+        // per-round clone of the bad-node list, and each id appears at
+        // most once so no separate "already acted" tracking is needed.)
+        for i in 0..self.bad_nodes.len() {
+            let b = self.bad_nodes[i];
+            if self.bad_budget[b].remaining() == 0 {
                 continue;
             }
             if self.act_bad_node(b, slot, &mut txs) {
                 self.bad_budget[b].try_spend(1).expect("checked above");
                 self.adversary_spent += 1;
-                busy[b] = true;
             }
         }
 
@@ -350,16 +395,54 @@ impl SlotSim {
         self.deliver(&txs);
 
         // --- Advance sender state machines.
-        for id in 0..self.topology.node_count() {
-            let Some(node) = self.nodes[id].as_mut() else {
-                continue;
-            };
-            let transmitted = node.transmitted_this_round;
-            let heard_nack = node.heard_nack_this_round;
-            node.heard_nack_this_round = false;
-            node.transmitted_this_round = false;
-            if let Some(sender) = node.sender.as_mut() {
-                sender.on_round_end(transmitted, heard_nack);
+        match self.scan {
+            ScanMode::Dense => {
+                for id in 0..self.topology.node_count() {
+                    self.advance_node(id);
+                }
+            }
+            ScanMode::Frontier => {
+                // Every node holding a sender is in `live_senders`
+                // (inserted at creation, compacted below), so ticking
+                // those covers every possible `on_round_end` effect; the
+                // rest of the touched set only needs its per-round flags
+                // cleared. Untouched senderless nodes have both flags
+                // false already.
+                for i in 0..self.live_senders.len() {
+                    let id = self.live_senders.item(i);
+                    self.advance_node(id);
+                }
+                for i in 0..self.round_touched.len() {
+                    let id = self.round_touched.item(i);
+                    if let Some(node) = self.nodes[id].as_mut() {
+                        node.heard_nack_this_round = false;
+                        node.transmitted_this_round = false;
+                    }
+                }
+                self.round_touched.clear();
+                let nodes = &self.nodes;
+                self.live_senders
+                    .retain(|id| nodes[id].as_ref().is_some_and(|n| n.sender.is_some()));
+            }
+        }
+    }
+
+    /// Clears one node's per-round flags and ticks its sender state
+    /// machine, maintaining `busy_senders` across the active→done
+    /// transition (senders never reactivate once done).
+    fn advance_node(&mut self, id: NodeId) {
+        let Some(node) = self.nodes[id].as_mut() else {
+            return;
+        };
+        let transmitted = node.transmitted_this_round;
+        let heard_nack = node.heard_nack_this_round;
+        node.heard_nack_this_round = false;
+        node.transmitted_this_round = false;
+        if let Some(sender) = node.sender.as_mut() {
+            let was_done = sender.is_done();
+            sender.on_round_end(transmitted, heard_nack);
+            if !was_done && sender.is_done() {
+                self.busy_senders -= 1;
             }
         }
     }
@@ -513,6 +596,7 @@ impl SlotSim {
                         FrameKind::Nack => {
                             let node = self.nodes[u].as_mut().expect("good node");
                             node.heard_nack_this_round = true;
+                            self.round_touched.insert(u);
                         }
                     },
                     Err(_) => {
@@ -521,8 +605,13 @@ impl SlotSim {
                         // A garbled frame triggers a NACK, and — like a
                         // corrupt NACK — signals failure to any listening
                         // sender.
+                        let newly_pending = !node.pending_nack;
                         node.pending_nack = true;
                         node.heard_nack_this_round = true;
+                        if newly_pending {
+                            self.pending_nacks += 1;
+                        }
+                        self.round_touched.insert(u);
                     }
                 }
             }
@@ -536,7 +625,14 @@ impl SlotSim {
         }
         if let Some(committed) = node.cpa.on_deliver(from, value, from == self.source) {
             node.committed_value = Some(committed);
-            node.sender = Some(ReactiveSender::new(&self.config.reactive));
+            let sender = ReactiveSender::new(&self.config.reactive);
+            let busy = !sender.is_done();
+            node.sender = Some(sender);
+            self.uncommitted_good -= 1;
+            if busy {
+                self.busy_senders += 1;
+            }
+            self.live_senders.insert(u);
         }
     }
 

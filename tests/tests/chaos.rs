@@ -26,6 +26,15 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use bftbcast::json::Json;
+use bftbcast::scenario_file::{
+    AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, PlacementSpec, ReactiveSpec,
+    SourceSpec,
+};
+use bftbcast::sim::crash::CrashBehavior;
+use bftbcast::sim::engine::AgreementMode;
+use bftbcast::sim::slot::ReactiveAdversary;
+use bftbcast::sim::DenseOracle;
+use bftbcast::spec::EngineSpec;
 use bftbcast_server::{client, Server};
 use bftbcast_store::{fsck, fsck_report, repair, FaultPlan, Store};
 
@@ -195,6 +204,139 @@ fn fsck_detects_and_repair_heals_every_injected_flip() {
         assert_eq!(store.len() as u64, total);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// One small deterministic spec per engine kind — the frontier-kernel
+/// sweep the serve/store chaos cycle runs below.
+fn frontier_sweep_specs() -> Vec<EngineSpec> {
+    let counting = EngineSpec::counting(15, 15, 1)
+        .name("chaos-frontier-counting")
+        .faults(1, 6)
+        .placement(PlacementSpec::Explicit(vec![(3, 4), (9, 11)]))
+        .protocol_b()
+        .adversary(AdversarySpec::Greedy)
+        .finish()
+        .expect("valid counting spec");
+    let crash = EngineSpec::crash(13, 13, 1)
+        .name("chaos-frontier-crash")
+        .faults(1, 4)
+        .placement(PlacementSpec::Explicit(vec![(11, 2)]))
+        .protocol_b()
+        .crash_load(CrashSpec {
+            nodes: CrashNodesSpec::Stripe { y0: 6, height: 1 },
+            behavior: CrashBehavior::AfterCopies(2),
+        })
+        .finish()
+        .expect("valid crash spec");
+    let slot = EngineSpec::slot(9, 9, 1)
+        .name("chaos-frontier-slot")
+        .faults(1, 4)
+        .placement(PlacementSpec::Explicit(vec![(4, 7)]))
+        .seed(0xF407_FEED)
+        .reactive(ReactiveSpec {
+            k: 4,
+            mmax: 1 << 12,
+            adversary: ReactiveAdversary::Mixed,
+            budget: None,
+            max_rounds: 20_000,
+        })
+        .finish()
+        .expect("valid slot spec");
+    let agreement = EngineSpec::agreement(9, 9, 2)
+        .name("chaos-frontier-agreement")
+        .faults(1, 3)
+        .placement(PlacementSpec::Explicit(vec![(2, 2)]))
+        .seed(7)
+        .agreement_config(AgreementSpec {
+            mode: AgreementMode::Cheap,
+            source: SourceSpec::Split,
+            p1: 0.5,
+            pe: 0.25,
+        })
+        .finish()
+        .expect("valid agreement spec");
+    vec![counting, crash, slot, agreement]
+}
+
+/// The frontier-kernel tie-in: a sweep of all four engines through
+/// serve/store with a crash + restart in the middle. The preflight
+/// proves the kernel equivalence (frontier vs dense, per-wave, via
+/// [`DenseOracle`]); the cycle then proves the serving stack built on
+/// that kernel replays 100% warm after a crash — bit-identical rows,
+/// and cache keys that are pure configuration (no scan-mode leakage),
+/// so the kernel swap can never move a stored row's identity.
+#[test]
+fn frontier_engine_sweep_replays_warm_after_crash_with_stable_keys() {
+    let specs = frontier_sweep_specs();
+    // Kernel equivalence preflight: every spec's engine, both scan
+    // modes, lockstep — outcomes and every per-node probe equal after
+    // every wave (DenseOracle panics on the first divergence).
+    for spec in &specs {
+        let frontier = spec.build_engine().expect("buildable spec");
+        let dense = spec.build_engine().expect("buildable spec");
+        DenseOracle::new(frontier, dense).run();
+    }
+    let keys: Vec<u64> = specs.iter().map(EngineSpec::cache_key).collect();
+
+    let seed = SEEDS[0];
+    let dir = temp_dir("frontier", seed);
+
+    // Life 1: cold-compute the whole sweep (the server's engines run
+    // the default scan mode — the frontier kernel).
+    let store = Arc::new(Store::open(&dir).expect("open store"));
+    let (addr, _abandoned) = start(Arc::clone(&store));
+    let mut cold_rows = Vec::new();
+    for spec in &specs {
+        let job = client::submit(&addr, &spec.to_scn()).expect("cold submit");
+        let (rows, _) = client::results(&addr, &job).expect("cold results");
+        assert!(!rows.is_empty(), "{}: no rows", spec.name());
+        cold_rows.push(rows);
+    }
+
+    // Crash: abandon the serve thread and tear seeded garbage onto the
+    // log tail, exactly like the f2 crash scenario.
+    let mut state = seed;
+    let tail_len = 1 + (splitmix(&mut state) as usize % 40);
+    let garbage: Vec<u8> = (0..tail_len)
+        .map(|_| (splitmix(&mut state) % 256) as u8)
+        .collect();
+    let mut log = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("store.log"))
+        .expect("open log for tearing");
+    log.write_all(&garbage).expect("tear the tail");
+    drop(log);
+
+    // Life 2: recovery sees the tear, every stored row survives, and
+    // the resubmitted sweep replays 100% warm and bit-identical.
+    let store2 = Arc::new(Store::open(&dir).expect("reopen after crash"));
+    assert!(!store2.recovery().is_clean(), "tear must be visible");
+    assert_eq!(store2.len(), specs.len(), "one stored row per engine");
+    let (addr2, handle2) = start(Arc::clone(&store2));
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(
+            spec.cache_key(),
+            keys[i],
+            "{}: cache keys are configuration-only",
+            spec.name()
+        );
+        let job = client::submit(&addr2, &spec.to_scn()).expect("warm resubmit");
+        let (rows, _) = client::results(&addr2, &job).expect("warm results");
+        assert_eq!(
+            rows,
+            cold_rows[i],
+            "{}: rows not bit-identical",
+            spec.name()
+        );
+        let status = client::status(&addr2, &job).expect("status");
+        assert_eq!(field_u64(&status, "cache_hits"), 1, "{status}");
+        assert_eq!(field_u64(&status, "cache_misses"), 0, "100% warm: {status}");
+    }
+
+    client::shutdown(&addr2).expect("shutdown");
+    handle2.join().unwrap().unwrap();
+    assert!(fsck(&dir).is_ok(), "post-shutdown fsck");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Connections dropped mid-request and mid-reply: the server keeps

@@ -1,0 +1,294 @@
+//! Frontier-vs-dense property suite for the worklist kernel.
+//!
+//! Every engine (counting, crash, slot, agreement) is driven through
+//! [`DenseOracle`] on SplitMix64-generated random specs — ≥128 cases
+//! per engine covering every adversary placement and strategy the spec
+//! layer knows, mixed radio ranges, and torus dimensions including the
+//! degenerate shapes where the frontier must wrap correctly (exact
+//! `2r+1` tori, i.e. `r ≥ dim/2`, and thin strips pinned at the wrap
+//! minimum). The harness asserts, after **every** wave, that outcomes,
+//! per-node probes and the step flag are bit-identical between
+//! [`ScanMode::Frontier`] and [`ScanMode::Dense`] — per-wave counters
+//! included, not just final results.
+//!
+//! [`DenseOracle`]: bftbcast::sim::DenseOracle
+//! [`ScanMode::Frontier`]: bftbcast::net::ScanMode::Frontier
+//! [`ScanMode::Dense`]: bftbcast::net::ScanMode::Dense
+
+use bftbcast::prelude::Grid;
+use bftbcast::scenario_file::{
+    AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, PlacementSpec, ProtocolSpec,
+    ReactiveSpec, SourceSpec,
+};
+use bftbcast::sim::crash::CrashBehavior;
+use bftbcast::sim::engine::AgreementMode;
+use bftbcast::sim::slot::ReactiveAdversary;
+use bftbcast::sim::DenseOracle;
+use bftbcast::spec::EngineSpec;
+
+/// Cases per engine (the ISSUE floor is 100).
+const CASES: usize = 128;
+
+/// SplitMix64 — one case seed fans out into every spec field.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, n: u64) -> u64 {
+    next(state) % n
+}
+
+/// Distinct random cells (the explicit-placement path feeds engine
+/// constructors that reject duplicate bad nodes).
+fn cells(st: &mut u64, w: u32, h: u32, max: u64) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = (0..pick(st, max + 1))
+        .map(|_| (pick(st, u64::from(w)) as u32, pick(st, u64::from(h)) as u32))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Torus dimensions mixing the general case with the degenerate shapes
+/// the frontier kernel must wrap: exact `2r+1` tori (every neighborhood
+/// covers the whole grid minus the seed — `r ≥ dim/2`) and thin strips
+/// with one dimension pinned at the wrap minimum.
+fn gen_dims(st: &mut u64) -> (u32, u32, u32) {
+    let r = 1 + pick(st, 2) as u32;
+    let side = 2 * r + 1;
+    match pick(st, 4) {
+        0 => (side, side, r),
+        1 => (side, side + 8 + pick(st, 20) as u32, r),
+        2 => (side + 8 + pick(st, 20) as u32, side, r),
+        _ => (side + pick(st, 18) as u32, side + pick(st, 18) as u32, r),
+    }
+}
+
+/// One random spec for the given engine kind (0 = counting, 1 = crash,
+/// 2 = slot, 3 = agreement) on the given torus: every placement
+/// variant, every counting adversary/protocol, every crash behavior,
+/// every reactive adversary, every agreement mode/source.
+fn gen_spec(kind: u64, (width, height, r): (u32, u32, u32), st: &mut u64) -> EngineSpec {
+    let t = 1 + pick(st, 2) as u32;
+    let mut b = match kind {
+        0 => EngineSpec::counting(width, height, r),
+        1 => EngineSpec::crash(width, height, r),
+        2 => EngineSpec::slot(width, height, r),
+        _ => EngineSpec::agreement(width, height, r),
+    };
+    b = b
+        .faults(t, 1 + pick(st, 24))
+        .source(
+            pick(st, u64::from(width)) as u32,
+            pick(st, u64::from(height)) as u32,
+        )
+        .seed(next(st));
+    // The lattice construction requires both dims divisible by 2r+1
+    // (and an in-range class offset); fall back to no placement
+    // elsewhere so every shape still exercises all variants it can.
+    let side = 2 * r + 1;
+    let lattice_ok = width % side == 0 && height % side == 0;
+    b = b.placement(match pick(st, 6) {
+        1 if lattice_ok => PlacementSpec::Lattice {
+            offset: pick(st, u64::from(side * side - t) + 1) as u32,
+        },
+        0 | 1 => PlacementSpec::None,
+        2 => PlacementSpec::Stripes(vec![(
+            pick(st, u64::from(height)) as u32,
+            t,
+            pick(st, 2) == 0,
+        )]),
+        3 => PlacementSpec::Random {
+            count: pick(st, 8) as usize,
+        },
+        4 => PlacementSpec::Bernoulli {
+            p: pick(st, 30) as f64 / 1000.0,
+        },
+        _ => PlacementSpec::Explicit(cells(st, width, height, 4)),
+    });
+    match kind {
+        0 => {
+            b = match pick(st, 5) {
+                0 => b.protocol_b(),
+                1 => b.koo(),
+                2 => b.heterogeneous(),
+                3 => b.starved(pick(st, 400)),
+                _ => b.majority(1 + pick(st, 24)),
+            };
+            // Majority pins the oracle adversary; everything else sweeps
+            // all four strategies.
+            if !matches!(
+                b.clone().finish().map(|s| s.point().protocol),
+                Ok(ProtocolSpec::Majority { .. })
+            ) {
+                b = b.adversary(
+                    [
+                        AdversarySpec::Oracle,
+                        AdversarySpec::Greedy,
+                        AdversarySpec::Chaos,
+                        AdversarySpec::Passive,
+                    ][pick(st, 4) as usize],
+                );
+            }
+        }
+        1 => {
+            b = match pick(st, 5) {
+                0 => b.protocol_b(),
+                1 => b.koo(),
+                2 => b.heterogeneous(),
+                3 => b.starved(pick(st, 400)),
+                _ => b.crash_only(),
+            };
+            let nodes = match pick(st, 2) {
+                0 => CrashNodesSpec::Stripe {
+                    y0: pick(st, u64::from(height)) as u32,
+                    height: 1 + pick(st, 3) as u32,
+                },
+                _ => CrashNodesSpec::Explicit(cells(st, width, height, 4)),
+            };
+            let behavior = match pick(st, 3) {
+                0 => CrashBehavior::Immediate,
+                1 => CrashBehavior::AfterQuota,
+                _ => CrashBehavior::AfterCopies(pick(st, 40)),
+            };
+            b = b.crash_load(CrashSpec { nodes, behavior });
+        }
+        2 => {
+            b = b.reactive(ReactiveSpec {
+                k: 1 + pick(st, 8) as usize,
+                mmax: 1 + pick(st, 1 << 12),
+                adversary: [
+                    ReactiveAdversary::Passive,
+                    ReactiveAdversary::Jammer,
+                    ReactiveAdversary::Canceller,
+                    ReactiveAdversary::NackForger,
+                    ReactiveAdversary::WitnessForger,
+                    ReactiveAdversary::Mixed,
+                ][pick(st, 6) as usize],
+                budget: match pick(st, 2) {
+                    0 => None,
+                    _ => Some(1 + pick(st, 1 << 12)),
+                },
+                max_rounds: 2_000 + pick(st, 8_000),
+            });
+        }
+        _ => {
+            // Proven mode's t bound holds at t = 1 for every r ≥ 1.
+            let mode = if t == 1 && pick(st, 2) == 0 {
+                AgreementMode::Proven
+            } else {
+                AgreementMode::Cheap
+            };
+            b = b.agreement_config(AgreementSpec {
+                mode,
+                source: [SourceSpec::Correct, SourceSpec::Split, SourceSpec::Silent]
+                    [pick(st, 3) as usize],
+                p1: pick(st, 1001) as f64 / 1000.0,
+                pe: pick(st, 1001) as f64 / 1000.0,
+            });
+        }
+    }
+    b.finish().expect("generated specs are valid")
+}
+
+/// Builds the spec's engine twice and runs the lockstep harness; `None`
+/// when the placement is rejected (local bound) so the caller can
+/// retry with the next seed. Returns the number of lockstep steps.
+fn check_case(kind: u64, dims: (u32, u32, u32), case_seed: u64) -> Option<usize> {
+    let mut s = case_seed;
+    let spec = gen_spec(kind, dims, &mut s);
+    let (Ok(frontier), Ok(dense)) = (spec.build_engine(), spec.build_engine()) else {
+        return None;
+    };
+    let mut oracle = DenseOracle::new(frontier, dense);
+    oracle.run();
+    Some(oracle.steps())
+}
+
+/// ≥ [`CASES`] random specs for one engine kind, retrying seeds whose
+/// placement trips the local-bound validator. Asserts that a majority
+/// of the surviving cases actually propagate for multiple waves, so
+/// the equivalence is never vacuously checked on stalled runs.
+fn run_cases(kind: u64, tag: &str) {
+    let mut stream = 0xF407_1E55_0000_0000 + kind;
+    let (mut ran, mut skipped, mut multi_wave) = (0usize, 0usize, 0usize);
+    while ran < CASES {
+        assert!(
+            skipped < 10 * CASES,
+            "{tag}: generator rejects too much (ran {ran}, skipped {skipped})"
+        );
+        let mut s = next(&mut stream);
+        let dims = gen_dims(&mut s);
+        match check_case(kind, dims, s) {
+            None => skipped += 1,
+            Some(steps) => {
+                ran += 1;
+                if steps > 2 {
+                    multi_wave += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        2 * multi_wave > CASES,
+        "{tag}: most cases must propagate multiple waves ({multi_wave}/{CASES})"
+    );
+}
+
+#[test]
+fn counting_engine_frontier_matches_dense() {
+    run_cases(0, "counting");
+}
+
+#[test]
+fn crash_engine_frontier_matches_dense() {
+    run_cases(1, "crash");
+}
+
+#[test]
+fn slot_engine_frontier_matches_dense() {
+    run_cases(2, "slot");
+}
+
+#[test]
+fn agreement_engine_frontier_matches_dense() {
+    run_cases(3, "agreement");
+}
+
+/// The named degenerate shapes, pinned (not left to the generator's
+/// dice): exact-wrap tori where `r ≥ dim/2` and thin strips, for every
+/// engine. Each shape must yield at least one buildable case that the
+/// lockstep harness passes.
+#[test]
+fn degenerate_wrap_tori_match_dense_across_engines() {
+    for dims in [(3, 3, 1), (5, 5, 2), (3, 24, 1), (24, 3, 1), (5, 40, 2)] {
+        for kind in 0..4u64 {
+            let mut stream = 0xDE9E_0000 + (kind << 8) + u64::from(dims.0);
+            let mut checked = false;
+            for _ in 0..40 {
+                if check_case(kind, dims, next(&mut stream)).is_some() {
+                    checked = true;
+                    break;
+                }
+            }
+            assert!(checked, "no buildable case for kind {kind} on {dims:?}");
+        }
+    }
+}
+
+/// Grids that cannot host a wrap-free neighborhood are rejected at
+/// construction — the frontier kernel never sees a 1×N strip or a
+/// dimension below `2r+1`.
+#[test]
+fn sub_neighborhood_grids_are_rejected() {
+    assert!(Grid::new(1, 50, 1).is_err(), "1×N strip");
+    assert!(Grid::new(50, 1, 1).is_err(), "N×1 strip");
+    assert!(Grid::new(4, 50, 2).is_err(), "width < 2r+1");
+    assert!(Grid::new(50, 4, 2).is_err(), "height < 2r+1");
+    assert!(Grid::new(3, 3, 1).is_ok(), "exactly 2r+1 is the minimum");
+    assert!(Grid::new(5, 5, 2).is_ok());
+}

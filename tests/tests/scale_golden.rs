@@ -1,0 +1,74 @@
+//! Pinned golden for the scale sweep's 1024×1024 point.
+//!
+//! The `scale` experiment (`crates/bench/src/experiments/scale.rs`)
+//! sweeps the frontier kernel up to a 4096×4096 torus; its timings are
+//! machine-dependent, but everything else about the 1024×1024 point is
+//! exactly reproducible: the outcome counters of the broadcast and the
+//! per-wave frontier trajectory. This test pins both — the counters
+//! directly, and the trajectory as a rendered figure hashed through the
+//! report layer ([`figure_hash`]), so any drift in the kernel, the
+//! sweep's adversary construction, *or* the SVG renderer shows up as a
+//! golden mismatch.
+//!
+//! [`figure_hash`]: bftbcast::report::figure_hash
+
+use bftbcast::net::ScanMode;
+use bftbcast::report::figure_hash;
+use bftbcast::viz::LineChart;
+use bftbcast_bench::experiments::scale;
+
+#[test]
+fn scale_1024_point_outcome_and_figure_are_pinned() {
+    let (mut sim, mf) = scale::build_sim(1024);
+    sim.set_scan_mode(ScanMode::Frontier);
+    let mut run = sim.begin_oracle(mf);
+    // The per-wave frontier trajectory: `front_size` before each step
+    // is the sender set that step expands.
+    let mut fronts: Vec<usize> = Vec::new();
+    loop {
+        fronts.push(run.front_size());
+        if !sim.step_oracle(&mut run) {
+            break;
+        }
+    }
+    let out = sim.outcome();
+
+    // The broadcast completes: the sparse adversary (spacing 103) never
+    // exceeds t = 1 in any neighborhood, so protocol B reaches every
+    // good node (1048576 cells minus the 10181 bad ones). The oracle
+    // spends nothing: with relay quota 4 and threshold 5, a receiver's
+    // first contact is always safe and its second is already hopeless.
+    assert_eq!(out.waves, 518);
+    assert_eq!(out.good_nodes, 1_038_395);
+    assert_eq!(out.accepted_true, 1_038_395);
+    assert_eq!(out.wrong_accepts, 0);
+    assert_eq!(out.good_copies_sent, 9_345_546);
+    assert_eq!(out.source_copies_sent, 9);
+    assert_eq!(out.adversary_spent, 0);
+
+    // The frontier grows to the torus midline and shrinks back: one
+    // entry per wave plus the initial single-sender front.
+    assert_eq!(fronts.len(), 519);
+    assert_eq!(fronts[0], 1);
+    assert_eq!(fronts.iter().copied().max(), Some(4049));
+
+    // Figure: the frontier grow/shrink trajectory, sampled every 16th
+    // wave, rendered and hashed through the report layer.
+    let mut chart = LineChart::new(
+        "scale-1024: per-wave frontier size",
+        "wave",
+        "front_senders",
+    );
+    let points: Vec<(f64, f64)> = fronts
+        .iter()
+        .enumerate()
+        .step_by(16)
+        .map(|(w, &f)| (w as f64, f as f64))
+        .collect();
+    chart.series("front", &points);
+    let hash = figure_hash(&chart.render());
+    assert_eq!(
+        hash, 0x3f9a_5ac7_5f15_82c2,
+        "scale-1024 figure drifted (kernel trajectory or SVG renderer changed)"
+    );
+}
