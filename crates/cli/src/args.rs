@@ -50,6 +50,11 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+/// Flags that take no value: presence alone means "true". Everything
+/// else keeps the strict `--key value` shape so a forgotten value is
+/// still caught as [`ArgsError::MissingValue`].
+const SWITCHES: &[&str] = &["verbose", "log-x"];
+
 impl Args {
     /// Parses a raw argument list (without the program name).
     ///
@@ -66,6 +71,13 @@ impl Args {
         let mut iter = raw.into_iter().map(Into::into).peekable();
         while let Some(tok) = iter.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.flags
+                        .entry(name.to_string())
+                        .or_default()
+                        .push("true".to_string());
+                    continue;
+                }
                 let value = match iter.peek() {
                     Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
                     _ => return Err(ArgsError::MissingValue(name.to_string())),
@@ -78,6 +90,12 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a valueless switch (see the `SWITCHES` whitelist) was
+    /// given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// The raw value of a flag (the last occurrence when repeated).
@@ -179,6 +197,17 @@ mod tests {
     fn empty_input_is_fine() {
         let a = Args::parse(Vec::<String>::new()).unwrap();
         assert_eq!(a.command, None);
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let a = Args::parse(["stats", "--verbose"]).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("addr"));
+        // A switch mid-line does not swallow the next token.
+        let a = Args::parse(["stats", "--verbose", "--addr", "x:1"]).unwrap();
+        assert!(a.switch("verbose"));
+        assert_eq!(a.get("addr"), Some("x:1"));
     }
 
     #[test]

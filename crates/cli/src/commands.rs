@@ -109,9 +109,20 @@ COMMANDS:
              JSONL rows (waits for the job to finish); identical to
              run --scenario output; a reply dropped mid-stream refetches
              whole (bit-identical, never partial)
-  stats      [--addr HOST:PORT]: server store/queue statistics
+  stats      [--addr HOST:PORT --verbose]: server store/queue
+             statistics; --verbose adds the on-disk log breakdown
+             (bytes, records, quarantined spans, recovery state)
   shutdown   [--addr HOST:PORT]: stop the server (drains queued jobs,
              fsyncs the store)
+  federate   FILE [--addr HOST:PORT ... --retries N --retry-ms MS]
+             shard a scenario's sweep points across several running
+             servers — repeat --addr once per backend; points go to
+             backends by rendezvous hash of their store key, so reruns
+             against the same backends replay warm from the shard
+             stores; rows stream to stderr as they arrive (tagged with
+             their origin backend) and print to stdout in sweep order,
+             bit-identical to run --scenario; a backend that dies
+             mid-run fails over its unfinished points to the survivors
   store      fsck|repair|compact [--store DIR]
              offline log maintenance (default DIR .bftbcast-store):
              fsck verifies every record checksum and exits non-zero if
@@ -119,14 +130,21 @@ COMMANDS:
              from its verifiable records (shedding corrupt spans and
              torn tails, migrating v1 logs); compact rewrites even a
              clean log (also dropping duplicate records)
+  store      merge SRC [--store DST] | sync A B
+             consolidate stores (e.g. federation shards): merge imports
+             every verified record of SRC into DST (default DST
+             .bftbcast-store; write-once, so duplicates and corrupt
+             spans are skipped); sync reconciles A and B both ways
+             until they hold the same records
   report     --scenario FILE [--out DIR --store DIR --jobs N
-              --figure auto|map|chart --field NAME --x AXIS --point N
-              --cell N --addr HOST:PORT]
+              --figure auto|map|chart --field NAME --x AXIS --log-x
+              --point N --cell N --addr HOST:PORT]
              render a scenario as a paper-style SVG figure into --out
              (default .): a sweep becomes a line chart of --field
-             (default coverage) vs --x, a single point a per-node heat
-             map (probes expanded to every cell; --field intake|
-             tally_true|tally_wrong|decided_neighbors); --store
+             (default coverage) vs --x (--log-x plots x on a log10
+             scale for sweeps spanning decades), a single point a
+             per-node heat map (probes expanded to every cell; --field
+             intake|tally_true|tally_wrong|decided_neighbors); --store
              cache-replays computed points, --addr renders remotely on
              a running server via the report request
   report     --from-jsonl FILE [--scenario FILE --out DIR ...]
@@ -168,6 +186,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("results") => cmd_results(args),
         Some("stats") => cmd_stats(args),
         Some("shutdown") => cmd_shutdown(args),
+        Some("federate") => cmd_federate(args),
         Some("store") => cmd_store(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; run `bftbcast help`"
@@ -506,6 +525,7 @@ fn report_spec_from(args: &Args) -> Result<bftbcast::ReportSpec, CliError> {
     }
     spec.field = args.get("field").map(str::to_string);
     spec.x_axis = args.get("x").map(str::to_string);
+    spec.log_x = args.switch("log-x");
     spec.point = args.int_or("point", 0usize)?;
     let cell: u32 = args.int_or("cell", spec.cell_px)?;
     if cell == 0 || cell > 64 {
@@ -595,6 +615,7 @@ fn cmd_report(args: &Args) -> Result<String, CliError> {
             figure: args.get("figure").map(str::to_string),
             field: args.get("field").map(str::to_string),
             x: args.get("x").map(str::to_string),
+            log_x: spec.log_x,
             point: args.get("point").map(|_| spec.point as u64),
             cell: args.get("cell").map(|_| u64::from(spec.cell_px)),
         };
@@ -806,11 +827,66 @@ fn cmd_results(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `stats`: the server's store/queue statistics line.
+/// `stats`: the server's store/queue statistics line; `--verbose` asks
+/// for the on-disk log breakdown too.
 fn cmd_stats(args: &Args) -> Result<String, CliError> {
     let addr = addr_from(args);
-    let line = bftbcast_server::client::stats(&addr).map_err(|e| net_err("querying", &addr, e))?;
+    let line = if args.switch("verbose") {
+        bftbcast_server::client::stats_verbose(&addr)
+    } else {
+        bftbcast_server::client::stats(&addr)
+    }
+    .map_err(|e| net_err("querying", &addr, e))?;
     Ok(format!("{line}\n"))
+}
+
+/// `federate FILE --addr A --addr B ...`: shard a sweep across running
+/// servers. Arrival-order progress goes to stderr; stdout carries the
+/// sweep-order rows, bit-identical to `run --scenario FILE`.
+fn cmd_federate(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Other("federate needs a scenario file argument".into()))?;
+    let backends = args.get_all("addr").to_vec();
+    if backends.is_empty() {
+        return Err(CliError::Other(
+            "federate needs at least one --addr HOST:PORT backend (repeat per backend)".into(),
+        ));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    let file = ScenarioFile::parse(&text)?;
+    let opts = bftbcast_federate::FederateOptions {
+        retry: retry_from(args)?,
+    };
+    let report = bftbcast_federate::run_with(&file, &backends, &opts, |arrival| {
+        eprintln!(
+            "point {} <- {}{}",
+            arrival.point,
+            arrival.backend,
+            if arrival.warm { " (warm)" } else { "" }
+        );
+    })
+    .map_err(|e| net_err("federating over", &backends.join(", "), e))?;
+    for summary in &report.backends {
+        eprintln!(
+            "backend {}: assigned {} completed {}{}",
+            summary.addr,
+            summary.assigned,
+            summary.completed,
+            if summary.dead { " DEAD" } else { "" }
+        );
+    }
+    eprintln!(
+        "{} point(s), {} failover(s), cache_hits {}, cache_misses {}",
+        report.points, report.failovers, report.cache_hits, report.cache_misses
+    );
+    let mut out = report.rows.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// `store fsck|repair|compact [--store DIR]`: offline log maintenance.
@@ -842,11 +918,31 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
                 .map_err(|e| CliError::Other(format!("compact {dir}: {e}")))?;
             Ok(format!("{dir}: {report}\n"))
         }
+        Some("merge") => {
+            let src = args.positional.get(1).ok_or_else(|| {
+                CliError::Other("store merge needs a source directory argument".into())
+            })?;
+            let report = bftbcast_store::merge::merge(dir, src)
+                .map_err(|e| CliError::Other(format!("merge {src} into {dir}: {e}")))?;
+            Ok(format!("{dir} <- {src}: {report}\n"))
+        }
+        Some("sync") => {
+            let (Some(a), Some(b)) = (args.positional.get(1), args.positional.get(2)) else {
+                return Err(CliError::Other(
+                    "store sync needs two store directory arguments".into(),
+                ));
+            };
+            let report = bftbcast_store::sync(a, b)
+                .map_err(|e| CliError::Other(format!("sync {a} <-> {b}: {e}")))?;
+            Ok(format!("{a} <-> {b}: {report}\n"))
+        }
         Some(other) => Err(CliError::Other(format!(
-            "unknown store verb {other:?} (fsck|repair|compact)"
+            "unknown store verb {other:?} (fsck|repair|compact|merge|sync)"
         ))),
         None => Err(CliError::Other(
-            "store needs a verb: fsck | repair | compact [--store DIR]".into(),
+            "store needs a verb: fsck | repair | compact [--store DIR] \
+             | merge SRC [--store DST] | sync A B"
+                .into(),
         )),
     }
 }
@@ -1467,6 +1563,140 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// `federate` against two in-process backends: stdout rows equal
+    /// `run --scenario` byte for byte, and the shards merge into one
+    /// warm store.
+    #[test]
+    fn federate_verb_matches_local_run_and_merges_shards() {
+        use bftbcast_store::Store;
+        use std::sync::Arc;
+        let dir =
+            std::env::temp_dir().join(format!("bftbcast_cli_test_federate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scn = dir.join("mini.scn");
+        std::fs::write(
+            &scn,
+            concat!(
+                "name = \"mini\"\n",
+                "[topology]\nside = 15\nr = 1\n",
+                "[faults]\nt = 1\nmf = 4\n",
+                "[placement]\nkind = \"lattice\"\n",
+                "[protocol]\nkind = \"starved\"\nm = 4\n",
+                "[sweep]\nm = [2, 4, 6, 8]\n",
+            ),
+        )
+        .unwrap();
+        let scn = scn.to_str().unwrap();
+
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        let mut shards = Vec::new();
+        for i in 0..2 {
+            let shard = dir.join(format!("shard-{i}"));
+            let store = Arc::new(Store::open(&shard).unwrap());
+            let server = bftbcast_server::Server::bind("127.0.0.1:0", store, Some(2)).unwrap();
+            addrs.push(server.local_addr().to_string());
+            handles.push(std::thread::spawn(move || server.serve()));
+            shards.push(shard);
+        }
+
+        let local = run(&["run", "--scenario", scn]).unwrap();
+        let federated = run(&["federate", scn, "--addr", &addrs[0], "--addr", &addrs[1]]).unwrap();
+        assert_eq!(federated, local, "federated == local, byte for byte");
+
+        // Fold both shards into one store; a local warm run replays it.
+        let merged = dir.join("merged");
+        for shard in &shards {
+            let out = run(&[
+                "store",
+                "merge",
+                shard.to_str().unwrap(),
+                "--store",
+                merged.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(out.contains("imported"), "{out}");
+        }
+        assert!(run(&["store", "fsck", "--store", merged.to_str().unwrap()]).is_ok());
+
+        for addr in &addrs {
+            run(&["shutdown", "--addr", addr]).unwrap();
+        }
+        for handle in handles {
+            handle.join().unwrap().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn federate_verb_validates_its_flags() {
+        assert!(run(&["federate"]).is_err(), "missing file");
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/f2.scn");
+        let err = run(&["federate", scn]).unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+        assert!(run(&["federate", "/nonexistent/nope.scn", "--addr", "127.0.0.1:1"]).is_err());
+    }
+
+    /// `store sync` reconciles two stores both ways.
+    #[test]
+    fn store_sync_reconciles_two_stores() {
+        let dir =
+            std::env::temp_dir().join(format!("bftbcast_cli_test_sync_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = dir.join("a");
+        let b = dir.join("b");
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/t1.scn");
+        // Different --set overrides give the two stores disjoint keys.
+        run(&["run", "--scenario", scn, "--store", a.to_str().unwrap()]).unwrap();
+        run(&[
+            "run",
+            "--scenario",
+            scn,
+            "--store",
+            b.to_str().unwrap(),
+            "--set",
+            "mf=2",
+        ])
+        .unwrap();
+        let out = run(&["store", "sync", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(out.contains("a <- b"), "{out}");
+        assert!(out.contains("imported 5"), "{out}");
+        // Both directions imported; now both replay the other's sweep
+        // warm — the synced stores are interchangeable.
+        let warm_b = run(&["run", "--scenario", scn, "--store", b.to_str().unwrap()]).unwrap();
+        let warm_a = run(&["run", "--scenario", scn, "--store", a.to_str().unwrap()]).unwrap();
+        assert_eq!(warm_a, warm_b);
+        // Re-sync is a no-op: nothing new to import on either side.
+        let again = run(&["store", "sync", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(again.contains("imported 0"), "{again}");
+        assert!(
+            run(&["store", "sync", a.to_str().unwrap()]).is_err(),
+            "one arg"
+        );
+        assert!(run(&["store", "merge"]).is_err(), "no source");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_verbose_reports_the_store_breakdown() {
+        use bftbcast_store::Store;
+        use std::sync::Arc;
+        let server =
+            bftbcast_server::Server::bind("127.0.0.1:0", Arc::new(Store::in_memory()), None)
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+        let plain = run(&["stats", "--addr", &addr]).unwrap();
+        assert!(plain.contains("\"queue_depth\":0"), "{plain}");
+        assert!(!plain.contains("store_records"), "{plain}");
+        let verbose = run(&["stats", "--verbose", "--addr", &addr]).unwrap();
+        assert!(verbose.contains("\"store_records\":"), "{verbose}");
+        assert!(verbose.contains("\"store_recovery_clean\":"), "{verbose}");
+        run(&["shutdown", "--addr", &addr]).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
     #[test]
     fn serve_and_retry_flags_validate() {
         // --queue 0 is rejected before any socket is bound.
@@ -1485,7 +1715,14 @@ mod tests {
         assert!(err.to_string().contains("--retries"), "{err}");
         // USAGE documents the new surface.
         let usage = run(&["help"]).unwrap();
-        for needle in ["store      fsck|repair|compact", "--queue", "--retries"] {
+        for needle in [
+            "store      fsck|repair|compact",
+            "store      merge SRC",
+            "federate   FILE",
+            "--queue",
+            "--retries",
+            "--verbose",
+        ] {
             assert!(usage.contains(needle), "{needle} missing from usage");
         }
     }

@@ -104,6 +104,10 @@ pub struct ReportSpec {
     pub field: Option<String>,
     /// Chart: which sweep axis is the x axis (default: the first).
     pub x_axis: Option<String>,
+    /// Chart: plot the x axis on a log10 scale (budget sweeps spanning
+    /// decades). Points with a non-positive x are dropped by the
+    /// renderer.
+    pub log_x: bool,
     /// Map: which sweep point to render (index in sweep order).
     pub point: usize,
     /// Map: cell size in SVG user units.
@@ -116,6 +120,7 @@ impl Default for ReportSpec {
             figure: FigureKind::Auto,
             field: None,
             x_axis: None,
+            log_x: false,
             point: 0,
             cell_px: 10,
         }
@@ -123,9 +128,10 @@ impl Default for ReportSpec {
 }
 
 impl ReportSpec {
-    /// Reads the optional `figure` / `field` / `x` / `point` / `cell`
-    /// fields of a protocol request object (absent fields keep their
-    /// defaults) — the wire form of the server's `report` command.
+    /// Reads the optional `figure` / `field` / `x` / `log_x` / `point`
+    /// / `cell` fields of a protocol request object (absent fields keep
+    /// their defaults) — the wire form of the server's `report`
+    /// command.
     ///
     /// # Errors
     ///
@@ -149,6 +155,9 @@ impl ReportSpec {
         }
         if let Some(x) = doc.get("x") {
             spec.x_axis = Some(x.as_str().ok_or("\"x\" must be a string")?.to_string());
+        }
+        if let Some(log_x) = doc.get("log_x") {
+            spec.log_x = log_x.as_bool().ok_or("\"log_x\" must be a boolean")?;
         }
         if let Some(point) = doc.get("point") {
             spec.point = point
@@ -478,7 +487,7 @@ fn render_map(
         }
     }
     caption.push(outcome_caption(&row.outcome));
-    caption.push(format!("heat: {field} 0 (light) to {max} (dark)"));
+    caption.push(heat_legend(field, max));
 
     let point_suffix = if row.point.is_empty() {
         String::new()
@@ -491,6 +500,21 @@ fn render_map(
         name: figure_name(scenario, "map"),
         svg: map.render_with_caption(&title, &caption),
     })
+}
+
+/// The heat-map legend line with quartile tick values, so a reader can
+/// place an intermediate shade without interpolating by eye:
+/// `heat: intake 0 (light) | 531 | 1062 | 1593 | 2124 (dark)`. A map
+/// whose field is all zero keeps the degenerate two-end form.
+fn heat_legend(field: &str, max: u64) -> String {
+    if max == 0 {
+        return format!("heat: {field} 0 (light) to 0 (dark)");
+    }
+    let ticks: Vec<String> = (1..4).map(|i| (i * max / 4).to_string()).collect();
+    format!(
+        "heat: {field} 0 (light) | {} | {max} (dark)",
+        ticks.join(" | ")
+    )
 }
 
 /// The chart fields an outcome object offers: every numeric or boolean
@@ -589,6 +613,9 @@ fn render_chart(scenario: &str, rows: &[Row], spec: &ReportSpec) -> Result<Figur
     }
 
     let mut chart = LineChart::new(format!("{scenario} - {field} vs {x_axis}"), &x_axis, &field);
+    if spec.log_x {
+        chart = chart.with_log_x();
+    }
     for (name, points) in &series {
         chart.series(name.clone(), points);
     }
@@ -753,6 +780,20 @@ mod tests {
         assert!(map.figures[0].svg.contains("probe (3, 3):"));
     }
 
+    /// `log_x` reaches the chart renderer: the axis label gains the
+    /// "(log)" suffix and the figure differs from the linear render.
+    #[test]
+    fn log_x_charts_render_a_log_axis() {
+        let spec = ReportSpec {
+            log_x: true,
+            ..ReportSpec::default()
+        };
+        let logged = render(MINI_SWEEP, &spec);
+        assert!(logged.figures[0].svg.contains("m (log)"), "log axis label");
+        let linear = render(MINI_SWEEP, &ReportSpec::default());
+        assert_ne!(logged.figures[0].svg, linear.figures[0].svg);
+    }
+
     #[test]
     fn rendering_is_deterministic() {
         let spec = ReportSpec::default();
@@ -897,13 +938,15 @@ mod tests {
     #[test]
     fn report_spec_wire_fields_parse_and_validate() {
         let doc = Json::parse(
-            "{\"figure\":\"chart\",\"field\":\"waves\",\"x\":\"m\",\"point\":2,\"cell\":6}",
+            "{\"figure\":\"chart\",\"field\":\"waves\",\"x\":\"m\",\"log_x\":true,\
+             \"point\":2,\"cell\":6}",
         )
         .unwrap();
         let spec = ReportSpec::from_json_fields(&doc).unwrap();
         assert_eq!(spec.figure, FigureKind::Chart);
         assert_eq!(spec.field.as_deref(), Some("waves"));
         assert_eq!(spec.x_axis.as_deref(), Some("m"));
+        assert!(spec.log_x);
         assert_eq!((spec.point, spec.cell_px), (2, 6));
         assert_eq!(
             ReportSpec::from_json_fields(&Json::parse("{}").unwrap()).unwrap(),
@@ -915,6 +958,7 @@ mod tests {
             "{\"point\":\"x\"}",
             "{\"cell\":0}",
             "{\"cell\":1000}",
+            "{\"log_x\":\"yes\"}",
         ] {
             let doc = Json::parse(bad).unwrap();
             assert!(ReportSpec::from_json_fields(&doc).is_err(), "{bad}");
@@ -932,5 +976,19 @@ mod tests {
     fn figure_hash_is_stable_and_content_sensitive() {
         assert_eq!(figure_hash(""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(figure_hash("<svg a"), figure_hash("<svg b"));
+    }
+
+    #[test]
+    fn heat_legend_carries_quartile_ticks() {
+        assert_eq!(
+            heat_legend("intake", 2124),
+            "heat: intake 0 (light) | 531 | 1062 | 1593 | 2124 (dark)"
+        );
+        // Rounding quartiles of an awkward max stay ordered.
+        assert_eq!(
+            heat_legend("intake", 10),
+            "heat: intake 0 (light) | 2 | 5 | 7 | 10 (dark)"
+        );
+        assert_eq!(heat_legend("x", 0), "heat: x 0 (light) to 0 (dark)");
     }
 }

@@ -29,7 +29,7 @@ use bftbcast::json::{Json, Object};
 /// `{"ok":false,...}` reply) are returned as lines, not errors — the
 /// typed helpers below interpret them.
 pub fn request(addr: &str, line: &str) -> io::Result<Vec<String>> {
-    let mut stream = TcpStream::connect(addr)?;
+    let mut stream = connect(addr)?;
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
     stream.flush()?;
@@ -93,11 +93,34 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Opens the connection for one request, keeping the OS error kind
+/// intact while adding the address to the message.
+///
+/// Preserving the kind is what lets callers (and [`with_retry`]) tell
+/// a *connect-phase* failure apart from a *protocol* failure: a
+/// refused connection ([`ConnectionRefused`]) means the backend is
+/// down or still starting — retryable, and the signal federation
+/// failover keys on — whereas a reply the client cannot parse
+/// ([`InvalidData`]) means the peer is broken, and retrying would only
+/// repeat the confusion.
+///
+/// [`ConnectionRefused`]: io::ErrorKind::ConnectionRefused
+/// [`InvalidData`]: io::ErrorKind::InvalidData
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    TcpStream::connect(addr).map_err(|e| io::Error::new(e.kind(), format!("connect {addr}: {e}")))
+}
+
 /// Whether an error is worth retrying: transient transport failures
 /// plus the server's explicit retryable (backpressure) reply. Protocol
 /// rejections (`InvalidData`, plain `Other`) are permanent — retrying a
 /// scenario the server cannot parse only repeats the rejection.
-fn is_retryable(e: &io::Error) -> bool {
+///
+/// Public because the federation coordinator makes the same
+/// distinction at a larger scale: a retryable failure that outlives
+/// its backend's retry budget triggers shard failover, while a
+/// permanent rejection aborts the run (every backend would reject the
+/// same request).
+pub fn is_retryable(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock          // server said "retryable":true
@@ -330,6 +353,8 @@ pub struct ReportParams {
     pub field: Option<String>,
     /// Chart x axis.
     pub x: Option<String>,
+    /// Chart: log10 x axis.
+    pub log_x: bool,
     /// Map sweep-point index.
     pub point: Option<u64>,
     /// Map cell size in SVG user units.
@@ -346,6 +371,9 @@ impl ReportParams {
         }
         if let Some(x) = &self.x {
             request = request.str("x", x);
+        }
+        if self.log_x {
+            request = request.bool("log_x", true);
         }
         if let Some(point) = self.point {
             request = request.u64("point", point);
@@ -459,6 +487,59 @@ pub fn stats(addr: &str) -> io::Result<String> {
     single_line(request(addr, &Object::new().str("cmd", "stats").render())?)
 }
 
+/// [`stats`] with the verbose per-store breakdown (log bytes,
+/// quarantined spans, recovery state).
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn stats_verbose(addr: &str) -> io::Result<String> {
+    single_line(request(
+        addr,
+        &Object::new()
+            .str("cmd", "stats")
+            .bool("verbose", true)
+            .render(),
+    )?)
+}
+
+/// Sends the lightweight `ping` probe; returns the pong line (queue
+/// depth, capacity, whether the server is still accepting). No
+/// retries — see [`ping_with`].
+///
+/// # Errors
+///
+/// Transport failures — [`ConnectionRefused`](io::ErrorKind::ConnectionRefused)
+/// while the backend is still starting — or a reply that is not a
+/// pong.
+pub fn ping(addr: &str) -> io::Result<String> {
+    ping_with(addr, &RetryPolicy::none())
+}
+
+/// [`ping`] under a [`RetryPolicy`] — the federation coordinator's
+/// startup probe: a backend that has not bound its socket yet answers
+/// refused (retryable) until it is up, without burning the budget on
+/// permanent protocol errors.
+///
+/// # Errors
+///
+/// As [`ping`], after the policy's attempts are exhausted.
+pub fn ping_with(addr: &str, policy: &RetryPolicy) -> io::Result<String> {
+    let request_line = Object::new().str("cmd", "ping").render();
+    with_retry(policy, || {
+        let line = single_line(request(addr, &request_line)?)?;
+        let doc = Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
+        if doc.get("pong").and_then(Json::as_bool) != Some(true) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "reply is not a pong",
+            ));
+        }
+        Ok(line)
+    })
+}
+
 /// Asks the server to stop; returns its acknowledgement line.
 ///
 /// # Errors
@@ -551,6 +632,25 @@ mod tests {
             single_line(vec![]).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    /// A connect-phase failure keeps its OS kind (so the retry/failover
+    /// machinery can tell "backend not up" from "backend broken") and
+    /// names the address.
+    #[test]
+    fn refused_connects_stay_refused_and_retryable() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+            // Dropped: the port is now closed.
+        };
+        let err = connect(&addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(err.to_string().contains(&addr), "{err}");
+        assert!(is_retryable(&err), "a starting backend is worth waiting on");
+        // Protocol confusion is the opposite: permanent.
+        let proto = io::Error::new(io::ErrorKind::InvalidData, "bad reply");
+        assert!(!is_retryable(&proto));
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //! |---------|-------|
 //! | `{"cmd":"submit","scenario":"<.scn text>"}` | `{"ok":true,"job":"job-N","name":...,"points":N}` |
 //! | `{"cmd":"submit","spec":{...}}` | same — the inline form of one [`bftbcast::spec::EngineSpec`] (canonical JSON); identical configurations share store entries with the `.scn` form |
-//! | `{"cmd":"report","scenario":"<.scn text>"}` (or `"spec":{...}`; optional `figure`/`field`/`x`/`point`/`cell` fields) | one `{"ok":true,"name":"...","svg":"<svg.../>"}` line per rendered figure, then `{"ok":true,"done":true,"figures":F,"cache_hits":H,"cache_misses":M}` — a warm store renders without simulating (`cache_hits == points`) |
-//! | `{"cmd":"status","job":"job-N"}` | `{"ok":true,"job":...,"state":"queued\|running\|done\|failed","points":N,"cache_hits":H,"cache_misses":M}` |
+//! | `{"cmd":"report","scenario":"<.scn text>"}` (or `"spec":{...}`; optional `figure`/`field`/`x`/`log_x`/`point`/`cell` fields) | one `{"ok":true,"name":"...","svg":"<svg.../>"}` line per rendered figure, then `{"ok":true,"done":true,"figures":F,"cache_hits":H,"cache_misses":M}` — a warm store renders without simulating (`cache_hits == points`) |
+//! | `{"cmd":"status","job":"job-N"}` | `{"ok":true,"job":...,"state":"queued\|running\|done\|failed","points":N,"queue_depth":Q,"jobs_running":R,"cache_hits":H,"cache_misses":M}` |
 //! | `{"cmd":"results","job":"job-N"}` | the job's JSONL result rows (exactly `run --scenario`'s output), then a `{"ok":true,"done":true,...}` trailer |
-//! | `{"cmd":"stats"}` | `{"ok":true,"store_entries":N,"store_hits":H,"store_misses":M,"jobs":J,"jobs_done":D}` |
+//! | `{"cmd":"stats"}` (optional `"verbose":true`) | `{"ok":true,"store_entries":N,"store_hits":H,"store_misses":M,"jobs":J,"jobs_done":D,"queue_depth":Q,"jobs_running":R}`; verbose adds the on-disk breakdown (`store_bytes`, `store_records`, `store_quarantined_spans`, `store_quarantined_bytes`, `store_recovery_clean`) |
+//! | `{"cmd":"ping"}` | `{"ok":true,"pong":true,"proto":1,"queue_depth":Q,"queue_cap":C,"jobs_running":R,"accepting":true}` — answered on the connection thread, no queue wait; the federation coordinator's liveness/capability probe |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"shutting_down":true}` |
 //!
 //! `results` *waits* for the job to finish — a client can submit and

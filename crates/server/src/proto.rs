@@ -44,8 +44,19 @@ pub enum Request {
         /// The job id (`job-N`).
         job: String,
     },
-    /// Report store and queue statistics.
-    Stats,
+    /// Report store and queue statistics. With `verbose`, the reply
+    /// adds a per-store breakdown (log bytes, quarantined spans,
+    /// recovery state).
+    Stats {
+        /// Whether the client asked for the verbose breakdown
+        /// (`"verbose": true` request field).
+        verbose: bool,
+    },
+    /// A lightweight liveness/capability probe: answered from the
+    /// connection thread without touching the job queue, so a
+    /// federation coordinator can distinguish "up and accepting" from
+    /// "port open but wedged" before committing a shard.
+    Ping,
     /// Stop accepting work and exit once queued jobs drain.
     Shutdown,
 }
@@ -79,10 +90,13 @@ impl Request {
             }),
             "status" => Ok(Request::Status { job: job(&doc)? }),
             "results" => Ok(Request::Results { job: job(&doc)? }),
-            "stats" => Ok(Request::Stats),
+            "stats" => Ok(Request::Stats {
+                verbose: doc.get("verbose").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown cmd {other:?} (submit|report|status|results|stats|shutdown)"
+                "unknown cmd {other:?} (submit|report|status|results|stats|ping|shutdown)"
             )),
         }
     }
@@ -158,8 +172,13 @@ mod tests {
         );
         assert_eq!(
             Request::parse("{\"cmd\":\"stats\"}").unwrap(),
-            Request::Stats
+            Request::Stats { verbose: false }
         );
+        assert_eq!(
+            Request::parse("{\"cmd\":\"stats\",\"verbose\":true}").unwrap(),
+            Request::Stats { verbose: true }
+        );
+        assert_eq!(Request::parse("{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
         assert_eq!(
             Request::parse("{\"cmd\":\"shutdown\"}").unwrap(),
             Request::Shutdown

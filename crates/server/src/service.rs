@@ -411,7 +411,9 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
                         .str("job", &j.id)
                         .str("name", &j.name)
                         .str("state", j.state.name())
-                        .u64("points", j.points as u64);
+                        .u64("points", j.points as u64)
+                        .u64("queue_depth", st.queue.len() as u64)
+                        .u64("jobs_running", running(&st) as u64);
                     o = match &j.state {
                         JobState::Done { hits, misses, .. } => o
                             .u64("cache_hits", *hits as u64)
@@ -458,7 +460,7 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
                 _ => unreachable!("waited for a terminal state"),
             }
         }
-        Request::Stats => {
+        Request::Stats { verbose } => {
             let stats = shared.store.stats();
             let st = shared.state.lock().expect("server lock");
             let done = st
@@ -466,13 +468,49 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
                 .iter()
                 .filter(|j| matches!(j.state, JobState::Done { .. }))
                 .count();
-            let reply = Object::new()
+            let mut o = Object::new()
                 .bool("ok", true)
                 .u64("store_entries", stats.entries as u64)
                 .u64("store_hits", stats.hits)
                 .u64("store_misses", stats.misses)
                 .u64("jobs", st.jobs.len() as u64)
                 .u64("jobs_done", done as u64)
+                .u64("queue_depth", st.queue.len() as u64)
+                .u64("jobs_running", running(&st) as u64);
+            drop(st);
+            if verbose {
+                // The per-store breakdown: what is on disk, as the
+                // same checksummed scan fsck uses sees it. An
+                // in-memory store reports zero bytes.
+                let disk = shared
+                    .store
+                    .dir()
+                    .and_then(|dir| bftbcast_store::fsck_report(dir).ok())
+                    .unwrap_or_default();
+                let recovery = shared.store.recovery();
+                o = o
+                    .u64("store_bytes", disk.log_bytes)
+                    .u64("store_records", disk.valid_records as u64)
+                    .u64("store_quarantined_spans", disk.quarantined_spans as u64)
+                    .u64("store_quarantined_bytes", disk.quarantined_bytes)
+                    .bool("store_recovery_clean", recovery.is_clean());
+            }
+            writeln!(out, "{}", o.render())
+        }
+        Request::Ping => {
+            // Answered entirely on the connection thread: no queue
+            // wait, no store I/O — a wedged worker still pongs, but a
+            // dead or mid-start process does not, which is the signal
+            // the federation coordinator needs.
+            let st = shared.state.lock().expect("server lock");
+            let reply = Object::new()
+                .bool("ok", true)
+                .bool("pong", true)
+                .u64("proto", 1)
+                .u64("queue_depth", st.queue.len() as u64)
+                .u64("queue_cap", shared.opts.queue_cap as u64)
+                .u64("jobs_running", running(&st) as u64)
+                .bool("accepting", !st.shutdown)
                 .render();
             drop(st);
             writeln!(out, "{reply}")
@@ -501,6 +539,14 @@ fn respond(request: Request, shared: &Shared, out: &mut TcpStream) -> io::Result
 
 fn find<'a>(st: &'a State, job: &str) -> Option<&'a Job> {
     st.jobs.iter().find(|j| j.id == job)
+}
+
+/// Jobs currently running (popped off the queue, not yet terminal).
+fn running(st: &State) -> usize {
+    st.jobs
+        .iter()
+        .filter(|j| matches!(j.state, JobState::Running))
+        .count()
 }
 
 #[cfg(test)]
@@ -548,9 +594,56 @@ mod tests {
         let stats = client::stats(&addr).unwrap();
         assert!(stats.contains("\"store_entries\":2"), "{stats}");
         assert!(stats.contains("\"jobs_done\":2"), "{stats}");
+        assert!(stats.contains("\"queue_depth\":0"), "{stats}");
+        assert!(stats.contains("\"jobs_running\":0"), "{stats}");
 
         client::shutdown(&addr).unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn ping_and_verbose_stats_expose_backend_state() {
+        let (addr, handle) = start(Some(1));
+        let pong = client::ping(&addr).unwrap();
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        assert!(pong.contains("\"queue_depth\":0"), "{pong}");
+        assert!(pong.contains("\"queue_cap\":64"), "{pong}");
+        assert!(pong.contains("\"accepting\":true"), "{pong}");
+
+        // In-memory store: the verbose breakdown reports zero disk
+        // bytes but still carries the recovery flag.
+        let stats = client::stats_verbose(&addr).unwrap();
+        assert!(stats.contains("\"store_bytes\":0"), "{stats}");
+        assert!(stats.contains("\"store_recovery_clean\":true"), "{stats}");
+        let plain = client::stats(&addr).unwrap();
+        assert!(!plain.contains("store_bytes"), "{plain}");
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    /// The same probe against a file-backed store: the verbose
+    /// breakdown reports the real log (bytes > magic, records == 2).
+    #[test]
+    fn verbose_stats_report_the_on_disk_log() {
+        let dir = std::env::temp_dir().join(format!(
+            "bftbcast-serve-vstats-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let server = Server::bind("127.0.0.1:0", store, Some(2)).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+        let job = client::submit(&addr, MINI).unwrap();
+        client::results(&addr, &job).unwrap();
+        let stats = client::stats_verbose(&addr).unwrap();
+        assert!(stats.contains("\"store_records\":2"), "{stats}");
+        assert!(stats.contains("\"store_quarantined_spans\":0"), "{stats}");
+        assert!(!stats.contains("\"store_bytes\":0"), "{stats}");
+        client::shutdown(&addr).unwrap();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

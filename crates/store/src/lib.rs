@@ -33,6 +33,15 @@
 //!   over the same checksummed scan replay uses, for operators (the
 //!   `bftbcast store` CLI verbs) and the chaos suite.
 //!
+//! And one federates it (PR 8):
+//!
+//! * [`merge`] — [`Store::merge_from`] / [`merge()`](merge::merge) /
+//!   [`sync()`](merge::sync): union another log's verified records
+//!   into a store, or reconcile two store directories in both
+//!   directions. Content-addressed keys plus first-write-wins make
+//!   the union commutative, idempotent, and order-insensitive, so
+//!   federated shards consolidate with no consistency machinery.
+//!
 //! ```
 //! use bftbcast_store::{Record, Store};
 //!
@@ -57,8 +66,10 @@ pub mod canon;
 pub mod fault;
 pub mod log;
 pub mod maintenance;
+pub mod merge;
 
 pub use canon::{fnv1a, Record};
 pub use fault::{FaultPlan, FaultStats, WriteFault};
 pub use log::{RecoveryReport, Store, StoreStats};
 pub use maintenance::{compact, fsck, fsck_report, repair, FsckReport, RepairReport};
+pub use merge::{sync, MergeReport, SyncReport};

@@ -113,7 +113,7 @@ impl std::fmt::Display for RepairReport {
 
 /// Reads and scans a store directory's log; an absent log scans as an
 /// empty clean v2 log.
-fn scan_any(dir: &Path) -> io::Result<Scan> {
+pub(crate) fn scan_any(dir: &Path) -> io::Result<Scan> {
     let path = dir.join(LOG_NAME);
     let raw = match std::fs::read(&path) {
         Ok(bytes) => bytes,

@@ -43,6 +43,7 @@ pub struct LineChart {
     series: Vec<Series>,
     width: f64,
     height: f64,
+    log_x: bool,
 }
 
 impl LineChart {
@@ -59,7 +60,19 @@ impl LineChart {
             series: Vec::new(),
             width: 640.0,
             height: 400.0,
+            log_x: false,
         }
+    }
+
+    /// Switches the x axis to a log10 scale: equal pixel spans become
+    /// equal *ratios*, which is what a budget sweep spanning decades
+    /// (m = 10 … 10⁴) needs to stay readable. Points with a
+    /// non-positive x have no image in log space and are dropped at
+    /// render time; tick labels show the original (de-logged) values
+    /// and the axis label gains a "(log)" suffix.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
     }
 
     /// Overrides the default 640x400 canvas.
@@ -93,30 +106,29 @@ impl LineChart {
         self.series.len()
     }
 
-    fn bounds(&self) -> (f64, f64, f64, f64) {
-        let mut pts = self.series.iter().flat_map(|s| s.points.iter().copied());
-        let Some(first) = pts.next() else {
-            return (0.0, 1.0, 0.0, 1.0);
-        };
-        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
-        for (x, y) in pts {
-            x0 = x0.min(x);
-            x1 = x1.max(x);
-            y0 = y0.min(y);
-            y1 = y1.max(y);
-        }
-        if (x1 - x0).abs() < f64::EPSILON {
-            x1 = x0 + 1.0;
-        }
-        if (y1 - y0).abs() < f64::EPSILON {
-            y1 = y0 + 1.0;
-        }
-        (x0, x1, y0, y1)
-    }
-
     /// Renders the chart.
     pub fn render(&self) -> String {
-        let (x0, x1, y0, y1) = self.bounds();
+        // A log x axis plots in log10 space: transform the points up
+        // front (dropping non-positive x, which has no image there)
+        // and de-log only the tick labels.
+        let plotted: Vec<Series> = if self.log_x {
+            self.series
+                .iter()
+                .map(|s| Series {
+                    name: s.name.clone(),
+                    points: s
+                        .points
+                        .iter()
+                        .copied()
+                        .filter(|&(x, _)| x > 0.0)
+                        .map(|(x, y)| (x.log10(), y))
+                        .collect(),
+                })
+                .collect()
+        } else {
+            self.series.clone()
+        };
+        let (x0, x1, y0, y1) = bounds_of(&plotted);
         let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 48.0); // margins
         let (pw, ph) = (self.width - ml - mr, self.height - mt - mb);
         let mut doc = Document::new(self.width, self.height);
@@ -131,26 +143,33 @@ impl LineChart {
         // Axes.
         doc.line(ml, mt, ml, mt + ph, "#333333", 1.0);
         doc.line(ml, mt + ph, ml + pw, mt + ph, "#333333", 1.0);
-        doc.text(
-            ml + pw / 2.0 - 20.0,
-            self.height - 10.0,
-            11.0,
-            &self.x_label,
-        );
+        let x_label = if self.log_x {
+            format!("{} (log)", self.x_label)
+        } else {
+            self.x_label.clone()
+        };
+        doc.text(ml + pw / 2.0 - 20.0, self.height - 10.0, 11.0, &x_label);
         doc.text(4.0, mt - 8.0, 11.0, &self.y_label);
-        // Ticks: 5 per axis.
+        // Ticks: 5 per axis, evenly spaced in axis space — so on a log
+        // axis they land on even *ratios*, labelled with the original
+        // values.
         for i in 0..=4 {
             let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
             let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
             let (px, _) = to_px(fx, y0);
             let (_, py) = to_px(x0, fy);
+            let x_text = if self.log_x {
+                tick_label(10f64.powf(fx))
+            } else {
+                format!("{fx:.3}")
+            };
             doc.line(px, mt + ph, px, mt + ph + 4.0, "#333333", 1.0);
-            doc.text(px - 12.0, mt + ph + 16.0, 10.0, &format!("{fx:.3}"));
+            doc.text(px - 12.0, mt + ph + 16.0, 10.0, &x_text);
             doc.line(ml - 4.0, py, ml, py, "#333333", 1.0);
             doc.text(6.0, py + 3.0, 10.0, &format!("{fy:.3}"));
         }
         // Series.
-        for (i, s) in self.series.iter().enumerate() {
+        for (i, s) in plotted.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             let pts: Vec<(f64, f64)> = s.points.iter().map(|&(x, y)| to_px(x, y)).collect();
             doc.polyline(&pts, color, 1.5);
@@ -163,6 +182,40 @@ impl LineChart {
             doc.text(ml + pw - 70.0, ly + 3.0, 10.0, &s.name);
         }
         doc.render()
+    }
+}
+
+/// Data bounds with degenerate ranges padded open (no division by
+/// zero on a flat series).
+fn bounds_of(series: &[Series]) -> (f64, f64, f64, f64) {
+    let mut pts = series.iter().flat_map(|s| s.points.iter().copied());
+    let Some(first) = pts.next() else {
+        return (0.0, 1.0, 0.0, 1.0);
+    };
+    let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+    for (x, y) in pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    (x0, x1, y0, y1)
+}
+
+/// A tick value's label: plain `{:.3}` in the comfortable range,
+/// scientific notation once the de-logged magnitudes would overflow
+/// the gutter.
+fn tick_label(v: f64) -> String {
+    if v != 0.0 && (v.abs() >= 10_000.0 || v.abs() < 0.001) {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
     }
 }
 
@@ -200,6 +253,40 @@ mod tests {
         let svg = c.render();
         assert!(!svg.contains("NaN"));
         assert!(!svg.contains("inf"));
+    }
+
+    /// Log x: decades land on evenly spaced ticks, labels show the
+    /// de-logged values, and non-positive x is dropped.
+    #[test]
+    fn log_x_spaces_decades_and_relabels_ticks() {
+        let mut c = LineChart::new("cost vs budget", "m", "cost").with_log_x();
+        c.series("b", &[(1.0, 0.1), (100.0, 0.5), (10_000.0, 0.9)]);
+        let svg = c.render();
+        assert!(svg.contains("m (log)"), "{svg}");
+        // 1, 10, 100, 1000 as plain labels; 10^4 flips to scientific.
+        for needle in ["1.000", "10.000", "100.000", "1000.000", "1.0e4"] {
+            assert!(svg.contains(needle), "{needle} missing:\n{svg}");
+        }
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(!svg.contains("NaN"));
+
+        // x <= 0 has no image in log space: dropped, not NaN.
+        let mut c = LineChart::new("t", "x", "y").with_log_x();
+        c.series("s", &[(0.0, 1.0), (-5.0, 1.0), (10.0, 1.0)]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(!svg.contains("NaN") && !svg.contains("inf"), "{svg}");
+    }
+
+    /// The linear path renders exactly as before the log option
+    /// existed (no accidental re-labelling of existing figures).
+    #[test]
+    fn linear_path_is_unchanged_by_the_log_option() {
+        let mut lin = LineChart::new("t", "x", "y");
+        lin.series("s", &[(1.0, 0.5), (2.0, 0.7)]);
+        let svg = lin.render();
+        assert!(svg.contains(">x<") || !svg.contains("(log)"), "{svg}");
+        assert!(svg.contains("1.250"), "linear quarter tick: {svg}");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Smoke test for sweep federation: start three `bftbcast serve`
+# backends on ephemeral ports, run `bftbcast federate` against all
+# three, assert the Figure 2 goldens (2065 / 1947 / 947, stall 84),
+# then SIGKILL one backend mid-sweep and assert the coordinator still
+# completes 100% of the points by failing the dead shard over to the
+# survivors. Finishes by `store sync`ing the survivor shards and
+# fsck'ing every shard (the killed one after `store repair`, which
+# heals any torn tail the SIGKILL left).
+#
+# Usage: scripts/smoke_federate.sh [path-to-bftbcast-binary]
+# (run from the repo root; CI passes target/release/bftbcast)
+set -euo pipefail
+
+BIN=${1:-target/release/bftbcast}
+PIDS=()
+STORES=()
+LOGS=()
+SCRATCH=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "${STORES[@]:-}" "${LOGS[@]:-}" "${SCRATCH[@]:-}"
+}
+trap cleanup EXIT INT TERM
+
+scratch() { local f; f=$(mktemp); SCRATCH+=("$f"); echo "$f"; }
+expect() { # expect <haystack-file> <needle>...
+  local file=$1; shift
+  for needle in "$@"; do
+    grep -qF "$needle" "$file" || { echo "MISSING $needle in:"; cat "$file"; exit 1; }
+  done
+}
+
+# --- three backends, each with its own shard store ------------------
+ADDRS=()
+for i in 0 1 2; do
+  STORE=$(mktemp -d); STORES+=("$STORE")
+  LOG=$(mktemp); LOGS+=("$LOG")
+  "$BIN" serve --addr 127.0.0.1:0 --store "$STORE" >"$LOG" &
+  PIDS+=($!)
+  for _ in $(seq 100); do
+    grep -q '^listening on ' "$LOG" && break
+    kill -0 "${PIDS[$i]}" 2>/dev/null || { echo "backend $i died:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^listening on //p' "$LOG" | head -n1)
+  [ -n "$ADDR" ] || { echo "backend $i never announced its address"; cat "$LOG"; exit 1; }
+  ADDRS+=("$ADDR")
+  echo "backend $i up on $ADDR (store: $STORE)"
+done
+
+# --- federated f2: the paper goldens over real sockets --------------
+ROWS=$(scratch); SUMMARY=$(scratch)
+"$BIN" federate scenarios/f2.scn \
+  --addr "${ADDRS[0]}" --addr "${ADDRS[1]}" --addr "${ADDRS[2]}" \
+  >"$ROWS" 2>"$SUMMARY"
+expect "$ROWS" '"intake":2065' '"intake":1947' '"tally_wrong":947' \
+               '"accepted_true":84'
+expect "$SUMMARY" '1 point(s)'
+echo "federated f2 reproduces the goldens"
+
+# --- kill a backend mid-sweep: the run must still finish ------------
+# t1.scn expands to 5 points, so the rendezvous shard spreads work
+# across the backends; SIGKILL-ing one while the sweep is in flight
+# forces the coordinator down the failover path (or, if the kill lands
+# before its first point, the preflight/dead-backend path — either
+# way 100% completion is the contract).
+ROWS2=$(scratch); SUMMARY2=$(scratch)
+"$BIN" federate scenarios/t1.scn \
+  --addr "${ADDRS[0]}" --addr "${ADDRS[1]}" --addr "${ADDRS[2]}" \
+  >"$ROWS2" 2>"$SUMMARY2" &
+FED_PID=$!
+sleep 0.3
+kill -9 "${PIDS[1]}" 2>/dev/null || true
+wait "${PIDS[1]}" 2>/dev/null || true
+PIDS[1]=""
+echo "backend 1 SIGKILLed mid-sweep"
+wait "$FED_PID" || { echo "federate failed after backend death:"; cat "$SUMMARY2"; exit 1; }
+POINTS=$(wc -l <"$ROWS2")
+[ "$POINTS" -eq 5 ] || { echo "expected 5 rows, got $POINTS:"; cat "$ROWS2"; exit 1; }
+expect "$SUMMARY2" '5 point(s)'
+echo "sweep completed 5/5 despite the dead backend"
+
+# --- reconcile the survivors, verify every shard --------------------
+"$BIN" store sync "${STORES[0]}" "${STORES[2]}"
+"$BIN" store fsck --store "${STORES[0]}"
+"$BIN" store fsck --store "${STORES[2]}"
+# The SIGKILLed shard may carry a torn tail; repair converges it to a
+# verified log, after which fsck must pass.
+"$BIN" store repair --store "${STORES[1]}" >/dev/null
+"$BIN" store fsck --store "${STORES[1]}"
+
+# Graceful shutdown of the survivors.
+for i in 0 2; do
+  "$BIN" shutdown --addr "${ADDRS[$i]}" >/dev/null
+  wait "${PIDS[$i]}"
+  PIDS[$i]=""
+done
+echo "federate smoke OK"

@@ -1,0 +1,235 @@
+//! Property tests for store merge/sync (PR 8): merging is a set union
+//! of verified records — commutative, idempotent, order-insensitive —
+//! a fault-injected source log never imports a corrupt record, and a
+//! merged store replays the f2 goldens warm and bit-identically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bftbcast::{BatchOptions, ScenarioFile};
+use bftbcast_store::merge::merge;
+use bftbcast_store::{fsck_report, sync, FaultPlan, Store};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per generated case.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bftbcast-merge-prop-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes `records` into a fresh store at `dir` (first write per key
+/// wins, exactly like production puts) and fsyncs it.
+fn store_with(dir: &std::path::Path, records: &[(u64, Vec<u8>)]) {
+    let store = Store::open(dir).unwrap();
+    for (key, value) in records {
+        store.put(*key, value).unwrap();
+    }
+    store.sync().unwrap();
+}
+
+/// The store's content as a sorted `(key, value)` list — the set a
+/// merge is supposed to union.
+fn contents(dir: &std::path::Path, keys: impl IntoIterator<Item = u64>) -> Vec<(u64, Vec<u8>)> {
+    let store = Store::open(dir).unwrap();
+    let mut out: Vec<(u64, Vec<u8>)> = keys
+        .into_iter()
+        .filter_map(|k| store.get(k).map(|v| (k, v)))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every key any of the generated sets mention.
+fn all_keys(sets: &[&[(u64, Vec<u8>)]]) -> Vec<u64> {
+    let mut keys: Vec<u64> = sets
+        .iter()
+        .flat_map(|records| records.iter().map(|(k, _)| *k))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+fn records() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    // Small keys force overlaps between independently generated sets,
+    // which is where union semantics can actually go wrong.
+    vec((0u64..32, vec(any::<u8>(), 0..48)), 0..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Merge is a union: importing B into A and A into B leave both
+    /// holding the same record set, whatever the order — and merging
+    /// a third store in either order lands on the same set too.
+    #[test]
+    fn merge_is_a_commutative_order_insensitive_union(
+        a in records(),
+        b in records(),
+        c in records(),
+    ) {
+        let keys = all_keys(&[&a, &b, &c]);
+        let (da, db, dc) = (scratch("a"), scratch("b"), scratch("c"));
+        store_with(&da, &a);
+        store_with(&db, &b);
+        store_with(&dc, &c);
+
+        // dst1 <- a, b, c; dst2 <- c, b, a.
+        let (d1, d2) = (scratch("d1"), scratch("d2"));
+        for src in [&da, &db, &dc] {
+            merge(&d1, src).unwrap();
+        }
+        for src in [&dc, &db, &da] {
+            merge(&d2, src).unwrap();
+        }
+        let (s1, s2) = (contents(&d1, keys.iter().copied()), contents(&d2, keys.iter().copied()));
+        prop_assert_eq!(s1.len(), keys.len(), "every key present");
+        // The orders disagree only where the same key holds different
+        // payloads in different sources — there first-import-wins, so
+        // compare key sets and require each value to come from *some*
+        // source.
+        let keys1: Vec<u64> = s1.iter().map(|(k, _)| *k).collect();
+        let keys2: Vec<u64> = s2.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(keys1, keys2);
+        for (k, v) in s1.iter().chain(s2.iter()) {
+            let known = [&a, &b, &c]
+                .iter()
+                .any(|set| set.iter().any(|(sk, sv)| sk == k && sv == v));
+            prop_assert!(known, "key {} holds a value no source ever wrote", k);
+        }
+
+        // Sync reconciles the *key* sets. Values can still differ on
+        // keys both sides wrote independently: the store is write-once,
+        // so each keeps its original record — exactly the semantics a
+        // content-addressed cache wants, where equal keys mean equal
+        // computations anyway.
+        sync(&da, &db).unwrap();
+        let keys_a: Vec<u64> = contents(&da, keys.iter().copied()).into_iter().map(|(k, _)| k).collect();
+        let keys_b: Vec<u64> = contents(&db, keys.iter().copied()).into_iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(keys_a, keys_b);
+
+        for dir in [da, db, dc, d1, d2] {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    /// Merging the same source again imports nothing and changes
+    /// nothing.
+    #[test]
+    fn merge_is_idempotent(a in records(), b in records()) {
+        let keys = all_keys(&[&a, &b]);
+        let (da, db) = (scratch("ia"), scratch("ib"));
+        store_with(&da, &a);
+        store_with(&db, &b);
+        merge(&da, &db).unwrap();
+        let snapshot = contents(&da, keys.iter().copied());
+        let second = merge(&da, &db).unwrap();
+        prop_assert_eq!(second.imported, 0, "second merge imported records");
+        // After the first merge every source key exists in the
+        // destination, so the re-merge sees nothing but duplicates.
+        prop_assert_eq!(second.duplicates, second.scanned);
+        prop_assert_eq!(contents(&da, keys.iter().copied()), snapshot);
+        std::fs::remove_dir_all(da).ok();
+        std::fs::remove_dir_all(db).ok();
+    }
+
+    /// A source written through a fault plan (torn writes, bit flips,
+    /// short reads) never pollutes the destination: whatever survives
+    /// the merge verifies, and every imported value is one some writer
+    /// actually wrote.
+    #[test]
+    fn faulty_sources_never_import_corrupt_records(
+        records in records(),
+        seed in any::<u64>(),
+    ) {
+        let src = scratch("faulty");
+        {
+            let plan = FaultPlan::seeded(seed).torn_writes(300).bit_flips(300);
+            let store = Store::open_with_faults(&src, plan).unwrap();
+            for (key, value) in &records {
+                // A faulted write may legitimately fail; the log on
+                // disk is whatever survived — exactly the input merge
+                // must cope with.
+                let _ = store.put(*key, value);
+            }
+            let _ = store.sync();
+        }
+        let dst = scratch("clean");
+        let report = merge(&dst, &src).unwrap();
+        prop_assert!(report.imported <= records.len());
+        let check = fsck_report(&dst).unwrap();
+        prop_assert!(check.is_clean(), "merged store is dirty: {}", check);
+        for (k, v) in contents(&dst, records.iter().map(|(k, _)| *k)) {
+            let known = records.iter().any(|(sk, sv)| *sk == k && *sv == v);
+            prop_assert!(known, "corrupt record for key {} imported", k);
+        }
+        std::fs::remove_dir_all(src).ok();
+        std::fs::remove_dir_all(dst).ok();
+    }
+}
+
+/// The acceptance property: compute f2 into one store, merge it into
+/// an empty second store, and replay the sweep from the merged store —
+/// all hits, zero misses, bit-identical golden rows.
+#[test]
+fn merged_store_replays_the_f2_goldens_warm() {
+    let text = std::fs::read_to_string(format!(
+        "{}/../scenarios/f2.scn",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    let file = ScenarioFile::parse(&text).unwrap();
+
+    let computed = scratch("f2-src");
+    let store = Store::open(&computed).unwrap();
+    let cold = bftbcast::run_file_with(
+        &file,
+        &BatchOptions {
+            jobs: None,
+            store: Some(&store),
+        },
+    )
+    .unwrap();
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 1));
+    store.sync().unwrap();
+    drop(store);
+
+    let merged = scratch("f2-dst");
+    let report = merge(&merged, &computed).unwrap();
+    assert_eq!(report.imported, 1);
+
+    let store = Store::open(&merged).unwrap();
+    let warm = bftbcast::run_file_with(
+        &file,
+        &BatchOptions {
+            jobs: None,
+            store: Some(&store),
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        (warm.cache_hits, warm.cache_misses),
+        (1, 0),
+        "merged store must replay warm"
+    );
+    let rows = warm.jsonl();
+    assert_eq!(rows, cold.jsonl(), "bit-identical replay");
+    for needle in [
+        "\"intake\":2065",
+        "\"intake\":1947",
+        "\"tally_wrong\":947",
+        "\"accepted_true\":84",
+    ] {
+        assert!(rows.contains(needle), "{needle} missing:\n{rows}");
+    }
+    std::fs::remove_dir_all(computed).ok();
+    std::fs::remove_dir_all(merged).ok();
+}
