@@ -73,8 +73,9 @@ COMMANDS:
              with --store, consult/record the content-addressed outcome
              store so repeated points cost a lookup instead of a run;
              each --set pins one field by sweep-axis name (m, quorum,
-             t, mf, seed, count, p, k, mmax, p1, pe) before the sweep
-             expands, dropping any [sweep] axis over the same key;
+             t, mf, seed, count, p, k, mmax, p1, pe, protocol,
+             payload) before the sweep expands, dropping any [sweep]
+             axis over the same key;
              see docs/ARCHITECTURE.md for the grammar and EXPERIMENTS.md
              for the output schema
   spec       FILE [--to scn|json|key]: convert engine specs between the
@@ -409,7 +410,8 @@ fn store_from(args: &Args) -> Result<Option<bftbcast_store::Store>, CliError> {
 }
 
 /// One `--set key=value` override: the value is an integer or float in
-/// the sweep-axis vocabulary.
+/// the sweep-axis vocabulary, or a protocol name for the rbc
+/// `protocol` axis.
 fn parse_set(raw: &str) -> Result<(&str, bftbcast::scenario_file::AxisValue), CliError> {
     use bftbcast::scenario_file::AxisValue;
     let Some((key, value)) = raw.split_once('=') else {
@@ -417,7 +419,16 @@ fn parse_set(raw: &str) -> Result<(&str, bftbcast::scenario_file::AxisValue), Cl
             "--set {raw:?}: expected key=value (e.g. --set seed=7)"
         )));
     };
-    let value = if let Ok(i) = value.parse::<i64>() {
+    let value = if key == "protocol" {
+        match bftbcast::rbc::RbcProtocol::from_name(value) {
+            Some(p) => AxisValue::Name(p.name()),
+            None => {
+                return Err(CliError::Other(format!(
+                    "--set {raw:?}: unknown protocol {value:?} (counting|bracha|ctrbc)"
+                )))
+            }
+        }
+    } else if let Ok(i) = value.parse::<i64>() {
         AxisValue::Int(i)
     } else if let Ok(f) = value.parse::<f64>() {
         AxisValue::Float(f)
@@ -871,10 +882,11 @@ fn cmd_federate(args: &Args) -> Result<String, CliError> {
     .map_err(|e| net_err("federating over", &backends.join(", "), e))?;
     for summary in &report.backends {
         eprintln!(
-            "backend {}: assigned {} completed {}{}",
+            "backend {}: assigned {} completed {} failed-over {}{}",
             summary.addr,
             summary.assigned,
             summary.completed,
+            summary.failed_over,
             if summary.dead { " DEAD" } else { "" }
         );
     }
@@ -1311,6 +1323,50 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
+    #[test]
+    fn run_scenario_set_pins_rbc_protocol_by_name() {
+        let path = std::env::temp_dir().join("bftbcast_cli_test_set_rbc.scn");
+        std::fs::write(
+            &path,
+            concat!(
+                "name = \"rbc-mini\"\n",
+                "engine = \"rbc\"\n",
+                "[topology]\nside = 9\nr = 1\n",
+                "[faults]\nt = 1\nmf = 0\n",
+                "[placement]\nkind = \"explicit\"\nnodes = [[4, 4]]\n",
+                "[rbc]\npayload = 256\n",
+                "[sweep]\nprotocol = [\"counting\", \"bracha\", \"ctrbc\"]\n",
+            ),
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let all = run(&["run", "--scenario", p]).unwrap();
+        assert_eq!(all.lines().count(), 3, "{all}");
+        assert!(all.contains("\"protocol\":\"ctrbc\""), "{all}");
+        // Pinning the protocol axis drops the sweep to one point (the
+        // pinned value leaves the label, like any --set override).
+        let one = run(&["run", "--scenario", p, "--set", "protocol=ctrbc"]).unwrap();
+        assert_eq!(one.lines().count(), 1, "{one}");
+        assert!(one.contains("\"kind\":\"rbc\""), "{one}");
+        assert!(one.contains("\"reliable\":true"), "{one}");
+        // Payload pins too; an unknown protocol name is a named error.
+        let fat = run(&[
+            "run",
+            "--scenario",
+            p,
+            "--set",
+            "protocol=bracha",
+            "--set",
+            "payload=1024",
+        ])
+        .unwrap();
+        assert_eq!(fat.lines().count(), 1, "{fat}");
+        assert!(fat.contains("\"reliable\":true"), "{fat}");
+        let err = run(&["run", "--scenario", p, "--set", "protocol=gossip"]).unwrap_err();
+        assert!(err.to_string().contains("gossip"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
     /// `.scn` ⇄ JSON ⇄ key through the spec verb: the conversions are
     /// lossless and the cache key is form-independent.
     #[test]
@@ -1453,6 +1509,72 @@ mod tests {
         );
         std::fs::remove_file(bad).ok();
         assert!(run(&["validate"]).is_err(), "no files");
+    }
+
+    /// Off-torus `[probes]` cells fail `validate` with the spec-layer
+    /// error naming the cell — the same single check across the `.scn`
+    /// form, the JSON form, and every engine (rbc included).
+    #[test]
+    fn validate_rejects_off_torus_probes_naming_the_cell() {
+        let dir = std::env::temp_dir();
+        let scn = dir.join("bftbcast_cli_test_validate_probe.scn");
+        std::fs::write(
+            &scn,
+            concat!(
+                "[topology]\nside = 15\nr = 1\n",
+                "[probes]\nnodes = [[2, 2], [15, 3]]\n",
+            ),
+        )
+        .unwrap();
+        let err = run(&["validate", scn.to_str().unwrap()]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("probe (15, 3) is off the 15x15 torus"),
+            "{err}"
+        );
+        std::fs::remove_file(scn).ok();
+
+        // The rbc engine goes through the same spec-layer check, even
+        // with a protocol sweep in the file.
+        let rbc = dir.join("bftbcast_cli_test_validate_probe_rbc.scn");
+        std::fs::write(
+            &rbc,
+            concat!(
+                "engine = \"rbc\"\n",
+                "[topology]\nside = 9\nr = 1\n",
+                "[probes]\nnodes = [[4, 9]]\n",
+                "[sweep]\nprotocol = [\"bracha\", \"ctrbc\"]\n",
+            ),
+        )
+        .unwrap();
+        let err = run(&["validate", rbc.to_str().unwrap()]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("probe (4, 9) is off the 9x9 torus"),
+            "{err}"
+        );
+        std::fs::remove_file(rbc).ok();
+
+        // The JSON spec form hits the identical validator: take the
+        // shipped rbc comparison, push one probe off the torus.
+        let good = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/rbc-compare.scn"
+        );
+        let ok = run(&["validate", good]).unwrap();
+        assert!(ok.contains("3 points (rbc)"), "{ok}");
+        let json = run(&["spec", good, "--to", "json"]).unwrap();
+        let tampered = json.lines().next().unwrap().replace("[7,2]", "[7,200]");
+        assert_ne!(tampered, json.lines().next().unwrap(), "probe rewritten");
+        let json_path = dir.join("bftbcast_cli_test_validate_probe.json");
+        std::fs::write(&json_path, tampered).unwrap();
+        let err = run(&["validate", json_path.to_str().unwrap()]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("probe (7, 200) is off the 15x15 torus"),
+            "{err}"
+        );
+        std::fs::remove_file(json_path).ok();
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Coding-layer guarantees at exactly the shapes CTRBC produces.
+//!
+//! The rbc runtime's CTRBC protocol splits a payload round-robin into
+//! `k = t + 1` fragments and pushes each through
+//! [`bftbcast_coding::segment`]; the frame layer carries the same
+//! fragments over the sub-bit channel. These tests pin the coding
+//! crate's behavior at those fragment sizes — `k` in `1..=4`, odd
+//! payload lengths that split unevenly, and unidirectional corruption
+//! of a single fragment — so a coding change that would break CTRBC
+//! reconstruction fails here, next to the code, not two crates up.
+
+use bftbcast_coding::frame::{AttackMask, Frame, FrameKind};
+use bftbcast_coding::segment;
+use bftbcast_coding::subbit::SubbitParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The runtime's split, verbatim: bit `j` goes to fragment `j % k`.
+fn round_robin(payload: &[bool], k: usize) -> Vec<Vec<bool>> {
+    let mut frags: Vec<Vec<bool>> = vec![Vec::new(); k];
+    for (j, &bit) in payload.iter().enumerate() {
+        frags[j % k].push(bit);
+    }
+    frags
+}
+
+/// The inverse: interleave the fragments back into one payload.
+fn reassemble(frags: &[Vec<bool>], len: usize) -> Vec<bool> {
+    (0..len)
+        .map(|j| frags[j % frags.len()][j / frags.len()])
+        .collect()
+}
+
+/// A deterministic pseudo-random payload (no RNG needed).
+fn payload(len: usize) -> Vec<bool> {
+    (0..len).map(|i| (i * 7 + i / 3) % 5 < 2).collect()
+}
+
+/// CTRBC-representative payload sizes: the `RbcSpec` default (64), the
+/// shipped rbc-compare scenario (4096), and odd lengths that split
+/// round-robin into uneven fragments.
+const PAYLOAD_BITS: [usize; 6] = [8, 17, 64, 101, 1023, 4096];
+
+#[test]
+fn segment_round_trips_every_ctrbc_fragment_shape() {
+    for bits in PAYLOAD_BITS {
+        let msg = payload(bits);
+        for k in 1..=4usize {
+            if bits < 2 * k {
+                continue; // below the validated CTRBC floor
+            }
+            let frags = round_robin(&msg, k);
+            let mut decoded = Vec::with_capacity(k);
+            for frag in &frags {
+                assert!(frag.len() >= 2, "bits={bits} k={k}");
+                // Uneven splits differ by at most one bit.
+                assert!(frag.len() == bits / k || frag.len() == bits.div_ceil(k));
+                let coded = segment::encode(frag).unwrap();
+                assert_eq!(coded.len(), segment::coded_len(frag.len()).unwrap());
+                decoded.push(segment::verify(&coded, frag.len()).unwrap());
+            }
+            assert_eq!(
+                reassemble(&decoded, bits),
+                msg,
+                "bits={bits} k={k}: reassembly must invert the split"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_fragments_are_rejected_not_misdecoded() {
+    // The cascade's adversary model is unidirectional (0 -> 1 flips,
+    // enforced by the sub-bit layer): any such corruption of one
+    // fragment must fail verification rather than reconstruct wrong
+    // payload bits.
+    for bits in [17usize, 64, 101] {
+        let msg = payload(bits);
+        for k in 1..=4usize {
+            for frag in round_robin(&msg, k) {
+                let coded = segment::encode(&frag).unwrap();
+                for pos in 0..coded.len() {
+                    if coded[pos] {
+                        continue;
+                    }
+                    let mut tampered = coded.clone();
+                    tampered[pos] = true;
+                    assert!(
+                        segment::verify(&tampered, frag.len()).is_err(),
+                        "bits={bits} k={k}: undetected flip at {pos}"
+                    );
+                }
+                // Truncation (a short fragment on the wire) is a named
+                // length error, not a panic or a wrong decode.
+                assert!(segment::verify(&coded[..coded.len() - 1], frag.len()).is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn frames_carry_every_ctrbc_fragment_shape() {
+    let params = SubbitParams::with_length(24);
+    let mut rng = StdRng::seed_from_u64(29);
+    for bits in [17usize, 64, 101] {
+        let msg = payload(bits);
+        for k in 1..=4usize {
+            for frag in round_robin(&msg, k) {
+                let frame = Frame::data(&frag, params, &mut rng);
+                assert_eq!(frame.payload_len(), frag.len());
+                assert_eq!(
+                    frame.coded_bits(),
+                    segment::coded_len(frag.len() + Frame::HEADER_BITS).unwrap()
+                );
+                let decoded = frame.decode_and_verify(params).unwrap();
+                assert_eq!(decoded.kind, FrameKind::Data);
+                assert_eq!(decoded.payload, frag, "bits={bits} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn attacked_fragment_frames_are_rejected() {
+    let params = SubbitParams::with_length(24);
+    let mut rng = StdRng::seed_from_u64(31);
+    let msg = payload(64);
+    for k in 1..=4usize {
+        for frag in round_robin(&msg, k) {
+            let frame = Frame::data(&frag, params, &mut rng);
+            // Inject into the first zero payload bit (header offset 2).
+            let zero = frag.iter().position(|&b| !b).expect("payload has a 0");
+            let masks = AttackMask::new(frame.coded_bits())
+                .inject_one(zero + Frame::HEADER_BITS)
+                .into_masks();
+            assert!(
+                frame.attacked(&masks).decode_and_verify(params).is_err(),
+                "k={k}: injected bit must be detected"
+            );
+        }
+    }
+}

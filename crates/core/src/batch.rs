@@ -117,16 +117,7 @@ pub fn run_point(file: &ScenarioFile, point: &PointSpec) -> Result<PointResult, 
     // (possibly expensive) run as a backstop against hand-built files.
     for &(x, y) in &file.probes {
         let grid = engine.topology().grid();
-        if x >= grid.width() || y >= grid.height() {
-            return Err(ScenarioError::Invalid {
-                what: "probes.nodes".to_string(),
-                message: format!(
-                    "probe ({x}, {y}) is off the {}x{} torus",
-                    grid.width(),
-                    grid.height()
-                ),
-            });
-        }
+        crate::scenario_file::check_probe_cell(x, y, grid.width(), grid.height())?;
     }
     let outcome = engine.run_to_completion();
     let mut probes = Vec::with_capacity(file.probes.len());
@@ -284,6 +275,17 @@ fn outcome_object(outcome: &EngineOutcome) -> Object {
                 .u64("conflicted", o.conflicted_count() as u64)
                 .raw("decided_values", format!("[{}]", decided.join(",")))
         }
+        EngineOutcome::Rbc(o) => Object::new()
+            .str("kind", "rbc")
+            .u64("good_nodes", o.good_nodes as u64)
+            .u64("delivered", o.delivered as u64)
+            .u64("messages", o.messages)
+            .u64("wire_bits", o.wire_bits)
+            .u64("waves", o.waves)
+            .u64("echoes_sent", o.echoes_sent)
+            .u64("readies_sent", o.readies_sent)
+            .f64("coverage", o.coverage())
+            .bool("reliable", o.is_reliable()),
     }
 }
 
@@ -295,7 +297,14 @@ impl BatchReport {
         for result in &self.results {
             let mut point = Object::new();
             for (axis, value) in &result.point {
-                point = point.raw(axis, value.clone());
+                // Numeric axis values stay raw JSON numbers; name axes
+                // (the rbc protocol) must be quoted to keep the line
+                // parseable.
+                point = if value.parse::<f64>().is_ok() {
+                    point.raw(axis, value.clone())
+                } else {
+                    point.str(axis, value)
+                };
             }
             let probes: Vec<String> = result
                 .probes
@@ -340,6 +349,7 @@ impl BatchReport {
             }
             EngineKind::Slot => &["coverage", "reliable", "rounds", "max_node_messages"],
             EngineKind::Agreement => &["members", "validity", "agreement", "defaults"],
+            EngineKind::Rbc => &["coverage", "messages", "wire_bits", "waves"],
         };
         let headers: Vec<&str> = axes
             .iter()
@@ -370,6 +380,12 @@ impl BatchReport {
                     row.push(o.validity_holds().to_string());
                     row.push(o.agreement_holds().to_string());
                     row.push(o.default_count().to_string());
+                }
+                EngineOutcome::Rbc(o) => {
+                    row.push(format!("{:.3}", o.coverage()));
+                    row.push(o.messages.to_string());
+                    row.push(o.wire_bits.to_string());
+                    row.push(o.waves.to_string());
                 }
             }
             table.row(&row);
@@ -535,6 +551,41 @@ mod tests {
             let o = r.outcome.as_agreement().unwrap();
             assert!(o.agreement_holds(), "proven mode never splits");
         }
+    }
+
+    #[test]
+    fn rbc_engine_sweeps_protocols_from_a_file() {
+        let file = ScenarioFile::parse(concat!(
+            "engine = \"rbc\"\nseed = 7\n",
+            "[topology]\nside = 9\nr = 1\n",
+            "[faults]\nt = 1\nmf = 1\n",
+            "[placement]\nkind = \"explicit\"\nnodes = [[4, 4]]\n",
+            "[rbc]\npayload = 256\n",
+            "[probes]\nnodes = [[2, 2], [4, 4]]\n",
+            "[sweep]\nprotocol = [\"counting\", \"bracha\", \"ctrbc\"]\n",
+        ))
+        .unwrap();
+        let report = run_file(&file).unwrap();
+        assert_eq!(report.results.len(), 3);
+        for (r, name) in report.results.iter().zip(["counting", "bracha", "ctrbc"]) {
+            let o = r.outcome.as_rbc().unwrap();
+            assert!(o.is_reliable(), "{name}: {o:?}");
+            assert_eq!(r.point, vec![("protocol".into(), name.into())]);
+            // (4, 4) is Byzantine and mute; only (2, 2) answers.
+            assert_eq!(r.probes.len(), 1, "{name}: {:?}", r.probes);
+            assert_eq!((r.probes[0].x, r.probes[0].y), (2, 2));
+        }
+        let jsonl = report.jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"kind\":\"rbc\""), "{jsonl}");
+        assert!(jsonl.contains("\"wire_bits\":"), "{jsonl}");
+        assert!(
+            jsonl.contains("\"protocol\":\"ctrbc\""),
+            "name labels must stay valid JSON: {jsonl}"
+        );
+        let table = report.table();
+        assert_eq!(table.headers()[0], "protocol");
+        assert!(table.headers().contains(&"wire_bits".to_string()));
     }
 
     #[test]

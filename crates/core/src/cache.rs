@@ -26,7 +26,7 @@
 use bftbcast_net::Value;
 use bftbcast_sim::crash::CrashBehavior;
 use bftbcast_sim::engine::{EngineOutcome, Probe};
-use bftbcast_sim::metrics::{CountingOutcome, ReactiveOutcome};
+use bftbcast_sim::metrics::{CountingOutcome, RbcOutcome, ReactiveOutcome};
 use bftbcast_store::Record;
 
 use crate::batch::{PointResult, ProbeResult};
@@ -35,7 +35,10 @@ use crate::spec::{agreement_mode_name, reactive_adversary_name};
 
 /// Version of both the key record and the result encoding. Bump on any
 /// schema change; old entries then miss instead of misdecoding.
-pub const CACHE_SCHEMA_VERSION: u16 = 1;
+///
+/// v2: the rbc engine — an `rbc` record joins the key and
+/// [`RbcOutcome`] joins the result codec.
+pub const CACHE_SCHEMA_VERSION: u16 = 2;
 
 fn cells_list(cells: &[(u32, u32)]) -> Vec<Record> {
     cells
@@ -155,6 +158,13 @@ pub fn point_key(engine: EngineKind, point: &PointSpec, probes: &[(u32, u32)]) -
             .f64("p1", point.agreement.p1)
             .f64("pe", point.agreement.pe),
     );
+    r = r.record(
+        "rbc",
+        Record::new(CACHE_SCHEMA_VERSION)
+            .str("protocol", point.rbc.protocol.name())
+            .u64("payload", u64::from(point.rbc.payload))
+            .u64("max_waves", point.rbc.max_waves),
+    );
     r.content_hash()
 }
 
@@ -166,6 +176,7 @@ pub fn point_key(engine: EngineKind, point: &PointSpec, probes: &[(u32, u32)]) -
 const KIND_COUNTING: u8 = 0;
 const KIND_REACTIVE: u8 = 1;
 const KIND_AGREEMENT: u8 = 2;
+const KIND_RBC: u8 = 3;
 
 struct Writer(Vec<u8>);
 
@@ -279,6 +290,16 @@ pub fn encode_result(result: &PointResult) -> Vec<u8> {
             w.pairs(&o.proposals);
             w.pairs(&o.aggregates);
         }
+        EngineOutcome::Rbc(o) => {
+            w.u8(KIND_RBC);
+            w.usize(o.good_nodes);
+            w.usize(o.delivered);
+            w.u64(o.messages);
+            w.u64(o.wire_bits);
+            w.u64(o.waves);
+            w.u64(o.echoes_sent);
+            w.u64(o.readies_sent);
+        }
     }
     w.usize(result.probes.len());
     for p in &result.probes {
@@ -359,6 +380,15 @@ pub fn decode_result(bytes: &[u8]) -> Option<PointResult> {
                 aggregates: r.pairs()?,
             })
         }
+        KIND_RBC => EngineOutcome::Rbc(RbcOutcome {
+            good_nodes: r.usize()?,
+            delivered: r.usize()?,
+            messages: r.u64()?,
+            wire_bits: r.u64()?,
+            waves: r.u64()?,
+            echoes_sent: r.u64()?,
+            readies_sent: r.u64()?,
+        }),
         _ => return None,
     };
     let n = r.usize()?;
@@ -439,6 +469,8 @@ mod tests {
         cases.push(with(&|p| p.adversary = AdversarySpec::Passive));
         cases.push(with(&|p| p.reactive.k = 9));
         cases.push(with(&|p| p.agreement.p1 = 0.5));
+        cases.push(with(&|p| p.rbc.payload = 128));
+        cases.push(with(&|p| p.rbc.protocol = bftbcast_rbc::RbcProtocol::Ctrbc));
         for (i, p) in cases.iter().enumerate() {
             assert_ne!(key, point_key(file.engine, p, &file.probes), "case {i}");
         }
@@ -526,6 +558,36 @@ mod tests {
         let decoded = decode_result(&encode_result(&agreement)).unwrap();
         assert_eq!(decoded.outcome, agreement.outcome);
         assert_eq!(decoded.probes[0].probe.accepted, Some(Value::TRUE));
+    }
+
+    #[test]
+    fn rbc_results_round_trip() {
+        let rbc = PointResult {
+            point: Vec::new(),
+            outcome: EngineOutcome::Rbc(RbcOutcome {
+                good_nodes: 223,
+                delivered: 223,
+                messages: 98_765,
+                wire_bits: 4_321_000,
+                waves: 17,
+                echoes_sent: 223,
+                readies_sent: 223,
+            }),
+            probes: vec![ProbeResult {
+                x: 7,
+                y: 2,
+                node: 37,
+                probe: Probe {
+                    tally_true: 223,
+                    tally_wrong: 223,
+                    decided_neighbors: 8,
+                    accepted: Some(Value::TRUE),
+                },
+            }],
+        };
+        let decoded = decode_result(&encode_result(&rbc)).unwrap();
+        assert_eq!(decoded.outcome, rbc.outcome);
+        assert_eq!(decoded.probes[0].probe, rbc.probes[0].probe);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! | [`adversary`] | bad-node placements and corruption strategies |
 //! | [`protocols`] | bounds (`m0`, Corollary 1, Theorem 4) and protocol specs |
 //! | [`sim`] | counting engine, slot engine, crash/hybrid engine, agreement engine, `SimEngine` trait, sweep runner |
+//! | [`rbc`] | message-level runtime: flood baseline, Bracha RBC, erasure-coded CTRBC |
 //! | [`viz`] | SVG torus maps and sweep charts |
 //! | [`scenario`] | this crate's high-level builder API |
 //! | [`spec`] | the canonical typed [`EngineSpec`]: builder, `.scn` ⇄ JSON codecs, identity = cache key |
@@ -79,6 +80,7 @@ pub use bftbcast_coding as coding;
 pub use bftbcast_geometry as geometry;
 pub use bftbcast_net as net;
 pub use bftbcast_protocols as protocols;
+pub use bftbcast_rbc as rbc;
 pub use bftbcast_sim as sim;
 pub use bftbcast_viz as viz;
 

@@ -18,7 +18,7 @@
 //!
 //! | section | keys | notes |
 //! |---------|------|-------|
-//! | top level | `name`, `engine`, `seed` | engine: `counting` (default) \| `crash` \| `slot` \| `agreement` |
+//! | top level | `name`, `engine`, `seed` | engine: `counting` (default) \| `crash` \| `slot` \| `agreement` \| `rbc` |
 //! | `[topology]` | `side` or `width`+`height`, `r` (required) | the torus |
 //! | `[faults]` | `t`, `mf` | local bound and per-node budget |
 //! | `[source]` | `x`, `y` | base-station cell |
@@ -28,12 +28,14 @@
 //! | `[crash]` | `kind`, `y0`, `height`, `nodes`, `behavior`, `after` | crash engine only |
 //! | `[reactive]` | `k`, `mmax`, `adversary`, `budget`, `max_rounds` | slot engine only |
 //! | `[agreement]` | `mode`, `source`, `p1`, `pe` | agreement engine only |
+//! | `[rbc]` | `protocol`, `payload`, `max_waves` | rbc engine only |
 //! | `[probes]` | `nodes = [[x, y], ...]` | any engine (see [`bftbcast_sim::engine::Probe`]) |
-//! | `[sweep]` | one key per axis | values: array, or `"a..b"` / `"a..=b"` range string |
+//! | `[sweep]` | one key per axis | values: array, or `"a..b"` / `"a..=b"` range string; the `protocol` axis takes name strings |
 //!
 //! Sweep axes override the base document per point; the cartesian
 //! product is taken in file order (later axes vary fastest).
 
+use bftbcast_rbc::RbcProtocol;
 use bftbcast_sim::crash::CrashBehavior;
 use bftbcast_sim::engine::AgreementMode;
 use bftbcast_sim::slot::ReactiveAdversary;
@@ -52,6 +54,8 @@ pub enum EngineKind {
     Slot,
     /// Source-neighborhood agreement (faulty base station).
     Agreement,
+    /// Message-level reliable broadcast (flood/Bracha/CTRBC).
+    Rbc,
 }
 
 impl EngineKind {
@@ -62,6 +66,7 @@ impl EngineKind {
             EngineKind::Crash => "crash",
             EngineKind::Slot => "slot",
             EngineKind::Agreement => "agreement",
+            EngineKind::Rbc => "rbc",
         }
     }
 
@@ -73,6 +78,7 @@ impl EngineKind {
             "crash" => EngineKind::Crash,
             "slot" => EngineKind::Slot,
             "agreement" => EngineKind::Agreement,
+            "rbc" => EngineKind::Rbc,
             _ => return None,
         })
     }
@@ -217,6 +223,27 @@ impl Default for ReactiveSpec {
     }
 }
 
+/// Message-level RBC engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbcSpec {
+    /// Protocol family to run (flood baseline, Bracha, or CTRBC).
+    pub protocol: RbcProtocol,
+    /// Broadcast payload size in bits.
+    pub payload: u32,
+    /// Hard cap on delivery waves.
+    pub max_waves: u64,
+}
+
+impl Default for RbcSpec {
+    fn default() -> Self {
+        RbcSpec {
+            protocol: RbcProtocol::Bracha,
+            payload: 64,
+            max_waves: 100_000,
+        }
+    }
+}
+
 /// Source behavior in the agreement engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceSpec {
@@ -305,6 +332,8 @@ pub struct PointSpec {
     pub reactive: ReactiveSpec,
     /// Agreement-engine configuration.
     pub agreement: AgreementSpec,
+    /// Message-level RBC engine configuration.
+    pub rbc: RbcSpec,
     /// `(axis, rendered value)` for this sweep point, in axis order.
     pub label: Vec<(String, String)>,
 }
@@ -337,13 +366,17 @@ impl PointSpec {
     }
 }
 
-/// A sweep-axis value: integer or float.
+/// A sweep-axis value: integer, float, or a canonical name (the rbc
+/// `protocol` axis).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AxisValue {
     /// An integer point.
     Int(i64),
     /// A float point (fraction axes only).
     Float(f64),
+    /// A named point, interned to the grammar's canonical spelling
+    /// (name axes only).
+    Name(&'static str),
 }
 
 impl AxisValue {
@@ -351,6 +384,7 @@ impl AxisValue {
         match self {
             AxisValue::Int(i) => i.to_string(),
             AxisValue::Float(f) => format!("{f}"),
+            AxisValue::Name(s) => s.to_string(),
         }
     }
 
@@ -361,10 +395,11 @@ impl AxisValue {
         }
     }
 
-    fn as_f64(self) -> f64 {
+    fn as_f64(self, what: &str) -> Result<f64, ScenarioError> {
         match self {
-            AxisValue::Int(i) => i as f64,
-            AxisValue::Float(f) => f,
+            AxisValue::Int(i) => Ok(i as f64),
+            AxisValue::Float(f) => Ok(f),
+            AxisValue::Name(_) => Err(invalid(what, "expected a number")),
         }
     }
 }
@@ -518,6 +553,18 @@ fn axis_values(name: &str, value: &ScnValue) -> Result<Vec<AxisValue>, ScenarioE
                 out.push(match item {
                     ScnValue::Int(i) => AxisValue::Int(*i),
                     ScnValue::Float(f) => AxisValue::Float(*f),
+                    // The protocol axis holds names, not numbers;
+                    // intern each to its canonical spelling here so
+                    // AxisValue stays Copy.
+                    ScnValue::Str(s) if name == "protocol" => {
+                        let p = RbcProtocol::from_name(s).ok_or_else(|| {
+                            invalid(
+                                &what,
+                                format!("unknown protocol {s:?} (counting|bracha|ctrbc)"),
+                            )
+                        })?;
+                        AxisValue::Name(p.name())
+                    }
                     ScnValue::BigInt(n) => {
                         return Err(invalid(
                             &what,
@@ -617,7 +664,7 @@ pub(crate) fn apply_axis(
             }
         },
         "p" => match &mut spec.placement {
-            PlacementSpec::Bernoulli { p } => *p = value.as_f64(),
+            PlacementSpec::Bernoulli { p } => *p = value.as_f64(&what)?,
             _ => {
                 return Err(invalid(
                     &what,
@@ -627,20 +674,60 @@ pub(crate) fn apply_axis(
         },
         "k" => spec.reactive.k = value.as_u64(&what)? as usize,
         "mmax" => spec.reactive.mmax = value.as_u64(&what)?,
-        "p1" => spec.agreement.p1 = value.as_f64(),
-        "pe" => spec.agreement.pe = value.as_f64(),
+        "p1" => spec.agreement.p1 = value.as_f64(&what)?,
+        "pe" => spec.agreement.pe = value.as_f64(&what)?,
+        "protocol" => match value {
+            AxisValue::Name(s) => {
+                spec.rbc.protocol = RbcProtocol::from_name(s).ok_or_else(|| {
+                    invalid(
+                        &what,
+                        format!("unknown protocol {s:?} (counting|bracha|ctrbc)"),
+                    )
+                })?;
+            }
+            _ => {
+                return Err(invalid(
+                    &what,
+                    "protocol axis values are names: [\"counting\", \"bracha\", \"ctrbc\"]",
+                ))
+            }
+        },
+        "payload" => {
+            spec.rbc.payload = u32::try_from(value.as_u64(&what)?)
+                .map_err(|_| invalid(&what, "payload out of range"))?;
+        }
         other => {
             return Err(invalid(
                 &format!("sweep.{other}"),
-                "unknown axis (known: m, quorum, t, mf, seed, count, p, k, mmax, p1, pe)",
+                "unknown axis (known: m, quorum, t, mf, seed, count, p, k, mmax, p1, pe, \
+                 protocol, payload)",
             ))
         }
     }
     if matches!(name, "p" | "p1" | "pe") {
-        let v = value.as_f64();
+        let v = value.as_f64(&what)?;
         if !(0.0..=1.0).contains(&v) {
             return Err(invalid(&what, "fractions must lie in [0, 1]"));
         }
+    }
+    Ok(())
+}
+
+/// The one authoritative off-torus check for probe cells, shared by
+/// the `.scn` parser, the spec validator ([`crate::spec`]), and the
+/// batch runner's pre-run backstop — so the error text (naming the
+/// cell and the torus) can never diverge between layers.
+pub(crate) fn check_probe_cell(
+    x: u32,
+    y: u32,
+    width: u32,
+    height: u32,
+) -> Result<(), ScenarioError> {
+    if x >= width || y >= height {
+        return Err(invalid(
+            "probes.nodes",
+            format!("probe ({x}, {y}) is off the {width}x{height} torus"),
+        ));
     }
     Ok(())
 }
@@ -685,6 +772,28 @@ pub(crate) fn validate_point(spec: &PointSpec, engine: EngineKind) -> Result<(),
             "payload width must lie in 1..=63 bits",
         ));
     }
+    if engine == EngineKind::Rbc {
+        if !(1..=1_048_576).contains(&spec.rbc.payload) {
+            return Err(invalid(
+                "rbc.payload",
+                "payload must lie in 1..=1048576 bits",
+            ));
+        }
+        let floor = 2 * (u64::from(spec.t) + 1);
+        if spec.rbc.protocol == RbcProtocol::Ctrbc && u64::from(spec.rbc.payload) < floor {
+            return Err(invalid(
+                "rbc.payload",
+                format!(
+                    "ctrbc splits the payload into t+1 fragments and needs at least \
+                     2(t+1) = {floor} payload bits at t = {}",
+                    spec.t
+                ),
+            ));
+        }
+        if spec.rbc.max_waves == 0 {
+            return Err(invalid("rbc.max_waves", "at least one wave is required"));
+        }
+    }
     if engine == EngineKind::Agreement && spec.agreement.mode == AgreementMode::Proven {
         use bftbcast_protocols::agreement::proven_max_t;
         if u64::from(spec.t) > proven_max_t(spec.r) {
@@ -712,6 +821,7 @@ const SECTIONS: &[&str] = &[
     "crash",
     "reactive",
     "agreement",
+    "rbc",
     "probes",
     "sweep",
 ];
@@ -747,7 +857,7 @@ impl ScenarioFile {
         let engine = EngineKind::from_name(engine_name).ok_or_else(|| {
             invalid(
                 "engine",
-                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement)"),
+                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement|rbc)"),
             )
         })?;
         let seed = get_u64(top, "seed")?.unwrap_or(0);
@@ -759,6 +869,7 @@ impl ScenarioFile {
             ("crash", &[EngineKind::Crash][..]),
             ("reactive", &[EngineKind::Slot][..]),
             ("agreement", &[EngineKind::Agreement][..]),
+            ("rbc", &[EngineKind::Rbc][..]),
             ("protocol", &[EngineKind::Counting, EngineKind::Crash][..]),
         ] {
             if doc.section(section).is_some() && !engines.contains(&engine) {
@@ -1049,6 +1160,27 @@ impl ScenarioFile {
             }
         };
 
+        // [rbc]
+        let rbc = match doc.section("rbc") {
+            None => RbcSpec::default(),
+            Some(s) => {
+                check_keys(s, &["protocol", "payload", "max_waves"])?;
+                let pname = get_str(s, "protocol")?.unwrap_or("bracha");
+                let protocol = RbcProtocol::from_name(pname).ok_or_else(|| {
+                    invalid(
+                        "rbc.protocol",
+                        format!("unknown protocol {pname:?} (counting|bracha|ctrbc)"),
+                    )
+                })?;
+                let defaults = RbcSpec::default();
+                RbcSpec {
+                    protocol,
+                    payload: get_u32(s, "payload")?.unwrap_or(defaults.payload),
+                    max_waves: get_u64(s, "max_waves")?.unwrap_or(defaults.max_waves),
+                }
+            }
+        };
+
         // [probes]
         let probes = match doc.section("probes") {
             None => Vec::new(),
@@ -1058,12 +1190,7 @@ impl ScenarioFile {
             }
         };
         for &(x, y) in &probes {
-            if x >= width || y >= height {
-                return Err(invalid(
-                    "probes.nodes",
-                    format!("probe ({x}, {y}) is off the {width}x{height} torus"),
-                ));
-            }
+            check_probe_cell(x, y, width, height)?;
         }
 
         let base = PointSpec {
@@ -1080,6 +1207,7 @@ impl ScenarioFile {
             crash,
             reactive,
             agreement,
+            rbc,
             label: Vec::new(),
         };
 
@@ -1095,6 +1223,7 @@ impl ScenarioFile {
                 let applies = match key.as_str() {
                     "k" | "mmax" => engine == EngineKind::Slot,
                     "p1" | "pe" => engine == EngineKind::Agreement,
+                    "protocol" | "payload" => engine == EngineKind::Rbc,
                     _ => true,
                 };
                 if !applies {
@@ -1371,6 +1500,9 @@ mod tests {
             ("slot", "[adversary]\nkind = \"oracle\"\n"),
             ("slot", "[protocol]\nkind = \"b\"\n"),
             ("crash", "[agreement]\nmode = \"cheap\"\n"),
+            ("counting", "[rbc]\npayload = 64\n"),
+            ("rbc", "[protocol]\nkind = \"b\"\n"),
+            ("rbc", "[adversary]\nkind = \"oracle\"\n"),
         ] {
             let text = format!("engine = \"{engine}\"\n{base}{section}");
             let err = ScenarioFile::parse(&text).unwrap_err();
@@ -1410,6 +1542,8 @@ mod tests {
             // Sweep axes the engine never reads.
             "[topology]\nside = 15\nr = 1\n[sweep]\np1 = [0.0, 0.5]\n",
             "[topology]\nside = 15\nr = 1\n[sweep]\nmmax = [1, 2]\n",
+            "[topology]\nside = 15\nr = 1\n[sweep]\nprotocol = [\"bracha\"]\n",
+            "[topology]\nside = 15\nr = 1\n[sweep]\npayload = [64, 128]\n",
             // Proven-mode t bound, fixed and reached via a t sweep.
             concat!(
                 "engine = \"agreement\"\n[topology]\nside = 9\nr = 1\n[faults]\nt = 2\n",
@@ -1489,5 +1623,71 @@ mod tests {
         assert_eq!(p.adversary, AdversarySpec::Oracle);
         assert_eq!((p.t, p.mf, p.seed), (1, 1, 0));
         assert_eq!(p.placement, PlacementSpec::None);
+        assert_eq!(p.rbc, RbcSpec::default());
+        assert_eq!(p.rbc.protocol, RbcProtocol::Bracha);
+    }
+
+    #[test]
+    fn rbc_engine_parses_with_protocol_and_payload_sweeps() {
+        let f = ScenarioFile::parse(concat!(
+            "engine = \"rbc\"\nseed = 7\n",
+            "[topology]\nside = 15\nr = 1\n",
+            "[faults]\nt = 2\n",
+            "[rbc]\nprotocol = \"ctrbc\"\npayload = 4096\nmax_waves = 500\n",
+            "[sweep]\nprotocol = [\"counting\", \"bracha\", \"ctrbc\"]\npayload = [64, 4096]\n",
+        ))
+        .unwrap();
+        assert_eq!(f.engine, EngineKind::Rbc);
+        let points = f.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].rbc.protocol, RbcProtocol::Counting);
+        assert_eq!(points[0].rbc.payload, 64);
+        assert_eq!(points[0].rbc.max_waves, 500);
+        assert_eq!(points[5].rbc.protocol, RbcProtocol::Ctrbc);
+        assert_eq!(points[5].rbc.payload, 4096);
+        assert_eq!(
+            points[0].label,
+            vec![
+                ("protocol".to_string(), "counting".to_string()),
+                ("payload".to_string(), "64".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rbc_payload_bounds_are_validated_per_point() {
+        let base = "engine = \"rbc\"\n[topology]\nside = 15\nr = 1\n";
+        for text in [
+            // Zero-width payload.
+            format!("{base}[rbc]\npayload = 0\n"),
+            // Above the cap.
+            format!("{base}[rbc]\npayload = 2000000\n"),
+            // CTRBC needs >= 2(t+1) payload bits: 4 < 6 at t = 2.
+            format!("{base}[faults]\nt = 2\n[rbc]\nprotocol = \"ctrbc\"\npayload = 4\n"),
+            // Same bound reached through a t sweep.
+            format!(
+                "{base}[faults]\nt = 1\n[rbc]\nprotocol = \"ctrbc\"\npayload = 4\n\
+                 [sweep]\nt = [1, 2]\n"
+            ),
+            // ... or a protocol sweep over a small fixed payload.
+            format!(
+                "{base}[faults]\nt = 2\n[rbc]\npayload = 4\n\
+                 [sweep]\nprotocol = [\"bracha\", \"ctrbc\"]\n"
+            ),
+            // No waves at all.
+            format!("{base}[rbc]\nmax_waves = 0\n"),
+            // Unknown protocol name, fixed and swept.
+            format!("{base}[rbc]\nprotocol = \"gossip\"\n"),
+            format!("{base}[sweep]\nprotocol = [\"gossip\"]\n"),
+            // Numbers in the protocol axis, names in a numeric axis.
+            format!("{base}[sweep]\nprotocol = [1, 2]\n"),
+            format!("{base}[sweep]\npayload = [\"bracha\"]\n"),
+        ] {
+            let err = ScenarioFile::parse(&text).unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::Invalid { .. }),
+                "{text:?} gave {err}"
+            );
+        }
     }
 }

@@ -55,6 +55,7 @@ use std::fmt::Write as _;
 use bftbcast_net::{Cross, NodeId};
 use bftbcast_protocols::reactive::ReactiveConfig;
 use bftbcast_protocols::CountingProtocol;
+use bftbcast_rbc::{RbcConfig, RbcEngine};
 use bftbcast_sim::crash::{crash_only_protocol, crash_stripe, CrashBehavior, HybridSim};
 use bftbcast_sim::engine::{
     AgreementEngine, AgreementMode, CountingDrive, CountingEngine, CrashEngine, SimEngine,
@@ -67,8 +68,9 @@ use crate::json::{Json, Object};
 use crate::scenario::ScenarioError;
 use crate::scenario_file::{
     self, AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, EngineKind, PlacementSpec,
-    PointSpec, ProtocolSpec, ReactiveSpec, ScenarioFile, SourceSpec,
+    PointSpec, ProtocolSpec, RbcSpec, ReactiveSpec, ScenarioFile, SourceSpec,
 };
+use bftbcast_rbc::RbcProtocol;
 
 // ---------------------------------------------------------------------
 // Canonical names for the sim-crate enums (both codec directions).
@@ -162,6 +164,11 @@ impl EngineSpec {
     /// Starts an agreement-engine spec.
     pub fn agreement(width: u32, height: u32, r: u32) -> SpecBuilder {
         SpecBuilder::new(EngineKind::Agreement, width, height, r)
+    }
+
+    /// Starts a message-level rbc-engine spec.
+    pub fn rbc(width: u32, height: u32, r: u32) -> SpecBuilder {
+        SpecBuilder::new(EngineKind::Rbc, width, height, r)
     }
 
     /// Starts a spec for any engine kind.
@@ -302,6 +309,12 @@ fn validate_spec(
             format!("does not apply to engine = \"{}\"", engine.name()),
         ));
     }
+    if engine != EngineKind::Rbc && point.rbc != RbcSpec::default() {
+        return Err(invalid(
+            "rbc",
+            format!("does not apply to engine = \"{}\"", engine.name()),
+        ));
+    }
     if point.protocol == ProtocolSpec::CrashOnly && engine != EngineKind::Crash {
         return Err(invalid(
             "protocol.kind",
@@ -323,15 +336,7 @@ fn validate_spec(
         }
     }
     for &(x, y) in probes {
-        if x >= point.width || y >= point.height {
-            return Err(invalid(
-                "probes.nodes",
-                format!(
-                    "probe ({x}, {y}) is off the {}x{} torus",
-                    point.width, point.height
-                ),
-            ));
-        }
+        scenario_file::check_probe_cell(x, y, point.width, point.height)?;
     }
     scenario_file::validate_point(point, engine)
 }
@@ -450,6 +455,21 @@ fn build_engine_impl(
                 point.agreement.mode,
             ))
         }
+        EngineKind::Rbc => {
+            let config = RbcConfig {
+                protocol: point.rbc.protocol,
+                t: params.t,
+                payload_bits: point.rbc.payload,
+                max_waves: point.rbc.max_waves,
+                seed: point.seed,
+            };
+            Box::new(RbcEngine::new(
+                grid.clone(),
+                scenario.source(),
+                scenario.bad_nodes(),
+                config,
+            ))
+        }
     })
 }
 
@@ -489,6 +509,7 @@ impl SpecBuilder {
                 crash: None,
                 reactive: ReactiveSpec::default(),
                 agreement: AgreementSpec::default(),
+                rbc: RbcSpec::default(),
                 label: Vec::new(),
             },
             probes: Vec::new(),
@@ -674,6 +695,12 @@ impl SpecBuilder {
         self
     }
 
+    /// Message-level RBC configuration (rbc engine).
+    pub fn rbc_config(mut self, rbc: RbcSpec) -> Self {
+        self.point.rbc = rbc;
+        self
+    }
+
     /// Replaces the probe-cell list.
     pub fn probes(mut self, cells: &[(u32, u32)]) -> Self {
         self.probes = cells.to_vec();
@@ -801,6 +828,14 @@ fn reactive_json(reactive: &ReactiveSpec) -> String {
         .render()
 }
 
+fn rbc_json(rbc: &RbcSpec) -> String {
+    Object::new()
+        .str("protocol", rbc.protocol.name())
+        .u64("payload", u64::from(rbc.payload))
+        .u64("max_waves", rbc.max_waves)
+        .render()
+}
+
 fn agreement_json(agreement: &AgreementSpec) -> String {
     Object::new()
         .str("mode", agreement_mode_name(agreement.mode))
@@ -846,6 +881,9 @@ impl EngineSpec {
         if self.engine == EngineKind::Agreement {
             o = o.raw("agreement", agreement_json(&self.point.agreement));
         }
+        if self.engine == EngineKind::Rbc {
+            o = o.raw("rbc", rbc_json(&self.point.rbc));
+        }
         o.raw("probes", cells_json(&self.probes)).render()
     }
 
@@ -889,6 +927,7 @@ impl EngineSpec {
             "crash",
             "reactive",
             "agreement",
+            "rbc",
             "probes",
         ];
         for (key, _) in fields {
@@ -926,7 +965,7 @@ impl EngineSpec {
         let engine = EngineKind::from_name(engine_name).ok_or_else(|| {
             invalid(
                 "spec.engine",
-                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement)"),
+                format!("unknown engine {engine_name:?} (counting|crash|slot|agreement|rbc)"),
             )
         })?;
         // `*_or`: absent ⇒ the grammar's default (unlike the strict
@@ -1009,6 +1048,10 @@ impl EngineSpec {
             agreement: match doc.get("agreement") {
                 None => AgreementSpec::default(),
                 Some(v) => agreement_from_json(v)?,
+            },
+            rbc: match doc.get("rbc") {
+                None => RbcSpec::default(),
+                Some(v) => rbc_from_json(v)?,
             },
             label: Vec::new(),
         };
@@ -1313,6 +1356,37 @@ fn agreement_from_json(v: &Json) -> Result<AgreementSpec, ScenarioError> {
     })
 }
 
+fn rbc_from_json(v: &Json) -> Result<RbcSpec, ScenarioError> {
+    let what = "spec.rbc";
+    obj_fields(what, v, &["protocol", "payload", "max_waves"])?;
+    let defaults = RbcSpec::default();
+    let protocol = match v.get("protocol") {
+        None => defaults.protocol,
+        Some(p) => {
+            let name = p
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.protocol"), "expected a string"))?;
+            RbcProtocol::from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.protocol"),
+                    format!("unknown protocol {name:?} (counting|bracha|ctrbc)"),
+                )
+            })?
+        }
+    };
+    Ok(RbcSpec {
+        protocol,
+        payload: match v.get("payload") {
+            None => defaults.payload,
+            Some(_) => u32_field(what, v, "payload")?,
+        },
+        max_waves: match v.get("max_waves") {
+            None => defaults.max_waves,
+            Some(_) => u64_field(what, v, "max_waves")?,
+        },
+    })
+}
+
 // ---------------------------------------------------------------------
 // .scn codec
 // ---------------------------------------------------------------------
@@ -1468,6 +1542,12 @@ impl EngineSpec {
             let _ = writeln!(s, "p1 = {}", p.agreement.p1);
             let _ = writeln!(s, "pe = {}", p.agreement.pe);
         }
+        if self.engine == EngineKind::Rbc {
+            let _ = writeln!(s, "\n[rbc]");
+            let _ = writeln!(s, "protocol = {}", scn_string(p.rbc.protocol.name()));
+            let _ = writeln!(s, "payload = {}", p.rbc.payload);
+            let _ = writeln!(s, "max_waves = {}", p.rbc.max_waves);
+        }
         if !self.probes.is_empty() {
             let _ = writeln!(s, "\n[probes]");
             let _ = writeln!(s, "nodes = {}", scn_cells(&self.probes));
@@ -1575,7 +1655,20 @@ mod tests {
             })
             .finish()
             .unwrap();
-        for spec in [f2_spec(), crash, slot, agreement] {
+        let rbc = EngineSpec::rbc(15, 15, 1)
+            .name("broadcast")
+            .faults(2, 1)
+            .bad_cells(&[(3, 3), (10, 11)])
+            .seed(7)
+            .rbc_config(RbcSpec {
+                protocol: RbcProtocol::Ctrbc,
+                payload: 4096,
+                max_waves: 10_000,
+            })
+            .probe(7, 2)
+            .finish()
+            .unwrap();
+        for spec in [f2_spec(), crash, slot, agreement, rbc] {
             let via_json = EngineSpec::from_json(&spec.to_json()).unwrap();
             assert_eq!(via_json, spec, "JSON round trip");
             let via_scn = EngineSpec::from_scn(&spec.to_scn()).unwrap();
@@ -1663,6 +1756,39 @@ mod tests {
             })
             .finish()
             .is_err());
+        // A non-default rbc section off the rbc engine.
+        assert!(EngineSpec::counting(15, 15, 1)
+            .rbc_config(RbcSpec {
+                payload: 128,
+                ..RbcSpec::default()
+            })
+            .finish()
+            .is_err());
+        // CTRBC payload below the 2(t+1) fragment floor.
+        assert!(EngineSpec::rbc(15, 15, 1)
+            .faults(2, 1)
+            .rbc_config(RbcSpec {
+                protocol: RbcProtocol::Ctrbc,
+                payload: 4,
+                ..RbcSpec::default()
+            })
+            .finish()
+            .is_err());
+    }
+
+    #[test]
+    fn rbc_spec_builds_a_running_engine() {
+        let spec = EngineSpec::rbc(15, 15, 1)
+            .faults(1, 1)
+            .bad_cells(&[(3, 3)])
+            .seed(7)
+            .finish()
+            .unwrap();
+        let mut engine = spec.build_engine().unwrap();
+        let outcome = engine.run_to_completion();
+        let o = outcome.as_rbc().unwrap();
+        assert!(o.is_reliable(), "{o:?}");
+        assert_eq!(o.good_nodes, 224);
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct BackendSummary {
     pub assigned: usize,
     /// Points this backend actually answered.
     pub completed: usize,
+    /// Points this backend lost to the survivors when it died mid-run
+    /// (0 for a healthy backend, and for a death with no survivors
+    /// left to take the shard).
+    pub failed_over: usize,
     /// The backend was declared dead mid-run (or failed preflight) and
     /// its unfinished shard failed over.
     pub dead: bool,
@@ -188,6 +192,8 @@ struct PoolState {
     fatal: Option<String>,
     /// Points reassigned after a backend death.
     failovers: usize,
+    /// Per-backend: points this backend lost to the survivors.
+    failed_over: Vec<usize>,
 }
 
 struct Pool {
@@ -262,6 +268,7 @@ pub fn run_with(
             remaining: keys.len(),
             fatal: None,
             failovers: 0,
+            failed_over: vec![0; backends.len()],
         }),
         changed: Condvar::new(),
     };
@@ -342,6 +349,7 @@ pub fn run_with(
                 addr: addr.clone(),
                 assigned: assigned[b],
                 completed: completed[b],
+                failed_over: st.failed_over[b],
                 dead: dead[b],
             })
             .collect(),
@@ -438,6 +446,7 @@ fn worker(
                 unfinished.extend(st.queues[b].drain(..));
                 if st.live.iter().any(|&ok| ok) {
                     st.failovers += unfinished.len();
+                    st.failed_over[b] += unfinished.len();
                     for p in unfinished {
                         let next = assign_live(keys[p], backends, &st.live)
                             .expect("a live backend exists");
@@ -571,6 +580,7 @@ mod tests {
         assert_eq!(total, 4);
         for summary in &report.backends {
             assert_eq!(summary.assigned, summary.completed);
+            assert_eq!(summary.failed_over, 0);
             assert!(!summary.dead);
         }
 
@@ -595,9 +605,24 @@ mod tests {
 
         // The doomed backend pongs the preflight, then its listener is
         // dropped: every later connect is refused, which after the
-        // retry budget marks it dead.
-        let doomed = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr_doomed = doomed.local_addr().unwrap().to_string();
+        // retry budget marks it dead. Rendezvous hashes over ephemeral
+        // port strings, so rebind until the doomed address actually
+        // owns part of the shard — an empty shard would never touch
+        // the dead socket and the death would go unobserved.
+        let keys: Vec<u64> = file
+            .specs()
+            .unwrap()
+            .iter()
+            .map(EngineSpec::cache_key)
+            .collect();
+        let (doomed, addr_doomed) = loop {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap().to_string();
+            let pair = [addr_live.as_str(), addr.as_str()];
+            if keys.iter().any(|&k| assign(k, &pair) == Some(1)) {
+                break (l, addr);
+            }
+        };
         let pong = std::thread::spawn(move || {
             use std::io::{BufRead, BufReader, Write};
             let (stream, _) = doomed.accept().unwrap();
@@ -627,8 +652,16 @@ mod tests {
         assert!(doomed_summary.dead);
         assert!(doomed_summary.assigned > 0, "it did get a shard");
         assert_eq!(doomed_summary.completed, 0);
+        assert_eq!(
+            doomed_summary.failed_over, doomed_summary.assigned,
+            "everything it owed moved to the survivor"
+        );
         assert_eq!(report.failovers, doomed_summary.assigned);
         assert_eq!(report.backends[0].completed, 4, "the survivor took it all");
+        assert_eq!(
+            report.backends[0].failed_over, 0,
+            "the survivor lost nothing"
+        );
 
         client::shutdown(&addr_live).unwrap();
         handle.join().unwrap().unwrap();
@@ -665,6 +698,7 @@ mod tests {
         assert_eq!(report.rows.len(), 4);
         assert!(report.backends[0].dead, "dark backend reported as such");
         assert_eq!(report.backends[0].assigned, 0);
+        assert_eq!(report.backends[0].failed_over, 0);
         assert_eq!(report.failovers, 0, "dropped at preflight, not failover");
 
         client::shutdown(&addr).unwrap();

@@ -1,0 +1,153 @@
+//! A hash-free-environment Merkle tree over fragment contents.
+//!
+//! CTRBC's echo phase ships one payload fragment per message and proves
+//! membership under a commitment root carried by every message. This
+//! workspace has no cryptographic dependencies, so the commitment is an
+//! FNV-1a-based tree: collision-resistance is *not* claimed, but the
+//! verification structure (leaf hash, sibling path, root recomputation)
+//! is exactly the real protocol's, which is what the simulation
+//! measures — proof sizes on the wire and verification work per
+//! delivery.
+//!
+//! Leaves and interior nodes are domain-separated (`0x00` / `0x01`
+//! prefixes) so a leaf value cannot be replayed as an interior node.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(seed: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = seed;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes one fragment's coded bit string into a leaf value.
+pub fn leaf_hash(bits: &[bool]) -> u64 {
+    let prefixed = std::iter::once(0x00u8).chain(bits.iter().map(|&b| u8::from(b)));
+    fnv1a(FNV_OFFSET, prefixed)
+}
+
+/// Combines two child hashes into their parent.
+pub fn node_hash(left: u64, right: u64) -> u64 {
+    let bytes = std::iter::once(0x01u8)
+        .chain(left.to_le_bytes())
+        .chain(right.to_le_bytes());
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// A complete binary tree over leaf hashes, padded to a power of two
+/// with empty-leaf hashes.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` is the padded leaf row; the last level is the root.
+    levels: Vec<Vec<u64>>,
+}
+
+impl MerkleTree {
+    /// Builds the tree over `leaves` (at least one).
+    pub fn new(leaves: &[u64]) -> Self {
+        assert!(!leaves.is_empty(), "a tree needs at least one leaf");
+        let width = leaves.len().next_power_of_two();
+        let mut row = leaves.to_vec();
+        row.resize(width, leaf_hash(&[]));
+        let mut levels = vec![row];
+        while levels.last().expect("non-empty").len() > 1 {
+            let below = levels.last().expect("non-empty");
+            let above = below
+                .chunks(2)
+                .map(|pair| node_hash(pair[0], pair[1]))
+                .collect();
+            levels.push(above);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The commitment root.
+    pub fn root(&self) -> u64 {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// The sibling path for `index`, bottom-up. Its length is
+    /// `log2(padded leaf count)` — the proof bits every CTRBC echo
+    /// carries.
+    pub fn proof(&self, index: usize) -> Vec<u64> {
+        assert!(index < self.levels[0].len(), "leaf index out of range");
+        let mut path = Vec::with_capacity(self.levels.len() - 1);
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[i ^ 1]);
+            i >>= 1;
+        }
+        path
+    }
+}
+
+/// Recomputes the root from a leaf and its sibling path; `true` iff it
+/// matches `root`.
+pub fn verify(leaf: u64, index: usize, proof: &[u64], root: u64) -> bool {
+    let mut h = leaf;
+    let mut i = index;
+    for &sibling in proof {
+        h = if i & 1 == 0 {
+            node_hash(h, sibling)
+        } else {
+            node_hash(sibling, h)
+        };
+        i >>= 1;
+    }
+    i == 0 && h == root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| leaf_hash(&[i & 1 == 1, i & 2 == 2, true]))
+            .collect()
+    }
+
+    #[test]
+    fn every_leaf_proves_against_the_root() {
+        for n in 1..=9 {
+            let ls = leaves(n);
+            let tree = MerkleTree::new(&ls);
+            for (i, &leaf) in ls.iter().enumerate() {
+                let proof = tree.proof(i);
+                assert!(verify(leaf, i, &proof, tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_index_or_root_fails() {
+        let ls = leaves(4);
+        let tree = MerkleTree::new(&ls);
+        let proof = tree.proof(2);
+        assert!(!verify(ls[2] ^ 1, 2, &proof, tree.root()), "altered leaf");
+        assert!(!verify(ls[2], 3, &proof, tree.root()), "wrong index");
+        assert!(!verify(ls[2], 2, &proof, tree.root() ^ 1), "wrong root");
+        assert!(!verify(ls[3], 2, &proof, tree.root()), "other fragment");
+    }
+
+    #[test]
+    fn proof_length_is_log_of_padded_width() {
+        assert_eq!(MerkleTree::new(&leaves(1)).proof(0).len(), 0);
+        assert_eq!(MerkleTree::new(&leaves(2)).proof(0).len(), 1);
+        assert_eq!(MerkleTree::new(&leaves(3)).proof(0).len(), 2);
+        assert_eq!(MerkleTree::new(&leaves(5)).proof(4).len(), 3);
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // An interior value over (a, a) must differ from any leaf over
+        // the same bytes a leaf would hash.
+        let a = leaf_hash(&[true, false]);
+        assert_ne!(node_hash(a, a), leaf_hash(&[true, false, true, false]));
+        assert_ne!(leaf_hash(&[]), node_hash(0, 0));
+    }
+}

@@ -51,7 +51,7 @@ use bftbcast_net::{NodeId, ScanMode, Topology, Value};
 use crate::agreement::{AgreementOutcome, AgreementSim, SourceBehavior, SplitAttack};
 use crate::counting::{AttackRun, CountingSim, MajorityRun, OracleRun};
 use crate::crash::{CrashRun, HybridSim};
-use crate::metrics::{CountingOutcome, ReactiveOutcome};
+use crate::metrics::{CountingOutcome, RbcOutcome, ReactiveOutcome};
 use crate::slot::{SlotRun, SlotSim};
 
 /// The uniform incremental surface over every simulation engine.
@@ -114,6 +114,8 @@ pub enum EngineOutcome {
     Reactive(ReactiveOutcome),
     /// A source-neighborhood agreement run.
     Agreement(AgreementOutcome),
+    /// A message-level reliable-broadcast run (`bftbcast-rbc`).
+    Rbc(RbcOutcome),
 }
 
 impl EngineOutcome {
@@ -125,6 +127,7 @@ impl EngineOutcome {
             EngineOutcome::Counting(o) => o.is_reliable(),
             EngineOutcome::Reactive(o) => o.is_reliable(),
             EngineOutcome::Agreement(o) => o.validity_holds() && o.agreement_holds(),
+            EngineOutcome::Rbc(o) => o.is_reliable(),
         }
     }
 
@@ -149,6 +152,7 @@ impl EngineOutcome {
                 let top = counts.iter().map(|&(_, n)| n).max().unwrap_or(0);
                 top as f64 / o.decisions.len() as f64
             }
+            EngineOutcome::Rbc(o) => o.coverage(),
         }
     }
 
@@ -174,6 +178,15 @@ impl EngineOutcome {
     pub fn as_agreement(&self) -> Option<&AgreementOutcome> {
         match self {
             EngineOutcome::Agreement(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The reliable-broadcast outcome, if this run came from the
+    /// message-level rbc engine.
+    pub fn as_rbc(&self) -> Option<&RbcOutcome> {
+        match self {
+            EngineOutcome::Rbc(o) => Some(o),
             _ => None,
         }
     }

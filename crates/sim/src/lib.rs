@@ -61,6 +61,6 @@ pub mod slot;
 pub use counting::CountingSim;
 pub use crash::HybridSim;
 pub use engine::{EngineOutcome, Probe, SimEngine};
-pub use metrics::{CountingOutcome, ReactiveOutcome};
+pub use metrics::{CountingOutcome, RbcOutcome, ReactiveOutcome};
 pub use oracle::DenseOracle;
 pub use slot::SlotSim;

@@ -109,6 +109,42 @@ impl ReactiveOutcome {
     }
 }
 
+/// Result of a message-level reliable-broadcast (`rbc` engine) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbcOutcome {
+    /// Good nodes (source included).
+    pub good_nodes: usize,
+    /// Good nodes that delivered the broadcast payload.
+    pub delivered: usize,
+    /// Protocol messages delivered edge-hop by edge-hop (every queue
+    /// pop counts one).
+    pub messages: u64,
+    /// Bits carried by those messages (tag + payload + proofs) — the
+    /// bytes-on-wire quantity CTRBC's fragment echoes shrink.
+    pub wire_bits: u64,
+    /// Delivery waves until the network went quiet (or the cap).
+    pub waves: u64,
+    /// ECHO messages sent by good nodes (zero for the flood baseline).
+    pub echoes_sent: u64,
+    /// READY messages sent by good nodes (zero for the flood baseline).
+    pub readies_sent: u64,
+}
+
+impl RbcOutcome {
+    /// Fraction of good nodes that delivered.
+    pub fn coverage(&self) -> f64 {
+        if self.good_nodes == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.good_nodes as f64
+    }
+
+    /// Reliable broadcast achieved: every good node delivered.
+    pub fn is_reliable(&self) -> bool {
+        self.delivered == self.good_nodes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +200,33 @@ mod tests {
         assert!(o.is_reliable());
         assert_eq!(o.max_node_subbit_cost(), 9 * 41 * 78);
         assert_eq!(o.coverage(), 1.0);
+    }
+
+    #[test]
+    fn rbc_outcome_predicates() {
+        let o = RbcOutcome {
+            good_nodes: 200,
+            delivered: 200,
+            messages: 4800,
+            wire_bits: 640_000,
+            waves: 9,
+            echoes_sent: 1600,
+            readies_sent: 1600,
+        };
+        assert!(o.is_reliable());
+        assert_eq!(o.coverage(), 1.0);
+        let partial = RbcOutcome {
+            delivered: 150,
+            ..o.clone()
+        };
+        assert!(!partial.is_reliable());
+        assert!((partial.coverage() - 0.75).abs() < 1e-12);
+        let empty = RbcOutcome {
+            good_nodes: 0,
+            delivered: 0,
+            ..o
+        };
+        assert_eq!(empty.coverage(), 0.0);
     }
 
     #[test]

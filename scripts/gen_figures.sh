@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the committed figure gallery under docs/figures/ from the
-# declarative scenarios: the ported experiments (f2, t1, x4) and the
-# example files. Rendering is deterministic, so CI runs this script and
+# declarative scenarios: the ported experiments (f2, t1, x4), the RBC
+# wire-cost comparison (rbc-wire) and the example files. Rendering is
+# deterministic, so CI runs this script and
 # fails if the regenerated SVGs differ from the committed ones — figure
 # drift is caught exactly like number drift (see docs/FIGURES.md).
 #
@@ -20,6 +21,12 @@ OUT=${2:-docs/figures}
 # x4's agreement outcome over the colluders' p1 x pe schedule grid.
 "$BIN" report --scenario scenarios/t1.scn --out "$OUT"
 "$BIN" report --scenario scenarios/x4.scn --out "$OUT"
+
+# The RBC wire-cost comparison: bits on wire vs payload size, one
+# series per protocol (the protocol axis is string-valued, so the
+# numeric payload axis carries x and protocol keys the series).
+"$BIN" report --scenario scenarios/rbc-wire.scn \
+  --field wire_bits --x payload --log-x --out "$OUT"
 
 # The example scenarios: combinations no EXP-* experiment covers.
 for scn in scenarios/examples/*.scn; do

@@ -18,12 +18,16 @@ fn repo_path(rel: &str) -> String {
     format!("{}/../{rel}", env!("CARGO_MANIFEST_DIR"))
 }
 
-fn render(rel: &str) -> Figure {
+fn render_with(rel: &str, spec: &ReportSpec) -> Figure {
     let text = std::fs::read_to_string(repo_path(rel)).unwrap();
     let file = ScenarioFile::parse(&text).unwrap();
-    let out = render_scenario(&file, &ReportSpec::default(), &BatchOptions::default()).unwrap();
+    let out = render_scenario(&file, spec, &BatchOptions::default()).unwrap();
     assert_eq!(out.figures.len(), 1);
     out.figures.into_iter().next().unwrap()
+}
+
+fn render(rel: &str) -> Figure {
+    render_with(rel, &ReportSpec::default())
 }
 
 /// The acceptance gate: `report --scenario scenarios/f2.scn` renders a
@@ -82,6 +86,26 @@ fn committed_gallery_matches_fresh_renders() {
              rerun scripts/gen_figures.sh"
         );
     }
+
+    // The RBC wire-cost chart renders with the non-default spec
+    // scripts/gen_figures.sh passes (wire_bits vs log-payload, one
+    // series per protocol).
+    let spec = ReportSpec {
+        field: Some("wire_bits".to_string()),
+        x_axis: Some("payload".to_string()),
+        log_x: true,
+        ..ReportSpec::default()
+    };
+    let fresh = render_with("scenarios/rbc-wire.scn", &spec);
+    for series in ["protocol=counting", "protocol=bracha", "protocol=ctrbc"] {
+        assert!(fresh.svg.contains(series), "{series} missing from legend");
+    }
+    let committed = std::fs::read_to_string(repo_path("docs/figures/rbc-wire-chart.svg")).unwrap();
+    assert_eq!(
+        committed, fresh.svg,
+        "docs/figures/rbc-wire-chart.svg differs from rendering \
+         scenarios/rbc-wire.scn; rerun scripts/gen_figures.sh"
+    );
 }
 
 /// The acceptance gate's second half: a warm-store `report` round trip

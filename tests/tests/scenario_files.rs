@@ -128,6 +128,62 @@ fn stripe_chaos_example_upholds_theorem2() {
     }
 }
 
+/// scenarios/rbc-compare.scn: the three RBC protocols on one fixed
+/// torus, fixed seed. All three deliver everywhere; the golden row
+/// (EXPERIMENTS.md EXP-R1) pins messages / wire_bits / waves so the
+/// runtime's accounting can never drift silently.
+#[test]
+fn rbc_compare_scn_round_trips_the_goldens() {
+    let file = load("scenarios/rbc-compare.scn");
+    assert_eq!(file.name, "rbc-compare");
+    assert_eq!(file.engine, EngineKind::Rbc);
+    let report = run_file(&file).expect("rbc-compare runs");
+    assert_eq!(report.results.len(), 3, "counting | bracha | ctrbc");
+
+    // (protocol, messages, wire_bits, waves) at seed 7.
+    let goldens: [(&str, u64, u64, u64); 3] = [
+        ("counting", 1784, 7_335_808, 9),
+        ("bracha", 797_448, 3_279_106_176, 20),
+        ("ctrbc", 801_016, 681_489_784, 20),
+    ];
+    for (result, (name, messages, wire_bits, waves)) in report.results.iter().zip(goldens) {
+        assert_eq!(result.point[0], ("protocol".to_string(), name.to_string()));
+        let o = result.outcome.as_rbc().unwrap_or_else(|| panic!("{name}"));
+        assert!(o.is_reliable(), "{name} must deliver everywhere");
+        assert_eq!(o.good_nodes, 223, "{name}");
+        assert_eq!(
+            (o.messages, o.wire_bits, o.waves),
+            (messages, wire_bits, waves),
+            "{name} golden"
+        );
+        // The probe list drops the (mute) Byzantine cell (3,3): only
+        // the good node (7,2) answers, and it delivered.
+        assert_eq!(result.probes.len(), 1, "{name}");
+        let p = &result.probes[0];
+        assert_eq!((p.x, p.y), (7, 2), "{name}");
+        assert_eq!(p.probe.accepted, Some(Value::TRUE), "{name}");
+    }
+
+    // The comparison the scenario exists to make: agreement costs
+    // quorums (bracha ≫ counting in both messages and bits), and
+    // coding claws back most of the bits at the same message count.
+    let by_name = |n: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.point[0].1 == n)
+            .and_then(|r| r.outcome.as_rbc())
+            .unwrap()
+    };
+    let (counting, bracha, ctrbc) = (by_name("counting"), by_name("bracha"), by_name("ctrbc"));
+    assert!(bracha.messages > 100 * counting.messages);
+    assert!(
+        ctrbc.wire_bits * 4 < bracha.wire_bits,
+        "t + 1 = 3 fragments"
+    );
+    assert!(ctrbc.messages.abs_diff(bracha.messages) < bracha.messages / 100);
+}
+
 /// JSON-lines output is one valid self-describing object per point
 /// (spot-checked shape; full schema in EXPERIMENTS.md).
 #[test]

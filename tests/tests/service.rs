@@ -88,6 +88,42 @@ fn f2_over_the_wire_then_warm_resubmit_is_all_hits() {
     handle.join().unwrap().unwrap();
 }
 
+/// The rbc engine flows through serve/store like every other engine:
+/// a cold submit of the three-protocol comparison runs 3 points, and a
+/// warm resubmit replays all of them from the store — hits == points,
+/// misses == 0, bit-identical rows.
+#[test]
+fn rbc_compare_warm_resubmit_is_all_hits() {
+    let store = Arc::new(Store::in_memory());
+    let (addr, handle) = start(Arc::clone(&store));
+    let scn = read_scn("scenarios/rbc-compare.scn");
+
+    let job = client::submit(&addr, &scn).expect("submit rbc-compare");
+    let (rows, trailer) = client::results(&addr, &job).expect("results");
+    assert_eq!(rows.len(), 3, "counting | bracha | ctrbc");
+    for (row, protocol) in rows.iter().zip(["counting", "bracha", "ctrbc"]) {
+        assert!(row.contains("\"kind\":\"rbc\""), "{row}");
+        assert!(
+            row.contains(&format!("\"protocol\":\"{protocol}\"")),
+            "{row}"
+        );
+        assert!(row.contains("\"reliable\":true"), "{row}");
+    }
+    assert_eq!(field_u64(&trailer, "cache_misses"), 3);
+    assert_eq!(field_u64(&trailer, "cache_hits"), 0);
+    assert_eq!(store.len(), 3);
+
+    let job2 = client::submit(&addr, &scn).expect("resubmit rbc-compare");
+    let (rows2, trailer2) = client::results(&addr, &job2).expect("warm results");
+    assert_eq!(rows2, rows, "warm rows are bit-identical to cold rows");
+    assert_eq!(field_u64(&trailer2, "cache_hits"), 3, "hits == points");
+    assert_eq!(field_u64(&trailer2, "cache_misses"), 0, "misses == 0");
+    assert_eq!(store.len(), 3, "the store grew by nothing");
+
+    client::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
 /// The acceptance criterion for the spec layer: submitting f2 as
 /// `.scn` text and as an inline spec JSON body yields bit-identical
 /// JSONL goldens and identical store keys — a warm cache from one
