@@ -410,8 +410,8 @@ fn store_from(args: &Args) -> Result<Option<bftbcast_store::Store>, CliError> {
 }
 
 /// One `--set key=value` override: the value is an integer or float in
-/// the sweep-axis vocabulary, or a protocol name for the rbc
-/// `protocol` axis.
+/// the sweep-axis vocabulary, or a name for one of the rbc string axes
+/// (`protocol`, `schedule`, `behavior`).
 fn parse_set(raw: &str) -> Result<(&str, bftbcast::scenario_file::AxisValue), CliError> {
     use bftbcast::scenario_file::AxisValue;
     let Some((key, value)) = raw.split_once('=') else {
@@ -425,6 +425,26 @@ fn parse_set(raw: &str) -> Result<(&str, bftbcast::scenario_file::AxisValue), Cl
             None => {
                 return Err(CliError::Other(format!(
                     "--set {raw:?}: unknown protocol {value:?} (counting|bracha|ctrbc)"
+                )))
+            }
+        }
+    } else if key == "schedule" {
+        match bftbcast::rbc::ScheduleKind::from_name(value) {
+            Some(s) => AxisValue::Name(s.name()),
+            None => {
+                return Err(CliError::Other(format!(
+                    "--set {raw:?}: unknown schedule {value:?} \
+                     (seeded|fifo|delay_quorum|targeted_reorder|gst)"
+                )))
+            }
+        }
+    } else if key == "behavior" {
+        match bftbcast::rbc::ByzantineBehavior::from_name(value) {
+            Some(b) => AxisValue::Name(b.name()),
+            None => {
+                return Err(CliError::Other(format!(
+                    "--set {raw:?}: unknown behavior {value:?} \
+                     (mute|equivocate|selective_send|stale_replay)"
                 )))
             }
         }
@@ -1364,6 +1384,67 @@ mod tests {
         assert!(fat.contains("\"reliable\":true"), "{fat}");
         let err = run(&["run", "--scenario", p, "--set", "protocol=gossip"]).unwrap_err();
         assert!(err.to_string().contains("gossip"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_scenario_set_pins_rbc_schedule_and_behavior_by_name() {
+        let path = std::env::temp_dir().join("bftbcast_cli_test_set_rbc_adv.scn");
+        std::fs::write(
+            &path,
+            concat!(
+                "name = \"rbc-adv-mini\"\n",
+                "engine = \"rbc\"\n",
+                "[topology]\nside = 9\nr = 1\n",
+                "[faults]\nt = 1\nmf = 0\n",
+                "[placement]\nkind = \"explicit\"\nnodes = [[4, 4]]\n",
+                "[rbc]\nprotocol = \"bracha\"\npayload = 256\n",
+                "[sweep]\nschedule = [\"seeded\", \"gst\"]\n",
+                "behavior = [\"mute\", \"equivocate\"]\n",
+            ),
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let all = run(&["run", "--scenario", p]).unwrap();
+        assert_eq!(all.lines().count(), 4, "{all}");
+        // Pinning either string axis drops that dimension of the sweep.
+        let one = run(&[
+            "run",
+            "--scenario",
+            p,
+            "--set",
+            "schedule=gst",
+            "--set",
+            "behavior=equivocate",
+        ])
+        .unwrap();
+        assert_eq!(one.lines().count(), 1, "{one}");
+        // The pinned point is the sweep's (gst, equivocate) corner:
+        // equivocation inflates the message count and gst stretches
+        // the waves past the seeded/mute baseline.
+        let baseline = all.lines().next().unwrap();
+        assert!(baseline.contains("\"schedule\":\"seeded\""), "{baseline}");
+        let sweep_corner = all
+            .lines()
+            .find(|l| {
+                l.contains("\"schedule\":\"gst\"") && l.contains("\"behavior\":\"equivocate\"")
+            })
+            .expect("the sweep covers the pinned corner");
+        let outcome_of = |line: &str| {
+            line.trim()
+                .split("\"outcome\":")
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(outcome_of(&one), outcome_of(sweep_corner), "{one}");
+        assert_ne!(outcome_of(&one), outcome_of(baseline), "{one}");
+        assert!(one.contains("\"reliable\":true"), "{one}");
+        // Unknown names are named errors, not number-parse failures.
+        let err = run(&["run", "--scenario", p, "--set", "schedule=chaos"]).unwrap_err();
+        assert!(err.to_string().contains("chaos"), "{err}");
+        let err = run(&["run", "--scenario", p, "--set", "behavior=sleepy"]).unwrap_err();
+        assert!(err.to_string().contains("sleepy"), "{err}");
         std::fs::remove_file(path).ok();
     }
 

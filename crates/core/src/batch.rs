@@ -319,6 +319,8 @@ impl BatchReport {
                         .u64("intake", p.probe.intake())
                         .u64("decided_neighbors", p.probe.decided_neighbors as u64)
                         .raw("accepted", value_json(p.probe.accepted))
+                        .u64("phase", p.probe.phase)
+                        .u64("conflicts", p.probe.conflicts)
                         .render()
                 })
                 .collect();

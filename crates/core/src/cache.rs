@@ -38,7 +38,11 @@ use crate::spec::{agreement_mode_name, reactive_adversary_name};
 ///
 /// v2: the rbc engine — an `rbc` record joins the key and
 /// [`RbcOutcome`] joins the result codec.
-pub const CACHE_SCHEMA_VERSION: u16 = 2;
+///
+/// v3: the rbc adversary axes — `schedule` and `behavior` join the
+/// rbc key record, and per-node `phase` / `conflicts` join the probe
+/// codec.
+pub const CACHE_SCHEMA_VERSION: u16 = 3;
 
 fn cells_list(cells: &[(u32, u32)]) -> Vec<Record> {
     cells
@@ -163,7 +167,9 @@ pub fn point_key(engine: EngineKind, point: &PointSpec, probes: &[(u32, u32)]) -
         Record::new(CACHE_SCHEMA_VERSION)
             .str("protocol", point.rbc.protocol.name())
             .u64("payload", u64::from(point.rbc.payload))
-            .u64("max_waves", point.rbc.max_waves),
+            .u64("max_waves", point.rbc.max_waves)
+            .str("schedule", point.rbc.schedule.name())
+            .str("behavior", point.rbc.behavior.name()),
     );
     r.content_hash()
 }
@@ -310,6 +316,8 @@ pub fn encode_result(result: &PointResult) -> Vec<u8> {
         w.u64(p.probe.tally_wrong);
         w.usize(p.probe.decided_neighbors);
         w.opt_value(p.probe.accepted);
+        w.u64(p.probe.phase);
+        w.u64(p.probe.conflicts);
     }
     w.0
 }
@@ -406,6 +414,8 @@ pub fn decode_result(bytes: &[u8]) -> Option<PointResult> {
                 tally_wrong: r.u64()?,
                 decided_neighbors: r.usize()?,
                 accepted: r.opt_value()?,
+                phase: r.u64()?,
+                conflicts: r.u64()?,
             },
         });
     }
@@ -471,6 +481,10 @@ mod tests {
         cases.push(with(&|p| p.agreement.p1 = 0.5));
         cases.push(with(&|p| p.rbc.payload = 128));
         cases.push(with(&|p| p.rbc.protocol = bftbcast_rbc::RbcProtocol::Ctrbc));
+        cases.push(with(&|p| p.rbc.schedule = bftbcast_rbc::ScheduleKind::Gst));
+        cases.push(with(&|p| {
+            p.rbc.behavior = bftbcast_rbc::ByzantineBehavior::Equivocate
+        }));
         for (i, p) in cases.iter().enumerate() {
             assert_ne!(key, point_key(file.engine, p, &file.probes), "case {i}");
         }
@@ -501,6 +515,7 @@ mod tests {
                     tally_wrong: 947,
                     decided_neighbors: 3,
                     accepted: None,
+                    ..Probe::default()
                 },
             }],
         };
@@ -552,6 +567,7 @@ mod tests {
                     tally_wrong: 0,
                     decided_neighbors: 0,
                     accepted: Some(Value::TRUE),
+                    ..Probe::default()
                 },
             }],
         };
@@ -582,6 +598,8 @@ mod tests {
                     tally_wrong: 223,
                     decided_neighbors: 8,
                     accepted: Some(Value::TRUE),
+                    phase: 3,
+                    conflicts: 2,
                 },
             }],
         };

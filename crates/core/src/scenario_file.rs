@@ -28,14 +28,14 @@
 //! | `[crash]` | `kind`, `y0`, `height`, `nodes`, `behavior`, `after` | crash engine only |
 //! | `[reactive]` | `k`, `mmax`, `adversary`, `budget`, `max_rounds` | slot engine only |
 //! | `[agreement]` | `mode`, `source`, `p1`, `pe` | agreement engine only |
-//! | `[rbc]` | `protocol`, `payload`, `max_waves` | rbc engine only |
+//! | `[rbc]` | `protocol`, `payload`, `max_waves`, `schedule`, `behavior` | rbc engine only |
 //! | `[probes]` | `nodes = [[x, y], ...]` | any engine (see [`bftbcast_sim::engine::Probe`]) |
 //! | `[sweep]` | one key per axis | values: array, or `"a..b"` / `"a..=b"` range string; the `protocol` axis takes name strings |
 //!
 //! Sweep axes override the base document per point; the cartesian
 //! product is taken in file order (later axes vary fastest).
 
-use bftbcast_rbc::RbcProtocol;
+use bftbcast_rbc::{ByzantineBehavior, RbcProtocol, ScheduleKind};
 use bftbcast_sim::crash::CrashBehavior;
 use bftbcast_sim::engine::AgreementMode;
 use bftbcast_sim::slot::ReactiveAdversary;
@@ -232,6 +232,12 @@ pub struct RbcSpec {
     pub payload: u32,
     /// Hard cap on delivery waves.
     pub max_waves: u64,
+    /// Delivery schedule the network plays (seeded, fifo,
+    /// delay_quorum, targeted_reorder, gst).
+    pub schedule: ScheduleKind,
+    /// What Byzantine nodes actively do (mute, equivocate,
+    /// selective_send, stale_replay).
+    pub behavior: ByzantineBehavior,
 }
 
 impl Default for RbcSpec {
@@ -240,6 +246,8 @@ impl Default for RbcSpec {
             protocol: RbcProtocol::Bracha,
             payload: 64,
             max_waves: 100_000,
+            schedule: ScheduleKind::Seeded,
+            behavior: ByzantineBehavior::Mute,
         }
     }
 }
@@ -553,9 +561,9 @@ fn axis_values(name: &str, value: &ScnValue) -> Result<Vec<AxisValue>, ScenarioE
                 out.push(match item {
                     ScnValue::Int(i) => AxisValue::Int(*i),
                     ScnValue::Float(f) => AxisValue::Float(*f),
-                    // The protocol axis holds names, not numbers;
-                    // intern each to its canonical spelling here so
-                    // AxisValue stays Copy.
+                    // The protocol/schedule/behavior axes hold names,
+                    // not numbers; intern each to its canonical
+                    // spelling here so AxisValue stays Copy.
                     ScnValue::Str(s) if name == "protocol" => {
                         let p = RbcProtocol::from_name(s).ok_or_else(|| {
                             invalid(
@@ -564,6 +572,30 @@ fn axis_values(name: &str, value: &ScnValue) -> Result<Vec<AxisValue>, ScenarioE
                             )
                         })?;
                         AxisValue::Name(p.name())
+                    }
+                    ScnValue::Str(s) if name == "schedule" => {
+                        let k = ScheduleKind::from_name(s).ok_or_else(|| {
+                            invalid(
+                                &what,
+                                format!(
+                                    "unknown schedule {s:?} \
+                                     (seeded|fifo|delay_quorum|targeted_reorder|gst)"
+                                ),
+                            )
+                        })?;
+                        AxisValue::Name(k.name())
+                    }
+                    ScnValue::Str(s) if name == "behavior" => {
+                        let b = ByzantineBehavior::from_name(s).ok_or_else(|| {
+                            invalid(
+                                &what,
+                                format!(
+                                    "unknown behavior {s:?} \
+                                     (mute|equivocate|selective_send|stale_replay)"
+                                ),
+                            )
+                        })?;
+                        AxisValue::Name(b.name())
                     }
                     ScnValue::BigInt(n) => {
                         return Err(invalid(
@@ -696,11 +728,51 @@ pub(crate) fn apply_axis(
             spec.rbc.payload = u32::try_from(value.as_u64(&what)?)
                 .map_err(|_| invalid(&what, "payload out of range"))?;
         }
+        "schedule" => match value {
+            AxisValue::Name(s) => {
+                spec.rbc.schedule = ScheduleKind::from_name(s).ok_or_else(|| {
+                    invalid(
+                        &what,
+                        format!(
+                            "unknown schedule {s:?} \
+                             (seeded|fifo|delay_quorum|targeted_reorder|gst)"
+                        ),
+                    )
+                })?;
+            }
+            _ => {
+                return Err(invalid(
+                    &what,
+                    "schedule axis values are names: [\"seeded\", \"fifo\", \
+                     \"delay_quorum\", \"targeted_reorder\", \"gst\"]",
+                ))
+            }
+        },
+        "behavior" => match value {
+            AxisValue::Name(s) => {
+                spec.rbc.behavior = ByzantineBehavior::from_name(s).ok_or_else(|| {
+                    invalid(
+                        &what,
+                        format!(
+                            "unknown behavior {s:?} \
+                             (mute|equivocate|selective_send|stale_replay)"
+                        ),
+                    )
+                })?;
+            }
+            _ => {
+                return Err(invalid(
+                    &what,
+                    "behavior axis values are names: [\"mute\", \"equivocate\", \
+                     \"selective_send\", \"stale_replay\"]",
+                ))
+            }
+        },
         other => {
             return Err(invalid(
                 &format!("sweep.{other}"),
                 "unknown axis (known: m, quorum, t, mf, seed, count, p, k, mmax, p1, pe, \
-                 protocol, payload)",
+                 protocol, payload, schedule, behavior)",
             ))
         }
     }
@@ -1164,7 +1236,10 @@ impl ScenarioFile {
         let rbc = match doc.section("rbc") {
             None => RbcSpec::default(),
             Some(s) => {
-                check_keys(s, &["protocol", "payload", "max_waves"])?;
+                check_keys(
+                    s,
+                    &["protocol", "payload", "max_waves", "schedule", "behavior"],
+                )?;
                 let pname = get_str(s, "protocol")?.unwrap_or("bracha");
                 let protocol = RbcProtocol::from_name(pname).ok_or_else(|| {
                     invalid(
@@ -1172,11 +1247,33 @@ impl ScenarioFile {
                         format!("unknown protocol {pname:?} (counting|bracha|ctrbc)"),
                     )
                 })?;
+                let sname = get_str(s, "schedule")?.unwrap_or("seeded");
+                let schedule = ScheduleKind::from_name(sname).ok_or_else(|| {
+                    invalid(
+                        "rbc.schedule",
+                        format!(
+                            "unknown schedule {sname:?} \
+                             (seeded|fifo|delay_quorum|targeted_reorder|gst)"
+                        ),
+                    )
+                })?;
+                let bname = get_str(s, "behavior")?.unwrap_or("mute");
+                let behavior = ByzantineBehavior::from_name(bname).ok_or_else(|| {
+                    invalid(
+                        "rbc.behavior",
+                        format!(
+                            "unknown behavior {bname:?} \
+                             (mute|equivocate|selective_send|stale_replay)"
+                        ),
+                    )
+                })?;
                 let defaults = RbcSpec::default();
                 RbcSpec {
                     protocol,
                     payload: get_u32(s, "payload")?.unwrap_or(defaults.payload),
                     max_waves: get_u64(s, "max_waves")?.unwrap_or(defaults.max_waves),
+                    schedule,
+                    behavior,
                 }
             }
         };
@@ -1223,7 +1320,7 @@ impl ScenarioFile {
                 let applies = match key.as_str() {
                     "k" | "mmax" => engine == EngineKind::Slot,
                     "p1" | "pe" => engine == EngineKind::Agreement,
-                    "protocol" | "payload" => engine == EngineKind::Rbc,
+                    "protocol" | "payload" | "schedule" | "behavior" => engine == EngineKind::Rbc,
                     _ => true,
                 };
                 if !applies {

@@ -70,7 +70,7 @@ use crate::scenario_file::{
     self, AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, EngineKind, PlacementSpec,
     PointSpec, ProtocolSpec, RbcSpec, ReactiveSpec, ScenarioFile, SourceSpec,
 };
-use bftbcast_rbc::RbcProtocol;
+use bftbcast_rbc::{ByzantineBehavior, RbcProtocol, ScheduleKind};
 
 // ---------------------------------------------------------------------
 // Canonical names for the sim-crate enums (both codec directions).
@@ -462,6 +462,8 @@ fn build_engine_impl(
                 payload_bits: point.rbc.payload,
                 max_waves: point.rbc.max_waves,
                 seed: point.seed,
+                schedule: point.rbc.schedule,
+                behavior: point.rbc.behavior,
             };
             Box::new(RbcEngine::new(
                 grid.clone(),
@@ -833,6 +835,8 @@ fn rbc_json(rbc: &RbcSpec) -> String {
         .str("protocol", rbc.protocol.name())
         .u64("payload", u64::from(rbc.payload))
         .u64("max_waves", rbc.max_waves)
+        .str("schedule", rbc.schedule.name())
+        .str("behavior", rbc.behavior.name())
         .render()
 }
 
@@ -1358,7 +1362,11 @@ fn agreement_from_json(v: &Json) -> Result<AgreementSpec, ScenarioError> {
 
 fn rbc_from_json(v: &Json) -> Result<RbcSpec, ScenarioError> {
     let what = "spec.rbc";
-    obj_fields(what, v, &["protocol", "payload", "max_waves"])?;
+    obj_fields(
+        what,
+        v,
+        &["protocol", "payload", "max_waves", "schedule", "behavior"],
+    )?;
     let defaults = RbcSpec::default();
     let protocol = match v.get("protocol") {
         None => defaults.protocol,
@@ -1374,6 +1382,40 @@ fn rbc_from_json(v: &Json) -> Result<RbcSpec, ScenarioError> {
             })?
         }
     };
+    let schedule = match v.get("schedule") {
+        None => defaults.schedule,
+        Some(p) => {
+            let name = p
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.schedule"), "expected a string"))?;
+            ScheduleKind::from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.schedule"),
+                    format!(
+                        "unknown schedule {name:?} \
+                         (seeded|fifo|delay_quorum|targeted_reorder|gst)"
+                    ),
+                )
+            })?
+        }
+    };
+    let behavior = match v.get("behavior") {
+        None => defaults.behavior,
+        Some(p) => {
+            let name = p
+                .as_str()
+                .ok_or_else(|| invalid(&format!("{what}.behavior"), "expected a string"))?;
+            ByzantineBehavior::from_name(name).ok_or_else(|| {
+                invalid(
+                    &format!("{what}.behavior"),
+                    format!(
+                        "unknown behavior {name:?} \
+                         (mute|equivocate|selective_send|stale_replay)"
+                    ),
+                )
+            })?
+        }
+    };
     Ok(RbcSpec {
         protocol,
         payload: match v.get("payload") {
@@ -1384,6 +1426,8 @@ fn rbc_from_json(v: &Json) -> Result<RbcSpec, ScenarioError> {
             None => defaults.max_waves,
             Some(_) => u64_field(what, v, "max_waves")?,
         },
+        schedule,
+        behavior,
     })
 }
 
@@ -1547,6 +1591,8 @@ impl EngineSpec {
             let _ = writeln!(s, "protocol = {}", scn_string(p.rbc.protocol.name()));
             let _ = writeln!(s, "payload = {}", p.rbc.payload);
             let _ = writeln!(s, "max_waves = {}", p.rbc.max_waves);
+            let _ = writeln!(s, "schedule = {}", scn_string(p.rbc.schedule.name()));
+            let _ = writeln!(s, "behavior = {}", scn_string(p.rbc.behavior.name()));
         }
         if !self.probes.is_empty() {
             let _ = writeln!(s, "\n[probes]");
@@ -1664,6 +1710,8 @@ mod tests {
                 protocol: RbcProtocol::Ctrbc,
                 payload: 4096,
                 max_waves: 10_000,
+                schedule: ScheduleKind::Gst,
+                behavior: ByzantineBehavior::Equivocate,
             })
             .probe(7, 2)
             .finish()

@@ -1,0 +1,78 @@
+//! Byzantine behaviors — what a faulty node actively *does*.
+//!
+//! PR 9's fault model was mute-only: Byzantine nodes neither relay nor
+//! vote, so they could only hurt liveness. [`ByzantineBehavior`] adds
+//! the active attacks the quorum rules exist to defeat; the runtime
+//! dispatches every message a Byzantine node receives to the selected
+//! behavior instead of the honest state machine.
+//!
+//! Safety expectations (certified by `tests/tests/rbc_adversary.rs`):
+//! with at most `t` Byzantine nodes, Bracha and CTRBC keep agreement,
+//! validity and totality under every behavior; the counting-flood
+//! baseline loses agreement to a single equivocator, which is the
+//! point of comparing against it.
+
+/// What a Byzantine node does with the messages it receives, the
+/// `behavior` axis of the `.scn` grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineBehavior {
+    /// PR 9's model: never relays, never votes (the default).
+    #[default]
+    Mute,
+    /// Relays honestly but attacks the payload: sends conflicting
+    /// variants — conflicting ECHO/READY votes, and for an
+    /// equivocating *source* conflicting SENDs (for CTRBC, fragments
+    /// of a second payload with valid proofs under its own Merkle
+    /// root) — to disjoint halves of the network, split by receiver
+    /// id. All equivocators coordinate on the same split.
+    Equivocate,
+    /// Runs the honest state machine but only ever sends to neighbors
+    /// in the lower id half, starving the rest.
+    SelectiveSend,
+    /// Relays honestly and never votes, but re-broadcasts the first
+    /// message it ever received once per new message it sees —
+    /// pressure on the relay-once dedup, inflating traffic without
+    /// forging anything.
+    StaleReplay,
+}
+
+impl ByzantineBehavior {
+    /// Every behavior, in grammar order.
+    pub const ALL: [ByzantineBehavior; 4] = [
+        ByzantineBehavior::Mute,
+        ByzantineBehavior::Equivocate,
+        ByzantineBehavior::SelectiveSend,
+        ByzantineBehavior::StaleReplay,
+    ];
+
+    /// Canonical lower-case name, shared by the `.scn` and JSON codecs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ByzantineBehavior::Mute => "mute",
+            ByzantineBehavior::Equivocate => "equivocate",
+            ByzantineBehavior::SelectiveSend => "selective_send",
+            ByzantineBehavior::StaleReplay => "stale_replay",
+        }
+    }
+
+    /// Inverse of [`ByzantineBehavior::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        ByzantineBehavior::ALL
+            .into_iter()
+            .find(|b| b.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in ByzantineBehavior::ALL {
+            assert_eq!(ByzantineBehavior::from_name(b.name()), Some(b));
+        }
+        assert_eq!(ByzantineBehavior::from_name("loud"), None);
+        assert_eq!(ByzantineBehavior::default(), ByzantineBehavior::Mute);
+    }
+}

@@ -14,8 +14,12 @@ use crate::sim::{RbcConfig, RbcSim};
 /// Probe mapping (the [`Probe`] struct is shared across engines):
 /// `tally_true` is echoes received (payload copies for the flood
 /// baseline), `tally_wrong` is readies received, `decided_neighbors`
-/// counts delivered neighbors, and `accepted` is `Value::TRUE` iff the
-/// node delivered. Byzantine nodes are mute and answer `None`.
+/// counts delivered neighbors, `accepted` is `Value::TRUE` iff the
+/// node delivered, `phase` is the protocol progress phase (0 idle,
+/// 1 echoed, 2 readied, 3 delivered — so a wave-capped stall shows
+/// *where* each node got stuck, not just that it did), and `conflicts`
+/// counts equivocation evidence observed at the node. Byzantine nodes
+/// answer `None` whatever their behavior.
 pub struct RbcEngine {
     grid: Grid,
     source: NodeId,
@@ -76,6 +80,8 @@ impl SimEngine for RbcEngine {
             tally_wrong: self.live.readies_received(u),
             decided_neighbors: self.live.delivered_neighbors(u),
             accepted: delivered.then_some(Value::TRUE),
+            phase: self.live.phase(u),
+            conflicts: self.live.conflicts(u),
         })
     }
 }
@@ -83,19 +89,26 @@ impl SimEngine for RbcEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::behavior::ByzantineBehavior;
+    use crate::schedule::ScheduleKind;
     use crate::sim::RbcProtocol;
 
-    fn engine(protocol: RbcProtocol) -> RbcEngine {
-        let grid = Grid::new(15, 15, 1).unwrap();
-        let bad = vec![grid.id_at(3, 3), grid.id_at(10, 11)];
-        let config = RbcConfig {
+    fn config(protocol: RbcProtocol) -> RbcConfig {
+        RbcConfig {
             protocol,
             t: 2,
             payload_bits: 4096,
             max_waves: 10_000,
             seed: 7,
-        };
-        RbcEngine::new(grid, 0, &bad, config)
+            schedule: ScheduleKind::Seeded,
+            behavior: ByzantineBehavior::Mute,
+        }
+    }
+
+    fn engine(protocol: RbcProtocol) -> RbcEngine {
+        let grid = Grid::new(15, 15, 1).unwrap();
+        let bad = vec![grid.id_at(3, 3), grid.id_at(10, 11)];
+        RbcEngine::new(grid, 0, &bad, config(protocol))
     }
 
     #[test]
@@ -111,14 +124,7 @@ mod tests {
 
             let grid = Grid::new(15, 15, 1).unwrap();
             let bad = vec![grid.id_at(3, 3), grid.id_at(10, 11)];
-            let config = RbcConfig {
-                protocol,
-                t: 2,
-                payload_bits: 4096,
-                max_waves: 10_000,
-                seed: 7,
-            };
-            let mut direct = RbcSim::new(grid, 0, &bad, config);
+            let mut direct = RbcSim::new(grid, 0, &bad, config(protocol));
             direct.begin();
             while direct.step_wave() {}
             assert_eq!(*stepped, direct.outcome(), "{protocol:?}");
@@ -152,6 +158,39 @@ mod tests {
         assert_eq!(probe.tally_true, 223, "echoes from every good node");
         assert_eq!(probe.tally_wrong, 223, "readies from every good node");
         assert!(probe.decided_neighbors >= 6);
+        assert_eq!(probe.phase, 3, "delivered nodes sit in phase 3");
+        assert_eq!(probe.conflicts, 0, "mute adversary leaves no evidence");
+    }
+
+    #[test]
+    fn stalled_runs_are_diagnosable_through_probe_phases() {
+        // Two waves cannot finish Bracha on a 15x15 torus: the run
+        // stalls at the cap. The probes must say where each node got
+        // stuck instead of reporting a bare stall.
+        let grid = Grid::new(15, 15, 1).unwrap();
+        let bad = vec![grid.id_at(3, 3), grid.id_at(10, 11)];
+        let mut cfg = config(RbcProtocol::Bracha);
+        cfg.max_waves = 2;
+        let mut e = RbcEngine::new(grid.clone(), 0, &bad, cfg);
+        let out = e.run_to_completion();
+        let out = out.as_rbc().expect("rbc outcome");
+        assert!(!out.is_reliable(), "{out:?}");
+        let phases: Vec<u64> = (0..225)
+            .filter_map(|u| e.probe(u))
+            .map(|p| p.phase)
+            .collect();
+        assert_eq!(phases.len(), 223, "every good node answers");
+        assert!(
+            phases.iter().any(|&p| p >= 1),
+            "the source neighborhood reached the echo phase"
+        );
+        assert!(phases.contains(&0), "far nodes are still idle at the stall");
+        let undelivered = phases.iter().filter(|&&p| p < 3).count();
+        assert_eq!(
+            undelivered,
+            out.good_nodes - out.delivered,
+            "phase counters account for every undelivered node"
+        );
     }
 
     #[test]

@@ -5,12 +5,19 @@
 //! The paper's engines count copies; this crate counts *messages*.
 //! [`sim::RbcSim`] gives every directed edge of the CSR
 //! [`bftbcast_net::Topology`] a FIFO queue, delivers one wave at a time
-//! in a seeded permutation order, and floods protocol messages with
-//! per-id relay dedup so fully-connected broadcast protocols run
-//! unchanged on an r-neighborhood torus. [`engine::RbcEngine`] wraps
-//! the runtime behind [`bftbcast_sim::SimEngine`], so rbc runs flow
-//! through the same scenario files, cache keys, serve/store path, and
-//! federation as every other engine.
+//! under a pluggable [`schedule::DeliverySchedule`], and floods
+//! protocol messages with per-id relay dedup so fully-connected
+//! broadcast protocols run unchanged on an r-neighborhood torus.
+//! [`engine::RbcEngine`] wraps the runtime behind
+//! [`bftbcast_sim::SimEngine`], so rbc runs flow through the same
+//! scenario files, cache keys, serve/store path, and federation as
+//! every other engine.
+//!
+//! Two adversary axes are first-class: [`schedule::ScheduleKind`]
+//! selects how the network reorders and defers delivery (from PR 9's
+//! seeded permutation to delay-the-quorum and GST-style partial
+//! synchrony), and [`behavior::ByzantineBehavior`] selects what faulty
+//! nodes actively do (mute, equivocate, selective-send, stale-replay).
 //!
 //! [`merkle`] supplies the commitment scheme CTRBC's fragment echoes
 //! carry (an FNV-1a tree — structural fidelity, no cryptographic
@@ -21,7 +28,7 @@
 //!
 //! ```
 //! use bftbcast_net::Grid;
-//! use bftbcast_rbc::{RbcConfig, RbcEngine, RbcProtocol};
+//! use bftbcast_rbc::{ByzantineBehavior, RbcConfig, RbcEngine, RbcProtocol, ScheduleKind};
 //! use bftbcast_sim::SimEngine;
 //!
 //! let grid = Grid::new(15, 15, 1).unwrap();
@@ -31,6 +38,8 @@
 //!     payload_bits: 256,
 //!     max_waves: 10_000,
 //!     seed: 7,
+//!     schedule: ScheduleKind::Seeded,
+//!     behavior: ByzantineBehavior::Mute,
 //! };
 //! let mut engine = RbcEngine::new(grid, 0, &[], config);
 //! let outcome = engine.run_to_completion();
@@ -40,9 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 pub mod engine;
 pub mod merkle;
+pub mod schedule;
 pub mod sim;
 
+pub use behavior::ByzantineBehavior;
 pub use engine::RbcEngine;
+pub use schedule::{DeliverySchedule, MsgClass, MsgView, ScheduleKind, MAX_DEFER_WAVES};
 pub use sim::{RbcConfig, RbcProtocol, RbcSim};

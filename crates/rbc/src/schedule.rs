@@ -1,0 +1,388 @@
+//! Pluggable delivery schedules — the asynchronous adversary.
+//!
+//! PR 9's runtime hard-wired one schedule: a wave delivers every queued
+//! message, receivers drain their inboxes in one seeded permutation.
+//! That never actually attacks the quorum logic. [`DeliverySchedule`]
+//! turns the wave loop's three degrees of freedom into trait hooks:
+//!
+//! * **node order** — which receiver drains its inbox first this wave
+//!   ([`DeliverySchedule::order_nodes`]),
+//! * **deferral** — whether a queued message is held back for a later
+//!   wave ([`DeliverySchedule::defer`]), bounded by
+//!   [`MAX_DEFER_WAVES`]: the adversary may delay, never drop, and
+//! * **batch rank** — the order a receiver consumes the messages that
+//!   did arrive this wave ([`DeliverySchedule::rank`]).
+//!
+//! Five schedules ship, selected by [`ScheduleKind`]:
+//!
+//! * `seeded` — PR 9's schedule, bit-identical: one fresh seeded
+//!   permutation per wave, no deferral, arrival order preserved.
+//! * `fifo` — fair synchronous rounds: ascending node order, no
+//!   deferral. The most benign schedule; useful as the latency floor.
+//! * `delay_quorum` — delay-the-quorum: every ECHO/READY addressed to
+//!   the top quarter of node ids is held for the full deferral budget,
+//!   starving the victims' quorums for as long as the bound allows.
+//! * `targeted_reorder` — the equivocation accomplice: receivers in
+//!   the lower id half see variant-0 READYs first, the upper half sees
+//!   variant-1 READYs first, and nodes are processed in descending id
+//!   order. Paired with `equivocate` Byzantine nodes this is the
+//!   classic split-brain attack on Bracha's amplification rule.
+//! * `gst` — bounded-delay partial synchrony: before the GST wave
+//!   every message is independently deferred with probability 1/2
+//!   (own SplitMix64 stream, so the run-level RNG is untouched); after
+//!   it the network is synchronous.
+//!
+//! Safety (agreement/validity) must hold under *every* schedule;
+//! only latency — and, past `t` faults, liveness — may degrade. The
+//! schedule-exploration harness in `tests/tests/rbc_adversary.rs`
+//! certifies exactly that.
+
+use bftbcast_net::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Hard bound on how many extra waves any schedule may hold one
+/// message past its normal next-wave arrival. This is the
+/// bounded-asynchrony contract: the runtime force-delivers anything
+/// older, so no schedule can silently drop a message and every run
+/// still quiesces.
+pub const MAX_DEFER_WAVES: u64 = 8;
+
+/// Wave at which the `gst` schedule's network turns synchronous.
+const GST_WAVE: u64 = 12;
+
+/// Message class a schedule can key on. Protocol variants collapse
+/// into their role: CTRBC fragment echoes are `Echo`, CTRBC readies
+/// are `Ready`, the source's fragment dissemination is `Fragment`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Flood-baseline payload.
+    Payload,
+    /// Bracha SEND.
+    Send,
+    /// CTRBC source fragment (CtSend).
+    Fragment,
+    /// Bracha ECHO or CTRBC fragment echo.
+    Echo,
+    /// Bracha or CTRBC READY.
+    Ready,
+}
+
+/// Schedule-visible view of one queued message. The runtime keeps its
+/// wire representation private; schedules see role, vote origin,
+/// payload variant and the wave the message was sent.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgView {
+    /// What role the message plays in its protocol.
+    pub class: MsgClass,
+    /// Originating node for votes (ECHO/READY); `None` for
+    /// source-originated messages.
+    pub origin: Option<NodeId>,
+    /// Payload variant the message vouches for (always 0 unless a
+    /// Byzantine node equivocates).
+    pub variant: u8,
+    /// Wave the message was queued; it arrives no earlier than
+    /// `born + 1` and no later than `born + 1 +`[`MAX_DEFER_WAVES`].
+    pub born: u64,
+}
+
+/// One delivery schedule: the adversary's control over *when* queued
+/// messages reach their receivers. Implementations must be
+/// deterministic given the construction seed — schedule randomness
+/// must come from the passed `rng` or from internal seeded state.
+pub trait DeliverySchedule: Send {
+    /// Which [`ScheduleKind`] built this schedule.
+    fn kind(&self) -> ScheduleKind;
+
+    /// Permutes the receiver processing order for `wave`. `order` is
+    /// the previous wave's permutation and must remain a permutation
+    /// of all node ids. The default keeps the previous order.
+    fn order_nodes(&mut self, _wave: u64, _rng: &mut StdRng, _order: &mut [NodeId]) {}
+
+    /// Whether this schedule ever defers; `false` lets the runtime
+    /// skip the per-message [`DeliverySchedule::defer`] call.
+    fn defers(&self) -> bool {
+        false
+    }
+
+    /// `true` holds `msg` back one more wave (re-queued for the next
+    /// wave, uncounted). The runtime stops asking once the message has
+    /// been held [`MAX_DEFER_WAVES`] extra waves.
+    fn defer(&mut self, _wave: u64, _receiver: NodeId, _msg: &MsgView) -> bool {
+        false
+    }
+
+    /// Whether this schedule ranks batches; `false` lets the runtime
+    /// skip the per-wave batch sort.
+    fn ranks(&self) -> bool {
+        false
+    }
+
+    /// Sort key for `receiver`'s wave batch, ascending. The sort is
+    /// stable, so equal ranks preserve edge order and FIFO arrival.
+    fn rank(&mut self, _wave: u64, _receiver: NodeId, _msg: &MsgView) -> i64 {
+        0
+    }
+}
+
+/// Named delivery schedules, the `schedule` axis of the `.scn`
+/// grammar. See the module docs for what each one does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleKind {
+    /// PR 9's seeded per-wave permutation (the default).
+    #[default]
+    Seeded,
+    /// Ascending node order, no deferral.
+    Fifo,
+    /// Defer ECHO/READY to the top quarter of node ids.
+    DelayQuorum,
+    /// Split-brain reordering that favors one variant per id half.
+    TargetedReorder,
+    /// Random deferral before a global stabilization wave.
+    Gst,
+}
+
+impl ScheduleKind {
+    /// Every schedule, in grammar order.
+    pub const ALL: [ScheduleKind; 5] = [
+        ScheduleKind::Seeded,
+        ScheduleKind::Fifo,
+        ScheduleKind::DelayQuorum,
+        ScheduleKind::TargetedReorder,
+        ScheduleKind::Gst,
+    ];
+
+    /// Canonical lower-case name, shared by the `.scn` and JSON codecs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Seeded => "seeded",
+            ScheduleKind::Fifo => "fifo",
+            ScheduleKind::DelayQuorum => "delay_quorum",
+            ScheduleKind::TargetedReorder => "targeted_reorder",
+            ScheduleKind::Gst => "gst",
+        }
+    }
+
+    /// Inverse of [`ScheduleKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        ScheduleKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds the schedule for a run over `nodes` nodes. `seed` feeds
+    /// schedules with internal randomness (currently `gst`); the
+    /// run-level RNG is passed per wave instead.
+    pub fn build(self, nodes: usize, seed: u64) -> Box<dyn DeliverySchedule> {
+        match self {
+            ScheduleKind::Seeded => Box::new(Seeded),
+            ScheduleKind::Fifo => Box::new(FifoFair),
+            ScheduleKind::DelayQuorum => Box::new(DelayQuorum {
+                victim_floor: nodes - nodes.div_ceil(4),
+            }),
+            ScheduleKind::TargetedReorder => Box::new(TargetedReorder { split: nodes / 2 }),
+            ScheduleKind::Gst => Box::new(Gst {
+                state: seed ^ 0x6a09_e667_f3bc_c908,
+            }),
+        }
+    }
+}
+
+/// SplitMix64 step — the same generator the test harness seeds points
+/// with; here it drives the `gst` schedule's deferral coin flips.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Seeded;
+
+impl DeliverySchedule for Seeded {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Seeded
+    }
+
+    fn order_nodes(&mut self, _wave: u64, rng: &mut StdRng, order: &mut [NodeId]) {
+        order.shuffle(rng);
+    }
+}
+
+struct FifoFair;
+
+impl DeliverySchedule for FifoFair {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Fifo
+    }
+
+    fn order_nodes(&mut self, _wave: u64, _rng: &mut StdRng, order: &mut [NodeId]) {
+        order.sort_unstable();
+    }
+}
+
+struct DelayQuorum {
+    /// Nodes at or above this id have their votes delayed.
+    victim_floor: NodeId,
+}
+
+impl DeliverySchedule for DelayQuorum {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::DelayQuorum
+    }
+
+    fn order_nodes(&mut self, _wave: u64, _rng: &mut StdRng, order: &mut [NodeId]) {
+        order.sort_unstable();
+    }
+
+    fn defers(&self) -> bool {
+        true
+    }
+
+    fn defer(&mut self, _wave: u64, receiver: NodeId, msg: &MsgView) -> bool {
+        receiver >= self.victim_floor && matches!(msg.class, MsgClass::Echo | MsgClass::Ready)
+    }
+}
+
+struct TargetedReorder {
+    /// Receivers below this id prefer variant 0, the rest variant 1.
+    split: NodeId,
+}
+
+impl DeliverySchedule for TargetedReorder {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::TargetedReorder
+    }
+
+    fn order_nodes(&mut self, _wave: u64, _rng: &mut StdRng, order: &mut [NodeId]) {
+        order.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    fn ranks(&self) -> bool {
+        true
+    }
+
+    fn rank(&mut self, _wave: u64, receiver: NodeId, msg: &MsgView) -> i64 {
+        let preferred = u8::from(receiver >= self.split);
+        let cross = i64::from(msg.variant != preferred);
+        let vote = i64::from(msg.class != MsgClass::Ready);
+        // Preferred-variant READYs first, then the rest of the
+        // preferred variant, then the other variant in the same order.
+        2 * cross + vote
+    }
+}
+
+struct Gst {
+    state: u64,
+}
+
+impl DeliverySchedule for Gst {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Gst
+    }
+
+    fn order_nodes(&mut self, _wave: u64, rng: &mut StdRng, order: &mut [NodeId]) {
+        order.shuffle(rng);
+    }
+
+    fn defers(&self) -> bool {
+        true
+    }
+
+    fn defer(&mut self, wave: u64, _receiver: NodeId, _msg: &MsgView) -> bool {
+        wave < GST_WAVE && splitmix64(&mut self.state) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ScheduleKind::ALL {
+            assert_eq!(ScheduleKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScheduleKind::from_name("bogus"), None);
+        assert_eq!(ScheduleKind::default(), ScheduleKind::Seeded);
+    }
+
+    #[test]
+    fn non_deferring_schedules_declare_it() {
+        for kind in [ScheduleKind::Seeded, ScheduleKind::Fifo] {
+            let s = kind.build(25, 7);
+            assert!(!s.defers());
+            assert!(!s.ranks());
+            assert_eq!(s.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn delay_quorum_defers_votes_to_victims_only() {
+        let mut s = ScheduleKind::DelayQuorum.build(24, 7);
+        let echo = MsgView {
+            class: MsgClass::Echo,
+            origin: Some(0),
+            variant: 0,
+            born: 0,
+        };
+        let send = MsgView {
+            class: MsgClass::Send,
+            ..echo
+        };
+        assert!(s.defers());
+        // victim_floor = 24 - 6 = 18.
+        assert!(s.defer(1, 18, &echo));
+        assert!(s.defer(1, 23, &echo));
+        assert!(!s.defer(1, 17, &echo), "non-victims get votes on time");
+        assert!(!s.defer(1, 23, &send), "proposals are never delayed");
+    }
+
+    #[test]
+    fn targeted_reorder_prefers_one_variant_per_half() {
+        let mut s = ScheduleKind::TargetedReorder.build(10, 7);
+        let ready0 = MsgView {
+            class: MsgClass::Ready,
+            origin: Some(1),
+            variant: 0,
+            born: 0,
+        };
+        let ready1 = MsgView {
+            variant: 1,
+            ..ready0
+        };
+        assert!(s.ranks());
+        assert!(s.rank(1, 2, &ready0) < s.rank(1, 2, &ready1));
+        assert!(s.rank(1, 7, &ready1) < s.rank(1, 7, &ready0));
+        let echo1 = MsgView {
+            class: MsgClass::Echo,
+            ..ready1
+        };
+        assert!(s.rank(1, 7, &ready1) < s.rank(1, 7, &echo1));
+    }
+
+    #[test]
+    fn gst_deferral_is_seed_deterministic_and_stops_at_gst() {
+        let flips = |seed: u64| -> Vec<bool> {
+            let mut s = ScheduleKind::Gst.build(25, seed);
+            let v = MsgView {
+                class: MsgClass::Echo,
+                origin: Some(3),
+                variant: 0,
+                born: 0,
+            };
+            (0..64).map(|i| s.defer(1 + i % 11, 4, &v)).collect()
+        };
+        assert_eq!(flips(7), flips(7));
+        assert_ne!(flips(7), flips(8), "different seeds defer differently");
+        let mut s = ScheduleKind::Gst.build(25, 7);
+        let v = MsgView {
+            class: MsgClass::Ready,
+            origin: Some(3),
+            variant: 0,
+            born: GST_WAVE,
+        };
+        for w in GST_WAVE..GST_WAVE + 16 {
+            assert!(!s.defer(w, 4, &v), "synchronous after GST");
+        }
+    }
+}

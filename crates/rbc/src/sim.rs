@@ -2,19 +2,20 @@
 //!
 //! [`RbcSim`] is an explicit message-level simulator over the CSR
 //! [`Topology`]: every directed edge has a FIFO queue, a **wave**
-//! delivers everything queued at wave start (nodes drain their inboxes
-//! in a seeded permutation order), and sends made while handling a
-//! message are queued for the next wave. Messages are flooded — every
-//! node relays each distinct message id once to all neighbors — so the
-//! classic fully-connected broadcast protocols run unchanged on the
-//! r-neighborhood torus, and quorums count over the global node count.
+//! delivers everything queued at wave start, and sends made while
+//! handling a message are queued for the next wave. Messages are
+//! flooded — every node relays each distinct message id once to all
+//! neighbors — so the classic fully-connected broadcast protocols run
+//! unchanged on the r-neighborhood torus, and quorums count over the
+//! global node count.
 //!
 //! Three protocols share the runtime (selected by [`RbcProtocol`]):
 //!
 //! * **Counting flood** — the message-level analogue of the paper's
 //!   single-value relay: the source floods the payload, every good node
 //!   delivers on first receipt and relays once. The baseline the two
-//!   RBC protocols are compared against.
+//!   RBC protocols are compared against — and the one that visibly
+//!   loses agreement to an equivocator.
 //! * **Bracha** — send/echo/ready reliable broadcast: echo after the
 //!   source's SEND, ready at `⌈(n+t+1)/2⌉` echoes (or `t+1` readies,
 //!   the amplification step), deliver at `2t+1` readies. Every ECHO and
@@ -27,9 +28,25 @@
 //!   measures — and delivery reconstructs and re-verifies the payload
 //!   from the k fragments.
 //!
-//! Byzantine nodes are mute: they neither relay nor vote, so they can
-//! only hurt liveness (quorums must be met by reachable good nodes),
-//! which is exactly the regime the outcome metrics compare.
+//! Two adversary axes compose with the protocol:
+//!
+//! * the **delivery schedule** ([`crate::schedule`]) decides node
+//!   processing order, per-message deferral (bounded by
+//!   [`MAX_DEFER_WAVES`]) and in-batch consumption order, and
+//! * the **Byzantine behavior** ([`crate::behavior`]) decides what
+//!   faulty nodes actively do — from PR 9's mute model to
+//!   equivocators that send conflicting payload *variants* to
+//!   disjoint id halves of the network.
+//!
+//! Every message therefore carries a payload variant tag (0 = the
+//! genuine broadcast, 1 = the equivocated payload, which is the
+//! bitwise complement so no extra RNG draws perturb seeded runs).
+//! Honest vote counting is per variant with first-wins origin
+//! attribution: a second vote by the same origin under the other
+//! variant is equivocation evidence and increments the node's
+//! `conflicts` counter instead of counting. Under the default
+//! `seeded` schedule and `mute` behavior the runtime is bit-identical
+//! to PR 9 — the pinned `rbc-compare.scn` goldens prove it.
 
 use std::collections::VecDeque;
 
@@ -37,9 +54,11 @@ use bftbcast_coding::segment;
 use bftbcast_net::{Grid, NodeId, Topology};
 use bftbcast_sim::metrics::RbcOutcome;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng, SliceRandom};
+use rand::{Rng, SeedableRng};
 
+use crate::behavior::ByzantineBehavior;
 use crate::merkle::{self, MerkleTree};
+use crate::schedule::{DeliverySchedule, MsgClass, MsgView, ScheduleKind, MAX_DEFER_WAVES};
 
 /// Message-kind tag bits charged to every message on the wire.
 const TAG_BITS: u64 = 16;
@@ -97,67 +116,108 @@ pub struct RbcConfig {
     pub max_waves: u64,
     /// Seed for the payload content and per-wave scheduling order.
     pub seed: u64,
+    /// Delivery schedule the network plays (default: `seeded`, PR 9's
+    /// per-wave seeded permutation).
+    pub schedule: ScheduleKind,
+    /// What Byzantine nodes actively do (default: `mute`).
+    pub behavior: ByzantineBehavior,
 }
 
-/// Message identity — the unit of per-node relay dedup and of tallying.
+/// Message identity — the unit of per-node relay dedup and of
+/// tallying. The trailing `u8` is the payload variant the message
+/// vouches for: 0 for the genuine broadcast, 1 for an equivocator's
+/// conflicting payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MsgId {
     /// Flood baseline payload.
-    Payload,
+    Payload(u8),
     /// Bracha SEND from the source.
-    Send,
+    Send(u8),
     /// Bracha ECHO originated by this node.
-    Echo(u32),
+    Echo(u32, u8),
     /// Bracha READY originated by this node.
-    Ready(u32),
+    Ready(u32, u8),
     /// CTRBC fragment `i` disseminated by the source.
-    CtSend(u32),
+    CtSend(u32, u8),
     /// CTRBC fragment echo originated by this node.
-    CtEcho(u32),
+    CtEcho(u32, u8),
     /// CTRBC ready originated by this node.
-    CtReady(u32),
+    CtReady(u32, u8),
+}
+
+impl MsgId {
+    fn variant(self) -> u8 {
+        match self {
+            MsgId::Payload(v) | MsgId::Send(v) => v,
+            MsgId::Echo(_, v)
+            | MsgId::Ready(_, v)
+            | MsgId::CtSend(_, v)
+            | MsgId::CtEcho(_, v)
+            | MsgId::CtReady(_, v) => v,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Msg {
     id: MsgId,
     bits: u64,
+    /// Wave the message was queued (schedules may hold it up to
+    /// [`MAX_DEFER_WAVES`] waves past its `born + 1` arrival).
+    born: u64,
 }
 
 #[derive(Clone)]
 struct NodeState {
     /// Relay-dedup bitmap over the message-id space.
     seen: Vec<u64>,
-    /// Distinct nodes whose ECHO this node has received.
-    echoers: Vec<u64>,
-    echo_count: u32,
-    /// Distinct nodes whose READY this node has received.
-    readiers: Vec<u64>,
-    ready_count: u32,
+    /// Distinct nodes whose ECHO this node has received, per variant.
+    echoers: [Vec<u64>; 2],
+    echo_count: [u32; 2],
+    /// Distinct nodes whose READY this node has received, per variant.
+    readiers: [Vec<u64>; 2],
+    ready_count: [u32; 2],
     /// Flood baseline: payload copies delivered (duplicates included).
     copies: u64,
-    sent_echo: bool,
-    sent_ready: bool,
-    delivered: bool,
-    /// CTRBC: fragment indices held with a valid proof.
-    frags: Vec<bool>,
-    frags_held: usize,
+    /// Variant this node echoed, if it has.
+    echoed: Option<u8>,
+    /// Variant this node sent READY for, if it has.
+    readied: Option<u8>,
+    /// Variant this node delivered, if it has.
+    delivered: Option<u8>,
+    /// First variant (payload/root) this node saw — messages under the
+    /// other variant are counted as conflicts.
+    bound: Option<u8>,
+    /// Equivocation evidence observed: cross-variant messages and
+    /// double votes by one origin.
+    conflicts: u64,
+    /// CTRBC: fragment indices held with a valid proof, per variant.
+    frags: [Vec<bool>; 2],
+    frags_held: [usize; 2],
+    /// Equivocator bookkeeping: attack already launched.
+    attacked: bool,
+    /// Stale-replay bookkeeping: the first message ever received.
+    stale: Option<Msg>,
 }
 
 impl NodeState {
     fn new(id_words: usize, node_words: usize, k: usize) -> Self {
         NodeState {
             seen: vec![0; id_words],
-            echoers: vec![0; node_words],
-            echo_count: 0,
-            readiers: vec![0; node_words],
-            ready_count: 0,
+            echoers: [vec![0; node_words], vec![0; node_words]],
+            echo_count: [0; 2],
+            readiers: [vec![0; node_words], vec![0; node_words]],
+            ready_count: [0; 2],
             copies: 0,
-            sent_echo: false,
-            sent_ready: false,
-            delivered: false,
-            frags: vec![false; k],
-            frags_held: 0,
+            echoed: None,
+            readied: None,
+            delivered: None,
+            bound: None,
+            conflicts: 0,
+            frags: [vec![false; k], vec![false; k]],
+            frags_held: [0; 2],
+            attacked: false,
+            stale: None,
         }
     }
 }
@@ -188,6 +248,12 @@ pub struct RbcSim {
     k: usize,
     echo_quorum: u32,
     rng: StdRng,
+    schedule: Box<dyn DeliverySchedule>,
+    /// Receiver-id threshold equivocators and selective senders split
+    /// the network at (`< split` is the "variant 0" side).
+    split: NodeId,
+    /// Message-id slots per variant (variant 1 ids live one stride up).
+    id_stride: usize,
     /// For out-edge `e` of `u`, the receiver-side queue index at the
     /// neighbor (symmetric adjacency).
     rev: Vec<usize>,
@@ -199,8 +265,14 @@ pub struct RbcSim {
     pending: u64,
     nodes: Vec<NodeState>,
     order: Vec<NodeId>,
-    payload: Vec<bool>,
-    fragset: Option<FragmentSet>,
+    /// Scratch buffer for one receiver's wave batch.
+    batch: Vec<Msg>,
+    /// Payload per variant; variant 1 is the bitwise complement, so
+    /// building it draws no RNG and seeded runs are unperturbed.
+    payloads: [Vec<bool>; 2],
+    /// Fragment sets per variant; variant 1 exists only under the
+    /// `equivocate` behavior.
+    fragsets: [Option<FragmentSet>; 2],
     messages: u64,
     wire_bits: u64,
     waves: u64,
@@ -232,8 +304,15 @@ impl RbcSim {
             .expect("quorum fits u32 for any simulable torus");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.random()).collect();
+        let payload1: Vec<bool> = payload.iter().map(|&b| !b).collect();
         let fragset = match cfg.protocol {
             RbcProtocol::Ctrbc => Some(Self::split_payload(&payload, k)),
+            _ => None,
+        };
+        let fragset1 = match (cfg.protocol, cfg.behavior) {
+            (RbcProtocol::Ctrbc, ByzantineBehavior::Equivocate) => {
+                Some(Self::split_payload(&payload1, k))
+            }
             _ => None,
         };
         let mut rev = vec![0usize; topo.adjacency().len()];
@@ -249,7 +328,8 @@ impl RbcSim {
             }
         }
         let edges = topo.adjacency().len();
-        let id_words = (1 + 3 * n).div_ceil(64);
+        let id_stride = 1 + 3 * n;
+        let id_words = (2 * id_stride).div_ceil(64);
         let node_words = n.div_ceil(64);
         RbcSim {
             source,
@@ -259,14 +339,18 @@ impl RbcSim {
             k,
             echo_quorum,
             rng,
+            schedule: cfg.schedule.build(n, cfg.seed),
+            split: n / 2,
+            id_stride,
             rev,
             cur: vec![VecDeque::new(); edges],
             nxt: vec![VecDeque::new(); edges],
             pending: 0,
             nodes: vec![NodeState::new(id_words, node_words, k); n],
             order: (0..n).collect(),
-            payload,
-            fragset,
+            batch: Vec::new(),
+            payloads: [payload, payload1],
+            fragsets: [fragset, fragset1],
             topo,
             messages: 0,
             wire_bits: 0,
@@ -323,24 +407,58 @@ impl RbcSim {
         !self.bad[u]
     }
 
-    /// Whether good node `u` has delivered the broadcast.
+    /// Whether node `u` has delivered the broadcast (any variant).
     pub fn delivered(&self, u: NodeId) -> bool {
+        self.nodes[u].delivered.is_some()
+    }
+
+    /// The payload variant `u` delivered: 0 is the genuine broadcast,
+    /// 1 an equivocated payload. Two good nodes delivering different
+    /// variants is an agreement violation.
+    pub fn delivered_variant(&self, u: NodeId) -> Option<u8> {
         self.nodes[u].delivered
     }
 
-    /// Echo-phase tally at `u`: distinct ECHO origins received (the
-    /// flood baseline reports payload copies instead — its only
-    /// message kind).
-    pub fn echoes_received(&self, u: NodeId) -> u64 {
-        match self.cfg.protocol {
-            RbcProtocol::Counting => self.nodes[u].copies,
-            _ => u64::from(self.nodes[u].echo_count),
+    /// Protocol progress phase at `u`: 0 = nothing sent, 1 = echoed,
+    /// 2 = readied, 3 = delivered. The flood baseline only uses 0/3.
+    pub fn phase(&self, u: NodeId) -> u64 {
+        let st = &self.nodes[u];
+        if st.delivered.is_some() {
+            3
+        } else if st.readied.is_some() {
+            2
+        } else if st.echoed.is_some() {
+            1
+        } else {
+            0
         }
     }
 
-    /// Distinct READY origins received at `u`.
+    /// Equivocation evidence observed at `u`: messages under the
+    /// non-bound variant plus double votes by a single origin.
+    pub fn conflicts(&self, u: NodeId) -> u64 {
+        self.nodes[u].conflicts
+    }
+
+    /// Whether the run ran out of in-flight messages (as opposed to
+    /// hitting the wave cap).
+    pub fn quiescent(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Echo-phase tally at `u`: distinct ECHO origins received over
+    /// both variants (the flood baseline reports payload copies
+    /// instead — its only message kind).
+    pub fn echoes_received(&self, u: NodeId) -> u64 {
+        match self.cfg.protocol {
+            RbcProtocol::Counting => self.nodes[u].copies,
+            _ => u64::from(self.nodes[u].echo_count[0] + self.nodes[u].echo_count[1]),
+        }
+    }
+
+    /// Distinct READY origins received at `u`, over both variants.
     pub fn readies_received(&self, u: NodeId) -> u64 {
-        u64::from(self.nodes[u].ready_count)
+        u64::from(self.nodes[u].ready_count[0] + self.nodes[u].ready_count[1])
     }
 
     /// Neighbors of `u` that have delivered.
@@ -348,64 +466,143 @@ impl RbcSim {
         self.topo
             .neighbors_of(u)
             .iter()
-            .filter(|&&w| self.nodes[w].delivered)
+            .filter(|&&w| self.nodes[w].delivered.is_some())
             .count()
     }
 
-    /// Injects the source's initial messages (a no-op if the source is
-    /// Byzantine: nothing is ever broadcast).
+    /// Injects the source's initial messages. A mute Byzantine source
+    /// broadcasts nothing; other behaviors attack or participate.
     pub fn begin(&mut self) {
         let s = self.source;
         if self.bad[s] {
+            match self.cfg.behavior {
+                ByzantineBehavior::Mute => {}
+                ByzantineBehavior::Equivocate => self.begin_equivocating(s),
+                // A selective sender's begin is masked inside
+                // `broadcast`; a stale-replayer starts honestly and
+                // only replays on receipt.
+                ByzantineBehavior::SelectiveSend | ByzantineBehavior::StaleReplay => {
+                    self.begin_honest(s)
+                }
+            }
             return;
         }
+        self.begin_honest(s);
+    }
+
+    fn begin_honest(&mut self, s: NodeId) {
         match self.cfg.protocol {
             RbcProtocol::Counting => {
-                self.nodes[s].delivered = true;
+                self.nodes[s].delivered = Some(0);
                 self.nodes[s].copies = 1;
-                self.mark_seen(s, MsgId::Payload);
+                self.mark_seen(s, MsgId::Payload(0));
                 let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
                 self.broadcast(
                     s,
                     Msg {
-                        id: MsgId::Payload,
+                        id: MsgId::Payload(0),
                         bits,
+                        born: 0,
                     },
                 );
             }
             RbcProtocol::Bracha => {
-                self.mark_seen(s, MsgId::Send);
+                self.mark_seen(s, MsgId::Send(0));
                 let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
                 self.broadcast(
                     s,
                     Msg {
-                        id: MsgId::Send,
+                        id: MsgId::Send(0),
                         bits,
+                        born: 0,
                     },
                 );
                 // The source handles its own SEND.
-                self.origin_echo(s);
+                self.origin_echo(s, 0);
                 self.bracha_progress(s);
             }
             RbcProtocol::Ctrbc => {
                 for i in 0..self.k {
-                    self.mark_seen(s, MsgId::CtSend(i as u32));
-                    self.nodes[s].frags[i] = true;
+                    self.mark_seen(s, MsgId::CtSend(i as u32, 0));
+                    self.nodes[s].frags[0][i] = true;
                     let msg = Msg {
-                        id: MsgId::CtSend(i as u32),
-                        bits: self.frag_bits(i),
+                        id: MsgId::CtSend(i as u32, 0),
+                        bits: self.frag_bits(i, 0),
+                        born: 0,
                     };
                     self.broadcast(s, msg);
                 }
-                self.nodes[s].frags_held = self.k;
-                self.origin_ct_echo(s);
+                self.nodes[s].frags_held[0] = self.k;
+                self.origin_ct_echo(s, 0);
                 self.ct_progress(s);
             }
         }
     }
 
+    /// An equivocating source: both payload variants go out, each to
+    /// its own id half of the neighborhood.
+    fn begin_equivocating(&mut self, s: NodeId) {
+        self.nodes[s].attacked = true;
+        match self.cfg.protocol {
+            RbcProtocol::Counting => {
+                let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
+                self.mark_seen(s, MsgId::Payload(0));
+                self.mark_seen(s, MsgId::Payload(1));
+                self.broadcast_split(
+                    s,
+                    Msg {
+                        id: MsgId::Payload(0),
+                        bits,
+                        born: 0,
+                    },
+                    Msg {
+                        id: MsgId::Payload(1),
+                        bits,
+                        born: 0,
+                    },
+                );
+            }
+            RbcProtocol::Bracha => {
+                let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
+                self.mark_seen(s, MsgId::Send(0));
+                self.mark_seen(s, MsgId::Send(1));
+                self.broadcast_split(
+                    s,
+                    Msg {
+                        id: MsgId::Send(0),
+                        bits,
+                        born: 0,
+                    },
+                    Msg {
+                        id: MsgId::Send(1),
+                        bits,
+                        born: 0,
+                    },
+                );
+            }
+            RbcProtocol::Ctrbc => {
+                for i in 0..self.k {
+                    self.mark_seen(s, MsgId::CtSend(i as u32, 0));
+                    self.mark_seen(s, MsgId::CtSend(i as u32, 1));
+                    let a = Msg {
+                        id: MsgId::CtSend(i as u32, 0),
+                        bits: self.frag_bits(i, 0),
+                        born: 0,
+                    };
+                    let b = Msg {
+                        id: MsgId::CtSend(i as u32, 1),
+                        bits: self.frag_bits(i, 1),
+                        born: 0,
+                    };
+                    self.broadcast_split(s, a, b);
+                }
+            }
+        }
+    }
+
     /// Delivers one wave: everything queued at wave start reaches its
-    /// receiver; nodes are processed in a fresh seeded permutation.
+    /// receiver unless the schedule defers it; the schedule also picks
+    /// the node processing order and in-batch consumption order.
     /// Returns `false` once nothing is in flight or the wave cap is
     /// reached.
     pub fn step_wave(&mut self) -> bool {
@@ -415,29 +612,55 @@ impl RbcSim {
         std::mem::swap(&mut self.cur, &mut self.nxt);
         self.pending = 0;
         self.waves += 1;
+        let wave = self.waves;
         let mut order = std::mem::take(&mut self.order);
-        order.shuffle(&mut self.rng);
+        self.schedule.order_nodes(wave, &mut self.rng, &mut order);
+        let defers = self.schedule.defers();
+        let ranks = self.schedule.ranks();
+        let mut batch = std::mem::take(&mut self.batch);
         for &u in &order {
             let off = self.topo.offsets()[u] as usize;
             let deg = self.topo.neighbors_of(u).len();
+            batch.clear();
             for e in off..off + deg {
                 while let Some(msg) = self.cur[e].pop_front() {
-                    self.messages += 1;
-                    self.wire_bits += msg.bits;
-                    if !self.bad[u] {
-                        self.handle(u, msg);
+                    // The bounded-asynchrony contract: a schedule may
+                    // hold a message at most MAX_DEFER_WAVES extra
+                    // waves; anything older is force-delivered.
+                    if defers
+                        && wave - msg.born <= MAX_DEFER_WAVES
+                        && self.schedule.defer(wave, u, &Self::view(&msg))
+                    {
+                        self.nxt[e].push_back(msg);
+                        self.pending += 1;
+                        continue;
                     }
+                    batch.push(msg);
+                }
+            }
+            if ranks && batch.len() > 1 {
+                let schedule = &mut self.schedule;
+                batch.sort_by_key(|m| schedule.rank(wave, u, &Self::view(m)));
+            }
+            for &msg in &batch {
+                self.messages += 1;
+                self.wire_bits += msg.bits;
+                if self.bad[u] {
+                    self.byz_handle(u, msg);
+                } else {
+                    self.handle(u, msg);
                 }
             }
         }
         self.order = order;
+        self.batch = batch;
         true
     }
 
     /// The run's aggregate result so far.
     pub fn outcome(&self) -> RbcOutcome {
         let delivered = (0..self.nodes.len())
-            .filter(|&u| !self.bad[u] && self.nodes[u].delivered)
+            .filter(|&u| !self.bad[u] && self.nodes[u].delivered.is_some())
             .count();
         RbcOutcome {
             good_nodes: self.good_nodes,
@@ -452,16 +675,32 @@ impl RbcSim {
 
     // -- runtime plumbing ---------------------------------------------
 
+    fn view(msg: &Msg) -> MsgView {
+        let (class, origin) = match msg.id {
+            MsgId::Payload(_) => (MsgClass::Payload, None),
+            MsgId::Send(_) => (MsgClass::Send, None),
+            MsgId::CtSend(_, _) => (MsgClass::Fragment, None),
+            MsgId::Echo(o, _) | MsgId::CtEcho(o, _) => (MsgClass::Echo, Some(o as usize)),
+            MsgId::Ready(o, _) | MsgId::CtReady(o, _) => (MsgClass::Ready, Some(o as usize)),
+        };
+        MsgView {
+            class,
+            origin,
+            variant: msg.id.variant(),
+            born: msg.born,
+        }
+    }
+
     fn id_index(&self, id: MsgId) -> usize {
         let n = self.nodes.len();
-        match id {
-            MsgId::Payload | MsgId::Send => 0,
-            MsgId::Echo(o) => 1 + o as usize,
-            MsgId::CtSend(i) => 1 + i as usize,
-            MsgId::Ready(o) => 1 + n + o as usize,
-            MsgId::CtEcho(o) => 1 + n + o as usize,
-            MsgId::CtReady(o) => 1 + 2 * n + o as usize,
-        }
+        let (slot, v) = match id {
+            MsgId::Payload(v) | MsgId::Send(v) => (0, v),
+            MsgId::Echo(o, v) => (1 + o as usize, v),
+            MsgId::CtSend(i, v) => (1 + i as usize, v),
+            MsgId::Ready(o, v) | MsgId::CtEcho(o, v) => (1 + n + o as usize, v),
+            MsgId::CtReady(o, v) => (1 + 2 * n + o as usize, v),
+        };
+        v as usize * self.id_stride + slot
     }
 
     /// Marks `id` seen at `u`; `true` if it was new.
@@ -474,38 +713,95 @@ impl RbcSim {
         new
     }
 
-    fn note_echoer(&mut self, u: NodeId, origin: NodeId) {
-        let (w, b) = (origin / 64, 1u64 << (origin % 64));
+    /// Binds `u` to the first variant it sees; later cross-variant
+    /// messages count as equivocation evidence.
+    fn note_variant(&mut self, u: NodeId, v: u8) {
         let st = &mut self.nodes[u];
-        if st.echoers[w] & b == 0 {
-            st.echoers[w] |= b;
-            st.echo_count += 1;
+        match st.bound {
+            None => st.bound = Some(v),
+            Some(b) if b != v => st.conflicts += 1,
+            Some(_) => {}
         }
     }
 
-    fn note_readier(&mut self, u: NodeId, origin: NodeId) {
+    fn note_echoer(&mut self, u: NodeId, origin: NodeId, v: u8) {
         let (w, b) = (origin / 64, 1u64 << (origin % 64));
+        let vi = v as usize;
         let st = &mut self.nodes[u];
-        if st.readiers[w] & b == 0 {
-            st.readiers[w] |= b;
-            st.ready_count += 1;
+        if st.echoers[vi][w] & b != 0 {
+            return;
         }
+        if st.echoers[1 - vi][w] & b != 0 {
+            // Same origin under the other variant: a double vote is
+            // equivocation evidence, never a second count.
+            st.conflicts += 1;
+            return;
+        }
+        st.echoers[vi][w] |= b;
+        st.echo_count[vi] += 1;
     }
 
-    /// Queues `msg` on every out-edge of `u` for the next wave.
+    fn note_readier(&mut self, u: NodeId, origin: NodeId, v: u8) {
+        let (w, b) = (origin / 64, 1u64 << (origin % 64));
+        let vi = v as usize;
+        let st = &mut self.nodes[u];
+        if st.readiers[vi][w] & b != 0 {
+            return;
+        }
+        if st.readiers[1 - vi][w] & b != 0 {
+            st.conflicts += 1;
+            return;
+        }
+        st.readiers[vi][w] |= b;
+        st.ready_count[vi] += 1;
+    }
+
+    /// Queues `msg` on every out-edge of `u` for the next wave. A
+    /// Byzantine selective sender only reaches its lower-id-half
+    /// neighbors.
     fn broadcast(&mut self, u: NodeId, msg: Msg) {
+        let msg = Msg {
+            born: self.waves,
+            ..msg
+        };
         let off = self.topo.offsets()[u] as usize;
         let deg = self.topo.neighbors_of(u).len();
+        if self.bad[u] && self.cfg.behavior == ByzantineBehavior::SelectiveSend {
+            for e in off..off + deg {
+                let w = self.topo.adjacency()[e];
+                if w >= self.split {
+                    continue;
+                }
+                self.nxt[self.rev[e]].push_back(msg);
+                self.pending += 1;
+            }
+            return;
+        }
         for e in off..off + deg {
             self.nxt[self.rev[e]].push_back(msg);
         }
         self.pending += deg as u64;
     }
 
+    /// Split broadcast: neighbors below the id split get `a`, the rest
+    /// get `b`. All equivocators coordinate on the same split.
+    fn broadcast_split(&mut self, u: NodeId, a: Msg, b: Msg) {
+        let born = self.waves;
+        let off = self.topo.offsets()[u] as usize;
+        let deg = self.topo.neighbors_of(u).len();
+        for e in off..off + deg {
+            let w = self.topo.adjacency()[e];
+            let msg = if w < self.split { a } else { b };
+            self.nxt[self.rev[e]].push_back(Msg { born, ..msg });
+            self.pending += 1;
+        }
+    }
+
     /// Wire size of CTRBC fragment `i` (send or echo): tag, index,
     /// root, coded fragment, sibling proof.
-    fn frag_bits(&self, i: usize) -> u64 {
-        let frag = &self.fragset.as_ref().expect("ctrbc only").frags[i];
+    fn frag_bits(&self, i: usize, v: u8) -> u64 {
+        let set = self.fragsets[v as usize].as_ref().expect("ctrbc only");
+        let frag = &set.frags[i];
         TAG_BITS
             + INDEX_BITS
             + HASH_BITS
@@ -516,146 +812,287 @@ impl RbcSim {
     // -- protocol state machines --------------------------------------
 
     fn handle(&mut self, u: NodeId, msg: Msg) {
-        if let MsgId::Payload = msg.id {
+        if let MsgId::Payload(_) = msg.id {
             self.nodes[u].copies += 1;
         }
         if !self.mark_seen(u, msg.id) {
             return; // duplicate copy: already relayed and tallied
         }
         self.broadcast(u, msg); // flood: relay each id once
+        self.note_variant(u, msg.id.variant());
         match msg.id {
-            MsgId::Payload => {
-                self.nodes[u].delivered = true;
+            MsgId::Payload(v) => {
+                if self.nodes[u].delivered.is_none() {
+                    self.nodes[u].delivered = Some(v);
+                }
             }
-            MsgId::Send => {
-                if !self.nodes[u].sent_echo {
-                    self.origin_echo(u);
+            MsgId::Send(v) => {
+                if self.nodes[u].echoed.is_none() {
+                    self.origin_echo(u, v);
                 }
                 self.bracha_progress(u);
             }
-            MsgId::Echo(o) => {
-                self.note_echoer(u, o as usize);
+            MsgId::Echo(o, v) => {
+                self.note_echoer(u, o as usize, v);
                 self.bracha_progress(u);
             }
-            MsgId::Ready(o) => {
-                self.note_readier(u, o as usize);
+            MsgId::Ready(o, v) => {
+                self.note_readier(u, o as usize, v);
                 self.bracha_progress(u);
             }
-            MsgId::CtSend(i) => {
-                self.hold_frag(u, i as usize);
+            MsgId::CtSend(i, v) => {
+                self.hold_frag(u, i as usize, v);
                 self.ct_progress(u);
             }
-            MsgId::CtEcho(o) => {
-                self.note_echoer(u, o as usize);
-                self.hold_frag(u, o as usize % self.k);
+            MsgId::CtEcho(o, v) => {
+                self.note_echoer(u, o as usize, v);
+                self.hold_frag(u, o as usize % self.k, v);
                 self.ct_progress(u);
             }
-            MsgId::CtReady(o) => {
-                self.note_readier(u, o as usize);
+            MsgId::CtReady(o, v) => {
+                self.note_readier(u, o as usize, v);
                 self.ct_progress(u);
             }
         }
     }
 
-    fn origin_echo(&mut self, u: NodeId) {
-        self.nodes[u].sent_echo = true;
-        self.echoes_sent += 1;
-        let id = MsgId::Echo(u as u32);
-        self.mark_seen(u, id);
-        self.note_echoer(u, u);
-        let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
-        self.broadcast(u, Msg { id, bits });
+    /// Dispatches a message received by a Byzantine node to its
+    /// behavior.
+    fn byz_handle(&mut self, u: NodeId, msg: Msg) {
+        match self.cfg.behavior {
+            ByzantineBehavior::Mute => {}
+            // Honest state machine; `broadcast` masks every send down
+            // to the lower id half.
+            ByzantineBehavior::SelectiveSend => self.handle(u, msg),
+            ByzantineBehavior::Equivocate => {
+                if !self.mark_seen(u, msg.id) {
+                    return;
+                }
+                self.broadcast(u, msg);
+                if !self.nodes[u].attacked {
+                    self.nodes[u].attacked = true;
+                    self.launch_equivocation(u);
+                }
+            }
+            ByzantineBehavior::StaleReplay => {
+                if !self.mark_seen(u, msg.id) {
+                    return;
+                }
+                self.broadcast(u, msg);
+                match self.nodes[u].stale {
+                    None => self.nodes[u].stale = Some(msg),
+                    Some(stale) => self.broadcast(u, stale),
+                }
+            }
+        }
     }
 
-    fn origin_ready(&mut self, u: NodeId) {
-        self.nodes[u].sent_ready = true;
-        self.readies_sent += 1;
-        let id = MsgId::Ready(u as u32);
+    /// A non-source equivocator's attack, launched on its first
+    /// received message: conflicting votes — variant 0 to the lower id
+    /// half, variant 1 to the upper half. CTRBC fragments carry valid
+    /// proofs under the equivocated payload's own Merkle root; only
+    /// root-binding at the receivers defeats them.
+    fn launch_equivocation(&mut self, u: NodeId) {
+        let o = u as u32;
+        let pay = TAG_BITS + u64::from(self.cfg.payload_bits);
+        match self.cfg.protocol {
+            RbcProtocol::Counting => {
+                self.mark_seen(u, MsgId::Payload(0));
+                self.mark_seen(u, MsgId::Payload(1));
+                self.broadcast_split(
+                    u,
+                    Msg {
+                        id: MsgId::Payload(0),
+                        bits: pay,
+                        born: 0,
+                    },
+                    Msg {
+                        id: MsgId::Payload(1),
+                        bits: pay,
+                        born: 0,
+                    },
+                );
+            }
+            RbcProtocol::Bracha => {
+                for (a, b) in [
+                    (MsgId::Echo(o, 0), MsgId::Echo(o, 1)),
+                    (MsgId::Ready(o, 0), MsgId::Ready(o, 1)),
+                ] {
+                    self.mark_seen(u, a);
+                    self.mark_seen(u, b);
+                    self.broadcast_split(
+                        u,
+                        Msg {
+                            id: a,
+                            bits: pay,
+                            born: 0,
+                        },
+                        Msg {
+                            id: b,
+                            bits: pay,
+                            born: 0,
+                        },
+                    );
+                }
+            }
+            RbcProtocol::Ctrbc => {
+                let i = u % self.k;
+                let (ea, eb) = (MsgId::CtEcho(o, 0), MsgId::CtEcho(o, 1));
+                self.mark_seen(u, ea);
+                self.mark_seen(u, eb);
+                let a = Msg {
+                    id: ea,
+                    bits: self.frag_bits(i, 0),
+                    born: 0,
+                };
+                let b = Msg {
+                    id: eb,
+                    bits: self.frag_bits(i, 1),
+                    born: 0,
+                };
+                self.broadcast_split(u, a, b);
+                let ready = TAG_BITS + HASH_BITS;
+                let (ra, rb) = (MsgId::CtReady(o, 0), MsgId::CtReady(o, 1));
+                self.mark_seen(u, ra);
+                self.mark_seen(u, rb);
+                self.broadcast_split(
+                    u,
+                    Msg {
+                        id: ra,
+                        bits: ready,
+                        born: 0,
+                    },
+                    Msg {
+                        id: rb,
+                        bits: ready,
+                        born: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn origin_echo(&mut self, u: NodeId, v: u8) {
+        self.nodes[u].echoed = Some(v);
+        if !self.bad[u] {
+            self.echoes_sent += 1;
+        }
+        let id = MsgId::Echo(u as u32, v);
         self.mark_seen(u, id);
-        self.note_readier(u, u);
+        self.note_echoer(u, u, v);
+        let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
+        self.broadcast(u, Msg { id, bits, born: 0 });
+    }
+
+    fn origin_ready(&mut self, u: NodeId, v: u8) {
+        self.nodes[u].readied = Some(v);
+        if !self.bad[u] {
+            self.readies_sent += 1;
+        }
+        let id = MsgId::Ready(u as u32, v);
+        self.mark_seen(u, id);
+        self.note_readier(u, u, v);
         // Classic Bracha: READY carries the message.
         let bits = TAG_BITS + u64::from(self.cfg.payload_bits);
-        self.broadcast(u, Msg { id, bits });
+        self.broadcast(u, Msg { id, bits, born: 0 });
     }
 
     fn bracha_progress(&mut self, u: NodeId) {
         let amp = self.cfg.t + 1;
         let deliver = 2 * self.cfg.t + 1;
-        let st = &self.nodes[u];
-        if !st.sent_ready && (st.echo_count >= self.echo_quorum || st.ready_count >= amp) {
-            self.origin_ready(u);
-        }
-        if !self.nodes[u].delivered && self.nodes[u].ready_count >= deliver {
-            self.nodes[u].delivered = true;
+        for v in 0..2u8 {
+            let vi = v as usize;
+            let st = &self.nodes[u];
+            if st.readied.is_none()
+                && (st.echo_count[vi] >= self.echo_quorum || st.ready_count[vi] >= amp)
+            {
+                self.origin_ready(u, v);
+            }
+            let st = &self.nodes[u];
+            if st.delivered.is_none() && st.ready_count[vi] >= deliver {
+                self.nodes[u].delivered = Some(v);
+            }
         }
     }
 
-    /// Verifies fragment `i`'s sibling proof against the commitment
-    /// root and stores it. In this simulation all in-flight fragments
-    /// are genuine (Byzantine nodes are mute), but the verification is
-    /// executed for real: it is part of the per-delivery work CTRBC
-    /// pays for its bandwidth win.
-    fn hold_frag(&mut self, u: NodeId, i: usize) {
-        if self.nodes[u].frags[i] {
+    /// Verifies fragment `i`'s sibling proof against variant `v`'s
+    /// commitment root and stores it. An equivocated fragment carries
+    /// a *valid* proof under its own root — the verification here is
+    /// the per-delivery work CTRBC pays, while cross-variant defense
+    /// comes from root-binding in the vote counting.
+    fn hold_frag(&mut self, u: NodeId, i: usize, v: u8) {
+        let vi = v as usize;
+        if self.nodes[u].frags[vi][i] {
             return;
         }
-        let set = self.fragset.as_ref().expect("ctrbc only");
+        let set = self.fragsets[vi].as_ref().expect("ctrbc only");
         let leaf = merkle::leaf_hash(&set.frags[i].coded);
         if !merkle::verify(leaf, i, &set.frags[i].proof, set.root) {
             return; // forged fragment: reject
         }
-        self.nodes[u].frags[i] = true;
-        self.nodes[u].frags_held += 1;
+        self.nodes[u].frags[vi][i] = true;
+        self.nodes[u].frags_held[vi] += 1;
     }
 
-    fn origin_ct_echo(&mut self, u: NodeId) {
-        self.nodes[u].sent_echo = true;
-        self.echoes_sent += 1;
-        let id = MsgId::CtEcho(u as u32);
+    fn origin_ct_echo(&mut self, u: NodeId, v: u8) {
+        self.nodes[u].echoed = Some(v);
+        if !self.bad[u] {
+            self.echoes_sent += 1;
+        }
+        let id = MsgId::CtEcho(u as u32, v);
         self.mark_seen(u, id);
-        self.note_echoer(u, u);
+        self.note_echoer(u, u, v);
         let msg = Msg {
             id,
-            bits: self.frag_bits(u % self.k),
+            bits: self.frag_bits(u % self.k, v),
+            born: 0,
         };
         self.broadcast(u, msg);
     }
 
-    fn origin_ct_ready(&mut self, u: NodeId) {
-        self.nodes[u].sent_ready = true;
-        self.readies_sent += 1;
-        let id = MsgId::CtReady(u as u32);
+    fn origin_ct_ready(&mut self, u: NodeId, v: u8) {
+        self.nodes[u].readied = Some(v);
+        if !self.bad[u] {
+            self.readies_sent += 1;
+        }
+        let id = MsgId::CtReady(u as u32, v);
         self.mark_seen(u, id);
-        self.note_readier(u, u);
+        self.note_readier(u, u, v);
         let bits = TAG_BITS + HASH_BITS; // root only
-        self.broadcast(u, Msg { id, bits });
+        self.broadcast(u, Msg { id, bits, born: 0 });
     }
 
     fn ct_progress(&mut self, u: NodeId) {
         let amp = self.cfg.t + 1;
         let deliver = 2 * self.cfg.t + 1;
-        if !self.nodes[u].sent_echo && self.nodes[u].frags[u % self.k] {
-            self.origin_ct_echo(u);
-        }
-        let st = &self.nodes[u];
-        if !st.sent_ready
-            && ((st.echo_count >= self.echo_quorum && st.frags_held == self.k)
-                || st.ready_count >= amp)
-        {
-            self.origin_ct_ready(u);
-        }
-        let st = &self.nodes[u];
-        if !st.delivered && st.ready_count >= deliver && st.frags_held == self.k {
-            self.reconstruct_and_deliver(u);
+        for v in 0..2u8 {
+            let vi = v as usize;
+            if self.nodes[u].echoed.is_none() && self.nodes[u].frags[vi][u % self.k] {
+                self.origin_ct_echo(u, v);
+            }
+            let st = &self.nodes[u];
+            if st.readied.is_none()
+                && ((st.echo_count[vi] >= self.echo_quorum && st.frags_held[vi] == self.k)
+                    || st.ready_count[vi] >= amp)
+            {
+                self.origin_ct_ready(u, v);
+            }
+            let st = &self.nodes[u];
+            if st.delivered.is_none()
+                && st.ready_count[vi] >= deliver
+                && st.frags_held[vi] == self.k
+            {
+                self.reconstruct_and_deliver(u, v);
+            }
         }
     }
 
-    /// Reconstructs the payload from the k held fragments: segment
-    /// cascade per fragment, round-robin interleave, root recomputation
-    /// against the commitment — delivery fails closed if anything
-    /// mismatches.
-    fn reconstruct_and_deliver(&mut self, u: NodeId) {
-        let set = self.fragset.as_ref().expect("ctrbc only");
+    /// Reconstructs variant `v`'s payload from the k held fragments:
+    /// segment cascade per fragment, round-robin interleave, root
+    /// recomputation against the commitment — delivery fails closed if
+    /// anything mismatches.
+    fn reconstruct_and_deliver(&mut self, u: NodeId, v: u8) {
+        let set = self.fragsets[v as usize].as_ref().expect("ctrbc only");
         let mut parts = Vec::with_capacity(self.k);
         for frag in &set.frags {
             match segment::verify(&frag.coded, frag.payload_len) {
@@ -676,8 +1113,11 @@ impl RbcSim {
         for j in 0..total {
             rebuilt.push(parts[j % self.k][j / self.k]);
         }
-        debug_assert_eq!(rebuilt, self.payload, "reconstruction is lossless");
-        self.nodes[u].delivered = true;
+        debug_assert_eq!(
+            rebuilt, self.payloads[v as usize],
+            "reconstruction is lossless"
+        );
+        self.nodes[u].delivered = Some(v);
     }
 }
 
@@ -692,6 +1132,8 @@ mod tests {
             payload_bits: 4096,
             max_waves: 10_000,
             seed: 7,
+            schedule: ScheduleKind::Seeded,
+            behavior: ByzantineBehavior::Mute,
         }
     }
 
@@ -765,6 +1207,7 @@ mod tests {
         let o = sim.outcome();
         assert_eq!(o.waves, 2);
         assert!(!o.is_reliable(), "two waves cannot finish: {o:?}");
+        assert!(!sim.quiescent(), "a capped run still has mail in flight");
     }
 
     #[test]
@@ -789,5 +1232,114 @@ mod tests {
         assert_eq!(o.delivered, 0, "{o:?}");
         assert_eq!(o.readies_sent, 0);
         assert!(o.messages > 0, "sends and echoes still flooded");
+    }
+
+    #[test]
+    fn phases_track_protocol_progress() {
+        let mut cfg = config(RbcProtocol::Bracha);
+        cfg.max_waves = 1;
+        let sim = run(Grid::new(9, 9, 1).unwrap(), &[], cfg);
+        // After one wave only the source's neighborhood has echoed.
+        assert_eq!(sim.phase(0), 1, "source echoed, no quorum yet");
+        assert_eq!(sim.phase(40), 0, "far node has seen nothing");
+        let done = run(
+            Grid::new(9, 9, 1).unwrap(),
+            &[],
+            config(RbcProtocol::Bracha),
+        );
+        for u in 0..81 {
+            assert_eq!(done.phase(u), 3, "complete run delivers node {u}");
+            assert_eq!(done.delivered_variant(u), Some(0));
+            assert_eq!(done.conflicts(u), 0, "honest runs see no conflicts");
+        }
+    }
+
+    #[test]
+    fn what_is_delivered_is_schedule_invariant_under_mute() {
+        let grid = Grid::new(9, 9, 1).unwrap();
+        let bad = vec![grid.id_at(2, 2), grid.id_at(6, 5)];
+        let baseline = run(grid.clone(), &bad, config(RbcProtocol::Bracha));
+        let base_out = baseline.outcome();
+        for schedule in ScheduleKind::ALL {
+            let mut cfg = config(RbcProtocol::Bracha);
+            cfg.schedule = schedule;
+            let sim = run(grid.clone(), &bad, cfg);
+            let o = sim.outcome();
+            assert!(sim.quiescent(), "{schedule:?} must drain");
+            assert_eq!(o.delivered, base_out.delivered, "{schedule:?}");
+            assert_eq!(o.messages, base_out.messages, "{schedule:?}");
+            assert_eq!(o.wire_bits, base_out.wire_bits, "{schedule:?}");
+            for u in 0..81 {
+                assert_eq!(
+                    sim.delivered_variant(u),
+                    baseline.delivered_variant(u),
+                    "{schedule:?} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivocators_within_budget_cannot_break_bracha() {
+        let grid = Grid::new(5, 5, 2).unwrap();
+        for schedule in ScheduleKind::ALL {
+            let mut cfg = config(RbcProtocol::Bracha);
+            cfg.schedule = schedule;
+            cfg.behavior = ByzantineBehavior::Equivocate;
+            // t = 2 equivocators: exactly at budget.
+            let sim = run(grid.clone(), &[7, 18], cfg);
+            let o = sim.outcome();
+            assert_eq!(o.delivered, o.good_nodes, "{schedule:?}: {o:?}");
+            for u in 0..25 {
+                if sim.is_good(u) {
+                    assert_eq!(sim.delivered_variant(u), Some(0), "{schedule:?} node {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivocation_is_observed_as_conflicts() {
+        let grid = Grid::new(5, 5, 2).unwrap();
+        let mut cfg = config(RbcProtocol::Bracha);
+        cfg.behavior = ByzantineBehavior::Equivocate;
+        let sim = run(grid, &[7, 18], cfg);
+        let total: u64 = (0..25)
+            .filter(|&u| sim.is_good(u))
+            .map(|u| sim.conflicts(u))
+            .sum();
+        assert!(total > 0, "split-brain votes must leave evidence");
+    }
+
+    #[test]
+    fn selective_send_only_starves_but_never_splits() {
+        let grid = Grid::new(5, 5, 2).unwrap();
+        let mut cfg = config(RbcProtocol::Ctrbc);
+        cfg.behavior = ByzantineBehavior::SelectiveSend;
+        let sim = run(grid, &[7, 18], cfg);
+        let o = sim.outcome();
+        assert_eq!(o.delivered, o.good_nodes, "{o:?}");
+        for u in 0..25 {
+            if sim.is_good(u) {
+                assert_eq!(sim.delivered_variant(u), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_replay_inflates_traffic_without_breaking_agreement() {
+        let grid = Grid::new(5, 5, 2).unwrap();
+        let mute = run(grid.clone(), &[7, 18], config(RbcProtocol::Bracha)).outcome();
+        let mut cfg = config(RbcProtocol::Bracha);
+        cfg.behavior = ByzantineBehavior::StaleReplay;
+        let sim = run(grid, &[7, 18], cfg);
+        let o = sim.outcome();
+        assert_eq!(o.delivered, o.good_nodes, "{o:?}");
+        assert!(
+            o.messages > mute.messages,
+            "replays cost traffic: {} vs {}",
+            o.messages,
+            mute.messages
+        );
     }
 }

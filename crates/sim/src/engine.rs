@@ -199,8 +199,10 @@ impl EngineOutcome {
 /// (correct vs corrupted) and the accepted value; the slot engine
 /// reports delivered data frames (decoding to the broadcast value vs
 /// anything else) and the committed value; the agreement engine
-/// reports members agreeing/disagreeing with this member's decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// reports members agreeing/disagreeing with this member's decision;
+/// the rbc engine additionally reports its protocol phase and the
+/// equivocation evidence it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Probe {
     /// Correct copies delivered so far (agreement engine: members
     /// deciding the same value as this one, itself included).
@@ -213,6 +215,13 @@ pub struct Probe {
     pub decided_neighbors: usize,
     /// The value this node accepted/committed/decided, if any.
     pub accepted: Option<Value>,
+    /// Protocol progress phase — rbc engine: 0 idle, 1 echoed,
+    /// 2 readied, 3 delivered (diagnoses where a wave-capped run
+    /// stalled); 0 for every other engine.
+    pub phase: u64,
+    /// Equivocation evidence observed at this node (cross-variant
+    /// messages and double votes) — rbc engine only, 0 elsewhere.
+    pub conflicts: u64,
 }
 
 impl Probe {
@@ -330,6 +339,7 @@ impl SimEngine for CountingEngine {
             tally_wrong: self.live.tally_wrong(u),
             decided_neighbors: self.live.decided_neighbors(u),
             accepted: self.live.accepted(u),
+            ..Probe::default()
         })
     }
 
@@ -406,6 +416,7 @@ impl SimEngine for CrashEngine {
             tally_wrong: self.live.tally_wrong(u),
             decided_neighbors: self.live.decided_neighbors(u),
             accepted: self.live.accepted(u),
+            ..Probe::default()
         })
     }
 
@@ -487,6 +498,7 @@ impl SimEngine for SlotEngine {
             tally_wrong,
             decided_neighbors: self.live.committed_neighbors(u),
             accepted: self.live.committed(u),
+            ..Probe::default()
         })
     }
 
@@ -660,6 +672,7 @@ impl SimEngine for AgreementEngine {
             tally_wrong: (out.decisions.len() - same) as u64,
             decided_neighbors,
             accepted: Some(decided),
+            ..Probe::default()
         })
     }
 }

@@ -28,6 +28,11 @@ OUT=${2:-docs/figures}
 "$BIN" report --scenario scenarios/rbc-wire.scn \
   --field wire_bits --x payload --log-x --out "$OUT"
 
+# Delivery latency under adversarial schedules with live equivocators:
+# waves to quiescence per delivery schedule (the series) across seeds.
+"$BIN" report --scenario scenarios/rbc-adversary.scn \
+  --field waves --x seed --out "$OUT"
+
 # The example scenarios: combinations no EXP-* experiment covers.
 for scn in scenarios/examples/*.scn; do
   "$BIN" report --scenario "$scn" --out "$OUT"

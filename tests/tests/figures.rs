@@ -106,6 +106,25 @@ fn committed_gallery_matches_fresh_renders() {
         "docs/figures/rbc-wire-chart.svg differs from rendering \
          scenarios/rbc-wire.scn; rerun scripts/gen_figures.sh"
     );
+
+    // The adversarial-schedule latency chart: waves vs seed, one
+    // series per delivery schedule, equivocators live on every point.
+    let spec = ReportSpec {
+        field: Some("waves".to_string()),
+        x_axis: Some("seed".to_string()),
+        ..ReportSpec::default()
+    };
+    let fresh = render_with("scenarios/rbc-adversary.scn", &spec);
+    for series in ["schedule=seeded", "schedule=delay_quorum", "schedule=gst"] {
+        assert!(fresh.svg.contains(series), "{series} missing from legend");
+    }
+    let committed =
+        std::fs::read_to_string(repo_path("docs/figures/rbc-adversary-chart.svg")).unwrap();
+    assert_eq!(
+        committed, fresh.svg,
+        "docs/figures/rbc-adversary-chart.svg differs from rendering \
+         scenarios/rbc-adversary.scn; rerun scripts/gen_figures.sh"
+    );
 }
 
 /// The acceptance gate's second half: a warm-store `report` round trip

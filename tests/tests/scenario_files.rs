@@ -184,6 +184,77 @@ fn rbc_compare_scn_round_trips_the_goldens() {
     assert!(ctrbc.messages.abs_diff(bracha.messages) < bracha.messages / 100);
 }
 
+/// scenarios/rbc-adversary.scn: Bracha under two live equivocators,
+/// swept across every delivery schedule × eight seeds. Agreement holds
+/// at budget on all 40 points; the (seeded, seed 0) goldens (EXP-R2)
+/// pin the outcome *and* the probed node's equivocation evidence.
+#[test]
+fn rbc_adversary_scn_round_trips_the_goldens() {
+    let file = load("scenarios/rbc-adversary.scn");
+    assert_eq!(file.name, "rbc-adversary");
+    assert_eq!(file.engine, EngineKind::Rbc);
+    let report = run_file(&file).expect("rbc-adversary runs");
+    assert_eq!(report.results.len(), 40, "5 schedules x 8 seeds");
+
+    for result in &report.results {
+        let o = result.outcome.as_rbc().unwrap();
+        assert!(
+            o.is_reliable(),
+            "equivocators at budget cannot block delivery: {:?}",
+            result.point
+        );
+        assert_eq!(o.good_nodes, 47, "{:?}", result.point);
+    }
+
+    // The pinned point: schedule = "seeded", seed = 0.
+    let golden = &report.results[0];
+    assert_eq!(
+        golden.point,
+        vec![
+            ("schedule".to_string(), "seeded".to_string()),
+            ("seed".to_string(), "0".to_string()),
+        ]
+    );
+    let o = golden.outcome.as_rbc().unwrap();
+    assert_eq!(
+        (o.messages, o.wire_bits, o.waves),
+        (121_032, 63_904_896, 7),
+        "seeded/0 golden"
+    );
+    let p = &golden.probes[0];
+    assert_eq!((p.x, p.y), (3, 3));
+    assert_eq!(p.probe.accepted, Some(Value::TRUE));
+    assert_eq!(p.probe.phase, 3, "the probed node delivered");
+    assert_eq!(
+        p.probe.conflicts, 8,
+        "split-brain votes leave pinned evidence at (3,3)"
+    );
+
+    // Latency is the axis the adversary owns: the delay-the-quorum
+    // schedule stretches the same delivery to its deferral bound while
+    // moving neither message nor bit totals (flooding is relay-once).
+    let by_schedule = |name: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.point[0].1 == name)
+            .and_then(|r| r.outcome.as_rbc())
+            .unwrap()
+    };
+    let (seeded, delayed, gst) = (
+        by_schedule("seeded"),
+        by_schedule("delay_quorum"),
+        by_schedule("gst"),
+    );
+    assert!(delayed.waves > 4 * seeded.waves, "deferral stretches waves");
+    assert!(
+        gst.waves > seeded.waves,
+        "partial synchrony delays the tail"
+    );
+    assert_eq!(delayed.messages, seeded.messages);
+    assert_eq!(delayed.wire_bits, seeded.wire_bits);
+}
+
 /// JSON-lines output is one valid self-describing object per point
 /// (spot-checked shape; full schema in EXPERIMENTS.md).
 #[test]

@@ -5,8 +5,9 @@
 //! any single configuration-field change.
 
 use bftbcast::json::Json;
+use bftbcast::rbc::{ByzantineBehavior, RbcProtocol, ScheduleKind};
 use bftbcast::scenario_file::{
-    AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, PlacementSpec, ProtocolSpec,
+    AdversarySpec, AgreementSpec, CrashNodesSpec, CrashSpec, PlacementSpec, ProtocolSpec, RbcSpec,
     ReactiveSpec, SourceSpec,
 };
 use bftbcast::sim::crash::CrashBehavior;
@@ -45,8 +46,8 @@ fn cells(state: &mut u64, w: u32, h: u32, max: u64) -> Vec<(u32, u32)> {
         .collect()
 }
 
-/// Generates one valid spec covering all four engines and every
-/// placement/protocol/adversary/crash/reactive/agreement variant.
+/// Generates one valid spec covering all five engines and every
+/// placement/protocol/adversary/crash/reactive/agreement/rbc variant.
 fn gen_spec(mut s: u64) -> EngineSpec {
     let st = &mut s;
     let width = 5 + pick(st, 26) as u32;
@@ -60,12 +61,13 @@ fn gen_spec(mut s: u64) -> EngineSpec {
         "tabs\tand\nnewlines",
         "#x",
     ];
-    let engine_pick = pick(st, 4);
+    let engine_pick = pick(st, 5);
     let mut b = match engine_pick {
         0 => EngineSpec::counting(width, height, r),
         1 => EngineSpec::crash(width, height, r),
         2 => EngineSpec::slot(width, height, r),
-        _ => EngineSpec::agreement(width, height, r),
+        3 => EngineSpec::agreement(width, height, r),
+        _ => EngineSpec::rbc(width, height, r),
     };
     b = b
         .name(names[pick(st, names.len() as u64) as usize])
@@ -163,7 +165,7 @@ fn gen_spec(mut s: u64) -> EngineSpec {
                 max_rounds: next(st),
             });
         }
-        _ => {
+        3 => {
             // Proven mode's t bound holds at t = 1 for every r >= 1.
             let mode = if t == 1 && pick(st, 2) == 0 {
                 AgreementMode::Proven
@@ -176,6 +178,22 @@ fn gen_spec(mut s: u64) -> EngineSpec {
                     [pick(st, 3) as usize],
                 p1: frac(st),
                 pe: frac(st),
+            });
+        }
+        _ => {
+            // Payload stays above CTRBC's 2(t + 1) fragment floor for
+            // either value the `t` mutation can flip to.
+            b = b.rbc_config(RbcSpec {
+                protocol: [
+                    RbcProtocol::Counting,
+                    RbcProtocol::Bracha,
+                    RbcProtocol::Ctrbc,
+                ][pick(st, 3) as usize],
+                payload: 6 + pick(st, 4096) as u32,
+                max_waves: 1 + pick(st, 100_000),
+                schedule: ScheduleKind::ALL[pick(st, ScheduleKind::ALL.len() as u64) as usize],
+                behavior: ByzantineBehavior::ALL
+                    [pick(st, ByzantineBehavior::ALL.len() as u64) as usize],
             });
         }
     }
@@ -212,7 +230,7 @@ fn render_reversed(v: &Json) -> String {
 fn mutate(spec: &EngineSpec, which: u64) -> Option<EngineSpec> {
     let mut point = spec.point().clone();
     let mut probes = spec.probes().to_vec();
-    match which % 6 {
+    match which % 7 {
         0 => point.mf = point.mf.wrapping_add(1),
         1 => point.seed = point.seed.wrapping_add(1),
         2 => point.t = if point.t == 1 { 2 } else { 1 },
@@ -224,6 +242,21 @@ fn mutate(spec: &EngineSpec, which: u64) -> Option<EngineSpec> {
             } else {
                 probes.pop();
             }
+        }
+        6 => {
+            // The adversary axes exist only on the rbc engine; any
+            // other engine retries with a different field.
+            if spec.engine() != bftbcast::scenario_file::EngineKind::Rbc {
+                return None;
+            }
+            point.rbc.schedule = match point.rbc.schedule {
+                ScheduleKind::Seeded => ScheduleKind::Gst,
+                _ => ScheduleKind::Seeded,
+            };
+            point.rbc.behavior = match point.rbc.behavior {
+                ByzantineBehavior::Mute => ByzantineBehavior::Equivocate,
+                _ => ByzantineBehavior::Mute,
+            };
         }
         _ => unreachable!(),
     }
